@@ -1,0 +1,83 @@
+// Feedback-metric ablation (paper §V motivates fuzzing *condition* coverage
+// because it "correlates the satisfaction of hardware design conditions
+// with realizing new functional behaviors"): run the same TheHuzz-class
+// mutational engine guided by each standard metric — condition, toggle,
+// statement, FSM, control-register — and report the *condition* coverage
+// each guidance signal ultimately earns. Statement coverage saturates
+// within seconds and FSM coverage within minutes, so neither can steer a
+// long campaign; condition coverage keeps a gradient alive the longest.
+//
+//   usage: ablation_feedback_metric [tests]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+
+using namespace chatfuzz;
+using namespace chatfuzz::bench;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1000;
+  print_header(
+      "Ablation: guidance metric vs. final condition coverage",
+      "condition coverage chosen as feedback (SV); statement/FSM saturate "
+      "and stop steering");
+
+  struct Row {
+    core::GuidanceMetric metric;
+    core::CampaignResult res;
+  };
+  std::vector<Row> rows;
+  for (const auto g :
+       {core::GuidanceMetric::kCondition, core::GuidanceMetric::kToggle,
+        core::GuidanceMetric::kFsm, core::GuidanceMetric::kCtrlReg,
+        core::GuidanceMetric::kStatement}) {
+    std::fprintf(stderr, "[metric] %s...\n", core::guidance_name(g));
+    core::CampaignConfig cfg = rocket_campaign(n);
+    cfg.guidance = g;
+    cfg.collect_multi_metrics = true;
+    cfg.mismatch_detection = false;
+    baselines::TheHuzzFuzzer fuzzer(29);
+    rows.push_back({g, core::run_campaign(fuzzer, cfg)});
+  }
+
+  std::printf("%-10s | %-13s | %-8s | %-8s | %-9s\n", "guidance",
+              "cond-cov (!)", "toggle", "fsm", "statement");
+  std::printf("-----------+---------------+----------+----------+----------\n");
+  for (const Row& r : rows) {
+    std::printf("%-10s | %12.2f%% | %7.2f%% | %7.2f%% | %8.2f%%\n",
+                core::guidance_name(r.metric), r.res.final_cov_percent,
+                r.res.toggle_percent, r.res.fsm_percent,
+                r.res.statement_percent);
+  }
+
+  const double cond = rows[0].res.final_cov_percent;
+  double spread = 0.0;
+  for (const Row& r : rows) {
+    spread = std::max(spread, std::abs(r.res.final_cov_percent - cond));
+  }
+  std::printf("\nshape checks:\n");
+  std::printf("  condition guidance leads or ties every other metric: %s\n",
+              [&] {
+                for (std::size_t i = 1; i < rows.size(); ++i) {
+                  if (rows[i].res.final_cov_percent > cond + 0.75) return "CHECK";
+                }
+                return "PASS";
+              }());
+  std::printf("  statement metric saturates (>90%% everywhere):        %s\n",
+              [&] {
+                for (const Row& r : rows) {
+                  if (r.res.statement_percent < 90.0) return "CHECK";
+                }
+                return "PASS";
+              }());
+  // The deeper point (the paper's thesis): for a *mutational* engine the
+  // guidance metric barely matters — no metric steers it into the deep
+  // tail. Steering requires a generator that understands the language.
+  std::printf("  guidance spread stays small (mutation can't steer):   %s "
+              "(max spread %.2f points)\n",
+              spread < 2.0 ? "PASS" : "CHECK", spread);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared plumbing for the table/figure reproduction benches: the paper's
+// wall-clock scale model, a cached trained ChatFuzz generator (stages 1-2
+// are trained once and persisted to disk so every bench binary can reuse the
+// same model), and table-printing helpers.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/mutational.h"
+#include "core/campaign.h"
+#include "core/chatfuzz.h"
+
+namespace chatfuzz::bench {
+
+/// Paper throughput (§V-A): ~1.8K tests in ~52 minutes on ten VCS instances
+/// for both ChatFuzz and TheHuzz -> ~2077 tests/hour. All "hours" columns
+/// convert test counts through this constant (DifuzzRTL pays its 3.33x
+/// factor on top). Campaign *sizes* are scaled down for laptop runtime;
+/// each bench prints its scale factor.
+inline constexpr double kPaperTestsPerHour = 1800.0 / (52.0 / 60.0);
+
+/// Default on-disk cache for the stage-1/2 trained policy.
+inline const char* kModelCache = "chatfuzz_model.bin";
+
+/// Build a ChatFuzz generator, training stages 1-2 unless a cached model is
+/// present (training takes a few minutes of CPU; the cache makes reruns and
+/// the other bench binaries instant).
+inline std::unique_ptr<core::ChatFuzzGenerator> make_chatfuzz(
+    const std::string& cache = kModelCache) {
+  core::ChatFuzzConfig cfg;
+  cfg.pretrain_samples = 1600;
+  cfg.pretrain.epochs = 5;
+  cfg.cleanup_iters = 8;
+  auto gen = std::make_unique<core::ChatFuzzGenerator>(cfg);
+  if (gen->load_model(cache)) {
+    std::fprintf(stderr, "[bench] loaded cached ChatFuzz model from %s\n",
+                 cache.c_str());
+  } else {
+    std::fprintf(stderr,
+                 "[bench] training ChatFuzz stages 1-2 (cached to %s)...\n",
+                 cache.c_str());
+    gen->train_offline();
+    gen->save_model(cache);
+  }
+  return gen;
+}
+
+inline core::CampaignConfig rocket_campaign(std::size_t tests) {
+  core::CampaignConfig cfg;
+  cfg.num_tests = tests;
+  cfg.batch_size = 32;
+  cfg.checkpoint_every = std::max<std::size_t>(tests / 40, 25);
+  cfg.platform.max_steps = 512;
+  cfg.tests_per_hour = kPaperTestsPerHour;
+  return cfg;
+}
+
+inline void print_header(const char* title, const char* paper_claim) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace chatfuzz::bench

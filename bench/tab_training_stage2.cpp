@@ -1,0 +1,83 @@
+// §III-B(2) reproduction: stage-2 "model language cleanup" convergence.
+// The paper monitors the PPO loss, the KL divergence between policies and
+// the mean Eq.-1 reward across 30 epochs; this bench regenerates that series
+// (scaled epoch count) and reports the invalid-instruction rate before and
+// after cleanup.
+#include <cstdio>
+
+#include "core/chatfuzz.h"
+#include "core/training.h"
+#include "riscv/disasm.h"
+
+using namespace chatfuzz;
+
+namespace {
+double invalid_rate_of_batch(core::ChatFuzzGenerator& gen, int batches) {
+  std::size_t total = 0, invalid = 0;
+  for (int i = 0; i < batches; ++i) {
+    for (const auto& p : gen.next_batch(16)) {
+      const riscv::DisasmAudit a = riscv::audit(p);
+      total += a.total;
+      invalid += a.invalid;
+    }
+  }
+  return total > 0 ? static_cast<double>(invalid) / static_cast<double>(total)
+                   : 1.0;
+}
+}  // namespace
+
+int main() {
+  std::printf(
+      "==================================================================\n"
+      "Stage-2 training convergence (paper SIII-B2 / SIV-C2, Eq. 1)\n"
+      "paper: PPO with the disassembler as deterministic reward agent,\n"
+      "       30 epochs on a 51.2K-sample subset; reward f = N - 5*Invalid\n"
+      "scale: 12 PPO iterations, 2K-sample corpus (laptop-scale model)\n"
+      "==================================================================\n");
+
+  core::ChatFuzzConfig cfg;
+  cfg.pretrain_samples = 1200;
+  cfg.pretrain.epochs = 4;
+  cfg.cleanup_iters = 0;  // we run cleanup manually to measure around it
+  core::ChatFuzzGenerator gen(cfg);
+
+  std::fprintf(stderr, "[bench] stage-1 pretraining...\n");
+  gen.train_offline();
+  for (std::size_t e = 0; e < gen.pretrain_stats().size(); ++e) {
+    std::printf("stage1 epoch %zu: cross-entropy=%.4f\n", e + 1,
+                gen.pretrain_stats()[e].mean_loss);
+  }
+
+  const double invalid_before = invalid_rate_of_batch(gen, 4);
+  std::printf("\ninvalid-rate after stage 1 (before cleanup): %.1f%%\n\n",
+              100.0 * invalid_before);
+
+  // Stage 2, instrumented per iteration.
+  corpus::CorpusGenerator corpus(corpus::CorpusConfig{}, 123);
+  core::CleanupConfig cc;
+  cc.iters = 10;
+  cc.ppo = cfg.ppo;
+  cc.sample = cfg.sample;
+  cc.sample.max_new_tokens = cfg.gen_tokens;
+  ml::Gpt ref(cfg.model, 1);
+  ref.copy_params_from(gen.model());
+  Rng rng(99);
+  std::printf("%-6s | %-14s | %-13s | %s\n", "iter", "mean Eq.1 rew",
+              "invalid-rate", "KL(policy||ref)");
+  std::printf("-------+----------------+---------------+----------------\n");
+  const auto stats = core::cleanup_stage(gen.model(), ref, corpus, cc, rng);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    std::printf("%-6zu | %14.2f | %12.1f%% | %.4f\n", i + 1,
+                stats[i].mean_reward, 100.0 * stats[i].invalid_rate,
+                stats[i].mean_kl);
+  }
+
+  const double invalid_after = invalid_rate_of_batch(gen, 4);
+  std::printf("\ninvalid-rate after stage 2: %.1f%%\n", 100.0 * invalid_after);
+  std::printf(
+      "\nshape check vs paper: reward rises / invalid-rate falls across\n"
+      "iterations, and cleanup ends with a mostly-valid language: %s\n",
+      invalid_after < invalid_before && invalid_after < 0.15 ? "PASS"
+                                                             : "CHECK");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Three-stage training walkthrough (paper §III-B): pretrain the LM on the
+// machine-language corpus, clean it up with disassembler-rewarded PPO, then
+// sample a few generations and disassemble them so you can see the model
+// writing RISC-V.
+//
+//   $ ./examples/train_pipeline [pretrain_samples] [epochs] [cleanup_iters]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/chatfuzz.h"
+#include "riscv/disasm.h"
+
+using namespace chatfuzz;
+
+int main(int argc, char** argv) {
+  core::ChatFuzzConfig cfg;
+  cfg.pretrain_samples = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 800;
+  cfg.pretrain.epochs = argc > 2 ? std::atoi(argv[2]) : 3;
+  cfg.cleanup_iters = argc > 3 ? std::atoi(argv[3]) : 6;
+
+  std::printf("model: %d layers, %d heads, d=%d, vocab=%d (%s)\n",
+              cfg.model.n_layer, cfg.model.n_head, cfg.model.n_embd,
+              cfg.model.vocab, "byte-level ISA tokenizer");
+  std::printf("corpus: %zu function-granular samples\n\n", cfg.pretrain_samples);
+
+  core::ChatFuzzGenerator gen(cfg);
+
+  std::printf("--- stage 1: unsupervised pretraining ---\n");
+  std::printf("--- stage 2: disassembler-rewarded PPO cleanup (Eq. 1) ---\n");
+  gen.train_offline();
+  for (std::size_t e = 0; e < gen.pretrain_stats().size(); ++e) {
+    std::printf("stage1 epoch %zu: loss=%.4f (%zu steps)\n", e + 1,
+                gen.pretrain_stats()[e].mean_loss,
+                gen.pretrain_stats()[e].steps);
+  }
+  for (std::size_t i = 0; i < gen.cleanup_stats().size(); ++i) {
+    const auto& s = gen.cleanup_stats()[i];
+    std::printf(
+        "stage2 iter %2zu: mean Eq.1 reward=%7.2f  invalid-rate=%.3f  KL=%.4f\n",
+        i + 1, s.mean_reward, s.invalid_rate, s.mean_kl);
+  }
+
+  std::printf("\n--- the model writes RISC-V (3 sampled test inputs) ---\n");
+  const auto batch = gen.next_batch(3);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const riscv::DisasmAudit audit = riscv::audit(batch[i]);
+    std::printf("\ntest %zu (%zu instructions, %zu invalid):\n", i + 1,
+                audit.total, audit.invalid);
+    std::printf("%s", riscv::disasm_program(batch[i], 0x80000000ull).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "baselines/hypfuzz.h"
+
+#include <string>
+
+namespace chatfuzz::baselines {
+
+std::vector<core::Program> HypFuzzer::next_batch(std::size_t n) {
+  // Directed tests synthesized by the solver go out first (the formal
+  // engine's stimuli are replayed at the head of the next fuzzing round),
+  // then the mutational engine fills the remainder of the batch.
+  std::vector<Program> out;
+  out.reserve(n);
+  while (!directed_queue_.empty() && out.size() < n) {
+    out.push_back(std::move(directed_queue_.front()));
+    directed_queue_.pop_front();
+  }
+  if (out.size() < n) {
+    std::vector<Program> rest = MutationalFuzzer::next_batch(n - out.size());
+    for (Program& p : rest) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void HypFuzzer::feedback(const core::Feedback& fb) {
+  MutationalFuzzer::feedback(fb);
+  if (fb.coverages == nullptr) return;
+
+  std::size_t new_bins = 0;
+  for (const cov::TestCoverage& tc : *fb.coverages) {
+    new_bins += tc.incremental_bins;
+  }
+  if (new_bins > 0) {
+    stagnant_ = 0;
+    return;
+  }
+  if (++stagnant_ >= hyp_.stagnation_batches && fb.db != nullptr) {
+    stagnant_ = 0;
+    escalate(*fb.db);
+  }
+}
+
+void HypFuzzer::escalate(const cov::CoverageDB& db) {
+  ++escalations_;
+  unsigned handed = 0;
+  for (const cov::UncoveredPoint& up : cov::uncovered_points(db)) {
+    if (handed >= hyp_.points_per_escalation) break;
+    if (!attempted_.insert(up.name).second) continue;  // one attempt per point
+    if (solver_.provably_unreachable(up.name)) {
+      ++unreachable_;
+      continue;
+    }
+    ++handed;
+    if (std::optional<Program> prog = solver_.solve(up)) {
+      ++solved_;
+      directed_queue_.push_back(std::move(*prog));
+    }
+  }
+}
+
+}  // namespace chatfuzz::baselines

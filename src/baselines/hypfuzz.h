@@ -1,0 +1,70 @@
+// HyPFuzz-style hybrid fuzzer (Chen et al. [3] in the paper): a
+// coverage-guided mutational fuzzer that, when coverage stagnates, escalates
+// the hardest still-uncovered points to a "formal engine" (our PointSolver)
+// and injects the synthesized directed tests back into the fuzzing corpus.
+// The published tool alternates between a TheHuzz-class fuzzer and
+// JasperGold exactly this way; the scheduler below reproduces the
+// stagnation-triggered switch-over.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "baselines/mutational.h"
+#include "baselines/point_solver.h"
+
+namespace chatfuzz::baselines {
+
+struct HypFuzzConfig {
+  MutationConfig mut;
+  /// Consecutive feedback batches without incremental coverage before the
+  /// formal engine is consulted.
+  unsigned stagnation_batches = 2;
+  /// Uncovered points handed to the solver per escalation.
+  unsigned points_per_escalation = 16;
+  /// Relative per-test cost: the paper treats formal calls as amortized into
+  /// the fuzzing loop; keep 1.0 so comparisons are in tests, like Fig. 2.
+  double time_factor = 1.0;
+};
+
+class HypFuzzer final : public MutationalFuzzer {
+ public:
+  explicit HypFuzzer(std::uint64_t seed, HypFuzzConfig cfg = {},
+                     sim::Platform plat = {})
+      : MutationalFuzzer(cfg.mut, seed), hyp_(cfg), solver_(plat) {}
+
+  std::string name() const override { return "HyPFuzz"; }
+  double time_per_test_factor() const override { return hyp_.time_factor; }
+
+  std::vector<Program> next_batch(std::size_t n) override;
+  void feedback(const core::Feedback& fb) override;
+
+  /// Statistics for benches/tests.
+  std::size_t escalations() const { return escalations_; }
+  std::size_t queued_directed() const { return directed_queue_.size(); }
+  std::size_t solved_points() const { return solved_; }
+  std::size_t unreachable_points() const { return unreachable_; }
+
+ protected:
+  /// Corpus retention uses TheHuzz's code-coverage scoring (HyPFuzz inherits
+  /// TheHuzz's seed/mutation engine, per the paper's related-work section).
+  double score(const cov::TestCoverage& tc, std::uint64_t) const override {
+    return 10.0 * static_cast<double>(tc.incremental_bins) +
+           tc.standalone_percent();
+  }
+
+ private:
+  void escalate(const cov::CoverageDB& db);
+
+  HypFuzzConfig hyp_;
+  PointSolver solver_;
+  std::deque<Program> directed_queue_;
+  std::unordered_set<std::string> attempted_;
+  unsigned stagnant_ = 0;
+  std::size_t escalations_ = 0;
+  std::size_t solved_ = 0;
+  std::size_t unreachable_ = 0;
+};
+
+}  // namespace chatfuzz::baselines

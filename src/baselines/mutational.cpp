@@ -1,0 +1,144 @@
+#include "baselines/mutational.h"
+
+#include <algorithm>
+
+#include "riscv/decode.h"
+#include "riscv/encode.h"
+
+namespace chatfuzz::baselines {
+
+std::vector<Program> MutationalFuzzer::next_batch(std::size_t n) {
+  std::vector<Program> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (corpus_.empty() || rng_.chance(cfg_.p_seed)) {
+      out.push_back(corpus::random_valid_program(rng_, cfg_.seed_instrs));
+    } else {
+      // Score-weighted parent selection.
+      std::vector<double> weights;
+      weights.reserve(corpus_.size());
+      for (const Entry& e : corpus_) weights.push_back(e.score + 1.0);
+      out.push_back(mutate(corpus_[rng_.weighted_pick(weights)].program));
+    }
+  }
+  last_batch_ = out;
+  return out;
+}
+
+Program MutationalFuzzer::mutate(const Program& parent) {
+  Program child = parent;
+  const auto n = static_cast<unsigned>(
+      rng_.range(cfg_.mutations_min, cfg_.mutations_max));
+  for (unsigned i = 0; i < n; ++i) apply_one_mutation(child);
+  if (child.empty()) child.push_back(riscv::enc_i(riscv::Opcode::kAddi, 0, 0, 0));
+  return child;
+}
+
+void MutationalFuzzer::splice_from_corpus(Program& p) {
+  if (corpus_.empty()) return;
+  const Program& donor = corpus_[rng_.below(corpus_.size())].program;
+  if (donor.empty()) return;
+  const std::size_t from = rng_.below(donor.size());
+  const std::size_t len =
+      1 + rng_.below(std::min<std::size_t>(donor.size() - from, 6));
+  const std::size_t at = rng_.below(p.size() + 1);
+  p.insert(p.begin() + static_cast<std::ptrdiff_t>(at), donor.begin() + static_cast<std::ptrdiff_t>(from),
+           donor.begin() + static_cast<std::ptrdiff_t>(from + len));
+  if (p.size() > 48) p.resize(48);  // bound test length
+}
+
+void MutationalFuzzer::apply_one_mutation(Program& p) {
+  if (p.empty()) return;
+  if (rng_.chance(0.2)) {
+    apply_mutation(p, kOpSplice);
+    return;
+  }
+  apply_mutation(p, 1 + static_cast<unsigned>(rng_.below(kNumMutationOps - 1)));
+}
+
+Program MutationalFuzzer::mutate_weighted(
+    const Program& parent, const std::vector<double>& op_weights) {
+  Program child = parent;
+  const auto n = static_cast<unsigned>(
+      rng_.range(cfg_.mutations_min, cfg_.mutations_max));
+  for (unsigned i = 0; i < n; ++i) {
+    apply_mutation(child, static_cast<unsigned>(rng_.weighted_pick(op_weights)));
+  }
+  if (child.empty()) {
+    child.push_back(riscv::enc_i(riscv::Opcode::kAddi, 0, 0, 0));
+  }
+  return child;
+}
+
+void MutationalFuzzer::apply_mutation(Program& p, unsigned op) {
+  if (p.empty()) return;
+  if (op == kOpSplice) {
+    splice_from_corpus(p);
+    return;
+  }
+  const std::size_t at = rng_.below(p.size());
+  switch (op) {
+    case kOpBitFlip: {  // may produce an invalid word, as in real fuzzers
+      p[at] ^= 1u << rng_.below(32);
+      break;
+    }
+    case kOpByteFlip: {
+      p[at] ^= 0xffu << (8 * rng_.below(4));
+      break;
+    }
+    case kOpSwap: {
+      const std::size_t other = rng_.below(p.size());
+      std::swap(p[at], p[other]);
+      break;
+    }
+    case kOpDelete: {
+      if (p.size() > 1) p.erase(p.begin() + static_cast<std::ptrdiff_t>(at));
+      break;
+    }
+    case kOpClone: {  // duplicate an instruction nearby
+      p.insert(p.begin() + static_cast<std::ptrdiff_t>(at), p[at]);
+      break;
+    }
+    default: {  // opcode-preserving operand re-randomization (keeps valid)
+      riscv::Decoded d = riscv::decode(p[at]);
+      if (!d.valid()) {
+        p[at] ^= 1u << rng_.below(32);
+        break;
+      }
+      d.rd = static_cast<std::uint8_t>(rng_.below(32));
+      d.rs1 = static_cast<std::uint8_t>(rng_.below(32));
+      d.rs2 = static_cast<std::uint8_t>(rng_.below(32));
+      switch (riscv::spec(d.op).format) {
+        case riscv::Format::kI: case riscv::Format::kS:
+          d.imm = rng_.range(-2048, 2047);
+          break;
+        case riscv::Format::kIShift64: d.imm = rng_.range(0, 63); break;
+        case riscv::Format::kIShift32: d.imm = rng_.range(0, 31); break;
+        case riscv::Format::kB: d.imm = rng_.range(-512, 511) * 2; break;
+        case riscv::Format::kU: d.imm = rng_.range(-512, 511) << 12; break;
+        case riscv::Format::kJ: d.imm = rng_.range(-1024, 1023) * 2; break;
+        default: break;
+      }
+      p[at] = riscv::encode(d);
+      break;
+    }
+  }
+}
+
+void MutationalFuzzer::feedback(const Feedback& fb) {
+  if (fb.batch == nullptr || fb.coverages == nullptr) return;
+  for (std::size_t i = 0; i < fb.batch->size(); ++i) {
+    const std::uint64_t ctrl =
+        fb.ctrl_new_states != nullptr ? (*fb.ctrl_new_states)[i] : 0;
+    const double s = score((*fb.coverages)[i], ctrl);
+    if (s <= 0.0) continue;
+    corpus_.push_back({(*fb.batch)[i], s});
+  }
+  if (corpus_.size() > cfg_.corpus_cap) {
+    std::sort(corpus_.begin(), corpus_.end(),
+              [](const Entry& x, const Entry& y) { return x.score > y.score; });
+    corpus_.resize(cfg_.corpus_cap);
+  }
+}
+
+}  // namespace chatfuzz::baselines

@@ -1,0 +1,141 @@
+// Baseline fuzzers reimplemented per their published algorithms:
+//
+//  * TheHuzzFuzzer  — coverage-guided mutational fuzzing (Kande et al.,
+//    USENIX Sec'22): random valid-instruction seeds; corpus of
+//    best-scoring inputs by coverage feedback; mutation operators
+//    bit/byte-flip, swap, delete, clone (plus opcode-preserving operand
+//    re-randomization, TheHuzz's "identify valid instructions" property).
+//  * DifuzzRtlFuzzer — same engine but guided by control-register coverage
+//    (Hur et al., S&P'21) and ~3.33x higher per-test cost (paper §I).
+//  * RandomFuzzer   — random regression: fresh random valid programs, no
+//    feedback.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/generator.h"
+#include "corpus/generator.h"
+#include "util/rng.h"
+
+namespace chatfuzz::baselines {
+
+using core::Feedback;
+using core::InputGenerator;
+using core::Program;
+
+struct MutationConfig {
+  unsigned seed_instrs = 20;       // instructions per seed program
+  std::size_t corpus_cap = 64;     // best inputs kept
+  unsigned mutations_min = 1;
+  unsigned mutations_max = 3;
+  double p_seed = 0.25;            // chance of a fresh seed vs. a mutant
+};
+
+/// Shared corpus + mutation engine; subclasses differ only in scoring.
+class MutationalFuzzer : public InputGenerator {
+ public:
+  MutationalFuzzer(MutationConfig cfg, std::uint64_t seed)
+      : cfg_(cfg), rng_(seed) {}
+
+  std::vector<Program> next_batch(std::size_t n) override;
+  void feedback(const Feedback& fb) override;
+
+ protected:
+  /// Score a test from its feedback; higher keeps it in the corpus.
+  virtual double score(const cov::TestCoverage& tc,
+                       std::uint64_t ctrl_new) const = 0;
+
+  Program mutate(const Program& parent);
+
+  /// Mutation operator indices (PSOFuzz schedules over these).
+  enum MutOp : unsigned {
+    kOpSplice = 0,
+    kOpBitFlip,
+    kOpByteFlip,
+    kOpSwap,
+    kOpDelete,
+    kOpClone,
+    kOpOperandRerand,
+    kNumMutationOps,
+  };
+
+  /// Apply one specific operator (shared by the uniform scheduler and
+  /// PSO-weighted schedulers).
+  void apply_mutation(Program& p, unsigned op);
+
+  /// Mutate with per-operator weights instead of the default distribution.
+  Program mutate_weighted(const Program& parent,
+                          const std::vector<double>& op_weights);
+
+  std::size_t corpus_size() const { return corpus_.size(); }
+  const Program& corpus_program(std::size_t i) const {
+    return corpus_[i].program;
+  }
+  double corpus_score(std::size_t i) const { return corpus_[i].score; }
+
+  MutationConfig cfg_;
+  Rng rng_;
+
+ private:
+  void apply_one_mutation(Program& p);
+  /// Cross-input cloning (AFL-style splice): copy a slice from another
+  /// corpus entry — how working idiom blocks (privilege dances, lr/sc
+  /// pairs) propagate through a mutational corpus.
+  void splice_from_corpus(Program& p);
+
+  struct Entry {
+    Program program;
+    double score = 0.0;
+  };
+  std::vector<Entry> corpus_;
+  std::vector<Program> last_batch_;
+};
+
+class TheHuzzFuzzer final : public MutationalFuzzer {
+ public:
+  explicit TheHuzzFuzzer(std::uint64_t seed, MutationConfig cfg = {})
+      : MutationalFuzzer(cfg, seed) {}
+  std::string name() const override { return "TheHuzz"; }
+
+ protected:
+  double score(const cov::TestCoverage& tc, std::uint64_t) const override {
+    // Code-coverage feedback: new points dominate, stand-alone breaks ties.
+    return 10.0 * static_cast<double>(tc.incremental_bins) +
+           tc.standalone_percent();
+  }
+};
+
+class DifuzzRtlFuzzer final : public MutationalFuzzer {
+ public:
+  explicit DifuzzRtlFuzzer(std::uint64_t seed, MutationConfig cfg = {})
+      : MutationalFuzzer(cfg, seed) {}
+  std::string name() const override { return "DifuzzRTL"; }
+  double time_per_test_factor() const override { return 3.33; }
+
+ protected:
+  double score(const cov::TestCoverage&, std::uint64_t ctrl_new) const override {
+    return static_cast<double>(ctrl_new);  // control-register coverage only
+  }
+};
+
+class RandomFuzzer final : public InputGenerator {
+ public:
+  explicit RandomFuzzer(std::uint64_t seed, unsigned instrs = 20)
+      : rng_(seed), instrs_(instrs) {}
+  std::string name() const override { return "Random"; }
+  std::vector<Program> next_batch(std::size_t n) override {
+    std::vector<Program> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(corpus::random_valid_program(rng_, instrs_));
+    }
+    return out;
+  }
+
+ private:
+  Rng rng_;
+  unsigned instrs_;
+};
+
+}  // namespace chatfuzz::baselines

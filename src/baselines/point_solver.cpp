@@ -1,0 +1,601 @@
+#include "baselines/point_solver.h"
+
+#include <charconv>
+#include <string>
+
+#include "riscv/builder.h"
+#include "riscv/csr.h"
+#include "riscv/encode.h"
+#include "riscv/instr.h"
+
+namespace chatfuzz::baselines {
+namespace {
+
+using core::Program;
+using riscv::Opcode;
+using riscv::ProgramBuilder;
+
+// Register conventions (see sim::initial_regs): even registers hold aligned
+// data-region pointers, odd registers hold small integers. The templates use
+// x5..x7 as scratch, x10/x14 as pointers, x11/x13 as integer operands.
+constexpr unsigned kT0 = 5, kT1 = 6, kT2 = 7;
+constexpr unsigned kPtr = 10, kPtr2 = 14;
+constexpr unsigned kInt = 11, kInt2 = 13;
+constexpr unsigned kDst = 12;
+
+/// Drop from M-mode to U or S: clear/set mstatus.MPP, point mepc just past
+/// the mret, and return. The magic trap handler brings the hart back to
+/// M-mode on the first exception, so templates may trap freely afterwards.
+void drop_priv(ProgramBuilder& b, bool to_supervisor) {
+  b.li(kT0, 3);
+  b.raw(riscv::enc_shift(Opcode::kSlli, kT0, kT0, 11));
+  b.raw(riscv::enc_csr(Opcode::kCsrrc, 0, riscv::csr::kMstatus, kT0));
+  if (to_supervisor) {
+    b.li(kT1, 1);
+    b.raw(riscv::enc_shift(Opcode::kSlli, kT1, kT1, 11));
+    b.raw(riscv::enc_csr(Opcode::kCsrrs, 0, riscv::csr::kMstatus, kT1));
+  }
+  b.auipc(kT2, 0);
+  b.addi(kT2, kT2, 16);
+  b.raw(riscv::enc_csr(Opcode::kCsrrw, 0, riscv::csr::kMepc, kT2));
+  b.raw(riscv::enc_sys(Opcode::kMret));
+}
+
+/// One representative instruction of `op` with operands that execute
+/// sensibly from the deterministic reset register file.
+void emit_opcode(ProgramBuilder& b, Opcode op) {
+  const riscv::InstrSpec& s = riscv::spec(op);
+  switch (s.format) {
+    case riscv::Format::kR:
+      b.raw(riscv::enc_r(op, kDst, kInt, kInt2));
+      break;
+    case riscv::Format::kI:
+      if (op == Opcode::kJalr) {
+        b.auipc(kT2, 0);
+        b.raw(riscv::enc_i(op, 0, kT2, 8));  // lands right after the jalr
+      } else if (s.match == 0x3u || (s.match & 0x7fu) == 0x03u) {  // loads
+        b.raw(riscv::enc_i(op, kDst, kPtr, 0));
+      } else {
+        b.raw(riscv::enc_i(op, kDst, kInt, 5));
+      }
+      break;
+    case riscv::Format::kIShift64:
+      b.raw(riscv::enc_shift(op, kDst, kInt, 7));
+      break;
+    case riscv::Format::kIShift32:
+      b.raw(riscv::enc_shift(op, kDst, kInt, 3));
+      break;
+    case riscv::Format::kS:
+      b.raw(riscv::enc_s(op, kPtr, kInt, 0));
+      break;
+    case riscv::Format::kB:
+      b.raw(riscv::enc_b(op, kInt, kInt2, 4));  // either outcome falls through
+      break;
+    case riscv::Format::kU:
+      b.raw(riscv::enc_u(op, kDst, 1));
+      break;
+    case riscv::Format::kJ:
+      b.raw(riscv::enc_j(op, 1, 4));
+      break;
+    case riscv::Format::kFence:
+    case riscv::Format::kSystem:
+      b.raw(riscv::enc_sys(op));
+      break;
+    case riscv::Format::kCsr:
+      // The user-readable cycle counter: legal from U/S (mcounteren resets
+      // to all-ones in this testbench), and csrrs/c with rs1=x0 never write.
+      b.raw(riscv::enc_csr(op, kDst, riscv::csr::kCycle, 0));
+      break;
+    case riscv::Format::kCsrImm:
+      b.raw(riscv::enc_csr(op, kDst, riscv::csr::kCycle, 0));
+      break;
+    case riscv::Format::kAmo:
+      b.raw(riscv::enc_amo(op, kDst, kPtr, kInt, false, false));
+      break;
+    case riscv::Format::kLoadRes:
+      b.raw(riscv::enc_amo(op, kDst, kPtr, 0, false, false));
+      break;
+  }
+}
+
+Opcode opcode_by_mnemonic(std::string_view mnem) {
+  for (std::size_t i = 0; i < riscv::kNumOpcodes; ++i) {
+    if (riscv::all_specs()[i].mnemonic == mnem) {
+      return static_cast<Opcode>(i);
+    }
+  }
+  return Opcode::kInvalid;
+}
+
+/// Class representative used by the cross.<priv>.<class> templates.
+void emit_class(ProgramBuilder& b, std::string_view cls) {
+  if (cls == "load") {
+    b.ld(kDst, kPtr, 0);
+  } else if (cls == "store") {
+    b.sd(kPtr, kInt, 0);
+  } else if (cls == "amo") {
+    b.raw(riscv::enc_amo(Opcode::kAmoAddD, kDst, kPtr, kInt, false, false));
+  } else if (cls == "lrsc") {
+    b.raw(riscv::enc_amo(Opcode::kLrD, kDst, kPtr, 0, false, false));
+    b.raw(riscv::enc_amo(Opcode::kScD, kDst, kPtr, kInt, false, false));
+  } else if (cls == "csr") {
+    b.raw(riscv::enc_csr(Opcode::kCsrrs, kDst, riscv::csr::kCycle, 0));
+  } else if (cls == "muldiv") {
+    b.mul(kDst, kInt, kInt2);
+  } else if (cls == "fencei") {
+    b.fence_i();
+  } else if (cls == "branch") {
+    b.raw(riscv::enc_b(Opcode::kBeq, kInt, kInt, 4));
+  }
+}
+
+/// Trigger one synchronous exception cause. The magic handler resumes
+/// execution in M-mode just past the faulting instruction.
+void emit_cause(ProgramBuilder& b, std::string_view cause) {
+  if (cause == "illegal") {
+    b.raw(0xffffffffu);
+  } else if (cause == "breakpoint") {
+    b.ebreak();
+  } else if (cause == "load_misaligned") {
+    b.ld(kDst, kPtr, 1);
+  } else if (cause == "load_fault") {
+    b.li(kT0, 256);  // below the RAM window
+    b.ld(kDst, kT0, 0);
+  } else if (cause == "store_misaligned") {
+    b.sd(kPtr, kInt, 1);
+  } else if (cause == "store_fault") {
+    b.li(kT0, 256);
+    b.sd(kT0, kInt, 0);
+  } else {  // ecall
+    b.ecall();
+  }
+}
+
+/// Straight-line fetch footprint of at least ways+1 lines per I$ set,
+/// executed twice via a counted backward loop: every set receives more
+/// distinct tags than it has ways, covering fetch-side eviction points for
+/// *all* sets. Sized for the RocketCore-class I$ (8 sets x 2 ways x 32 B:
+/// 24 lines = 192 instructions needed; 240 gives margin).
+Program icache_evict_program() {
+  ProgramBuilder b;
+  b.li(kT0, 2);
+  b.label("pass");
+  for (int i = 0; i < 240; ++i) b.addi(0, 0, 0);
+  b.addi(kT0, kT0, -1);
+  b.branch_to(Opcode::kBne, kT0, 0, "pass");
+  return b.seal();
+}
+
+/// Touch ways+1 distinct tags in every D$ set (RocketCore-class geometry:
+/// 16 sets x 2 ways x 32 B lines, so the conflict stride is 512 B). The
+/// first sweep stores (filling dirty lines), the next two load at +1 and +2
+/// tags: every set then evicts both a valid and a dirty line.
+Program dcache_evict_program() {
+  constexpr unsigned kSets = 16, kLine = 32;
+  constexpr unsigned kStride = kSets * kLine;
+  ProgramBuilder b;
+  b.auipc(kT1, 0x80);                  // anchor inside the data region
+  b.raw(riscv::enc_i(Opcode::kAndi, kT1, kT1,
+                     -static_cast<std::int32_t>(kStride)));  // stride-align
+  for (unsigned s = 0; s < kSets; ++s) {
+    b.sd(kT1, kInt, static_cast<std::int32_t>(s * kLine));
+  }
+  for (unsigned w = 1; w <= 2; ++w) {
+    for (unsigned s = 0; s < kSets; ++s) {
+      b.ld(kDst, kT1, static_cast<std::int32_t>(w * kStride + s * kLine));
+    }
+  }
+  return b.seal();
+}
+
+/// Two consecutive backward-taken branches (also two consecutive
+/// first-seen-taken mispredictions). See the label layout in the comments.
+Program backward_pair_program() {
+  ProgramBuilder b;
+  b.addi(kT0, 0, 1);
+  b.jal_to(0, "X");
+  b.label("Z");
+  b.addi(kT0, kT0, -1);
+  b.addi(0, 0, 0);
+  b.label("Y");
+  b.branch_to(Opcode::kBne, kT0, 0, "Z");  // backward, taken on first pass
+  b.jal_to(0, "exit");
+  b.label("X");
+  b.branch_to(Opcode::kBeq, 0, 0, "Y");  // backward, always taken
+  b.addi(0, 0, 0);
+  b.label("exit");
+  b.addi(0, 0, 0);
+  return b.seal();
+}
+
+/// Set satp non-zero (with ASID bits) and run translated loads/stores from
+/// supervisor mode; covers the bare-translation TLB unit's reachable bins.
+Program tlb_program(const sim::Platform& plat) {
+  ProgramBuilder b(plat.ram_base);
+  b.li(kT0, 1);
+  b.raw(riscv::enc_shift(Opcode::kSlli, kT0, kT0, 44));  // ASID != 0
+  b.addi(kT0, kT0, 1);
+  b.raw(riscv::enc_csr(Opcode::kCsrrw, 0, riscv::csr::kSatp, kT0));
+  drop_priv(b, /*to_supervisor=*/true);
+  // Anchor a pointer into the data region at a known address so the
+  // vpn-index bits (addr >> 12) are controlled exactly.
+  const std::uint64_t anchor_pc = b.pc();
+  b.auipc(kT1, 0x80);  // anchor_pc + 0x80000: inside the data region
+  const std::uint64_t base = anchor_pc + 0x80000;
+  // Round to a page boundary => (addr >> 12) & 3 spans 0..3 by adding pages.
+  const auto to_page = static_cast<std::int32_t>(0x1000 - (base & 0xfff));
+  b.addi(kT1, kT1, to_page);
+  b.ld(kDst, kT1, 0);        // (addr>>12)&3 == 0: refill walk
+  b.ld(kDst, kT1, 8);        // same page
+  b.sd(kT1, kInt, 16);       // store permission check
+  // +1 page: vpn "hit" bin.
+  b.addi(kT1, kT1, 2047);
+  b.addi(kT1, kT1, 2047);
+  b.addi(kT1, kT1, 2);
+  b.ld(kDst, kT1, 0);
+  b.sd(kT1, kInt, 0);
+  return b.seal();
+}
+
+/// Page-table-walker fault bin: a byte access whose address ends in 0xfff.
+Program ptw_fault_program(const sim::Platform& plat) {
+  ProgramBuilder b(plat.ram_base);
+  b.li(kT0, 1);
+  b.raw(riscv::enc_csr(Opcode::kCsrrw, 0, riscv::csr::kSatp, kT0));
+  const std::uint64_t anchor_pc = b.pc();
+  b.auipc(kT1, 0x80);
+  const std::uint64_t base = anchor_pc + 0x80000;
+  const auto to_page = static_cast<std::int32_t>(0x1000 - (base & 0xfff));
+  b.addi(kT1, kT1, to_page);  // page-aligned
+  b.addi(kT1, kT1, 2047);
+  b.addi(kT1, kT1, 2047);
+  b.addi(kT1, kT1, 1);  // +0xfff
+  b.raw(riscv::enc_i(Opcode::kLb, kDst, kT1, 0));
+  return b.seal();
+}
+
+std::optional<Program> solve_seq(std::string_view which) {
+  ProgramBuilder b;
+  if (which == "div_after_div") {
+    b.div(kDst, kInt, kInt2).div(kDst, kInt2, kInt);
+  } else if (which == "muldiv_chain") {
+    b.mul(kDst, kInt, kInt2).mul(kDst, kDst, kInt);
+  } else if (which == "branch_after_taken_branch") {
+    b.raw(riscv::enc_b(Opcode::kBeq, 0, 0, 4));
+    b.raw(riscv::enc_b(Opcode::kBeq, 0, 0, 4));
+  } else if (which == "amo_after_amo") {
+    b.raw(riscv::enc_amo(Opcode::kAmoAddD, kDst, kPtr, kInt, false, false));
+    b.raw(riscv::enc_amo(Opcode::kAmoOrD, kDst, kPtr, kInt2, false, false));
+  } else if (which == "store_to_load_forward") {
+    b.sd(kPtr, kInt, 0).ld(kDst, kPtr, 0);
+  } else if (which == "double_mispredict" || which == "backward_branch_pair") {
+    return backward_pair_program();
+  } else if (which == "double_trap") {
+    b.ebreak().ebreak();
+  } else if (which == "fencei_after_store") {
+    b.sd(kPtr, kInt, 0).fence_i();
+  } else if (which == "trap_after_csr_write") {
+    b.csrrw(0, riscv::csr::kMscratch, kInt).ebreak();
+  } else if (which == "load_after_amo") {
+    b.raw(riscv::enc_amo(Opcode::kAmoAddD, kDst, kPtr, kInt, false, false));
+    b.ld(kDst, kPtr, 0);
+  } else if (which == "jump_after_trap") {
+    b.ebreak().jal(0, 4);
+  } else {
+    return std::nullopt;
+  }
+  return b.seal();
+}
+
+std::optional<Program> solve_cache(std::string_view which, bool super) {
+  ProgramBuilder b;
+  if (which == "double_dcache_miss") {
+    b.ld(kDst, kPtr, 0).ld(kDst, kPtr, 1024);
+  } else if (which == "ic_dc_miss_same_instr") {
+    b.fence_i().ld(kDst, kPtr, 0);
+  } else if (which == "icache_miss_and_mispredict") {
+    b.fence_i();
+    b.raw(riscv::enc_b(Opcode::kBeq, 0, 0, 8));
+    b.addi(0, 0, 0);
+  } else if (which == "dcache_hit_dirty") {
+    b.sd(kPtr, kInt, 0).ld(kDst, kPtr, 0);
+  } else if (which == "amo_dcache_miss") {
+    b.raw(riscv::enc_amo(Opcode::kAmoAddD, kDst, kPtr, kInt, false, false));
+  } else if (which == "lrsc_dcache_miss") {
+    b.raw(riscv::enc_amo(Opcode::kLrD, kDst, kPtr, 0, false, false));
+  } else if (which == "store_clobbers_reservation") {
+    b.raw(riscv::enc_amo(Opcode::kLrD, kDst, kPtr, 0, false, false));
+    b.sd(kPtr, kInt, 0);
+    b.raw(riscv::enc_amo(Opcode::kScD, kDst, kPtr, kInt, false, false));
+  } else if (which == "mem_fault_in_user") {
+    drop_priv(b, false);
+    b.li(kT0, 256);
+    b.ld(kDst, kT0, 0);
+  } else if (which == "misaligned_store_trap") {
+    b.sd(kPtr, kInt, 1);
+  } else if (which == "sc_success_in_super" || super) {
+    drop_priv(b, true);
+    b.raw(riscv::enc_amo(Opcode::kLrD, kDst, kPtr, 0, false, false));
+    b.raw(riscv::enc_amo(Opcode::kScD, kDst, kPtr, kInt, false, false));
+  } else {
+    return std::nullopt;
+  }
+  return b.seal();
+}
+
+std::optional<Program> solve_muldiv(std::string_view which) {
+  ProgramBuilder b;
+  if (which == "div0_word") {
+    b.li(kT0, 0);
+    b.raw(riscv::enc_r(Opcode::kDivw, kDst, kInt, kT0));
+  } else if (which == "overflow_rem") {
+    b.li(kT0, 1);
+    b.raw(riscv::enc_shift(Opcode::kSlli, kT0, kT0, 63));  // INT64_MIN
+    b.li(kT1, -1);
+    b.raw(riscv::enc_r(Opcode::kRem, kDst, kT0, kT1));
+  } else if (which == "high_sign_mix") {
+    b.li(kT0, -7);
+    b.raw(riscv::enc_r(Opcode::kMulh, kDst, kT0, kInt));
+  } else if (which == "div_equal_operands") {
+    b.div(kDst, kInt, kInt);
+  } else if (which == "mul_result_zero") {
+    b.mul(kDst, kInt, 0);
+  } else if (which == "div_after_load") {
+    b.ld(kT0, kPtr, 0);
+    b.div(kDst, kT0, kInt);
+  } else {
+    return std::nullopt;
+  }
+  return b.seal();
+}
+
+}  // namespace
+
+bool PointSolver::unreachable(std::string_view name) {
+  return name.starts_with("irq.") || name.starts_with("debug.") ||
+         name.starts_with("ecc.") || name.starts_with("pmp.") ||
+         name == "tlb.superpage" || name == "counter.overflow" ||
+         // Fetch outside the RAM window is a testbench stop condition, not
+         // an instruction access fault, and cause 10 is reserved: neither
+         // per-cause point can fire.
+         name == "trap.cause1" || name == "trap.cause10";
+}
+
+/// Arm both CLINT sources with interrupts enabled: msip fires immediately,
+/// the timer a few instructions later. Covers irq.pending1 and irq.pending3.
+Program irq_program(const sim::Platform& plat) {
+  auto li_addr = [](ProgramBuilder& b, unsigned rd, std::uint64_t addr) {
+    const auto value = static_cast<std::int32_t>(addr);
+    const std::int32_t hi = (value + 0x800) >> 12;
+    b.raw(riscv::enc_u(Opcode::kLui, rd, hi));
+    b.addi(rd, rd, value - (hi << 12));
+  };
+  ProgramBuilder b(plat.ram_base);
+  b.li(kT2, (1 << 7) | (1 << 3));  // MTIE | MSIE
+  b.raw(riscv::enc_csr(Opcode::kCsrrs, 0, riscv::csr::kMie, kT2));
+  b.li(kT2, 1 << 3);               // mstatus.MIE
+  b.raw(riscv::enc_csr(Opcode::kCsrrs, 0, riscv::csr::kMstatus, kT2));
+  li_addr(b, kT0, plat.clint_base + sim::ClintState::kMtimecmpOff);
+  b.li(kT1, 24);
+  b.sd(kT0, kT1, 0);
+  li_addr(b, kT0, plat.clint_base + sim::ClintState::kMsipOff);
+  b.li(kT1, 1);
+  b.sw(kT0, kT1, 0);
+  for (int i = 0; i < 20; ++i) b.addi(0, 0, 0);
+  return b.seal();
+}
+
+std::optional<core::Program> PointSolver::solve(
+    const cov::UncoveredPoint& point) const {
+  const std::string_view name = point.name;
+  if (name.starts_with("irq.")) {
+    return provably_unreachable(name)
+               ? std::nullopt
+               : std::optional<core::Program>(irq_program(plat_));
+  }
+  if (unreachable(name)) return std::nullopt;
+
+  // cross.<priv>.op.<mnemonic> — privilege-gated decode chains.
+  if (name.starts_with("cross.")) {
+    const bool super = name.starts_with("cross.super.");
+    std::string_view rest = name.substr(super ? 12 : 11);
+    ProgramBuilder b(plat_.ram_base);
+    drop_priv(b, super);
+    if (rest.starts_with("op.")) {
+      const Opcode op = opcode_by_mnemonic(rest.substr(3));
+      if (op == Opcode::kInvalid) return std::nullopt;
+      emit_opcode(b, op);
+    } else {
+      emit_class(b, rest);
+    }
+    b.addi(0, 0, 0);
+    return b.seal();
+  }
+
+  // trap.cross.<cause>.<priv>
+  if (name.starts_with("trap.cross.")) {
+    std::string_view rest = name.substr(11);
+    const auto dot = rest.rfind('.');
+    if (dot == std::string_view::npos) return std::nullopt;
+    const bool super = rest.substr(dot + 1) == "super";
+    ProgramBuilder b(plat_.ram_base);
+    drop_priv(b, super);
+    emit_cause(b, rest.substr(0, dot));
+    b.addi(0, 0, 0);
+    return b.seal();
+  }
+  if (name.starts_with("trap.cause")) {  // plain per-cause points
+    unsigned cause = 0;
+    std::from_chars(name.data() + 10, name.data() + name.size(), cause);
+    ProgramBuilder b(plat_.ram_base);
+    switch (cause) {
+      case 0:  // instruction address misaligned: jal to pc+2
+        b.raw(riscv::enc_j(Opcode::kJal, 0, 2));
+        break;
+      case 2: emit_cause(b, "illegal"); break;
+      case 3: emit_cause(b, "breakpoint"); break;
+      case 4: emit_cause(b, "load_misaligned"); break;
+      case 5: emit_cause(b, "load_fault"); break;
+      case 6: emit_cause(b, "store_misaligned"); break;
+      case 7: emit_cause(b, "store_fault"); break;
+      case 8:  // ecall from U
+        drop_priv(b, false);
+        b.ecall();
+        break;
+      case 9:  // ecall from S
+        drop_priv(b, true);
+        b.ecall();
+        break;
+      case 11: b.ecall(); break;  // ecall from M
+      default: return std::nullopt;
+    }
+    b.addi(0, 0, 0);
+    return b.seal();
+  }
+
+  // csr.write.0x<addr>
+  if (name.starts_with("csr.write.0x")) {
+    unsigned addr = 0;
+    const auto* first = name.data() + 12;
+    std::from_chars(first, name.data() + name.size(), addr, 16);
+    ProgramBuilder b(plat_.ram_base);
+    b.li(kT0, 0x15);
+    b.csrrw(0, static_cast<std::uint16_t>(addr), kT0);
+    return b.seal();
+  }
+
+  if (name.starts_with("tlb.")) return tlb_program(plat_);
+  if (name == "ptw.fault" || name.starts_with("ptw.")) {
+    return ptw_fault_program(plat_);
+  }
+  if (name.starts_with("seq.")) return solve_seq(name.substr(4));
+  if (name.starts_with("cache.")) {
+    return solve_cache(name.substr(6), false);
+  }
+  if (name.starts_with("muldiv.")) return solve_muldiv(name.substr(7));
+  if (name.starts_with("fetch.icache.")) return icache_evict_program();
+  if (name.starts_with("mem.dcache.")) return dcache_evict_program();
+
+  // Per-opcode decode select chain: emit that opcode in M-mode.
+  if (name.starts_with("decode.sel.")) {
+    const Opcode op = opcode_by_mnemonic(name.substr(11));
+    if (op == Opcode::kInvalid) return std::nullopt;
+    ProgramBuilder b(plat_.ram_base);
+    emit_opcode(b, op);
+    b.addi(0, 0, 0);
+    return b.seal();
+  }
+
+  // Decode class signals.
+  if (name.starts_with("decode.is_")) {
+    const std::string_view cls = name.substr(10);
+    ProgramBuilder b(plat_.ram_base);
+    if (cls == "jal") {
+      b.jal(1, 4);
+    } else if (cls == "jalr") {
+      b.auipc(kT2, 0);
+      b.raw(riscv::enc_i(Opcode::kJalr, 0, kT2, 8));
+    } else if (cls == "alu_reg") {
+      b.add(kDst, kInt, kInt2);
+    } else if (cls == "alu_imm") {
+      b.addi(kDst, kInt, 5);
+    } else if (cls == "w_form") {
+      b.raw(riscv::enc_r(Opcode::kAddw, kDst, kInt, kInt2));
+    } else if (cls == "amo") {
+      b.raw(riscv::enc_amo(Opcode::kAmoAddD, kDst, kPtr, kInt, false, false));
+    } else if (cls == "lr") {
+      b.raw(riscv::enc_amo(Opcode::kLrD, kDst, kPtr, 0, false, false));
+    } else if (cls == "sc") {
+      b.raw(riscv::enc_amo(Opcode::kLrD, kDst, kPtr, 0, false, false));
+      b.raw(riscv::enc_amo(Opcode::kScD, kDst, kPtr, kInt, false, false));
+    } else if (cls == "system") {
+      b.ecall();
+    } else if (cls == "load") {
+      b.ld(kDst, kPtr, 0);
+    } else if (cls == "store") {
+      b.sd(kPtr, kInt, 0);
+    } else if (cls == "branch") {
+      b.raw(riscv::enc_b(Opcode::kBeq, 0, 0, 4));
+    } else if (cls == "muldiv") {
+      b.mul(kDst, kInt, kInt2);
+    } else if (cls == "div") {
+      b.div(kDst, kInt, kInt2);
+    } else if (cls == "csr") {
+      b.csrrw(kDst, riscv::csr::kMscratch, kInt);
+    } else if (cls == "fence") {
+      b.fence();
+    } else {
+      return std::nullopt;
+    }
+    b.addi(0, 0, 0);
+    return b.seal();
+  }
+
+  // Execute-stage operand/result conditions.
+  if (name.starts_with("exec.")) {
+    const std::string_view which = name.substr(5);
+    ProgramBuilder b(plat_.ram_base);
+    if (which == "result_negative") {
+      b.addi(kDst, 0, -5);
+    } else if (which == "rs1_eq_rs2") {
+      b.add(kDst, kInt, kInt);
+    } else if (which == "shamt_zero") {
+      b.raw(riscv::enc_shift(Opcode::kSlli, kDst, kInt, 0));
+    } else if (which == "target_misaligned") {
+      b.raw(riscv::enc_j(Opcode::kJal, 0, 2));
+    } else if (which == "result_zero") {
+      b.add(kDst, 0, 0);
+    } else if (which == "branch_taken") {
+      b.raw(riscv::enc_b(Opcode::kBeq, 0, 0, 4));
+    } else if (which == "branch_backward") {
+      return backward_pair_program();
+    } else if (which.starts_with("bypass") || which == "load_use") {
+      b.ld(kT0, kPtr, 0);
+      b.add(kDst, kT0, kT0);
+      b.add(kDst, kDst, kT0);
+    } else {
+      return std::nullopt;
+    }
+    b.addi(0, 0, 0);
+    return b.seal();
+  }
+
+  // Memory-unit conditions not covered by the cache templates.
+  if (name.starts_with("mem.")) {
+    const std::string_view which = name.substr(4);
+    ProgramBuilder b(plat_.ram_base);
+    if (which == "misaligned") {
+      b.ld(kDst, kPtr, 1);
+    } else if (which == "access_fault") {
+      b.li(kT0, 256);
+      b.ld(kDst, kT0, 0);
+    } else if (which == "sc_success" || which == "reservation_valid") {
+      b.raw(riscv::enc_amo(Opcode::kLrD, kDst, kPtr, 0, false, false));
+      b.raw(riscv::enc_amo(Opcode::kScD, kDst, kPtr, kInt, false, false));
+    } else if (which == "amo_minmax") {
+      b.raw(riscv::enc_amo(Opcode::kAmoMinD, kDst, kPtr, kInt, false, false));
+    } else if (which == "amo_logic") {
+      b.raw(riscv::enc_amo(Opcode::kAmoAndD, kDst, kPtr, kInt, false, false));
+    } else if (which == "store" || which == "size8") {
+      b.sd(kPtr, kInt, 0);
+    } else {
+      return std::nullopt;
+    }
+    b.addi(0, 0, 0);
+    return b.seal();
+  }
+
+  // Shallow per-unit points (decode.*, ex.*, mem.*, csr.*): any structured
+  // corpus function exercises them; hand back a small representative mix.
+  ProgramBuilder b(plat_.ram_base);
+  b.ld(kDst, kPtr, 0);
+  b.sd(kPtr, kDst, 8);
+  b.mul(kDst, kInt, kInt2);
+  b.div(kDst, kInt, kInt2);
+  b.raw(riscv::enc_b(Opcode::kBne, kInt, kInt2, 4));
+  b.csrrw(kDst, riscv::csr::kMscratch, kInt);
+  b.fence_i();
+  return b.seal();
+}
+
+}  // namespace chatfuzz::baselines

@@ -1,0 +1,52 @@
+// PointSolver: the "formal engine" role of a HyPFuzz-style hybrid fuzzer
+// (Chen et al. [3] in the paper). The real HyPFuzz hands an uncovered
+// coverage point to a commercial formal tool (JasperGold), which — armed
+// with full knowledge of the netlist — synthesizes a stimulus reaching that
+// point. Offline we substitute a deterministic template solver that parses
+// the structured point names our DUT model registers (cross.<priv>.op.<mnem>,
+// trap.cross.<cause>.<priv>, csr.write.0x<addr>, cache.*, seq.*, tlb.*, ...)
+// and emits a directed program triggering the point. Like the formal tool it
+// replaces, it also classifies some points as unreachable (interrupt / debug
+// / ECC / PMP tails that have no architectural trigger in this testbench).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "core/generator.h"
+#include "coverage/merge.h"
+#include "isasim/platform.h"
+
+namespace chatfuzz::baselines {
+
+class PointSolver {
+ public:
+  explicit PointSolver(sim::Platform plat = {}) : plat_(plat) {}
+
+  /// Synthesize a program whose execution covers `point` (primarily its
+  /// missing true-bin; templates hit the false bin as a side effect for
+  /// gated points). Returns nullopt when the point is outside the solver's
+  /// template vocabulary or provably unreachable — the formal tool's
+  /// "property unreachable / timeout" verdicts.
+  std::optional<core::Program> solve(const cov::UncoveredPoint& point) const;
+
+  /// True when the solver classifies the point as architecturally
+  /// unreachable in this testbench (interrupt/debug/ECC/PMP tails).
+  static bool unreachable(std::string_view name);
+
+  /// Platform-aware classification: with CLINT stimulus enabled the M-mode
+  /// software/timer pending lines (irq.pending1 / irq.pending3) become
+  /// solvable; everything else follows unreachable().
+  bool provably_unreachable(std::string_view name) const {
+    if (plat_.clint_enabled &&
+        (name == "irq.pending1" || name == "irq.pending3")) {
+      return false;
+    }
+    return unreachable(name);
+  }
+
+ private:
+  sim::Platform plat_;
+};
+
+}  // namespace chatfuzz::baselines

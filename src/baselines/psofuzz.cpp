@@ -1,0 +1,109 @@
+#include "baselines/psofuzz.h"
+
+#include <algorithm>
+
+namespace chatfuzz::baselines {
+
+namespace {
+constexpr double kSeedProbMin = 0.05;
+constexpr double kSeedProbMax = 0.9;
+}  // namespace
+
+PsoFuzzer::PsoFuzzer(std::uint64_t seed, PsoConfig cfg)
+    : MutationalFuzzer(cfg.mut, seed), pso_(cfg) {
+  // Dimensions: one weight per mutation operator plus the seed probability.
+  const std::size_t dims = kNumMutationOps + 1;
+  particles_.resize(std::max(1u, pso_.num_particles));
+  for (Particle& p : particles_) {
+    p.pos.resize(dims);
+    p.vel.assign(dims, 0.0);
+    for (std::size_t d = 0; d < kNumMutationOps; ++d) {
+      p.pos[d] = pso_.weight_min +
+                 rng_.uniform() * (pso_.weight_max - pso_.weight_min);
+    }
+    p.pos[kNumMutationOps] =
+        kSeedProbMin + rng_.uniform() * (kSeedProbMax - kSeedProbMin);
+    p.best_pos = p.pos;
+  }
+  gbest_pos_ = particles_.front().pos;
+}
+
+std::vector<core::Program> PsoFuzzer::next_batch(std::size_t n) {
+  std::vector<Program> out;
+  out.reserve(n);
+  assignment_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t pi = i % particles_.size();
+    Particle& part = particles_[pi];
+    assignment_.push_back(pi);
+    const double p_seed = part.pos[kNumMutationOps];
+    if (corpus_size() == 0 || rng_.chance(p_seed)) {
+      out.push_back(corpus::random_valid_program(rng_, cfg_.seed_instrs));
+      continue;
+    }
+    std::vector<double> parent_weights;
+    parent_weights.reserve(corpus_size());
+    for (std::size_t c = 0; c < corpus_size(); ++c) {
+      parent_weights.push_back(corpus_score(c) + 1.0);
+    }
+    const Program& parent =
+        corpus_program(rng_.weighted_pick(parent_weights));
+    const std::vector<double> op_weights(
+        part.pos.begin(), part.pos.begin() + kNumMutationOps);
+    out.push_back(mutate_weighted(parent, op_weights));
+  }
+  return out;
+}
+
+void PsoFuzzer::feedback(const core::Feedback& fb) {
+  MutationalFuzzer::feedback(fb);  // corpus retention, as in TheHuzz
+  if (fb.coverages == nullptr ||
+      assignment_.size() != fb.coverages->size()) {
+    return;
+  }
+  for (Particle& p : particles_) {
+    p.batch_fitness = 0.0;
+    p.batch_tests = 0;
+  }
+  for (std::size_t i = 0; i < assignment_.size(); ++i) {
+    Particle& p = particles_[assignment_[i]];
+    p.batch_fitness += static_cast<double>((*fb.coverages)[i].incremental_bins);
+    ++p.batch_tests;
+  }
+  update_swarm();
+}
+
+void PsoFuzzer::update_swarm() {
+  ++updates_;
+  // Personal / global best refresh on per-test-normalized fitness.
+  for (Particle& p : particles_) {
+    if (p.batch_tests == 0) continue;
+    const double fitness = p.batch_fitness / p.batch_tests;
+    if (fitness > p.best_fitness) {
+      p.best_fitness = fitness;
+      p.best_pos = p.pos;
+    }
+    if (fitness > gbest_fitness_) {
+      gbest_fitness_ = fitness;
+      gbest_pos_ = p.pos;
+    }
+  }
+  // Velocity and position update.
+  for (Particle& p : particles_) {
+    for (std::size_t d = 0; d < p.pos.size(); ++d) {
+      const double r1 = rng_.uniform();
+      const double r2 = rng_.uniform();
+      p.vel[d] = pso_.inertia * p.vel[d] +
+                 pso_.cognitive * r1 * (p.best_pos[d] - p.pos[d]) +
+                 pso_.social * r2 * (gbest_pos_[d] - p.pos[d]);
+      p.pos[d] += p.vel[d];
+    }
+    for (std::size_t d = 0; d < kNumMutationOps; ++d) {
+      p.pos[d] = std::clamp(p.pos[d], pso_.weight_min, pso_.weight_max);
+    }
+    p.pos[kNumMutationOps] =
+        std::clamp(p.pos[kNumMutationOps], kSeedProbMin, kSeedProbMax);
+  }
+}
+
+}  // namespace chatfuzz::baselines

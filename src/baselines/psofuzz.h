@@ -1,0 +1,70 @@
+// PSOFuzz-style fuzzer (Chen et al. [4] in the paper): particle swarm
+// optimization over the mutation scheduler of a TheHuzz-class fuzzer. Each
+// particle is a point in mutation-strategy space — per-operator selection
+// weights plus the fresh-seed probability. Particles take turns steering
+// test generation; their fitness is the incremental coverage their tests
+// earn, and the swarm update (inertia + cognitive pull toward each
+// particle's personal best + social pull toward the global best) moves the
+// scheduler toward operator mixes that keep discovering new points.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/mutational.h"
+
+namespace chatfuzz::baselines {
+
+struct PsoConfig {
+  MutationConfig mut;
+  unsigned num_particles = 8;
+  double inertia = 0.72;    // canonical Clerc-Kennedy constriction values
+  double cognitive = 1.49;
+  double social = 1.49;
+  double weight_min = 0.05; // position clamp: no operator ever fully dies
+  double weight_max = 4.0;
+};
+
+class PsoFuzzer final : public MutationalFuzzer {
+ public:
+  explicit PsoFuzzer(std::uint64_t seed, PsoConfig cfg = {});
+
+  std::string name() const override { return "PSOFuzz"; }
+  std::vector<Program> next_batch(std::size_t n) override;
+  void feedback(const core::Feedback& fb) override;
+
+  /// Introspection for tests/benches.
+  std::size_t num_particles() const { return particles_.size(); }
+  const std::vector<double>& particle_weights(std::size_t i) const {
+    return particles_[i].pos;
+  }
+  double global_best_fitness() const { return gbest_fitness_; }
+  std::size_t swarm_updates() const { return updates_; }
+
+ protected:
+  double score(const cov::TestCoverage& tc, std::uint64_t) const override {
+    return 10.0 * static_cast<double>(tc.incremental_bins) +
+           tc.standalone_percent();
+  }
+
+ private:
+  struct Particle {
+    std::vector<double> pos;   // kNumMutationOps weights + [last] p_seed
+    std::vector<double> vel;
+    std::vector<double> best_pos;
+    double best_fitness = -1.0;
+    double batch_fitness = 0.0;  // accumulator for the in-flight batch
+    unsigned batch_tests = 0;
+  };
+
+  void update_swarm();
+
+  PsoConfig pso_;
+  std::vector<Particle> particles_;
+  std::vector<double> gbest_pos_;
+  double gbest_fitness_ = -1.0;
+  std::vector<std::size_t> assignment_;  // test index -> particle index
+  std::size_t updates_ = 0;
+};
+
+}  // namespace chatfuzz::baselines

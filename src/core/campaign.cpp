@@ -1,0 +1,163 @@
+#include "core/campaign.h"
+
+#include "isasim/sim.h"
+#include "rtlsim/core.h"
+
+namespace chatfuzz::core {
+
+double CampaignResult::hours_to(double percent) const {
+  for (const CampaignPoint& p : curve) {
+    if (p.cond_cov_percent >= percent) return p.hours;
+  }
+  return -1.0;
+}
+
+std::size_t CampaignResult::tests_to(double percent) const {
+  for (const CampaignPoint& p : curve) {
+    if (p.cond_cov_percent >= percent) return p.tests;
+  }
+  return 0;
+}
+
+const char* guidance_name(GuidanceMetric m) {
+  switch (m) {
+    case GuidanceMetric::kCondition: return "condition";
+    case GuidanceMetric::kToggle: return "toggle";
+    case GuidanceMetric::kStatement: return "statement";
+    case GuidanceMetric::kFsm: return "fsm";
+    case GuidanceMetric::kCtrlReg: return "ctrl-reg";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The guidance metric selected by the config, as the uniform Metric view
+/// (null for condition/ctrl-reg, which have dedicated plumbing).
+const cov::Metric* select_metric(const cov::MetricSuite& suite,
+                                 GuidanceMetric g) {
+  switch (g) {
+    case GuidanceMetric::kToggle: return &suite.toggle();
+    case GuidanceMetric::kStatement: return &suite.statement();
+    case GuidanceMetric::kFsm: return &suite.fsm();
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+CampaignResult run_campaign(InputGenerator& gen, const CampaignConfig& cfg,
+                            CheckpointHook hook) {
+  cov::CoverageDB db;
+  rtl::RtlCore dut(cfg.core, db, cfg.platform);
+  sim::IsaSim golden(cfg.platform);
+  cov::CoverageCalculator calc(db);
+  mismatch::MismatchDetector detector;
+  detector.install_default_filters();
+
+  cov::MetricSuite suite;
+  const bool use_suite = cfg.collect_multi_metrics ||
+                         cfg.guidance == GuidanceMetric::kToggle ||
+                         cfg.guidance == GuidanceMetric::kStatement ||
+                         cfg.guidance == GuidanceMetric::kFsm;
+  if (use_suite) dut.attach_metrics(&suite);
+  const cov::Metric* guide = select_metric(suite, cfg.guidance);
+
+  CampaignResult result;
+  result.fuzzer = gen.name();
+
+  std::size_t since_checkpoint = 0;
+  while (result.tests_run < cfg.num_tests) {
+    const std::size_t want =
+        std::min(cfg.batch_size, cfg.num_tests - result.tests_run);
+    const std::vector<Program> batch = gen.next_batch(want);
+
+    std::vector<cov::TestCoverage> coverages;
+    std::vector<std::uint64_t> ctrl_new;
+    coverages.reserve(batch.size());
+    ctrl_new.reserve(batch.size());
+
+    for (const Program& test : batch) {
+      calc.begin_test();
+      dut.ctrl_cov().begin_test();
+      if (use_suite) suite.begin_test();
+      const std::size_t guide_before = guide ? guide->covered() : 0;
+      dut.reset(test);
+      const sim::RunResult dut_run = dut.run();
+      if (guide != nullptr) {
+        // Guidance by the selected metric: the generator sees the metric's
+        // stand-alone/incremental/total instead of condition coverage.
+        cov::TestCoverage tc;
+        tc.standalone_bins = guide->test_covered();
+        tc.total_bins = guide->covered();
+        tc.incremental_bins = tc.total_bins - guide_before;
+        tc.universe_bins = guide->universe();
+        coverages.push_back(tc);
+        (void)calc.end_test();
+      } else if (cfg.guidance == GuidanceMetric::kCtrlReg) {
+        cov::TestCoverage tc;
+        tc.standalone_bins = dut.ctrl_cov().test_new_states();
+        tc.incremental_bins = tc.standalone_bins;
+        tc.total_bins = dut.ctrl_cov().distinct_states();
+        tc.universe_bins = 0;  // open universe: percentages undefined
+        coverages.push_back(tc);
+        (void)calc.end_test();
+      } else {
+        coverages.push_back(calc.end_test());
+      }
+      ctrl_new.push_back(dut.ctrl_cov().test_new_states());
+      result.total_cycles += dut.cycles();
+      result.total_instrs += dut_run.steps;
+
+      if (cfg.mismatch_detection) {
+        golden.reset(test);
+        const sim::RunResult gold_run = golden.run();
+        const mismatch::Report rep =
+            detector.compare(dut_run.trace, gold_run.trace);
+        detector.accumulate(rep);
+      }
+      ++result.tests_run;
+      ++since_checkpoint;
+
+      if (since_checkpoint >= cfg.checkpoint_every ||
+          result.tests_run == cfg.num_tests) {
+        since_checkpoint = 0;
+        CampaignPoint pt;
+        pt.tests = result.tests_run;
+        pt.hours = static_cast<double>(result.tests_run) /
+                   (cfg.tests_per_hour / gen.time_per_test_factor());
+        pt.cond_cov_percent = db.total_percent();
+        pt.ctrl_states = dut.ctrl_cov().distinct_states();
+        result.curve.push_back(pt);
+        if (hook) hook(pt);
+      }
+    }
+
+    Feedback fb;
+    fb.batch = &batch;
+    fb.coverages = &coverages;
+    fb.ctrl_new_states = &ctrl_new;
+    fb.db = &db;
+    gen.feedback(fb);
+  }
+
+  result.final_cov_percent = db.total_percent();
+  result.uncovered = cov::uncovered_points(db);
+  if (use_suite) {
+    result.toggle_percent = suite.toggle().percent();
+    result.fsm_percent = suite.fsm().percent();
+    result.statement_percent = suite.statement().percent();
+  }
+  result.hours = static_cast<double>(result.tests_run) /
+                 (cfg.tests_per_hour / gen.time_per_test_factor());
+  result.raw_mismatches = detector.total_raw();
+  result.filtered_mismatches =
+      detector.total_raw() - detector.total_post_filter();
+  result.unique_mismatches = detector.unique_count();
+  for (const mismatch::Finding f : detector.findings_seen()) {
+    result.findings.insert(f);
+  }
+  return result;
+}
+
+}  // namespace chatfuzz::core

@@ -1,0 +1,96 @@
+#include "core/chatfuzz.h"
+
+#include "riscv/disasm.h"
+
+namespace chatfuzz::core {
+
+ChatFuzzGenerator::ChatFuzzGenerator(ChatFuzzConfig cfg)
+    : cfg_(cfg),
+      policy_(cfg.model, cfg.seed),
+      ref_(cfg.model, cfg.seed),
+      sampler_([&cfg] {
+        ml::SampleConfig s = cfg.sample;
+        s.max_new_tokens = cfg.gen_tokens;
+        return s;
+      }()),
+      corpus_(corpus::CorpusConfig{}, cfg.seed + 1),
+      rng_(cfg.seed + 2) {
+  ref_.copy_params_from(policy_);
+  ppo_ = std::make_unique<ml::PpoTrainer>(policy_, ref_, cfg_.ppo);
+}
+
+void ChatFuzzGenerator::train_offline() {
+  // Stage 1: unsupervised pretraining on the machine-language corpus.
+  const std::vector<corpus::Program> data = corpus_.dataset(cfg_.pretrain_samples);
+  pretrain_stats_ = pretrain(policy_, data, cfg_.pretrain, rng_);
+  // The reference for both PPO stages is the freshly pretrained model.
+  ref_.copy_params_from(policy_);
+  // Stage 2: disassembler-rewarded cleanup.
+  CleanupConfig cc;
+  cc.iters = cfg_.cleanup_iters;
+  cc.prompt_min = cfg_.prompt_min;
+  cc.prompt_max = cfg_.prompt_max;
+  cc.ppo = cfg_.ppo;
+  cc.sample = sampler_.config();
+  cleanup_stats_ = cleanup_stage(policy_, ref_, corpus_, cc, rng_);
+  // Stage 3 measures KL against the cleaned-up model.
+  ref_.copy_params_from(policy_);
+  ppo_ = std::make_unique<ml::PpoTrainer>(policy_, ref_, cfg_.ppo);
+}
+
+bool ChatFuzzGenerator::load_model(const std::string& path) {
+  if (!policy_.load(path)) return false;
+  ref_.copy_params_from(policy_);
+  ppo_ = std::make_unique<ml::PpoTrainer>(policy_, ref_, cfg_.ppo);
+  return true;
+}
+
+std::vector<Program> ChatFuzzGenerator::next_batch(std::size_t n) {
+  std::vector<std::vector<int>> prompts;
+  std::vector<Program> prompt_words;
+  prompts.reserve(n);
+  prompt_words.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto k =
+        static_cast<unsigned>(rng_.range(cfg_.prompt_min, cfg_.prompt_max));
+    corpus::Program p = corpus_.prompt(k);
+    prompts.push_back(tok_.encode(p, /*with_bos=*/true));
+    prompt_words.push_back(std::move(p));
+  }
+  pending_gens_ = sampler_.generate(policy_, prompts, rng_);
+  pending_prompt_words_.clear();
+
+  std::vector<Program> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < pending_gens_.size(); ++i) {
+    Program test = prompt_words[i];
+    const std::vector<std::uint32_t> cont = tok_.decode(pending_gens_[i].response);
+    test.insert(test.end(), cont.begin(), cont.end());
+    pending_prompt_words_.push_back(prompt_words[i].size());
+    batch.push_back(std::move(test));
+  }
+  return batch;
+}
+
+void ChatFuzzGenerator::feedback(const Feedback& fb) {
+  if (fb.coverages == nullptr || pending_gens_.empty()) return;
+  const std::size_t n = std::min(pending_gens_.size(), fb.coverages->size());
+  std::vector<double> rewards(pending_gens_.size(), 0.0);
+  std::vector<std::vector<float>> dense(pending_gens_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const cov::TestCoverage& tc = (*fb.coverages)[i];
+    double r = cfg_.w_incremental * static_cast<double>(tc.incremental_bins) +
+               cfg_.w_standalone * static_cast<double>(tc.standalone_bins);
+    if (tc.incremental_bins == 0) r -= cfg_.no_improvement_penalty;
+    rewards[i] = r;
+    // Keep the language clean (dense per-instruction validity shaping, scaled
+    // down so coverage dominates once the language is mostly valid).
+    dense[i] = per_token_validity_rewards(pending_gens_[i].response);
+    const float v_scale = static_cast<float>(cfg_.invalid_penalty) / 5.f;
+    for (float& x : dense[i]) x *= v_scale;
+  }
+  last_ppo_ = ppo_->update(pending_gens_, rewards, &dense);
+  pending_gens_.clear();
+}
+
+}  // namespace chatfuzz::core

@@ -1,0 +1,48 @@
+// Common interface every fuzzer's input generator implements — ChatFuzz's
+// LLM-based generator and the baselines (TheHuzz-style mutational,
+// DifuzzRTL-style control-register-guided, random regression). The campaign
+// runner drives any of them interchangeably, which is what lets one harness
+// regenerate every comparison table in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coverage/cover.h"
+
+namespace chatfuzz::core {
+
+using Program = std::vector<std::uint32_t>;
+
+/// Per-batch feedback delivered after simulation: the coverage calculator's
+/// three values per test (§IV-B) plus the DifuzzRTL-style control-register
+/// signal.
+struct Feedback {
+  const std::vector<Program>* batch = nullptr;
+  const std::vector<cov::TestCoverage>* coverages = nullptr;
+  const std::vector<std::uint64_t>* ctrl_new_states = nullptr;
+  /// Campaign coverage DB (read-only): lets hybrid generators enumerate the
+  /// uncovered points, the way HyPFuzz queries its formal tool. May be null
+  /// when the harness has no DB (e.g. pure training loops).
+  const cov::CoverageDB* db = nullptr;
+};
+
+class InputGenerator {
+ public:
+  virtual ~InputGenerator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Produce the next batch of test inputs.
+  virtual std::vector<Program> next_batch(std::size_t n) = 0;
+
+  /// Coverage feedback for the batch most recently returned by next_batch().
+  virtual void feedback(const Feedback& fb) { (void)fb; }
+
+  /// Relative wall-clock cost per test vs. TheHuzz/ChatFuzz (the paper
+  /// reports those two as equal-overhead and DifuzzRTL ~3.33x slower).
+  virtual double time_per_test_factor() const { return 1.0; }
+};
+
+}  // namespace chatfuzz::core

@@ -1,0 +1,103 @@
+#include "core/replay.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "isasim/sim.h"
+#include "rtlsim/core.h"
+
+namespace chatfuzz::core {
+
+std::string corpus_to_text(const std::vector<Program>& tests) {
+  std::string out = "# chatfuzz test corpus v1\n";
+  char buf[32];
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "== test %zu\n", i);
+    out += buf;
+    for (std::uint32_t w : tests[i]) {
+      std::snprintf(buf, sizeof buf, "%08x\n", w);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<Program>> corpus_from_text(const std::string& text,
+                                                     std::string* error) {
+  std::vector<Program> tests;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("==", 0) == 0) {
+      tests.emplace_back();
+      continue;
+    }
+    if (tests.empty()) tests.emplace_back();
+    char* end = nullptr;
+    const unsigned long word = std::strtoul(line.c_str(), &end, 16);
+    if (end == line.c_str() || (*end != '\0' && *end != '\r')) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": bad hex word";
+      }
+      return std::nullopt;
+    }
+    tests.back().push_back(static_cast<std::uint32_t>(word));
+  }
+  return tests;
+}
+
+bool save_corpus(const std::string& path, const std::vector<Program>& tests) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << corpus_to_text(tests);
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<Program>> load_corpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return corpus_from_text(buf.str());
+}
+
+std::string render_mismatch_report(const mismatch::MismatchDetector& detector) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "mismatch summary: raw=%zu post-filter=%zu unique=%zu\n",
+                detector.total_raw(), detector.total_post_filter(),
+                detector.unique_count());
+  out += buf;
+  for (const auto& [sig, count] : detector.unique_signatures()) {
+    std::snprintf(buf, sizeof buf, "  %6zu x %s\n", count, sig.c_str());
+    out += buf;
+  }
+  out += "findings:\n";
+  for (const mismatch::Finding f : detector.findings_seen()) {
+    std::snprintf(buf, sizeof buf, "  - %s\n", mismatch::finding_name(f));
+    out += buf;
+  }
+  return out;
+}
+
+mismatch::Report replay_test(const Program& test,
+                             const rtl::CoreConfig& core_cfg,
+                             const sim::Platform& platform) {
+  cov::CoverageDB db;
+  rtl::RtlCore dut(core_cfg, db, platform);
+  sim::IsaSim golden(platform);
+  dut.reset(test);
+  golden.reset(test);
+  const sim::RunResult dr = dut.run();
+  const sim::RunResult gr = golden.run();
+  mismatch::MismatchDetector detector;
+  detector.install_default_filters();
+  return detector.compare(dr.trace, gr.trace);
+}
+
+}  // namespace chatfuzz::core

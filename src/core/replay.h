@@ -1,0 +1,43 @@
+// Test-corpus persistence: save and reload fuzzing inputs (hex text format,
+// one program per block) and mismatch reports. Real campaigns persist every
+// input that found new coverage or a mismatch so bugs can be replayed and
+// minimized later; this is that plumbing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/generator.h"
+#include "isasim/platform.h"
+#include "mismatch/detect.h"
+#include "rtlsim/config.h"
+
+namespace chatfuzz::core {
+
+/// Serialize programs to the text corpus format:
+///   == test 0
+///   00500513
+///   00b60633
+/// Comment lines start with '#'.
+std::string corpus_to_text(const std::vector<Program>& tests);
+
+/// Parse the text corpus format. Returns std::nullopt on malformed input
+/// (bad hex word); `error` receives a description.
+std::optional<std::vector<Program>> corpus_from_text(const std::string& text,
+                                                     std::string* error = nullptr);
+
+/// Convenience file I/O (returns false on I/O error).
+bool save_corpus(const std::string& path, const std::vector<Program>& tests);
+std::optional<std::vector<Program>> load_corpus(const std::string& path);
+
+/// Human-readable mismatch report for a campaign (the artifact handed to
+/// the verification engineer for the paper's "manual inspection" step).
+std::string render_mismatch_report(const mismatch::MismatchDetector& detector);
+
+/// Replay one saved test on both simulators and return the mismatch report.
+mismatch::Report replay_test(const Program& test,
+                             const rtl::CoreConfig& core_cfg,
+                             const sim::Platform& platform);
+
+}  // namespace chatfuzz::core

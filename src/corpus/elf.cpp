@@ -1,0 +1,290 @@
+#include "corpus/elf.h"
+#include "corpus/generator.h"
+
+#include <cstring>
+
+namespace chatfuzz::corpus {
+namespace {
+
+// ELF constants (the subset we emit/accept).
+constexpr std::uint8_t kMagic[4] = {0x7f, 'E', 'L', 'F'};
+constexpr std::uint8_t kClass64 = 2;
+constexpr std::uint8_t kDataLsb = 1;
+constexpr std::uint16_t kTypeRel = 1;
+constexpr std::uint16_t kMachineRiscv = 243;
+constexpr std::uint32_t kShtProgbits = 1;
+constexpr std::uint32_t kShtSymtab = 2;
+constexpr std::uint32_t kShtStrtab = 3;
+constexpr std::uint8_t kSttFunc = 2;
+constexpr std::uint8_t kBindGlobal = 1;
+
+constexpr std::size_t kEhdrSize = 64;
+constexpr std::size_t kShdrSize = 64;
+constexpr std::size_t kSymSize = 24;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  void pad_to(std::size_t offset) { out_.resize(offset, 0); }
+  std::size_t size() const { return out_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  void le(std::uint64_t v, unsigned n) {
+    for (unsigned i = 0; i < n; ++i) out_.push_back((v >> (8 * i)) & 0xff);
+  }
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::vector<std::uint8_t>& data) : data_(data) {}
+
+  bool in_range(std::size_t off, std::size_t n) const {
+    return off <= data_.size() && n <= data_.size() - off;
+  }
+  std::uint16_t u16(std::size_t off) const { return le(off, 2); }
+  std::uint32_t u32(std::size_t off) const {
+    return static_cast<std::uint32_t>(le(off, 4));
+  }
+  std::uint64_t u64(std::size_t off) const { return le(off, 8); }
+  const std::uint8_t* at(std::size_t off) const { return data_.data() + off; }
+
+ private:
+  std::uint64_t le(std::size_t off, unsigned n) const {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(data_[off + i]) << (8 * i);
+    }
+    return v;
+  }
+  const std::vector<std::uint8_t>& data_;
+};
+
+struct SectionHeader {
+  std::uint32_t name_off = 0;
+  std::uint32_t type = 0;
+  std::uint64_t addr = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint32_t link = 0;
+  std::uint64_t entsize = 0;
+};
+
+void write_shdr(Writer& w, const SectionHeader& s) {
+  w.u32(s.name_off);
+  w.u32(s.type);
+  w.u64(0);          // flags
+  w.u64(s.addr);
+  w.u64(s.offset);
+  w.u64(s.size);
+  w.u32(s.link);
+  w.u32(0);          // info
+  w.u64(8);          // addralign
+  w.u64(s.entsize);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> write_elf(const std::vector<ElfFunction>& functions,
+                                    std::uint64_t text_base) {
+  // Layout: Ehdr | .text | .symtab | .strtab | .shstrtab | section headers.
+  std::vector<std::uint8_t> text;
+  struct SymPlan {
+    std::uint32_t name_off;
+    std::uint64_t value;
+    std::uint64_t size;
+  };
+  std::vector<SymPlan> syms;
+  std::string strtab(1, '\0');
+  for (const ElfFunction& f : functions) {
+    SymPlan sp;
+    sp.name_off = static_cast<std::uint32_t>(strtab.size());
+    strtab += f.name;
+    strtab += '\0';
+    sp.value = text_base + text.size();
+    sp.size = 4ull * f.code.size();
+    syms.push_back(sp);
+    for (std::uint32_t word : f.code) {
+      for (unsigned i = 0; i < 4; ++i) {
+        text.push_back(static_cast<std::uint8_t>((word >> (8 * i)) & 0xff));
+      }
+    }
+  }
+
+  const std::string shstrtab =
+      std::string(1, '\0') + ".text" + '\0' + ".symtab" + '\0' + ".strtab" +
+      '\0' + ".shstrtab" + '\0';
+  constexpr std::uint32_t kNameText = 1, kNameSymtab = 7, kNameStrtab = 15,
+                          kNameShstrtab = 23;
+
+  const std::size_t text_off = kEhdrSize;
+  const std::size_t symtab_off = text_off + text.size();
+  const std::size_t symtab_size = kSymSize * (1 + syms.size());  // null sym
+  const std::size_t strtab_off = symtab_off + symtab_size;
+  const std::size_t shstrtab_off = strtab_off + strtab.size();
+  std::size_t shoff = shstrtab_off + shstrtab.size();
+  shoff = (shoff + 7) & ~std::size_t{7};
+
+  Writer w;
+  // Ehdr.
+  w.bytes(kMagic, 4);
+  w.u8(kClass64);
+  w.u8(kDataLsb);
+  w.u8(1);  // EV_CURRENT
+  for (int i = 0; i < 9; ++i) w.u8(0);
+  w.u16(kTypeRel);
+  w.u16(kMachineRiscv);
+  w.u32(1);             // version
+  w.u64(0);             // entry
+  w.u64(0);             // phoff
+  w.u64(shoff);         // shoff
+  w.u32(0);             // flags
+  w.u16(kEhdrSize);     // ehsize
+  w.u16(0);             // phentsize
+  w.u16(0);             // phnum
+  w.u16(kShdrSize);     // shentsize
+  w.u16(5);             // shnum: null, .text, .symtab, .strtab, .shstrtab
+  w.u16(4);             // shstrndx
+
+  // Section bodies.
+  w.bytes(text.data(), text.size());
+  for (int i = 0; i < 24; ++i) w.u8(0);  // null symbol
+  for (const SymPlan& sp : syms) {
+    w.u32(sp.name_off);
+    w.u8((kBindGlobal << 4) | kSttFunc);  // st_info
+    w.u8(0);                              // st_other
+    w.u16(1);                             // st_shndx: .text
+    w.u64(sp.value);
+    w.u64(sp.size);
+  }
+  w.bytes(strtab.data(), strtab.size());
+  w.bytes(shstrtab.data(), shstrtab.size());
+  w.pad_to(shoff);
+
+  // Section headers.
+  write_shdr(w, {});  // SHN_UNDEF
+  write_shdr(w, {kNameText, kShtProgbits, text_base, text_off, text.size(),
+                 0, 0});
+  write_shdr(w, {kNameSymtab, kShtSymtab, 0, symtab_off, symtab_size,
+                 /*link=strtab index*/ 3, kSymSize});
+  write_shdr(w, {kNameStrtab, kShtStrtab, 0, strtab_off, strtab.size(), 0, 0});
+  write_shdr(w, {kNameShstrtab, kShtStrtab, 0, shstrtab_off, shstrtab.size(),
+                 0, 0});
+  return w.take();
+}
+
+std::optional<std::vector<ElfFunction>> read_elf(
+    const std::vector<std::uint8_t>& image) {
+  Reader r(image);
+  if (!r.in_range(0, kEhdrSize)) return std::nullopt;
+  if (std::memcmp(r.at(0), kMagic, 4) != 0) return std::nullopt;
+  if (image[4] != kClass64 || image[5] != kDataLsb) return std::nullopt;
+  if (r.u16(18) != kMachineRiscv) return std::nullopt;
+
+  const std::uint64_t shoff = r.u64(40);
+  const std::uint16_t shentsize = r.u16(58);
+  const std::uint16_t shnum = r.u16(60);
+  if (shentsize != kShdrSize) return std::nullopt;
+  if (!r.in_range(shoff, std::size_t{shnum} * kShdrSize)) return std::nullopt;
+
+  struct Sec {
+    std::uint32_t type;
+    std::uint64_t addr, offset, size, link, entsize;
+  };
+  std::vector<Sec> secs;
+  for (std::uint16_t i = 0; i < shnum; ++i) {
+    const std::size_t base = shoff + std::size_t{i} * kShdrSize;
+    Sec s;
+    s.type = r.u32(base + 4);
+    s.addr = r.u64(base + 16);
+    s.offset = r.u64(base + 24);
+    s.size = r.u64(base + 32);
+    s.link = r.u32(base + 40);
+    s.entsize = r.u64(base + 56);
+    if (s.type != 8 /*SHT_NOBITS*/ && !r.in_range(s.offset, s.size)) {
+      return std::nullopt;
+    }
+    secs.push_back(s);
+  }
+
+  // Locate .text (first PROGBITS) and .symtab.
+  const Sec* text = nullptr;
+  const Sec* symtab = nullptr;
+  for (const Sec& s : secs) {
+    if (s.type == kShtProgbits && text == nullptr) text = &s;
+    if (s.type == kShtSymtab && symtab == nullptr) symtab = &s;
+  }
+  if (text == nullptr || symtab == nullptr) return std::nullopt;
+  if (symtab->entsize != kSymSize || symtab->link >= secs.size()) {
+    return std::nullopt;
+  }
+  const Sec& strtab = secs[symtab->link];
+  if (strtab.type != kShtStrtab) return std::nullopt;
+
+  std::vector<ElfFunction> out;
+  const std::size_t nsyms = symtab->size / kSymSize;
+  for (std::size_t i = 1; i < nsyms; ++i) {  // skip the null symbol
+    const std::size_t base = symtab->offset + i * kSymSize;
+    const std::uint32_t name_off = r.u32(base);
+    const std::uint8_t info = image[base + 4];
+    if ((info & 0xf) != kSttFunc) continue;
+    const std::uint64_t value = r.u64(base + 8);
+    const std::uint64_t size = r.u64(base + 16);
+
+    if (value < text->addr) return std::nullopt;
+    const std::uint64_t rel = value - text->addr;
+    if (rel > text->size || size > text->size - rel) return std::nullopt;
+    if (name_off >= strtab.size) return std::nullopt;
+
+    ElfFunction f;
+    f.address = value;
+    // NUL-terminated name, bounded by the strtab.
+    const char* s = reinterpret_cast<const char*>(r.at(strtab.offset + name_off));
+    const std::size_t maxlen = strtab.size - name_off;
+    f.name.assign(s, strnlen(s, maxlen));
+    f.code.reserve(size / 4);
+    for (std::uint64_t o = 0; o + 4 <= size; o += 4) {
+      const std::size_t p = text->offset + rel + o;
+      f.code.push_back(static_cast<std::uint32_t>(image[p]) |
+                       (static_cast<std::uint32_t>(image[p + 1]) << 8) |
+                       (static_cast<std::uint32_t>(image[p + 2]) << 16) |
+                       (static_cast<std::uint32_t>(image[p + 3]) << 24));
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint32_t>> harvest_dataset(
+    const std::vector<std::uint8_t>& image) {
+  std::vector<std::vector<std::uint32_t>> out;
+  if (const auto funcs = read_elf(image)) {
+    for (const ElfFunction& f : *funcs) {
+      if (!f.code.empty()) out.push_back(f.code);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> synthesize_compiled_binary(CorpusGenerator& gen,
+                                                     std::size_t n) {
+  std::vector<ElfFunction> funcs;
+  funcs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ElfFunction f;
+    f.name = "func_" + std::to_string(i);
+    f.code = gen.function();
+    funcs.push_back(std::move(f));
+  }
+  return write_elf(funcs);
+}
+
+}  // namespace chatfuzz::corpus

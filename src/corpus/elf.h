@@ -1,0 +1,55 @@
+// Minimal ELF64 object reader/writer for the static training-data pipeline
+// (paper §III-A): the authors compile the Linux kernel, disassemble the
+// resulting binaries, locate function start/end via the symbol table, and
+// emit each function's machine code as one training entry. This module is
+// that pipeline's container layer — it produces RISC-V ELF64 relocatable
+// images with a .text section and FUNC symbols, and extracts per-function
+// machine code back out of them.
+//
+// Scope: little-endian ELF64, one .text section, .symtab/.strtab/.shstrtab.
+// That is exactly the subset the harvesting pipeline touches; anything else
+// in a real object (relocations, debug info) is metadata the paper's
+// representation step deliberately strips.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace chatfuzz::corpus {
+
+/// One function's machine code plus its symbol-table identity.
+struct ElfFunction {
+  std::string name;
+  std::uint64_t address = 0;            // st_value
+  std::vector<std::uint32_t> code;      // instruction words
+};
+
+/// Build a relocatable ELF64 (EM_RISCV) image: all functions are laid out
+/// back-to-back in .text and given STT_FUNC symbols with correct size.
+std::vector<std::uint8_t> write_elf(const std::vector<ElfFunction>& functions,
+                                    std::uint64_t text_base = 0x8000'0000ull);
+
+/// Parse an image produced by write_elf (or any conforming subset-ELF).
+/// Returns nullopt on malformed input: bad magic, truncated headers,
+/// out-of-range section offsets, or symbols pointing outside .text.
+std::optional<std::vector<ElfFunction>> read_elf(
+    const std::vector<std::uint8_t>& image);
+
+/// The paper's "static data collection" step end-to-end: given a compiled
+/// binary, recover the per-function training entries (function machine code
+/// only, metadata stripped). Functions with no code are dropped.
+std::vector<std::vector<std::uint32_t>> harvest_dataset(
+    const std::vector<std::uint8_t>& image);
+
+class CorpusGenerator;
+
+/// A "compiled binary" for the pipeline above: n generated function bodies
+/// packaged as an ELF object, the artifact the paper obtains by compiling
+/// kernel sources. harvest_dataset(synthesize_compiled_binary(gen, n))
+/// round-trips to exactly the generator's samples.
+std::vector<std::uint8_t> synthesize_compiled_binary(CorpusGenerator& gen,
+                                                     std::size_t n);
+
+}  // namespace chatfuzz::corpus

@@ -1,0 +1,362 @@
+#include "corpus/generator.h"
+
+#include <array>
+
+#include "riscv/csr.h"
+#include "riscv/encode.h"
+
+namespace chatfuzz::corpus {
+
+using riscv::Opcode;
+
+namespace {
+// Caller-saved integer registers (t0-t6, a0-a7) — the pool compiled code
+// churns through.
+constexpr std::array<unsigned, 15> kScratch = {5,  6,  7,  10, 11, 12, 13, 14,
+                                               15, 16, 17, 28, 29, 30, 31};
+// Registers initialized to RAM pointers by the platform (even registers).
+constexpr std::array<unsigned, 8> kPointers = {4, 6, 8, 10, 12, 14, 16, 18};
+
+// Compiled code exercises essentially the whole integer ISA; the generator's
+// vocabulary therefore spans every RV64IMA opcode (rare ones at low weight
+// via idiom frequencies), matching static collection from a real kernel.
+constexpr std::array<Opcode, 15> kAluRegOps = {
+    Opcode::kAdd,  Opcode::kSub,  Opcode::kXor, Opcode::kOr,   Opcode::kAnd,
+    Opcode::kSll,  Opcode::kSrl,  Opcode::kSra, Opcode::kAddw, Opcode::kSubw,
+    Opcode::kSllw, Opcode::kSrlw, Opcode::kSraw, Opcode::kSlt, Opcode::kSltu};
+constexpr std::array<Opcode, 8> kAluImmOps = {
+    Opcode::kAddi, Opcode::kXori,  Opcode::kOri,  Opcode::kAndi,
+    Opcode::kSlti, Opcode::kAddiw, Opcode::kSltiu, Opcode::kAddi};
+constexpr std::array<Opcode, 6> kShiftImmOps = {
+    Opcode::kSlli,  Opcode::kSrli,  Opcode::kSrai,
+    Opcode::kSlliw, Opcode::kSrliw, Opcode::kSraiw};
+constexpr std::array<Opcode, 13> kMulDivOps = {
+    Opcode::kMul,  Opcode::kMulh, Opcode::kMulhu, Opcode::kMulhsu,
+    Opcode::kDiv,  Opcode::kDivu, Opcode::kRem,   Opcode::kRemu,
+    Opcode::kMulw, Opcode::kDivw, Opcode::kDivuw, Opcode::kRemw,
+    Opcode::kRemuw};
+constexpr std::array<Opcode, 6> kBranchOps = {
+    Opcode::kBeq, Opcode::kBne, Opcode::kBlt,
+    Opcode::kBge, Opcode::kBltu, Opcode::kBgeu};
+constexpr std::array<Opcode, 7> kLoadOps = {
+    Opcode::kLb, Opcode::kLh, Opcode::kLw,  Opcode::kLd,
+    Opcode::kLbu, Opcode::kLhu, Opcode::kLwu};
+constexpr std::array<Opcode, 4> kStoreOps = {Opcode::kSb, Opcode::kSh,
+                                             Opcode::kSw, Opcode::kSd};
+constexpr std::array<Opcode, 18> kAmoOps = {
+    Opcode::kAmoSwapW, Opcode::kAmoAddW,  Opcode::kAmoXorW, Opcode::kAmoOrW,
+    Opcode::kAmoAndW,  Opcode::kAmoMinW,  Opcode::kAmoMaxW,
+    Opcode::kAmoMinuW, Opcode::kAmoMaxuW, Opcode::kAmoSwapD,
+    Opcode::kAmoAddD,  Opcode::kAmoXorD,  Opcode::kAmoOrD,
+    Opcode::kAmoAndD,  Opcode::kAmoMinD,  Opcode::kAmoMaxD,
+    Opcode::kAmoMinuD, Opcode::kAmoMaxuD};
+constexpr std::array<std::uint16_t, 12> kCsrPool = {
+    riscv::csr::kMscratch, riscv::csr::kMstatus, riscv::csr::kMtvec,
+    riscv::csr::kMepc,     riscv::csr::kMcause,  riscv::csr::kSscratch,
+    riscv::csr::kSatp,     riscv::csr::kMinstret, riscv::csr::kCycle,
+    riscv::csr::kInstret,  riscv::csr::kMie,      riscv::csr::kMedeleg};
+}  // namespace
+
+unsigned CorpusGenerator::recent_reg() {
+  if (!recent_.empty() && rng_.chance(0.75)) {
+    return recent_[rng_.below(recent_.size())];
+  }
+  return kScratch[rng_.below(kScratch.size())];
+}
+
+unsigned CorpusGenerator::pointer_reg() {
+  return kPointers[rng_.below(kPointers.size())];
+}
+
+unsigned CorpusGenerator::def_reg() {
+  const unsigned rd = kScratch[rng_.below(kScratch.size())];
+  recent_.push_back(rd);
+  if (recent_.size() > 4) recent_.erase(recent_.begin());
+  return rd;
+}
+
+void CorpusGenerator::emit_alu_chain(Program& out) {
+  const unsigned n = static_cast<unsigned>(rng_.range(2, 4));
+  for (unsigned i = 0; i < n; ++i) {
+    const double roll = rng_.uniform();
+    if (roll < 0.35) {
+      const Opcode op = kAluImmOps[rng_.below(kAluImmOps.size())];
+      out.push_back(riscv::enc_i(op, def_reg(), recent_reg(),
+                                 static_cast<std::int32_t>(rng_.range(-512, 511))));
+    } else if (roll < 0.5) {
+      out.push_back(riscv::enc_shift(kShiftImmOps[rng_.below(kShiftImmOps.size())],
+                                     def_reg(), recent_reg(),
+                                     static_cast<unsigned>(rng_.range(0, 31))));
+    } else if (roll < 0.58) {
+      out.push_back(riscv::enc_u(rng_.chance(0.5) ? Opcode::kLui : Opcode::kAuipc,
+                                 def_reg(),
+                                 static_cast<std::int32_t>(rng_.range(-256, 255))));
+    } else {
+      const Opcode op = kAluRegOps[rng_.below(kAluRegOps.size())];
+      out.push_back(riscv::enc_r(op, def_reg(), recent_reg(), recent_reg()));
+    }
+  }
+}
+
+void CorpusGenerator::emit_load_compute_store(Program& out) {
+  const unsigned base = pointer_reg();
+  const Opcode load = kLoadOps[rng_.below(kLoadOps.size())];
+  const Opcode store = kStoreOps[rng_.below(kStoreOps.size())];
+  // Offset aligned to the larger of the two access sizes.
+  const auto off = static_cast<std::int32_t>(rng_.range(0, 31) * 8);
+  const unsigned t = def_reg();
+  out.push_back(riscv::enc_i(load, t, base, off));
+  if (rng_.chance(0.4)) {
+    out.push_back(riscv::enc_shift(kShiftImmOps[rng_.below(kShiftImmOps.size())],
+                                   def_reg(), t,
+                                   static_cast<unsigned>(rng_.range(0, 31))));
+  } else {
+    out.push_back(riscv::enc_r(kAluRegOps[rng_.below(kAluRegOps.size())],
+                               def_reg(), t, recent_reg()));
+  }
+  out.push_back(riscv::enc_s(store, base, recent_.back(), off));
+}
+
+void CorpusGenerator::emit_if_else(Program& out) {
+  const Opcode br = kBranchOps[rng_.below(kBranchOps.size())];
+  const unsigned skip = static_cast<unsigned>(rng_.range(1, 3));
+  out.push_back(riscv::enc_b(br, recent_reg(), recent_reg(),
+                             static_cast<std::int32_t>(4 * (skip + 1))));
+  for (unsigned i = 0; i < skip; ++i) {
+    out.push_back(riscv::enc_i(kAluImmOps[rng_.below(kAluImmOps.size())],
+                               def_reg(), recent_reg(),
+                               static_cast<std::int32_t>(rng_.range(-64, 63))));
+  }
+}
+
+void CorpusGenerator::emit_loop(Program& out) {
+  const unsigned counter = def_reg();
+  const auto trips = static_cast<std::int32_t>(rng_.range(2, 5));
+  out.push_back(riscv::enc_i(Opcode::kAddi, counter, 0, trips));
+  const unsigned body = static_cast<unsigned>(rng_.range(1, 2));
+  for (unsigned i = 0; i < body; ++i) {
+    out.push_back(riscv::enc_r(kAluRegOps[rng_.below(kAluRegOps.size())],
+                               def_reg(), recent_reg(), recent_reg()));
+  }
+  out.push_back(riscv::enc_i(Opcode::kAddi, counter, counter, -1));
+  out.push_back(riscv::enc_b(Opcode::kBne, counter, 0,
+                             -static_cast<std::int32_t>(4 * (body + 1))));
+}
+
+void CorpusGenerator::emit_muldiv(Program& out) {
+  if (rng_.chance(0.3)) {
+    // Mixed-sign operands: negate one input first (kernels divide signed
+    // quantities all the time; exercises the divider's sign logic).
+    const unsigned neg = def_reg();
+    out.push_back(riscv::enc_r(Opcode::kSub, neg, 0, recent_reg()));
+  }
+  const unsigned n = static_cast<unsigned>(rng_.range(1, 2));
+  for (unsigned i = 0; i < n; ++i) {
+    out.push_back(riscv::enc_r(kMulDivOps[rng_.below(kMulDivOps.size())],
+                               def_reg(), recent_reg(), recent_reg()));
+  }
+}
+
+void CorpusGenerator::emit_csr(Program& out) {
+  const std::uint16_t csr = kCsrPool[rng_.below(kCsrPool.size())];
+  switch (rng_.below(5)) {
+    case 0:
+      out.push_back(riscv::enc_csr(Opcode::kCsrrs, def_reg(), csr, 0));
+      break;
+    case 1:
+      out.push_back(riscv::enc_csr(Opcode::kCsrrw, 0, csr, recent_reg()));
+      break;
+    case 2:
+      out.push_back(riscv::enc_csr(Opcode::kCsrrc, def_reg(), csr, recent_reg()));
+      break;
+    case 3:
+      out.push_back(riscv::enc_csr(
+          rng_.chance(0.5) ? Opcode::kCsrrsi : Opcode::kCsrrci, def_reg(), csr,
+          static_cast<unsigned>(rng_.range(0, 31))));
+      break;
+    default:
+      out.push_back(riscv::enc_csr(Opcode::kCsrrwi, 0, csr,
+                                   static_cast<unsigned>(rng_.range(0, 31))));
+      break;
+  }
+}
+
+void CorpusGenerator::emit_amo(Program& out) {
+  out.push_back(riscv::enc_amo(kAmoOps[rng_.below(kAmoOps.size())], def_reg(),
+                               pointer_reg(), recent_reg(), rng_.chance(0.2),
+                               rng_.chance(0.2)));
+}
+
+void CorpusGenerator::emit_lrsc(Program& out) {
+  const unsigned ptr = pointer_reg();
+  const bool dword = rng_.chance(0.4);
+  if (rng_.chance(0.15)) {
+    // Unpaired sc (retry loops end up with these): fails by construction.
+    out.push_back(riscv::enc_amo(dword ? Opcode::kScD : Opcode::kScW,
+                                 def_reg(), ptr, recent_reg()));
+    return;
+  }
+  out.push_back(riscv::enc_amo(dword ? Opcode::kLrD : Opcode::kLrW, def_reg(),
+                               ptr, 0));
+  if (rng_.chance(0.25)) {
+    // An intervening store to the reserved line kills the reservation.
+    out.push_back(riscv::enc_s(Opcode::kSw, ptr, recent_reg(), 0));
+  }
+  out.push_back(riscv::enc_amo(dword ? Opcode::kScD : Opcode::kScW, def_reg(),
+                               ptr, recent_reg()));
+}
+
+void CorpusGenerator::emit_fence(Program& out) {
+  out.push_back(
+      riscv::enc_sys(rng_.chance(0.5) ? Opcode::kFence : Opcode::kFenceI));
+}
+
+void CorpusGenerator::emit_priv(Program& out) {
+  if (rng_.chance(0.2)) {
+    out.push_back(riscv::enc_sys(rng_.chance(0.5) ? Opcode::kEcall
+                                                  : Opcode::kEbreak));
+    return;
+  }
+  // Arrange mepc to land just past the mret, optionally set MPP=S, and
+  // return — a real privilege transition (M -> S/U) that exercises the trap
+  // unit and unlocks the supervisor-mode condition crosses.
+  const unsigned t = def_reg();
+  const bool to_supervisor = rng_.chance(0.5);
+  if (to_supervisor) {
+    const unsigned m = def_reg();
+    out.push_back(riscv::enc_i(Opcode::kAddi, m, 0, 1));
+    out.push_back(riscv::enc_shift(Opcode::kSlli, m, m, 11));  // MPP = 0b01
+    out.push_back(riscv::enc_csr(Opcode::kCsrrs, 0, riscv::csr::kMstatus, m));
+  }
+  out.push_back(riscv::enc_u(Opcode::kAuipc, t, 0));
+  out.push_back(riscv::enc_i(Opcode::kAddi, t, t, 16));
+  out.push_back(riscv::enc_csr(Opcode::kCsrrw, 0, riscv::csr::kMepc, t));
+  out.push_back(riscv::enc_sys(Opcode::kMret));
+  if (to_supervisor && rng_.chance(0.3)) {
+    // Running in S-mode now; sret bounces to U using whatever SPP holds.
+    out.push_back(riscv::enc_sys(Opcode::kSret));
+  }
+}
+
+void CorpusGenerator::emit_irq(Program& out) {
+  // CLINT arming idiom: enable a machine interrupt source in mie (+ the
+  // global mstatus.MIE), then store to mtimecmp or msip. Mirrors how kernel
+  // timer code arms the SiFive CLINT.
+  const unsigned t0 = def_reg();
+  const unsigned t1 = def_reg();
+  const bool timer = rng_.chance(0.6);
+  out.push_back(riscv::enc_i(Opcode::kAddi, t1, 0,
+                             timer ? (1 << 7) : (1 << 3)));
+  out.push_back(riscv::enc_csr(Opcode::kCsrrs, 0, riscv::csr::kMie, t1));
+  if (rng_.chance(0.8)) {
+    out.push_back(riscv::enc_i(Opcode::kAddi, t1, 0, 1 << 3));
+    out.push_back(riscv::enc_csr(Opcode::kCsrrs, 0, riscv::csr::kMstatus, t1));
+  }
+  const std::uint64_t addr =
+      cfg_.clint_base + (timer ? 0x4000ull : 0x0ull);  // mtimecmp / msip
+  const auto value = static_cast<std::int32_t>(addr);
+  const std::int32_t hi = (value + 0x800) >> 12;
+  out.push_back(riscv::enc_u(Opcode::kLui, t0, hi));
+  out.push_back(riscv::enc_i(Opcode::kAddi, t0, t0, value - (hi << 12)));
+  if (timer) {
+    out.push_back(riscv::enc_i(Opcode::kAddi, t1, 0,
+                               static_cast<std::int32_t>(rng_.range(8, 64))));
+    out.push_back(riscv::enc_s(Opcode::kSd, t0, t1, 0));
+  } else {
+    out.push_back(riscv::enc_i(Opcode::kAddi, t1, 0, 1));
+    out.push_back(riscv::enc_s(Opcode::kSw, t0, t1, 0));
+  }
+}
+
+Program CorpusGenerator::function() {
+  Program out;
+  recent_.clear();
+  if (cfg_.with_prologue) {
+    out.push_back(riscv::enc_i(Opcode::kAddi, 2, 2, -32));
+    out.push_back(riscv::enc_s(Opcode::kSd, 2, 1, 8));
+    out.push_back(riscv::enc_s(Opcode::kSd, 2, 8, 16));
+  }
+  const std::array<double, 11> weights = {
+      cfg_.w_alu_chain, cfg_.w_load_compute_store, cfg_.w_if_else,
+      cfg_.w_loop,      cfg_.w_muldiv,             cfg_.w_csr,
+      cfg_.w_amo,       cfg_.w_lrsc,               cfg_.w_fence,
+      cfg_.w_priv,      cfg_.w_irq};
+  const auto target = static_cast<std::size_t>(
+      rng_.range(cfg_.min_instrs, cfg_.max_instrs));
+  while (out.size() < target) {
+    switch (rng_.weighted_pick(weights)) {
+      case 0: emit_alu_chain(out); break;
+      case 1: emit_load_compute_store(out); break;
+      case 2: emit_if_else(out); break;
+      case 3: emit_loop(out); break;
+      case 4: emit_muldiv(out); break;
+      case 5: emit_csr(out); break;
+      case 6: emit_amo(out); break;
+      case 7: emit_lrsc(out); break;
+      case 8: emit_fence(out); break;
+      case 9: emit_priv(out); break;
+      default: emit_irq(out); break;
+    }
+  }
+  if (cfg_.with_prologue) {
+    out.push_back(riscv::enc_i(Opcode::kLd, 1, 2, 8));
+    out.push_back(riscv::enc_i(Opcode::kLd, 8, 2, 16));
+    out.push_back(riscv::enc_i(Opcode::kAddi, 2, 2, 32));
+    out.push_back(riscv::enc_i(Opcode::kJalr, 0, 1, 0));  // ret
+  }
+  return out;
+}
+
+std::vector<Program> CorpusGenerator::dataset(std::size_t n) {
+  std::vector<Program> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(function());
+  return out;
+}
+
+Program CorpusGenerator::prompt(unsigned k) {
+  // Sample body instructions only: the prologue is identical across
+  // functions and would collapse every rollout onto one prefix.
+  const bool saved = cfg_.with_prologue;
+  cfg_.with_prologue = false;
+  Program fn = function();
+  cfg_.with_prologue = saved;
+  if (fn.size() > k) fn.resize(k);
+  return fn;
+}
+
+Program random_valid_program(Rng& rng, unsigned num_instrs) {
+  Program out;
+  out.reserve(num_instrs);
+  for (unsigned i = 0; i < num_instrs; ++i) {
+    const auto& spec = riscv::all_specs()[rng.below(riscv::kNumOpcodes)];
+    riscv::Decoded d;
+    d.op = spec.op;
+    d.rd = static_cast<std::uint8_t>(rng.below(32));
+    d.rs1 = static_cast<std::uint8_t>(rng.below(32));
+    d.rs2 = static_cast<std::uint8_t>(rng.below(32));
+    d.aq = rng.chance(0.1);
+    d.rl = rng.chance(0.1);
+    switch (spec.format) {
+      case riscv::Format::kI: case riscv::Format::kS:
+        d.imm = rng.range(-2048, 2047);
+        break;
+      case riscv::Format::kIShift64: d.imm = rng.range(0, 63); break;
+      case riscv::Format::kIShift32: d.imm = rng.range(0, 31); break;
+      case riscv::Format::kB: d.imm = rng.range(-512, 511) * 2; break;
+      case riscv::Format::kU: d.imm = rng.range(-512, 511) << 12; break;
+      case riscv::Format::kJ: d.imm = rng.range(-1024, 1023) * 2; break;
+      case riscv::Format::kCsr: case riscv::Format::kCsrImm:
+        d.csr = rng.chance(0.7)
+                    ? kCsrPool[rng.below(kCsrPool.size())]
+                    : static_cast<std::uint16_t>(rng.below(0x1000));
+        break;
+      default:
+        break;
+    }
+    out.push_back(riscv::encode(d));
+  }
+  return out;
+}
+
+}  // namespace chatfuzz::corpus

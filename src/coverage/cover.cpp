@@ -1,0 +1,102 @@
+#include "coverage/cover.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace chatfuzz::cov {
+
+PointId CoverageDB::register_cond(std::string name) {
+  const auto id = static_cast<PointId>(names_.size());
+  names_.push_back(std::move(name));
+  hits_.push_back(0);
+  hits_.push_back(0);
+  test_bins_.push_back(0);
+  test_bins_.push_back(0);
+  return id;
+}
+
+void CoverageDB::begin_test() {
+  std::fill(test_bins_.begin(), test_bins_.end(), 0);
+}
+
+std::size_t CoverageDB::total_covered() const {
+  std::size_t n = 0;
+  for (std::uint64_t h : hits_) n += h != 0 ? 1 : 0;
+  return n;
+}
+
+std::size_t CoverageDB::test_covered() const {
+  std::size_t n = 0;
+  for (std::uint8_t b : test_bins_) n += b;
+  return n;
+}
+
+double CoverageDB::total_percent() const {
+  return hits_.empty() ? 0.0
+                       : 100.0 * static_cast<double>(total_covered()) /
+                             static_cast<double>(hits_.size());
+}
+
+void CoverageDB::reset_hits() {
+  std::fill(hits_.begin(), hits_.end(), 0);
+  std::fill(test_bins_.begin(), test_bins_.end(), 0);
+}
+
+bool CtrlRegCoverage::observe(std::uint64_t packed_state) {
+  // Mix to spread adjacent states.
+  std::uint64_t h = packed_state * 0x9e3779b97f4a7c15ull;
+  h ^= h >> 29;
+  if (seen_.empty()) seen_.resize(1ull << 16, 0);
+  const std::size_t mask = seen_.size() - 1;
+  std::size_t slot = h & mask;
+  const std::uint64_t key = h | 1;  // reserve 0 as "empty"
+  for (std::size_t probe = 0; probe < 64; ++probe, slot = (slot + 1) & mask) {
+    if (seen_[slot] == key) return false;
+    if (seen_[slot] == 0) {
+      seen_[slot] = key;
+      ++count_;
+      ++test_new_;
+      return true;
+    }
+  }
+  return false;  // table region saturated; treat as seen
+}
+
+void CtrlRegCoverage::reset() {
+  seen_.clear();
+  count_ = 0;
+  test_new_ = 0;
+}
+
+std::string write_report(const CoverageDB& db) {
+  std::string out = "# chatfuzz condition coverage report v1\n";
+  char line[256];
+  for (std::size_t i = 0; i < db.num_points(); ++i) {
+    std::snprintf(line, sizeof line, "COND %zu %s %llu %llu\n", i,
+                  db.point_name(static_cast<PointId>(i)).c_str(),
+                  static_cast<unsigned long long>(db.bin_hits(2 * i + 1)),
+                  static_cast<unsigned long long>(db.bin_hits(2 * i)));
+    out += line;
+  }
+  return out;
+}
+
+std::vector<ReportEntry> parse_report(const std::string& text) {
+  std::vector<ReportEntry> entries;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("COND ", 0) != 0) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    std::size_t idx;
+    ReportEntry e;
+    if (ls >> tag >> idx >> e.name >> e.true_hits >> e.false_hits) {
+      entries.push_back(std::move(e));
+    }
+  }
+  return entries;
+}
+
+}  // namespace chatfuzz::cov

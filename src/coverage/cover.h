@@ -1,0 +1,138 @@
+// Condition-coverage database, modeled on what Synopsys VCS reports for
+// `-cm cond`: every boolean condition in the DUT contributes one *point*
+// with two *bins* (evaluated-true, evaluated-false). Coverage percentage is
+// covered-bins / total-bins — the metric all paper results are stated in.
+//
+// The DB also tracks per-test ("stand-alone") hit sets so the Coverage
+// Calculator (§IV-B of the paper) can compute stand-alone, incremental and
+// total coverage per test input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chatfuzz::cov {
+
+using PointId = std::uint32_t;
+
+class CoverageDB {
+ public:
+  /// Register a condition point. Call once per static condition at model
+  /// construction; returns the id used by hit().
+  PointId register_cond(std::string name);
+
+  /// Record one evaluation of a condition. Sets the cumulative bin and the
+  /// current test's stand-alone bin.
+  void hit(PointId id, bool outcome) {
+    const std::size_t bin = 2 * static_cast<std::size_t>(id) + (outcome ? 1 : 0);
+    ++hits_[bin];
+    test_bins_[bin] = 1;
+  }
+
+  /// Bulk accumulation (coverage merging); does not touch the per-test set.
+  void add_hits(PointId id, bool outcome, std::uint64_t n) {
+    hits_[2 * static_cast<std::size_t>(id) + (outcome ? 1 : 0)] += n;
+  }
+
+  /// Mark the start of a new test input: clears the stand-alone hit set.
+  void begin_test();
+
+  std::size_t num_points() const { return names_.size(); }
+  std::size_t num_bins() const { return hits_.size(); }
+  const std::string& point_name(PointId id) const { return names_[id]; }
+  std::uint64_t bin_hits(std::size_t bin) const { return hits_[bin]; }
+  bool bin_covered(std::size_t bin) const { return hits_[bin] != 0; }
+  bool test_bin_hit(std::size_t bin) const { return test_bins_[bin] != 0; }
+
+  /// Cumulative covered-bin count.
+  std::size_t total_covered() const;
+  /// Covered-bin count of the current test alone.
+  std::size_t test_covered() const;
+  /// Cumulative coverage as a percentage of all bins.
+  double total_percent() const;
+
+  /// Reset cumulative hit counts (new campaign), keeping registered points.
+  void reset_hits();
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::uint64_t> hits_;     // 2 bins per point
+  std::vector<std::uint8_t> test_bins_; // stand-alone hit set
+};
+
+/// Per-test values the paper's Coverage Calculator produces (§IV-B).
+struct TestCoverage {
+  std::size_t standalone_bins = 0;   // bins this test hit
+  std::size_t incremental_bins = 0;  // bins newly covered vs. before the test
+  std::size_t total_bins = 0;        // cumulative covered bins after the test
+  std::size_t universe_bins = 0;     // all bins in the DUT
+  double standalone_percent() const {
+    return universe_bins ? 100.0 * static_cast<double>(standalone_bins) /
+                               static_cast<double>(universe_bins)
+                         : 0.0;
+  }
+  double total_percent() const {
+    return universe_bins ? 100.0 * static_cast<double>(total_bins) /
+                               static_cast<double>(universe_bins)
+                         : 0.0;
+  }
+};
+
+/// Coverage Calculator: wraps a CoverageDB and computes the three per-test
+/// values. Usage per test: calc.begin_test(); <run DUT>; auto tc = calc.end_test();
+class CoverageCalculator {
+ public:
+  explicit CoverageCalculator(CoverageDB& db) : db_(db) {}
+
+  void begin_test() {
+    before_total_ = db_.total_covered();
+    db_.begin_test();
+  }
+
+  TestCoverage end_test() const {
+    TestCoverage tc;
+    tc.standalone_bins = db_.test_covered();
+    tc.total_bins = db_.total_covered();
+    tc.incremental_bins = tc.total_bins - before_total_;
+    tc.universe_bins = db_.num_bins();
+    return tc;
+  }
+
+ private:
+  CoverageDB& db_;
+  std::size_t before_total_ = 0;
+};
+
+/// Control-register coverage as used by DifuzzRTL: the DUT registers its
+/// mux-select/control registers; coverage is the number of distinct packed
+/// control-state values observed (bounded by a hash-map budget).
+class CtrlRegCoverage {
+ public:
+  /// Record one observed control state. Returns true if it was new.
+  bool observe(std::uint64_t packed_state);
+  std::size_t distinct_states() const { return count_; }
+  void begin_test() { test_new_ = 0; }
+  std::size_t test_new_states() const { return test_new_; }
+  void reset();
+
+ private:
+  // Open-addressed set keyed by the state hash; we only need cardinality.
+  std::vector<std::uint64_t> seen_;
+  std::size_t count_ = 0;
+  std::size_t test_new_ = 0;
+};
+
+/// Serialize a coverage DB to the textual report format the Coverage
+/// Calculator parses (stands in for the VCS report flow of §IV-B).
+std::string write_report(const CoverageDB& db);
+
+/// Parse a report back into (name, true_hits, false_hits) triples.
+struct ReportEntry {
+  std::string name;
+  std::uint64_t true_hits = 0;
+  std::uint64_t false_hits = 0;
+};
+std::vector<ReportEntry> parse_report(const std::string& text);
+
+}  // namespace chatfuzz::cov

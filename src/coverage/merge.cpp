@@ -1,0 +1,51 @@
+#include "coverage/merge.h"
+
+#include <map>
+
+namespace chatfuzz::cov {
+
+bool merge_into(CoverageDB& dst, const CoverageDB& src) {
+  if (dst.num_points() != src.num_points()) return false;
+  for (std::size_t i = 0; i < dst.num_points(); ++i) {
+    if (dst.point_name(static_cast<PointId>(i)) !=
+        src.point_name(static_cast<PointId>(i))) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < dst.num_points(); ++i) {
+    const auto id = static_cast<PointId>(i);
+    dst.add_hits(id, false, src.bin_hits(2 * i));
+    dst.add_hits(id, true, src.bin_hits(2 * i + 1));
+  }
+  return true;
+}
+
+std::vector<ReportEntry> merge_reports(
+    const std::vector<std::vector<ReportEntry>>& reports) {
+  std::map<std::string, ReportEntry> merged;
+  for (const auto& report : reports) {
+    for (const ReportEntry& e : report) {
+      ReportEntry& slot = merged[e.name];
+      slot.name = e.name;
+      slot.true_hits += e.true_hits;
+      slot.false_hits += e.false_hits;
+    }
+  }
+  std::vector<ReportEntry> out;
+  out.reserve(merged.size());
+  for (auto& [name, e] : merged) out.push_back(std::move(e));
+  return out;
+}
+
+std::vector<UncoveredPoint> uncovered_points(const CoverageDB& db) {
+  std::vector<UncoveredPoint> out;
+  for (std::size_t i = 0; i < db.num_points(); ++i) {
+    const bool t = db.bin_covered(2 * i + 1);
+    const bool f = db.bin_covered(2 * i);
+    if (t && f) continue;
+    out.push_back({db.point_name(static_cast<PointId>(i)), !t, !f});
+  }
+  return out;
+}
+
+}  // namespace chatfuzz::cov

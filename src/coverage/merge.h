@@ -1,0 +1,31 @@
+// Coverage merging for sharded campaigns: the paper runs ten VCS instances
+// in parallel and merges their coverage; these helpers union coverage
+// reports from independent CoverageDBs with identical point registrations.
+#pragma once
+
+#include <vector>
+
+#include "coverage/cover.h"
+
+namespace chatfuzz::cov {
+
+/// Union `src` into `dst` (hit counts add). Both DBs must have been built by
+/// identical point registrations (same model config); returns false and
+/// leaves `dst` untouched on a point-name mismatch.
+bool merge_into(CoverageDB& dst, const CoverageDB& src);
+
+/// Union a set of parsed reports (by point name). Entries present in some
+/// reports only are kept; hit counts add.
+std::vector<ReportEntry> merge_reports(
+    const std::vector<std::vector<ReportEntry>>& reports);
+
+/// Names of points whose true or false bin is still uncovered — the
+/// verification-engineer view ("what is left to hit").
+struct UncoveredPoint {
+  std::string name;
+  bool missing_true = false;
+  bool missing_false = false;
+};
+std::vector<UncoveredPoint> uncovered_points(const CoverageDB& db);
+
+}  // namespace chatfuzz::cov

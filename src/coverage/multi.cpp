@@ -1,0 +1,238 @@
+#include "coverage/multi.h"
+
+namespace chatfuzz::cov {
+
+// ---- ToggleCoverage ---------------------------------------------------------
+
+ToggleCoverage::ToggleCoverage(unsigned num_regs)
+    : num_regs_(num_regs),
+      bins_(static_cast<std::size_t>(num_regs) * 128, 0),
+      test_bins_(bins_.size(), 0) {}
+
+void ToggleCoverage::begin_test() {
+  std::fill(test_bins_.begin(), test_bins_.end(), 0);
+  test_covered_ = 0;
+}
+
+void ToggleCoverage::observe_write(unsigned reg, std::uint64_t old_value,
+                                   std::uint64_t new_value) {
+  if (reg >= num_regs_) return;
+  const std::uint64_t changed = old_value ^ new_value;
+  if (changed == 0) return;
+  const std::size_t base = static_cast<std::size_t>(reg) * 128;
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    if (((changed >> bit) & 1) == 0) continue;
+    const unsigned dir = (new_value >> bit) & 1;  // 1: rose, 0: fell
+    const std::size_t idx = base + 2 * bit + dir;
+    if (bins_[idx] == 0) {
+      bins_[idx] = 1;
+      ++covered_;
+    }
+    if (test_bins_[idx] == 0) {
+      test_bins_[idx] = 1;
+      ++test_covered_;
+    }
+  }
+}
+
+// ---- FsmCoverage ------------------------------------------------------------
+
+FsmCoverage::FsmId FsmCoverage::register_fsm(
+    std::string name, unsigned num_states,
+    std::vector<std::pair<unsigned, unsigned>> transitions) {
+  Fsm f;
+  f.name = std::move(name);
+  f.num_states = num_states;
+  f.transitions = std::move(transitions);
+  f.state_hit.assign(num_states, 0);
+  f.state_test.assign(num_states, 0);
+  f.trans_hit.assign(f.transitions.size(), 0);
+  f.trans_test.assign(f.transitions.size(), 0);
+  universe_ += num_states + f.transitions.size();
+  fsms_.push_back(std::move(f));
+  return fsms_.size() - 1;
+}
+
+void FsmCoverage::begin_test() {
+  for (Fsm& f : fsms_) {
+    std::fill(f.state_test.begin(), f.state_test.end(), 0);
+    std::fill(f.trans_test.begin(), f.trans_test.end(), 0);
+  }
+  test_covered_ = 0;
+}
+
+void FsmCoverage::observe(FsmId fsm, unsigned from, unsigned to) {
+  Fsm& f = fsms_[fsm];
+  if (to < f.num_states) {
+    if (f.state_hit[to] == 0) {
+      f.state_hit[to] = 1;
+      ++covered_;
+    }
+    if (f.state_test[to] == 0) {
+      f.state_test[to] = 1;
+      ++test_covered_;
+    }
+  }
+  // Self-arcs count only when declared, like any other arc.
+  for (std::size_t i = 0; i < f.transitions.size(); ++i) {
+    if (f.transitions[i].first == from && f.transitions[i].second == to) {
+      if (f.trans_hit[i] == 0) {
+        f.trans_hit[i] = 1;
+        ++covered_;
+      }
+      if (f.trans_test[i] == 0) {
+        f.trans_test[i] = 1;
+        ++test_covered_;
+      }
+      break;
+    }
+  }
+}
+
+std::size_t FsmCoverage::fsm_states_covered(FsmId fsm) const {
+  std::size_t n = 0;
+  for (std::uint8_t h : fsms_[fsm].state_hit) n += h;
+  return n;
+}
+
+std::size_t FsmCoverage::fsm_transitions_covered(FsmId fsm) const {
+  std::size_t n = 0;
+  for (std::uint8_t h : fsms_[fsm].trans_hit) n += h;
+  return n;
+}
+
+// ---- StatementCoverage ------------------------------------------------------
+
+StatementCoverage::StmtId StatementCoverage::register_stmt(std::string name) {
+  names_.push_back(std::move(name));
+  hit_.push_back(0);
+  test_hit_.push_back(0);
+  return names_.size() - 1;
+}
+
+void StatementCoverage::begin_test() {
+  std::fill(test_hit_.begin(), test_hit_.end(), 0);
+  test_covered_ = 0;
+}
+
+void StatementCoverage::hit(StmtId id) {
+  if (hit_[id] == 0) {
+    hit_[id] = 1;
+    ++covered_;
+  }
+  if (test_hit_[id] == 0) {
+    test_hit_[id] = 1;
+    ++test_covered_;
+  }
+}
+
+// ---- MetricSuite ------------------------------------------------------------
+
+namespace {
+// Privilege FSM states (indices into the FSM, not riscv::Priv encodings).
+enum PrivState : unsigned { kM = 0, kS = 1, kU = 2 };
+
+unsigned priv_state(riscv::Priv p) {
+  switch (p) {
+    case riscv::Priv::kMachine: return kM;
+    case riscv::Priv::kSupervisor: return kS;
+    default: return kU;
+  }
+}
+
+// MuldivUnit FSM states.
+enum MdState : unsigned { kIdle = 0, kMulBusy = 1, kDivBusy = 2 };
+
+// D$ line FSM states.
+enum LineState : unsigned { kInv = 0, kValid = 1, kDirty = 2 };
+
+// Statement blocks, in declaration order.
+enum Stmt : unsigned {
+  kStFetch = 0, kStDecode, kStAlu, kStBranch, kStJump, kStMulDiv, kStDiv,
+  kStLoad, kStStore, kStAmo, kStCsr, kStFence, kStTrap, kStWb, kNumStmts,
+};
+const char* kStmtNames[kNumStmts] = {
+    "fetch", "decode", "ex.alu", "ex.branch", "ex.jump", "ex.muldiv",
+    "ex.div", "mem.load", "mem.store", "mem.amo", "csr", "fence", "trap",
+    "writeback"};
+}  // namespace
+
+MetricSuite::MetricSuite() : toggle_(32) {
+  priv_fsm_ = fsm_.register_fsm(
+      "privilege", 3,
+      {{kM, kS}, {kM, kU}, {kS, kM}, {kU, kM}, {kS, kU}, {kM, kM}});
+  muldiv_fsm_ = fsm_.register_fsm(
+      "muldiv_unit", 3,
+      {{kIdle, kMulBusy}, {kIdle, kDivBusy}, {kMulBusy, kIdle},
+       {kDivBusy, kIdle}, {kMulBusy, kMulBusy}, {kDivBusy, kDivBusy},
+       {kMulBusy, kDivBusy}, {kDivBusy, kMulBusy}});
+  dline_fsm_ = fsm_.register_fsm(
+      "dcache_line", 3,
+      {{kInv, kValid}, {kInv, kDirty}, {kValid, kDirty}, {kValid, kInv},
+       {kDirty, kInv}, {kValid, kValid}, {kDirty, kDirty}});
+  for (unsigned i = 0; i < kNumStmts; ++i) {
+    stmt_ids_.push_back(stmt_.register_stmt(kStmtNames[i]));
+  }
+}
+
+void MetricSuite::begin_test() {
+  toggle_.begin_test();
+  fsm_.begin_test();
+  stmt_.begin_test();
+}
+
+void MetricSuite::on_step(const StepObservation& ob) {
+  // Statements.
+  stmt_.hit(stmt_ids_[kStFetch]);
+  stmt_.hit(stmt_ids_[kStDecode]);
+  if (ob.is_branch) stmt_.hit(stmt_ids_[kStBranch]);
+  if (ob.is_jump) stmt_.hit(stmt_ids_[kStJump]);
+  if (ob.is_muldiv) stmt_.hit(stmt_ids_[kStMulDiv]);
+  if (ob.is_div) stmt_.hit(stmt_ids_[kStDiv]);
+  if (ob.is_load) stmt_.hit(stmt_ids_[kStLoad]);
+  if (ob.is_store) stmt_.hit(stmt_ids_[kStStore]);
+  if (ob.is_amo) stmt_.hit(stmt_ids_[kStAmo]);
+  if (ob.is_csr) stmt_.hit(stmt_ids_[kStCsr]);
+  if (ob.is_fence) stmt_.hit(stmt_ids_[kStFence]);
+  if (ob.trap) stmt_.hit(stmt_ids_[kStTrap]);
+  if (!ob.is_branch && !ob.is_store && !ob.trap) {
+    stmt_.hit(stmt_ids_[kStWb]);
+  }
+  if (!ob.is_load && !ob.is_store && !ob.is_amo && !ob.is_branch &&
+      !ob.is_jump && !ob.is_muldiv && !ob.is_csr && !ob.is_fence && !ob.trap) {
+    stmt_.hit(stmt_ids_[kStAlu]);
+  }
+
+  // Privilege FSM.
+  const unsigned pb = priv_state(ob.priv_before);
+  const unsigned pa = priv_state(ob.priv_after);
+  if (pb != pa || pb == kM) fsm_.observe(priv_fsm_, pb, pa);
+
+  // Mul/div unit FSM.
+  const unsigned md_next =
+      ob.is_div ? kDivBusy : (ob.is_muldiv ? kMulBusy : kIdle);
+  if (md_next != kIdle || muldiv_state_ != kIdle) {
+    fsm_.observe(muldiv_fsm_, muldiv_state_, md_next);
+  }
+  muldiv_state_ = md_next;
+
+  // D$ line FSM: reconstruct the accessed line's arc from the access result.
+  if (ob.dcache_access) {
+    if (ob.dcache_evict_dirty) {
+      fsm_.observe(dline_fsm_, kDirty, kInv);
+    } else if (ob.dcache_evict_valid) {
+      fsm_.observe(dline_fsm_, kValid, kInv);
+    }
+    if (!ob.dcache_hit) {
+      fsm_.observe(dline_fsm_, kInv, ob.is_store ? kDirty : kValid);
+    } else if (ob.is_store) {
+      fsm_.observe(dline_fsm_, ob.dcache_hit_dirty ? kDirty : kValid, kDirty);
+    } else {
+      fsm_.observe(dline_fsm_,
+                   ob.dcache_hit_dirty ? kDirty : kValid,
+                   ob.dcache_hit_dirty ? kDirty : kValid);
+    }
+  }
+}
+
+}  // namespace chatfuzz::cov

@@ -1,0 +1,183 @@
+// Additional RTL coverage metrics beyond condition coverage. The paper's
+// related work guides fuzzers with several signals — statement coverage,
+// mux-control/control-register state (DifuzzRTL, RFuzz), FSM states — and
+// §V motivates the choice of condition coverage over them. This module
+// models the standard VCS/URG metric family so the guidance choice can be
+// ablated: toggle coverage (per-bit 0->1/1->0 of architectural registers),
+// FSM coverage (states + valid transitions of identified control FSMs),
+// and statement coverage (per-block execution).
+//
+// All metrics share the Metric interface so the campaign runner can use any
+// of them as the feedback signal while condition coverage remains the
+// reported ground truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "riscv/csr.h"
+
+namespace chatfuzz::cov {
+
+/// Uniform view over a coverage metric: a bin universe, cumulative covered
+/// bins, and a per-test ("stand-alone") covered count.
+class Metric {
+ public:
+  virtual ~Metric() = default;
+  virtual std::string name() const = 0;
+  virtual std::size_t universe() const = 0;
+  virtual std::size_t covered() const = 0;
+  /// Clears the per-test hit set.
+  virtual void begin_test() = 0;
+  virtual std::size_t test_covered() const = 0;
+
+  double percent() const {
+    return universe() == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(covered()) /
+                     static_cast<double>(universe());
+  }
+};
+
+/// Toggle coverage over a bank of 64-bit registers: two bins per bit
+/// (0->1 and 1->0), exactly what `vcs -cm tgl` counts on register outputs.
+class ToggleCoverage final : public Metric {
+ public:
+  /// `num_regs` 64-bit registers (e.g. the 31 writable GPRs).
+  explicit ToggleCoverage(unsigned num_regs);
+
+  std::string name() const override { return "toggle"; }
+  std::size_t universe() const override { return bins_.size(); }
+  std::size_t covered() const override { return covered_; }
+  void begin_test() override;
+  std::size_t test_covered() const override { return test_covered_; }
+
+  /// Record a register update; bits that changed toggle their direction bin.
+  void observe_write(unsigned reg, std::uint64_t old_value,
+                     std::uint64_t new_value);
+
+ private:
+  unsigned num_regs_;
+  std::vector<std::uint8_t> bins_;       // [reg*128 + bit*2 + dir]
+  std::vector<std::uint8_t> test_bins_;
+  std::size_t covered_ = 0;
+  std::size_t test_covered_ = 0;
+};
+
+/// FSM coverage: declared states and valid transitions per FSM; bins are
+/// states plus transitions (the URG "FSM states / FSM transitions" rollup).
+class FsmCoverage final : public Metric {
+ public:
+  using FsmId = std::size_t;
+
+  /// Declare an FSM with `num_states` states and an explicit valid
+  /// transition list (from,to). Undeclared transitions are ignored when
+  /// observed (matching how URG reports only annotated arcs).
+  FsmId register_fsm(std::string name, unsigned num_states,
+                     std::vector<std::pair<unsigned, unsigned>> transitions);
+
+  std::string name() const override { return "fsm"; }
+  std::size_t universe() const override { return universe_; }
+  std::size_t covered() const override { return covered_; }
+  void begin_test() override;
+  std::size_t test_covered() const override { return test_covered_; }
+
+  /// Record that `fsm` moved from `from` to `to` (may be the same state;
+  /// self-arcs count only if declared).
+  void observe(FsmId fsm, unsigned from, unsigned to);
+
+  /// Introspection: covered state/transition counts of one FSM.
+  std::size_t fsm_states_covered(FsmId fsm) const;
+  std::size_t fsm_transitions_covered(FsmId fsm) const;
+
+ private:
+  struct Fsm {
+    std::string name;
+    unsigned num_states;
+    std::vector<std::pair<unsigned, unsigned>> transitions;
+    std::vector<std::uint8_t> state_hit, state_test;
+    std::vector<std::uint8_t> trans_hit, trans_test;
+  };
+  std::vector<Fsm> fsms_;
+  std::size_t universe_ = 0;
+  std::size_t covered_ = 0;
+  std::size_t test_covered_ = 0;
+};
+
+/// Statement (block) coverage: one bin per registered block.
+class StatementCoverage final : public Metric {
+ public:
+  using StmtId = std::size_t;
+  StmtId register_stmt(std::string name);
+
+  std::string name() const override { return "statement"; }
+  std::size_t universe() const override { return hit_.size(); }
+  std::size_t covered() const override { return covered_; }
+  void begin_test() override;
+  std::size_t test_covered() const override { return test_covered_; }
+
+  void hit(StmtId id);
+  bool stmt_covered(StmtId id) const { return hit_[id] != 0; }
+  const std::string& stmt_name(StmtId id) const { return names_[id]; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::uint8_t> hit_, test_hit_;
+  std::size_t covered_ = 0;
+  std::size_t test_covered_ = 0;
+};
+
+/// Per-instruction observation the DUT model reports to the metric suite;
+/// a flattened view of its pipeline events.
+struct StepObservation {
+  bool is_load = false, is_store = false, is_amo = false, is_branch = false,
+       is_jump = false, is_muldiv = false, is_div = false, is_csr = false,
+       is_fence = false, trap = false;
+  riscv::Priv priv_before = riscv::Priv::kMachine;
+  riscv::Priv priv_after = riscv::Priv::kMachine;
+  bool dcache_access = false, dcache_hit = false, dcache_hit_dirty = false,
+       dcache_evict_valid = false, dcache_evict_dirty = false;
+};
+
+/// The full metric bundle a DUT model can be instrumented with. The DUT
+/// calls observe_write() at writeback and on_step() at each commit; the
+/// suite maintains the metric-specific state machines.
+class MetricSuite {
+ public:
+  MetricSuite();
+
+  ToggleCoverage& toggle() { return toggle_; }
+  FsmCoverage& fsm() { return fsm_; }
+  StatementCoverage& statement() { return stmt_; }
+  const ToggleCoverage& toggle() const { return toggle_; }
+  const FsmCoverage& fsm() const { return fsm_; }
+  const StatementCoverage& statement() const { return stmt_; }
+
+  void begin_test();
+
+  /// Register-file writeback hook.
+  void observe_write(unsigned reg, std::uint64_t old_value,
+                     std::uint64_t new_value) {
+    toggle_.observe_write(reg, old_value, new_value);
+  }
+
+  /// Per-commit hook: updates statements and the declared FSMs.
+  void on_step(const StepObservation& ob);
+
+ private:
+  ToggleCoverage toggle_;
+  FsmCoverage fsm_;
+  StatementCoverage stmt_;
+
+  // Declared FSMs.
+  FsmCoverage::FsmId priv_fsm_;    // M/S/U privilege state
+  FsmCoverage::FsmId muldiv_fsm_;  // idle / mul-busy / div-busy
+  FsmCoverage::FsmId dline_fsm_;   // D$ line: Invalid / Valid / Dirty
+  unsigned muldiv_state_ = 0;
+
+  // Statement blocks.
+  std::vector<StatementCoverage::StmtId> stmt_ids_;
+};
+
+}  // namespace chatfuzz::cov

@@ -1,0 +1,72 @@
+// Sparse byte-addressable physical memory with a single RAM window.
+// Accesses outside the window report an access fault to the caller (the
+// simulators turn that into the architectural exception).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace chatfuzz::sim {
+
+class Memory {
+ public:
+  static constexpr std::uint64_t kPageBits = 12;
+  static constexpr std::uint64_t kPageSize = 1ull << kPageBits;
+
+  Memory(std::uint64_t ram_base, std::uint64_t ram_size)
+      : ram_base_(ram_base), ram_size_(ram_size) {}
+
+  std::uint64_t ram_base() const { return ram_base_; }
+  std::uint64_t ram_size() const { return ram_size_; }
+
+  bool in_ram(std::uint64_t addr, std::uint64_t size) const {
+    return addr >= ram_base_ && addr + size <= ram_base_ + ram_size_;
+  }
+
+  /// Unchecked little-endian read of `size` (1/2/4/8) bytes. Caller must
+  /// have validated the range with in_ram().
+  std::uint64_t read(std::uint64_t addr, unsigned size) const {
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i) {
+      value |= static_cast<std::uint64_t>(read_byte(addr + i)) << (8 * i);
+    }
+    return value;
+  }
+
+  void write(std::uint64_t addr, std::uint64_t value, unsigned size) {
+    for (unsigned i = 0; i < size; ++i) {
+      write_byte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  /// Load a program image (32-bit words, little endian) at `addr`.
+  void load_words(std::uint64_t addr, std::span<const std::uint32_t> words) {
+    for (std::uint32_t w : words) {
+      write(addr, w, 4);
+      addr += 4;
+    }
+  }
+
+  void clear() { pages_.clear(); }
+
+ private:
+  std::uint8_t read_byte(std::uint64_t addr) const {
+    const auto it = pages_.find(addr >> kPageBits);
+    if (it == pages_.end()) return 0;
+    return it->second[addr & (kPageSize - 1)];
+  }
+  void write_byte(std::uint64_t addr, std::uint8_t byte) {
+    auto& page = pages_[addr >> kPageBits];
+    if (page.empty()) page.resize(kPageSize, 0);
+    page[addr & (kPageSize - 1)] = byte;
+  }
+
+  std::uint64_t ram_base_;
+  std::uint64_t ram_size_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+};
+
+}  // namespace chatfuzz::sim

@@ -1,0 +1,176 @@
+// Testbench conventions shared by the golden model (isasim) and the DUT
+// model (rtlsim). Differential testing only works if both ends agree on the
+// environment: RAM window, initial register state, trap trampoline, stop
+// conditions. This header is that contract.
+//
+// Trap handling: fuzzed instruction streams trap constantly. Real campaigns
+// install a trampoline handler that records the trap and resumes after the
+// faulting instruction. We model that trampoline at harness level ("magic
+// handler"): on a synchronous exception both simulators update
+// mepc/mcause/mtval/mstatus per the privileged spec, switch to M-mode, and
+// resume at mepc+4. The handler itself is testbench, not DUT, so it is
+// bit-identical on both sides by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "riscv/csr.h"
+
+namespace chatfuzz::sim {
+
+struct Platform {
+  std::uint64_t ram_base = 0x8000'0000ull;
+  std::uint64_t ram_size = 1ull << 20;  // 1 MiB
+  /// Data region registers point into at reset (second half of RAM) so that
+  /// generated loads/stores frequently hit valid memory.
+  std::uint64_t data_base() const { return ram_base + ram_size / 2; }
+  std::uint64_t data_size() const { return ram_size / 2 - 0x1000; }
+
+  /// Bounded-run guard: instructions attempted before declaring the input a
+  /// non-terminating loop.
+  std::uint64_t max_steps = 4096;
+
+  /// Seed for the deterministic initial register file.
+  std::uint64_t reg_seed = 1;
+
+  /// Optional CLINT (core-local interruptor): memory-mapped msip/mtimecmp/
+  /// mtime with M-mode software and timer interrupts. Default off — the
+  /// paper's fuzz harness provides no interrupt stimulus, which is exactly
+  /// why the DUT's irq condition points are its unreachable tail. Enabling
+  /// it (the "interrupt stimulus" ablation) makes those points reachable.
+  bool clint_enabled = false;
+  std::uint64_t clint_base = 0x0200'0000ull;
+};
+
+/// Deterministic initial register file: even registers hold aligned pointers
+/// into the data region (so memory ops land in RAM), odd registers hold
+/// small integers (so ALU/branch conditions vary). x0 stays zero, x2 (sp)
+/// points at the top of the data region.
+inline std::array<std::uint64_t, 32> initial_regs(const Platform& plat) {
+  std::array<std::uint64_t, 32> regs{};
+  std::uint64_t s = plat.reg_seed;
+  auto next = [&s] {
+    s += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  for (unsigned i = 1; i < 32; ++i) {
+    const std::uint64_t r = next();
+    if (i % 2 == 0) {
+      regs[i] = plat.data_base() + ((r % plat.data_size()) & ~7ull);
+    } else {
+      regs[i] = r & 0xffff;
+    }
+  }
+  regs[2] = plat.data_base() + plat.data_size();  // sp: top of data region
+  return regs;
+}
+
+/// mstatus bit positions used by the simulators.
+namespace mstatus {
+inline constexpr std::uint64_t kSie = 1ull << 1;
+inline constexpr std::uint64_t kMie = 1ull << 3;
+inline constexpr std::uint64_t kSpie = 1ull << 5;
+inline constexpr std::uint64_t kMpie = 1ull << 7;
+inline constexpr std::uint64_t kSpp = 1ull << 8;
+inline constexpr std::uint64_t kMppShift = 11;
+inline constexpr std::uint64_t kMppMask = 3ull << kMppShift;
+}  // namespace mstatus
+
+/// misa for RV64IMA (MXL=2, extensions I, M, A).
+inline constexpr std::uint64_t kMisaValue =
+    (2ull << 62) | (1ull << ('i' - 'a')) | (1ull << ('m' - 'a')) |
+    (1ull << ('a' - 'a')) | (1ull << ('s' - 'a')) | (1ull << ('u' - 'a'));
+
+/// mip/mie interrupt bit positions (M-mode software and timer).
+namespace mip {
+inline constexpr std::uint64_t kMsip = 1ull << 3;
+inline constexpr std::uint64_t kMtip = 1ull << 7;
+inline constexpr std::uint64_t kMachineBits = kMsip | kMtip;
+inline constexpr std::uint64_t kCauseMsi = 3;
+inline constexpr std::uint64_t kCauseMti = 7;
+inline constexpr std::uint64_t kInterruptFlag = 1ull << 63;  // mcause bit
+}  // namespace mip
+
+/// CLINT device model: SiFive-compatible register layout. This is SoC
+/// fabric, not core logic — the same device block is attached to both the
+/// DUT model and the golden model (as Spike's own CLINT model is), so it
+/// lives in the shared platform contract. The timer ticks once per retired
+/// instruction, keeping both simulators' notion of time identical.
+struct ClintState {
+  static constexpr std::uint64_t kMsipOff = 0x0;       // 4 bytes
+  static constexpr std::uint64_t kMtimecmpOff = 0x4000;  // 8 bytes
+  static constexpr std::uint64_t kMtimeOff = 0xbff8;     // 8 bytes
+  static constexpr std::uint64_t kWindow = 0xc000;
+
+  std::uint64_t mtime = 0;
+  std::uint64_t mtimecmp = ~0ull;
+  std::uint32_t msip = 0;
+
+  void reset() { *this = ClintState{}; }
+  void tick() { ++mtime; }
+
+  /// Whether `addr` falls inside the CLINT window (any offset).
+  bool contains(const Platform& plat, std::uint64_t addr) const {
+    return plat.clint_enabled && addr >= plat.clint_base &&
+           addr < plat.clint_base + kWindow;
+  }
+
+  /// MMIO read; false on an unmapped offset or size mismatch (access fault).
+  bool read(const Platform& plat, std::uint64_t addr, unsigned size,
+            std::uint64_t& out) const {
+    const std::uint64_t off = addr - plat.clint_base;
+    if (off == kMsipOff && size == 4) {
+      out = msip;
+      return true;
+    }
+    if (off == kMtimecmpOff && size == 8) {
+      out = mtimecmp;
+      return true;
+    }
+    if (off == kMtimeOff && size == 8) {
+      out = mtime;
+      return true;
+    }
+    return false;
+  }
+
+  /// MMIO write; same mapping rules as read(). mtime itself is writable,
+  /// as on the SiFive CLINT.
+  bool write(const Platform& plat, std::uint64_t addr, unsigned size,
+             std::uint64_t bits) {
+    const std::uint64_t off = addr - plat.clint_base;
+    if (off == kMsipOff && size == 4) {
+      msip = static_cast<std::uint32_t>(bits) & 1u;
+      return true;
+    }
+    if (off == kMtimecmpOff && size == 8) {
+      mtimecmp = bits;
+      return true;
+    }
+    if (off == kMtimeOff && size == 8) {
+      mtime = bits;
+      return true;
+    }
+    return false;
+  }
+
+  /// The mip bits this device currently asserts.
+  std::uint64_t pending_mip() const {
+    return (msip & 1u ? mip::kMsip : 0) |
+           (mtime >= mtimecmp ? mip::kMtip : 0);
+  }
+
+  /// Magic-handler source clearing (see the trap-trampoline convention in
+  /// this header): the testbench handler acknowledges the interrupt at the
+  /// device so the hart can resume at the interrupted instruction.
+  void clear_source(std::uint64_t cause) {
+    if (cause == mip::kCauseMti) mtimecmp = ~0ull;
+    if (cause == mip::kCauseMsi) msip = 0;
+  }
+};
+
+}  // namespace chatfuzz::sim

@@ -1,0 +1,85 @@
+// Golden-model ISA simulator ("Spike" role in the paper): a functional
+// RV64IMA+Zicsr interpreter with M/S/U privilege, precise synchronous
+// exceptions, and a commit trace. It is intentionally implemented
+// independently of rtlsim — differential testing needs two implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "isasim/memory.h"
+#include "isasim/platform.h"
+#include "isasim/trace.h"
+#include "riscv/instr.h"
+
+namespace chatfuzz::sim {
+
+class IsaSim {
+ public:
+  explicit IsaSim(Platform plat = {});
+
+  /// Reset architectural state and load `program` at ram_base.
+  void reset(std::span<const std::uint32_t> program);
+
+  /// Run to completion (bounded by Platform::max_steps); returns the trace.
+  RunResult run();
+
+  /// Execute a single instruction; appends to the internal trace and returns
+  /// the committed record, or std::nullopt if the run has stopped.
+  std::optional<CommitRecord> step();
+
+  bool stopped() const { return stopped_; }
+  StopReason stop_reason() const { return stop_reason_; }
+
+  // ---- state inspection (tests, examples) ---------------------------------
+  std::uint64_t pc() const { return pc_; }
+  std::uint64_t reg(unsigned i) const { return regs_[i & 31]; }
+  riscv::Priv priv() const { return priv_; }
+  std::uint64_t csr_value(std::uint16_t addr) const;
+  const Memory& memory() const { return mem_; }
+  Memory& memory() { return mem_; }
+  const Trace& trace() const { return trace_; }
+
+ private:
+  struct CsrFile {
+    std::uint64_t mstatus = 0;
+    std::uint64_t medeleg = 0, mideleg = 0;
+    std::uint64_t mie = 0, mip = 0;
+    std::uint64_t mtvec = 0, mscratch = 0, mepc = 0, mcause = 0, mtval = 0;
+    std::uint64_t mcounteren = ~0ull, scounteren = ~0ull;
+    std::uint64_t stvec = 0, sscratch = 0, sepc = 0, scause = 0, stval = 0;
+    std::uint64_t satp = 0;
+    std::uint64_t cycle = 0, instret = 0;
+  };
+
+  // CSR access returns false (→ illegal instruction) on unknown address,
+  // insufficient privilege, or write to a read-only CSR.
+  bool csr_read(std::uint16_t addr, std::uint64_t& value) const;
+  bool csr_write(std::uint16_t addr, std::uint64_t value);
+
+  void raise(CommitRecord& rec, riscv::Exception cause, std::uint64_t tval);
+  void write_rd(CommitRecord& rec, std::uint8_t rd, std::uint64_t value);
+  void execute(const riscv::Decoded& d, CommitRecord& rec);
+
+  /// Poll the CLINT and enter a pending M-mode interrupt if enabled.
+  void service_interrupts();
+
+  Platform plat_;
+  Memory mem_;
+  ClintState clint_;
+  std::array<std::uint64_t, 32> regs_{};
+  std::uint64_t pc_ = 0;
+  riscv::Priv priv_ = riscv::Priv::kMachine;
+  CsrFile csrs_;
+  std::optional<std::uint64_t> reservation_;  // LR/SC reservation address
+  std::uint64_t program_end_ = 0;
+
+  Trace trace_;
+  bool stopped_ = true;
+  StopReason stop_reason_ = StopReason::kStepLimit;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace chatfuzz::sim

@@ -1,0 +1,41 @@
+#include "isasim/trace.h"
+
+#include <cstdio>
+
+#include "riscv/disasm.h"
+
+namespace chatfuzz::sim {
+
+std::string CommitRecord::to_string() const {
+  char buf[256];
+  int n = std::snprintf(buf, sizeof buf, "pc=%010llx %08x %-28s",
+                        static_cast<unsigned long long>(pc), instr,
+                        riscv::disasm(instr).c_str());
+  if (has_rd_write) {
+    n += std::snprintf(buf + n, sizeof buf - n, " x%-2u<=%016llx", rd,
+                       static_cast<unsigned long long>(rd_value));
+  }
+  if (has_mem) {
+    n += std::snprintf(buf + n, sizeof buf - n, " %s[%llx]=%llx",
+                       mem_is_store ? "st" : "ld",
+                       static_cast<unsigned long long>(mem_addr),
+                       static_cast<unsigned long long>(mem_value));
+  }
+  if (exception != riscv::Exception::kNone) {
+    std::snprintf(buf + n, sizeof buf - n, " !%s",
+                  riscv::exception_name(exception));
+  }
+  return buf;
+}
+
+const char* stop_reason_name(StopReason r) {
+  switch (r) {
+    case StopReason::kPcEscape: return "pc-escape";
+    case StopReason::kStepLimit: return "step-limit";
+    case StopReason::kWfi: return "wfi";
+    case StopReason::kProgramEnd: return "program-end";
+  }
+  return "unknown";
+}
+
+}  // namespace chatfuzz::sim

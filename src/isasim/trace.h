@@ -1,0 +1,58 @@
+// Architectural commit trace: the common observable both simulators emit and
+// the Mismatch Detector diffs. Field-for-field this mirrors what Spike's
+// commit log and RocketCore's tracer expose (pc, instruction, destination
+// write, memory access, trap), which is exactly the surface the paper's
+// differential testing compares.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "riscv/csr.h"
+
+namespace chatfuzz::sim {
+
+/// One committed (or trapped) instruction.
+struct CommitRecord {
+  std::uint64_t pc = 0;
+  std::uint32_t instr = 0;
+
+  bool has_rd_write = false;  // integer destination written this commit
+  std::uint8_t rd = 0;
+  std::uint64_t rd_value = 0;
+
+  bool has_mem = false;  // data memory access performed
+  bool mem_is_store = false;
+  std::uint64_t mem_addr = 0;
+  std::uint64_t mem_value = 0;
+  std::uint8_t mem_size = 0;  // bytes: 1, 2, 4, 8
+
+  riscv::Exception exception = riscv::Exception::kNone;
+  riscv::Priv priv = riscv::Priv::kMachine;  // privilege the instr ran at
+
+  /// Compact single-line rendering for logs and mismatch reports.
+  std::string to_string() const;
+};
+
+using Trace = std::vector<CommitRecord>;
+
+/// Why a simulation run ended.
+enum class StopReason {
+  kPcEscape,      // pc left the RAM window (normal end for fuzz inputs)
+  kStepLimit,     // bounded-run guard hit (looping input)
+  kWfi,           // wfi retires with no interrupt source modeled
+  kProgramEnd,    // fell through past the last program word into padding
+};
+
+const char* stop_reason_name(StopReason r);
+
+/// Full result of running one test input on a simulator.
+struct RunResult {
+  Trace trace;
+  StopReason stop = StopReason::kStepLimit;
+  std::uint64_t steps = 0;       // instructions attempted (incl. trapped)
+  std::uint64_t final_pc = 0;
+};
+
+}  // namespace chatfuzz::sim

@@ -1,0 +1,88 @@
+#include "mismatch/minimize.h"
+
+#include "isasim/sim.h"
+#include "mismatch/detect.h"
+#include "riscv/encode.h"
+#include "rtlsim/core.h"
+
+namespace chatfuzz::mismatch {
+
+namespace {
+
+/// Co-simulate and return the first surviving mismatch signature ("" when
+/// the traces agree).
+std::string run_signature(const Program& test, const MinimizeConfig& cfg,
+                          std::size_t& tests_run) {
+  ++tests_run;
+  cov::CoverageDB db;
+  rtl::RtlCore dut(cfg.core, db, cfg.platform);
+  sim::IsaSim golden(cfg.platform);
+  dut.reset(test);
+  golden.reset(test);
+  const sim::RunResult dr = dut.run();
+  const sim::RunResult gr = golden.run();
+  MismatchDetector detector;
+  detector.install_default_filters();
+  const Report rep = detector.compare(dr.trace, gr.trace);
+  return rep.mismatches.empty() ? std::string() : rep.mismatches.front().signature;
+}
+
+}  // namespace
+
+std::string first_signature(const Program& test, const MinimizeConfig& cfg) {
+  std::size_t dummy = 0;
+  return run_signature(test, cfg, dummy);
+}
+
+MinimizeResult minimize(const Program& test, const MinimizeConfig& cfg) {
+  MinimizeResult result;
+  result.original_size = test.size();
+  result.signature = run_signature(test, cfg, result.tests_run);
+  if (result.signature.empty()) {
+    result.reduced = test;
+    return result;  // nothing to preserve
+  }
+  result.reproduced = true;
+
+  Program current = test;
+  auto still_reproduces = [&](const Program& candidate) {
+    return run_signature(candidate, cfg, result.tests_run) == result.signature;
+  };
+
+  // Phase 1: ddmin-style chunk removal with shrinking chunk sizes.
+  for (std::size_t round = 0; round < cfg.max_rounds; ++round) {
+    bool any_removed = false;
+    for (std::size_t chunk = std::max<std::size_t>(current.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+      for (std::size_t at = 0; at + chunk <= current.size();) {
+        Program candidate = current;
+        candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(at),
+                        candidate.begin() + static_cast<std::ptrdiff_t>(at + chunk));
+        if (!candidate.empty() && still_reproduces(candidate)) {
+          current = std::move(candidate);
+          any_removed = true;
+          // retry same position (new content slid in)
+        } else {
+          at += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    if (!any_removed) break;
+  }
+
+  // Phase 2: NOP substitution — instructions that must occupy space (branch
+  // shapes) but whose behaviour is irrelevant become canonical NOPs.
+  const std::uint32_t kNop = riscv::enc_i(riscv::Opcode::kAddi, 0, 0, 0);
+  for (std::size_t at = 0; at < current.size(); ++at) {
+    if (current[at] == kNop) continue;
+    Program candidate = current;
+    candidate[at] = kNop;
+    if (still_reproduces(candidate)) current = std::move(candidate);
+  }
+
+  result.reduced = std::move(current);
+  return result;
+}
+
+}  // namespace chatfuzz::mismatch

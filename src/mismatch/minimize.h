@@ -1,0 +1,43 @@
+// Test-case minimization: given a fuzz input whose traces mismatch, shrink
+// it to a minimal reproducer while preserving the *same* mismatch signature.
+// This is the step between "the fuzzer found 6K mismatches" and the paper's
+// "detailed manual analysis" — engineers debug the 4-instruction repro, not
+// the 30-instruction fuzz soup.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isasim/platform.h"
+#include "rtlsim/config.h"
+
+namespace chatfuzz::mismatch {
+
+using Program = std::vector<std::uint32_t>;
+
+struct MinimizeConfig {
+  rtl::CoreConfig core = rtl::CoreConfig::rocket();
+  sim::Platform platform{};
+  std::size_t max_rounds = 8;  // delta-debugging passes before giving up
+};
+
+struct MinimizeResult {
+  Program reduced;
+  std::string signature;     // the preserved mismatch signature
+  std::size_t original_size = 0;
+  std::size_t tests_run = 0;  // co-simulations spent minimizing
+  bool reproduced = false;    // false: input did not mismatch at all
+};
+
+/// Shrink `test` while its first surviving mismatch keeps the same
+/// signature. Uses ddmin-style chunk removal followed by single-instruction
+/// removal and NOP (addi x0,x0,0) substitution; deterministic.
+MinimizeResult minimize(const Program& test, const MinimizeConfig& cfg = {});
+
+/// Convenience: the signature of the first surviving mismatch of `test`, or
+/// "" if the run produces none.
+std::string first_signature(const Program& test, const MinimizeConfig& cfg = {});
+
+}  // namespace chatfuzz::mismatch

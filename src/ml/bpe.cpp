@@ -1,0 +1,155 @@
+#include "ml/bpe.h"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+
+namespace chatfuzz::ml {
+namespace {
+
+std::vector<int> to_bytes(std::span<const std::uint32_t> program) {
+  std::vector<int> out;
+  out.reserve(program.size() * 4);
+  for (std::uint32_t w : program) {
+    for (unsigned i = 0; i < 4; ++i) {
+      out.push_back(static_cast<int>((w >> (8 * i)) & 0xff));
+    }
+  }
+  return out;
+}
+
+/// Replace every occurrence of (a,b) in `seq` with `id`, in place.
+void apply_merge(std::vector<int>& seq, int a, int b, int id) {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < seq.size(); ++r) {
+    if (r + 1 < seq.size() && seq[r] == a && seq[r + 1] == b) {
+      seq[w++] = id;
+      ++r;
+    } else {
+      seq[w++] = seq[r];
+    }
+  }
+  seq.resize(w);
+}
+
+}  // namespace
+
+BpeTokenizer BpeTokenizer::train(
+    const std::vector<std::vector<std::uint32_t>>& corpus, int vocab_size) {
+  BpeTokenizer tok;
+  const int target_merges = std::max(0, vocab_size - 256 - 3);
+
+  std::vector<std::vector<int>> seqs;
+  seqs.reserve(corpus.size());
+  for (const auto& p : corpus) seqs.push_back(to_bytes(p));
+
+  for (int m = 0; m < target_merges; ++m) {
+    // Most frequent adjacent pair across the working corpus; ties break on
+    // the smaller pair for determinism.
+    std::map<std::pair<int, int>, std::size_t> counts;
+    for (const auto& s : seqs) {
+      for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+        ++counts[{s[i], s[i + 1]}];
+      }
+    }
+    std::pair<int, int> best{-1, -1};
+    std::size_t best_count = 1;  // require at least 2 occurrences
+    for (const auto& [pair, count] : counts) {
+      if (count > best_count) {
+        best_count = count;
+        best = pair;
+      }
+    }
+    if (best.first < 0) break;  // nothing left worth merging
+    const int id = 256 + static_cast<int>(tok.merges_.size());
+    tok.merges_.push_back(best);
+    for (auto& s : seqs) apply_merge(s, best.first, best.second, id);
+  }
+  return tok;
+}
+
+std::vector<int> BpeTokenizer::encode(std::span<const std::uint32_t> program,
+                                      bool with_bos, bool with_eos) const {
+  std::vector<int> seq = to_bytes(program);
+  // Merges must apply in rank order: earlier merges created the ids later
+  // merges refer to.
+  for (std::size_t i = 0; i < merges_.size(); ++i) {
+    apply_merge(seq, merges_[i].first, merges_[i].second,
+                256 + static_cast<int>(i));
+  }
+  std::vector<int> out;
+  out.reserve(seq.size() + 2);
+  if (with_bos) out.push_back(bos());
+  out.insert(out.end(), seq.begin(), seq.end());
+  if (with_eos) out.push_back(eos());
+  return out;
+}
+
+std::vector<std::uint8_t> BpeTokenizer::expand(int token) const {
+  if (token < 256) return {static_cast<std::uint8_t>(token)};
+  const int idx = token - 256;
+  if (idx >= static_cast<int>(merges_.size())) return {};  // special
+  auto left = expand(merges_[idx].first);
+  const auto right = expand(merges_[idx].second);
+  left.insert(left.end(), right.begin(), right.end());
+  return left;
+}
+
+std::vector<std::uint32_t> BpeTokenizer::decode(
+    std::span<const int> tokens) const {
+  std::vector<std::uint8_t> bytes;
+  for (int t : tokens) {
+    if (t == eos()) break;
+    if (t == bos() || t == pad()) continue;
+    if (t < 0 || t >= vocab_size()) continue;
+    const auto ex = expand(t);
+    bytes.insert(bytes.end(), ex.begin(), ex.end());
+  }
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i + 4 <= bytes.size(); i += 4) {
+    out.push_back(static_cast<std::uint32_t>(bytes[i]) |
+                  (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+                  (static_cast<std::uint32_t>(bytes[i + 2]) << 16) |
+                  (static_cast<std::uint32_t>(bytes[i + 3]) << 24));
+  }
+  return out;
+}
+
+double BpeTokenizer::compression_ratio(
+    const std::vector<std::vector<std::uint32_t>>& corpus) const {
+  std::size_t bytes = 0, tokens = 0;
+  for (const auto& p : corpus) {
+    bytes += 4 * p.size();
+    tokens += encode(p, false, false).size();
+  }
+  return tokens == 0 ? 1.0
+                     : static_cast<double>(bytes) / static_cast<double>(tokens);
+}
+
+std::string BpeTokenizer::serialize() const {
+  std::ostringstream os;
+  os << "bpe v1 " << merges_.size() << "\n";
+  for (const auto& [a, b] : merges_) os << a << " " << b << "\n";
+  return os.str();
+}
+
+std::optional<BpeTokenizer> BpeTokenizer::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag, version;
+  std::size_t n = 0;
+  if (!(is >> tag >> version >> n) || tag != "bpe" || version != "v1") {
+    return std::nullopt;
+  }
+  BpeTokenizer tok;
+  tok.merges_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    int a = 0, b = 0;
+    if (!(is >> a >> b)) return std::nullopt;
+    const int limit = 256 + static_cast<int>(i);
+    if (a < 0 || b < 0 || a >= limit || b >= limit) return std::nullopt;
+    tok.merges_.emplace_back(a, b);
+  }
+  return tok;
+}
+
+}  // namespace chatfuzz::ml

@@ -1,0 +1,58 @@
+// Byte-pair-encoding tokenizer trained on the machine-language corpus
+// (paper §IV-C1: "we trained a tokenizer on the full ISA"). The byte-level
+// Tokenizer gives a fixed 4-tokens-per-instruction representation; this BPE
+// variant learns merges over instruction byte streams, so frequent encodings
+// (common opcodes, common register pairs, whole hot instructions) compress
+// to single tokens — the same trade HuggingFace's GPT-2 tokenizer makes for
+// natural language.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace chatfuzz::ml {
+
+class BpeTokenizer {
+ public:
+  /// Train a tokenizer on a corpus of programs. `vocab_size` counts the 256
+  /// base bytes, the learned merges, and the three specials (BOS/EOS/PAD);
+  /// it must be at least 259.
+  static BpeTokenizer train(
+      const std::vector<std::vector<std::uint32_t>>& corpus, int vocab_size);
+
+  int vocab_size() const { return 256 + static_cast<int>(merges_.size()) + 3; }
+  int num_merges() const { return static_cast<int>(merges_.size()); }
+  int bos() const { return 256 + num_merges(); }
+  int eos() const { return bos() + 1; }
+  int pad() const { return bos() + 2; }
+
+  /// Encode a program: bytes of each little-endian word, merged bottom-up.
+  std::vector<int> encode(std::span<const std::uint32_t> program,
+                          bool with_bos = true, bool with_eos = false) const;
+
+  /// Decode back to instruction words; specials skipped, stops at EOS,
+  /// trailing partial words dropped (mirrors Tokenizer::decode).
+  std::vector<std::uint32_t> decode(std::span<const int> tokens) const;
+
+  /// Mean bytes per token over a corpus (compression; 1.0 = byte level).
+  double compression_ratio(
+      const std::vector<std::vector<std::uint32_t>>& corpus) const;
+
+  // ---- persistence ----------------------------------------------------------
+  std::string serialize() const;
+  static std::optional<BpeTokenizer> deserialize(const std::string& text);
+
+ private:
+  BpeTokenizer() = default;
+
+  /// Byte expansion of each token id (base bytes + merged sequences).
+  std::vector<std::uint8_t> expand(int token) const;
+
+  // merges_[i]: the pair of token ids that merge into id 256+i.
+  std::vector<std::pair<int, int>> merges_;
+};
+
+}  // namespace chatfuzz::ml

@@ -1,0 +1,734 @@
+#include "ml/gpt.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace chatfuzz::ml {
+
+// ---------------------------------------------------------------------------
+// Parameter layout: one flat buffer, offsets computed once per config.
+// ---------------------------------------------------------------------------
+struct Gpt::Layout {
+  // global tensors
+  std::size_t wte, wpe, lnfw, lnfb, valw, valb;
+  // per-layer tensor offsets relative to layer base
+  std::size_t ln1w, ln1b, qkvw, qkvb, attprojw, attprojb;
+  std::size_t ln2w, ln2b, fcw, fcb, fcprojw, fcprojb;
+  std::size_t layer_base, per_layer, total;
+
+  static Layout make(const GptConfig& c) {
+    const std::size_t C = c.n_embd, V = c.vocab, T = c.ctx;
+    Layout o{};
+    std::size_t at = 0;
+    o.wte = at; at += V * C;
+    o.wpe = at; at += T * C;
+    o.layer_base = at;
+    std::size_t l = 0;
+    o.ln1w = l; l += C;
+    o.ln1b = l; l += C;
+    o.qkvw = l; l += 3 * C * C;
+    o.qkvb = l; l += 3 * C;
+    o.attprojw = l; l += C * C;
+    o.attprojb = l; l += C;
+    o.ln2w = l; l += C;
+    o.ln2b = l; l += C;
+    o.fcw = l; l += 4 * C * C;
+    o.fcb = l; l += 4 * C;
+    o.fcprojw = l; l += 4 * C * C;
+    o.fcprojb = l; l += C;
+    o.per_layer = l;
+    at += o.per_layer * c.n_layer;
+    o.lnfw = at; at += C;
+    o.lnfb = at; at += C;
+    o.valw = at; at += C;
+    o.valb = at; at += 1;
+    o.total = at;
+    return o;
+  }
+};
+
+namespace {
+
+// ---- layer kernels (llm.c style, naive CPU loops) -------------------------
+
+void encoder_forward(float* out, const int* tokens, const float* wte,
+                     const float* wpe, int B, int T, int C) {
+  for (int b = 0; b < B; ++b) {
+    for (int t = 0; t < T; ++t) {
+      float* o = out + (b * T + t) * C;
+      const float* we = wte + tokens[b * T + t] * C;
+      const float* pe = wpe + t * C;
+      for (int c = 0; c < C; ++c) o[c] = we[c] + pe[c];
+    }
+  }
+}
+
+void encoder_backward(float* dwte, float* dwpe, const float* dout,
+                      const int* tokens, int B, int T, int C) {
+  for (int b = 0; b < B; ++b) {
+    for (int t = 0; t < T; ++t) {
+      const float* d = dout + (b * T + t) * C;
+      float* dwt = dwte + tokens[b * T + t] * C;
+      float* dwp = dwpe + t * C;
+      for (int c = 0; c < C; ++c) {
+        dwt[c] += d[c];
+        dwp[c] += d[c];
+      }
+    }
+  }
+}
+
+void layernorm_forward(float* out, float* mean, float* rstd, const float* inp,
+                       const float* w, const float* b, int N, int C) {
+  for (int n = 0; n < N; ++n) {
+    const float* x = inp + n * C;
+    float m = 0.f;
+    for (int c = 0; c < C; ++c) m += x[c];
+    m /= static_cast<float>(C);
+    float v = 0.f;
+    for (int c = 0; c < C; ++c) {
+      const float d = x[c] - m;
+      v += d * d;
+    }
+    v /= static_cast<float>(C);
+    const float rs = 1.f / std::sqrt(v + 1e-5f);
+    float* o = out + n * C;
+    for (int c = 0; c < C; ++c) o[c] = (x[c] - m) * rs * w[c] + b[c];
+    mean[n] = m;
+    rstd[n] = rs;
+  }
+}
+
+void layernorm_backward(float* dinp, float* dw, float* db, const float* dout,
+                        const float* inp, const float* mean, const float* rstd,
+                        const float* w, int N, int C) {
+  for (int n = 0; n < N; ++n) {
+    const float* x = inp + n * C;
+    const float* d = dout + n * C;
+    const float m = mean[n], rs = rstd[n];
+    float dnorm_mean = 0.f, dnorm_norm_mean = 0.f;
+    for (int c = 0; c < C; ++c) {
+      const float norm = (x[c] - m) * rs;
+      const float dnorm = w[c] * d[c];
+      dnorm_mean += dnorm;
+      dnorm_norm_mean += dnorm * norm;
+    }
+    dnorm_mean /= static_cast<float>(C);
+    dnorm_norm_mean /= static_cast<float>(C);
+    float* di = dinp + n * C;
+    for (int c = 0; c < C; ++c) {
+      const float norm = (x[c] - m) * rs;
+      const float dnorm = w[c] * d[c];
+      dw[c] += norm * d[c];
+      db[c] += d[c];
+      di[c] += (dnorm - dnorm_mean - norm * dnorm_norm_mean) * rs;
+    }
+  }
+}
+
+// out[n, o] = bias[o] + sum_i inp[n, i] * w[o, i]
+void matmul_forward(float* out, const float* inp, const float* w,
+                    const float* bias, int N, int Cin, int Cout) {
+  for (int n = 0; n < N; ++n) {
+    const float* x = inp + n * Cin;
+    float* o = out + n * Cout;
+    for (int oc = 0; oc < Cout; ++oc) {
+      const float* wr = w + oc * Cin;
+      float acc = bias != nullptr ? bias[oc] : 0.f;
+      for (int i = 0; i < Cin; ++i) acc += x[i] * wr[i];
+      o[oc] = acc;
+    }
+  }
+}
+
+void matmul_backward(float* dinp, float* dw, float* dbias, const float* dout,
+                     const float* inp, const float* w, int N, int Cin,
+                     int Cout) {
+  for (int n = 0; n < N; ++n) {
+    const float* d = dout + n * Cout;
+    float* di = dinp + n * Cin;
+    for (int oc = 0; oc < Cout; ++oc) {
+      const float* wr = w + oc * Cin;
+      const float g = d[oc];
+      for (int i = 0; i < Cin; ++i) di[i] += g * wr[i];
+    }
+  }
+  for (int n = 0; n < N; ++n) {
+    const float* d = dout + n * Cout;
+    const float* x = inp + n * Cin;
+    for (int oc = 0; oc < Cout; ++oc) {
+      float* dwr = dw + oc * Cin;
+      const float g = d[oc];
+      if (dbias != nullptr) dbias[oc] += g;
+      for (int i = 0; i < Cin; ++i) dwr[i] += g * x[i];
+    }
+  }
+}
+
+void attention_forward(float* out, float* preatt, float* att, const float* qkv,
+                       int B, int T, int C, int NH) {
+  const int hs = C / NH;
+  const float scale = 1.f / std::sqrt(static_cast<float>(hs));
+  for (int b = 0; b < B; ++b) {
+    for (int t = 0; t < T; ++t) {
+      for (int h = 0; h < NH; ++h) {
+        const float* q = qkv + (b * T + t) * 3 * C + h * hs;
+        float* pre = preatt + ((b * NH + h) * T + t) * T;
+        float* a = att + ((b * NH + h) * T + t) * T;
+        float maxv = -1e30f;
+        for (int t2 = 0; t2 <= t; ++t2) {
+          const float* k = qkv + (b * T + t2) * 3 * C + C + h * hs;
+          float dot = 0.f;
+          for (int i = 0; i < hs; ++i) dot += q[i] * k[i];
+          dot *= scale;
+          pre[t2] = dot;
+          if (dot > maxv) maxv = dot;
+        }
+        float sum = 0.f;
+        for (int t2 = 0; t2 <= t; ++t2) {
+          const float e = std::exp(pre[t2] - maxv);
+          a[t2] = e;
+          sum += e;
+        }
+        const float inv = sum > 0.f ? 1.f / sum : 0.f;
+        for (int t2 = 0; t2 <= t; ++t2) a[t2] *= inv;
+        for (int t2 = t + 1; t2 < T; ++t2) {
+          pre[t2] = 0.f;
+          a[t2] = 0.f;
+        }
+        float* o = out + (b * T + t) * C + h * hs;
+        for (int i = 0; i < hs; ++i) o[i] = 0.f;
+        for (int t2 = 0; t2 <= t; ++t2) {
+          const float* v = qkv + (b * T + t2) * 3 * C + 2 * C + h * hs;
+          const float w = a[t2];
+          for (int i = 0; i < hs; ++i) o[i] += w * v[i];
+        }
+      }
+    }
+  }
+}
+
+void attention_backward(float* dqkv, float* dpreatt, float* datt,
+                        const float* dout, const float* qkv, const float* att,
+                        int B, int T, int C, int NH) {
+  const int hs = C / NH;
+  const float scale = 1.f / std::sqrt(static_cast<float>(hs));
+  for (int b = 0; b < B; ++b) {
+    for (int t = 0; t < T; ++t) {
+      for (int h = 0; h < NH; ++h) {
+        const float* a = att + ((b * NH + h) * T + t) * T;
+        float* da = datt + ((b * NH + h) * T + t) * T;
+        float* dpre = dpreatt + ((b * NH + h) * T + t) * T;
+        const float* d = dout + (b * T + t) * C + h * hs;
+        // through weighted sum of V
+        for (int t2 = 0; t2 <= t; ++t2) {
+          const float* v = qkv + (b * T + t2) * 3 * C + 2 * C + h * hs;
+          float* dv = dqkv + (b * T + t2) * 3 * C + 2 * C + h * hs;
+          float acc = 0.f;
+          for (int i = 0; i < hs; ++i) {
+            acc += v[i] * d[i];
+            dv[i] += a[t2] * d[i];
+          }
+          da[t2] += acc;
+        }
+        // through softmax
+        for (int t2 = 0; t2 <= t; ++t2) {
+          float acc = 0.f;
+          for (int t3 = 0; t3 <= t; ++t3) {
+            const float indicator = t2 == t3 ? 1.f : 0.f;
+            acc += a[t3] * (indicator - a[t2]) * da[t3];
+          }
+          dpre[t2] += acc;
+        }
+        // through q.k
+        const float* q = qkv + (b * T + t) * 3 * C + h * hs;
+        float* dq = dqkv + (b * T + t) * 3 * C + h * hs;
+        for (int t2 = 0; t2 <= t; ++t2) {
+          const float* k = qkv + (b * T + t2) * 3 * C + C + h * hs;
+          float* dk = dqkv + (b * T + t2) * 3 * C + C + h * hs;
+          const float g = dpre[t2] * scale;
+          for (int i = 0; i < hs; ++i) {
+            dq[i] += g * k[i];
+            dk[i] += g * q[i];
+          }
+        }
+      }
+    }
+  }
+}
+
+void gelu_forward(float* out, const float* inp, int N) {
+  constexpr float kS = 0.7978845608028654f;  // sqrt(2/pi)
+  for (int n = 0; n < N; ++n) {
+    const float x = inp[n];
+    const float cube = 0.044715f * x * x * x;
+    out[n] = 0.5f * x * (1.f + std::tanh(kS * (x + cube)));
+  }
+}
+
+void gelu_backward(float* dinp, const float* inp, const float* dout, int N) {
+  constexpr float kS = 0.7978845608028654f;
+  for (int n = 0; n < N; ++n) {
+    const float x = inp[n];
+    const float cube = 0.044715f * x * x * x;
+    const float tanh_arg = kS * (x + cube);
+    const float tanh_out = std::tanh(tanh_arg);
+    const float cosh_v = std::cosh(tanh_arg);
+    const float sech2 = 1.f / (cosh_v * cosh_v);
+    const float local = 0.5f * (1.f + tanh_out) +
+                        x * 0.5f * sech2 * kS * (1.f + 3.f * 0.044715f * x * x);
+    dinp[n] += local * dout[n];
+  }
+}
+
+void residual_forward(float* out, const float* a, const float* b, int N) {
+  for (int n = 0; n < N; ++n) out[n] = a[n] + b[n];
+}
+
+void softmax_forward(float* probs, const float* logits, int N, int V) {
+  for (int n = 0; n < N; ++n) {
+    const float* l = logits + n * V;
+    float* p = probs + n * V;
+    float maxv = -1e30f;
+    for (int v = 0; v < V; ++v) maxv = l[v] > maxv ? l[v] : maxv;
+    float sum = 0.f;
+    for (int v = 0; v < V; ++v) {
+      p[v] = std::exp(l[v] - maxv);
+      sum += p[v];
+    }
+    const float inv = 1.f / sum;
+    for (int v = 0; v < V; ++v) p[v] *= inv;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Activation arena layout (depends on B, T).
+// ---------------------------------------------------------------------------
+namespace {
+struct ActLayout {
+  // per-layer strides
+  std::size_t ln1, ln1_mean, ln1_rstd, qkv, atty, preatt, att, attproj,
+      res2, ln2, ln2_mean, ln2_rstd, fch, fch_gelu, fcproj, res3, per_layer;
+  // globals
+  std::size_t encoded, lnf, lnf_mean, lnf_rstd, logits, probs, values, total;
+  std::size_t layer_base;
+
+  static ActLayout make(const GptConfig& c, int B, int T) {
+    const std::size_t BT = static_cast<std::size_t>(B) * T;
+    const std::size_t C = c.n_embd, V = c.vocab, NH = c.n_head;
+    ActLayout o{};
+    std::size_t at = 0;
+    o.encoded = at; at += BT * C;
+    o.layer_base = at;
+    std::size_t l = 0;
+    o.ln1 = l; l += BT * C;
+    o.ln1_mean = l; l += BT;
+    o.ln1_rstd = l; l += BT;
+    o.qkv = l; l += BT * 3 * C;
+    o.atty = l; l += BT * C;
+    o.preatt = l; l += static_cast<std::size_t>(B) * NH * T * T;
+    o.att = l; l += static_cast<std::size_t>(B) * NH * T * T;
+    o.attproj = l; l += BT * C;
+    o.res2 = l; l += BT * C;
+    o.ln2 = l; l += BT * C;
+    o.ln2_mean = l; l += BT;
+    o.ln2_rstd = l; l += BT;
+    o.fch = l; l += BT * 4 * C;
+    o.fch_gelu = l; l += BT * 4 * C;
+    o.fcproj = l; l += BT * C;
+    o.res3 = l; l += BT * C;
+    o.per_layer = l;
+    at += o.per_layer * c.n_layer;
+    o.lnf = at; at += BT * C;
+    o.lnf_mean = at; at += BT;
+    o.lnf_rstd = at; at += BT;
+    o.logits = at; at += BT * V;
+    o.probs = at; at += BT * V;
+    o.values = at; at += BT;
+    o.total = at;
+    return o;
+  }
+};
+}  // namespace
+
+Gpt::Gpt(GptConfig cfg, std::uint64_t seed) : cfg_(cfg) {
+  const Layout lay = Layout::make(cfg_);
+  params_.assign(lay.total, 0.f);
+  grads_.assign(lay.total, 0.f);
+
+  Rng rng(seed);
+  auto gauss = [&rng] {
+    // Box-Muller
+    const double u1 = rng.uniform() + 1e-12;
+    const double u2 = rng.uniform();
+    return static_cast<float>(std::sqrt(-2.0 * std::log(u1)) *
+                              std::cos(6.283185307179586 * u2));
+  };
+  auto fill = [&](std::size_t off, std::size_t n, float stddev) {
+    for (std::size_t i = 0; i < n; ++i) params_[off + i] = gauss() * stddev;
+  };
+  const std::size_t C = cfg_.n_embd;
+  const float res_scale =
+      0.02f / std::sqrt(2.f * static_cast<float>(cfg_.n_layer));
+  fill(lay.wte, static_cast<std::size_t>(cfg_.vocab) * C, 0.02f);
+  fill(lay.wpe, static_cast<std::size_t>(cfg_.ctx) * C, 0.01f);
+  for (int l = 0; l < cfg_.n_layer; ++l) {
+    const std::size_t base = lay.layer_base + l * lay.per_layer;
+    for (std::size_t i = 0; i < C; ++i) params_[base + lay.ln1w + i] = 1.f;
+    for (std::size_t i = 0; i < C; ++i) params_[base + lay.ln2w + i] = 1.f;
+    fill(base + lay.qkvw, 3 * C * C, 0.02f);
+    fill(base + lay.attprojw, C * C, res_scale);
+    fill(base + lay.fcw, 4 * C * C, 0.02f);
+    fill(base + lay.fcprojw, 4 * C * C, res_scale);
+  }
+  for (std::size_t i = 0; i < C; ++i) params_[lay.lnfw + i] = 1.f;
+  fill(lay.valw, C, 0.02f);
+}
+
+void Gpt::zero_grad() { std::fill(grads_.begin(), grads_.end(), 0.f); }
+
+void Gpt::copy_params_from(const Gpt& other) {
+  assert(params_.size() == other.params_.size());
+  params_ = other.params_;
+}
+
+void Gpt::ensure_acts(int B, int T) {
+  if (B == B_ && T == T_ && !acts_.empty()) return;
+  B_ = B;
+  T_ = T;
+  const ActLayout a = ActLayout::make(cfg_, B, T);
+  acts_.assign(a.total, 0.f);
+  dacts_.assign(a.total, 0.f);
+}
+
+const float* Gpt::acts_ptr(ActName which) const {
+  const ActLayout a = ActLayout::make(cfg_, B_, T_);
+  switch (which) {
+    case kActEncoded: return acts_.data() + a.encoded;
+    case kActLnf: return acts_.data() + a.lnf;
+    case kActLnfMean: return acts_.data() + a.lnf_mean;
+    case kActLnfRstd: return acts_.data() + a.lnf_rstd;
+    case kActLogits: return acts_.data() + a.logits;
+    case kActProbs: return acts_.data() + a.probs;
+    case kActValues: return acts_.data() + a.values;
+  }
+  return nullptr;
+}
+
+void Gpt::forward(const int* tokens, int B, int T) {
+  assert(T <= cfg_.ctx);
+  ensure_acts(B, T);
+  const Layout p = Layout::make(cfg_);
+  const ActLayout a = ActLayout::make(cfg_, B, T);
+  const int C = cfg_.n_embd, NH = cfg_.n_head, V = cfg_.vocab;
+  const int BT = B * T;
+  float* acts = acts_.data();
+  const float* prm = params_.data();
+
+  encoder_forward(acts + a.encoded, tokens, prm + p.wte, prm + p.wpe, B, T, C);
+  const float* residual = acts + a.encoded;
+  for (int l = 0; l < cfg_.n_layer; ++l) {
+    const std::size_t pb = p.layer_base + l * p.per_layer;
+    const std::size_t ab = a.layer_base + l * a.per_layer;
+    layernorm_forward(acts + ab + a.ln1, acts + ab + a.ln1_mean,
+                      acts + ab + a.ln1_rstd, residual, prm + pb + p.ln1w,
+                      prm + pb + p.ln1b, BT, C);
+    matmul_forward(acts + ab + a.qkv, acts + ab + a.ln1, prm + pb + p.qkvw,
+                   prm + pb + p.qkvb, BT, C, 3 * C);
+    attention_forward(acts + ab + a.atty, acts + ab + a.preatt,
+                      acts + ab + a.att, acts + ab + a.qkv, B, T, C, NH);
+    matmul_forward(acts + ab + a.attproj, acts + ab + a.atty,
+                   prm + pb + p.attprojw, prm + pb + p.attprojb, BT, C, C);
+    residual_forward(acts + ab + a.res2, residual, acts + ab + a.attproj,
+                     BT * C);
+    layernorm_forward(acts + ab + a.ln2, acts + ab + a.ln2_mean,
+                      acts + ab + a.ln2_rstd, acts + ab + a.res2,
+                      prm + pb + p.ln2w, prm + pb + p.ln2b, BT, C);
+    matmul_forward(acts + ab + a.fch, acts + ab + a.ln2, prm + pb + p.fcw,
+                   prm + pb + p.fcb, BT, C, 4 * C);
+    gelu_forward(acts + ab + a.fch_gelu, acts + ab + a.fch, BT * 4 * C);
+    matmul_forward(acts + ab + a.fcproj, acts + ab + a.fch_gelu,
+                   prm + pb + p.fcprojw, prm + pb + p.fcprojb, BT, 4 * C, C);
+    residual_forward(acts + ab + a.res3, acts + ab + a.res2,
+                     acts + ab + a.fcproj, BT * C);
+    residual = acts + ab + a.res3;
+  }
+  layernorm_forward(acts + a.lnf, acts + a.lnf_mean, acts + a.lnf_rstd,
+                    residual, prm + p.lnfw, prm + p.lnfb, BT, C);
+  // tied LM head: logits = lnf @ wte^T
+  matmul_forward(acts + a.logits, acts + a.lnf, prm + p.wte, nullptr, BT, C, V);
+  softmax_forward(acts + a.probs, acts + a.logits, BT, V);
+  // value head
+  matmul_forward(acts + a.values, acts + a.lnf, prm + p.valw, prm + p.valb,
+                 BT, C, 1);
+}
+
+float Gpt::logprob(int b, int t, int tok) const {
+  const ActLayout a = ActLayout::make(cfg_, B_, T_);
+  const float pr = acts_[a.probs + (static_cast<std::size_t>(b) * T_ + t) *
+                                       cfg_.vocab + tok];
+  return std::log(pr + 1e-10f);
+}
+
+void Gpt::backward_from(const int* tokens, const float* dlogits,
+                        const float* dvalues, int B, int T) {
+  assert(B == B_ && T == T_);
+  const Layout p = Layout::make(cfg_);
+  const ActLayout a = ActLayout::make(cfg_, B, T);
+  const int C = cfg_.n_embd, NH = cfg_.n_head, V = cfg_.vocab;
+  const int BT = B * T;
+  const float* acts = acts_.data();
+  float* dacts = dacts_.data();
+  const float* prm = params_.data();
+  float* grd = grads_.data();
+  std::fill(dacts_.begin(), dacts_.end(), 0.f);
+
+  // value head backward: dlnf += dvalues * valw; dvalw += sum dvalues*lnf
+  if (dvalues != nullptr) {
+    for (int n = 0; n < BT; ++n) {
+      const float g = dvalues[n];
+      if (g == 0.f) continue;
+      grd[p.valb] += g;
+      const float* lnfx = acts + a.lnf + static_cast<std::size_t>(n) * C;
+      float* dlnfx = dacts + a.lnf + static_cast<std::size_t>(n) * C;
+      for (int c = 0; c < C; ++c) {
+        grd[p.valw + c] += g * lnfx[c];
+        dlnfx[c] += g * prm[p.valw + c];
+      }
+    }
+  }
+  // LM head backward (tied weights): dlnf += dlogits @ wte; dwte += ...
+  matmul_backward(dacts + a.lnf, grd + p.wte, nullptr, dlogits, acts + a.lnf,
+                  prm + p.wte, BT, C, V);
+
+  // final layernorm
+  const std::size_t last_ab = a.layer_base + (cfg_.n_layer - 1) * a.per_layer;
+  const float* residual = cfg_.n_layer > 0 ? acts + last_ab + a.res3
+                                           : acts + a.encoded;
+  float* dresidual = cfg_.n_layer > 0 ? dacts + last_ab + a.res3
+                                      : dacts + a.encoded;
+  layernorm_backward(dresidual, grd + p.lnfw, grd + p.lnfb, dacts + a.lnf,
+                     residual, acts + a.lnf_mean, acts + a.lnf_rstd,
+                     prm + p.lnfw, BT, C);
+
+  for (int l = cfg_.n_layer - 1; l >= 0; --l) {
+    const std::size_t pb = p.layer_base + l * p.per_layer;
+    const std::size_t ab = a.layer_base + l * a.per_layer;
+    const float* res_in =
+        l == 0 ? acts + a.encoded : acts + a.layer_base + (l - 1) * a.per_layer + a.res3;
+    float* dres_in =
+        l == 0 ? dacts + a.encoded
+               : dacts + a.layer_base + (l - 1) * a.per_layer + a.res3;
+    float* dres3 = dacts + ab + a.res3;
+    // res3 = res2 + fcproj
+    float* dres2 = dacts + ab + a.res2;
+    float* dfcproj = dacts + ab + a.fcproj;
+    for (int n = 0; n < BT * C; ++n) {
+      dres2[n] += dres3[n];
+      dfcproj[n] += dres3[n];
+    }
+    matmul_backward(dacts + ab + a.fch_gelu, grd + pb + p.fcprojw,
+                    grd + pb + p.fcprojb, dfcproj, acts + ab + a.fch_gelu,
+                    prm + pb + p.fcprojw, BT, 4 * C, C);
+    gelu_backward(dacts + ab + a.fch, acts + ab + a.fch,
+                  dacts + ab + a.fch_gelu, BT * 4 * C);
+    matmul_backward(dacts + ab + a.ln2, grd + pb + p.fcw, grd + pb + p.fcb,
+                    dacts + ab + a.fch, acts + ab + a.ln2, prm + pb + p.fcw,
+                    BT, C, 4 * C);
+    layernorm_backward(dres2, grd + pb + p.ln2w, grd + pb + p.ln2b,
+                       dacts + ab + a.ln2, acts + ab + a.res2,
+                       acts + ab + a.ln2_mean, acts + ab + a.ln2_rstd,
+                       prm + pb + p.ln2w, BT, C);
+    // res2 = residual_in + attproj
+    float* dattproj = dacts + ab + a.attproj;
+    for (int n = 0; n < BT * C; ++n) {
+      dres_in[n] += dres2[n];
+      dattproj[n] += dres2[n];
+    }
+    matmul_backward(dacts + ab + a.atty, grd + pb + p.attprojw,
+                    grd + pb + p.attprojb, dattproj, acts + ab + a.atty,
+                    prm + pb + p.attprojw, BT, C, C);
+    attention_backward(dacts + ab + a.qkv, dacts + ab + a.preatt,
+                       dacts + ab + a.att, dacts + ab + a.atty,
+                       acts + ab + a.qkv, acts + ab + a.att, B, T, C, NH);
+    matmul_backward(dacts + ab + a.ln1, grd + pb + p.qkvw, grd + pb + p.qkvb,
+                    dacts + ab + a.qkv, acts + ab + a.ln1, prm + pb + p.qkvw,
+                    BT, C, 3 * C);
+    layernorm_backward(dres_in, grd + pb + p.ln1w, grd + pb + p.ln1b,
+                       dacts + ab + a.ln1, res_in, acts + ab + a.ln1_mean,
+                       acts + ab + a.ln1_rstd, prm + pb + p.ln1w, BT, C);
+  }
+  encoder_backward(grd + p.wte, grd + p.wpe, dacts + a.encoded, tokens, B, T,
+                   C);
+}
+
+float Gpt::backward_lm(const int* tokens, const int* targets, int B, int T) {
+  const ActLayout a = ActLayout::make(cfg_, B, T);
+  const int V = cfg_.vocab;
+  const int BT = B * T;
+  // count valid targets
+  int count = 0;
+  for (int n = 0; n < BT; ++n) count += targets[n] >= 0 ? 1 : 0;
+  if (count == 0) return 0.f;
+
+  std::vector<float> dlogits(static_cast<std::size_t>(BT) * V, 0.f);
+  const float* probs = acts_.data() + a.probs;
+  float loss = 0.f;
+  const float inv = 1.f / static_cast<float>(count);
+  for (int n = 0; n < BT; ++n) {
+    const int tgt = targets[n];
+    if (tgt < 0) continue;
+    const float* pr = probs + static_cast<std::size_t>(n) * V;
+    loss += -std::log(pr[tgt] + 1e-10f);
+    float* dl = dlogits.data() + static_cast<std::size_t>(n) * V;
+    for (int v = 0; v < V; ++v) dl[v] = pr[v] * inv;
+    dl[tgt] -= inv;
+  }
+  backward_from(tokens, dlogits.data(), nullptr, B, T);
+  return loss * inv;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental generation with KV caches.
+// ---------------------------------------------------------------------------
+Gpt::GenState Gpt::gen_begin(int B) const {
+  GenState s;
+  s.B = B;
+  s.t = 0;
+  const std::size_t cache =
+      static_cast<std::size_t>(cfg_.n_layer) * B * cfg_.ctx * cfg_.n_embd;
+  s.kcache.assign(cache, 0.f);
+  s.vcache.assign(cache, 0.f);
+  // scratch: x, ln, qkv, atty, proj, fch, fgel per batch row
+  const std::size_t C = cfg_.n_embd;
+  s.scratch.assign(static_cast<std::size_t>(B) * (C * 5 + 3 * C + 8 * C), 0.f);
+  return s;
+}
+
+void Gpt::gen_step(GenState& s, const int* tokens_t, float* logits_out) const {
+  const Layout p = Layout::make(cfg_);
+  const int C = cfg_.n_embd, NH = cfg_.n_head, V = cfg_.vocab;
+  const int hs = C / NH;
+  const int B = s.B;
+  const int pos = s.t;
+  assert(pos < cfg_.ctx);
+  const float* prm = params_.data();
+  const float scale = 1.f / std::sqrt(static_cast<float>(hs));
+
+  float* x = s.scratch.data();               // [B, C]
+  float* ln = x + static_cast<std::size_t>(B) * C;       // [B, C]
+  float* qkv = ln + static_cast<std::size_t>(B) * C;     // [B, 3C]
+  float* atty = qkv + static_cast<std::size_t>(B) * 3 * C;  // [B, C]
+  float* proj = atty + static_cast<std::size_t>(B) * C;     // [B, C]
+  float* fch = proj + static_cast<std::size_t>(B) * C;      // [B, 4C]
+  float* fgel = fch + static_cast<std::size_t>(B) * 4 * C;  // [B, 4C]
+
+  for (int b = 0; b < B; ++b) {
+    const float* we = prm + p.wte + static_cast<std::size_t>(tokens_t[b]) * C;
+    const float* pe = prm + p.wpe + static_cast<std::size_t>(pos) * C;
+    for (int c = 0; c < C; ++c) x[b * C + c] = we[c] + pe[c];
+  }
+
+  std::vector<float> mean(B), rstd(B);
+  for (int l = 0; l < cfg_.n_layer; ++l) {
+    const std::size_t pb = p.layer_base + l * p.per_layer;
+    layernorm_forward(ln, mean.data(), rstd.data(), x, prm + pb + p.ln1w,
+                      prm + pb + p.ln1b, B, C);
+    matmul_forward(qkv, ln, prm + pb + p.qkvw, prm + pb + p.qkvb, B, C, 3 * C);
+    // append k/v to cache
+    for (int b = 0; b < B; ++b) {
+      float* kc = s.kcache.data() +
+                  ((static_cast<std::size_t>(l) * B + b) * cfg_.ctx + pos) * C;
+      float* vc = s.vcache.data() +
+                  ((static_cast<std::size_t>(l) * B + b) * cfg_.ctx + pos) * C;
+      std::memcpy(kc, qkv + b * 3 * C + C, sizeof(float) * C);
+      std::memcpy(vc, qkv + b * 3 * C + 2 * C, sizeof(float) * C);
+    }
+    // attention over cache
+    for (int b = 0; b < B; ++b) {
+      const float* kbase =
+          s.kcache.data() + (static_cast<std::size_t>(l) * B + b) * cfg_.ctx * C;
+      const float* vbase =
+          s.vcache.data() + (static_cast<std::size_t>(l) * B + b) * cfg_.ctx * C;
+      for (int h = 0; h < NH; ++h) {
+        const float* q = qkv + b * 3 * C + h * hs;
+        float att[512];  // ctx bound; cfg_.ctx <= 512 enforced below
+        float maxv = -1e30f;
+        for (int t2 = 0; t2 <= pos; ++t2) {
+          const float* k = kbase + static_cast<std::size_t>(t2) * C + h * hs;
+          float dot = 0.f;
+          for (int i = 0; i < hs; ++i) dot += q[i] * k[i];
+          dot *= scale;
+          att[t2] = dot;
+          maxv = dot > maxv ? dot : maxv;
+        }
+        float sum = 0.f;
+        for (int t2 = 0; t2 <= pos; ++t2) {
+          att[t2] = std::exp(att[t2] - maxv);
+          sum += att[t2];
+        }
+        const float inv = 1.f / sum;
+        float* o = atty + b * C + h * hs;
+        for (int i = 0; i < hs; ++i) o[i] = 0.f;
+        for (int t2 = 0; t2 <= pos; ++t2) {
+          const float* v = vbase + static_cast<std::size_t>(t2) * C + h * hs;
+          const float w = att[t2] * inv;
+          for (int i = 0; i < hs; ++i) o[i] += w * v[i];
+        }
+      }
+    }
+    matmul_forward(proj, atty, prm + pb + p.attprojw, prm + pb + p.attprojb,
+                   B, C, C);
+    for (int n = 0; n < B * C; ++n) x[n] += proj[n];
+    layernorm_forward(ln, mean.data(), rstd.data(), x, prm + pb + p.ln2w,
+                      prm + pb + p.ln2b, B, C);
+    matmul_forward(fch, ln, prm + pb + p.fcw, prm + pb + p.fcb, B, C, 4 * C);
+    gelu_forward(fgel, fch, B * 4 * C);
+    matmul_forward(proj, fgel, prm + pb + p.fcprojw, prm + pb + p.fcprojb, B,
+                   4 * C, C);
+    for (int n = 0; n < B * C; ++n) x[n] += proj[n];
+  }
+  layernorm_forward(ln, mean.data(), rstd.data(), x, prm + p.lnfw,
+                    prm + p.lnfb, B, C);
+  matmul_forward(logits_out, ln, prm + p.wte, nullptr, B, C, V);
+  ++s.t;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence.
+// ---------------------------------------------------------------------------
+bool Gpt::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const int header[6] = {0xCF6271, cfg_.vocab, cfg_.ctx, cfg_.n_layer,
+                         cfg_.n_head, cfg_.n_embd};
+  std::fwrite(header, sizeof header, 1, f);
+  std::fwrite(params_.data(), sizeof(float), params_.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+bool Gpt::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  int header[6];
+  if (std::fread(header, sizeof header, 1, f) != 1 || header[0] != 0xCF6271 ||
+      header[1] != cfg_.vocab || header[2] != cfg_.ctx ||
+      header[3] != cfg_.n_layer || header[4] != cfg_.n_head ||
+      header[5] != cfg_.n_embd) {
+    std::fclose(f);
+    return false;
+  }
+  const std::size_t n = std::fread(params_.data(), sizeof(float),
+                                   params_.size(), f);
+  std::fclose(f);
+  return n == params_.size();
+}
+
+}  // namespace chatfuzz::ml

@@ -1,0 +1,50 @@
+// Autoregressive sampling from a Gpt with temperature + top-k, using the
+// KV-cache generation path. Deterministic under a fixed Rng.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/gpt.h"
+#include "util/rng.h"
+
+namespace chatfuzz::ml {
+
+struct SampleConfig {
+  float temperature = 1.0f;
+  int top_k = 40;       // 0 = full distribution
+  float top_p = 1.0f;   // nucleus sampling: keep the smallest prefix with
+                        // this much probability mass (1.0 = disabled)
+  int max_new_tokens = 64;
+  int min_new_tokens = 0;  // EOS is masked out before this many tokens
+  bool stop_at_eos = true;
+  int eos_token = 257;  // Tokenizer::kEos
+};
+
+/// One generated sequence: prompt + continuation, with per-continuation-token
+/// log-probabilities under the sampling model (needed by PPO as logp_old).
+struct Generation {
+  std::vector<int> prompt;
+  std::vector<int> response;          // generated tokens only
+  std::vector<float> response_logps;  // logp of each response token
+};
+
+class Sampler {
+ public:
+  explicit Sampler(SampleConfig cfg = {}) : cfg_(cfg) {}
+  const SampleConfig& config() const { return cfg_; }
+
+  /// Generate continuations for a batch of prompts (ragged). All prompts
+  /// must be non-empty and fit within model ctx together with
+  /// max_new_tokens.
+  std::vector<Generation> generate(const Gpt& model,
+                                   const std::vector<std::vector<int>>& prompts,
+                                   Rng& rng) const;
+
+ private:
+  int sample_row(const float* logits, int vocab, Rng& rng, bool ban_eos,
+                 float* logp_out) const;
+  SampleConfig cfg_;
+};
+
+}  // namespace chatfuzz::ml

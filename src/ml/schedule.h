@@ -1,0 +1,42 @@
+// Learning-rate schedules for the training stages: linear warmup followed by
+// constant, cosine, or linear decay — the standard HuggingFace Trainer
+// schedules the paper's Python stack defaults to.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace chatfuzz::ml {
+
+struct LrSchedule {
+  enum class Kind { kConstant, kCosine, kLinear };
+
+  Kind kind = Kind::kConstant;
+  float base_lr = 3e-4f;
+  int warmup_steps = 0;     // linear ramp 0 -> base_lr
+  int total_steps = 1;      // decay horizon (ignored for kConstant)
+  float min_lr = 0.f;       // floor after decay
+
+  /// Learning rate at 0-based optimizer step `step`.
+  float at(int step) const {
+    if (warmup_steps > 0 && step < warmup_steps) {
+      return base_lr * static_cast<float>(step + 1) /
+             static_cast<float>(warmup_steps);
+    }
+    if (kind == Kind::kConstant) return base_lr;
+    const int horizon = std::max(1, total_steps - warmup_steps);
+    const float t = std::clamp(
+        static_cast<float>(step - warmup_steps) / static_cast<float>(horizon),
+        0.f, 1.f);
+    float factor = 1.f;
+    if (kind == Kind::kCosine) {
+      factor = 0.5f * (1.f + std::cos(std::numbers::pi_v<float> * t));
+    } else {  // kLinear
+      factor = 1.f - t;
+    }
+    return min_lr + (base_lr - min_lr) * factor;
+  }
+};
+
+}  // namespace chatfuzz::ml

@@ -1,0 +1,36 @@
+#include "ml/tokenizer.h"
+
+namespace chatfuzz::ml {
+
+std::vector<int> Tokenizer::encode(std::span<const std::uint32_t> program,
+                                   bool with_bos, bool with_eos) const {
+  std::vector<int> tokens;
+  tokens.reserve(program.size() * kTokensPerInstr + 2);
+  if (with_bos) tokens.push_back(kBos);
+  for (std::uint32_t w : program) {
+    for (int i = 0; i < kTokensPerInstr; ++i) {
+      tokens.push_back(static_cast<int>((w >> (8 * i)) & 0xff));
+    }
+  }
+  if (with_eos) tokens.push_back(kEos);
+  return tokens;
+}
+
+std::vector<std::uint32_t> Tokenizer::decode(std::span<const int> tokens) const {
+  std::vector<std::uint32_t> words;
+  std::uint32_t current = 0;
+  int have = 0;
+  for (int t : tokens) {
+    if (t == kEos) break;
+    if (t < 0 || t >= kByteVocab) continue;  // skip BOS/PAD/garbage
+    current |= static_cast<std::uint32_t>(t) << (8 * have);
+    if (++have == kTokensPerInstr) {
+      words.push_back(current);
+      current = 0;
+      have = 0;
+    }
+  }
+  return words;
+}
+
+}  // namespace chatfuzz::ml

@@ -1,0 +1,37 @@
+// ISA tokenizer (paper §IV-C1): translates machine-code test vectors to and
+// from token streams for the language model. Byte-level over little-endian
+// instruction words (the GPT-2 byte-level scheme applied to machine code),
+// with BOS/EOS/PAD specials. Each 32-bit instruction is exactly four tokens,
+// so the positional embedding can learn the instruction period.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace chatfuzz::ml {
+
+class Tokenizer {
+ public:
+  static constexpr int kByteVocab = 256;
+  static constexpr int kBos = 256;
+  static constexpr int kEos = 257;
+  static constexpr int kPad = 258;
+  static constexpr int kVocabSize = 259;
+  static constexpr int kTokensPerInstr = 4;
+
+  /// Encode a program to tokens. Adds BOS; adds EOS if `with_eos`.
+  std::vector<int> encode(std::span<const std::uint32_t> program,
+                          bool with_bos = true, bool with_eos = false) const;
+
+  /// Decode tokens back to instruction words. Specials are skipped; decoding
+  /// stops at EOS; trailing bytes that do not complete a word are dropped.
+  std::vector<std::uint32_t> decode(std::span<const int> tokens) const;
+
+  /// Number of *complete* instructions a token span decodes to.
+  std::size_t instr_count(std::span<const int> tokens) const {
+    return decode(tokens).size();
+  }
+};
+
+}  // namespace chatfuzz::ml

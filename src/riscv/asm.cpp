@@ -1,0 +1,316 @@
+#include "riscv/asm.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "riscv/encode.h"
+
+namespace chatfuzz::riscv {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Split the operand field on commas (whitespace-tolerant).
+std::vector<std::string> split_operands(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == ',') {
+      const std::string_view piece = trim(s.substr(start, i - start));
+      if (!piece.empty()) out.emplace_back(piece);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool parse_int(std::string_view token, std::int64_t& value) {
+  const std::string t(token);
+  char* end = nullptr;
+  value = std::strtoll(t.c_str(), &end, 0);
+  return end != nullptr && *end == '\0' && end != t.c_str();
+}
+
+/// Parse "imm(reg)" or "(reg)"; imm defaults to 0.
+bool parse_mem(std::string_view token, std::int64_t& imm, std::uint8_t& reg) {
+  const std::size_t open = token.find('(');
+  const std::size_t close = token.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return false;
+  }
+  imm = 0;
+  const std::string_view imm_part = trim(token.substr(0, open));
+  if (!imm_part.empty() && !parse_int(imm_part, imm)) return false;
+  const auto r = parse_reg(trim(token.substr(open + 1, close - open - 1)));
+  if (!r) return false;
+  reg = *r;
+  return true;
+}
+
+const std::unordered_map<std::string_view, Opcode>& mnemonic_map() {
+  static const auto map = [] {
+    std::unordered_map<std::string_view, Opcode> m;
+    for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+      m.emplace(all_specs()[i].mnemonic, all_specs()[i].op);
+    }
+    return m;
+  }();
+  return map;
+}
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::uint8_t> parse_reg(std::string_view token) {
+  for (std::uint8_t r = 0; r < 32; ++r) {
+    if (token == reg_name(r)) return r;
+  }
+  if (token.size() >= 2 && (token[0] == 'x' || token[0] == 'X')) {
+    std::int64_t n = 0;
+    if (parse_int(token.substr(1), n) && n >= 0 && n < 32) {
+      return static_cast<std::uint8_t>(n);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> assemble_line(std::string_view line,
+                                           std::string* error) {
+  std::string_view text = trim(line);
+
+  if (text.rfind(".word", 0) == 0) {
+    std::int64_t v = 0;
+    if (!parse_int(trim(text.substr(5)), v)) {
+      fail(error, ".word: bad literal");
+      return std::nullopt;
+    }
+    return static_cast<std::uint32_t>(v);
+  }
+
+  // Mnemonic = leading non-space run.
+  std::size_t sp = 0;
+  while (sp < text.size() && !std::isspace(static_cast<unsigned char>(text[sp]))) {
+    ++sp;
+  }
+  std::string mnem(text.substr(0, sp));
+  const std::string_view rest = trim(text.substr(sp));
+
+  // AMO ordering suffixes.
+  bool aq = false, rl = false;
+  auto strip = [&](const char* suffix, bool a, bool r) {
+    const std::size_t n = std::string(suffix).size();
+    if (mnem.size() > n && mnem.compare(mnem.size() - n, n, suffix) == 0) {
+      mnem.resize(mnem.size() - n);
+      aq = a;
+      rl = r;
+      return true;
+    }
+    return false;
+  };
+  if (mnemonic_map().count(mnem) == 0) {
+    strip(".aqrl", true, true) || strip(".aq", true, false) ||
+        strip(".rl", false, true);
+  }
+
+  const auto it = mnemonic_map().find(mnem);
+  if (it == mnemonic_map().end()) {
+    fail(error, "unknown mnemonic: " + mnem);
+    return std::nullopt;
+  }
+
+  Decoded d;
+  d.op = it->second;
+  d.aq = aq;
+  d.rl = rl;
+  const InstrSpec& s = spec(d.op);
+  const std::vector<std::string> ops = split_operands(rest);
+  auto need = [&](std::size_t n) {
+    if (ops.size() != n) {
+      fail(error, mnem + ": expected " + std::to_string(n) + " operands");
+      return false;
+    }
+    return true;
+  };
+  auto reg_at = [&](std::size_t i, std::uint8_t& out) {
+    const auto r = parse_reg(ops[i]);
+    if (!r) {
+      fail(error, mnem + ": bad register '" + ops[i] + "'");
+      return false;
+    }
+    out = *r;
+    return true;
+  };
+  auto imm_at = [&](std::size_t i, std::int64_t& out) {
+    if (!parse_int(ops[i], out)) {
+      fail(error, mnem + ": bad immediate '" + ops[i] + "'");
+      return false;
+    }
+    return true;
+  };
+  auto check_range = [&] {
+    if (!fits_imm(d.op, d.imm)) {
+      fail(error, mnem + ": immediate out of range");
+      return false;
+    }
+    return true;
+  };
+
+  const bool is_load = d.op == Opcode::kLb || d.op == Opcode::kLh ||
+                       d.op == Opcode::kLw || d.op == Opcode::kLd ||
+                       d.op == Opcode::kLbu || d.op == Opcode::kLhu ||
+                       d.op == Opcode::kLwu || d.op == Opcode::kJalr;
+  switch (s.format) {
+    case Format::kR:
+      if (!need(3) || !reg_at(0, d.rd) || !reg_at(1, d.rs1) || !reg_at(2, d.rs2)) {
+        return std::nullopt;
+      }
+      break;
+    case Format::kI:
+      if (is_load) {
+        if (!need(2) || !reg_at(0, d.rd)) return std::nullopt;
+        if (!parse_mem(ops[1], d.imm, d.rs1)) {
+          fail(error, mnem + ": expected imm(reg)");
+          return std::nullopt;
+        }
+        if (!check_range()) return std::nullopt;
+      } else {
+        if (!need(3) || !reg_at(0, d.rd) || !reg_at(1, d.rs1) ||
+            !imm_at(2, d.imm) || !check_range()) {
+          return std::nullopt;
+        }
+      }
+      break;
+    case Format::kIShift64:
+    case Format::kIShift32:
+      if (!need(3) || !reg_at(0, d.rd) || !reg_at(1, d.rs1) ||
+          !imm_at(2, d.imm) || !check_range()) {
+        return std::nullopt;
+      }
+      break;
+    case Format::kS:
+      if (!need(2) || !reg_at(0, d.rs2)) return std::nullopt;
+      if (!parse_mem(ops[1], d.imm, d.rs1)) {
+        fail(error, mnem + ": expected imm(reg)");
+        return std::nullopt;
+      }
+      if (!check_range()) return std::nullopt;
+      break;
+    case Format::kB:
+      if (!need(3) || !reg_at(0, d.rs1) || !reg_at(1, d.rs2) ||
+          !imm_at(2, d.imm) || !check_range()) {
+        return std::nullopt;
+      }
+      break;
+    case Format::kU: {
+      if (!need(2) || !reg_at(0, d.rd)) return std::nullopt;
+      std::int64_t imm20 = 0;
+      if (!imm_at(1, imm20)) return std::nullopt;
+      if (imm20 < -(1 << 19) || imm20 > 0xfffff) {
+        fail(error, mnem + ": imm20 out of range");
+        return std::nullopt;
+      }
+      d.imm = (imm20 & 0xfffff) << 12;
+      // sign-extend the packed form like the decoder does
+      d.imm = static_cast<std::int64_t>(
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(d.imm)));
+      break;
+    }
+    case Format::kJ:
+      if (!need(2) || !reg_at(0, d.rd) || !imm_at(1, d.imm) || !check_range()) {
+        return std::nullopt;
+      }
+      break;
+    case Format::kFence:
+    case Format::kSystem:
+      if (!need(0)) return std::nullopt;
+      break;
+    case Format::kCsr: {
+      std::int64_t csr = 0;
+      if (!need(3) || !reg_at(0, d.rd) || !imm_at(1, csr) || !reg_at(2, d.rs1)) {
+        return std::nullopt;
+      }
+      d.csr = static_cast<std::uint16_t>(csr & 0xfff);
+      break;
+    }
+    case Format::kCsrImm: {
+      std::int64_t csr = 0, zimm = 0;
+      if (!need(3) || !reg_at(0, d.rd) || !imm_at(1, csr) || !imm_at(2, zimm)) {
+        return std::nullopt;
+      }
+      if (zimm < 0 || zimm > 31) {
+        fail(error, mnem + ": zimm out of range");
+        return std::nullopt;
+      }
+      d.csr = static_cast<std::uint16_t>(csr & 0xfff);
+      d.rs1 = static_cast<std::uint8_t>(zimm);
+      break;
+    }
+    case Format::kAmo: {
+      if (!need(3) || !reg_at(0, d.rd) || !reg_at(1, d.rs2)) return std::nullopt;
+      std::int64_t unused = 0;
+      if (!parse_mem(ops[2], unused, d.rs1) || unused != 0) {
+        fail(error, mnem + ": expected (reg)");
+        return std::nullopt;
+      }
+      break;
+    }
+    case Format::kLoadRes: {
+      if (!need(2) || !reg_at(0, d.rd)) return std::nullopt;
+      std::int64_t unused = 0;
+      if (!parse_mem(ops[1], unused, d.rs1) || unused != 0) {
+        fail(error, mnem + ": expected (reg)");
+        return std::nullopt;
+      }
+      break;
+    }
+  }
+  return encode(d);
+}
+
+std::optional<std::vector<std::uint32_t>> assemble(std::string_view text,
+                                                   std::string* error) {
+  std::vector<std::uint32_t> out;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    ++line_no;
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    // Strip comments.
+    for (const auto marker : {std::string_view("#"), std::string_view("//")}) {
+      const std::size_t at = line.find(marker);
+      if (at != std::string_view::npos) line = line.substr(0, at);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    std::string err;
+    const auto word = assemble_line(line, &err);
+    if (!word) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + err;
+      }
+      return std::nullopt;
+    }
+    out.push_back(*word);
+  }
+  return out;
+}
+
+}  // namespace chatfuzz::riscv

@@ -1,0 +1,31 @@
+// Text assembler: parses the disassembler's syntax back into instruction
+// words, so directed tests and regression inputs can be written as `.s`-style
+// text. Exact inverse of disasm() — round-trip tested over the whole table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "riscv/instr.h"
+
+namespace chatfuzz::riscv {
+
+/// Assemble one instruction line ("addi a0, a1, -5", "lw t0, 8(sp)",
+/// "amoor.d s0, s1, (a0)", ".word 0xdeadbeef"). Returns std::nullopt on a
+/// parse or range error; `error` (when non-null) receives a description.
+std::optional<std::uint32_t> assemble_line(std::string_view line,
+                                           std::string* error = nullptr);
+
+/// Assemble a whole program: one instruction per line; blank lines and
+/// `#`/`//` comments are skipped. Returns std::nullopt on the first error
+/// (error message includes the line number).
+std::optional<std::vector<std::uint32_t>> assemble(std::string_view text,
+                                                   std::string* error = nullptr);
+
+/// Parse a register name: ABI ("a0", "sp", "zero") or numeric ("x7").
+std::optional<std::uint8_t> parse_reg(std::string_view token);
+
+}  // namespace chatfuzz::riscv

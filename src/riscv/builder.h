@@ -1,0 +1,139 @@
+// ProgramBuilder: a tiny in-memory assembler for writing directed test
+// programs (examples, unit tests, corpus generator). Emits raw instruction
+// words; labels resolve branch/jump offsets on seal().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "riscv/encode.h"
+#include "riscv/instr.h"
+
+namespace chatfuzz::riscv {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::uint64_t base_pc = 0x8000'0000ull)
+      : base_pc_(base_pc) {}
+
+  std::uint64_t pc() const { return base_pc_ + 4 * words_.size(); }
+  std::uint64_t base_pc() const { return base_pc_; }
+
+  /// Append a raw instruction word.
+  ProgramBuilder& raw(std::uint32_t w) {
+    words_.push_back(w);
+    return *this;
+  }
+
+  // ---- Common instructions (thin wrappers over the encoder) --------------
+  ProgramBuilder& addi(unsigned rd, unsigned rs1, std::int32_t imm) {
+    return raw(enc_i(Opcode::kAddi, rd, rs1, imm));
+  }
+  ProgramBuilder& li(unsigned rd, std::int32_t value) {
+    // lui+addi pair for full 32-bit constants; single addi when it fits.
+    if (value >= -2048 && value <= 2047) return addi(rd, 0, value);
+    std::int32_t hi = (value + 0x800) >> 12;
+    std::int32_t lo = value - (hi << 12);
+    raw(enc_u(Opcode::kLui, rd, hi));
+    return addi(rd, rd, lo);
+  }
+  ProgramBuilder& add(unsigned rd, unsigned rs1, unsigned rs2) {
+    return raw(enc_r(Opcode::kAdd, rd, rs1, rs2));
+  }
+  ProgramBuilder& sub(unsigned rd, unsigned rs1, unsigned rs2) {
+    return raw(enc_r(Opcode::kSub, rd, rs1, rs2));
+  }
+  ProgramBuilder& mul(unsigned rd, unsigned rs1, unsigned rs2) {
+    return raw(enc_r(Opcode::kMul, rd, rs1, rs2));
+  }
+  ProgramBuilder& div(unsigned rd, unsigned rs1, unsigned rs2) {
+    return raw(enc_r(Opcode::kDiv, rd, rs1, rs2));
+  }
+  ProgramBuilder& ld(unsigned rd, unsigned rs1, std::int32_t off) {
+    return raw(enc_i(Opcode::kLd, rd, rs1, off));
+  }
+  ProgramBuilder& lw(unsigned rd, unsigned rs1, std::int32_t off) {
+    return raw(enc_i(Opcode::kLw, rd, rs1, off));
+  }
+  ProgramBuilder& sd(unsigned rs1, unsigned rs2, std::int32_t off) {
+    return raw(enc_s(Opcode::kSd, rs1, rs2, off));
+  }
+  ProgramBuilder& sw(unsigned rs1, unsigned rs2, std::int32_t off) {
+    return raw(enc_s(Opcode::kSw, rs1, rs2, off));
+  }
+  ProgramBuilder& lui(unsigned rd, std::int32_t imm20) {
+    return raw(enc_u(Opcode::kLui, rd, imm20));
+  }
+  ProgramBuilder& auipc(unsigned rd, std::int32_t imm20) {
+    return raw(enc_u(Opcode::kAuipc, rd, imm20));
+  }
+  ProgramBuilder& jal(unsigned rd, std::int32_t offset) {
+    return raw(enc_j(Opcode::kJal, rd, offset));
+  }
+  ProgramBuilder& jalr(unsigned rd, unsigned rs1, std::int32_t off) {
+    return raw(enc_i(Opcode::kJalr, rd, rs1, off));
+  }
+  ProgramBuilder& ecall() { return raw(enc_sys(Opcode::kEcall)); }
+  ProgramBuilder& ebreak() { return raw(enc_sys(Opcode::kEbreak)); }
+  ProgramBuilder& fence() { return raw(enc_sys(Opcode::kFence)); }
+  ProgramBuilder& fence_i() { return raw(enc_sys(Opcode::kFenceI)); }
+  ProgramBuilder& csrrw(unsigned rd, std::uint16_t csr, unsigned rs1) {
+    return raw(enc_csr(Opcode::kCsrrw, rd, csr, rs1));
+  }
+  ProgramBuilder& csrrs(unsigned rd, std::uint16_t csr, unsigned rs1) {
+    return raw(enc_csr(Opcode::kCsrrs, rd, csr, rs1));
+  }
+
+  // ---- Labels -------------------------------------------------------------
+  /// Define a label at the current pc.
+  ProgramBuilder& label(const std::string& name) {
+    labels_[name] = pc();
+    return *this;
+  }
+  /// Branch to a label (patched at seal()).
+  ProgramBuilder& branch_to(Opcode op, unsigned rs1, unsigned rs2,
+                            const std::string& target) {
+    fixups_.push_back({words_.size(), op, rs1, rs2, target});
+    return raw(0);
+  }
+  /// jal to a label (patched at seal()).
+  ProgramBuilder& jal_to(unsigned rd, const std::string& target) {
+    fixups_.push_back({words_.size(), Opcode::kJal, rd, 0, target});
+    return raw(0);
+  }
+
+  /// Resolve label fixups and return the program. Throws std::out_of_range
+  /// on an undefined label.
+  std::vector<std::uint32_t> seal() {
+    for (const Fixup& f : fixups_) {
+      const std::uint64_t at = base_pc_ + 4 * f.index;
+      const std::int64_t offset =
+          static_cast<std::int64_t>(labels_.at(f.target)) -
+          static_cast<std::int64_t>(at);
+      if (f.op == Opcode::kJal) {
+        words_[f.index] = enc_j(f.op, f.a, static_cast<std::int32_t>(offset));
+      } else {
+        words_[f.index] =
+            enc_b(f.op, f.a, f.b, static_cast<std::int32_t>(offset));
+      }
+    }
+    fixups_.clear();
+    return words_;
+  }
+
+ private:
+  struct Fixup {
+    std::size_t index;
+    Opcode op;
+    unsigned a, b;
+    std::string target;
+  };
+  std::uint64_t base_pc_;
+  std::vector<std::uint32_t> words_;
+  std::unordered_map<std::string, std::uint64_t> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace chatfuzz::riscv

@@ -1,0 +1,23 @@
+#include "riscv/csr.h"
+
+namespace chatfuzz::riscv {
+
+const char* exception_name(Exception e) {
+  switch (e) {
+    case Exception::kInstrAddrMisaligned: return "instr-addr-misaligned";
+    case Exception::kInstrAccessFault: return "instr-access-fault";
+    case Exception::kIllegalInstruction: return "illegal-instruction";
+    case Exception::kBreakpoint: return "breakpoint";
+    case Exception::kLoadAddrMisaligned: return "load-addr-misaligned";
+    case Exception::kLoadAccessFault: return "load-access-fault";
+    case Exception::kStoreAddrMisaligned: return "store-addr-misaligned";
+    case Exception::kStoreAccessFault: return "store-access-fault";
+    case Exception::kEcallFromU: return "ecall-from-u";
+    case Exception::kEcallFromS: return "ecall-from-s";
+    case Exception::kEcallFromM: return "ecall-from-m";
+    case Exception::kNone: return "none";
+  }
+  return "unknown";
+}
+
+}  // namespace chatfuzz::riscv

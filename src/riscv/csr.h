@@ -1,0 +1,81 @@
+// CSR address map and fields shared by the golden model and the pipeline
+// model. Only the CSRs RocketCore exposes to the fuzzed surface are modeled;
+// unknown CSR addresses raise illegal-instruction, as in hardware.
+#pragma once
+
+#include <cstdint>
+
+namespace chatfuzz::riscv {
+
+/// Privilege levels, encoded as in the RISC-V privileged spec.
+enum class Priv : std::uint8_t { kUser = 0, kSupervisor = 1, kMachine = 3 };
+
+namespace csr {
+// Machine-level
+inline constexpr std::uint16_t kMstatus = 0x300;
+inline constexpr std::uint16_t kMisa = 0x301;
+inline constexpr std::uint16_t kMedeleg = 0x302;
+inline constexpr std::uint16_t kMideleg = 0x303;
+inline constexpr std::uint16_t kMie = 0x304;
+inline constexpr std::uint16_t kMtvec = 0x305;
+inline constexpr std::uint16_t kMcounteren = 0x306;
+inline constexpr std::uint16_t kMscratch = 0x340;
+inline constexpr std::uint16_t kMepc = 0x341;
+inline constexpr std::uint16_t kMcause = 0x342;
+inline constexpr std::uint16_t kMtval = 0x343;
+inline constexpr std::uint16_t kMip = 0x344;
+inline constexpr std::uint16_t kMcycle = 0xb00;
+inline constexpr std::uint16_t kMinstret = 0xb02;
+inline constexpr std::uint16_t kMvendorid = 0xf11;
+inline constexpr std::uint16_t kMarchid = 0xf12;
+inline constexpr std::uint16_t kMimpid = 0xf13;
+inline constexpr std::uint16_t kMhartid = 0xf14;
+// Supervisor-level
+inline constexpr std::uint16_t kSstatus = 0x100;
+inline constexpr std::uint16_t kSie = 0x104;
+inline constexpr std::uint16_t kStvec = 0x105;
+inline constexpr std::uint16_t kScounteren = 0x106;
+inline constexpr std::uint16_t kSscratch = 0x140;
+inline constexpr std::uint16_t kSepc = 0x141;
+inline constexpr std::uint16_t kScause = 0x142;
+inline constexpr std::uint16_t kStval = 0x143;
+inline constexpr std::uint16_t kSip = 0x144;
+inline constexpr std::uint16_t kSatp = 0x180;
+// User-level counters
+inline constexpr std::uint16_t kCycle = 0xc00;
+inline constexpr std::uint16_t kTime = 0xc01;
+inline constexpr std::uint16_t kInstret = 0xc02;
+
+/// Lowest privilege allowed to access a CSR (bits 9:8 of the address).
+inline Priv min_priv(std::uint16_t addr) {
+  switch ((addr >> 8) & 3) {
+    case 0: return Priv::kUser;
+    case 1: return Priv::kSupervisor;
+    default: return Priv::kMachine;
+  }
+}
+
+/// Read-only CSR addresses have top two bits == 0b11.
+inline bool is_read_only(std::uint16_t addr) { return (addr >> 10) == 3; }
+}  // namespace csr
+
+/// Synchronous exception causes (mcause values), per the privileged spec.
+enum class Exception : std::uint8_t {
+  kInstrAddrMisaligned = 0,
+  kInstrAccessFault = 1,
+  kIllegalInstruction = 2,
+  kBreakpoint = 3,
+  kLoadAddrMisaligned = 4,
+  kLoadAccessFault = 5,
+  kStoreAddrMisaligned = 6,
+  kStoreAccessFault = 7,
+  kEcallFromU = 8,
+  kEcallFromS = 9,
+  kEcallFromM = 11,
+  kNone = 0xff,
+};
+
+/// Human-readable cause name for reports and mismatch signatures.
+const char* exception_name(Exception e);
+
+}  // namespace chatfuzz::riscv

@@ -1,0 +1,125 @@
+#include "riscv/decode.h"
+
+#include <array>
+#include <vector>
+
+namespace chatfuzz::riscv {
+
+namespace {
+
+constexpr std::int64_t sext(std::uint64_t value, unsigned bits) {
+  const std::uint64_t sign = 1ull << (bits - 1);
+  return static_cast<std::int64_t>((value ^ sign)) - static_cast<std::int64_t>(sign);
+}
+
+std::int64_t extract_imm(Format fmt, std::uint32_t raw) {
+  switch (fmt) {
+    case Format::kI:
+      return sext(raw >> 20, 12);
+    case Format::kIShift64:
+      return (raw >> 20) & 0x3f;
+    case Format::kIShift32:
+      return (raw >> 20) & 0x1f;
+    case Format::kS:
+      return sext(((raw >> 25) << 5) | ((raw >> 7) & 0x1f), 12);
+    case Format::kB:
+      return sext(((raw >> 31) & 1) << 12 | ((raw >> 7) & 1) << 11 |
+                      ((raw >> 25) & 0x3f) << 5 | ((raw >> 8) & 0xf) << 1,
+                  13);
+    case Format::kU:
+      return sext(raw & 0xfffff000u, 32);
+    case Format::kJ:
+      return sext(((raw >> 31) & 1) << 20 | ((raw >> 12) & 0xff) << 12 |
+                      ((raw >> 20) & 1) << 11 | ((raw >> 21) & 0x3ff) << 1,
+                  21);
+    default:
+      return 0;
+  }
+}
+
+/// Specs bucketed by major opcode (bits 6:0) so decode scans only a handful
+/// of candidates. Built once, lazily; read-only afterwards.
+const std::array<std::vector<const InstrSpec*>, 128>& buckets() {
+  static const auto table = [] {
+    std::array<std::vector<const InstrSpec*>, 128> t;
+    for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+      const InstrSpec& s = all_specs()[i];
+      t[s.match & 0x7f].push_back(&s);
+    }
+    return t;
+  }();
+  return table;
+}
+
+const InstrSpec* classify(std::uint32_t raw) {
+  // All implemented encodings are 32-bit ("11" in the low two bits); any
+  // compressed encoding is invalid input for this model.
+  if ((raw & 0x3u) != 0x3u) return nullptr;
+  for (const InstrSpec* s : buckets()[raw & 0x7f]) {
+    if ((raw & s->mask) == s->match) return s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Decoded decode(std::uint32_t raw) {
+  Decoded d;
+  d.raw = raw;
+  const InstrSpec* s = classify(raw);
+  if (s == nullptr) return d;
+  d.op = s->op;
+  switch (s->format) {
+    case Format::kR:
+      d.rd = (raw >> 7) & 31;
+      d.rs1 = (raw >> 15) & 31;
+      d.rs2 = (raw >> 20) & 31;
+      break;
+    case Format::kI:
+    case Format::kIShift64:
+    case Format::kIShift32:
+      d.rd = (raw >> 7) & 31;
+      d.rs1 = (raw >> 15) & 31;
+      d.imm = extract_imm(s->format, raw);
+      break;
+    case Format::kS:
+    case Format::kB:
+      d.rs1 = (raw >> 15) & 31;
+      d.rs2 = (raw >> 20) & 31;
+      d.imm = extract_imm(s->format, raw);
+      break;
+    case Format::kU:
+    case Format::kJ:
+      d.rd = (raw >> 7) & 31;
+      d.imm = extract_imm(s->format, raw);
+      break;
+    case Format::kFence:
+    case Format::kSystem:
+      break;
+    case Format::kCsr:
+    case Format::kCsrImm:
+      d.rd = (raw >> 7) & 31;
+      d.rs1 = (raw >> 15) & 31;  // zimm5 for the immediate forms
+      d.csr = static_cast<std::uint16_t>((raw >> 20) & 0xfff);
+      break;
+    case Format::kAmo:
+    case Format::kLoadRes:
+      d.rd = (raw >> 7) & 31;
+      d.rs1 = (raw >> 15) & 31;
+      d.rs2 = (raw >> 20) & 31;
+      d.aq = ((raw >> 26) & 1) != 0;
+      d.rl = ((raw >> 25) & 1) != 0;
+      break;
+  }
+  return d;
+}
+
+bool is_valid(std::uint32_t raw) { return classify(raw) != nullptr; }
+
+std::size_t count_invalid(std::span<const std::uint32_t> program) {
+  std::size_t n = 0;
+  for (std::uint32_t w : program) n += is_valid(w) ? 0 : 1;
+  return n;
+}
+
+}  // namespace chatfuzz::riscv

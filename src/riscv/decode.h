@@ -1,0 +1,26 @@
+// Decoder: classify a 32-bit word against the instruction table and extract
+// operand fields. decode() is the single source of truth for "is this word a
+// valid instruction" — the disassembler reward agent (training stage 2), both
+// simulators, and the mutational baselines all use it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "riscv/instr.h"
+
+namespace chatfuzz::riscv {
+
+/// Decode one instruction word. Returns Decoded with op==kInvalid when the
+/// word matches no known encoding (reserved funct fields, bad major opcode,
+/// or a compressed/half-word encoding, which this model does not implement).
+Decoded decode(std::uint32_t raw);
+
+/// Fast validity check (same classification as decode, no field extraction).
+bool is_valid(std::uint32_t raw);
+
+/// Count invalid words in an instruction stream (the `Invalid_i` term of the
+/// paper's Eq. 1 reward).
+std::size_t count_invalid(std::span<const std::uint32_t> program);
+
+}  // namespace chatfuzz::riscv

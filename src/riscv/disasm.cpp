@@ -1,0 +1,106 @@
+#include <cstdarg>
+#include "riscv/disasm.h"
+
+#include <cstdio>
+
+#include "riscv/decode.h"
+
+namespace chatfuzz::riscv {
+
+namespace {
+std::string format_str(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[128];
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+const char* rn(std::uint8_t r) { return reg_name(r).data(); }
+}  // namespace
+
+std::string disasm(const Decoded& d) {
+  if (!d.valid()) return format_str(".word 0x%08x", d.raw);
+  const InstrSpec& s = spec(d.op);
+  const char* m = s.mnemonic.data();
+  switch (s.format) {
+    case Format::kR:
+      return format_str("%s %s, %s, %s", m, rn(d.rd), rn(d.rs1), rn(d.rs2));
+    case Format::kI:
+      switch (d.op) {
+        case Opcode::kLb:
+        case Opcode::kLh:
+        case Opcode::kLw:
+        case Opcode::kLd:
+        case Opcode::kLbu:
+        case Opcode::kLhu:
+        case Opcode::kLwu:
+          return format_str("%s %s, %lld(%s)", m, rn(d.rd),
+                            static_cast<long long>(d.imm), rn(d.rs1));
+        case Opcode::kJalr:
+          return format_str("%s %s, %lld(%s)", m, rn(d.rd),
+                            static_cast<long long>(d.imm), rn(d.rs1));
+        default:
+          return format_str("%s %s, %s, %lld", m, rn(d.rd), rn(d.rs1),
+                            static_cast<long long>(d.imm));
+      }
+    case Format::kIShift64:
+    case Format::kIShift32:
+      return format_str("%s %s, %s, %lld", m, rn(d.rd), rn(d.rs1),
+                        static_cast<long long>(d.imm));
+    case Format::kS:
+      return format_str("%s %s, %lld(%s)", m, rn(d.rs2),
+                        static_cast<long long>(d.imm), rn(d.rs1));
+    case Format::kB:
+      return format_str("%s %s, %s, %lld", m, rn(d.rs1), rn(d.rs2),
+                        static_cast<long long>(d.imm));
+    case Format::kU:
+      return format_str("%s %s, 0x%llx", m, rn(d.rd),
+                        static_cast<unsigned long long>(
+                            (static_cast<std::uint64_t>(d.imm) >> 12) & 0xfffff));
+    case Format::kJ:
+      return format_str("%s %s, %lld", m, rn(d.rd),
+                        static_cast<long long>(d.imm));
+    case Format::kFence:
+    case Format::kSystem:
+      return m;
+    case Format::kCsr:
+      return format_str("%s %s, 0x%x, %s", m, rn(d.rd), d.csr, rn(d.rs1));
+    case Format::kCsrImm:
+      return format_str("%s %s, 0x%x, %u", m, rn(d.rd), d.csr, d.rs1);
+    case Format::kAmo:
+      return format_str("%s%s %s, %s, (%s)", m,
+                        d.aq && d.rl ? ".aqrl" : d.aq ? ".aq" : d.rl ? ".rl" : "",
+                        rn(d.rd), rn(d.rs2), rn(d.rs1));
+    case Format::kLoadRes:
+      return format_str("%s%s %s, (%s)", m,
+                        d.aq && d.rl ? ".aqrl" : d.aq ? ".aq" : d.rl ? ".rl" : "",
+                        rn(d.rd), rn(d.rs1));
+  }
+  return format_str(".word 0x%08x", d.raw);
+}
+
+std::string disasm(std::uint32_t raw) { return disasm(decode(raw)); }
+
+std::string disasm_program(std::span<const std::uint32_t> program,
+                           std::uint64_t base_pc) {
+  std::string out;
+  std::uint64_t pc = base_pc;
+  for (std::uint32_t w : program) {
+    out += format_str("%8llx:  %08x  ", static_cast<unsigned long long>(pc), w);
+    out += disasm(w);
+    out += '\n';
+    pc += 4;
+  }
+  return out;
+}
+
+DisasmAudit audit(std::span<const std::uint32_t> program) {
+  DisasmAudit a;
+  a.total = program.size();
+  a.invalid = count_invalid(program);
+  return a;
+}
+
+}  // namespace chatfuzz::riscv

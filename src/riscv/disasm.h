@@ -1,0 +1,41 @@
+// Disassembler: textual rendering of instruction words and programs. In the
+// training pipeline (stage 2) this module doubles as the *deterministic
+// reward agent*: a generation's reward is a pure function of how many of its
+// words disassemble successfully (paper Eq. 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "riscv/instr.h"
+
+namespace chatfuzz::riscv {
+
+/// Render one decoded instruction in assembler syntax, e.g.
+/// "addi a0, a1, -5", "lw t0, 8(sp)", "amoor.d s0, s1, (a0)".
+std::string disasm(const Decoded& d);
+
+/// Decode + render a raw word; invalid words render as ".word 0x????????".
+std::string disasm(std::uint32_t raw);
+
+/// Disassemble a program, one instruction per line with pc prefixes.
+std::string disasm_program(std::span<const std::uint32_t> program,
+                           std::uint64_t base_pc = 0);
+
+/// Result of running the disassembler over a candidate test vector.
+/// Mirrors the paper's stage-2 reward inputs: N_i instructions generated,
+/// Invalid_i of them malformed.
+struct DisasmAudit {
+  std::size_t total = 0;
+  std::size_t invalid = 0;
+  /// Eq. 1 of the paper: f(GenText_i) = N_i - 5 * Invalid_i.
+  double reward() const {
+    return static_cast<double>(total) - 5.0 * static_cast<double>(invalid);
+  }
+};
+
+DisasmAudit audit(std::span<const std::uint32_t> program);
+
+}  // namespace chatfuzz::riscv

@@ -1,0 +1,195 @@
+#include "riscv/encode.h"
+
+namespace chatfuzz::riscv {
+
+namespace {
+constexpr std::uint32_t rd_bits(unsigned rd) { return (rd & 31u) << 7; }
+constexpr std::uint32_t rs1_bits(unsigned rs1) { return (rs1 & 31u) << 15; }
+constexpr std::uint32_t rs2_bits(unsigned rs2) { return (rs2 & 31u) << 20; }
+
+constexpr std::uint32_t imm_i(std::int64_t imm) {
+  return (static_cast<std::uint32_t>(imm) & 0xfffu) << 20;
+}
+constexpr std::uint32_t imm_s(std::int64_t imm) {
+  const auto u = static_cast<std::uint32_t>(imm);
+  return ((u >> 5) & 0x7fu) << 25 | (u & 0x1fu) << 7;
+}
+constexpr std::uint32_t imm_b(std::int64_t imm) {
+  const auto u = static_cast<std::uint32_t>(imm);
+  return ((u >> 12) & 1u) << 31 | ((u >> 5) & 0x3fu) << 25 |
+         ((u >> 1) & 0xfu) << 8 | ((u >> 11) & 1u) << 7;
+}
+constexpr std::uint32_t imm_u(std::int64_t imm) {
+  // `imm` carries the full (value << 12); keep bits 31:12.
+  return static_cast<std::uint32_t>(imm) & 0xfffff000u;
+}
+constexpr std::uint32_t imm_j(std::int64_t imm) {
+  const auto u = static_cast<std::uint32_t>(imm);
+  return ((u >> 20) & 1u) << 31 | ((u >> 1) & 0x3ffu) << 21 |
+         ((u >> 11) & 1u) << 20 | ((u >> 12) & 0xffu) << 12;
+}
+}  // namespace
+
+std::uint32_t encode(const Decoded& d) {
+  const InstrSpec& s = spec(d.op);
+  std::uint32_t word = s.match;
+  switch (s.format) {
+    case Format::kR:
+      word |= rd_bits(d.rd) | rs1_bits(d.rs1) | rs2_bits(d.rs2);
+      break;
+    case Format::kI:
+      word |= rd_bits(d.rd) | rs1_bits(d.rs1) | imm_i(d.imm);
+      break;
+    case Format::kIShift64:
+      word |= rd_bits(d.rd) | rs1_bits(d.rs1) |
+              ((static_cast<std::uint32_t>(d.imm) & 0x3fu) << 20);
+      break;
+    case Format::kIShift32:
+      word |= rd_bits(d.rd) | rs1_bits(d.rs1) |
+              ((static_cast<std::uint32_t>(d.imm) & 0x1fu) << 20);
+      break;
+    case Format::kS:
+      word |= rs1_bits(d.rs1) | rs2_bits(d.rs2) | imm_s(d.imm);
+      break;
+    case Format::kB:
+      word |= rs1_bits(d.rs1) | rs2_bits(d.rs2) | imm_b(d.imm);
+      break;
+    case Format::kU:
+      word |= rd_bits(d.rd) | imm_u(d.imm);
+      break;
+    case Format::kJ:
+      word |= rd_bits(d.rd) | imm_j(d.imm);
+      break;
+    case Format::kFence:
+    case Format::kSystem:
+      break;  // fully fixed
+    case Format::kCsr:
+      word |= rd_bits(d.rd) | rs1_bits(d.rs1) |
+              (static_cast<std::uint32_t>(d.csr & 0xfffu) << 20);
+      break;
+    case Format::kCsrImm:
+      word |= rd_bits(d.rd) | rs1_bits(d.rs1) |  // rs1 field carries zimm5
+              (static_cast<std::uint32_t>(d.csr & 0xfffu) << 20);
+      break;
+    case Format::kAmo:
+      word |= rd_bits(d.rd) | rs1_bits(d.rs1) | rs2_bits(d.rs2) |
+              (d.aq ? 1u << 26 : 0u) | (d.rl ? 1u << 25 : 0u);
+      break;
+    case Format::kLoadRes:
+      word |= rd_bits(d.rd) | rs1_bits(d.rs1) | (d.aq ? 1u << 26 : 0u) |
+              (d.rl ? 1u << 25 : 0u);
+      break;
+  }
+  return word;
+}
+
+bool fits_imm(Opcode op, std::int64_t imm) {
+  switch (spec(op).format) {
+    case Format::kI:
+    case Format::kS:
+      return imm >= -2048 && imm <= 2047;
+    case Format::kIShift64:
+      return imm >= 0 && imm <= 63;
+    case Format::kIShift32:
+      return imm >= 0 && imm <= 31;
+    case Format::kB:
+      return imm >= -4096 && imm <= 4094 && (imm & 1) == 0;
+    case Format::kU:
+      return (imm & 0xfffll) == 0 && imm >= -(1ll << 31) && imm < (1ll << 31);
+    case Format::kJ:
+      return imm >= -(1 << 20) && imm <= (1 << 20) - 2 && (imm & 1) == 0;
+    default:
+      return imm == 0;
+  }
+}
+
+std::uint32_t enc_r(Opcode op, unsigned rd, unsigned rs1, unsigned rs2) {
+  Decoded d;
+  d.op = op;
+  d.rd = static_cast<std::uint8_t>(rd);
+  d.rs1 = static_cast<std::uint8_t>(rs1);
+  d.rs2 = static_cast<std::uint8_t>(rs2);
+  return encode(d);
+}
+
+std::uint32_t enc_i(Opcode op, unsigned rd, unsigned rs1, std::int32_t imm) {
+  Decoded d;
+  d.op = op;
+  d.rd = static_cast<std::uint8_t>(rd);
+  d.rs1 = static_cast<std::uint8_t>(rs1);
+  d.imm = imm;
+  return encode(d);
+}
+
+std::uint32_t enc_shift(Opcode op, unsigned rd, unsigned rs1, unsigned shamt) {
+  Decoded d;
+  d.op = op;
+  d.rd = static_cast<std::uint8_t>(rd);
+  d.rs1 = static_cast<std::uint8_t>(rs1);
+  d.imm = shamt;
+  return encode(d);
+}
+
+std::uint32_t enc_s(Opcode op, unsigned rs1, unsigned rs2, std::int32_t imm) {
+  Decoded d;
+  d.op = op;
+  d.rs1 = static_cast<std::uint8_t>(rs1);
+  d.rs2 = static_cast<std::uint8_t>(rs2);
+  d.imm = imm;
+  return encode(d);
+}
+
+std::uint32_t enc_b(Opcode op, unsigned rs1, unsigned rs2, std::int32_t offset) {
+  Decoded d;
+  d.op = op;
+  d.rs1 = static_cast<std::uint8_t>(rs1);
+  d.rs2 = static_cast<std::uint8_t>(rs2);
+  d.imm = offset;
+  return encode(d);
+}
+
+std::uint32_t enc_u(Opcode op, unsigned rd, std::int32_t imm20) {
+  Decoded d;
+  d.op = op;
+  d.rd = static_cast<std::uint8_t>(rd);
+  d.imm = static_cast<std::int64_t>(imm20) << 12;
+  return encode(d);
+}
+
+std::uint32_t enc_j(Opcode op, unsigned rd, std::int32_t offset) {
+  Decoded d;
+  d.op = op;
+  d.rd = static_cast<std::uint8_t>(rd);
+  d.imm = offset;
+  return encode(d);
+}
+
+std::uint32_t enc_csr(Opcode op, unsigned rd, std::uint16_t csr,
+                      unsigned rs1_or_zimm) {
+  Decoded d;
+  d.op = op;
+  d.rd = static_cast<std::uint8_t>(rd);
+  d.rs1 = static_cast<std::uint8_t>(rs1_or_zimm);
+  d.csr = csr;
+  return encode(d);
+}
+
+std::uint32_t enc_amo(Opcode op, unsigned rd, unsigned addr_rs1, unsigned rs2,
+                      bool aq, bool rl) {
+  Decoded d;
+  d.op = op;
+  d.rd = static_cast<std::uint8_t>(rd);
+  d.rs1 = static_cast<std::uint8_t>(addr_rs1);
+  d.rs2 = static_cast<std::uint8_t>(rs2);
+  d.aq = aq;
+  d.rl = rl;
+  return encode(d);
+}
+
+std::uint32_t enc_sys(Opcode op) {
+  Decoded d;
+  d.op = op;
+  return encode(d);
+}
+
+}  // namespace chatfuzz::riscv

@@ -1,0 +1,35 @@
+// Encoder: build 32-bit RISC-V instruction words from decoded records or
+// convenience helpers. The inverse of decode(); every encode/decode pair is
+// round-trip tested over the whole opcode table.
+#pragma once
+
+#include <cstdint>
+
+#include "riscv/instr.h"
+
+namespace chatfuzz::riscv {
+
+/// Encode a decoded record into its 32-bit instruction word. Operand fields
+/// not used by the opcode's format are ignored. Immediates are truncated to
+/// the format's range (callers that care should pre-validate with
+/// fits_imm()).
+std::uint32_t encode(const Decoded& d);
+
+/// True if `imm` is representable by the format of `op` (including the
+/// alignment requirement for branch/jump offsets).
+bool fits_imm(Opcode op, std::int64_t imm);
+
+// ---- Convenience builders (match assembler operand order) ----------------
+std::uint32_t enc_r(Opcode op, unsigned rd, unsigned rs1, unsigned rs2);
+std::uint32_t enc_i(Opcode op, unsigned rd, unsigned rs1, std::int32_t imm);
+std::uint32_t enc_shift(Opcode op, unsigned rd, unsigned rs1, unsigned shamt);
+std::uint32_t enc_s(Opcode op, unsigned rs1, unsigned rs2, std::int32_t imm);
+std::uint32_t enc_b(Opcode op, unsigned rs1, unsigned rs2, std::int32_t offset);
+std::uint32_t enc_u(Opcode op, unsigned rd, std::int32_t imm20);
+std::uint32_t enc_j(Opcode op, unsigned rd, std::int32_t offset);
+std::uint32_t enc_csr(Opcode op, unsigned rd, std::uint16_t csr, unsigned rs1_or_zimm);
+std::uint32_t enc_amo(Opcode op, unsigned rd, unsigned addr_rs1, unsigned rs2,
+                      bool aq = false, bool rl = false);
+std::uint32_t enc_sys(Opcode op);
+
+}  // namespace chatfuzz::riscv

@@ -1,0 +1,34 @@
+#include "riscv/instr.h"
+
+#include <array>
+
+namespace chatfuzz::riscv {
+
+namespace {
+constexpr std::array<InstrSpec, kNumOpcodes> kSpecs = {{
+#define X(id, mnem, fmt, match, mask, ext) \
+  InstrSpec{Opcode::id, mnem, fmt, match, mask, ext},
+    CHATFUZZ_RISCV_OPCODES(X)
+#undef X
+}};
+
+constexpr std::array<std::string_view, 32> kRegNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+}  // namespace
+
+const InstrSpec& spec(Opcode op) {
+  return kSpecs[static_cast<std::size_t>(op)];
+}
+
+const InstrSpec* all_specs() { return kSpecs.data(); }
+
+std::string_view mnemonic(Opcode op) {
+  if (op == Opcode::kInvalid) return "<invalid>";
+  return kSpecs[static_cast<std::size_t>(op)].mnemonic;
+}
+
+std::string_view reg_name(std::uint8_t reg) { return kRegNames[reg & 31]; }
+
+}  // namespace chatfuzz::riscv

@@ -1,0 +1,84 @@
+// DUT model configuration: microarchitectural parameters for the
+// RocketCore-class and BOOM-class cores, plus the switchable bug injections
+// that reproduce the paper's findings (§V-B). Injections default ON (the
+// paper's DUTs really behaved this way); lockstep tests switch them off.
+#pragma once
+
+#include <string>
+
+namespace chatfuzz::rtl {
+
+/// The deviations ChatFuzz found in RocketCore, reproduced as switchable
+/// behaviours of the model. See DESIGN.md for the full mapping.
+struct BugInjections {
+  /// Bug1 (CWE-1202): I$ serves stale instructions after stores to fetched
+  /// lines until FENCE.I; the golden model is always coherent.
+  bool stale_icache = true;
+  /// Bug2 (CWE-440): tracer omits the rd-writeback record of MUL/DIV ops.
+  bool tracer_drops_muldiv = true;
+  /// Finding1: when a load/store is both misaligned and out-of-range the
+  /// core reports access-fault; the spec (and golden model) say misaligned.
+  bool fault_priority_swap = true;
+  /// Finding2: AMO with rd=x0 shows x0 receiving the loaded value in the
+  /// trace (architectural state is unaffected).
+  bool amo_x0_trace = true;
+  /// Finding3: trace records a write to x0 for backward jumps with rd=x0
+  /// (trace-only artifact).
+  bool x0_link_trace = true;
+
+  static BugInjections none() { return {false, false, false, false, false}; }
+};
+
+struct CoreConfig {
+  std::string name = "rocket";
+
+  // Cache geometry (sets x ways x line-bytes). The I$ is small enough that
+  // long structured tests can conflict within it.
+  unsigned icache_sets = 8;
+  unsigned icache_ways = 2;
+  unsigned icache_line = 32;
+  unsigned dcache_sets = 16;
+  unsigned dcache_ways = 2;
+  unsigned dcache_line = 32;
+
+  // Front-end.
+  unsigned btb_entries = 16;
+
+  // Timing (cycles).
+  unsigned miss_penalty = 20;
+  unsigned div_latency = 16;
+  unsigned mispredict_penalty = 3;
+
+  /// BOOM-class: dual-issue out-of-order front end; adds rename/ROB
+  /// condition points and removes most of the unreachable tail (the BOOM
+  /// build in the paper saturates near 97%).
+  bool superscalar = false;
+
+  /// Depth of cross/sequence condition instrumentation. 2 = full (RocketCore
+  /// build: deep privilege/sequence/cache crosses dominate the uncovered
+  /// tail, as in the paper where 24h campaigns plateau near 80%); 1 =
+  /// reduced (BOOM build: the instrumented subset saturates near 97%).
+  unsigned cross_depth = 2;
+
+  BugInjections bugs;
+
+  /// RocketCore-class preset (the paper's primary DUT).
+  static CoreConfig rocket() { return CoreConfig{}; }
+
+  /// BOOM-class preset.
+  static CoreConfig boom() {
+    CoreConfig c;
+    c.name = "boom";
+    c.icache_sets = 32;
+    c.icache_ways = 4;
+    c.dcache_sets = 32;
+    c.dcache_ways = 4;
+    c.btb_entries = 32;
+    c.div_latency = 12;
+    c.superscalar = true;
+    c.cross_depth = 1;
+    return c;
+  }
+};
+
+}  // namespace chatfuzz::rtl

@@ -1,0 +1,16 @@
+#include "util/log.h"
+
+namespace chatfuzz {
+
+LogLevel& log_threshold() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < log_threshold()) return;
+  static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::fprintf(stderr, "[%s] %s\n", names[static_cast<int>(level)], msg.c_str());
+}
+
+}  // namespace chatfuzz

@@ -1,0 +1,33 @@
+// Minimal leveled logging. Benches and examples print structured tables to
+// stdout; diagnostics go through this logger to stderr so table output stays
+// machine-parsable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace chatfuzz {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel& log_threshold();
+
+void log_message(LogLevel level, const std::string& msg);
+
+template <typename... Args>
+std::string strformat(const char* fmt, Args... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, args...);
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+
+#define CHATFUZZ_LOG(level, ...) \
+  ::chatfuzz::log_message(level, ::chatfuzz::strformat(__VA_ARGS__))
+#define LOG_DEBUG(...) CHATFUZZ_LOG(::chatfuzz::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) CHATFUZZ_LOG(::chatfuzz::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) CHATFUZZ_LOG(::chatfuzz::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) CHATFUZZ_LOG(::chatfuzz::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace chatfuzz

@@ -1,0 +1,80 @@
+// Deterministic, fast pseudo-random number generation for all fuzzing and
+// simulation components. Every stochastic component in the repo takes an
+// explicit Rng (or seed) so campaigns are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace chatfuzz {
+
+/// xoshiro256** — small, fast, high-quality PRNG (Blackman & Vigna).
+/// Not cryptographic; used only for workload generation and sampling.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 to expand the seed into four non-degenerate words.
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Pick an index according to non-negative weights (size must be > 0).
+  template <typename Container>
+  std::size_t weighted_pick(const Container& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double r = uniform() * total;
+    std::size_t idx = 0;
+    for (double w : weights) {
+      if (r < w) return idx;
+      r -= w;
+      ++idx;
+    }
+    return weights.size() - 1;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace chatfuzz

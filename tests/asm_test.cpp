@@ -1,0 +1,137 @@
+// Assembler tests: parse each syntactic form, round-trip disasm -> asm over
+// the whole opcode table, and error reporting.
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "riscv/asm.h"
+#include "riscv/disasm.h"
+#include "riscv/encode.h"
+#include "util/rng.h"
+
+namespace chatfuzz::riscv {
+namespace {
+
+TEST(Asm, RegisterNames) {
+  EXPECT_EQ(parse_reg("zero"), 0);
+  EXPECT_EQ(parse_reg("ra"), 1);
+  EXPECT_EQ(parse_reg("sp"), 2);
+  EXPECT_EQ(parse_reg("a0"), 10);
+  EXPECT_EQ(parse_reg("t6"), 31);
+  EXPECT_EQ(parse_reg("x0"), 0);
+  EXPECT_EQ(parse_reg("x31"), 31);
+  EXPECT_FALSE(parse_reg("x32").has_value());
+  EXPECT_FALSE(parse_reg("q7").has_value());
+}
+
+TEST(Asm, BasicForms) {
+  EXPECT_EQ(assemble_line("addi a0, a1, -5"), enc_i(Opcode::kAddi, 10, 11, -5));
+  EXPECT_EQ(assemble_line("add a0, a1, a2"), enc_r(Opcode::kAdd, 10, 11, 12));
+  EXPECT_EQ(assemble_line("lw t0, 8(sp)"), enc_i(Opcode::kLw, 5, 2, 8));
+  EXPECT_EQ(assemble_line("sd s0, -16(sp)"), enc_s(Opcode::kSd, 2, 8, -16));
+  EXPECT_EQ(assemble_line("beq a0, zero, -12"), enc_b(Opcode::kBeq, 10, 0, -12));
+  EXPECT_EQ(assemble_line("jal ra, 2048"), enc_j(Opcode::kJal, 1, 2048));
+  EXPECT_EQ(assemble_line("lui t0, 0x12345"), enc_u(Opcode::kLui, 5, 0x12345));
+  EXPECT_EQ(assemble_line("slli a0, a0, 63"), enc_shift(Opcode::kSlli, 10, 10, 63));
+  EXPECT_EQ(assemble_line("ecall"), enc_sys(Opcode::kEcall));
+  EXPECT_EQ(assemble_line("mret"), enc_sys(Opcode::kMret));
+  EXPECT_EQ(assemble_line("fence.i"), enc_sys(Opcode::kFenceI));
+  EXPECT_EQ(assemble_line("csrrw t0, 0x340, a0"),
+            enc_csr(Opcode::kCsrrw, 5, 0x340, 10));
+  EXPECT_EQ(assemble_line("csrrwi zero, 0x305, 17"),
+            enc_csr(Opcode::kCsrrwi, 0, 0x305, 17));
+  EXPECT_EQ(assemble_line("amoor.d s0, s1, (a0)"),
+            enc_amo(Opcode::kAmoOrD, 8, 10, 9));
+  EXPECT_EQ(assemble_line("lr.w t0, (a0)"), enc_amo(Opcode::kLrW, 5, 10, 0));
+  EXPECT_EQ(assemble_line(".word 0xdeadbeef"), 0xdeadbeefu);
+}
+
+TEST(Asm, AmoOrderingSuffixes) {
+  EXPECT_EQ(assemble_line("amoswap.w.aq t0, t2, (t1)"),
+            enc_amo(Opcode::kAmoSwapW, 5, 6, 7, true, false));
+  EXPECT_EQ(assemble_line("amoswap.w.aqrl t0, t2, (t1)"),
+            enc_amo(Opcode::kAmoSwapW, 5, 6, 7, true, true));
+  EXPECT_EQ(assemble_line("lr.d.rl a0, (a1)"),
+            enc_amo(Opcode::kLrD, 10, 11, 0, false, true));
+}
+
+TEST(Asm, Errors) {
+  std::string err;
+  EXPECT_FALSE(assemble_line("frobnicate a0, a1", &err).has_value());
+  EXPECT_NE(err.find("unknown mnemonic"), std::string::npos);
+  EXPECT_FALSE(assemble_line("addi a0, a1", &err).has_value());
+  EXPECT_FALSE(assemble_line("addi a0, a1, 99999", &err).has_value());
+  EXPECT_NE(err.find("out of range"), std::string::npos);
+  EXPECT_FALSE(assemble_line("beq a0, a1, 3", &err).has_value());  // odd offset
+  EXPECT_FALSE(assemble_line("lw t0, 8[sp]", &err).has_value());
+  EXPECT_FALSE(assemble_line("addi q0, a1, 0", &err).has_value());
+}
+
+TEST(Asm, ProgramWithCommentsAndBlanks) {
+  const auto prog = assemble(R"(
+      # set up
+      addi a0, zero, 5
+      addi a1, zero, 3   // operands
+      add  a2, a0, a1
+      ecall
+  )");
+  ASSERT_TRUE(prog.has_value());
+  ASSERT_EQ(prog->size(), 4u);
+  EXPECT_EQ((*prog)[2], enc_r(Opcode::kAdd, 12, 10, 11));
+}
+
+TEST(Asm, ProgramErrorReportsLine) {
+  std::string err;
+  const auto prog = assemble("addi a0, zero, 1\nbogus x, y\n", &err);
+  EXPECT_FALSE(prog.has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+}
+
+// Round-trip property: disassemble -> assemble is the identity for every
+// opcode with representative operands, and for random valid programs.
+class AsmRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AsmRoundTrip, DisasmThenAsmIsIdentity) {
+  const InstrSpec& s = all_specs()[GetParam()];
+  Decoded d;
+  d.op = s.op;
+  d.rd = 9;
+  d.rs1 = 17;
+  d.rs2 = 25;
+  switch (s.format) {
+    case Format::kI: d.imm = -300; break;
+    case Format::kS: d.imm = 777; break;
+    case Format::kIShift64: d.imm = 13; break;
+    case Format::kIShift32: d.imm = 7; break;
+    case Format::kB: d.imm = -64; break;
+    case Format::kU: d.imm = static_cast<std::int64_t>(0xabcde) << 12;
+                     d.imm = static_cast<std::int32_t>(d.imm); break;
+    case Format::kJ: d.imm = 4096; break;
+    case Format::kCsr: case Format::kCsrImm: d.csr = 0x300; d.rs1 = 14; break;
+    case Format::kAmo: d.aq = true; d.rl = true; break;
+    default: break;
+  }
+  const std::uint32_t word = encode(d);
+  std::string err;
+  const auto back = assemble_line(disasm(word), &err);
+  ASSERT_TRUE(back.has_value()) << disasm(word) << ": " << err;
+  EXPECT_EQ(*back, word) << disasm(word);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, AsmRoundTrip,
+                         ::testing::Range<std::size_t>(0, kNumOpcodes));
+
+TEST(AsmRoundTripFuzz, RandomValidPrograms) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const auto prog = corpus::random_valid_program(rng, 32);
+    for (std::uint32_t w : prog) {
+      std::string err;
+      const auto back = assemble_line(disasm(w), &err);
+      ASSERT_TRUE(back.has_value()) << disasm(w) << ": " << err;
+      EXPECT_EQ(*back, w) << disasm(w);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chatfuzz::riscv

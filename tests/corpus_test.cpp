@@ -1,0 +1,179 @@
+// Corpus generator tests: every emitted sample must be fully valid machine
+// code with function structure and controlled rare-instruction content; the
+// TheHuzz-style random generator must emit valid but unstructured code.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "corpus/generator.h"
+#include "riscv/decode.h"
+
+namespace chatfuzz::corpus {
+namespace {
+
+class CorpusSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorpusSeeds, FunctionsAreFullyValid) {
+  CorpusGenerator gen(CorpusConfig{}, GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const Program fn = gen.function();
+    EXPECT_EQ(riscv::count_invalid(fn), 0u);
+    EXPECT_GE(fn.size(), 10u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusSeeds,
+                         ::testing::Values(1, 2, 3, 42, 999));
+
+TEST(Corpus, DeterministicUnderSeed) {
+  CorpusGenerator a(CorpusConfig{}, 7);
+  CorpusGenerator b(CorpusConfig{}, 7);
+  EXPECT_EQ(a.function(), b.function());
+  EXPECT_EQ(a.function(), b.function());
+}
+
+TEST(Corpus, PrologueAndEpilogueShape) {
+  CorpusGenerator gen(CorpusConfig{}, 3);
+  const Program fn = gen.function();
+  // Prologue: stack adjust.
+  const riscv::Decoded first = riscv::decode(fn.front());
+  EXPECT_EQ(first.op, riscv::Opcode::kAddi);
+  EXPECT_EQ(first.rd, 2);   // sp
+  EXPECT_EQ(first.imm, -32);
+  // Epilogue: ret (jalr x0, ra).
+  const riscv::Decoded last = riscv::decode(fn.back());
+  EXPECT_EQ(last.op, riscv::Opcode::kJalr);
+  EXPECT_EQ(last.rd, 0);
+  EXPECT_EQ(last.rs1, 1);
+}
+
+TEST(Corpus, NoPrologueOptionOmitsIt) {
+  CorpusConfig cfg;
+  cfg.with_prologue = false;
+  CorpusGenerator gen(cfg, 3);
+  const Program fn = gen.function();
+  const riscv::Decoded last = riscv::decode(fn.back());
+  EXPECT_NE(last.op, riscv::Opcode::kJalr);
+}
+
+TEST(Corpus, BranchOffsetsStayInsideFunction) {
+  CorpusGenerator gen(CorpusConfig{}, 11);
+  for (int i = 0; i < 50; ++i) {
+    const Program fn = gen.function();
+    for (std::size_t at = 0; at < fn.size(); ++at) {
+      const riscv::Decoded d = riscv::decode(fn[at]);
+      if (!d.valid()) continue;
+      if (riscv::spec(d.op).format != riscv::Format::kB) continue;
+      const std::int64_t target =
+          static_cast<std::int64_t>(at) * 4 + d.imm;
+      EXPECT_GE(target, 0) << "backward branch escapes function";
+      EXPECT_LE(target, static_cast<std::int64_t>(fn.size()) * 4)
+          << "forward branch escapes function";
+    }
+  }
+}
+
+TEST(Corpus, DatasetHasRequestedSize) {
+  CorpusGenerator gen(CorpusConfig{}, 5);
+  EXPECT_EQ(gen.dataset(37).size(), 37u);
+}
+
+TEST(Corpus, PromptIsTruncatedFunction) {
+  CorpusGenerator gen(CorpusConfig{}, 5);
+  for (unsigned k = 2; k <= 5; ++k) {
+    const Program p = gen.prompt(k);
+    EXPECT_LE(p.size(), k);
+    EXPECT_EQ(riscv::count_invalid(p), 0u);
+  }
+}
+
+TEST(Corpus, IdiomMixCoversExtensions) {
+  // Over many samples, the corpus must contain M, A, Zicsr, Zifencei and
+  // privileged instructions — the deep-coverage vocabulary.
+  CorpusGenerator gen(CorpusConfig{}, 8);
+  std::map<riscv::Ext, int> seen;
+  for (int i = 0; i < 200; ++i) {
+    for (std::uint32_t w : gen.function()) {
+      const riscv::Decoded d = riscv::decode(w);
+      if (d.valid()) ++seen[riscv::spec(d.op).ext];
+    }
+  }
+  EXPECT_GT(seen[riscv::Ext::kI], 0);
+  EXPECT_GT(seen[riscv::Ext::kM], 0);
+  EXPECT_GT(seen[riscv::Ext::kA], 0);
+  EXPECT_GT(seen[riscv::Ext::kZicsr], 0);
+  EXPECT_GT(seen[riscv::Ext::kZifencei], 0);
+  EXPECT_GT(seen[riscv::Ext::kPriv], 0);
+}
+
+TEST(Corpus, RegisterEntanglement) {
+  // Most instructions should consume a recently defined register — that is
+  // the paper's "interdependent" property. Measure def-use locality.
+  CorpusGenerator gen(CorpusConfig{}, 13);
+  int uses = 0, entangled = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Program fn = gen.function();
+    std::vector<std::uint8_t> recent;
+    for (std::uint32_t w : fn) {
+      const riscv::Decoded d = riscv::decode(w);
+      if (!d.valid()) continue;
+      if (d.rs1 != 0) {
+        ++uses;
+        for (std::uint8_t r : recent) {
+          if (r == d.rs1) {
+            ++entangled;
+            break;
+          }
+        }
+      }
+      if (d.rd != 0) {
+        recent.push_back(d.rd);
+        if (recent.size() > 6) recent.erase(recent.begin());
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(entangled) / uses, 0.35)
+      << "corpus lost its def-use entanglement";
+}
+
+TEST(RandomValid, ProducesOnlyValidInstructions) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Program p = random_valid_program(rng, 30);
+    EXPECT_EQ(p.size(), 30u);
+    EXPECT_EQ(riscv::count_invalid(p), 0u);
+  }
+}
+
+TEST(RandomValid, IsUnstructured) {
+  // Sanity: random programs have much lower def-use locality than corpus
+  // functions (this is the property that separates TheHuzz seeds from
+  // ChatFuzz generations).
+  Rng rng(3);
+  int uses = 0, entangled = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Program p = random_valid_program(rng, 30);
+    std::vector<std::uint8_t> recent;
+    for (std::uint32_t w : p) {
+      const riscv::Decoded d = riscv::decode(w);
+      if (!d.valid()) continue;
+      if (d.rs1 != 0) {
+        ++uses;
+        for (std::uint8_t r : recent) {
+          if (r == d.rs1) {
+            ++entangled;
+            break;
+          }
+        }
+      }
+      if (d.rd != 0) {
+        recent.push_back(d.rd);
+        if (recent.size() > 6) recent.erase(recent.begin());
+      }
+    }
+  }
+  EXPECT_LT(static_cast<double>(entangled) / uses, 0.3);
+}
+
+}  // namespace
+}  // namespace chatfuzz::corpus

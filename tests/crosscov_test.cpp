@@ -1,0 +1,219 @@
+// Deep-instrumentation semantics tests: the cross/sequence condition points
+// that form the DUT's "hard tail" must be reachable exactly by their
+// intended triggers — these assumptions underpin every coverage comparison
+// in the benches.
+#include <gtest/gtest.h>
+
+#include "coverage/merge.h"
+#include "isasim/sim.h"
+#include "riscv/builder.h"
+#include "riscv/encode.h"
+#include "rtlsim/core.h"
+
+namespace chatfuzz::rtl {
+namespace {
+
+using riscv::Opcode;
+namespace csr = riscv::csr;
+
+class CrossCov : public ::testing::Test {
+ protected:
+  CrossCov() : core_(CoreConfig::rocket(), db_, plat()) {}
+
+  static sim::Platform plat() {
+    sim::Platform p;
+    p.max_steps = 2048;
+    return p;
+  }
+
+  void run(const std::vector<std::uint32_t>& prog) {
+    db_.begin_test();
+    core_.reset(prog);
+    core_.run();
+  }
+
+  bool covered(const std::string& name, bool outcome) const {
+    for (std::size_t i = 0; i < db_.num_points(); ++i) {
+      if (db_.point_name(static_cast<cov::PointId>(i)) == name) {
+        return db_.bin_covered(2 * i + (outcome ? 1 : 0));
+      }
+    }
+    ADD_FAILURE() << "no such point: " << name;
+    return false;
+  }
+
+  /// Emits the M->U (or M->S) transition dance at the current build point.
+  static void emit_privilege_drop(riscv::ProgramBuilder& b, bool to_super) {
+    if (to_super) {
+      b.li(28, 1);
+      b.raw(riscv::enc_shift(Opcode::kSlli, 28, 28, 11));  // MPP = 0b01
+      b.csrrs(0, csr::kMstatus, 28);
+    }
+    b.auipc(29, 0);
+    b.addi(29, 29, 16);
+    b.csrrw(0, csr::kMepc, 29);
+    b.raw(riscv::enc_sys(Opcode::kMret));
+  }
+
+  cov::CoverageDB db_;
+  RtlCore core_;
+};
+
+TEST_F(CrossCov, UserModeOpcodeCrossNeedsPrivilegeDrop) {
+  // Plain M-mode execution covers only the false bins.
+  riscv::ProgramBuilder plain;
+  plain.add(10, 11, 12);
+  run(plain.seal());
+  EXPECT_FALSE(covered("cross.user.op.add", true));
+  EXPECT_TRUE(covered("cross.user.op.add", false));
+
+  // After dropping to U-mode, the same add covers the true bin.
+  riscv::ProgramBuilder b;
+  emit_privilege_drop(b, /*to_super=*/false);
+  b.add(10, 11, 12);
+  run(b.seal());
+  EXPECT_TRUE(covered("cross.user.op.add", true));
+  EXPECT_FALSE(covered("cross.super.op.add", true));
+}
+
+TEST_F(CrossCov, SupervisorClassCrossNeedsMppSetup) {
+  riscv::ProgramBuilder b;
+  emit_privilege_drop(b, /*to_super=*/true);
+  b.lw(10, 4, 0);  // load while in S-mode
+  run(b.seal());
+  EXPECT_TRUE(covered("cross.super.load", true));
+  EXPECT_FALSE(covered("cross.user.load", true));
+}
+
+TEST_F(CrossCov, TlbUnitConsultedOnlyOutsideMachineMode) {
+  // satp != 0 in M-mode: TLB not consulted.
+  riscv::ProgramBuilder m;
+  m.li(10, 1);
+  m.csrrw(0, csr::kSatp, 10);
+  m.lw(11, 4, 0);
+  run(m.seal());
+  EXPECT_FALSE(covered("tlb.lookup", true));
+  EXPECT_TRUE(covered("tlb.lookup", false));  // consulted-check evaluated
+
+  // satp != 0 then drop to U-mode and load: consulted.
+  riscv::ProgramBuilder b;
+  b.li(10, 1);
+  b.csrrw(0, csr::kSatp, 10);
+  emit_privilege_drop(b, false);
+  b.lw(11, 4, 0);
+  run(b.seal());
+  EXPECT_TRUE(covered("tlb.lookup", true));
+  EXPECT_TRUE(covered("tlb.store_perm", false));
+}
+
+TEST_F(CrossCov, SequencePairDivAfterDiv) {
+  riscv::ProgramBuilder one;
+  one.div(10, 11, 12);
+  one.add(13, 10, 10);
+  one.div(14, 11, 12);  // div, but not back-to-back
+  run(one.seal());
+  EXPECT_FALSE(covered("seq.div_after_div", true));
+
+  riscv::ProgramBuilder two;
+  two.div(10, 11, 12);
+  two.div(13, 11, 12);
+  run(two.seal());
+  EXPECT_TRUE(covered("seq.div_after_div", true));
+}
+
+TEST_F(CrossCov, StoreToLoadForwardNeedsSameAddress) {
+  riscv::ProgramBuilder b;
+  b.sd(4, 11, 0);
+  b.ld(12, 4, 0);  // same address, back-to-back
+  run(b.seal());
+  EXPECT_TRUE(covered("seq.store_to_load_forward", true));
+
+  cov::CoverageDB db2;
+  RtlCore core2(CoreConfig::rocket(), db2, plat());
+  riscv::ProgramBuilder c;
+  c.sd(4, 11, 0);
+  c.ld(12, 4, 8);  // different address
+  db2.begin_test();
+  core2.reset(c.seal());
+  core2.run();
+  bool hit = false;
+  for (std::size_t i = 0; i < db2.num_points(); ++i) {
+    if (db2.point_name(static_cast<cov::PointId>(i)) ==
+        "seq.store_to_load_forward") {
+      hit = db2.bin_covered(2 * i + 1);
+    }
+  }
+  EXPECT_FALSE(hit);
+}
+
+TEST_F(CrossCov, FenceiAfterStoreSequence) {
+  riscv::ProgramBuilder b;
+  b.sw(4, 11, 0);
+  b.fence_i();
+  run(b.seal());
+  EXPECT_TRUE(covered("seq.fencei_after_store", true));
+}
+
+TEST_F(CrossCov, StoreClobbersReservation) {
+  riscv::ProgramBuilder b;
+  b.raw(riscv::enc_amo(Opcode::kLrW, 10, 4, 0));
+  b.sw(4, 11, 0);  // store to the reserved line
+  run(b.seal());
+  EXPECT_TRUE(covered("cache.store_clobbers_reservation", true));
+}
+
+TEST_F(CrossCov, PerCsrWritePoints) {
+  riscv::ProgramBuilder b;
+  b.li(10, 0x55);
+  b.csrrw(0, csr::kMscratch, 10);
+  run(b.seal());
+  EXPECT_TRUE(covered("csr.write.0x340", true));   // mscratch written
+  EXPECT_FALSE(covered("csr.write.0x180", true));  // satp untouched
+}
+
+TEST_F(CrossCov, CausePrivCrossNeedsTrapInThatMode) {
+  riscv::ProgramBuilder b;
+  emit_privilege_drop(b, false);
+  b.ecall();  // ecall from U
+  run(b.seal());
+  EXPECT_TRUE(covered("trap.cross.ecall.user", true));
+  EXPECT_FALSE(covered("trap.cross.ecall.super", true));
+}
+
+TEST_F(CrossCov, InterruptTrueBinsStayUnreachable) {
+  // Nothing in the harness can assert mip: the irq true bins are the
+  // designed unreachable tail.
+  riscv::ProgramBuilder b;
+  b.li(10, 0xaaa);
+  b.csrrs(0, csr::kMie, 10);  // enable everything — still no pending source
+  b.add(11, 11, 11);
+  run(b.seal());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(covered("irq.pending" + std::to_string(i), true));
+    EXPECT_TRUE(covered("irq.pending" + std::to_string(i), false));
+  }
+}
+
+TEST_F(CrossCov, BoomBuildOmitsTheDeepTail) {
+  cov::CoverageDB boom_db;
+  RtlCore boom(CoreConfig::boom(), boom_db, plat());
+  const auto uncov = cov::uncovered_points(boom_db);
+  for (const auto& u : uncov) {
+    EXPECT_EQ(u.name.rfind("tlb.", 0), std::string::npos);
+    EXPECT_EQ(u.name.rfind("irq.", 0), std::string::npos);
+    EXPECT_EQ(u.name.rfind("cross.user.op.", 0), std::string::npos);
+  }
+}
+
+TEST_F(CrossCov, UncoveredListingShrinksWithDeeperTests) {
+  const std::size_t before = cov::uncovered_points(db_).size();
+  riscv::ProgramBuilder b;
+  emit_privilege_drop(b, true);
+  b.add(10, 11, 12);
+  b.lw(13, 4, 0);
+  run(b.seal());
+  EXPECT_LT(cov::uncovered_points(db_).size(), before);
+}
+
+}  // namespace
+}  // namespace chatfuzz::rtl

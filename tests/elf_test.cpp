@@ -1,0 +1,160 @@
+// ELF container tests: the static-collection pipeline (paper §III-A) must
+// round-trip function machine code exactly, and the reader must reject any
+// malformed image without crashing — it is the one component that parses
+// untrusted bytes.
+#include <gtest/gtest.h>
+
+#include "corpus/elf.h"
+#include "corpus/generator.h"
+#include "riscv/decode.h"
+
+namespace chatfuzz::corpus {
+namespace {
+
+std::vector<ElfFunction> sample_functions() {
+  CorpusGenerator gen({}, 7);
+  std::vector<ElfFunction> fs;
+  for (int i = 0; i < 5; ++i) {
+    ElfFunction f;
+    f.name = "fn" + std::to_string(i);
+    f.code = gen.function();
+    fs.push_back(std::move(f));
+  }
+  return fs;
+}
+
+TEST(ElfTest, RoundTripPreservesFunctions) {
+  const auto fs = sample_functions();
+  const auto image = write_elf(fs);
+  const auto back = read_elf(image);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), fs.size());
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    EXPECT_EQ((*back)[i].name, fs[i].name);
+    EXPECT_EQ((*back)[i].code, fs[i].code);
+  }
+}
+
+TEST(ElfTest, FunctionsLaidOutBackToBack) {
+  const auto fs = sample_functions();
+  const auto back = read_elf(write_elf(fs, 0x1000));
+  ASSERT_TRUE(back.has_value());
+  std::uint64_t expect = 0x1000;
+  for (const ElfFunction& f : *back) {
+    EXPECT_EQ(f.address, expect);
+    expect += 4 * f.code.size();
+  }
+}
+
+TEST(ElfTest, EmptyObjectRoundTrips) {
+  const auto back = read_elf(write_elf({}));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(ElfTest, HarvestDropsEmptyFunctions) {
+  std::vector<ElfFunction> fs = sample_functions();
+  fs.push_back({"empty", 0, {}});
+  const auto data = harvest_dataset(write_elf(fs));
+  EXPECT_EQ(data.size(), fs.size() - 1);
+}
+
+TEST(ElfTest, HarvestedCodeIsValidMachineLanguage) {
+  CorpusGenerator gen({}, 11);
+  const auto image = synthesize_compiled_binary(gen, 40);
+  const auto data = harvest_dataset(image);
+  ASSERT_EQ(data.size(), 40u);
+  std::size_t valid = 0, total = 0;
+  for (const auto& fn : data) {
+    for (std::uint32_t w : fn) {
+      ++total;
+      if (riscv::decode(w).valid()) ++valid;
+    }
+  }
+  // The corpus generator emits only valid encodings.
+  EXPECT_EQ(valid, total);
+  EXPECT_GT(total, 400u);
+}
+
+TEST(ElfTest, SynthesizedBinaryMatchesDirectDataset) {
+  // Same seed => the ELF detour must not change the harvested entries.
+  CorpusGenerator g1({}, 99);
+  CorpusGenerator g2({}, 99);
+  const auto direct = g1.dataset(10);
+  const auto via_elf = harvest_dataset(synthesize_compiled_binary(g2, 10));
+  EXPECT_EQ(direct, via_elf);
+}
+
+// ---- malformed input ---------------------------------------------------------
+
+TEST(ElfTest, RejectsBadMagic) {
+  auto image = write_elf(sample_functions());
+  image[1] = 'X';
+  EXPECT_FALSE(read_elf(image).has_value());
+}
+
+TEST(ElfTest, RejectsWrongClassEndianMachine) {
+  auto a = write_elf(sample_functions());
+  a[4] = 1;  // ELFCLASS32
+  EXPECT_FALSE(read_elf(a).has_value());
+  auto b = write_elf(sample_functions());
+  b[5] = 2;  // big endian
+  EXPECT_FALSE(read_elf(b).has_value());
+  auto c = write_elf(sample_functions());
+  c[18] = 0x3e;  // EM_X86_64
+  EXPECT_FALSE(read_elf(c).has_value());
+}
+
+TEST(ElfTest, NoCrashOnAnyTruncation) {
+  const auto image = write_elf(sample_functions());
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    const std::vector<std::uint8_t> cut(image.begin(),
+                                        image.begin() + static_cast<std::ptrdiff_t>(len));
+    // Must not crash; truncations inside headers/tables must be rejected.
+    (void)read_elf(cut);
+  }
+  SUCCEED();
+}
+
+TEST(ElfTest, RejectsSymbolOutsideText) {
+  auto fs = sample_functions();
+  auto image = write_elf(fs);
+  // Corrupt the first symbol's st_value (symtab starts after ehdr+text;
+  // easier: scan for the known text_base value 0x80000000 in the symtab and
+  // bump it far out of range).
+  for (std::size_t off = 0; off + 8 <= image.size(); ++off) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(image[off + i]) << (8 * i);
+    }
+    if (v == 0x8000'0000ull) {
+      const std::uint64_t bad = 0xffff'ffff'0000'0000ull;
+      for (unsigned i = 0; i < 8; ++i) {
+        image[off + i] = static_cast<std::uint8_t>((bad >> (8 * i)) & 0xff);
+      }
+      break;
+    }
+  }
+  EXPECT_FALSE(read_elf(image).has_value());
+}
+
+TEST(ElfTest, HeaderFuzzNeverCrashes) {
+  // Single-byte corruptions across the header + section-table region: the
+  // reader must either parse or reject, never read out of bounds (ASAN-less
+  // proxy: no crash, and code sizes stay bounded by the image).
+  const auto image = write_elf(sample_functions());
+  for (std::size_t off = 0; off < 64; ++off) {
+    for (std::uint8_t bit = 0; bit < 8; ++bit) {
+      auto mut = image;
+      mut[off] ^= static_cast<std::uint8_t>(1u << bit);
+      if (const auto r = read_elf(mut)) {
+        for (const ElfFunction& f : *r) {
+          EXPECT_LE(4 * f.code.size(), mut.size());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chatfuzz::corpus

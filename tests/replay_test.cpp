@@ -1,0 +1,142 @@
+// Coverage-merge and corpus-persistence tests.
+#include <gtest/gtest.h>
+
+#include "core/replay.h"
+#include "coverage/merge.h"
+#include "riscv/builder.h"
+#include "riscv/encode.h"
+#include "rtlsim/core.h"
+
+namespace chatfuzz {
+namespace {
+
+using core::Program;
+
+TEST(Merge, UnionsCoverage) {
+  cov::CoverageDB a, b;
+  const cov::PointId pa = a.register_cond("x");
+  const cov::PointId qa = a.register_cond("y");
+  const cov::PointId pb = b.register_cond("x");
+  const cov::PointId qb = b.register_cond("y");
+  (void)qa;
+  a.begin_test();
+  b.begin_test();
+  a.hit(pa, true);
+  b.hit(pb, false);
+  b.hit(qb, true);
+  ASSERT_TRUE(cov::merge_into(a, b));
+  EXPECT_EQ(a.total_covered(), 3u);
+  EXPECT_EQ(a.bin_hits(2 * pa + 1), 1u);
+  EXPECT_EQ(a.bin_hits(2 * pa), 1u);
+}
+
+TEST(Merge, RejectsMismatchedRegistrations) {
+  cov::CoverageDB a, b;
+  a.register_cond("x");
+  b.register_cond("different");
+  EXPECT_FALSE(cov::merge_into(a, b));
+}
+
+TEST(Merge, HitCountsAdd) {
+  cov::CoverageDB a, b;
+  const cov::PointId p = a.register_cond("x");
+  b.register_cond("x");
+  a.begin_test();
+  b.begin_test();
+  for (int i = 0; i < 5; ++i) a.hit(p, true);
+  for (int i = 0; i < 3; ++i) b.hit(p, true);
+  ASSERT_TRUE(cov::merge_into(a, b));
+  EXPECT_EQ(a.bin_hits(2 * p + 1), 8u);
+}
+
+TEST(Merge, ReportsUnionByName) {
+  const std::vector<std::vector<cov::ReportEntry>> reports = {
+      {{"a", 1, 0}, {"b", 0, 2}},
+      {{"b", 3, 1}, {"c", 1, 1}},
+  };
+  const auto merged = cov::merge_reports(reports);
+  ASSERT_EQ(merged.size(), 3u);
+  // std::map ordering: a, b, c.
+  EXPECT_EQ(merged[1].name, "b");
+  EXPECT_EQ(merged[1].true_hits, 3u);
+  EXPECT_EQ(merged[1].false_hits, 3u);
+}
+
+TEST(Merge, UncoveredPointListing) {
+  cov::CoverageDB db;
+  const cov::PointId p = db.register_cond("hit_both");
+  const cov::PointId q = db.register_cond("only_true");
+  db.register_cond("never");
+  db.begin_test();
+  db.hit(p, true);
+  db.hit(p, false);
+  db.hit(q, true);
+  const auto un = cov::uncovered_points(db);
+  ASSERT_EQ(un.size(), 2u);
+  EXPECT_EQ(un[0].name, "only_true");
+  EXPECT_FALSE(un[0].missing_true);
+  EXPECT_TRUE(un[0].missing_false);
+  EXPECT_EQ(un[1].name, "never");
+  EXPECT_TRUE(un[1].missing_true && un[1].missing_false);
+}
+
+TEST(Replay, CorpusTextRoundTrip) {
+  const std::vector<Program> tests = {
+      {0x00500513u, 0x00b60633u},
+      {0xdeadbeefu},
+      {},
+  };
+  const std::string text = core::corpus_to_text(tests);
+  const auto back = core::corpus_from_text(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, tests);
+}
+
+TEST(Replay, CorpusRejectsBadHex) {
+  std::string err;
+  const auto r = core::corpus_from_text("== test 0\nzzzz\n", &err);
+  EXPECT_FALSE(r.has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+}
+
+TEST(Replay, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/corpus_test.txt";
+  const std::vector<Program> tests = {{0x00100093u, 0x00000073u}};
+  ASSERT_TRUE(core::save_corpus(path, tests));
+  const auto back = core::load_corpus(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, tests);
+}
+
+TEST(Replay, ReplayFindsInjectedBug) {
+  riscv::ProgramBuilder b;
+  b.li(10, 6).li(11, 7).mul(12, 10, 11);
+  const mismatch::Report rep =
+      core::replay_test(b.seal(), rtl::CoreConfig::rocket(), sim::Platform{});
+  ASSERT_EQ(rep.mismatches.size(), 1u);
+  EXPECT_EQ(rep.mismatches[0].finding, mismatch::Finding::kBug2TracerMulDiv);
+}
+
+TEST(Replay, CleanConfigReplaysClean) {
+  riscv::ProgramBuilder b;
+  b.li(10, 6).li(11, 7).mul(12, 10, 11);
+  rtl::CoreConfig cfg = rtl::CoreConfig::rocket();
+  cfg.bugs = rtl::BugInjections::none();
+  const mismatch::Report rep = core::replay_test(b.seal(), cfg, sim::Platform{});
+  EXPECT_TRUE(rep.mismatches.empty());
+}
+
+TEST(Replay, MismatchReportRendering) {
+  mismatch::MismatchDetector det;
+  riscv::ProgramBuilder b;
+  b.li(10, 6).li(11, 7).mul(12, 10, 11);
+  const auto rep =
+      core::replay_test(b.seal(), rtl::CoreConfig::rocket(), sim::Platform{});
+  det.accumulate(rep);
+  const std::string text = core::render_mismatch_report(det);
+  EXPECT_NE(text.find("unique=1"), std::string::npos);
+  EXPECT_NE(text.find("Bug2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chatfuzz

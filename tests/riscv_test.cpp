@@ -1,0 +1,266 @@
+// Unit tests for the RISC-V ISA layer: encode/decode round-trips over the
+// whole instruction table, immediate packing at boundary values,
+// disassembler output, validity classification, and the program builder.
+#include <gtest/gtest.h>
+
+#include "riscv/alu.h"
+#include "riscv/builder.h"
+#include "riscv/decode.h"
+#include "riscv/disasm.h"
+#include "riscv/encode.h"
+
+namespace chatfuzz::riscv {
+namespace {
+
+// ---- parameterized encode/decode round-trip over every opcode -------------
+
+class OpcodeRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OpcodeRoundTrip, EncodeDecodeIdentity) {
+  const InstrSpec& s = all_specs()[GetParam()];
+  Decoded d;
+  d.op = s.op;
+  d.rd = 11;
+  d.rs1 = 7;
+  d.rs2 = 19;
+  switch (s.format) {
+    case Format::kI: d.imm = -77; break;
+    case Format::kS: d.imm = 1001; break;
+    case Format::kIShift64: d.imm = 43; break;
+    case Format::kIShift32: d.imm = 17; break;
+    case Format::kB: d.imm = -260; break;
+    case Format::kU: d.imm = static_cast<std::int64_t>(0x12345) << 12; break;
+    case Format::kJ: d.imm = 2048; break;
+    case Format::kCsr: case Format::kCsrImm: d.csr = 0x340; break;
+    case Format::kAmo: case Format::kLoadRes: d.aq = true; break;
+    default: break;
+  }
+  // Fields not carried by the format must be zeroed to compare.
+  Decoded expect = d;
+  switch (s.format) {
+    case Format::kR: expect.imm = 0; break;
+    case Format::kI: case Format::kIShift64: case Format::kIShift32:
+      expect.rs2 = 0; break;
+    case Format::kS: case Format::kB: expect.rd = 0; break;
+    case Format::kU: case Format::kJ: expect.rs1 = 0; expect.rs2 = 0; break;
+    case Format::kFence: case Format::kSystem:
+      expect.rd = 0; expect.rs1 = 0; expect.rs2 = 0; break;
+    case Format::kCsr: case Format::kCsrImm: expect.rs2 = 0; break;
+    case Format::kLoadRes: expect.rs2 = 0; break;
+    default: break;
+  }
+  const std::uint32_t word = encode(d);
+  const Decoded back = decode(word);
+  EXPECT_EQ(back.op, s.op) << s.mnemonic;
+  EXPECT_EQ(back.rd, expect.rd) << s.mnemonic;
+  EXPECT_EQ(back.rs1, expect.rs1) << s.mnemonic;
+  EXPECT_EQ(back.rs2, expect.rs2) << s.mnemonic;
+  EXPECT_EQ(back.imm, expect.imm) << s.mnemonic;
+  EXPECT_EQ(back.csr, expect.csr) << s.mnemonic;
+  EXPECT_EQ(back.aq, expect.aq) << s.mnemonic;
+  EXPECT_EQ(back.raw, word) << s.mnemonic;
+}
+
+TEST_P(OpcodeRoundTrip, MatchBitsAreSelfConsistent) {
+  const InstrSpec& s = all_specs()[GetParam()];
+  EXPECT_EQ(s.match & ~s.mask, 0u) << s.mnemonic << ": match outside mask";
+  EXPECT_TRUE(is_valid(s.match)) << s.mnemonic;
+  EXPECT_EQ(decode(s.match).op, s.op) << s.mnemonic;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeRoundTrip,
+                         ::testing::Range<std::size_t>(0, kNumOpcodes),
+                         [](const auto& info) {
+                           std::string n(
+                               all_specs()[info.param].mnemonic);
+                           for (char& c : n) {
+                             if (c == '.') c = '_';
+                           }
+                           return n;
+                         });
+
+// ---- immediates at boundaries ----------------------------------------------
+
+TEST(Immediates, ITypeBoundaries) {
+  for (std::int32_t imm : {-2048, -1, 0, 1, 2047}) {
+    const Decoded d = decode(enc_i(Opcode::kAddi, 1, 2, imm));
+    EXPECT_EQ(d.imm, imm);
+  }
+}
+
+TEST(Immediates, STypeBoundaries) {
+  for (std::int32_t imm : {-2048, -5, 0, 2047}) {
+    const Decoded d = decode(enc_s(Opcode::kSd, 2, 3, imm));
+    EXPECT_EQ(d.imm, imm);
+  }
+}
+
+TEST(Immediates, BTypeBoundaries) {
+  for (std::int32_t imm : {-4096, -2, 0, 2, 4094}) {
+    const Decoded d = decode(enc_b(Opcode::kBeq, 1, 2, imm));
+    EXPECT_EQ(d.imm, imm) << imm;
+  }
+}
+
+TEST(Immediates, JTypeBoundaries) {
+  for (std::int32_t imm : {-(1 << 20), -2, 0, 2, (1 << 20) - 2}) {
+    const Decoded d = decode(enc_j(Opcode::kJal, 1, imm));
+    EXPECT_EQ(d.imm, imm) << imm;
+  }
+}
+
+TEST(Immediates, UTypeCarriesUpper20) {
+  const Decoded d = decode(enc_u(Opcode::kLui, 5, 0xfffff << 0 ? -1 : 0));
+  (void)d;
+  const Decoded neg = decode(enc_u(Opcode::kLui, 5, -1));
+  EXPECT_EQ(neg.imm, -4096);  // 0xfffff000 sign-extended
+  const Decoded pos = decode(enc_u(Opcode::kLui, 5, 0x7ffff));
+  EXPECT_EQ(pos.imm, 0x7ffff000ll);
+}
+
+TEST(Immediates, FitsImm) {
+  EXPECT_TRUE(fits_imm(Opcode::kAddi, 2047));
+  EXPECT_FALSE(fits_imm(Opcode::kAddi, 2048));
+  EXPECT_TRUE(fits_imm(Opcode::kBeq, -4096));
+  EXPECT_FALSE(fits_imm(Opcode::kBeq, 3));  // odd branch offset
+  EXPECT_TRUE(fits_imm(Opcode::kSlli, 63));
+  EXPECT_FALSE(fits_imm(Opcode::kSlli, 64));
+  EXPECT_FALSE(fits_imm(Opcode::kSlliw, 32));
+}
+
+// ---- validity classification ----------------------------------------------
+
+TEST(Decode, ZeroWordIsInvalid) { EXPECT_FALSE(is_valid(0)); }
+TEST(Decode, AllOnesIsInvalid) { EXPECT_FALSE(is_valid(0xffffffffu)); }
+
+TEST(Decode, CompressedEncodingsAreInvalid) {
+  // Low two bits != 0b11 denote RVC, which the model does not implement.
+  EXPECT_FALSE(is_valid(0x00000001u));
+  EXPECT_FALSE(is_valid(0x00008082u));
+}
+
+TEST(Decode, ReservedFunctFieldsAreInvalid) {
+  // addi has funct3=0 under opcode 0x13; funct3=1 requires funct6=0 (slli).
+  const std::uint32_t bad_slli = enc_shift(Opcode::kSlli, 1, 1, 1) | (1u << 30);
+  EXPECT_FALSE(is_valid(bad_slli));
+  // R-type with unknown funct7.
+  const std::uint32_t bad_add = enc_r(Opcode::kAdd, 1, 2, 3) | (1u << 29);
+  EXPECT_FALSE(is_valid(bad_add));
+  // LR with rs2 != 0 is reserved.
+  const std::uint32_t bad_lr = enc_amo(Opcode::kLrW, 1, 2, 0) | (5u << 20);
+  EXPECT_FALSE(is_valid(bad_lr));
+}
+
+TEST(Decode, CountInvalid) {
+  const std::vector<std::uint32_t> prog = {
+      enc_i(Opcode::kAddi, 1, 0, 5), 0u, enc_r(Opcode::kAdd, 1, 1, 1),
+      0xffffffffu};
+  EXPECT_EQ(count_invalid(prog), 2u);
+}
+
+// ---- disassembler -----------------------------------------------------------
+
+TEST(Disasm, BasicForms) {
+  EXPECT_EQ(disasm(enc_i(Opcode::kAddi, 10, 11, -5)), "addi a0, a1, -5");
+  EXPECT_EQ(disasm(enc_i(Opcode::kLw, 5, 2, 8)), "lw t0, 8(sp)");
+  EXPECT_EQ(disasm(enc_s(Opcode::kSd, 2, 8, -16)), "sd s0, -16(sp)");
+  EXPECT_EQ(disasm(enc_b(Opcode::kBne, 10, 0, -12)), "bne a0, zero, -12");
+  EXPECT_EQ(disasm(enc_u(Opcode::kLui, 5, 0x12345)), "lui t0, 0x12345");
+  EXPECT_EQ(disasm(enc_sys(Opcode::kEcall)), "ecall");
+  EXPECT_EQ(disasm(enc_sys(Opcode::kMret)), "mret");
+  EXPECT_EQ(disasm(enc_amo(Opcode::kAmoOrD, 8, 10, 9)), "amoor.d s0, s1, (a0)");
+  EXPECT_EQ(disasm(enc_amo(Opcode::kLrW, 5, 10, 0)), "lr.w t0, (a0)");
+  EXPECT_EQ(disasm(0u), ".word 0x00000000");
+}
+
+TEST(Disasm, AqRlSuffixes) {
+  EXPECT_EQ(disasm(enc_amo(Opcode::kAmoSwapW, 5, 6, 7, true, false)),
+            "amoswap.w.aq t0, t2, (t1)");
+  EXPECT_EQ(disasm(enc_amo(Opcode::kAmoSwapW, 5, 6, 7, true, true)),
+            "amoswap.w.aqrl t0, t2, (t1)");
+}
+
+TEST(Disasm, AuditImplementsEq1) {
+  const std::vector<std::uint32_t> prog = {
+      enc_i(Opcode::kAddi, 1, 0, 5), 0u, enc_r(Opcode::kAdd, 1, 1, 1)};
+  const DisasmAudit a = audit(prog);
+  EXPECT_EQ(a.total, 3u);
+  EXPECT_EQ(a.invalid, 1u);
+  EXPECT_DOUBLE_EQ(a.reward(), 3.0 - 5.0 * 1.0);
+}
+
+// ---- builder ----------------------------------------------------------------
+
+TEST(Builder, ForwardAndBackwardLabels) {
+  ProgramBuilder b;
+  b.li(10, 3);
+  b.label("loop");
+  b.addi(10, 10, -1);
+  b.branch_to(Opcode::kBne, 10, 0, "loop");
+  b.jal_to(0, "end");
+  b.addi(11, 11, 1);  // skipped
+  b.label("end");
+  b.ecall();
+  const auto prog = b.seal();
+  ASSERT_EQ(prog.size(), 6u);
+  const Decoded br = decode(prog[2]);
+  EXPECT_EQ(br.op, Opcode::kBne);
+  EXPECT_EQ(br.imm, -4);
+  const Decoded j = decode(prog[3]);
+  EXPECT_EQ(j.op, Opcode::kJal);
+  EXPECT_EQ(j.imm, 8);
+}
+
+TEST(Builder, LiSplitsLargeConstants) {
+  ProgramBuilder b;
+  b.li(10, 0x12345678);
+  const auto prog = b.seal();
+  ASSERT_EQ(prog.size(), 2u);
+  EXPECT_EQ(decode(prog[0]).op, Opcode::kLui);
+  EXPECT_EQ(decode(prog[1]).op, Opcode::kAddi);
+}
+
+TEST(Builder, UndefinedLabelThrows) {
+  ProgramBuilder b;
+  b.branch_to(Opcode::kBeq, 0, 0, "nowhere");
+  EXPECT_THROW(b.seal(), std::out_of_range);
+}
+
+// ---- shared ALU table -------------------------------------------------------
+
+TEST(Alu, DivisionCornerCases) {
+  EXPECT_EQ(alu_eval(Opcode::kDiv, 7, 0), ~0ull);
+  EXPECT_EQ(alu_eval(Opcode::kDivu, 7, 0), ~0ull);
+  EXPECT_EQ(alu_eval(Opcode::kRem, 7, 0), 7ull);
+  EXPECT_EQ(alu_eval(Opcode::kRemu, 7, 0), 7ull);
+  const auto int_min = static_cast<std::uint64_t>(INT64_MIN);
+  EXPECT_EQ(alu_eval(Opcode::kDiv, int_min, static_cast<std::uint64_t>(-1)),
+            int_min);
+  EXPECT_EQ(alu_eval(Opcode::kRem, int_min, static_cast<std::uint64_t>(-1)), 0u);
+}
+
+TEST(Alu, WordOpsSignExtend) {
+  EXPECT_EQ(alu_eval(Opcode::kAddw, 0x7fffffffull, 1),
+            0xffffffff80000000ull);
+  EXPECT_EQ(alu_eval(Opcode::kSubw, 0, 1), ~0ull);
+  EXPECT_EQ(alu_eval(Opcode::kDivw, static_cast<std::uint32_t>(INT32_MIN),
+                     static_cast<std::uint64_t>(-1)),
+            static_cast<std::uint64_t>(INT32_MIN));
+}
+
+TEST(Alu, MulHighHalves) {
+  EXPECT_EQ(alu_eval(Opcode::kMulhu, ~0ull, ~0ull), ~0ull - 1);
+  EXPECT_EQ(alu_eval(Opcode::kMulh, static_cast<std::uint64_t>(-1), 2),
+            ~0ull);  // -1*2 = -2, high half all ones
+}
+
+TEST(Alu, Classifiers) {
+  EXPECT_TRUE(is_muldiv(Opcode::kMul));
+  EXPECT_TRUE(is_muldiv(Opcode::kRemuw));
+  EXPECT_FALSE(is_muldiv(Opcode::kAdd));
+  EXPECT_TRUE(is_div(Opcode::kDivu));
+  EXPECT_FALSE(is_div(Opcode::kMul));
+}
+
+}  // namespace
+}  // namespace chatfuzz::riscv

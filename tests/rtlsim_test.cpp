@@ -1,0 +1,379 @@
+// DUT-model tests: the central lockstep property (with bug injections OFF,
+// the RTL-level core and the golden model produce identical commit traces on
+// arbitrary valid programs), each injected deviation produces exactly its
+// expected divergence, plus unit tests for caches and the predictor.
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "isasim/sim.h"
+#include "riscv/builder.h"
+#include "riscv/encode.h"
+#include "rtlsim/core.h"
+
+namespace chatfuzz::rtl {
+namespace {
+
+using riscv::Exception;
+using riscv::Opcode;
+namespace csr = riscv::csr;
+
+sim::Platform test_platform() {
+  sim::Platform p;
+  p.max_steps = 1024;
+  return p;
+}
+
+CoreConfig clean_rocket() {
+  CoreConfig c = CoreConfig::rocket();
+  c.bugs = BugInjections::none();
+  return c;
+}
+
+/// Runs a program on both simulators and EXPECTs identical traces.
+void expect_lockstep(const std::vector<std::uint32_t>& prog,
+                     const CoreConfig& cfg = clean_rocket()) {
+  const sim::Platform plat = test_platform();
+  cov::CoverageDB db;
+  RtlCore dut(cfg, db, plat);
+  sim::IsaSim gold(plat);
+  dut.reset(prog);
+  gold.reset(prog);
+  const sim::RunResult dr = dut.run();
+  const sim::RunResult gr = gold.run();
+  ASSERT_EQ(dr.trace.size(), gr.trace.size());
+  for (std::size_t i = 0; i < dr.trace.size(); ++i) {
+    const auto& d = dr.trace[i];
+    const auto& g = gr.trace[i];
+    ASSERT_EQ(d.pc, g.pc) << "step " << i;
+    ASSERT_EQ(d.instr, g.instr) << "step " << i;
+    EXPECT_EQ(d.exception, g.exception) << "step " << i << " " << d.to_string();
+    EXPECT_EQ(d.has_rd_write, g.has_rd_write) << "step " << i << " " << d.to_string();
+    EXPECT_EQ(d.rd, g.rd) << "step " << i;
+    EXPECT_EQ(d.rd_value, g.rd_value) << "step " << i << " " << d.to_string();
+    EXPECT_EQ(d.has_mem, g.has_mem) << "step " << i;
+    EXPECT_EQ(d.mem_addr, g.mem_addr) << "step " << i;
+    EXPECT_EQ(d.mem_value, g.mem_value) << "step " << i;
+    EXPECT_EQ(d.priv, g.priv) << "step " << i;
+  }
+  EXPECT_EQ(dr.stop, gr.stop);
+}
+
+// ---- lockstep property, fuzzed --------------------------------------------
+
+class LockstepRandomPrograms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LockstepRandomPrograms, RandomValidProgramsAgree) {
+  Rng rng(GetParam());
+  const auto prog = corpus::random_valid_program(rng, 40);
+  expect_lockstep(prog);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockstepRandomPrograms,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+class LockstepCorpusPrograms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LockstepCorpusPrograms, StructuredFunctionsAgree) {
+  corpus::CorpusGenerator gen(corpus::CorpusConfig{}, GetParam());
+  // Corpus functions use FENCE.I-free self-contained idioms plus privilege
+  // transitions; they must run identically on the clean DUT.
+  expect_lockstep(gen.function());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockstepCorpusPrograms,
+                         ::testing::Range<std::uint64_t>(100, 140));
+
+TEST(LockstepBoom, CleanBoomAgreesWithGolden) {
+  CoreConfig boom = CoreConfig::boom();
+  boom.bugs = BugInjections::none();
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    expect_lockstep(corpus::random_valid_program(rng, 30), boom);
+  }
+}
+
+// Even with all bugs ON, programs that avoid the trigger conditions
+// (no self-modifying code, no mul/div, no AMO/jump with rd=x0, no
+// misaligned+out-of-range access) behave identically.
+TEST(LockstepInjected, NonTriggeringProgramMatches) {
+  riscv::ProgramBuilder b;
+  b.li(10, 4).li(11, 6);
+  b.add(12, 10, 11);
+  b.sw(2, 12, -4);
+  b.lw(13, 2, -4);
+  b.branch_to(Opcode::kBlt, 10, 11, "end");
+  b.li(14, 1);
+  b.label("end");
+  b.ecall();
+  expect_lockstep(b.seal(), CoreConfig::rocket());
+}
+
+// ---- injected deviations, one by one ---------------------------------------
+
+struct DivergenceResult {
+  sim::Trace dut, gold;
+};
+
+DivergenceResult run_both(const std::vector<std::uint32_t>& prog,
+                          const CoreConfig& cfg) {
+  const sim::Platform plat = test_platform();
+  cov::CoverageDB db;
+  RtlCore dut(cfg, db, plat);
+  sim::IsaSim gold(plat);
+  dut.reset(prog);
+  gold.reset(prog);
+  return {dut.run().trace, gold.run().trace};
+}
+
+TEST(Bug1, StaleIcacheServesOldInstruction) {
+  // Fetch a line, overwrite an instruction in it, loop back without FENCE.I:
+  // the DUT executes the stale word, the golden model the new one.
+  riscv::ProgramBuilder b;
+  const std::uint32_t li99 = riscv::enc_i(Opcode::kAddi, 10, 0, 99);
+  const std::uint32_t li1 = riscv::enc_i(Opcode::kAddi, 10, 0, 1);
+  b.li(11, static_cast<std::int32_t>(li99));  // 2 instrs
+  b.auipc(12, 0);                             // byte 8
+  b.sw(12, 11, 8);                            // patch byte 16
+  b.raw(li1);                                 // byte 16: patched in memory
+  const auto prog = b.seal();
+
+  const DivergenceResult r = run_both(prog, CoreConfig::rocket());
+  // Golden model executes the patched instruction...
+  ASSERT_GE(r.gold.size(), 5u);
+  EXPECT_EQ(r.gold.back().instr, li99);
+  EXPECT_EQ(r.gold.back().rd_value, 99u);
+  // ...the buggy DUT still executes the stale original bytes.
+  EXPECT_EQ(r.dut.back().instr, li1);
+  EXPECT_EQ(r.dut.back().rd_value, 1u);
+
+  // With FENCE.I between the store and the target, both agree.
+  riscv::ProgramBuilder b2;
+  b2.li(11, static_cast<std::int32_t>(li99));
+  b2.auipc(12, 0);
+  b2.sw(12, 11, 16);
+  b2.fence_i();
+  b2.li(10, 1);
+  expect_lockstep(b2.seal(), CoreConfig::rocket());
+}
+
+TEST(Bug2, TracerDropsMulDivWriteback) {
+  riscv::ProgramBuilder b;
+  b.li(10, 6).li(11, 7);
+  b.mul(12, 10, 11);
+  const auto prog = b.seal();
+  const DivergenceResult r = run_both(prog, CoreConfig::rocket());
+  const auto& d = r.dut.back();
+  const auto& g = r.gold.back();
+  EXPECT_FALSE(d.has_rd_write);     // trace record suppressed
+  EXPECT_TRUE(g.has_rd_write);
+  EXPECT_EQ(g.rd_value, 42u);
+
+  // Architectural state is intact: a subsequent add sees the product.
+  riscv::ProgramBuilder b2;
+  b2.li(10, 6).li(11, 7);
+  b2.mul(12, 10, 11);
+  b2.add(13, 12, 0);
+  const DivergenceResult r2 = run_both(b2.seal(), CoreConfig::rocket());
+  EXPECT_EQ(r2.dut.back().rd_value, 42u);
+}
+
+TEST(Finding1, ExceptionPriorityInverted) {
+  // Address both misaligned and outside RAM.
+  riscv::ProgramBuilder b;
+  b.li(10, 0x1001);
+  b.lw(11, 10, 0);
+  const DivergenceResult r = run_both(b.seal(), CoreConfig::rocket());
+  EXPECT_EQ(r.dut.back().exception, Exception::kLoadAccessFault);
+  EXPECT_EQ(r.gold.back().exception, Exception::kLoadAddrMisaligned);
+}
+
+TEST(Finding1, AlignedFaultStillAgrees) {
+  riscv::ProgramBuilder b;
+  b.li(10, 0x1000);
+  b.lw(11, 10, 0);
+  expect_lockstep(b.seal(), CoreConfig::rocket());
+}
+
+TEST(Finding2, AmoWithRdX0ShowsTraceWrite) {
+  riscv::ProgramBuilder b;
+  b.li(10, 5);
+  b.sw(4, 10, 0);
+  b.raw(riscv::enc_amo(Opcode::kAmoOrD, 0, 4, 11));  // rd = x0
+  const DivergenceResult r = run_both(b.seal(), CoreConfig::rocket());
+  const auto& d = r.dut.back();
+  EXPECT_TRUE(d.has_rd_write);
+  EXPECT_EQ(d.rd, 0);
+  EXPECT_FALSE(r.gold.back().has_rd_write);
+}
+
+TEST(Finding3, BackwardJumpWithRdX0ShowsTraceWrite) {
+  riscv::ProgramBuilder b;
+  b.branch_to(Opcode::kBeq, 5, 5, "fwd");  // hop over the landing pad
+  b.label("back");
+  b.ecall();
+  b.label("fwd");
+  b.jal_to(0, "back");  // backward jump, rd = x0
+  const DivergenceResult r = run_both(b.seal(), CoreConfig::rocket());
+  bool dut_x0_write = false;
+  for (const auto& rec : r.dut) {
+    if (rec.has_rd_write && rec.rd == 0) dut_x0_write = true;
+  }
+  EXPECT_TRUE(dut_x0_write);
+  for (const auto& rec : r.gold) {
+    EXPECT_FALSE(rec.has_rd_write && rec.rd == 0);
+  }
+}
+
+// ---- coverage behaviour ------------------------------------------------------
+
+TEST(Coverage, PointsRegisterOnceAndAccumulate) {
+  cov::CoverageDB db;
+  RtlCore dut(CoreConfig::rocket(), db, test_platform());
+  EXPECT_GT(db.num_points(), 150u);
+  riscv::ProgramBuilder b;
+  b.li(10, 1).ecall();
+  dut.reset(b.seal());
+  dut.run();
+  const std::size_t after_one = db.total_covered();
+  EXPECT_GT(after_one, 0u);
+  // A second, different program only grows coverage.
+  riscv::ProgramBuilder b2;
+  b2.mul(12, 10, 11);
+  b2.fence_i();
+  dut.reset(b2.seal());
+  dut.run();
+  EXPECT_GE(db.total_covered(), after_one);
+}
+
+TEST(Coverage, ConfigsRegisterTheirOwnInstrumentation) {
+  cov::CoverageDB rocket_db, boom_db;
+  RtlCore rocket(CoreConfig::rocket(), rocket_db, test_platform());
+  RtlCore boom(CoreConfig::boom(), boom_db, test_platform());
+  auto has_prefix = [](const cov::CoverageDB& db, const std::string& prefix) {
+    for (std::size_t i = 0; i < db.num_points(); ++i) {
+      if (db.point_name(static_cast<cov::PointId>(i)).rfind(prefix, 0) == 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // BOOM carries the superscalar front-end points; the RocketCore build
+  // carries the full deep cross instrumentation (cross_depth = 2).
+  EXPECT_TRUE(has_prefix(boom_db, "boom."));
+  EXPECT_FALSE(has_prefix(rocket_db, "boom."));
+  EXPECT_TRUE(has_prefix(rocket_db, "tlb."));
+  EXPECT_FALSE(has_prefix(boom_db, "tlb."));
+  EXPECT_TRUE(has_prefix(rocket_db, "cross.user.op."));
+  EXPECT_FALSE(has_prefix(boom_db, "cross.user.op."));
+  EXPECT_GT(rocket_db.num_points(), 400u);
+  EXPECT_GT(boom_db.num_points(), 150u);
+}
+
+TEST(Coverage, DeepPointsNeedTriggers) {
+  cov::CoverageDB db;
+  RtlCore dut(CoreConfig::rocket(), db, test_platform());
+  // Find the fence.i flush point.
+  cov::PointId fencei = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < db.num_points(); ++i) {
+    if (db.point_name(static_cast<cov::PointId>(i)) ==
+        "fetch.icache.fencei_flush") {
+      fencei = static_cast<cov::PointId>(i);
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  riscv::ProgramBuilder plain;
+  plain.li(10, 1).ecall();
+  dut.reset(plain.seal());
+  dut.run();
+  EXPECT_FALSE(db.bin_covered(2 * fencei + 1));
+  riscv::ProgramBuilder with_fence;
+  with_fence.fence_i();
+  dut.reset(with_fence.seal());
+  dut.run();
+  EXPECT_TRUE(db.bin_covered(2 * fencei + 1));
+}
+
+TEST(Coverage, CyclesExceedInstructions) {
+  cov::CoverageDB db;
+  RtlCore dut(CoreConfig::rocket(), db, test_platform());
+  riscv::ProgramBuilder b;
+  b.li(10, 100).li(11, 3);
+  b.div(12, 10, 11);   // multi-cycle
+  dut.reset(b.seal());
+  const sim::RunResult r = dut.run();
+  EXPECT_GT(dut.cycles(), r.steps);
+}
+
+// ---- cache / predictor units ---------------------------------------------------
+
+TEST(ICacheUnit, HitAfterMissAndFlush) {
+  sim::Memory mem(0x1000, 0x1000);
+  mem.write(0x1000, 0xdeadbeef, 4);
+  ICache ic(4, 2, 32);
+  CacheAccess a1, a2, a3;
+  EXPECT_EQ(ic.fetch(0x1000, mem, a1), 0xdeadbeefu);
+  EXPECT_FALSE(a1.hit);
+  EXPECT_EQ(ic.fetch(0x1000, mem, a2), 0xdeadbeefu);
+  EXPECT_TRUE(a2.hit);
+  ic.flush();
+  ic.fetch(0x1000, mem, a3);
+  EXPECT_FALSE(a3.hit);
+}
+
+TEST(ICacheUnit, ServesStaleBytesUntilInvalidate) {
+  sim::Memory mem(0x1000, 0x1000);
+  mem.write(0x1000, 0x11111111, 4);
+  ICache ic(4, 2, 32);
+  CacheAccess acc;
+  ic.fetch(0x1000, mem, acc);
+  mem.write(0x1000, 0x22222222, 4);  // memory changes behind the cache
+  CacheAccess acc2;
+  EXPECT_EQ(ic.fetch(0x1000, mem, acc2), 0x11111111u);  // stale
+  ic.invalidate_addr(0x1000);
+  CacheAccess acc3;
+  EXPECT_EQ(ic.fetch(0x1000, mem, acc3), 0x22222222u);  // fresh after inval
+}
+
+TEST(ICacheUnit, ConflictEviction) {
+  sim::Memory mem(0x0, 1 << 20);
+  ICache ic(4, 1, 32);  // direct-mapped, 4 sets: addresses 128 apart collide
+  CacheAccess a;
+  ic.fetch(0x0, mem, a);
+  ic.fetch(0x80, mem, a);  // same set, evicts
+  EXPECT_TRUE(a.evicted_valid);
+  CacheAccess b;
+  ic.fetch(0x0, mem, b);
+  EXPECT_FALSE(b.hit);  // was evicted
+}
+
+TEST(DCacheUnit, DirtyEviction) {
+  DCache dc(2, 1, 32);
+  CacheAccess a = dc.access(0x0, true);  // miss, dirty
+  EXPECT_FALSE(a.hit);
+  a = dc.access(0x80, false);  // same set: evicts dirty line
+  EXPECT_TRUE(a.evicted_dirty);
+}
+
+TEST(PredictorUnit, LearnsATakenBranch) {
+  Predictor p(8);
+  const std::uint64_t pc = 0x1000, target = 0x2000;
+  EXPECT_FALSE(p.predict(pc).predict_taken);
+  EXPECT_TRUE(p.update(pc, true, target));   // first taken: mispredict
+  EXPECT_TRUE(p.predict(pc).predict_taken);  // learned
+  EXPECT_FALSE(p.update(pc, true, target));  // now correct
+  // One not-taken decays but does not flip a saturated counter...
+  p.update(pc, true, target);                // saturate
+  EXPECT_TRUE(p.update(pc, false, target));  // mispredict
+  EXPECT_TRUE(p.predict(pc).predict_taken);  // still predicts taken (3->2)
+}
+
+TEST(PredictorUnit, TargetChangeIsMispredict) {
+  Predictor p(8);
+  p.update(0x1000, true, 0x2000);
+  EXPECT_TRUE(p.update(0x1000, true, 0x3000));  // same pc, new target
+}
+
+}  // namespace
+}  // namespace chatfuzz::rtl

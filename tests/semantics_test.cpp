@@ -1,0 +1,154 @@
+// Differential semantics tests: IsaSim implements every ALU/M-extension
+// opcode inline and independently of riscv::alu_eval (which the DUT model
+// uses). This suite cross-checks the two implementations opcode-by-opcode
+// over random and adversarial operand values — the property that makes the
+// lockstep comparison meaningful rather than circular.
+#include <gtest/gtest.h>
+
+#include "isasim/sim.h"
+#include "riscv/alu.h"
+#include "riscv/encode.h"
+#include "util/rng.h"
+
+namespace chatfuzz::sim {
+namespace {
+
+using riscv::Opcode;
+
+constexpr Opcode kRegRegOps[] = {
+    Opcode::kAdd,  Opcode::kSub,  Opcode::kSll,  Opcode::kSlt,
+    Opcode::kSltu, Opcode::kXor,  Opcode::kSrl,  Opcode::kSra,
+    Opcode::kOr,   Opcode::kAnd,  Opcode::kAddw, Opcode::kSubw,
+    Opcode::kSllw, Opcode::kSrlw, Opcode::kSraw, Opcode::kMul,
+    Opcode::kMulh, Opcode::kMulhsu, Opcode::kMulhu, Opcode::kDiv,
+    Opcode::kDivu, Opcode::kRem,  Opcode::kRemu, Opcode::kMulw,
+    Opcode::kDivw, Opcode::kDivuw, Opcode::kRemw, Opcode::kRemuw};
+
+/// Adversarial operand values plus per-seed randoms.
+std::vector<std::uint64_t> operand_pool(std::uint64_t seed) {
+  std::vector<std::uint64_t> pool = {
+      0,
+      1,
+      static_cast<std::uint64_t>(-1),
+      static_cast<std::uint64_t>(INT64_MIN),
+      static_cast<std::uint64_t>(INT64_MAX),
+      0x80000000ull,               // INT32_MIN as unsigned
+      0x7fffffffull,               // INT32_MAX
+      0xffffffffull,
+      0x100000000ull,
+      63, 64, 31, 32,
+  };
+  Rng rng(seed);
+  for (int i = 0; i < 8; ++i) pool.push_back(rng.next_u64());
+  return pool;
+}
+
+class RegRegSemantics : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(RegRegSemantics, IsaSimMatchesAluTable) {
+  const Opcode op = GetParam();
+  const auto pool = operand_pool(static_cast<std::uint64_t>(op));
+  Platform plat;
+  IsaSim sim(plat);
+  for (std::uint64_t a : pool) {
+    for (std::uint64_t b : pool) {
+      // Program: x10 = a; x11 = b (seeded through memory to avoid li-range
+      // issues); op x12, x10, x11.
+      std::vector<std::uint32_t> prog = {
+          riscv::enc_i(Opcode::kLd, 10, 4, 0),
+          riscv::enc_i(Opcode::kLd, 11, 4, 8),
+          riscv::enc_r(op, 12, 10, 11),
+      };
+      sim.reset(prog);
+      // x4 is a RAM pointer at reset; stage the operands behind it.
+      sim.memory().write(sim.reg(4), a, 8);
+      sim.memory().write(sim.reg(4) + 8, b, 8);
+      const RunResult r = sim.run();
+      ASSERT_EQ(r.trace.size(), 3u);
+      ASSERT_EQ(r.trace[2].exception, riscv::Exception::kNone);
+      const std::uint64_t expect = riscv::alu_eval(op, a, b);
+      EXPECT_EQ(sim.reg(12), expect)
+          << riscv::mnemonic(op) << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegRegOps, RegRegSemantics,
+                         ::testing::ValuesIn(kRegRegOps),
+                         [](const auto& info) {
+                           std::string n(riscv::mnemonic(info.param));
+                           for (char& c : n) {
+                             if (c == '.') c = '_';
+                           }
+                           return n;
+                         });
+
+constexpr Opcode kImmOps[] = {Opcode::kAddi,  Opcode::kSlti, Opcode::kSltiu,
+                              Opcode::kXori,  Opcode::kOri,  Opcode::kAndi,
+                              Opcode::kAddiw};
+
+class ImmSemantics : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(ImmSemantics, IsaSimMatchesAluTable) {
+  const Opcode op = GetParam();
+  const auto pool = operand_pool(static_cast<std::uint64_t>(op) + 99);
+  Platform plat;
+  IsaSim sim(plat);
+  for (std::uint64_t a : pool) {
+    for (std::int32_t imm : {-2048, -1, 0, 1, 777, 2047}) {
+      std::vector<std::uint32_t> prog = {
+          riscv::enc_i(Opcode::kLd, 10, 4, 0),
+          riscv::enc_i(op, 12, 10, imm),
+      };
+      sim.reset(prog);
+      sim.memory().write(sim.reg(4), a, 8);
+      sim.run();
+      const std::uint64_t expect =
+          riscv::alu_eval(op, a, static_cast<std::uint64_t>(
+                                     static_cast<std::int64_t>(imm)));
+      EXPECT_EQ(sim.reg(12), expect)
+          << riscv::mnemonic(op) << " a=" << a << " imm=" << imm;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImmOps, ImmSemantics, ::testing::ValuesIn(kImmOps),
+                         [](const auto& info) {
+                           return std::string(riscv::mnemonic(info.param));
+                         });
+
+constexpr Opcode kShiftOps[] = {Opcode::kSlli,  Opcode::kSrli, Opcode::kSrai,
+                                Opcode::kSlliw, Opcode::kSrliw, Opcode::kSraiw};
+
+class ShiftSemantics : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(ShiftSemantics, IsaSimMatchesAluTable) {
+  const Opcode op = GetParam();
+  const bool word = riscv::spec(op).format == riscv::Format::kIShift32;
+  const auto pool = operand_pool(static_cast<std::uint64_t>(op) + 7);
+  Platform plat;
+  IsaSim sim(plat);
+  for (std::uint64_t a : pool) {
+    for (unsigned sh : {0u, 1u, 7u, 31u}) {
+      const unsigned shamt = word ? sh : sh * 2;  // exercise 6-bit range too
+      std::vector<std::uint32_t> prog = {
+          riscv::enc_i(Opcode::kLd, 10, 4, 0),
+          riscv::enc_shift(op, 12, 10, shamt),
+      };
+      sim.reset(prog);
+      sim.memory().write(sim.reg(4), a, 8);
+      sim.run();
+      EXPECT_EQ(sim.reg(12), riscv::alu_eval(op, a, shamt))
+          << riscv::mnemonic(op) << " a=" << a << " sh=" << shamt;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShiftOps, ShiftSemantics,
+                         ::testing::ValuesIn(kShiftOps),
+                         [](const auto& info) {
+                           return std::string(riscv::mnemonic(info.param));
+                         });
+
+}  // namespace
+}  // namespace chatfuzz::sim

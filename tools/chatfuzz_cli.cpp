@@ -1,0 +1,220 @@
+// chatfuzz — command-line front end for the library. Subcommands cover the
+// day-to-day verification workflow:
+//
+//   chatfuzz asm <file.s>                 assemble text to a corpus file
+//   chatfuzz disasm <corpus.txt> [n]      disassemble test n (default all)
+//   chatfuzz run <corpus.txt> [n]         co-simulate test n, print traces + mismatches
+//   chatfuzz minimize <corpus.txt> <n>    shrink test n to a minimal repro
+//   chatfuzz fuzz <fuzzer> <tests>        run a campaign (random|thehuzz|difuzz|chatfuzz)
+//                                          writes mismatching inputs to found.txt
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "baselines/hypfuzz.h"
+#include "baselines/mutational.h"
+#include "baselines/point_solver.h"
+#include "baselines/psofuzz.h"
+#include "core/campaign.h"
+#include "core/chatfuzz.h"
+#include "core/replay.h"
+#include "isasim/sim.h"
+#include "mismatch/minimize.h"
+#include "riscv/asm.h"
+#include "riscv/disasm.h"
+#include "rtlsim/core.h"
+
+using namespace chatfuzz;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: chatfuzz <asm|disasm|run|minimize|fuzz|solve> ...\n"
+               "  asm <file.s>              assemble to stdout (corpus format)\n"
+               "  disasm <corpus.txt> [n]   disassemble test n (default: all)\n"
+               "  run <corpus.txt> [n]      co-simulate + mismatch report\n"
+               "  minimize <corpus.txt> <n> shrink a mismatching test\n"
+               "  fuzz <fuzzer> <tests>     campaign; fuzzer = random|thehuzz|"
+               "difuzz|psofuzz|hypfuzz|chatfuzz\n"
+               "  solve <point-name>        synthesize + verify a directed "
+               "test for a coverage point\n");
+  return 2;
+}
+
+std::optional<std::vector<core::Program>> load(const char* path) {
+  auto corpus = core::load_corpus(path);
+  if (!corpus) std::fprintf(stderr, "cannot load corpus: %s\n", path);
+  return corpus;
+}
+
+int cmd_asm(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  const auto prog = riscv::assemble(buf.str(), &error);
+  if (!prog) {
+    std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+    return 1;
+  }
+  std::fputs(core::corpus_to_text({*prog}).c_str(), stdout);
+  return 0;
+}
+
+int cmd_disasm(const char* path, int which) {
+  const auto corpus = load(path);
+  if (!corpus) return 1;
+  for (std::size_t i = 0; i < corpus->size(); ++i) {
+    if (which >= 0 && static_cast<std::size_t>(which) != i) continue;
+    std::printf("== test %zu (%zu instructions)\n", i, (*corpus)[i].size());
+    std::fputs(riscv::disasm_program((*corpus)[i], 0x8000'0000ull).c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+int cmd_run(const char* path, int which) {
+  const auto corpus = load(path);
+  if (!corpus) return 1;
+  mismatch::MismatchDetector detector;
+  detector.install_default_filters();
+  for (std::size_t i = 0; i < corpus->size(); ++i) {
+    if (which >= 0 && static_cast<std::size_t>(which) != i) continue;
+    const mismatch::Report rep = core::replay_test(
+        (*corpus)[i], rtl::CoreConfig::rocket(), sim::Platform{});
+    detector.accumulate(rep);
+    std::printf("test %zu: %zu mismatches\n", i, rep.mismatches.size());
+    for (const auto& m : rep.mismatches) {
+      std::printf("  [%s] %s\n", mismatch::finding_name(m.finding),
+                  m.signature.c_str());
+      std::printf("     dut:  %s\n     gold: %s\n", m.dut.to_string().c_str(),
+                  m.golden.to_string().c_str());
+    }
+  }
+  std::fputs(core::render_mismatch_report(detector).c_str(), stdout);
+  return 0;
+}
+
+int cmd_minimize(const char* path, int which) {
+  const auto corpus = load(path);
+  if (!corpus || which < 0 ||
+      static_cast<std::size_t>(which) >= corpus->size()) {
+    return 1;
+  }
+  const mismatch::MinimizeResult r = mismatch::minimize((*corpus)[which]);
+  if (!r.reproduced) {
+    std::printf("test %d produces no mismatch; nothing to minimize\n", which);
+    return 0;
+  }
+  std::printf("signature: %s\n", r.signature.c_str());
+  std::printf("%zu -> %zu instructions (%zu co-simulations)\n",
+              r.original_size, r.reduced.size(), r.tests_run);
+  std::fputs(riscv::disasm_program(r.reduced, 0x8000'0000ull).c_str(), stdout);
+  return 0;
+}
+
+int cmd_fuzz(const char* which, std::size_t tests) {
+  core::CampaignConfig cfg;
+  cfg.num_tests = tests;
+  cfg.checkpoint_every = std::max<std::size_t>(tests / 10, 10);
+
+  std::unique_ptr<core::InputGenerator> gen;
+  std::unique_ptr<core::ChatFuzzGenerator> chat;
+  if (std::strcmp(which, "random") == 0) {
+    gen = std::make_unique<baselines::RandomFuzzer>(1);
+  } else if (std::strcmp(which, "thehuzz") == 0) {
+    gen = std::make_unique<baselines::TheHuzzFuzzer>(1);
+  } else if (std::strcmp(which, "difuzz") == 0) {
+    gen = std::make_unique<baselines::DifuzzRtlFuzzer>(1);
+  } else if (std::strcmp(which, "psofuzz") == 0) {
+    gen = std::make_unique<baselines::PsoFuzzer>(1);
+  } else if (std::strcmp(which, "hypfuzz") == 0) {
+    gen = std::make_unique<baselines::HypFuzzer>(1);
+  } else if (std::strcmp(which, "chatfuzz") == 0) {
+    chat = std::make_unique<core::ChatFuzzGenerator>(core::ChatFuzzConfig{});
+    if (!chat->load_model("chatfuzz_model.bin")) {
+      std::fprintf(stderr, "training model (cached to chatfuzz_model.bin)...\n");
+      chat->train_offline();
+      chat->save_model("chatfuzz_model.bin");
+    }
+  } else {
+    return usage();
+  }
+  core::InputGenerator& g = chat ? *chat : *gen;
+
+  const core::CampaignResult r = core::run_campaign(
+      g, cfg, [](const core::CampaignPoint& p) {
+        std::fprintf(stderr, "  %6zu tests  %.2f%% cond-cov\n", p.tests,
+                     p.cond_cov_percent);
+      });
+  std::printf("%s: %.2f%% condition coverage, %zu raw / %zu unique "
+              "mismatches, %.2f paper-hours\n",
+              r.fuzzer.c_str(), r.final_cov_percent, r.raw_mismatches,
+              r.unique_mismatches, r.hours);
+  std::printf("%zu points still have an uncovered bin\n", r.uncovered.size());
+  for (const auto f : r.findings) {
+    std::printf("  finding: %s\n", mismatch::finding_name(f));
+  }
+  return 0;
+}
+
+int cmd_solve(const char* point_name) {
+  const sim::Platform plat{.max_steps = 2048};
+  baselines::PointSolver solver(plat);
+  if (solver.provably_unreachable(point_name)) {
+    std::printf("%s: classified unreachable in this testbench\n", point_name);
+    return 0;
+  }
+  cov::UncoveredPoint up;
+  up.name = point_name;
+  up.missing_true = true;
+  const auto prog = solver.solve(up);
+  if (!prog) {
+    std::fprintf(stderr, "%s: no solver template\n", point_name);
+    return 1;
+  }
+  std::fputs(riscv::disasm_program(*prog, plat.ram_base).c_str(), stdout);
+
+  // Verify: run on the DUT model and report whether the true bin was hit.
+  cov::CoverageDB db;
+  rtl::RtlCore dut(rtl::CoreConfig::rocket(), db, plat);
+  dut.reset(*prog);
+  dut.run();
+  for (std::size_t i = 0; i < db.num_points(); ++i) {
+    if (db.point_name(static_cast<cov::PointId>(i)) == point_name) {
+      std::printf("\n%s true bin: %s\n", point_name,
+                  db.bin_covered(2 * i + 1) ? "COVERED" : "not covered");
+      return db.bin_covered(2 * i + 1) ? 0 : 1;
+    }
+  }
+  std::printf("\n(point not present in the RocketCore build)\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "asm") == 0 && argc >= 3) return cmd_asm(argv[2]);
+  if (std::strcmp(cmd, "disasm") == 0 && argc >= 3) {
+    return cmd_disasm(argv[2], argc >= 4 ? std::atoi(argv[3]) : -1);
+  }
+  if (std::strcmp(cmd, "run") == 0 && argc >= 3) {
+    return cmd_run(argv[2], argc >= 4 ? std::atoi(argv[3]) : -1);
+  }
+  if (std::strcmp(cmd, "minimize") == 0 && argc >= 4) {
+    return cmd_minimize(argv[2], std::atoi(argv[3]));
+  }
+  if (std::strcmp(cmd, "fuzz") == 0 && argc >= 4) {
+    return cmd_fuzz(argv[2], std::strtoul(argv[3], nullptr, 10));
+  }
+  if (std::strcmp(cmd, "solve") == 0 && argc >= 3) return cmd_solve(argv[2]);
+  return usage();
+}
