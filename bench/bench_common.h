@@ -5,12 +5,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "baselines/mutational.h"
 #include "core/campaign.h"
 #include "core/chatfuzz.h"
+#include "util/parse.h"
 
 namespace chatfuzz::bench {
 
@@ -47,6 +49,25 @@ inline std::unique_ptr<core::ChatFuzzGenerator> make_chatfuzz(
   return gen;
 }
 
+/// Simulation worker threads for all bench campaigns, from CHATFUZZ_WORKERS
+/// (default 1, "0" = all cores). Campaign results are bit-identical for any
+/// value, so benches stay comparable across machines; only wall-clock moves.
+/// A malformed value falls back to the default loudly rather than silently
+/// meaning "all cores" — timing numbers must not be misattributed.
+inline std::size_t bench_workers() {
+  const char* env = std::getenv("CHATFUZZ_WORKERS");
+  if (env == nullptr) return 1;
+  const auto parsed = parse_count(env);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "[bench] ignoring malformed CHATFUZZ_WORKERS=\"%s\" "
+                 "(using 1 worker)\n",
+                 env);
+    return 1;
+  }
+  return *parsed;
+}
+
 inline core::CampaignConfig rocket_campaign(std::size_t tests) {
   core::CampaignConfig cfg;
   cfg.num_tests = tests;
@@ -54,6 +75,7 @@ inline core::CampaignConfig rocket_campaign(std::size_t tests) {
   cfg.checkpoint_every = std::max<std::size_t>(tests / 40, 25);
   cfg.platform.max_steps = 512;
   cfg.tests_per_hour = kPaperTestsPerHour;
+  cfg.num_workers = bench_workers();
   return cfg;
 }
 

@@ -1,0 +1,80 @@
+// Batch-throughput scaling of the parallel campaign engine: the same random
+// campaign at 1/2/4/8 workers, reporting tests/second and speedup vs the
+// single-worker baseline, plus a cross-check that every configuration lands
+// on the same final coverage and mismatch tallies (the engine's bit-exactness
+// guarantee). The paper's own scaling lever is "ten VCS instances in
+// parallel"; this bench measures our equivalent on real threads.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "baselines/mutational.h"
+#include "bench/bench_common.h"
+#include "util/parse.h"
+
+using namespace chatfuzz;
+
+namespace {
+
+struct Sample {
+  std::size_t workers = 0;
+  double seconds = 0.0;
+  core::CampaignResult result;
+};
+
+Sample run_at(std::size_t workers, std::size_t tests) {
+  baselines::RandomFuzzer gen(7);
+  core::CampaignConfig cfg = bench::rocket_campaign(tests);
+  cfg.num_workers = workers;
+  cfg.checkpoint_every = tests;  // one curve point; we measure throughput
+  const auto t0 = std::chrono::steady_clock::now();
+  Sample s;
+  s.workers = workers;
+  s.result = core::run_campaign(gen, cfg);
+  s.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t tests = 512;
+  if (argc >= 2) {
+    const auto parsed = parse_count(argv[1]);
+    if (!parsed || *parsed == 0) {
+      // A garbled count must not silently shrink the run: with few (or 0)
+      // tests the bit-exactness check below would pass vacuously.
+      std::fprintf(stderr, "usage: %s [tests>0]\n", argv[0]);
+      return 2;
+    }
+    tests = *parsed;
+  }
+  bench::print_header(
+      "parallel campaign engine: batch throughput vs worker count",
+      "ChatFuzz runs ten simulator instances in parallel (~2077 tests/hour)");
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("%zu tests per run, %u hardware threads\n\n", tests, cores);
+  std::printf("%8s %10s %12s %9s %10s %8s\n", "workers", "seconds",
+              "tests/sec", "speedup", "cond-cov%", "raw-mm");
+
+  Sample base;
+  bool identical = true;
+  for (const std::size_t w : {1u, 2u, 4u, 8u}) {
+    const Sample s = run_at(w, tests);
+    if (w == 1) base = s;
+    identical = identical &&
+                s.result.final_cov_percent == base.result.final_cov_percent &&
+                s.result.raw_mismatches == base.result.raw_mismatches &&
+                s.result.unique_mismatches == base.result.unique_mismatches;
+    std::printf("%8zu %10.3f %12.1f %8.2fx %9.2f%% %8zu\n", s.workers,
+                s.seconds, static_cast<double>(tests) / s.seconds,
+                base.seconds / s.seconds, s.result.final_cov_percent,
+                s.result.raw_mismatches);
+  }
+  std::printf("\nresults bit-identical across worker counts: %s\n",
+              identical ? "yes" : "NO (engine bug!)");
+  return identical ? 0 : 1;
+}

@@ -1,7 +1,15 @@
 #include "core/campaign.h"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
 #include "isasim/sim.h"
 #include "rtlsim/core.h"
+#include "util/rng.h"
 
 namespace chatfuzz::core {
 
@@ -44,24 +52,134 @@ const cov::Metric* select_metric(const cov::MetricSuite& suite,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Parallel execution engine.
+//
+// The paper scales by running ten VCS instances side by side and merging
+// their coverage; this engine does the same with worker threads. Each worker
+// owns a private DUT model, golden model, coverage shard and metric suite;
+// a batch is split across the pool and every test produces a TestArtifact —
+// the complete, order-free record of what that test contributed. The
+// coordinating thread then folds artifacts back in canonical test order,
+// reproducing the exact per-test incremental/total coverage values, curve
+// checkpoints and mismatch tallies a fully sequential run computes. Because
+// every artifact depends only on (program, campaign seed, test index) — the
+// DUT is reset per test and all stochastic decisions are keyed by test
+// index, never by thread — campaign output is bit-identical for any worker
+// count and any scheduling.
+// ---------------------------------------------------------------------------
+
+/// Everything one simulated test contributes to campaign state.
+struct TestArtifact {
+  std::vector<cov::BinDelta> cond_bins;     // condition-coverage slice
+  std::vector<std::uint64_t> ctrl_states;   // ctrl states new to the worker
+  std::vector<std::size_t> toggle_bins, fsm_bins, stmt_bins;
+  std::uint64_t cycles = 0;
+  std::uint64_t steps = 0;
+  mismatch::Report report;                  // per-test trace diff
+};
+
+/// One worker's private simulation stack, reused across batches. The ctrl
+/// coverage set inside `dut` deliberately accumulates for the whole
+/// campaign: a worker only reports states it has not reported before, and
+/// since each worker's tests are claimed in increasing global order, the
+/// canonical-order replay on the coordinator sees every state at exactly
+/// the first test a sequential run would.
+struct Worker {
+  Worker(const CampaignConfig& cfg, bool use_suite) {
+    dut = std::make_unique<rtl::RtlCore>(cfg.core, db, cfg.platform);
+    golden = std::make_unique<sim::IsaSim>(cfg.platform);
+    if (use_suite) dut->attach_metrics(&suite);
+    detector.install_default_filters();
+  }
+
+  cov::CoverageDB db;        // per-test shard (reset before every test)
+  cov::MetricSuite suite;
+  std::unique_ptr<rtl::RtlCore> dut;
+  std::unique_ptr<sim::IsaSim> golden;
+  mismatch::MismatchDetector detector;  // compare() only; the campaign-wide
+                                        // tally lives on the coordinator
+};
+
+void run_one(Worker& w, const CampaignConfig& cfg, bool use_suite,
+             const Program& test, std::uint64_t test_index,
+             TestArtifact& out) {
+  w.db.reset_hits();  // shard holds exactly this test's hits afterwards
+  if (use_suite) w.suite.begin_test();
+  w.dut->ctrl_cov().begin_test();
+  w.dut->ctrl_cov().set_recorder(&out.ctrl_states);
+  if (cfg.randomize_regs) {
+    // Per-test RNG stream keyed by campaign seed + global test index, so the
+    // register file is the same no matter which thread runs the test.
+    const std::uint64_t reg_seed = Rng(cfg.seed).fork(test_index).next_u64();
+    w.dut->set_reg_seed(reg_seed);
+    w.golden->set_reg_seed(reg_seed);
+  }
+  w.dut->reset(test);
+  const sim::RunResult dut_run = w.dut->run();
+  w.dut->ctrl_cov().set_recorder(nullptr);
+
+  out.cond_bins = cov::extract_bins(w.db);
+  if (use_suite) {
+    w.suite.toggle().append_test_bins(out.toggle_bins);
+    w.suite.fsm().append_test_bins(out.fsm_bins);
+    w.suite.statement().append_test_bins(out.stmt_bins);
+  }
+  out.cycles = w.dut->cycles();
+  out.steps = dut_run.steps;
+
+  if (cfg.mismatch_detection) {
+    w.golden->reset(test);
+    const sim::RunResult gold_run = w.golden->run();
+    out.report = w.detector.compare(dut_run.trace, gold_run.trace);
+  }
+}
+
+/// The selected guidance metric's per-test bins within an artifact.
+const std::vector<std::size_t>& guide_test_bins(const TestArtifact& art,
+                                                GuidanceMetric g) {
+  switch (g) {
+    case GuidanceMetric::kStatement: return art.stmt_bins;
+    case GuidanceMetric::kFsm: return art.fsm_bins;
+    default: return art.toggle_bins;
+  }
+}
+
 }  // namespace
 
 CampaignResult run_campaign(InputGenerator& gen, const CampaignConfig& cfg,
                             CheckpointHook hook) {
-  cov::CoverageDB db;
-  rtl::RtlCore dut(cfg.core, db, cfg.platform);
-  sim::IsaSim golden(cfg.platform);
-  cov::CoverageCalculator calc(db);
-  mismatch::MismatchDetector detector;
-  detector.install_default_filters();
-
-  cov::MetricSuite suite;
   const bool use_suite = cfg.collect_multi_metrics ||
                          cfg.guidance == GuidanceMetric::kToggle ||
                          cfg.guidance == GuidanceMetric::kStatement ||
                          cfg.guidance == GuidanceMetric::kFsm;
-  if (use_suite) dut.attach_metrics(&suite);
+  // Clamp to what can actually run concurrently: a batch never fans out
+  // wider than its own size, so extra worker stacks would be dead weight
+  // (and an absurd request — CLI garbage parsing to ULONG_MAX — would
+  // otherwise OOM constructing simulator instances).
+  const std::size_t requested = std::max<std::size_t>(
+      1, cfg.num_workers != 0
+             ? cfg.num_workers
+             : std::thread::hardware_concurrency());
+  const std::size_t num_workers = std::min(
+      requested,
+      std::max<std::size_t>(1, std::min(cfg.batch_size, cfg.num_tests)));
+
+  // Canonical campaign-wide state, touched only by the coordinating thread.
+  // The throwaway core performs the condition-point registrations so this DB
+  // has the exact same layout as every worker shard.
+  cov::CoverageDB db;
+  { rtl::RtlCore registrar(cfg.core, db, cfg.platform); }
+  cov::MetricSuite suite;
+  cov::CtrlRegCoverage ctrl;
+  mismatch::MismatchDetector detector;
   const cov::Metric* guide = select_metric(suite, cfg.guidance);
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers.push_back(std::make_unique<Worker>(cfg, use_suite));
+  }
 
   CampaignResult result;
   result.fuzzer = gen.name();
@@ -71,51 +189,94 @@ CampaignResult run_campaign(InputGenerator& gen, const CampaignConfig& cfg,
     const std::size_t want =
         std::min(cfg.batch_size, cfg.num_tests - result.tests_run);
     const std::vector<Program> batch = gen.next_batch(want);
+    if (batch.empty()) break;  // generator exhausted; don't spin forever
+    const std::size_t base = result.tests_run;
 
+    // Simulate the batch across the pool. Workers claim tests through the
+    // shared counter, so each worker's tests are in increasing global order
+    // (the invariant the ctrl-state replay relies on).
+    std::vector<TestArtifact> artifacts(batch.size());
+    std::atomic<std::size_t> next{0};
+    // A throw on a pooled thread may not escape (std::terminate) and a
+    // throw on the coordinator must not leave joinable threads behind, so
+    // every drain captures its first exception; after the join it is
+    // rethrown here, preserving the sequential engine's error contract.
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    const auto drain = [&](std::size_t wi) {
+      Worker& w = *workers[wi];
+      try {
+        for (std::size_t i;
+             !failed.load(std::memory_order_relaxed) &&
+             (i = next.fetch_add(1)) < batch.size();) {
+          run_one(w, cfg, use_suite, batch[i], base + i, artifacts[i]);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    };
+    if (num_workers == 1 || batch.size() == 1) {
+      drain(0);
+    } else {
+      std::vector<std::thread> pool;
+      const std::size_t spawn = std::min(num_workers, batch.size());
+      pool.reserve(spawn - 1);
+      for (std::size_t wi = 1; wi < spawn; ++wi) pool.emplace_back(drain, wi);
+      drain(0);
+      for (std::thread& t : pool) t.join();
+    }
+    if (error) std::rethrow_exception(error);
+
+    // Fold artifacts in canonical test order: identical arithmetic to a
+    // sequential run, including curve checkpoints at exact test indices.
     std::vector<cov::TestCoverage> coverages;
     std::vector<std::uint64_t> ctrl_new;
     coverages.reserve(batch.size());
     ctrl_new.reserve(batch.size());
-
-    for (const Program& test : batch) {
-      calc.begin_test();
-      dut.ctrl_cov().begin_test();
-      if (use_suite) suite.begin_test();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const TestArtifact& art = artifacts[i];
+      // total_covered() is an O(bins) scan — only pay for it when condition
+      // coverage is the guidance signal and the delta is actually consumed.
+      const bool cond_guided = guide == nullptr &&
+                               cfg.guidance != GuidanceMetric::kCtrlReg;
+      const std::size_t cond_before = cond_guided ? db.total_covered() : 0;
       const std::size_t guide_before = guide ? guide->covered() : 0;
-      dut.reset(test);
-      const sim::RunResult dut_run = dut.run();
+      cov::apply_bins(db, art.cond_bins);
+      if (use_suite) {
+        for (std::size_t bin : art.toggle_bins) suite.toggle().cover_bin(bin);
+        for (std::size_t bin : art.fsm_bins) suite.fsm().cover_bin(bin);
+        for (std::size_t bin : art.stmt_bins) suite.statement().cover_bin(bin);
+      }
+      ctrl.begin_test();
+      for (std::uint64_t s : art.ctrl_states) ctrl.observe(s);
+
+      cov::TestCoverage tc;
       if (guide != nullptr) {
         // Guidance by the selected metric: the generator sees the metric's
         // stand-alone/incremental/total instead of condition coverage.
-        cov::TestCoverage tc;
-        tc.standalone_bins = guide->test_covered();
+        tc.standalone_bins = guide_test_bins(art, cfg.guidance).size();
         tc.total_bins = guide->covered();
         tc.incremental_bins = tc.total_bins - guide_before;
         tc.universe_bins = guide->universe();
-        coverages.push_back(tc);
-        (void)calc.end_test();
       } else if (cfg.guidance == GuidanceMetric::kCtrlReg) {
-        cov::TestCoverage tc;
-        tc.standalone_bins = dut.ctrl_cov().test_new_states();
+        tc.standalone_bins = ctrl.test_new_states();
         tc.incremental_bins = tc.standalone_bins;
-        tc.total_bins = dut.ctrl_cov().distinct_states();
+        tc.total_bins = ctrl.distinct_states();
         tc.universe_bins = 0;  // open universe: percentages undefined
-        coverages.push_back(tc);
-        (void)calc.end_test();
       } else {
-        coverages.push_back(calc.end_test());
+        tc.standalone_bins = art.cond_bins.size();
+        tc.total_bins = db.total_covered();
+        tc.incremental_bins = tc.total_bins - cond_before;
+        tc.universe_bins = db.num_bins();
       }
-      ctrl_new.push_back(dut.ctrl_cov().test_new_states());
-      result.total_cycles += dut.cycles();
-      result.total_instrs += dut_run.steps;
-
-      if (cfg.mismatch_detection) {
-        golden.reset(test);
-        const sim::RunResult gold_run = golden.run();
-        const mismatch::Report rep =
-            detector.compare(dut_run.trace, gold_run.trace);
-        detector.accumulate(rep);
-      }
+      coverages.push_back(tc);
+      ctrl_new.push_back(ctrl.test_new_states());
+      result.total_cycles += art.cycles;
+      result.total_instrs += art.steps;
+      if (cfg.mismatch_detection) detector.accumulate(art.report);
       ++result.tests_run;
       ++since_checkpoint;
 
@@ -127,7 +288,7 @@ CampaignResult run_campaign(InputGenerator& gen, const CampaignConfig& cfg,
         pt.hours = static_cast<double>(result.tests_run) /
                    (cfg.tests_per_hour / gen.time_per_test_factor());
         pt.cond_cov_percent = db.total_percent();
-        pt.ctrl_states = dut.ctrl_cov().distinct_states();
+        pt.ctrl_states = ctrl.distinct_states();
         result.curve.push_back(pt);
         if (hook) hook(pt);
       }

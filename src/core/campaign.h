@@ -44,6 +44,24 @@ struct CampaignConfig {
   /// ~52 min on ten VCS instances for both ChatFuzz and TheHuzz, i.e.
   /// ~2077 tests/hour; a generator's time_per_test_factor() scales this.
   double tests_per_hour = 2077.0;
+
+  /// Simulation worker threads (the paper's "ten parallel VCS instances",
+  /// for real this time). Each worker owns a private DUT model, golden
+  /// model and coverage shard; every batch is split across the pool and the
+  /// per-test results are folded back in canonical test order, so campaign
+  /// output is bit-identical for ANY worker count — including 1, which runs
+  /// inline on the calling thread. 0 means hardware concurrency.
+  std::size_t num_workers = 1;
+
+  /// Harness seed for per-test RNG streams (see Rng::fork): every stochastic
+  /// per-test decision is keyed by campaign seed + global test index, never
+  /// by thread identity, which is what keeps shuffled schedules bit-exact.
+  std::uint64_t seed = 1;
+
+  /// Give every test a distinct deterministic initial register file derived
+  /// from `seed` + test index (instead of one fixed file for the whole
+  /// campaign). Off by default to preserve the paper harness's behavior.
+  bool randomize_regs = false;
 };
 
 struct CampaignPoint {

@@ -43,24 +43,49 @@ void CoverageDB::reset_hits() {
   std::fill(test_bins_.begin(), test_bins_.end(), 0);
 }
 
-bool CtrlRegCoverage::observe(std::uint64_t packed_state) {
-  // Mix to spread adjacent states.
+namespace {
+
+std::uint64_t ctrl_state_hash(std::uint64_t packed_state) {
+  // Mix to spread adjacent states; 0 is reserved as the empty-slot marker.
   std::uint64_t h = packed_state * 0x9e3779b97f4a7c15ull;
   h ^= h >> 29;
+  return h != 0 ? h : 1;
+}
+
+}  // namespace
+
+bool CtrlRegCoverage::observe(std::uint64_t packed_state) {
+  const std::uint64_t key = ctrl_state_hash(packed_state);
   if (seen_.empty()) seen_.resize(1ull << 16, 0);
+  // Grow at 50% load. Membership must stay exact: if insertions could be
+  // dropped (a bounded probe window in a saturated table), whether a state
+  // "counts" would depend on insertion order, and sharded campaigns would
+  // stop being bit-identical across worker counts.
+  if (2 * count_ >= seen_.size()) {
+    std::vector<std::uint64_t> old;
+    old.swap(seen_);
+    seen_.assign(2 * old.size(), 0);
+    const std::size_t mask = seen_.size() - 1;
+    for (const std::uint64_t k : old) {
+      if (k == 0) continue;
+      std::size_t slot = k & mask;
+      while (seen_[slot] != 0) slot = (slot + 1) & mask;
+      seen_[slot] = k;
+    }
+  }
   const std::size_t mask = seen_.size() - 1;
-  std::size_t slot = h & mask;
-  const std::uint64_t key = h | 1;  // reserve 0 as "empty"
-  for (std::size_t probe = 0; probe < 64; ++probe, slot = (slot + 1) & mask) {
+  std::size_t slot = key & mask;
+  while (true) {
     if (seen_[slot] == key) return false;
     if (seen_[slot] == 0) {
       seen_[slot] = key;
       ++count_;
       ++test_new_;
+      if (recorder_ != nullptr) recorder_->push_back(packed_state);
       return true;
     }
+    slot = (slot + 1) & mask;
   }
-  return false;  // table region saturated; treat as seen
 }
 
 void CtrlRegCoverage::reset() {

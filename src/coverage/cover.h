@@ -32,8 +32,13 @@ class CoverageDB {
 
   /// Bulk accumulation (coverage merging); does not touch the per-test set.
   void add_hits(PointId id, bool outcome, std::uint64_t n) {
-    hits_[2 * static_cast<std::size_t>(id) + (outcome ? 1 : 0)] += n;
+    add_bin_hits(2 * static_cast<std::size_t>(id) + (outcome ? 1 : 0), n);
   }
+
+  /// Raw-bin accumulation: `bin` uses this DB's own bin indexing (the same
+  /// one bin_hits() reads), so sparse slices round-trip without re-deriving
+  /// the point/outcome encoding elsewhere.
+  void add_bin_hits(std::size_t bin, std::uint64_t n) { hits_[bin] += n; }
 
   /// Mark the start of a new test input: clears the stand-alone hit set.
   void begin_test();
@@ -106,7 +111,9 @@ class CoverageCalculator {
 
 /// Control-register coverage as used by DifuzzRTL: the DUT registers its
 /// mux-select/control registers; coverage is the number of distinct packed
-/// control-state values observed (bounded by a hash-map budget).
+/// control-state values observed. Membership is exact (the backing table
+/// grows as needed): counts must not depend on insertion order, or sharded
+/// campaigns would stop being bit-identical across worker counts.
 class CtrlRegCoverage {
  public:
   /// Record one observed control state. Returns true if it was new.
@@ -116,11 +123,19 @@ class CtrlRegCoverage {
   std::size_t test_new_states() const { return test_new_; }
   void reset();
 
+  /// Sharded campaigns: while set, every state that is new to THIS set is
+  /// appended to `rec` (raw packed value, observation order). A campaign
+  /// worker records its per-test new states here and the aggregator replays
+  /// them into the campaign-wide set in canonical test order, which makes
+  /// distinct/new-state counts independent of how tests were sharded.
+  void set_recorder(std::vector<std::uint64_t>* rec) { recorder_ = rec; }
+
  private:
   // Open-addressed set keyed by the state hash; we only need cardinality.
   std::vector<std::uint64_t> seen_;
   std::size_t count_ = 0;
   std::size_t test_new_ = 0;
+  std::vector<std::uint64_t>* recorder_ = nullptr;
 };
 
 /// Serialize a coverage DB to the textual report format the Coverage

@@ -37,6 +37,23 @@ std::vector<ReportEntry> merge_reports(
   return out;
 }
 
+std::vector<BinDelta> extract_bins(const CoverageDB& src) {
+  std::vector<BinDelta> out;
+  for (std::size_t bin = 0; bin < src.num_bins(); ++bin) {
+    const std::uint64_t hits = src.bin_hits(bin);
+    if (hits != 0) {
+      out.push_back({static_cast<std::uint32_t>(bin), hits});
+    }
+  }
+  return out;
+}
+
+void apply_bins(CoverageDB& dst, const std::vector<BinDelta>& bins) {
+  for (const BinDelta& d : bins) {
+    dst.add_bin_hits(d.bin, d.hits);
+  }
+}
+
 std::vector<UncoveredPoint> uncovered_points(const CoverageDB& db) {
   std::vector<UncoveredPoint> out;
   for (std::size_t i = 0; i < db.num_points(); ++i) {

@@ -19,6 +19,22 @@ bool merge_into(CoverageDB& dst, const CoverageDB& src);
 std::vector<ReportEntry> merge_reports(
     const std::vector<std::vector<ReportEntry>>& reports);
 
+/// Sparse slice of a CoverageDB: the nonzero bins only. This is the unit of
+/// coverage a campaign worker ships back per test — small (a test touches a
+/// fraction of the universe) and mergeable in any grouping, since bin hit
+/// counts add and covered-ness is monotone.
+struct BinDelta {
+  std::uint32_t bin = 0;      // 2 * point + (outcome ? 1 : 0)
+  std::uint64_t hits = 0;
+};
+
+/// Extract every nonzero bin of `src` (ascending bin order).
+std::vector<BinDelta> extract_bins(const CoverageDB& src);
+
+/// Accumulate a sparse slice into `dst` (hit counts add). The slice must
+/// come from a DB with identical point registrations.
+void apply_bins(CoverageDB& dst, const std::vector<BinDelta>& bins);
+
 /// Names of points whose true or false bin is still uncovered — the
 /// verification-engineer view ("what is left to hit").
 struct UncoveredPoint {

@@ -35,6 +35,19 @@ void ToggleCoverage::observe_write(unsigned reg, std::uint64_t old_value,
   }
 }
 
+void ToggleCoverage::append_test_bins(std::vector<std::size_t>& out) const {
+  for (std::size_t i = 0; i < test_bins_.size(); ++i) {
+    if (test_bins_[i]) out.push_back(i);
+  }
+}
+
+void ToggleCoverage::cover_bin(std::size_t universe_index) {
+  if (bins_[universe_index] == 0) {
+    bins_[universe_index] = 1;
+    ++covered_;
+  }
+}
+
 // ---- FsmCoverage ------------------------------------------------------------
 
 FsmCoverage::FsmId FsmCoverage::register_fsm(
@@ -89,6 +102,40 @@ void FsmCoverage::observe(FsmId fsm, unsigned from, unsigned to) {
   }
 }
 
+// Universe layout follows registration order: for each FSM, its state bins
+// then its transition bins. Both traversals below must agree on it.
+void FsmCoverage::append_test_bins(std::vector<std::size_t>& out) const {
+  std::size_t base = 0;
+  for (const Fsm& f : fsms_) {
+    for (std::size_t s = 0; s < f.state_test.size(); ++s) {
+      if (f.state_test[s]) out.push_back(base + s);
+    }
+    for (std::size_t t = 0; t < f.trans_test.size(); ++t) {
+      if (f.trans_test[t]) out.push_back(base + f.num_states + t);
+    }
+    base += f.num_states + f.transitions.size();
+  }
+}
+
+void FsmCoverage::cover_bin(std::size_t universe_index) {
+  std::size_t base = 0;
+  for (Fsm& f : fsms_) {
+    const std::size_t span = f.num_states + f.transitions.size();
+    if (universe_index < base + span) {
+      const std::size_t local = universe_index - base;
+      std::uint8_t& bin = local < f.num_states
+                              ? f.state_hit[local]
+                              : f.trans_hit[local - f.num_states];
+      if (bin == 0) {
+        bin = 1;
+        ++covered_;
+      }
+      return;
+    }
+    base += span;
+  }
+}
+
 std::size_t FsmCoverage::fsm_states_covered(FsmId fsm) const {
   std::size_t n = 0;
   for (std::uint8_t h : fsms_[fsm].state_hit) n += h;
@@ -113,6 +160,19 @@ StatementCoverage::StmtId StatementCoverage::register_stmt(std::string name) {
 void StatementCoverage::begin_test() {
   std::fill(test_hit_.begin(), test_hit_.end(), 0);
   test_covered_ = 0;
+}
+
+void StatementCoverage::append_test_bins(std::vector<std::size_t>& out) const {
+  for (std::size_t i = 0; i < test_hit_.size(); ++i) {
+    if (test_hit_[i]) out.push_back(i);
+  }
+}
+
+void StatementCoverage::cover_bin(std::size_t universe_index) {
+  if (hit_[universe_index] == 0) {
+    hit_[universe_index] = 1;
+    ++covered_;
+  }
 }
 
 void StatementCoverage::hit(StmtId id) {
@@ -179,6 +239,11 @@ void MetricSuite::begin_test() {
   toggle_.begin_test();
   fsm_.begin_test();
   stmt_.begin_test();
+  // Each test boots a freshly reset DUT, so the tracked mul/div unit is idle
+  // at test start. Carrying the previous test's state across would also make
+  // FSM arcs depend on which tests shared a simulator instance, breaking
+  // worker-count invariance in sharded campaigns.
+  muldiv_state_ = kIdle;
 }
 
 void MetricSuite::on_step(const StepObservation& ob) {

@@ -32,6 +32,14 @@ class Metric {
   virtual void begin_test() = 0;
   virtual std::size_t test_covered() const = 0;
 
+  /// Sharded campaigns: append the universe indices of every bin hit by the
+  /// current test to `out`. A worker extracts these after each test and the
+  /// aggregator replays them with cover_bin(); since bins are monotone sets,
+  /// the replay reproduces the cumulative counters exactly.
+  virtual void append_test_bins(std::vector<std::size_t>& out) const = 0;
+  /// Mark one universe bin cumulatively covered (does not touch test state).
+  virtual void cover_bin(std::size_t universe_index) = 0;
+
   double percent() const {
     return universe() == 0
                ? 0.0
@@ -52,6 +60,8 @@ class ToggleCoverage final : public Metric {
   std::size_t covered() const override { return covered_; }
   void begin_test() override;
   std::size_t test_covered() const override { return test_covered_; }
+  void append_test_bins(std::vector<std::size_t>& out) const override;
+  void cover_bin(std::size_t universe_index) override;
 
   /// Record a register update; bits that changed toggle their direction bin.
   void observe_write(unsigned reg, std::uint64_t old_value,
@@ -82,6 +92,8 @@ class FsmCoverage final : public Metric {
   std::size_t covered() const override { return covered_; }
   void begin_test() override;
   std::size_t test_covered() const override { return test_covered_; }
+  void append_test_bins(std::vector<std::size_t>& out) const override;
+  void cover_bin(std::size_t universe_index) override;
 
   /// Record that `fsm` moved from `from` to `to` (may be the same state;
   /// self-arcs count only if declared).
@@ -116,6 +128,8 @@ class StatementCoverage final : public Metric {
   std::size_t covered() const override { return covered_; }
   void begin_test() override;
   std::size_t test_covered() const override { return test_covered_; }
+  void append_test_bins(std::vector<std::size_t>& out) const override;
+  void cover_bin(std::size_t universe_index) override;
 
   void hit(StmtId id);
   bool stmt_covered(StmtId id) const { return hit_[id] != 0; }

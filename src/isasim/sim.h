@@ -42,6 +42,10 @@ class IsaSim {
   Memory& memory() { return mem_; }
   const Trace& trace() const { return trace_; }
 
+  /// Change the initial-register-file seed used by subsequent reset() calls.
+  /// Both sides of a co-simulation must be given the same seed.
+  void set_reg_seed(std::uint64_t seed) { plat_.reg_seed = seed; }
+
  private:
   struct CsrFile {
     std::uint64_t mstatus = 0;

@@ -1,5 +1,7 @@
 #include "rtlsim/caches.h"
 
+#include <algorithm>
+
 namespace chatfuzz::rtl {
 
 ICache::ICache(unsigned sets, unsigned ways, unsigned line_bytes)
@@ -122,6 +124,10 @@ bool Predictor::update(std::uint64_t pc, bool taken, std::uint64_t target) {
     --e.counter;
   }
   return mispredict;
+}
+
+void Predictor::flush() {
+  std::fill(entries_.begin(), entries_.end(), Entry{});
 }
 
 }  // namespace chatfuzz::rtl

@@ -85,6 +85,8 @@ class Predictor {
   Prediction predict(std::uint64_t pc) const;
   /// Update with the resolved outcome; returns true on mispredict.
   bool update(std::uint64_t pc, bool taken, std::uint64_t target);
+  /// Invalidate the BTB and reset the counters (core reset).
+  void flush();
 
  private:
   struct Entry {

@@ -447,6 +447,11 @@ void RtlCore::reset(std::span<const std::uint32_t> program) {
   prev_ev_ = StepEvents{};
   icache_.flush();
   dcache_.flush();
+  // The predictor is microarchitectural state like the caches: each test
+  // boots a freshly reset core, exactly as each VCS simulation does in the
+  // paper's harness. Keeping BTB history across tests would also make
+  // per-test coverage depend on which tests shared a simulator instance.
+  predictor_.flush();
   cycles_ = 0;
   last_rd_ = 0;
   last_was_load_ = false;

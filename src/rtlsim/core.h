@@ -55,6 +55,10 @@ class RtlCore {
   /// coverage); the suite must outlive the core. Pass nullptr to detach.
   void attach_metrics(cov::MetricSuite* metrics) { metrics_ = metrics; }
 
+  /// Change the initial-register-file seed used by subsequent reset() calls
+  /// (campaigns that give every test a distinct deterministic register file).
+  void set_reg_seed(std::uint64_t seed) { plat_.reg_seed = seed; }
+
  private:
   // -- coverage plumbing ----------------------------------------------------
   /// Record an evaluation of condition `id` with value `v`; returns `v` so

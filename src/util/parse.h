@@ -1,0 +1,26 @@
+// Strict numeric parsing for CLI arguments and environment knobs. strtoul
+// alone is a footgun here: it silently negates "-1" (a near-infinite
+// campaign when the value is a test count), returns 0 for garbage (which
+// the campaign engine reads as "all cores"), and saturates on overflow.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <optional>
+
+namespace chatfuzz {
+
+/// Parse a non-negative base-10 integer; rejects empty strings, signs,
+/// whitespace, trailing junk and out-of-range values.
+inline std::optional<std::size_t> parse_count(const char* s) {
+  // Must start with a digit: strtoull itself skips leading whitespace and
+  // accepts signs, so checking s[0] for '-' alone would let " -1" through.
+  if (s == nullptr || *s < '0' || *s > '9') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return std::nullopt;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace chatfuzz

@@ -55,6 +55,26 @@ class Rng {
   /// Bernoulli trial with probability p.
   bool chance(double p) { return uniform() < p; }
 
+  /// Derive an independent child stream without perturbing this generator.
+  /// Distinct `stream_id`s (worker index, global test index, ...) yield
+  /// decorrelated sequences even from the same parent, which is what lets a
+  /// campaign hand every worker thread its own RNG while staying bit-exact
+  /// for any thread count: the stream is keyed by logical id, not by thread.
+  Rng fork(std::uint64_t stream_id) const {
+    // Hash the parent state together with the stream id (SplitMix64-style
+    // finalizer) so child seeds are well spread even for adjacent ids.
+    std::uint64_t h = 0x243f6a8885a308d3ull;  // pi fractional bits
+    for (std::uint64_t word : state_) {
+      h ^= word;
+      h *= 0xff51afd7ed558ccdull;
+      h ^= h >> 33;
+    }
+    h += stream_id * 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return Rng(h ^ (h >> 31));
+  }
+
   /// Pick an index according to non-negative weights (size must be > 0).
   template <typename Container>
   std::size_t weighted_pick(const Container& weights) {

@@ -1,0 +1,136 @@
+// The parallel campaign engine's core guarantee: for a fixed seed, campaign
+// output — the full coverage curve (batch boundaries included), mismatch
+// tallies, cycle/instruction totals — is bit-identical for ANY worker
+// count. Workers simulate tests on private model instances and the
+// coordinator folds per-test artifacts in canonical order, so nothing may
+// depend on scheduling. These tests pin that down for the default
+// condition-coverage configuration, for metric-guided configurations (which
+// exercise the MetricSuite artifact path), for ctrl-reg guidance (the
+// DifuzzRTL-style replayed state set), and for randomized initial register
+// files (the per-test RNG stream path).
+#include <gtest/gtest.h>
+
+#include "baselines/mutational.h"
+#include "core/campaign.h"
+
+namespace chatfuzz::core {
+namespace {
+
+// Small but not trivial: 3 batches of 32 with a checkpoint interval that
+// does not divide the batch size, so curve points land both inside batches
+// and across batch boundaries.
+CampaignConfig small_campaign() {
+  CampaignConfig cfg;
+  cfg.num_tests = 96;
+  cfg.batch_size = 32;
+  cfg.checkpoint_every = 10;
+  cfg.platform.max_steps = 256;
+  return cfg;
+}
+
+CampaignResult run_with_workers(const CampaignConfig& base,
+                                std::size_t workers,
+                                std::uint64_t gen_seed = 11) {
+  baselines::RandomFuzzer gen(gen_seed);
+  CampaignConfig cfg = base;
+  cfg.num_workers = workers;
+  return run_campaign(gen, cfg);
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.tests_run, b.tests_run);
+  EXPECT_EQ(a.final_cov_percent, b.final_cov_percent);  // bit-exact, no tol
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.total_instrs, b.total_instrs);
+  EXPECT_EQ(a.raw_mismatches, b.raw_mismatches);
+  EXPECT_EQ(a.filtered_mismatches, b.filtered_mismatches);
+  EXPECT_EQ(a.unique_mismatches, b.unique_mismatches);
+  EXPECT_EQ(a.findings, b.findings);
+  EXPECT_EQ(a.toggle_percent, b.toggle_percent);
+  EXPECT_EQ(a.fsm_percent, b.fsm_percent);
+  EXPECT_EQ(a.statement_percent, b.statement_percent);
+  EXPECT_EQ(a.uncovered.size(), b.uncovered.size());
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].tests, b.curve[i].tests) << "point " << i;
+    EXPECT_EQ(a.curve[i].hours, b.curve[i].hours) << "point " << i;
+    EXPECT_EQ(a.curve[i].cond_cov_percent, b.curve[i].cond_cov_percent)
+        << "point " << i;
+    EXPECT_EQ(a.curve[i].ctrl_states, b.curve[i].ctrl_states) << "point " << i;
+  }
+}
+
+TEST(CampaignDeterminism, FourWorkersMatchOneWorker) {
+  const CampaignConfig cfg = small_campaign();
+  expect_identical(run_with_workers(cfg, 1), run_with_workers(cfg, 4));
+}
+
+TEST(CampaignDeterminism, OddWorkerCountAndRepeatRunsMatch) {
+  const CampaignConfig cfg = small_campaign();
+  const CampaignResult once = run_with_workers(cfg, 3);
+  expect_identical(once, run_with_workers(cfg, 3));  // run-to-run stable
+  expect_identical(once, run_with_workers(cfg, 1));
+}
+
+TEST(CampaignDeterminism, MetricGuidanceIsWorkerCountInvariant) {
+  CampaignConfig cfg = small_campaign();
+  cfg.guidance = GuidanceMetric::kToggle;
+  cfg.collect_multi_metrics = true;
+  const CampaignResult a = run_with_workers(cfg, 1);
+  const CampaignResult b = run_with_workers(cfg, 4);
+  expect_identical(a, b);
+  EXPECT_GT(a.toggle_percent, 0.0);
+  EXPECT_GT(a.statement_percent, 0.0);
+}
+
+TEST(CampaignDeterminism, CtrlRegGuidanceIsWorkerCountInvariant) {
+  CampaignConfig cfg = small_campaign();
+  cfg.guidance = GuidanceMetric::kCtrlReg;
+  const CampaignResult a = run_with_workers(cfg, 1);
+  const CampaignResult b = run_with_workers(cfg, 4);
+  expect_identical(a, b);
+  EXPECT_GT(a.curve.back().ctrl_states, 0u);
+}
+
+TEST(CampaignDeterminism, RandomizedRegFilesStayDeterministic) {
+  CampaignConfig cfg = small_campaign();
+  cfg.randomize_regs = true;
+  cfg.seed = 99;
+  const CampaignResult a = run_with_workers(cfg, 1);
+  const CampaignResult b = run_with_workers(cfg, 4);
+  expect_identical(a, b);
+}
+
+TEST(CampaignDeterminism, SeedActuallyChangesRandomizedRegCampaigns) {
+  CampaignConfig cfg = small_campaign();
+  cfg.randomize_regs = true;
+  cfg.seed = 1;
+  const CampaignResult a = run_with_workers(cfg, 2);
+  cfg.seed = 2;
+  const CampaignResult b = run_with_workers(cfg, 2);
+  // Different harness seeds give different register files, so cycle totals
+  // should diverge; identical totals would mean the seed is dead plumbing.
+  EXPECT_NE(a.total_cycles, b.total_cycles);
+}
+
+TEST(CampaignDeterminism, CurveHasBatchBoundaryAndFinalPoints) {
+  const CampaignConfig cfg = small_campaign();
+  const CampaignResult r = run_with_workers(cfg, 4);
+  ASSERT_FALSE(r.curve.empty());
+  // checkpoint_every=10 over 96 tests: 10, 20, ..., 90, then the forced
+  // final point at 96.
+  EXPECT_EQ(r.curve.front().tests, 10u);
+  EXPECT_EQ(r.curve.back().tests, 96u);
+  EXPECT_EQ(r.curve.size(), 10u);
+}
+
+TEST(CampaignDeterminism, MoreWorkersThanTestsIsSafe) {
+  CampaignConfig cfg = small_campaign();
+  cfg.num_tests = 5;
+  cfg.batch_size = 3;
+  cfg.checkpoint_every = 2;
+  expect_identical(run_with_workers(cfg, 1), run_with_workers(cfg, 16));
+}
+
+}  // namespace
+}  // namespace chatfuzz::core

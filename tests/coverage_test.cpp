@@ -168,10 +168,28 @@ TEST(CtrlReg, ResetClears) {
 }
 
 TEST(CtrlReg, ManyStatesStayDistinct) {
+  // Membership is exact (the table grows instead of dropping inserts):
+  // sharded campaigns rely on "counts" being independent of insertion
+  // order, so no probe-limit collisions are tolerated.
   CtrlRegCoverage c;
   for (std::uint64_t i = 0; i < 5000; ++i) c.observe(i * 7919);
-  // Allow a tiny number of probe-limit collisions.
-  EXPECT_GE(c.distinct_states(), 4950u);
+  EXPECT_EQ(c.distinct_states(), 5000u);
+}
+
+TEST(CtrlReg, GrowthRegimeIsInsertionOrderInvariant) {
+  // Push two sets well past the initial table's 50%-load growth trigger
+  // (32768 states) in opposite insertion orders; exact membership means
+  // they must agree on every count.
+  const std::uint64_t n = 50000;
+  CtrlRegCoverage fwd, rev;
+  for (std::uint64_t i = 0; i < n; ++i) fwd.observe(i * 0x9e3779b9ull);
+  for (std::uint64_t i = n; i-- > 0;) rev.observe(i * 0x9e3779b9ull);
+  EXPECT_EQ(fwd.distinct_states(), n);
+  EXPECT_EQ(fwd.distinct_states(), rev.distinct_states());
+  // Re-observing in either order finds nothing new.
+  fwd.begin_test();
+  for (std::uint64_t i = 0; i < n; ++i) fwd.observe(i * 0x9e3779b9ull);
+  EXPECT_EQ(fwd.test_new_states(), 0u);
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include "riscv/asm.h"
 #include "riscv/disasm.h"
 #include "rtlsim/core.h"
+#include "util/parse.h"
 
 using namespace chatfuzz;
 
@@ -36,8 +37,13 @@ int usage() {
                "  disasm <corpus.txt> [n]   disassemble test n (default: all)\n"
                "  run <corpus.txt> [n]      co-simulate + mismatch report\n"
                "  minimize <corpus.txt> <n> shrink a mismatching test\n"
-               "  fuzz <fuzzer> <tests>     campaign; fuzzer = random|thehuzz|"
-               "difuzz|psofuzz|hypfuzz|chatfuzz\n"
+               "  fuzz <fuzzer> <tests> [workers]\n"
+               "                            campaign; fuzzer = random|thehuzz|"
+               "difuzz|psofuzz|hypfuzz|chatfuzz;\n"
+               "                            workers = simulation threads "
+               "(default 1, 0 = all cores);\n"
+               "                            results are bit-identical for any "
+               "worker count\n"
                "  solve <point-name>        synthesize + verify a directed "
                "test for a coverage point\n");
   return 2;
@@ -119,10 +125,11 @@ int cmd_minimize(const char* path, int which) {
   return 0;
 }
 
-int cmd_fuzz(const char* which, std::size_t tests) {
+int cmd_fuzz(const char* which, std::size_t tests, std::size_t workers) {
   core::CampaignConfig cfg;
   cfg.num_tests = tests;
   cfg.checkpoint_every = std::max<std::size_t>(tests / 10, 10);
+  cfg.num_workers = workers;
 
   std::unique_ptr<core::InputGenerator> gen;
   std::unique_ptr<core::ChatFuzzGenerator> chat;
@@ -213,7 +220,15 @@ int main(int argc, char** argv) {
     return cmd_minimize(argv[2], std::atoi(argv[3]));
   }
   if (std::strcmp(cmd, "fuzz") == 0 && argc >= 4) {
-    return cmd_fuzz(argv[2], std::strtoul(argv[3], nullptr, 10));
+    const auto tests = parse_count(argv[3]);
+    const auto workers = argc >= 5 ? parse_count(argv[4])
+                                   : std::optional<std::size_t>(1);
+    if (!tests || !workers) {
+      std::fprintf(stderr, "fuzz: <tests> and [workers] must be non-negative "
+                           "integers\n");
+      return usage();
+    }
+    return cmd_fuzz(argv[2], *tests, *workers);
   }
   if (std::strcmp(cmd, "solve") == 0 && argc >= 3) return cmd_solve(argv[2]);
   return usage();
