@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ml/adamw.h"
+#include "ml/kernels.h"
 #include "ml/schedule.h"
 #include "ml/tokenizer.h"
 #include "riscv/decode.h"
@@ -13,6 +14,7 @@ namespace chatfuzz::core {
 std::vector<PretrainEpochStats> pretrain(ml::Gpt& model,
                                          const std::vector<corpus::Program>& data,
                                          const PretrainConfig& cfg, Rng& rng) {
+  if (cfg.ml_threads > 0) ml::kern::set_num_threads(cfg.ml_threads);
   ml::Tokenizer tok;
   // One training row per sample, aligned so BOS sits at position 0. This
   // keeps the byte phase within each instruction a pure function of the
@@ -98,6 +100,7 @@ std::vector<CleanupIterStats> cleanup_stage(ml::Gpt& policy,
                                             const ml::Gpt& reference,
                                             corpus::CorpusGenerator& corpus,
                                             const CleanupConfig& cfg, Rng& rng) {
+  if (cfg.ml_threads > 0) ml::kern::set_num_threads(cfg.ml_threads);
   ml::Tokenizer tok;
   ml::Sampler sampler(cfg.sample);
   ml::PpoTrainer ppo(policy, reference, cfg.ppo);

@@ -38,7 +38,12 @@ void IsaSim::reset(std::span<const std::uint32_t> program) {
   clint_.reset();
   reservation_.reset();
   program_end_ = plat_.ram_base + 4 * program.size();
+  predecode_.flush();
   trace_.clear();
+  // One reservation up front: the commit trace grows to max_steps on every
+  // step-limited test, and mid-campaign reallocation of a vector this hot
+  // shows up in profiles.
+  trace_.reserve(plat_.max_steps);
   stopped_ = false;
   stop_reason_ = StopReason::kStepLimit;
   steps_ = 0;
@@ -211,18 +216,31 @@ std::optional<CommitRecord> IsaSim::step() {
     stop_reason_ = StopReason::kStepLimit;
     return std::nullopt;
   }
-  if (!mem_.in_ram(pc_, 4)) {
-    stopped_ = true;
-    stop_reason_ = StopReason::kPcEscape;
-    return std::nullopt;
-  }
-  const auto raw = static_cast<std::uint32_t>(mem_.read(pc_, 4));
-  if (raw == 0) {
-    // All-zero word: guaranteed-illegal in RISC-V; used as the end-of-
-    // program marker by the harness (padding after the loaded image).
-    stopped_ = true;
-    stop_reason_ = StopReason::kProgramEnd;
-    return std::nullopt;
+  // Fetch through the predecode cache: a hit proves pc was in RAM and the
+  // word nonzero when inserted, and store/fence.i invalidation keeps the
+  // bytes current — so the sparse-memory read, the RAM range check and the
+  // decoder table scan are all skipped on the hot path.
+  std::uint32_t raw;
+  const Decoded* d;
+  if (const auto* hit = predecode_.find(pc_)) {
+    raw = hit->raw;
+    d = &hit->d;
+  } else {
+    if (!mem_.in_ram(pc_, 4)) {
+      stopped_ = true;
+      stop_reason_ = StopReason::kPcEscape;
+      return std::nullopt;
+    }
+    raw = static_cast<std::uint32_t>(mem_.read(pc_, 4));
+    if (raw == 0) {
+      // All-zero word: guaranteed-illegal in RISC-V; used as the end-of-
+      // program marker by the harness (padding after the loaded image).
+      // Never cached, so the marker check stays on the miss path only.
+      stopped_ = true;
+      stop_reason_ = StopReason::kProgramEnd;
+      return std::nullopt;
+    }
+    d = &predecode_.insert(pc_, raw);
   }
   ++steps_;
   ++csrs_.cycle;
@@ -233,8 +251,7 @@ std::optional<CommitRecord> IsaSim::step() {
   rec.instr = raw;
   rec.priv = priv_;
 
-  const Decoded d = riscv::decode(raw);
-  execute(d, rec);
+  execute(*d, rec);
   if (rec.exception == Exception::kNone) ++csrs_.instret;
   trace_.push_back(rec);
   return rec;
@@ -375,6 +392,7 @@ void IsaSim::execute(const Decoded& d, CommitRecord& rec) {
       const std::uint64_t bits =
           size == 8 ? b : (b & ((1ull << (8 * size)) - 1));
       mem_.write(addr, bits, size);
+      predecode_.invalidate(addr, size);  // self-modifying code
       rec.has_mem = true;
       rec.mem_is_store = true;
       rec.mem_addr = addr;
@@ -480,7 +498,11 @@ void IsaSim::execute(const Decoded& d, CommitRecord& rec) {
     case Opcode::kFence:
       break;  // no reordering to fence in a sequential model
     case Opcode::kFenceI:
-      break;  // golden model is always coherent
+      // Golden model is architecturally coherent already (stores invalidate
+      // the predecode cache), but fence.i still drops everything — it is
+      // the documented "make fetch see every prior store" point.
+      predecode_.flush();
+      break;
     // ---- System ---------------------------------------------------------------
     case Opcode::kEcall:
       raise(rec,
@@ -590,6 +612,7 @@ void IsaSim::execute(const Decoded& d, CommitRecord& rec) {
         const std::uint64_t bits =
             size == 8 ? b : (b & 0xffffffffull);
         mem_.write(a, bits, size);
+        predecode_.invalidate(a, size);
         rec.has_mem = true;
         rec.mem_is_store = true;
         rec.mem_addr = a;
@@ -649,6 +672,7 @@ void IsaSim::execute(const Decoded& d, CommitRecord& rec) {
       const std::uint64_t store_bits =
           size == 8 ? result : (result & 0xffffffffull);
       mem_.write(a, store_bits, size);
+      predecode_.invalidate(a, size);
       rec.has_mem = true;
       rec.mem_is_store = true;
       rec.mem_addr = a;

@@ -13,6 +13,7 @@
 #include "isasim/platform.h"
 #include "isasim/trace.h"
 #include "riscv/instr.h"
+#include "riscv/predecode.h"
 
 namespace chatfuzz::sim {
 
@@ -39,7 +40,16 @@ class IsaSim {
   riscv::Priv priv() const { return priv_; }
   std::uint64_t csr_value(std::uint16_t addr) const;
   const Memory& memory() const { return mem_; }
-  Memory& memory() { return mem_; }
+  /// Mutable memory access flushes the predecode cache: external writes
+  /// bypass the store-path invalidation, so assume any byte may have been
+  /// an instruction. The flush happens at accessor time — write through the
+  /// freshly returned reference; do NOT keep a stored Memory& across run()/
+  /// step() calls and write code bytes through it later, or the next fetch
+  /// may replay a stale decode.
+  Memory& memory() {
+    predecode_.flush();
+    return mem_;
+  }
   const Trace& trace() const { return trace_; }
 
   /// Change the initial-register-file seed used by subsequent reset() calls.
@@ -73,6 +83,9 @@ class IsaSim {
   Platform plat_;
   Memory mem_;
   ClintState clint_;
+  // Fetch/decode fast path: a hit skips both the sparse-memory refetch and
+  // the decoder's table scan. Invalidated on RAM stores and fence.i.
+  riscv::PredecodeCache predecode_;
   std::array<std::uint64_t, 32> regs_{};
   std::uint64_t pc_ = 0;
   riscv::Priv priv_ = riscv::Priv::kMachine;

@@ -3,8 +3,10 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include "ml/kernels.h"
 #include "util/rng.h"
 
 namespace chatfuzz::ml {
@@ -52,6 +54,28 @@ struct Gpt::Layout {
 };
 
 namespace {
+
+// ---- matmul/GELU dispatch --------------------------------------------------
+// The heavy kernels live in ml/kernels.{h,cpp}; `ref` selects the seed's
+// naive loops (benchmark baseline, parity tests) over the vectorized path.
+
+void mm_fwd(bool ref, float* out, const float* inp, const float* w,
+            const float* bias, int N, int Cin, int Cout) {
+  if (ref) {
+    kern::matmul_forward_ref(out, inp, w, bias, N, Cin, Cout);
+  } else {
+    kern::matmul_forward(out, inp, w, bias, N, Cin, Cout);
+  }
+}
+
+void mm_bwd(bool ref, float* dinp, float* dw, float* dbias, const float* dout,
+            const float* inp, const float* w, int N, int Cin, int Cout) {
+  if (ref) {
+    kern::matmul_backward_ref(dinp, dw, dbias, dout, inp, w, N, Cin, Cout);
+  } else {
+    kern::matmul_backward(dinp, dw, dbias, dout, inp, w, N, Cin, Cout);
+  }
+}
 
 // ---- layer kernels (llm.c style, naive CPU loops) -------------------------
 
@@ -126,45 +150,6 @@ void layernorm_backward(float* dinp, float* dw, float* db, const float* dout,
       dw[c] += norm * d[c];
       db[c] += d[c];
       di[c] += (dnorm - dnorm_mean - norm * dnorm_norm_mean) * rs;
-    }
-  }
-}
-
-// out[n, o] = bias[o] + sum_i inp[n, i] * w[o, i]
-void matmul_forward(float* out, const float* inp, const float* w,
-                    const float* bias, int N, int Cin, int Cout) {
-  for (int n = 0; n < N; ++n) {
-    const float* x = inp + n * Cin;
-    float* o = out + n * Cout;
-    for (int oc = 0; oc < Cout; ++oc) {
-      const float* wr = w + oc * Cin;
-      float acc = bias != nullptr ? bias[oc] : 0.f;
-      for (int i = 0; i < Cin; ++i) acc += x[i] * wr[i];
-      o[oc] = acc;
-    }
-  }
-}
-
-void matmul_backward(float* dinp, float* dw, float* dbias, const float* dout,
-                     const float* inp, const float* w, int N, int Cin,
-                     int Cout) {
-  for (int n = 0; n < N; ++n) {
-    const float* d = dout + n * Cout;
-    float* di = dinp + n * Cin;
-    for (int oc = 0; oc < Cout; ++oc) {
-      const float* wr = w + oc * Cin;
-      const float g = d[oc];
-      for (int i = 0; i < Cin; ++i) di[i] += g * wr[i];
-    }
-  }
-  for (int n = 0; n < N; ++n) {
-    const float* d = dout + n * Cout;
-    const float* x = inp + n * Cin;
-    for (int oc = 0; oc < Cout; ++oc) {
-      float* dwr = dw + oc * Cin;
-      const float g = d[oc];
-      if (dbias != nullptr) dbias[oc] += g;
-      for (int i = 0; i < Cin; ++i) dwr[i] += g * x[i];
     }
   }
 }
@@ -261,30 +246,6 @@ void attention_backward(float* dqkv, float* dpreatt, float* datt,
   }
 }
 
-void gelu_forward(float* out, const float* inp, int N) {
-  constexpr float kS = 0.7978845608028654f;  // sqrt(2/pi)
-  for (int n = 0; n < N; ++n) {
-    const float x = inp[n];
-    const float cube = 0.044715f * x * x * x;
-    out[n] = 0.5f * x * (1.f + std::tanh(kS * (x + cube)));
-  }
-}
-
-void gelu_backward(float* dinp, const float* inp, const float* dout, int N) {
-  constexpr float kS = 0.7978845608028654f;
-  for (int n = 0; n < N; ++n) {
-    const float x = inp[n];
-    const float cube = 0.044715f * x * x * x;
-    const float tanh_arg = kS * (x + cube);
-    const float tanh_out = std::tanh(tanh_arg);
-    const float cosh_v = std::cosh(tanh_arg);
-    const float sech2 = 1.f / (cosh_v * cosh_v);
-    const float local = 0.5f * (1.f + tanh_out) +
-                        x * 0.5f * sech2 * kS * (1.f + 3.f * 0.044715f * x * x);
-    dinp[n] += local * dout[n];
-  }
-}
-
 void residual_forward(float* out, const float* a, const float* b, int N) {
   for (int n = 0; n < N; ++n) out[n] = a[n] + b[n];
 }
@@ -358,6 +319,19 @@ struct ActLayout {
 }  // namespace
 
 Gpt::Gpt(GptConfig cfg, std::uint64_t seed) : cfg_(cfg) {
+  // Hard config validation (kept in release builds): every downstream
+  // buffer — KV caches, generation scratch, the attention-score buffer —
+  // is sized from these fields, so a bad config must fail here, loudly,
+  // not as an out-of-bounds write deep inside gen_step.
+  if (cfg_.ctx <= 0 || cfg_.vocab <= 0 || cfg_.n_layer < 0 ||
+      cfg_.n_head <= 0 || cfg_.n_embd <= 0 || cfg_.n_embd % cfg_.n_head != 0) {
+    std::fprintf(stderr,
+                 "Gpt: invalid config (vocab=%d ctx=%d n_layer=%d n_head=%d "
+                 "n_embd=%d); ctx/vocab/n_embd must be positive and n_embd "
+                 "divisible by n_head\n",
+                 cfg_.vocab, cfg_.ctx, cfg_.n_layer, cfg_.n_head, cfg_.n_embd);
+    std::abort();
+  }
   const Layout lay = Layout::make(cfg_);
   params_.assign(lay.total, 0.f);
   grads_.assign(lay.total, 0.f);
@@ -431,6 +405,8 @@ void Gpt::forward(const int* tokens, int B, int T) {
   float* acts = acts_.data();
   const float* prm = params_.data();
 
+  const bool ref = use_ref_kernels_;
+
   encoder_forward(acts + a.encoded, tokens, prm + p.wte, prm + p.wpe, B, T, C);
   const float* residual = acts + a.encoded;
   for (int l = 0; l < cfg_.n_layer; ++l) {
@@ -439,22 +415,30 @@ void Gpt::forward(const int* tokens, int B, int T) {
     layernorm_forward(acts + ab + a.ln1, acts + ab + a.ln1_mean,
                       acts + ab + a.ln1_rstd, residual, prm + pb + p.ln1w,
                       prm + pb + p.ln1b, BT, C);
-    matmul_forward(acts + ab + a.qkv, acts + ab + a.ln1, prm + pb + p.qkvw,
-                   prm + pb + p.qkvb, BT, C, 3 * C);
+    mm_fwd(ref, acts + ab + a.qkv, acts + ab + a.ln1, prm + pb + p.qkvw,
+           prm + pb + p.qkvb, BT, C, 3 * C);
     attention_forward(acts + ab + a.atty, acts + ab + a.preatt,
                       acts + ab + a.att, acts + ab + a.qkv, B, T, C, NH);
-    matmul_forward(acts + ab + a.attproj, acts + ab + a.atty,
-                   prm + pb + p.attprojw, prm + pb + p.attprojb, BT, C, C);
+    mm_fwd(ref, acts + ab + a.attproj, acts + ab + a.atty,
+           prm + pb + p.attprojw, prm + pb + p.attprojb, BT, C, C);
     residual_forward(acts + ab + a.res2, residual, acts + ab + a.attproj,
                      BT * C);
     layernorm_forward(acts + ab + a.ln2, acts + ab + a.ln2_mean,
                       acts + ab + a.ln2_rstd, acts + ab + a.res2,
                       prm + pb + p.ln2w, prm + pb + p.ln2b, BT, C);
-    matmul_forward(acts + ab + a.fch, acts + ab + a.ln2, prm + pb + p.fcw,
-                   prm + pb + p.fcb, BT, C, 4 * C);
-    gelu_forward(acts + ab + a.fch_gelu, acts + ab + a.fch, BT * 4 * C);
-    matmul_forward(acts + ab + a.fcproj, acts + ab + a.fch_gelu,
-                   prm + pb + p.fcprojw, prm + pb + p.fcprojb, BT, 4 * C, C);
+    if (ref) {
+      kern::matmul_forward_ref(acts + ab + a.fch, acts + ab + a.ln2,
+                               prm + pb + p.fcw, prm + pb + p.fcb, BT, C,
+                               4 * C);
+      kern::gelu_forward_ref(acts + ab + a.fch_gelu, acts + ab + a.fch,
+                             BT * 4 * C);
+    } else {
+      kern::matmul_bias_gelu_forward(acts + ab + a.fch, acts + ab + a.fch_gelu,
+                                     acts + ab + a.ln2, prm + pb + p.fcw,
+                                     prm + pb + p.fcb, BT, C, 4 * C);
+    }
+    mm_fwd(ref, acts + ab + a.fcproj, acts + ab + a.fch_gelu,
+           prm + pb + p.fcprojw, prm + pb + p.fcprojb, BT, 4 * C, C);
     residual_forward(acts + ab + a.res3, acts + ab + a.res2,
                      acts + ab + a.fcproj, BT * C);
     residual = acts + ab + a.res3;
@@ -462,11 +446,11 @@ void Gpt::forward(const int* tokens, int B, int T) {
   layernorm_forward(acts + a.lnf, acts + a.lnf_mean, acts + a.lnf_rstd,
                     residual, prm + p.lnfw, prm + p.lnfb, BT, C);
   // tied LM head: logits = lnf @ wte^T
-  matmul_forward(acts + a.logits, acts + a.lnf, prm + p.wte, nullptr, BT, C, V);
+  mm_fwd(ref, acts + a.logits, acts + a.lnf, prm + p.wte, nullptr, BT, C, V);
   softmax_forward(acts + a.probs, acts + a.logits, BT, V);
   // value head
-  matmul_forward(acts + a.values, acts + a.lnf, prm + p.valw, prm + p.valb,
-                 BT, C, 1);
+  mm_fwd(ref, acts + a.values, acts + a.lnf, prm + p.valw, prm + p.valb,
+         BT, C, 1);
 }
 
 float Gpt::logprob(int b, int t, int tok) const {
@@ -503,9 +487,10 @@ void Gpt::backward_from(const int* tokens, const float* dlogits,
       }
     }
   }
+  const bool ref = use_ref_kernels_;
   // LM head backward (tied weights): dlnf += dlogits @ wte; dwte += ...
-  matmul_backward(dacts + a.lnf, grd + p.wte, nullptr, dlogits, acts + a.lnf,
-                  prm + p.wte, BT, C, V);
+  mm_bwd(ref, dacts + a.lnf, grd + p.wte, nullptr, dlogits, acts + a.lnf,
+         prm + p.wte, BT, C, V);
 
   // final layernorm
   const std::size_t last_ab = a.layer_base + (cfg_.n_layer - 1) * a.per_layer;
@@ -533,14 +518,14 @@ void Gpt::backward_from(const int* tokens, const float* dlogits,
       dres2[n] += dres3[n];
       dfcproj[n] += dres3[n];
     }
-    matmul_backward(dacts + ab + a.fch_gelu, grd + pb + p.fcprojw,
-                    grd + pb + p.fcprojb, dfcproj, acts + ab + a.fch_gelu,
-                    prm + pb + p.fcprojw, BT, 4 * C, C);
-    gelu_backward(dacts + ab + a.fch, acts + ab + a.fch,
-                  dacts + ab + a.fch_gelu, BT * 4 * C);
-    matmul_backward(dacts + ab + a.ln2, grd + pb + p.fcw, grd + pb + p.fcb,
-                    dacts + ab + a.fch, acts + ab + a.ln2, prm + pb + p.fcw,
-                    BT, C, 4 * C);
+    mm_bwd(ref, dacts + ab + a.fch_gelu, grd + pb + p.fcprojw,
+           grd + pb + p.fcprojb, dfcproj, acts + ab + a.fch_gelu,
+           prm + pb + p.fcprojw, BT, 4 * C, C);
+    kern::gelu_backward(dacts + ab + a.fch, acts + ab + a.fch,
+                        dacts + ab + a.fch_gelu, BT * 4 * C);
+    mm_bwd(ref, dacts + ab + a.ln2, grd + pb + p.fcw, grd + pb + p.fcb,
+           dacts + ab + a.fch, acts + ab + a.ln2, prm + pb + p.fcw,
+           BT, C, 4 * C);
     layernorm_backward(dres2, grd + pb + p.ln2w, grd + pb + p.ln2b,
                        dacts + ab + a.ln2, acts + ab + a.res2,
                        acts + ab + a.ln2_mean, acts + ab + a.ln2_rstd,
@@ -551,15 +536,15 @@ void Gpt::backward_from(const int* tokens, const float* dlogits,
       dres_in[n] += dres2[n];
       dattproj[n] += dres2[n];
     }
-    matmul_backward(dacts + ab + a.atty, grd + pb + p.attprojw,
-                    grd + pb + p.attprojb, dattproj, acts + ab + a.atty,
-                    prm + pb + p.attprojw, BT, C, C);
+    mm_bwd(ref, dacts + ab + a.atty, grd + pb + p.attprojw,
+           grd + pb + p.attprojb, dattproj, acts + ab + a.atty,
+           prm + pb + p.attprojw, BT, C, C);
     attention_backward(dacts + ab + a.qkv, dacts + ab + a.preatt,
                        dacts + ab + a.att, dacts + ab + a.atty,
                        acts + ab + a.qkv, acts + ab + a.att, B, T, C, NH);
-    matmul_backward(dacts + ab + a.ln1, grd + pb + p.qkvw, grd + pb + p.qkvb,
-                    dacts + ab + a.qkv, acts + ab + a.ln1, prm + pb + p.qkvw,
-                    BT, C, 3 * C);
+    mm_bwd(ref, dacts + ab + a.ln1, grd + pb + p.qkvw, grd + pb + p.qkvb,
+           dacts + ab + a.qkv, acts + ab + a.ln1, prm + pb + p.qkvw,
+           BT, C, 3 * C);
     layernorm_backward(dres_in, grd + pb + p.ln1w, grd + pb + p.ln1b,
                        dacts + ab + a.ln1, res_in, acts + ab + a.ln1_mean,
                        acts + ab + a.ln1_rstd, prm + pb + p.ln1w, BT, C);
@@ -598,6 +583,7 @@ float Gpt::backward_lm(const int* tokens, const int* targets, int B, int T) {
 // Incremental generation with KV caches.
 // ---------------------------------------------------------------------------
 Gpt::GenState Gpt::gen_begin(int B) const {
+  assert(B > 0);
   GenState s;
   s.B = B;
   s.t = 0;
@@ -608,6 +594,29 @@ Gpt::GenState Gpt::gen_begin(int B) const {
   // scratch: x, ln, qkv, atty, proj, fch, fgel per batch row
   const std::size_t C = cfg_.n_embd;
   s.scratch.assign(static_cast<std::size_t>(B) * (C * 5 + 3 * C + 8 * C), 0.f);
+  // Attention-score and layernorm scratch, sized from the config (the seed
+  // used a fixed float[512] stack buffer here, which a large-ctx config
+  // would silently overrun).
+  s.att.assign(static_cast<std::size_t>(cfg_.ctx), 0.f);
+  s.norm.assign(static_cast<std::size_t>(2) * B, 0.f);
+  if (!use_ref_kernels_) {
+    // Packed (transposed) weight views: one pack per generation, then every
+    // per-token matvec streams weights linearly (see kern::PackedMat). Pack
+    // cost is one pass over the parameters — amortized across ctx tokens.
+    const Layout p = Layout::make(cfg_);
+    const float* prm = params_.data();
+    const int Ci = cfg_.n_embd;
+    s.wpack.resize(static_cast<std::size_t>(cfg_.n_layer) * 4 + 1);
+    for (int l = 0; l < cfg_.n_layer; ++l) {
+      const std::size_t pb = p.layer_base + l * p.per_layer;
+      kern::pack_transpose(s.wpack[l * 4 + 0], prm + pb + p.qkvw, 3 * Ci, Ci);
+      kern::pack_transpose(s.wpack[l * 4 + 1], prm + pb + p.attprojw, Ci, Ci);
+      kern::pack_transpose(s.wpack[l * 4 + 2], prm + pb + p.fcw, 4 * Ci, Ci);
+      kern::pack_transpose(s.wpack[l * 4 + 3], prm + pb + p.fcprojw, Ci,
+                           4 * Ci);
+    }
+    kern::pack_transpose(s.wpack.back(), prm + p.wte, cfg_.vocab, Ci);
+  }
   return s;
 }
 
@@ -620,6 +629,9 @@ void Gpt::gen_step(GenState& s, const int* tokens_t, float* logits_out) const {
   assert(pos < cfg_.ctx);
   const float* prm = params_.data();
   const float scale = 1.f / std::sqrt(static_cast<float>(hs));
+  // Packed weights are built by gen_begin; toggling the kernel path between
+  // gen_begin and gen_step is not supported.
+  const bool ref = s.wpack.empty();
 
   float* x = s.scratch.data();               // [B, C]
   float* ln = x + static_cast<std::size_t>(B) * C;       // [B, C]
@@ -628,6 +640,9 @@ void Gpt::gen_step(GenState& s, const int* tokens_t, float* logits_out) const {
   float* proj = atty + static_cast<std::size_t>(B) * C;     // [B, C]
   float* fch = proj + static_cast<std::size_t>(B) * C;      // [B, 4C]
   float* fgel = fch + static_cast<std::size_t>(B) * 4 * C;  // [B, 4C]
+  float* att = s.att.data();                                // [ctx]
+  float* mean = s.norm.data();                              // [B]
+  float* rstd = mean + B;                                   // [B]
 
   for (int b = 0; b < B; ++b) {
     const float* we = prm + p.wte + static_cast<std::size_t>(tokens_t[b]) * C;
@@ -635,12 +650,17 @@ void Gpt::gen_step(GenState& s, const int* tokens_t, float* logits_out) const {
     for (int c = 0; c < C; ++c) x[b * C + c] = we[c] + pe[c];
   }
 
-  std::vector<float> mean(B), rstd(B);
   for (int l = 0; l < cfg_.n_layer; ++l) {
     const std::size_t pb = p.layer_base + l * p.per_layer;
-    layernorm_forward(ln, mean.data(), rstd.data(), x, prm + pb + p.ln1w,
+    layernorm_forward(ln, mean, rstd, x, prm + pb + p.ln1w,
                       prm + pb + p.ln1b, B, C);
-    matmul_forward(qkv, ln, prm + pb + p.qkvw, prm + pb + p.qkvb, B, C, 3 * C);
+    if (ref) {
+      kern::matmul_forward_ref(qkv, ln, prm + pb + p.qkvw, prm + pb + p.qkvb,
+                               B, C, 3 * C);
+    } else {
+      kern::matmul_forward_packed(qkv, ln, s.wpack[l * 4 + 0],
+                                  prm + pb + p.qkvb, B);
+    }
     // append k/v to cache
     for (int b = 0; b < B; ++b) {
       float* kc = s.kcache.data() +
@@ -658,7 +678,6 @@ void Gpt::gen_step(GenState& s, const int* tokens_t, float* logits_out) const {
           s.vcache.data() + (static_cast<std::size_t>(l) * B + b) * cfg_.ctx * C;
       for (int h = 0; h < NH; ++h) {
         const float* q = qkv + b * 3 * C + h * hs;
-        float att[512];  // ctx bound; cfg_.ctx <= 512 enforced below
         float maxv = -1e30f;
         for (int t2 = 0; t2 <= pos; ++t2) {
           const float* k = kbase + static_cast<std::size_t>(t2) * C + h * hs;
@@ -683,20 +702,36 @@ void Gpt::gen_step(GenState& s, const int* tokens_t, float* logits_out) const {
         }
       }
     }
-    matmul_forward(proj, atty, prm + pb + p.attprojw, prm + pb + p.attprojb,
-                   B, C, C);
+    if (ref) {
+      kern::matmul_forward_ref(proj, atty, prm + pb + p.attprojw,
+                               prm + pb + p.attprojb, B, C, C);
+    } else {
+      kern::matmul_forward_packed(proj, atty, s.wpack[l * 4 + 1],
+                                  prm + pb + p.attprojb, B);
+    }
     for (int n = 0; n < B * C; ++n) x[n] += proj[n];
-    layernorm_forward(ln, mean.data(), rstd.data(), x, prm + pb + p.ln2w,
+    layernorm_forward(ln, mean, rstd, x, prm + pb + p.ln2w,
                       prm + pb + p.ln2b, B, C);
-    matmul_forward(fch, ln, prm + pb + p.fcw, prm + pb + p.fcb, B, C, 4 * C);
-    gelu_forward(fgel, fch, B * 4 * C);
-    matmul_forward(proj, fgel, prm + pb + p.fcprojw, prm + pb + p.fcprojb, B,
-                   4 * C, C);
+    if (ref) {
+      kern::matmul_forward_ref(fch, ln, prm + pb + p.fcw, prm + pb + p.fcb,
+                               B, C, 4 * C);
+      kern::gelu_forward_ref(fgel, fch, B * 4 * C);
+      kern::matmul_forward_ref(proj, fgel, prm + pb + p.fcprojw,
+                               prm + pb + p.fcprojb, B, 4 * C, C);
+    } else {
+      kern::matmul_bias_gelu_forward_packed(fch, fgel, ln, s.wpack[l * 4 + 2],
+                                            prm + pb + p.fcb, B);
+      kern::matmul_forward_packed(proj, fgel, s.wpack[l * 4 + 3],
+                                  prm + pb + p.fcprojb, B);
+    }
     for (int n = 0; n < B * C; ++n) x[n] += proj[n];
   }
-  layernorm_forward(ln, mean.data(), rstd.data(), x, prm + p.lnfw,
-                    prm + p.lnfb, B, C);
-  matmul_forward(logits_out, ln, prm + p.wte, nullptr, B, C, V);
+  layernorm_forward(ln, mean, rstd, x, prm + p.lnfw, prm + p.lnfb, B, C);
+  if (ref) {
+    kern::matmul_forward_ref(logits_out, ln, prm + p.wte, nullptr, B, C, V);
+  } else {
+    kern::matmul_forward_packed(logits_out, ln, s.wpack.back(), nullptr, B);
+  }
   ++s.t;
 }
 

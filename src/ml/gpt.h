@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "ml/kernels.h"
+
 namespace chatfuzz::ml {
 
 struct GptConfig {
@@ -34,6 +36,9 @@ struct GptConfig {
 /// reference-model snapshots trivial.
 class Gpt {
  public:
+  /// Validates the config hard (even in release builds): ctx/vocab/n_embd
+  /// must be positive and n_embd divisible by n_head — generation scratch
+  /// and the attention head split are sized from these.
   Gpt(GptConfig cfg, std::uint64_t seed);
 
   const GptConfig& config() const { return cfg_; }
@@ -72,12 +77,19 @@ class Gpt {
   float logprob(int b, int t, int tok) const;
 
   // ---- incremental (KV-cache) generation path ------------------------------
-  /// Opaque per-generation state: per-layer K/V caches for a batch.
+  /// Opaque per-generation state: per-layer K/V caches for a batch, packed
+  /// (transposed) weight views so each per-token matvec streams weights
+  /// linearly, and all decode scratch (including the attention-score buffer,
+  /// sized from cfg.ctx — no fixed-size stack arrays).
   struct GenState {
     int B = 0;
     int t = 0;  // positions already consumed
     std::vector<float> kcache, vcache;  // [L, B, ctx, C]
     std::vector<float> scratch;
+    std::vector<float> att;          // [ctx] attention-score scratch
+    std::vector<float> norm;         // [2, B] layernorm mean/rstd scratch
+    std::vector<kern::PackedMat> wpack;  // per layer: qkv, attproj, fc,
+                                         // fcproj; then the tied LM head
   };
 
   /// Begin incremental generation for a batch of B sequences.
@@ -91,6 +103,12 @@ class Gpt {
   bool save(const std::string& path) const;
   bool load(const std::string& path);
 
+  /// Route all matmul/GELU work through the seed's naive reference kernels
+  /// instead of the vectorized subsystem (ml/kernels.h). Benchmark and
+  /// parity-test hook; off by default.
+  void set_use_ref_kernels(bool ref) { use_ref_kernels_ = ref; }
+  bool use_ref_kernels() const { return use_ref_kernels_; }
+
  private:
   enum ActName {
     kActEncoded, kActLnf, kActLnfMean, kActLnfRstd, kActLogits, kActProbs,
@@ -102,6 +120,7 @@ class Gpt {
   GptConfig cfg_;
   std::vector<float> params_;
   std::vector<float> grads_;
+  bool use_ref_kernels_ = false;
 
   // Activation & activation-gradient arenas for the current (B,T).
   int B_ = 0, T_ = 0;

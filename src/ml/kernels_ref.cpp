@@ -1,0 +1,71 @@
+// Reference kernels: the seed's naive triple loops, verbatim. This file is
+// deliberately compiled at the project's base optimization level (no -O3 /
+// -march boost — see CMakeLists.txt): it is the parity oracle for the
+// vectorized kernels AND the baseline the throughput bench measures speedups
+// against, so it must stay representative of the seed build.
+#include <cmath>
+
+#include "ml/kernels.h"
+
+namespace chatfuzz::ml::kern {
+
+void matmul_forward_ref(float* out, const float* inp, const float* w,
+                        const float* bias, int N, int Cin, int Cout) {
+  for (int n = 0; n < N; ++n) {
+    const float* x = inp + static_cast<std::size_t>(n) * Cin;
+    float* o = out + static_cast<std::size_t>(n) * Cout;
+    for (int oc = 0; oc < Cout; ++oc) {
+      const float* wr = w + static_cast<std::size_t>(oc) * Cin;
+      float acc = bias != nullptr ? bias[oc] : 0.f;
+      for (int i = 0; i < Cin; ++i) acc += x[i] * wr[i];
+      o[oc] = acc;
+    }
+  }
+}
+
+void matmul_backward_ref(float* dinp, float* dw, float* dbias,
+                         const float* dout, const float* inp, const float* w,
+                         int N, int Cin, int Cout) {
+  for (int n = 0; n < N; ++n) {
+    const float* d = dout + static_cast<std::size_t>(n) * Cout;
+    float* di = dinp + static_cast<std::size_t>(n) * Cin;
+    for (int oc = 0; oc < Cout; ++oc) {
+      const float* wr = w + static_cast<std::size_t>(oc) * Cin;
+      const float g = d[oc];
+      for (int i = 0; i < Cin; ++i) di[i] += g * wr[i];
+    }
+  }
+  for (int n = 0; n < N; ++n) {
+    const float* d = dout + static_cast<std::size_t>(n) * Cout;
+    const float* x = inp + static_cast<std::size_t>(n) * Cin;
+    for (int oc = 0; oc < Cout; ++oc) {
+      float* dwr = dw + static_cast<std::size_t>(oc) * Cin;
+      const float g = d[oc];
+      if (dbias != nullptr) dbias[oc] += g;
+      for (int i = 0; i < Cin; ++i) dwr[i] += g * x[i];
+    }
+  }
+}
+
+void gelu_forward_ref(float* out, const float* inp, int N) {
+  for (int n = 0; n < N; ++n) out[n] = gelu_scalar(inp[n]);
+}
+
+void gelu_backward_ref(float* dinp, const float* inp, const float* dout,
+                       int N) {
+  constexpr float kS = 0.7978845608028654f;  // sqrt(2/pi)
+  for (int n = 0; n < N; ++n) {
+    const float x = inp[n];
+    const float cube = 0.044715f * x * x * x;
+    const float tanh_arg = kS * (x + cube);
+    const float tanh_out = std::tanh(tanh_arg);
+    const float cosh_v = std::cosh(tanh_arg);
+    const float sech2 = 1.f / (cosh_v * cosh_v);
+    const float local =
+        0.5f * (1.f + tanh_out) +
+        x * 0.5f * sech2 * kS * (1.f + 3.f * 0.044715f * x * x);
+    dinp[n] += local * dout[n];
+  }
+}
+
+}  // namespace chatfuzz::ml::kern

@@ -1,0 +1,102 @@
+// Direct-mapped predecode cache: memoizes riscv::decode() per fetch address
+// so an interpreter loop pays the table scan and field extraction once per
+// static instruction instead of once per retired instruction (the classic
+// fast-interpreter predecoded-dispatch idea). Shared by the golden-model
+// IsaSim (where a hit also skips the sparse-memory refetch) and the rtlsim
+// core's decode stage (where fetched bytes still come from the modeled I$,
+// and the cached entry is tag-checked against them).
+//
+// Coherence: entries are invalidated on stores to RAM and on fence.i, and
+// the whole cache is flushed on reset — so a hit is always the decode of the
+// bytes currently at that address. The two-argument lookup() additionally
+// tag-checks the caller-supplied word, which keeps it correct even when the
+// caller's fetch path can serve stale bytes on purpose (the rtlsim
+// stale-icache bug injection).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "riscv/decode.h"
+#include "riscv/instr.h"
+
+namespace chatfuzz::riscv {
+
+class PredecodeCache {
+ public:
+  struct Entry {
+    std::uint64_t pc = kEmpty;
+    std::uint32_t raw = 0;
+    Decoded d{};
+  };
+
+  /// 4096 word-granular entries (16 KiB of straight-line code mapped
+  /// conflict-free) — comfortably above the harness's program sizes while
+  /// keeping the cache itself far smaller than L2.
+  static constexpr std::size_t kDefaultEntries = 4096;
+
+  explicit PredecodeCache(std::size_t entries = kDefaultEntries)
+      : mask_(entries - 1), entries_(entries) {
+    assert(entries > 0 && (entries & (entries - 1)) == 0);
+  }
+
+  /// Fetch fast path: the entry for `pc` if one is cached, else nullptr.
+  /// A non-null result means `entry->raw` is the word currently stored at
+  /// pc (invalidation keeps this true) and `entry->d` its decode.
+  const Entry* find(std::uint64_t pc) const {
+    const Entry& e = entries_[index(pc)];
+    return e.pc == pc ? &e : nullptr;
+  }
+
+  /// Record the word fetched at `pc` and return its decode.
+  const Decoded& insert(std::uint64_t pc, std::uint32_t raw) {
+    Entry& e = entries_[index(pc)];
+    e.pc = pc;
+    e.raw = raw;
+    e.d = decode(raw);
+    return e.d;
+  }
+
+  /// Decode-with-memoization for callers that fetched `raw` themselves:
+  /// returns the cached decode when both pc and word match, refills
+  /// otherwise. Always equivalent to decode(raw).
+  const Decoded& lookup(std::uint64_t pc, std::uint32_t raw) {
+    Entry& e = entries_[index(pc)];
+    if (e.pc != pc || e.raw != raw) {
+      e.pc = pc;
+      e.raw = raw;
+      e.d = decode(raw);
+    }
+    return e.d;
+  }
+
+  /// Drop entries overlapping the stored byte range [addr, addr + size).
+  /// At most three word slots are touched, so this is cheap enough to call
+  /// on every RAM store. Iterates by word count, not by comparing end
+  /// addresses — a store near the top of the address space (the simulators'
+  /// in_ram check wraps there) must not wrap this loop around 2^64.
+  void invalidate(std::uint64_t addr, unsigned size) {
+    std::uint64_t pc = addr & ~3ull;
+    const std::uint64_t span = (addr - pc) + size;  // bytes from word start
+    for (std::uint64_t n = (span + 3) / 4; n > 0; --n, pc += 4) {
+      Entry& e = entries_[index(pc)];
+      if (e.pc == pc) e.pc = kEmpty;
+    }
+  }
+
+  /// Drop everything (fence.i, reset, external memory writes).
+  void flush() {
+    for (Entry& e : entries_) e.pc = kEmpty;
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~0ull;
+
+  std::size_t index(std::uint64_t pc) const { return (pc >> 2) & mask_; }
+
+  std::size_t mask_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace chatfuzz::riscv

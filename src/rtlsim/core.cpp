@@ -452,6 +452,7 @@ void RtlCore::reset(std::span<const std::uint32_t> program) {
   // paper's harness. Keeping BTB history across tests would also make
   // per-test coverage depend on which tests shared a simulator instance.
   predictor_.flush();
+  predecode_.flush();
   cycles_ = 0;
   last_rd_ = 0;
   last_was_load_ = false;
@@ -459,6 +460,7 @@ void RtlCore::reset(std::span<const std::uint32_t> program) {
   last_ctrl_pack_ = 0;
   program_end_ = plat_.ram_base + 4 * program.size();
   trace_.clear();
+  trace_.reserve(plat_.max_steps);
   stopped_ = false;
   stop_reason_ = sim::StopReason::kStepLimit;
   steps_ = 0;
@@ -724,7 +726,10 @@ std::optional<CommitRecord> RtlCore::step() {
   rec.instr = raw;
   rec.priv = priv_;
 
-  const Decoded d = riscv::decode(raw);
+  // Decode through the predecode cache: the cached entry is tag-checked
+  // against the word the I$ actually served, so this is always equivalent
+  // to riscv::decode(raw) — just without the table scan on repeat fetches.
+  const Decoded& d = predecode_.lookup(pc_, raw);
 
   // ---- Decode-stage condition points ----
   cc(p_dec_valid_, d.valid());
@@ -1032,6 +1037,7 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
         const std::uint64_t bits =
             size == 8 ? b : (b & ((1ull << (8 * size)) - 1));
         mem_.write(addr, bits, size);
+        predecode_.invalidate(addr, size);
         if (!cfg_.bugs.stale_icache) icache_.invalidate_addr(addr);
         rec.has_mem = true;
         rec.mem_is_store = true;
@@ -1063,6 +1069,7 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
     case Opcode::kFenceI:
       cc(p_fencei_flush_, true);
       icache_.flush();
+      predecode_.flush();
       cycles_ += cfg_.miss_penalty / 2;
       break;
 
@@ -1235,6 +1242,7 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
         if (!dacc.hit) cycles_ += cfg_.miss_penalty;
         const std::uint64_t bits = size == 8 ? b : (b & 0xffffffffull);
         mem_.write(a, bits, size);
+        predecode_.invalidate(a, size);
         if (!cfg_.bugs.stale_icache) icache_.invalidate_addr(a);
         rec.has_mem = true;
         rec.mem_is_store = true;
@@ -1311,6 +1319,7 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
         const std::uint64_t store_bits =
             size == 8 ? result : (result & 0xffffffffull);
         mem_.write(a, store_bits, size);
+        predecode_.invalidate(a, size);
         if (!cfg_.bugs.stale_icache) icache_.invalidate_addr(a);
         rec.has_mem = true;
         rec.mem_is_store = true;

@@ -23,6 +23,7 @@
 #include "isasim/platform.h"
 #include "isasim/trace.h"
 #include "riscv/instr.h"
+#include "riscv/predecode.h"
 #include "rtlsim/caches.h"
 #include "rtlsim/config.h"
 
@@ -87,6 +88,11 @@ class RtlCore {
   ICache icache_;
   DCache dcache_;
   Predictor predictor_;
+  // Decode-stage memoization (see riscv/predecode.h). Fetch still goes
+  // through the modeled I$ — the cache only skips re-decoding the fetched
+  // word, tag-checked against it, so bug injections (stale I$) and every
+  // coverage point behave exactly as before.
+  riscv::PredecodeCache predecode_;
   cov::CtrlRegCoverage ctrl_cov_;
   cov::MetricSuite* metrics_ = nullptr;
 

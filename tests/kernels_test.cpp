@@ -1,0 +1,277 @@
+// Parity and determinism tests for the vectorized ML kernel subsystem
+// (ml/kernels.h): every optimized kernel against its naive reference on
+// randomized shapes, bit-identical results across thread counts, and
+// end-to-end incremental-vs-full generation parity.
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ml/gpt.h"
+#include "ml/kernels.h"
+#include "util/rng.h"
+
+namespace kern = chatfuzz::ml::kern;
+using chatfuzz::Rng;
+using chatfuzz::ml::Gpt;
+using chatfuzz::ml::GptConfig;
+
+namespace {
+
+std::vector<float> random_vec(Rng& rng, std::size_t n, float scale = 1.f) {
+  std::vector<float> v(n);
+  for (float& x : v) x = (static_cast<float>(rng.uniform()) - 0.5f) * scale;
+  return v;
+}
+
+/// Relative-ish tolerance: the optimized kernels keep the reference
+/// accumulation order, but FMA contraction differs between loop shapes.
+void expect_close(const std::vector<float>& a, const std::vector<float>& b,
+                  float tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float mag = std::max(1.f, std::fabs(b[i]));
+    ASSERT_NEAR(a[i], b[i], tol * mag) << "at " << i;
+  }
+}
+
+struct Shape {
+  int N, Cin, Cout;
+};
+
+const Shape kShapes[] = {
+    {1, 16, 48},  {1, 128, 259}, {3, 64, 256},  {5, 37, 91},
+    {8, 128, 512}, {17, 1, 7},   {2, 200, 1},   {64, 48, 48},
+};
+
+}  // namespace
+
+TEST(Kernels, MatmulForwardMatchesRef) {
+  Rng rng(11);
+  for (const Shape& s : kShapes) {
+    const auto inp = random_vec(rng, static_cast<std::size_t>(s.N) * s.Cin);
+    const auto w =
+        random_vec(rng, static_cast<std::size_t>(s.Cout) * s.Cin, 0.2f);
+    const auto bias = random_vec(rng, s.Cout);
+    std::vector<float> ref(static_cast<std::size_t>(s.N) * s.Cout);
+    std::vector<float> fast(ref.size());
+    kern::matmul_forward_ref(ref.data(), inp.data(), w.data(), bias.data(),
+                             s.N, s.Cin, s.Cout);
+    kern::matmul_forward(fast.data(), inp.data(), w.data(), bias.data(), s.N,
+                         s.Cin, s.Cout);
+    expect_close(fast, ref, 1e-5f);
+    // nullptr bias path
+    kern::matmul_forward_ref(ref.data(), inp.data(), w.data(), nullptr, s.N,
+                             s.Cin, s.Cout);
+    kern::matmul_forward(fast.data(), inp.data(), w.data(), nullptr, s.N,
+                         s.Cin, s.Cout);
+    expect_close(fast, ref, 1e-5f);
+  }
+}
+
+TEST(Kernels, MatmulBackwardMatchesRef) {
+  Rng rng(12);
+  for (const Shape& s : kShapes) {
+    const auto inp = random_vec(rng, static_cast<std::size_t>(s.N) * s.Cin);
+    const auto w =
+        random_vec(rng, static_cast<std::size_t>(s.Cout) * s.Cin, 0.2f);
+    const auto dout = random_vec(rng, static_cast<std::size_t>(s.N) * s.Cout);
+    // Non-zero initial accumulators: backward kernels accumulate (+=).
+    const auto seed_di = random_vec(rng, inp.size(), 0.1f);
+    const auto seed_dw = random_vec(rng, w.size(), 0.1f);
+    const auto seed_db = random_vec(rng, s.Cout, 0.1f);
+
+    auto di_ref = seed_di, dw_ref = seed_dw, db_ref = seed_db;
+    auto di_fast = seed_di, dw_fast = seed_dw, db_fast = seed_db;
+    kern::matmul_backward_ref(di_ref.data(), dw_ref.data(), db_ref.data(),
+                              dout.data(), inp.data(), w.data(), s.N, s.Cin,
+                              s.Cout);
+    kern::matmul_backward(di_fast.data(), dw_fast.data(), db_fast.data(),
+                          dout.data(), inp.data(), w.data(), s.N, s.Cin,
+                          s.Cout);
+    expect_close(di_fast, di_ref, 1e-5f);
+    expect_close(dw_fast, dw_ref, 1e-5f);
+    expect_close(db_fast, db_ref, 1e-5f);
+  }
+}
+
+TEST(Kernels, FusedBiasGeluMatchesComposition) {
+  Rng rng(13);
+  const Shape s{6, 48, 96};
+  const auto inp = random_vec(rng, static_cast<std::size_t>(s.N) * s.Cin);
+  const auto w = random_vec(rng, static_cast<std::size_t>(s.Cout) * s.Cin, 0.2f);
+  const auto bias = random_vec(rng, s.Cout);
+  std::vector<float> pre_ref(static_cast<std::size_t>(s.N) * s.Cout);
+  std::vector<float> post_ref(pre_ref.size());
+  kern::matmul_forward_ref(pre_ref.data(), inp.data(), w.data(), bias.data(),
+                           s.N, s.Cin, s.Cout);
+  kern::gelu_forward_ref(post_ref.data(), pre_ref.data(),
+                         static_cast<int>(pre_ref.size()));
+  std::vector<float> pre(pre_ref.size()), post(pre_ref.size());
+  kern::matmul_bias_gelu_forward(pre.data(), post.data(), inp.data(), w.data(),
+                                 bias.data(), s.N, s.Cin, s.Cout);
+  expect_close(pre, pre_ref, 1e-5f);
+  expect_close(post, post_ref, 1e-5f);
+}
+
+TEST(Kernels, PackedMatvecMatchesRef) {
+  Rng rng(14);
+  for (const Shape& s : kShapes) {
+    const auto inp = random_vec(rng, static_cast<std::size_t>(s.N) * s.Cin);
+    const auto w =
+        random_vec(rng, static_cast<std::size_t>(s.Cout) * s.Cin, 0.2f);
+    const auto bias = random_vec(rng, s.Cout);
+    kern::PackedMat packed;
+    kern::pack_transpose(packed, w.data(), s.Cout, s.Cin);
+    ASSERT_EQ(packed.cout, s.Cout);
+    ASSERT_EQ(packed.cin, s.Cin);
+    std::vector<float> ref(static_cast<std::size_t>(s.N) * s.Cout);
+    std::vector<float> fast(ref.size());
+    kern::matmul_forward_ref(ref.data(), inp.data(), w.data(), bias.data(),
+                             s.N, s.Cin, s.Cout);
+    kern::matmul_forward_packed(fast.data(), inp.data(), packed, bias.data(),
+                                s.N);
+    expect_close(fast, ref, 1e-5f);
+  }
+}
+
+TEST(Kernels, ThreadSplitterIsBitIdentical) {
+  Rng rng(15);
+  const Shape s{61, 96, 224};  // enough work to actually engage the pool
+  const auto inp = random_vec(rng, static_cast<std::size_t>(s.N) * s.Cin);
+  const auto w = random_vec(rng, static_cast<std::size_t>(s.Cout) * s.Cin, 0.2f);
+  const auto bias = random_vec(rng, s.Cout);
+  const auto dout = random_vec(rng, static_cast<std::size_t>(s.N) * s.Cout);
+
+  const int saved = kern::num_threads();
+  std::vector<std::vector<float>> outs, dis, dws, dbs;
+  for (const int nt : {1, 3, 7}) {
+    kern::set_num_threads(nt);
+    std::vector<float> out(static_cast<std::size_t>(s.N) * s.Cout);
+    kern::matmul_forward(out.data(), inp.data(), w.data(), bias.data(), s.N,
+                         s.Cin, s.Cout);
+    std::vector<float> di(inp.size(), 0.f), dw(w.size(), 0.f),
+        db(s.Cout, 0.f);
+    kern::matmul_backward(di.data(), dw.data(), db.data(), dout.data(),
+                          inp.data(), w.data(), s.N, s.Cin, s.Cout);
+    outs.push_back(std::move(out));
+    dis.push_back(std::move(di));
+    dws.push_back(std::move(dw));
+    dbs.push_back(std::move(db));
+  }
+  kern::set_num_threads(saved);
+  for (std::size_t i = 1; i < outs.size(); ++i) {
+    // Bit-identical, not merely close: the determinism contract.
+    EXPECT_EQ(0, std::memcmp(outs[0].data(), outs[i].data(),
+                             outs[0].size() * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(dis[0].data(), dis[i].data(),
+                             dis[0].size() * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(dws[0].data(), dws[i].data(),
+                             dws[0].size() * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(dbs[0].data(), dbs[i].data(),
+                             dbs[0].size() * sizeof(float)));
+  }
+}
+
+// ---- end-to-end model parity ------------------------------------------------
+
+TEST(Kernels, ForwardMatchesRefKernelsEndToEnd) {
+  const GptConfig cfg = GptConfig::tiny();
+  Gpt fast(cfg, 77);
+  Gpt ref(cfg, 77);
+  ref.set_use_ref_kernels(true);
+  Rng rng(3);
+  const int B = 2, T = 10;
+  std::vector<int> toks(B * T);
+  for (int& t : toks) t = static_cast<int>(rng.below(cfg.vocab));
+  fast.forward(toks.data(), B, T);
+  ref.forward(toks.data(), B, T);
+  const float* lf = fast.logits();
+  const float* lr = ref.logits();
+  for (int i = 0; i < B * T * cfg.vocab; ++i) {
+    ASSERT_NEAR(lf[i], lr[i], 1e-3f) << i;
+  }
+}
+
+TEST(Kernels, GenStepMatchesForwardAtEveryPosition) {
+  const GptConfig cfg = GptConfig::tiny();
+  Gpt model(cfg, 99);
+  Rng rng(5);
+  const int T = 20;
+  std::vector<int> seq(T);
+  for (int& t : seq) t = static_cast<int>(rng.below(cfg.vocab));
+
+  model.forward(seq.data(), 1, T);
+  std::vector<float> full(static_cast<std::size_t>(T) * cfg.vocab);
+  std::memcpy(full.data(), model.logits(), full.size() * sizeof(float));
+
+  Gpt::GenState st = model.gen_begin(1);
+  std::vector<float> step(cfg.vocab);
+  for (int t = 0; t < T; ++t) {
+    model.gen_step(st, &seq[t], step.data());
+    for (int v = 0; v < cfg.vocab; ++v) {
+      ASSERT_NEAR(step[v], full[static_cast<std::size_t>(t) * cfg.vocab + v],
+                  1e-3f)
+          << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+TEST(Kernels, GenStepPackedMatchesRefPath) {
+  const GptConfig cfg = GptConfig::tiny();
+  Gpt fast(cfg, 123);
+  Gpt ref(cfg, 123);
+  ref.set_use_ref_kernels(true);
+  Rng rng(7);
+  const int B = 2, T = 16;
+  Gpt::GenState sf = fast.gen_begin(B);
+  Gpt::GenState sr = ref.gen_begin(B);
+  EXPECT_FALSE(sf.wpack.empty());
+  EXPECT_TRUE(sr.wpack.empty());
+  std::vector<int> toks(B);
+  std::vector<float> lf(static_cast<std::size_t>(B) * cfg.vocab);
+  std::vector<float> lr(lf.size());
+  for (int t = 0; t < T; ++t) {
+    for (int b = 0; b < B; ++b) {
+      toks[b] = static_cast<int>(rng.below(cfg.vocab));
+    }
+    fast.gen_step(sf, toks.data(), lf.data());
+    ref.gen_step(sr, toks.data(), lr.data());
+    for (std::size_t i = 0; i < lf.size(); ++i) {
+      ASSERT_NEAR(lf[i], lr[i], 1e-3f) << "t=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST(Kernels, GenerationBeyondOldFixedScratchBound) {
+  // The seed used a fixed float[512] attention-score stack buffer in
+  // gen_step; a ctx above 512 would have overrun it. The scratch is now
+  // sized from the config.
+  const GptConfig cfg{32, 520, 1, 2, 8};
+  Gpt model(cfg, 9);
+  Gpt::GenState st = model.gen_begin(1);
+  std::vector<float> logits(cfg.vocab);
+  int tok = 1;
+  for (int t = 0; t < cfg.ctx; ++t) {
+    model.gen_step(st, &tok, logits.data());
+    tok = t % cfg.vocab;
+  }
+  for (int v = 0; v < cfg.vocab; ++v) {
+    ASSERT_TRUE(std::isfinite(logits[v])) << v;
+  }
+}
+
+TEST(KernelsDeathTest, RejectsIndivisibleHeadSplit) {
+  // n_embd % n_head != 0 must die loudly at construction, not corrupt
+  // memory in the attention head split later.
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const GptConfig bad{64, 32, 1, 3, 16};
+  EXPECT_DEATH({ Gpt model(bad, 1); }, "divisible by n_head");
+}
+
+TEST(KernelsDeathTest, RejectsNonPositiveCtx) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const GptConfig bad{64, 0, 1, 2, 16};
+  EXPECT_DEATH({ Gpt model(bad, 1); }, "invalid config");
+}
