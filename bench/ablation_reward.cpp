@@ -17,10 +17,16 @@ core::CampaignResult run_variant(const char* label,
                                  core::ChatFuzzConfig cc,
                                  const core::CampaignConfig& cfg) {
   core::ChatFuzzGenerator gen(cc);
-  if (!gen.load_model(kModelCache)) {
-    std::fprintf(stderr, "[ablation] training base model...\n");
+  const ser::Status loaded = gen.load_model(kModelCache);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "[ablation] no cached model (%s); training...\n",
+                 loaded.message().c_str());
     gen.train_offline();
-    gen.save_model(kModelCache);
+    const ser::Status saved = gen.save_model(kModelCache);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "[ablation] warning: %s\n",
+                   saved.message().c_str());
+    }
   }
   std::fprintf(stderr, "[ablation] %s...\n", label);
   return core::run_campaign(gen, cfg);

@@ -50,13 +50,19 @@ int main(int argc, char** argv) {
   {
     ChatFuzzConfig cc;
     ChatFuzzGenerator gen(cc);
-    if (gen.load_model(model_path)) {
+    const ser::Status loaded = gen.load_model(model_path);
+    if (loaded.ok()) {
       std::fprintf(stderr, "loaded cached model from %s\n", model_path);
     } else {
+      std::fprintf(stderr, "model cache unavailable: %s\n",
+                   loaded.message().c_str());
       std::fprintf(stderr, "training ChatFuzz (stages 1-2); this is cached "
                            "to %s for the next run...\n", model_path);
       gen.train_offline();
-      gen.save_model(model_path);
+      const ser::Status saved = gen.save_model(model_path);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "warning: %s\n", saved.message().c_str());
+      }
     }
     row(run_campaign(gen, cfg));
   }

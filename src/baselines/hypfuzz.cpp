@@ -1,5 +1,6 @@
 #include "baselines/hypfuzz.h"
 
+#include <algorithm>
 #include <string>
 
 namespace chatfuzz::baselines {
@@ -55,6 +56,44 @@ void HypFuzzer::escalate(const cov::CoverageDB& db) {
       directed_queue_.push_back(std::move(*prog));
     }
   }
+}
+
+void HypFuzzer::save_state(ser::Writer& w) const {
+  MutationalFuzzer::save_state(w);
+  w.u64(directed_queue_.size());
+  for (const Program& p : directed_queue_) {
+    w.vec_u32(p);
+  }
+  std::vector<std::string> attempted(attempted_.begin(), attempted_.end());
+  std::sort(attempted.begin(), attempted.end());
+  w.u64(attempted.size());
+  for (const std::string& name : attempted) w.str(name);
+  w.u32(stagnant_);
+  w.u64(escalations_);
+  w.u64(solved_);
+  w.u64(unreachable_);
+}
+
+bool HypFuzzer::restore_state(ser::Reader& r) {
+  if (!MutationalFuzzer::restore_state(r)) return false;
+  std::deque<Program> queue;
+  const std::uint64_t nq = r.u64();
+  for (std::uint64_t i = 0; i < nq && r.ok(); ++i) queue.push_back(r.vec_u32());
+  std::unordered_set<std::string> attempted;
+  const std::uint64_t na = r.u64();
+  for (std::uint64_t i = 0; i < na && r.ok(); ++i) attempted.insert(r.str());
+  const std::uint32_t stagnant = r.u32();
+  const std::uint64_t escalations = r.u64();
+  const std::uint64_t solved = r.u64();
+  const std::uint64_t unreachable = r.u64();
+  if (!r.ok()) return false;
+  directed_queue_ = std::move(queue);
+  attempted_ = std::move(attempted);
+  stagnant_ = stagnant;
+  escalations_ = static_cast<std::size_t>(escalations);
+  solved_ = static_cast<std::size_t>(solved);
+  unreachable_ = static_cast<std::size_t>(unreachable);
+  return true;
 }
 
 }  // namespace chatfuzz::baselines

@@ -40,6 +40,9 @@ class HypFuzzer final : public MutationalFuzzer {
   std::vector<Program> next_batch(std::size_t n) override;
   void feedback(const core::Feedback& fb) override;
 
+  void save_state(ser::Writer& w) const override;
+  bool restore_state(ser::Reader& r) override;
+
   /// Statistics for benches/tests.
   std::size_t escalations() const { return escalations_; }
   std::size_t queued_directed() const { return directed_queue_.size(); }

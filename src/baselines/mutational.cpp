@@ -141,4 +141,36 @@ void MutationalFuzzer::feedback(const Feedback& fb) {
   }
 }
 
+void MutationalFuzzer::save_state(ser::Writer& w) const {
+  ser::write_rng(w, rng_);
+  w.u64(corpus_.size());
+  for (const Entry& e : corpus_) {
+    w.vec_u32(e.program);
+    w.f64(e.score);
+  }
+  w.u64(last_batch_.size());
+  for (const Program& p : last_batch_) w.vec_u32(p);
+}
+
+bool MutationalFuzzer::restore_state(ser::Reader& r) {
+  Rng rng;
+  if (!ser::read_rng(r, rng)) return false;
+  std::vector<Entry> corpus;
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    Entry e;
+    e.program = r.vec_u32();
+    e.score = r.f64();
+    corpus.push_back(std::move(e));
+  }
+  std::vector<Program> last;
+  const std::uint64_t m = r.u64();
+  for (std::uint64_t i = 0; i < m && r.ok(); ++i) last.push_back(r.vec_u32());
+  if (!r.ok()) return false;
+  rng_ = rng;
+  corpus_ = std::move(corpus);
+  last_batch_ = std::move(last);
+  return true;
+}
+
 }  // namespace chatfuzz::baselines

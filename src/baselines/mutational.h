@@ -41,6 +41,10 @@ class MutationalFuzzer : public InputGenerator {
   std::vector<Program> next_batch(std::size_t n) override;
   void feedback(const Feedback& fb) override;
 
+  bool supports_snapshot() const override { return true; }
+  void save_state(ser::Writer& w) const override;
+  bool restore_state(ser::Reader& r) override;
+
  protected:
   /// Score a test from its feedback; higher keeps it in the corpus.
   virtual double score(const cov::TestCoverage& tc,
@@ -131,6 +135,12 @@ class RandomFuzzer final : public InputGenerator {
       out.push_back(corpus::random_valid_program(rng_, instrs_));
     }
     return out;
+  }
+
+  bool supports_snapshot() const override { return true; }
+  void save_state(ser::Writer& w) const override { ser::write_rng(w, rng_); }
+  bool restore_state(ser::Reader& r) override {
+    return ser::read_rng(r, rng_);
   }
 
  private:

@@ -106,4 +106,48 @@ void PsoFuzzer::update_swarm() {
   }
 }
 
+void PsoFuzzer::save_state(ser::Writer& w) const {
+  MutationalFuzzer::save_state(w);
+  w.u64(particles_.size());
+  for (const Particle& p : particles_) {
+    w.vec_f64(p.pos);
+    w.vec_f64(p.vel);
+    w.vec_f64(p.best_pos);
+    w.f64(p.best_fitness);
+    w.f64(p.batch_fitness);
+    w.u32(p.batch_tests);
+  }
+  w.vec_f64(gbest_pos_);
+  w.f64(gbest_fitness_);
+  w.vec_size(assignment_);
+  w.u64(updates_);
+}
+
+bool PsoFuzzer::restore_state(ser::Reader& r) {
+  if (!MutationalFuzzer::restore_state(r)) return false;
+  std::vector<Particle> particles;
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    Particle p;
+    p.pos = r.vec_f64();
+    p.vel = r.vec_f64();
+    p.best_pos = r.vec_f64();
+    p.best_fitness = r.f64();
+    p.batch_fitness = r.f64();
+    p.batch_tests = r.u32();
+    particles.push_back(std::move(p));
+  }
+  std::vector<double> gbest_pos = r.vec_f64();
+  const double gbest_fitness = r.f64();
+  std::vector<std::size_t> assignment = r.vec_size();
+  const std::uint64_t updates = r.u64();
+  if (!r.ok()) return false;
+  particles_ = std::move(particles);
+  gbest_pos_ = std::move(gbest_pos);
+  gbest_fitness_ = gbest_fitness;
+  assignment_ = std::move(assignment);
+  updates_ = static_cast<std::size_t>(updates);
+  return true;
+}
+
 }  // namespace chatfuzz::baselines

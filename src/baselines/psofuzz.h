@@ -33,6 +33,9 @@ class PsoFuzzer final : public MutationalFuzzer {
   std::vector<Program> next_batch(std::size_t n) override;
   void feedback(const core::Feedback& fb) override;
 
+  void save_state(ser::Writer& w) const override;
+  bool restore_state(ser::Reader& r) override;
+
   /// Introspection for tests/benches.
   std::size_t num_particles() const { return particles_.size(); }
   const std::vector<double>& particle_weights(std::size_t i) const {

@@ -5,8 +5,11 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
+#include "core/checkpoint.h"
+#include "corpus/store.h"
 #include "isasim/sim.h"
 #include "rtlsim/core.h"
 #include "util/rng.h"
@@ -145,10 +148,11 @@ const std::vector<std::size_t>& guide_test_bins(const TestArtifact& art,
   }
 }
 
-}  // namespace
-
-CampaignResult run_campaign(InputGenerator& gen, const CampaignConfig& cfg,
-                            CheckpointHook hook) {
+/// The engine shared by run_campaign() (restored == nullptr) and
+/// resume_campaign() (restored == the loaded checkpoint).
+CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
+                          CheckpointHook hook,
+                          const CheckpointData* restored) {
   const bool use_suite = cfg.collect_multi_metrics ||
                          cfg.guidance == GuidanceMetric::kToggle ||
                          cfg.guidance == GuidanceMetric::kStatement ||
@@ -184,7 +188,94 @@ CampaignResult run_campaign(InputGenerator& gen, const CampaignConfig& cfg,
   CampaignResult result;
   result.fuzzer = gen.name();
 
+  // Durable-campaign plumbing: the corpus store archives interesting tests;
+  // snapshot() captures the full coordinator + generator state.
+  const bool persist = !cfg.checkpoint_dir.empty();
+  if (cfg.stop_after_tests != 0 && !persist) {
+    // A pause without a checkpoint directory would discard every test run
+    // so far with nothing on disk to resume from.
+    throw std::invalid_argument(
+        "stop_after_tests requires checkpoint_dir: pausing without a "
+        "checkpoint would lose the campaign state");
+  }
+  corpus::CorpusStore store;
+  if (persist) {
+    if (!gen.supports_snapshot()) {
+      throw std::invalid_argument(
+          "campaign checkpointing requires a generator that supports "
+          "snapshots; " +
+          gen.name() + " does not");
+    }
+    const ser::Status s = store.open(cfg.checkpoint_dir + "/corpus");
+    if (!s.ok()) throw std::runtime_error(s.message());
+  }
+
   std::size_t since_checkpoint = 0;
+  if (restored != nullptr) {
+    // Rebuild the coordinator exactly as it was at the snapshot. The
+    // workers need no restoration: every per-test artifact depends only on
+    // (program, seed, test index), and worker-local ctrl dedup sets merely
+    // over-report states the coordinator set filters out again.
+    result.curve = restored->curve;
+    result.tests_run = static_cast<std::size_t>(restored->tests_run);
+    result.total_cycles = restored->total_cycles;
+    result.total_instrs = restored->total_instrs;
+    since_checkpoint = static_cast<std::size_t>(restored->since_checkpoint);
+    ser::Reader cov_r(restored->coverage_blob);
+    if (!db.restore_state(cov_r) || !suite.restore_state(cov_r) ||
+        !ctrl.restore_state(cov_r) || !cov_r.done()) {
+      throw std::runtime_error(
+          "checkpoint coverage state does not match this build's DUT "
+          "instrumentation");
+    }
+    ser::Reader det_r(restored->detector_blob);
+    if (!detector.restore_state(det_r) || !det_r.done()) {
+      throw std::runtime_error("checkpoint mismatch-database is malformed");
+    }
+    if (persist) {
+      const ser::Status s =
+          store.truncate(static_cast<std::size_t>(restored->corpus_entries));
+      if (!s.ok()) throw std::runtime_error(s.message());
+    }
+  }
+
+  const auto snapshot = [&] {
+    ser::Status s = store.flush();
+    if (!s.ok()) throw std::runtime_error(s.message());
+    CheckpointData data;
+    data.cfg = cfg;
+    data.cfg.stop_after_tests = 0;  // a pause point is not part of the state
+    data.fuzzer = gen.name();
+    data.curve = result.curve;
+    data.tests_run = result.tests_run;
+    data.total_cycles = result.total_cycles;
+    data.total_instrs = result.total_instrs;
+    data.since_checkpoint = since_checkpoint;
+    data.corpus_entries = store.size();
+    ser::Writer cov_w;
+    db.save_state(cov_w);
+    suite.save_state(cov_w);
+    ctrl.save_state(cov_w);
+    data.coverage_blob = cov_w.take();
+    ser::Writer det_w;
+    detector.save_state(det_w);
+    data.detector_blob = det_w.take();
+    ser::Writer gen_w;
+    gen.save_state(gen_w);
+    data.generator_blob = gen_w.take();
+    s = save_checkpoint(cfg.checkpoint_dir, data);
+    if (!s.ok()) throw std::runtime_error(s.message());
+  };
+
+  // Pausing early must not perturb batch sizing (batches derive from
+  // num_tests), or the resumed schedule would diverge from an
+  // uninterrupted run's.
+  const std::size_t stop_at = cfg.stop_after_tests == 0
+                                  ? cfg.num_tests
+                                  : std::min(cfg.num_tests,
+                                             cfg.stop_after_tests);
+  std::size_t last_snapshot_tests = result.tests_run;
+
   while (result.tests_run < cfg.num_tests) {
     const std::size_t want =
         std::min(cfg.batch_size, cfg.num_tests - result.tests_run);
@@ -244,6 +335,14 @@ CampaignResult run_campaign(InputGenerator& gen, const CampaignConfig& cfg,
                                cfg.guidance != GuidanceMetric::kCtrlReg;
       const std::size_t cond_before = cond_guided ? db.total_covered() : 0;
       const std::size_t guide_before = guide ? guide->covered() : 0;
+      // Coverage attribution for the corpus store: the condition bins this
+      // test covers FIRST, taken before its delta lands in the DB.
+      std::vector<std::uint32_t> new_bins;
+      if (persist) {
+        for (const cov::BinDelta& d : art.cond_bins) {
+          if (!db.bin_covered(d.bin)) new_bins.push_back(d.bin);
+        }
+      }
       cov::apply_bins(db, art.cond_bins);
       if (use_suite) {
         for (std::size_t bin : art.toggle_bins) suite.toggle().cover_bin(bin);
@@ -277,6 +376,22 @@ CampaignResult run_campaign(InputGenerator& gen, const CampaignConfig& cfg,
       result.total_cycles += art.cycles;
       result.total_instrs += art.steps;
       if (cfg.mismatch_detection) detector.accumulate(art.report);
+      // Archive tests that earned their keep. Appends happen in canonical
+      // fold order, so the store's bytes are worker-count-invariant too.
+      if (persist &&
+          (!new_bins.empty() || !art.report.mismatches.empty())) {
+        corpus::StoreEntryMeta meta;
+        meta.test_index = base + i;
+        meta.standalone_bins = static_cast<std::uint32_t>(tc.standalone_bins);
+        meta.incremental_bins =
+            static_cast<std::uint32_t>(tc.incremental_bins);
+        meta.mismatches =
+            static_cast<std::uint32_t>(art.report.mismatches.size());
+        meta.ctrl_new = ctrl.test_new_states();
+        meta.new_bins = std::move(new_bins);
+        const ser::Status s = store.append(batch[i], meta);
+        if (!s.ok()) throw std::runtime_error(s.message());
+      }
       ++result.tests_run;
       ++since_checkpoint;
 
@@ -300,6 +415,23 @@ CampaignResult run_campaign(InputGenerator& gen, const CampaignConfig& cfg,
     fb.ctrl_new_states = &ctrl_new;
     fb.db = &db;
     gen.feedback(fb);
+
+    // Batch boundary: the generator's feedback is absorbed, no test is in
+    // flight — the one consistent cut point for snapshots and pauses.
+    const bool done = result.tests_run >= cfg.num_tests;
+    const bool pausing = !done && result.tests_run >= stop_at;
+    if (persist &&
+        (done || pausing ||
+         (cfg.checkpoint_every_tests != 0 &&
+          result.tests_run - last_snapshot_tests >=
+              cfg.checkpoint_every_tests))) {
+      snapshot();
+      last_snapshot_tests = result.tests_run;
+    }
+    if (pausing) {
+      result.completed = false;
+      break;
+    }
   }
 
   result.final_cov_percent = db.total_percent();
@@ -319,6 +451,54 @@ CampaignResult run_campaign(InputGenerator& gen, const CampaignConfig& cfg,
     result.findings.insert(f);
   }
   return result;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(InputGenerator& gen, const CampaignConfig& cfg,
+                            CheckpointHook hook) {
+  return run_engine(gen, cfg, std::move(hook), nullptr);
+}
+
+CampaignResult resume_campaign(InputGenerator& gen, const std::string& dir,
+                               const ResumeOptions& opts,
+                               CheckpointHook hook) {
+  CheckpointData data;
+  const ser::Status s = load_checkpoint(dir, &data);
+  if (!s.ok()) throw std::runtime_error(s.message());
+  return resume_campaign(gen, dir, std::move(data), opts, std::move(hook));
+}
+
+CampaignResult resume_campaign(InputGenerator& gen, const std::string& dir,
+                               CheckpointData data, const ResumeOptions& opts,
+                               CheckpointHook hook) {
+  if (data.fuzzer != gen.name()) {
+    throw std::runtime_error("checkpoint in " + dir + " was written by \"" +
+                             data.fuzzer + "\", cannot resume with \"" +
+                             gen.name() + "\"");
+  }
+  ser::Reader gen_r(data.generator_blob);
+  if (!gen.supports_snapshot() || !gen.restore_state(gen_r) ||
+      !gen_r.done()) {
+    throw std::runtime_error(
+        "checkpoint generator state in " + dir +
+        " does not restore into this generator configuration");
+  }
+  CampaignConfig cfg = data.cfg;
+  cfg.checkpoint_dir = dir;  // continue persisting where we left off
+  if (opts.num_workers != 0) cfg.num_workers = opts.num_workers;
+  cfg.stop_after_tests = opts.stop_after_tests;
+  return run_engine(gen, cfg, std::move(hook), &data);
+}
+
+ser::Status peek_checkpoint(const std::string& dir, std::string* fuzzer,
+                            CampaignConfig* cfg) {
+  CheckpointData data;
+  ser::Status s = load_checkpoint(dir, &data);
+  if (!s.ok()) return s;
+  if (fuzzer != nullptr) *fuzzer = data.fuzzer;
+  if (cfg != nullptr) *cfg = data.cfg;
+  return {};
 }
 
 }  // namespace chatfuzz::core

@@ -62,6 +62,28 @@ struct CampaignConfig {
   /// from `seed` + test index (instead of one fixed file for the whole
   /// campaign). Off by default to preserve the paper harness's behavior.
   bool randomize_regs = false;
+
+  // ---- persistence (checkpoint/resume) -------------------------------------
+  /// When non-empty, the campaign becomes durable: interesting tests (new
+  /// coverage or a mismatch) are archived to <dir>/corpus/ and the full
+  /// campaign state is snapshotted to <dir>/campaign.ckpt, from which
+  /// resume_campaign() continues bit-identically to an uninterrupted run.
+  /// Requires a generator with supports_snapshot().
+  std::string checkpoint_dir;
+
+  /// Tests between state snapshots. Snapshots land on the first batch
+  /// boundary at/after each multiple (the generator's feedback is per
+  /// batch, so batch boundaries are the consistent cut points). 0 writes a
+  /// snapshot only at campaign end.
+  std::size_t checkpoint_every_tests = 0;
+
+  /// Pause the campaign once this many tests have run (0 = run to
+  /// num_tests): the engine finishes the in-flight batch, writes a
+  /// checkpoint, and returns a partial result with completed=false.
+  /// Batch sizing still follows num_tests, so a paused+resumed campaign
+  /// replays the exact schedule of an uninterrupted one. This is the
+  /// time-boxed-segment workflow and the resume-determinism test harness.
+  std::size_t stop_after_tests = 0;
 };
 
 struct CampaignPoint {
@@ -95,6 +117,10 @@ struct CampaignResult {
   std::size_t unique_mismatches = 0;
   std::set<mismatch::Finding> findings;
 
+  /// False when the campaign paused at stop_after_tests instead of running
+  /// to num_tests (the checkpoint written at the pause point resumes it).
+  bool completed = true;
+
   /// First paper-equivalent hour at which the curve crossed `percent`
   /// condition coverage, or a negative value if it never did.
   double hours_to(double percent) const;
@@ -107,5 +133,28 @@ using CheckpointHook = std::function<void(const CampaignPoint&)>;
 
 CampaignResult run_campaign(InputGenerator& gen, const CampaignConfig& cfg,
                             CheckpointHook hook = nullptr);
+
+/// Resume knobs that may legitimately differ from the interrupted run.
+/// Worker count is scheduling, not semantics — resuming a 1-worker campaign
+/// with 4 workers still reproduces its bytes exactly.
+struct ResumeOptions {
+  std::size_t num_workers = 0;      // 0 = value stored in the checkpoint
+  std::size_t stop_after_tests = 0; // 0 = run to the stored num_tests
+};
+
+/// Continue a campaign from <dir>/campaign.ckpt. `gen` must be a
+/// same-configured instance of the generator the campaign started with
+/// (validated by name); its state is restored from the checkpoint before
+/// any batch is requested. Workers are reconstructed from scratch — their
+/// per-test state is derived, not persisted. Throws std::runtime_error on a
+/// missing/corrupt/mismatched checkpoint.
+CampaignResult resume_campaign(InputGenerator& gen, const std::string& dir,
+                               const ResumeOptions& opts = {},
+                               CheckpointHook hook = nullptr);
+
+/// Inspect a checkpoint without running: the stored generator kind and
+/// campaign configuration (the CLI uses this to rebuild the right fuzzer).
+ser::Status peek_checkpoint(const std::string& dir, std::string* fuzzer,
+                            CampaignConfig* cfg);
 
 }  // namespace chatfuzz::core

@@ -38,10 +38,67 @@ void ChatFuzzGenerator::train_offline() {
   ppo_ = std::make_unique<ml::PpoTrainer>(policy_, ref_, cfg_.ppo);
 }
 
-bool ChatFuzzGenerator::load_model(const std::string& path) {
-  if (!policy_.load(path)) return false;
+ser::Status ChatFuzzGenerator::load_model(const std::string& path) {
+  ser::Status s = policy_.load(path);
+  if (!s.ok()) return s;
   ref_.copy_params_from(policy_);
   ppo_ = std::make_unique<ml::PpoTrainer>(policy_, ref_, cfg_.ppo);
+  return s;
+}
+
+namespace {
+
+void write_generation(ser::Writer& w, const ml::Generation& g) {
+  std::vector<std::uint32_t> prompt(g.prompt.begin(), g.prompt.end());
+  std::vector<std::uint32_t> response(g.response.begin(), g.response.end());
+  w.vec_u32(prompt);
+  w.vec_u32(response);
+  w.vec_f32(g.response_logps);
+}
+
+bool read_generation(ser::Reader& r, ml::Generation& g) {
+  const std::vector<std::uint32_t> prompt = r.vec_u32();
+  const std::vector<std::uint32_t> response = r.vec_u32();
+  g.response_logps = r.vec_f32();
+  if (!r.ok()) return false;
+  g.prompt.assign(prompt.begin(), prompt.end());
+  g.response.assign(response.begin(), response.end());
+  return true;
+}
+
+}  // namespace
+
+void ChatFuzzGenerator::save_state(ser::Writer& w) const {
+  policy_.save_state(w);
+  ref_.save_state(w);
+  ppo_->optimizer().save_state(w);
+  corpus_.save_state(w);
+  ser::write_rng(w, rng_);
+  w.u64(pending_gens_.size());
+  for (const ml::Generation& g : pending_gens_) write_generation(w, g);
+  w.vec_size(pending_prompt_words_);
+}
+
+bool ChatFuzzGenerator::restore_state(ser::Reader& r) {
+  if (!policy_.restore_state(r) || !ref_.restore_state(r)) return false;
+  // The PPO trainer is rebuilt against the restored reference, then its
+  // optimizer moments are restored on top (same num_params by construction).
+  ppo_ = std::make_unique<ml::PpoTrainer>(policy_, ref_, cfg_.ppo);
+  if (!ppo_->optimizer().restore_state(r)) return false;
+  if (!corpus_.restore_state(r)) return false;
+  if (!ser::read_rng(r, rng_)) return false;
+  const std::uint64_t n = r.u64();
+  // Each serialized generation is at least three 8-byte length prefixes; a
+  // corrupt count larger than that bound must not turn into an allocation.
+  if (!r.ok() || n > r.remaining() / 24) return false;
+  std::vector<ml::Generation> gens(static_cast<std::size_t>(n));
+  for (auto& g : gens) {
+    if (!read_generation(r, g)) return false;
+  }
+  std::vector<std::size_t> prompt_words = r.vec_size();
+  if (!r.ok()) return false;
+  pending_gens_ = std::move(gens);
+  pending_prompt_words_ = std::move(prompt_words);
   return true;
 }
 

@@ -55,12 +55,21 @@ class ChatFuzzGenerator final : public InputGenerator {
 
   /// Persist / restore the trained policy (benches cache stage-1/2 training
   /// across binaries). load_model() also refreshes the stage-3 reference.
-  bool save_model(const std::string& path) const { return policy_.save(path); }
-  bool load_model(const std::string& path);
+  /// Failures carry path/errno/format detail — report them, don't swallow.
+  ser::Status save_model(const std::string& path) const {
+    return policy_.save(path);
+  }
+  ser::Status load_model(const std::string& path);
 
   std::string name() const override { return "ChatFuzz"; }
   std::vector<Program> next_batch(std::size_t n) override;
   void feedback(const Feedback& fb) override;
+
+  /// Full mid-campaign state: policy + frozen reference weights, PPO
+  /// optimizer moments, corpus stream, harness RNG and in-flight rollouts.
+  bool supports_snapshot() const override { return true; }
+  void save_state(ser::Writer& w) const override;
+  bool restore_state(ser::Reader& r) override;
 
   ml::Gpt& model() { return policy_; }
   const std::vector<PretrainEpochStats>& pretrain_stats() const {

@@ -1,0 +1,61 @@
+// Campaign checkpoint files: the durable snapshot of everything a running
+// campaign knows — configuration, the curve and counters accumulated so
+// far, the coordinator's coverage/ctrl/mismatch state, the generator's
+// complete stochastic state, and the corpus-store entry count to roll back
+// to. The engine writes one at every checkpoint interval (atomically, via
+// util/serialize.h's container) and resume_campaign() reconstructs workers
+// from it and continues the curve seamlessly; because every simulator is
+// reset per test and all randomness is keyed by (seed, test index), the
+// resumed campaign is bit-identical to an uninterrupted one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "util/serialize.h"
+
+namespace chatfuzz::core {
+
+/// In-memory image of <dir>/campaign.ckpt.
+struct CheckpointData {
+  CampaignConfig cfg;
+  std::string fuzzer;  // gen.name() at save time; resume validates it
+
+  // Accumulated result state.
+  std::vector<CampaignPoint> curve;
+  std::uint64_t tests_run = 0;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_instrs = 0;
+  std::uint64_t since_checkpoint = 0;  // tests since the last curve point
+
+  /// Corpus-store entries at snapshot time; resume truncates back to this.
+  std::uint64_t corpus_entries = 0;
+
+  // Component states, each an opaque sub-stream.
+  std::string coverage_blob;   // CoverageDB + MetricSuite + CtrlRegCoverage
+  std::string detector_blob;   // MismatchDetector tally
+  std::string generator_blob;  // InputGenerator::save_state payload
+};
+
+/// Path of the checkpoint file inside a campaign directory.
+std::string checkpoint_path(const std::string& dir);
+
+/// Atomically write `data` to <dir>/campaign.ckpt (creates `dir`).
+ser::Status save_checkpoint(const std::string& dir, const CheckpointData& data);
+
+/// Load and verify <dir>/campaign.ckpt.
+ser::Status load_checkpoint(const std::string& dir, CheckpointData* data);
+
+/// Resume from an already-loaded checkpoint image — for callers that
+/// inspected the checkpoint first (the CLI needs the stored fuzzer kind to
+/// construct the generator) and should not pay a second full file read of
+/// what may be a large ML state. `dir` is still where the continued
+/// campaign persists to.
+CampaignResult resume_campaign(InputGenerator& gen, const std::string& dir,
+                               CheckpointData data,
+                               const ResumeOptions& opts = {},
+                               CheckpointHook hook = nullptr);
+
+}  // namespace chatfuzz::core

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "coverage/cover.h"
+#include "util/serialize.h"
 
 namespace chatfuzz::core {
 
@@ -43,6 +44,23 @@ class InputGenerator {
   /// Relative wall-clock cost per test vs. TheHuzz/ChatFuzz (the paper
   /// reports those two as equal-overhead and DifuzzRTL ~3.33x slower).
   virtual double time_per_test_factor() const { return 1.0; }
+
+  // ---- checkpoint/resume ----------------------------------------------------
+  /// Whether this generator can snapshot its full stochastic state. The
+  /// campaign engine refuses to checkpoint with a generator that cannot —
+  /// a resume that silently re-rolled the generator would break the
+  /// bit-identical-to-uninterrupted guarantee.
+  virtual bool supports_snapshot() const { return false; }
+  /// Serialize the complete generation state (RNG streams, corpus, model
+  /// weights, optimizer moments, ...). Only called when supports_snapshot().
+  virtual void save_state(ser::Writer& w) const { (void)w; }
+  /// Restore state saved by save_state() on a same-configured instance.
+  /// Returns false (leaving the generator unusable-but-valid) on malformed
+  /// or mismatched input.
+  virtual bool restore_state(ser::Reader& r) {
+    (void)r;
+    return false;
+  }
 };
 
 }  // namespace chatfuzz::core

@@ -75,6 +75,22 @@ unsigned CorpusGenerator::def_reg() {
   return rd;
 }
 
+void CorpusGenerator::save_state(ser::Writer& w) const {
+  ser::write_rng(w, rng_);
+  std::vector<std::uint32_t> recent(recent_.begin(), recent_.end());
+  w.vec_u32(recent);
+}
+
+bool CorpusGenerator::restore_state(ser::Reader& r) {
+  Rng rng;
+  if (!ser::read_rng(r, rng)) return false;
+  const std::vector<std::uint32_t> recent = r.vec_u32();
+  if (!r.ok()) return false;
+  rng_ = rng;
+  recent_.assign(recent.begin(), recent.end());
+  return true;
+}
+
 void CorpusGenerator::emit_alu_chain(Program& out) {
   const unsigned n = static_cast<unsigned>(rng_.range(2, 4));
   for (unsigned i = 0; i < n; ++i) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace chatfuzz::corpus {
 
@@ -55,6 +56,11 @@ class CorpusGenerator {
   /// sample (the paper seeds each rollout with 2-5 instructions of a dataset
   /// item; skipping the fixed prologue keeps prompts diverse).
   Program prompt(unsigned k);
+
+  /// Snapshot / restore the stream position (RNG + def-use tracking), so a
+  /// restored generator emits the exact samples the saved one would have.
+  void save_state(ser::Writer& w) const;
+  bool restore_state(ser::Reader& r);
 
  private:
   // Idiom emitters append to `out` and update the def-use state.

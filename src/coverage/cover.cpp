@@ -43,6 +43,37 @@ void CoverageDB::reset_hits() {
   std::fill(test_bins_.begin(), test_bins_.end(), 0);
 }
 
+std::uint64_t CoverageDB::layout_fingerprint() const {
+  // FNV-1a over the registration sequence: same DUT build => same value.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::string& name : names_) {
+    for (char c : name) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0xff;  // separator
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void CoverageDB::save_state(ser::Writer& w) const {
+  w.u64(layout_fingerprint());
+  w.vec_u64(hits_);
+}
+
+bool CoverageDB::restore_state(ser::Reader& r) {
+  const std::uint64_t fp = r.u64();
+  std::vector<std::uint64_t> hits = r.vec_u64();
+  if (!r.ok() || fp != layout_fingerprint() || hits.size() != hits_.size()) {
+    r.fail();
+    return false;
+  }
+  hits_ = std::move(hits);
+  std::fill(test_bins_.begin(), test_bins_.end(), 0);
+  return true;
+}
+
 namespace {
 
 std::uint64_t ctrl_state_hash(std::uint64_t packed_state) {
@@ -54,8 +85,7 @@ std::uint64_t ctrl_state_hash(std::uint64_t packed_state) {
 
 }  // namespace
 
-bool CtrlRegCoverage::observe(std::uint64_t packed_state) {
-  const std::uint64_t key = ctrl_state_hash(packed_state);
+bool CtrlRegCoverage::insert_key(std::uint64_t key) {
   if (seen_.empty()) seen_.resize(1ull << 16, 0);
   // Grow at 50% load. Membership must stay exact: if insertions could be
   // dropped (a bounded probe window in a saturated table), whether a state
@@ -80,12 +110,37 @@ bool CtrlRegCoverage::observe(std::uint64_t packed_state) {
     if (seen_[slot] == 0) {
       seen_[slot] = key;
       ++count_;
-      ++test_new_;
-      if (recorder_ != nullptr) recorder_->push_back(packed_state);
       return true;
     }
     slot = (slot + 1) & mask;
   }
+}
+
+bool CtrlRegCoverage::observe(std::uint64_t packed_state) {
+  if (!insert_key(ctrl_state_hash(packed_state))) return false;
+  ++test_new_;
+  if (recorder_ != nullptr) recorder_->push_back(packed_state);
+  return true;
+}
+
+void CtrlRegCoverage::save_state(ser::Writer& w) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count_);
+  for (std::uint64_t k : seen_) {
+    if (k != 0) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  w.vec_u64(keys);
+}
+
+bool CtrlRegCoverage::restore_state(ser::Reader& r) {
+  const std::vector<std::uint64_t> keys = r.vec_u64();
+  if (!r.ok()) return false;
+  reset();
+  for (std::uint64_t k : keys) {
+    if (k != 0) insert_key(k);  // 0 is the empty-slot marker, never a key
+  }
+  return true;
 }
 
 void CtrlRegCoverage::reset() {

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "util/serialize.h"
+
 namespace chatfuzz::cov {
 
 using PointId = std::uint32_t;
@@ -60,7 +62,16 @@ class CoverageDB {
   /// Reset cumulative hit counts (new campaign), keeping registered points.
   void reset_hits();
 
+  /// Snapshot the cumulative hit counters (per-test state is transient and
+  /// not captured; checkpoints happen between tests). The registered point
+  /// layout travels as a fingerprint, not as data: restore() requires a DB
+  /// whose registration sequence matches the saved one and fails cleanly
+  /// otherwise.
+  void save_state(ser::Writer& w) const;
+  bool restore_state(ser::Reader& r);
+
  private:
+  std::uint64_t layout_fingerprint() const;
   std::vector<std::string> names_;
   std::vector<std::uint64_t> hits_;     // 2 bins per point
   std::vector<std::uint8_t> test_bins_; // stand-alone hit set
@@ -130,7 +141,16 @@ class CtrlRegCoverage {
   /// distinct/new-state counts independent of how tests were sharded.
   void set_recorder(std::vector<std::uint64_t>* rec) { recorder_ = rec; }
 
+  /// Snapshot the distinct-state set. Keys are serialized sorted, so the
+  /// bytes are identical no matter what order states were observed in —
+  /// the property that keeps resumed sharded campaigns byte-stable.
+  void save_state(ser::Writer& w) const;
+  bool restore_state(ser::Reader& r);
+
  private:
+  /// Insert a pre-hashed key (grow + probe, bumps count_); returns true if
+  /// the key was new. Shared by observe() and restore_state().
+  bool insert_key(std::uint64_t key);
   // Open-addressed set keyed by the state hash; we only need cardinality.
   std::vector<std::uint64_t> seen_;
   std::size_t count_ = 0;

@@ -48,6 +48,21 @@ void ToggleCoverage::cover_bin(std::size_t universe_index) {
   }
 }
 
+void ToggleCoverage::save_state(ser::Writer& w) const { w.vec_u8(bins_); }
+
+bool ToggleCoverage::restore_state(ser::Reader& r) {
+  std::vector<std::uint8_t> bins = r.vec_u8();
+  if (!r.ok() || bins.size() != bins_.size()) {
+    r.fail();
+    return false;
+  }
+  bins_ = std::move(bins);
+  covered_ = 0;
+  for (std::uint8_t b : bins_) covered_ += b != 0 ? 1 : 0;
+  begin_test();
+  return true;
+}
+
 // ---- FsmCoverage ------------------------------------------------------------
 
 FsmCoverage::FsmId FsmCoverage::register_fsm(
@@ -136,6 +151,37 @@ void FsmCoverage::cover_bin(std::size_t universe_index) {
   }
 }
 
+void FsmCoverage::save_state(ser::Writer& w) const {
+  w.u64(fsms_.size());
+  for (const Fsm& f : fsms_) {
+    w.vec_u8(f.state_hit);
+    w.vec_u8(f.trans_hit);
+  }
+}
+
+bool FsmCoverage::restore_state(ser::Reader& r) {
+  if (r.u64() != fsms_.size()) {
+    r.fail();
+    return false;
+  }
+  covered_ = 0;
+  for (Fsm& f : fsms_) {
+    std::vector<std::uint8_t> states = r.vec_u8();
+    std::vector<std::uint8_t> trans = r.vec_u8();
+    if (!r.ok() || states.size() != f.state_hit.size() ||
+        trans.size() != f.trans_hit.size()) {
+      r.fail();
+      return false;
+    }
+    f.state_hit = std::move(states);
+    f.trans_hit = std::move(trans);
+    for (std::uint8_t b : f.state_hit) covered_ += b != 0 ? 1 : 0;
+    for (std::uint8_t b : f.trans_hit) covered_ += b != 0 ? 1 : 0;
+  }
+  begin_test();
+  return true;
+}
+
 std::size_t FsmCoverage::fsm_states_covered(FsmId fsm) const {
   std::size_t n = 0;
   for (std::uint8_t h : fsms_[fsm].state_hit) n += h;
@@ -184,6 +230,21 @@ void StatementCoverage::hit(StmtId id) {
     test_hit_[id] = 1;
     ++test_covered_;
   }
+}
+
+void StatementCoverage::save_state(ser::Writer& w) const { w.vec_u8(hit_); }
+
+bool StatementCoverage::restore_state(ser::Reader& r) {
+  std::vector<std::uint8_t> hit = r.vec_u8();
+  if (!r.ok() || hit.size() != hit_.size()) {
+    r.fail();
+    return false;
+  }
+  hit_ = std::move(hit);
+  covered_ = 0;
+  for (std::uint8_t b : hit_) covered_ += b != 0 ? 1 : 0;
+  begin_test();
+  return true;
 }
 
 // ---- MetricSuite ------------------------------------------------------------
@@ -298,6 +359,21 @@ void MetricSuite::on_step(const StepObservation& ob) {
                    ob.dcache_hit_dirty ? kDirty : kValid);
     }
   }
+}
+
+void MetricSuite::save_state(ser::Writer& w) const {
+  toggle_.save_state(w);
+  fsm_.save_state(w);
+  stmt_.save_state(w);
+}
+
+bool MetricSuite::restore_state(ser::Reader& r) {
+  if (!toggle_.restore_state(r) || !fsm_.restore_state(r) ||
+      !stmt_.restore_state(r)) {
+    return false;
+  }
+  muldiv_state_ = 0;  // per-test transient, reset to the begin_test value
+  return true;
 }
 
 }  // namespace chatfuzz::cov

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "riscv/csr.h"
+#include "util/serialize.h"
 
 namespace chatfuzz::cov {
 
@@ -40,6 +41,12 @@ class Metric {
   /// Mark one universe bin cumulatively covered (does not touch test state).
   virtual void cover_bin(std::size_t universe_index) = 0;
 
+  /// Snapshot / restore the cumulative hit state (per-test state is
+  /// transient and not captured). restore_state() fails cleanly when the
+  /// saved universe does not match this metric's registered universe.
+  virtual void save_state(ser::Writer& w) const = 0;
+  virtual bool restore_state(ser::Reader& r) = 0;
+
   double percent() const {
     return universe() == 0
                ? 0.0
@@ -62,6 +69,8 @@ class ToggleCoverage final : public Metric {
   std::size_t test_covered() const override { return test_covered_; }
   void append_test_bins(std::vector<std::size_t>& out) const override;
   void cover_bin(std::size_t universe_index) override;
+  void save_state(ser::Writer& w) const override;
+  bool restore_state(ser::Reader& r) override;
 
   /// Record a register update; bits that changed toggle their direction bin.
   void observe_write(unsigned reg, std::uint64_t old_value,
@@ -94,6 +103,8 @@ class FsmCoverage final : public Metric {
   std::size_t test_covered() const override { return test_covered_; }
   void append_test_bins(std::vector<std::size_t>& out) const override;
   void cover_bin(std::size_t universe_index) override;
+  void save_state(ser::Writer& w) const override;
+  bool restore_state(ser::Reader& r) override;
 
   /// Record that `fsm` moved from `from` to `to` (may be the same state;
   /// self-arcs count only if declared).
@@ -130,6 +141,8 @@ class StatementCoverage final : public Metric {
   std::size_t test_covered() const override { return test_covered_; }
   void append_test_bins(std::vector<std::size_t>& out) const override;
   void cover_bin(std::size_t universe_index) override;
+  void save_state(ser::Writer& w) const override;
+  bool restore_state(ser::Reader& r) override;
 
   void hit(StmtId id);
   bool stmt_covered(StmtId id) const { return hit_[id] != 0; }
@@ -178,6 +191,10 @@ class MetricSuite {
 
   /// Per-commit hook: updates statements and the declared FSMs.
   void on_step(const StepObservation& ob);
+
+  /// Snapshot / restore all three metrics' cumulative state.
+  void save_state(ser::Writer& w) const;
+  bool restore_state(ser::Reader& r);
 
  private:
   ToggleCoverage toggle_;

@@ -198,4 +198,46 @@ std::unordered_set<Finding> MismatchDetector::findings_seen() const {
   return out;
 }
 
+void MismatchDetector::save_state(ser::Writer& w) const {
+  w.u64(total_raw_);
+  w.u64(total_post_filter_);
+  std::vector<std::string> sigs;
+  sigs.reserve(unique_signatures_.size());
+  for (const auto& [sig, count] : unique_signatures_) sigs.push_back(sig);
+  std::sort(sigs.begin(), sigs.end());
+  w.u64(sigs.size());
+  for (const std::string& sig : sigs) {
+    w.str(sig);
+    w.u64(unique_signatures_.at(sig));
+    const auto it = signature_findings_.find(sig);
+    w.u32(static_cast<std::uint32_t>(
+        it != signature_findings_.end() ? it->second : Finding::kOther));
+  }
+}
+
+bool MismatchDetector::restore_state(ser::Reader& r) {
+  const std::uint64_t raw = r.u64();
+  const std::uint64_t post = r.u64();
+  const std::uint64_t n = r.u64();
+  std::unordered_map<std::string, std::size_t> sigs;
+  std::unordered_map<std::string, Finding> finds;
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    std::string sig = r.str();
+    const std::uint64_t count = r.u64();
+    const std::uint32_t finding = r.u32();
+    if (finding > static_cast<std::uint32_t>(Finding::kOther)) {
+      r.fail();
+      break;
+    }
+    finds.emplace(sig, static_cast<Finding>(finding));
+    sigs.emplace(std::move(sig), static_cast<std::size_t>(count));
+  }
+  if (!r.ok()) return false;
+  total_raw_ = static_cast<std::size_t>(raw);
+  total_post_filter_ = static_cast<std::size_t>(post);
+  unique_signatures_ = std::move(sigs);
+  signature_findings_ = std::move(finds);
+  return true;
+}
+
 }  // namespace chatfuzz::mismatch

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "isasim/trace.h"
+#include "util/serialize.h"
 
 namespace chatfuzz::mismatch {
 
@@ -91,6 +92,13 @@ class MismatchDetector {
   }
   /// Distinct findings observed so far (classification labels).
   std::unordered_set<Finding> findings_seen() const;
+
+  /// Snapshot / restore the campaign-wide tally (signature database and
+  /// counters; filter rules are code, reinstalled by the owner). Signatures
+  /// are serialized in sorted order so the bytes do not depend on hash-map
+  /// iteration order.
+  void save_state(ser::Writer& w) const;
+  bool restore_state(ser::Reader& r);
 
  private:
   std::vector<FilterRule> filters_;

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serialize.h"
+
 namespace chatfuzz::ml {
 
 struct AdamWConfig {
@@ -49,6 +51,27 @@ class AdamW {
   }
 
   std::uint64_t steps() const { return t_; }
+
+  /// Snapshot / restore the optimizer moments and step count (bias
+  /// correction depends on t_, so resumed training continues exactly).
+  void save_state(ser::Writer& w) const {
+    w.u64(t_);
+    w.vec_f32(m_);
+    w.vec_f32(v_);
+  }
+  bool restore_state(ser::Reader& r) {
+    const std::uint64_t t = r.u64();
+    std::vector<float> m = r.vec_f32();
+    std::vector<float> v = r.vec_f32();
+    if (!r.ok() || m.size() != m_.size() || v.size() != v_.size()) {
+      r.fail();
+      return false;
+    }
+    t_ = t;
+    m_ = std::move(m);
+    v_ = std::move(v);
+    return true;
+  }
 
  private:
   AdamWConfig cfg_;

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/serialize.h"
+
 namespace chatfuzz::ml {
 
 class BpeTokenizer {
@@ -44,6 +46,39 @@ class BpeTokenizer {
   // ---- persistence ----------------------------------------------------------
   std::string serialize() const;
   static std::optional<BpeTokenizer> deserialize(const std::string& text);
+
+  /// Binary-framework embedding (campaign/pipeline snapshots): the learned
+  /// vocab travels as a sub-stream of a larger checkpoint.
+  void save_state(ser::Writer& w) const {
+    w.u64(merges_.size());
+    for (const auto& [a, b] : merges_) {
+      w.u32(static_cast<std::uint32_t>(a));
+      w.u32(static_cast<std::uint32_t>(b));
+    }
+  }
+  bool restore_state(ser::Reader& r) {
+    const std::uint64_t n = r.u64();
+    if (!r.ok() || n > r.remaining() / 8) {
+      r.fail();
+      return false;
+    }
+    std::vector<std::pair<int, int>> merges;
+    merges.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const int a = static_cast<int>(r.u32());
+      const int b = static_cast<int>(r.u32());
+      // A merge may only reference base bytes or earlier merges.
+      if (a < 0 || b < 0 || a >= 256 + static_cast<int>(i) ||
+          b >= 256 + static_cast<int>(i)) {
+        r.fail();
+        return false;
+      }
+      merges.emplace_back(a, b);
+    }
+    if (!r.ok()) return false;
+    merges_ = std::move(merges);
+    return true;
+  }
 
  private:
   BpeTokenizer() = default;

@@ -738,32 +738,61 @@ void Gpt::gen_step(GenState& s, const int* tokens_t, float* logits_out) const {
 // ---------------------------------------------------------------------------
 // Persistence.
 // ---------------------------------------------------------------------------
-bool Gpt::save(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  const int header[6] = {0xCF6271, cfg_.vocab, cfg_.ctx, cfg_.n_layer,
-                         cfg_.n_head, cfg_.n_embd};
-  std::fwrite(header, sizeof header, 1, f);
-  std::fwrite(params_.data(), sizeof(float), params_.size(), f);
-  std::fclose(f);
+namespace {
+constexpr std::uint32_t kModelMagic = 0x43465A4D;  // "CFZM"
+constexpr std::uint32_t kModelVersion = 1;
+}  // namespace
+
+void Gpt::save_state(ser::Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(cfg_.vocab));
+  w.u32(static_cast<std::uint32_t>(cfg_.ctx));
+  w.u32(static_cast<std::uint32_t>(cfg_.n_layer));
+  w.u32(static_cast<std::uint32_t>(cfg_.n_head));
+  w.u32(static_cast<std::uint32_t>(cfg_.n_embd));
+  w.vec_f32(params_);
+}
+
+bool Gpt::restore_state(ser::Reader& r) {
+  const std::uint32_t vocab = r.u32();
+  const std::uint32_t ctx = r.u32();
+  const std::uint32_t n_layer = r.u32();
+  const std::uint32_t n_head = r.u32();
+  const std::uint32_t n_embd = r.u32();
+  std::vector<float> params = r.vec_f32();
+  if (!r.ok() || static_cast<int>(vocab) != cfg_.vocab ||
+      static_cast<int>(ctx) != cfg_.ctx ||
+      static_cast<int>(n_layer) != cfg_.n_layer ||
+      static_cast<int>(n_head) != cfg_.n_head ||
+      static_cast<int>(n_embd) != cfg_.n_embd ||
+      params.size() != params_.size()) {
+    r.fail();
+    return false;
+  }
+  params_ = std::move(params);
   return true;
 }
 
-bool Gpt::load(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return false;
-  int header[6];
-  if (std::fread(header, sizeof header, 1, f) != 1 || header[0] != 0xCF6271 ||
-      header[1] != cfg_.vocab || header[2] != cfg_.ctx ||
-      header[3] != cfg_.n_layer || header[4] != cfg_.n_head ||
-      header[5] != cfg_.n_embd) {
-    std::fclose(f);
-    return false;
+ser::Status Gpt::save(const std::string& path) const {
+  ser::Writer w;
+  save_state(w);
+  return ser::write_file(path, kModelMagic, kModelVersion, w.buffer());
+}
+
+ser::Status Gpt::load(const std::string& path) {
+  std::string payload;
+  ser::Status s =
+      ser::read_file(path, kModelMagic, kModelVersion, "model", &payload);
+  if (!s.ok()) return s;
+  ser::Reader r(payload);
+  if (!restore_state(r)) {
+    return ser::Status::error(
+        path + ": model config does not match this build (want vocab=" +
+        std::to_string(cfg_.vocab) + " ctx=" + std::to_string(cfg_.ctx) +
+        " layers=" + std::to_string(cfg_.n_layer) +
+        " heads=" + std::to_string(cfg_.n_head) +
+        " embd=" + std::to_string(cfg_.n_embd) + ", or payload is truncated)");
   }
-  const std::size_t n = std::fread(params_.data(), sizeof(float),
-                                   params_.size(), f);
-  std::fclose(f);
-  return n == params_.size();
+  return {};
 }
 
 }  // namespace chatfuzz::ml

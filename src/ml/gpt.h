@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ml/kernels.h"
+#include "util/serialize.h"
 
 namespace chatfuzz::ml {
 
@@ -100,8 +101,17 @@ class Gpt {
   void gen_step(GenState& state, const int* tokens_t, float* logits_out) const;
 
   // ---- persistence ----------------------------------------------------------
-  bool save(const std::string& path) const;
-  bool load(const std::string& path);
+  /// Versioned + checksummed model file (util/serialize.h container). On
+  /// failure the Status carries the path and errno / truncation / config
+  /// detail — callers must surface it, not silently fall back to a fresh
+  /// model. load() requires the file's config to match this model's.
+  ser::Status save(const std::string& path) const;
+  ser::Status load(const std::string& path);
+
+  /// Embed / extract the parameters within a larger snapshot stream
+  /// (campaign checkpoints). Config is validated the same way load() does.
+  void save_state(ser::Writer& w) const;
+  bool restore_state(ser::Reader& r);
 
   /// Route all matmul/GELU work through the seed's naive reference kernels
   /// instead of the vectorized subsystem (ml/kernels.h). Benchmark and

@@ -3,6 +3,7 @@
 // explicit Rng (or seed) so campaigns are exactly reproducible.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -73,6 +74,15 @@ class Rng {
     h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
     h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
     return Rng(h ^ (h >> 31));
+  }
+
+  /// Raw stream state, for snapshot/restore (util/serialize.h): a restored
+  /// Rng continues the exact sequence the saved one would have produced.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st[i];
   }
 
   /// Pick an index according to non-negative weights (size must be > 0).

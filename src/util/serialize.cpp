@@ -1,0 +1,149 @@
+#include "util/serialize.h"
+
+#include <cerrno>
+#include <cstdio>
+
+namespace chatfuzz::ser {
+
+namespace {
+
+std::string errno_detail() {
+  const int e = errno;
+  std::string s = " (errno ";
+  s += std::to_string(e);
+  s += ": ";
+  s += std::strerror(e);
+  s += ")";
+  return s;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+Status write_file(const std::string& path, std::uint32_t magic,
+                  std::uint32_t version, const std::string& payload) {
+  Writer header;
+  header.u32(magic);
+  header.u32(version);
+  header.u64(payload.size());
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::error("cannot open " + tmp + " for writing" +
+                         errno_detail());
+  }
+  const std::string& head = header.buffer();
+  Writer tail;
+  tail.u32(crc32(payload.data(), payload.size()));
+  std::size_t written = 0;
+  written += std::fwrite(head.data(), 1, head.size(), f);
+  written += std::fwrite(payload.data(), 1, payload.size(), f);
+  written += std::fwrite(tail.buffer().data(), 1, tail.buffer().size(), f);
+  const std::size_t expect =
+      head.size() + payload.size() + tail.buffer().size();
+  if (written != expect) {
+    const std::string detail = errno_detail();
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::error("short write to " + tmp + ": " +
+                         std::to_string(written) + " of " +
+                         std::to_string(expect) + " bytes" + detail);
+  }
+  if (std::fclose(f) != 0) {
+    const std::string detail = errno_detail();
+    std::remove(tmp.c_str());
+    return Status::error("cannot flush " + tmp + detail);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string detail = errno_detail();
+    std::remove(tmp.c_str());
+    return Status::error("cannot rename " + tmp + " to " + path + detail);
+  }
+  return {};
+}
+
+Status read_file(const std::string& path, std::uint32_t magic,
+                 std::uint32_t version, const char* what,
+                 std::string* payload) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::error("cannot open " + path + errno_detail());
+  }
+  std::string contents;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    contents.append(buf, n);
+  }
+  const bool read_err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_err) {
+    return Status::error("read error on " + path + errno_detail());
+  }
+
+  Reader r(contents);
+  const std::uint32_t got_magic = r.u32();
+  const std::uint32_t got_version = r.u32();
+  const std::uint64_t size = r.u64();
+  if (!r.ok()) {
+    return Status::error(path + ": truncated header (" +
+                         std::to_string(contents.size()) + " bytes); not a " +
+                         what + " file");
+  }
+  if (got_magic != magic) {
+    return Status::error(path + ": bad magic; not a " + std::string(what) +
+                         " file");
+  }
+  if (got_version != version) {
+    return Status::error(path + ": " + what + " format version " +
+                         std::to_string(got_version) + ", this build reads " +
+                         std::to_string(version) +
+                         " (regenerate the file; old formats are not "
+                         "migrated)");
+  }
+  if (size > r.remaining() || r.remaining() - size < 4) {
+    return Status::error(path + ": truncated " + std::string(what) +
+                         " payload (want " + std::to_string(size) +
+                         " bytes + checksum, have " +
+                         std::to_string(r.remaining()) + ")");
+  }
+  if (r.remaining() - size != 4) {
+    return Status::error(path + ": " + std::to_string(r.remaining() - size - 4) +
+                         " trailing bytes after the " + what +
+                         " checksum (file corrupt or concatenated)");
+  }
+  const std::size_t header_size = 16;
+  const std::string_view body(contents.data() + header_size,
+                              static_cast<std::size_t>(size));
+  Reader tail(std::string_view(contents.data() + header_size + size,
+                               contents.size() - header_size - size));
+  const std::uint32_t want_crc = tail.u32();
+  const std::uint32_t got_crc = crc32(body.data(), body.size());
+  if (want_crc != got_crc) {
+    return Status::error(path + ": checksum mismatch (file corrupt)");
+  }
+  payload->assign(body.data(), body.size());
+  return {};
+}
+
+}  // namespace chatfuzz::ser

@@ -92,6 +92,40 @@ TEST(CampaignDeterminism, CtrlRegGuidanceIsWorkerCountInvariant) {
   EXPECT_GT(a.curve.back().ctrl_states, 0u);
 }
 
+TEST(CampaignDeterminism, CtrlRegWithMultiMetricsIsWorkerCountInvariant) {
+  // Ctrl-reg guidance with the metric suite attached: the replayed ctrl
+  // state set AND the per-test metric-bin artifacts must both fold
+  // scheduling-invariantly in the same campaign.
+  CampaignConfig cfg = small_campaign();
+  cfg.guidance = GuidanceMetric::kCtrlReg;
+  cfg.collect_multi_metrics = true;
+  const CampaignResult a = run_with_workers(cfg, 1);
+  const CampaignResult b = run_with_workers(cfg, 4);
+  expect_identical(a, b);
+  EXPECT_GT(a.curve.back().ctrl_states, 0u);
+  EXPECT_GT(a.toggle_percent, 0.0);
+  EXPECT_GT(a.statement_percent, 0.0);
+}
+
+TEST(CampaignDeterminism, FsmGuidanceWithMultiMetricsIsWorkerCountInvariant) {
+  CampaignConfig cfg = small_campaign();
+  cfg.guidance = GuidanceMetric::kFsm;
+  cfg.collect_multi_metrics = true;
+  const CampaignResult a = run_with_workers(cfg, 1);
+  const CampaignResult b = run_with_workers(cfg, 4);
+  expect_identical(a, b);
+  EXPECT_GT(a.fsm_percent, 0.0);
+}
+
+TEST(CampaignDeterminism, StatementGuidanceIsWorkerCountInvariant) {
+  CampaignConfig cfg = small_campaign();
+  cfg.guidance = GuidanceMetric::kStatement;
+  const CampaignResult a = run_with_workers(cfg, 1);
+  const CampaignResult b = run_with_workers(cfg, 4);
+  expect_identical(a, b);
+  EXPECT_GT(a.statement_percent, 0.0);
+}
+
 TEST(CampaignDeterminism, RandomizedRegFilesStayDeterministic) {
   CampaignConfig cfg = small_campaign();
   cfg.randomize_regs = true;

@@ -384,18 +384,24 @@ TEST(Persistence, SaveLoadRoundTrip) {
   const GptConfig cfg = GptConfig::tiny();
   Gpt a(cfg, 55);
   const std::string path = ::testing::TempDir() + "/gpt_test.bin";
-  ASSERT_TRUE(a.save(path));
+  const ser::Status saved = a.save(path);
+  ASSERT_TRUE(saved.ok()) << saved.message();
   Gpt b(cfg, 1);  // different init
-  ASSERT_TRUE(b.load(path));
+  const ser::Status loaded = b.load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
   EXPECT_EQ(a.params(), b.params());
 }
 
 TEST(Persistence, LoadRejectsWrongConfig) {
   Gpt a(GptConfig::tiny(), 55);
   const std::string path = ::testing::TempDir() + "/gpt_test2.bin";
-  ASSERT_TRUE(a.save(path));
+  ASSERT_TRUE(a.save(path).ok());
   Gpt b(GptConfig::small(), 1);
-  EXPECT_FALSE(b.load(path));
+  const ser::Status loaded = b.load(path);
+  EXPECT_FALSE(loaded.ok());
+  // The diagnostic must say what went wrong, not just "false".
+  EXPECT_NE(loaded.message().find("config"), std::string::npos)
+      << loaded.message();
 }
 
 }  // namespace

@@ -6,11 +6,15 @@
 //   chatfuzz run <corpus.txt> [n]         co-simulate test n, print traces + mismatches
 //   chatfuzz minimize <corpus.txt> <n>    shrink test n to a minimal repro
 //   chatfuzz fuzz <fuzzer> <tests>        run a campaign (random|thehuzz|difuzz|chatfuzz)
-//                                          writes mismatching inputs to found.txt
+//   chatfuzz fuzz --resume <dir>          continue a checkpointed campaign
+//   chatfuzz corpus <export|import|minimize> <dir> ...
+//                                          work with an on-disk corpus store
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "baselines/hypfuzz.h"
 #include "baselines/mutational.h"
@@ -18,7 +22,10 @@
 #include "baselines/psofuzz.h"
 #include "core/campaign.h"
 #include "core/chatfuzz.h"
+#include "core/checkpoint.h"
 #include "core/replay.h"
+#include "corpus/store.h"
+#include "coverage/merge.h"
 #include "isasim/sim.h"
 #include "mismatch/minimize.h"
 #include "riscv/asm.h"
@@ -32,21 +39,72 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: chatfuzz <asm|disasm|run|minimize|fuzz|solve> ...\n"
+               "usage: chatfuzz <asm|disasm|run|minimize|fuzz|corpus|solve> "
+               "...\n"
                "  asm <file.s>              assemble to stdout (corpus format)\n"
                "  disasm <corpus.txt> [n]   disassemble test n (default: all)\n"
                "  run <corpus.txt> [n]      co-simulate + mismatch report\n"
                "  minimize <corpus.txt> <n> shrink a mismatching test\n"
-               "  fuzz <fuzzer> <tests> [workers]\n"
+               "  fuzz <fuzzer> <tests> [workers] [--checkpoint <dir>] "
+               "[--every <n>]\n"
                "                            campaign; fuzzer = random|thehuzz|"
                "difuzz|psofuzz|hypfuzz|chatfuzz;\n"
                "                            workers = simulation threads "
                "(default 1, 0 = all cores);\n"
                "                            results are bit-identical for any "
-               "worker count\n"
+               "worker count.\n"
+               "                            --checkpoint snapshots state + "
+               "corpus to <dir> every <n> tests\n"
+               "  fuzz --resume <dir> [workers]\n"
+               "                            continue a checkpointed campaign "
+               "bit-identically to an\n"
+               "                            uninterrupted run (workers: "
+               "default = checkpoint's\n"
+               "                            count, 0 = all cores)\n"
+               "  corpus export <dir> <out.txt>   store -> text corpus\n"
+               "  corpus import <dir> <in.txt>    text corpus -> store\n"
+               "  corpus minimize <dir>     re-simulate, keep only tests that "
+               "add coverage or mismatch\n"
                "  solve <point-name>        synthesize + verify a directed "
                "test for a coverage point\n");
   return 2;
+}
+
+/// Construct a generator by CLI kind name (seed matches cmd_fuzz's). For
+/// resume, the constructed instance is only a shell — restore_state()
+/// replaces every stochastic component.
+std::unique_ptr<core::InputGenerator> make_generator(const std::string& kind) {
+  if (kind == "Random" || kind == "random") {
+    return std::make_unique<baselines::RandomFuzzer>(1);
+  }
+  if (kind == "TheHuzz" || kind == "thehuzz") {
+    return std::make_unique<baselines::TheHuzzFuzzer>(1);
+  }
+  if (kind == "DifuzzRTL" || kind == "difuzz") {
+    return std::make_unique<baselines::DifuzzRtlFuzzer>(1);
+  }
+  if (kind == "PSOFuzz" || kind == "psofuzz") {
+    return std::make_unique<baselines::PsoFuzzer>(1);
+  }
+  if (kind == "HyPFuzz" || kind == "hypfuzz") {
+    return std::make_unique<baselines::HypFuzzer>(1);
+  }
+  if (kind == "ChatFuzz" || kind == "chatfuzz") {
+    return std::make_unique<core::ChatFuzzGenerator>(core::ChatFuzzConfig{});
+  }
+  return nullptr;
+}
+
+void print_campaign_result(const core::CampaignResult& r) {
+  std::printf("%s: %.2f%% condition coverage, %zu raw / %zu unique "
+              "mismatches, %.2f paper-hours%s\n",
+              r.fuzzer.c_str(), r.final_cov_percent, r.raw_mismatches,
+              r.unique_mismatches, r.hours,
+              r.completed ? "" : " (paused; resume with fuzz --resume)");
+  std::printf("%zu points still have an uncovered bin\n", r.uncovered.size());
+  for (const auto f : r.findings) {
+    std::printf("  finding: %s\n", mismatch::finding_name(f));
+  }
 }
 
 std::optional<std::vector<core::Program>> load(const char* path) {
@@ -125,49 +183,228 @@ int cmd_minimize(const char* path, int which) {
   return 0;
 }
 
-int cmd_fuzz(const char* which, std::size_t tests, std::size_t workers) {
+core::CheckpointHook progress_hook() {
+  return [](const core::CampaignPoint& p) {
+    std::fprintf(stderr, "  %6zu tests  %.2f%% cond-cov\n", p.tests,
+                 p.cond_cov_percent);
+  };
+}
+
+int cmd_fuzz(const char* which, std::size_t tests, std::size_t workers,
+             const char* checkpoint_dir, std::size_t checkpoint_every) {
   core::CampaignConfig cfg;
   cfg.num_tests = tests;
   cfg.checkpoint_every = std::max<std::size_t>(tests / 10, 10);
   cfg.num_workers = workers;
+  if (checkpoint_dir != nullptr) {
+    cfg.checkpoint_dir = checkpoint_dir;
+    cfg.checkpoint_every_tests = checkpoint_every;
+  }
 
-  std::unique_ptr<core::InputGenerator> gen;
-  std::unique_ptr<core::ChatFuzzGenerator> chat;
-  if (std::strcmp(which, "random") == 0) {
-    gen = std::make_unique<baselines::RandomFuzzer>(1);
-  } else if (std::strcmp(which, "thehuzz") == 0) {
-    gen = std::make_unique<baselines::TheHuzzFuzzer>(1);
-  } else if (std::strcmp(which, "difuzz") == 0) {
-    gen = std::make_unique<baselines::DifuzzRtlFuzzer>(1);
-  } else if (std::strcmp(which, "psofuzz") == 0) {
-    gen = std::make_unique<baselines::PsoFuzzer>(1);
-  } else if (std::strcmp(which, "hypfuzz") == 0) {
-    gen = std::make_unique<baselines::HypFuzzer>(1);
-  } else if (std::strcmp(which, "chatfuzz") == 0) {
-    chat = std::make_unique<core::ChatFuzzGenerator>(core::ChatFuzzConfig{});
-    if (!chat->load_model("chatfuzz_model.bin")) {
-      std::fprintf(stderr, "training model (cached to chatfuzz_model.bin)...\n");
+  std::unique_ptr<core::InputGenerator> gen = make_generator(which);
+  if (gen == nullptr) return usage();
+  if (auto* chat = dynamic_cast<core::ChatFuzzGenerator*>(gen.get())) {
+    const ser::Status loaded = chat->load_model("chatfuzz_model.bin");
+    if (!loaded.ok()) {
+      std::fprintf(stderr,
+                   "model cache unavailable: %s\n"
+                   "training model (cached to chatfuzz_model.bin)...\n",
+                   loaded.message().c_str());
       chat->train_offline();
-      chat->save_model("chatfuzz_model.bin");
+      const ser::Status saved = chat->save_model("chatfuzz_model.bin");
+      if (!saved.ok()) {
+        std::fprintf(stderr, "warning: could not cache model: %s\n",
+                     saved.message().c_str());
+      }
     }
-  } else {
-    return usage();
   }
-  core::InputGenerator& g = chat ? *chat : *gen;
 
-  const core::CampaignResult r = core::run_campaign(
-      g, cfg, [](const core::CampaignPoint& p) {
-        std::fprintf(stderr, "  %6zu tests  %.2f%% cond-cov\n", p.tests,
-                     p.cond_cov_percent);
-      });
-  std::printf("%s: %.2f%% condition coverage, %zu raw / %zu unique "
-              "mismatches, %.2f paper-hours\n",
-              r.fuzzer.c_str(), r.final_cov_percent, r.raw_mismatches,
-              r.unique_mismatches, r.hours);
-  std::printf("%zu points still have an uncovered bin\n", r.uncovered.size());
-  for (const auto f : r.findings) {
-    std::printf("  finding: %s\n", mismatch::finding_name(f));
+  const core::CampaignResult r = core::run_campaign(*gen, cfg,
+                                                    progress_hook());
+  print_campaign_result(r);
+  return 0;
+}
+
+int cmd_resume(const char* dir, std::optional<std::size_t> workers) {
+  // One read of what may be a large checkpoint: the loaded image hands the
+  // stored fuzzer kind to make_generator() and then resumes directly.
+  core::CheckpointData data;
+  const ser::Status s = core::load_checkpoint(dir, &data);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot resume: %s\n", s.message().c_str());
+    return 1;
   }
+  std::unique_ptr<core::InputGenerator> gen = make_generator(data.fuzzer);
+  if (gen == nullptr) {
+    std::fprintf(stderr, "cannot resume: unknown fuzzer \"%s\" in %s\n",
+                 data.fuzzer.c_str(), dir);
+    return 1;
+  }
+  std::fprintf(stderr, "resuming %s campaign from %s\n", data.fuzzer.c_str(),
+               dir);
+  core::ResumeOptions opts;
+  // No argument = keep the checkpoint's worker count. An explicit 0 means
+  // "all cores", same as plain `fuzz` (ResumeOptions uses 0 as its own
+  // keep-stored sentinel, so translate here).
+  if (workers.has_value()) {
+    opts.num_workers = *workers != 0
+                           ? *workers
+                           : std::max(1u, std::thread::hardware_concurrency());
+  }
+  try {
+    const core::CampaignResult r = core::resume_campaign(
+        *gen, dir, std::move(data), opts, progress_hook());
+    print_campaign_result(r);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot resume: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_corpus_export(const char* dir, const char* out_path) {
+  corpus::CorpusStore store;
+  const ser::Status s = store.open(dir);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  std::vector<core::Program> tests;
+  tests.reserve(store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    core::Program p;
+    const ser::Status rs = store.read_program(i, &p);
+    if (!rs.ok()) {
+      std::fprintf(stderr, "%s\n", rs.message().c_str());
+      return 1;
+    }
+    tests.push_back(std::move(p));
+  }
+  if (!core::save_corpus(out_path, tests)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("exported %zu tests from %s to %s\n", tests.size(), dir,
+              out_path);
+  return 0;
+}
+
+int cmd_corpus_import(const char* dir, const char* in_path) {
+  const auto tests = load(in_path);
+  if (!tests) return 1;
+  corpus::CorpusStore store;
+  ser::Status s = store.open(dir);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  const std::size_t before = store.size();
+  for (const core::Program& p : *tests) {
+    corpus::StoreEntryMeta meta;  // imported tests carry no attribution
+    meta.test_index = store.size();
+    s = store.append(p, meta);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.message().c_str());
+      return 1;
+    }
+  }
+  s = store.flush();
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("imported %zu tests into %s (%zu total)\n",
+              store.size() - before, dir, store.size());
+  return 0;
+}
+
+/// Corpus minimization: re-simulate every stored test in order and keep
+/// only those that still contribute (new condition bins or a mismatch) —
+/// the classic cmin pass, run against this build's DUT model. The store is
+/// rewritten with fresh attribution.
+int cmd_corpus_minimize(const char* dir) {
+  corpus::CorpusStore store;
+  ser::Status s = store.open(dir);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  // A campaign store lives at <campaign>/corpus: replay with the campaign's
+  // own DUT/platform config from the sibling checkpoint, so tests archived
+  // under e.g. a larger max_steps keep their behavior. Bare stores (corpus
+  // import into a fresh dir) fall back to the defaults.
+  sim::Platform plat{.max_steps = 512};
+  rtl::CoreConfig core_cfg = rtl::CoreConfig::rocket();
+  {
+    const std::string parent =
+        std::filesystem::path(dir).parent_path().string();
+    core::CampaignConfig stored;
+    if (!parent.empty() &&
+        core::peek_checkpoint(parent, nullptr, &stored).ok()) {
+      plat = stored.platform;
+      core_cfg = stored.core;
+      std::fprintf(stderr, "using campaign config from %s\n",
+                   core::checkpoint_path(parent).c_str());
+    }
+  }
+  cov::CoverageDB db;
+  rtl::RtlCore dut(core_cfg, db, plat);
+  struct Kept {
+    core::Program program;
+    corpus::StoreEntryMeta meta;
+  };
+  std::vector<Kept> kept;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    core::Program p;
+    s = store.read_program(i, &p);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.message().c_str());
+      return 1;
+    }
+    db.begin_test();
+    const std::size_t before = db.total_covered();
+    std::vector<bool> covered_before(db.num_bins());
+    for (std::size_t bin = 0; bin < db.num_bins(); ++bin) {
+      covered_before[bin] = db.bin_covered(bin);
+    }
+    dut.reset(p);
+    dut.run();
+    const mismatch::Report rep = core::replay_test(p, core_cfg, plat);
+    corpus::StoreEntryMeta meta = store.meta(i);
+    meta.standalone_bins = static_cast<std::uint32_t>(db.test_covered());
+    meta.incremental_bins =
+        static_cast<std::uint32_t>(db.total_covered() - before);
+    meta.mismatches = static_cast<std::uint32_t>(rep.mismatches.size());
+    meta.new_bins.clear();
+    for (std::size_t bin = 0; bin < db.num_bins(); ++bin) {
+      if (db.test_bin_hit(bin) && !covered_before[bin]) {
+        meta.new_bins.push_back(static_cast<std::uint32_t>(bin));
+      }
+    }
+    if (meta.incremental_bins > 0 || meta.mismatches > 0) {
+      kept.push_back({std::move(p), std::move(meta)});
+    }
+  }
+  const std::size_t original = store.size();
+  s = store.truncate(0);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  for (const Kept& k : kept) {
+    s = store.append(k.program, k.meta);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.message().c_str());
+      return 1;
+    }
+  }
+  s = store.flush();
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("minimized %s: %zu -> %zu tests\n", dir, original,
+              store.size());
   return 0;
 }
 
@@ -219,16 +456,56 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "minimize") == 0 && argc >= 4) {
     return cmd_minimize(argv[2], std::atoi(argv[3]));
   }
+  if (std::strcmp(cmd, "fuzz") == 0 && argc >= 4 &&
+      std::strcmp(argv[2], "--resume") == 0) {
+    std::optional<std::size_t> workers;  // absent = checkpoint's value
+    if (argc >= 5) {
+      workers = parse_count(argv[4]);
+      if (!workers) {
+        std::fprintf(stderr, "fuzz --resume: [workers] must be a "
+                             "non-negative integer\n");
+        return usage();
+      }
+    }
+    return cmd_resume(argv[3], workers);
+  }
   if (std::strcmp(cmd, "fuzz") == 0 && argc >= 4) {
     const auto tests = parse_count(argv[3]);
-    const auto workers = argc >= 5 ? parse_count(argv[4])
-                                   : std::optional<std::size_t>(1);
-    if (!tests || !workers) {
-      std::fprintf(stderr, "fuzz: <tests> and [workers] must be non-negative "
-                           "integers\n");
+    std::optional<std::size_t> workers(1);
+    const char* checkpoint_dir = nullptr;
+    std::size_t checkpoint_every = 0;
+    bool bad = false;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+        checkpoint_dir = argv[++i];
+      } else if (std::strcmp(argv[i], "--every") == 0 && i + 1 < argc) {
+        const auto every = parse_count(argv[++i]);
+        if (!every) bad = true;
+        else checkpoint_every = *every;
+      } else if (i == 4 && argv[i][0] != '-') {
+        workers = parse_count(argv[i]);
+      } else {
+        bad = true;
+      }
+    }
+    if (!tests || !workers || bad) {
+      std::fprintf(stderr, "fuzz: bad arguments; see usage\n");
       return usage();
     }
-    return cmd_fuzz(argv[2], *tests, *workers);
+    return cmd_fuzz(argv[2], *tests, *workers, checkpoint_dir,
+                    checkpoint_every);
+  }
+  if (std::strcmp(cmd, "corpus") == 0 && argc >= 4) {
+    if (std::strcmp(argv[2], "export") == 0 && argc >= 5) {
+      return cmd_corpus_export(argv[3], argv[4]);
+    }
+    if (std::strcmp(argv[2], "import") == 0 && argc >= 5) {
+      return cmd_corpus_import(argv[3], argv[4]);
+    }
+    if (std::strcmp(argv[2], "minimize") == 0) {
+      return cmd_corpus_minimize(argv[3]);
+    }
+    return usage();
   }
   if (std::strcmp(cmd, "solve") == 0 && argc >= 3) return cmd_solve(argv[2]);
   return usage();
