@@ -1,0 +1,216 @@
+// Campaign-throughput bench: end-to-end tests/sec through the fuzzing hot
+// path — co-simulate, compare, fold — for the streaming engine versus an
+// in-tree replica of the pre-streaming (seed) per-test pipeline, on the
+// same seed, programs, and config. Emits ONE line of JSON on stdout so
+// successive runs append to a BENCH_*.json trajectory file:
+//
+//   ./bench_campaign_throughput [--smoke] >> BENCH_campaign.json
+//
+// --smoke (or CHATFUZZ_SMOKE=1) shrinks the campaign to CI size; the
+// numbers still print but only prove the harness runs.
+//
+// The seed replica reproduces, faithfully and with the public API, what
+// the engine did per test before this optimization pass:
+//   * full O(all bins) clears of the worker shard (hit counters + per-test
+//     set) before every test;
+//   * both simulators run to completion with materialized commit traces,
+//     copied again into RunResult;
+//   * the golden model always executes its full run, even when the DUT
+//     trace ended early;
+//   * two-trace MismatchDetector::compare over the materialized traces;
+//   * full O(all bins) scans for the per-test coverage slice and for the
+//     before/after covered counts of the fold;
+//   * fresh per-test vector allocations for every artifact.
+// The streaming engine replaces all of that with commit sinks, the
+// lockstep comparator, dirty-bin journals and pooled artifacts; both
+// pipelines must end with identical coverage and mismatch totals
+// (parity_ok), or the comparison is void.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "baselines/mutational.h"
+#include "core/campaign.h"
+#include "coverage/cover.h"
+#include "coverage/merge.h"
+#include "isasim/sim.h"
+#include "mismatch/detect.h"
+#include "rtlsim/core.h"
+
+using namespace chatfuzz;
+
+namespace {
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SeedRunTotals {
+  std::size_t tests = 0;
+  std::uint64_t cycles = 0;
+  std::size_t covered_bins = 0;
+  std::size_t universe_bins = 0;
+  std::size_t raw_mismatches = 0;
+  double seconds = 0.0;
+};
+
+/// The pre-streaming per-test pipeline (see the header comment), run
+/// sequentially like the engine's single-worker inline path.
+SeedRunTotals run_seed_replica(const core::CampaignConfig& cfg,
+                               std::uint64_t gen_seed) {
+  baselines::RandomFuzzer gen(gen_seed);
+  cov::CoverageDB wdb;  // worker shard
+  rtl::CoreConfig seed_core = cfg.core;
+  // The seed DUT walked every opcode-indexed comparator chain on every
+  // instruction (the layout-proportional cost this PR removes).
+  seed_core.deferred_select_chains = false;
+  rtl::RtlCore dut(seed_core, wdb, cfg.platform);
+  sim::IsaSim golden(cfg.platform);
+  mismatch::MismatchDetector det;
+  det.install_default_filters();
+  cov::CoverageDB agg;  // coordinator DB (same layout via a registrar core)
+  { rtl::RtlCore registrar(cfg.core, agg, cfg.platform); }
+  cov::CtrlRegCoverage ctrl;
+  mismatch::MismatchDetector tally;
+  // The seed's reset_hits() was a std::fill over every hit counter and
+  // every per-test flag; the journaled DB no longer exposes that cost, so
+  // the replica pays it on same-shape shadow buffers.
+  std::vector<std::uint64_t> shadow_hits(wdb.num_bins(), 0);
+  std::vector<std::uint8_t> shadow_test(wdb.num_bins(), 0);
+
+  SeedRunTotals totals;
+  const double t0 = now_sec();
+  while (totals.tests < cfg.num_tests) {
+    const std::size_t want =
+        std::min(cfg.batch_size, cfg.num_tests - totals.tests);
+    const std::vector<core::Program> batch = gen.next_batch(want);
+    for (const core::Program& prog : batch) {
+      std::fill(shadow_hits.begin(), shadow_hits.end(), 0);
+      std::fill(shadow_test.begin(), shadow_test.end(), 0);
+      wdb.reset_hits();
+      dut.ctrl_cov().begin_test();
+      std::vector<std::uint64_t> ctrl_states;
+      dut.ctrl_cov().set_recorder(&ctrl_states);
+      dut.reset(prog);
+      const sim::RunResult dr = dut.run();  // materialized + copied trace
+      dut.ctrl_cov().set_recorder(nullptr);
+
+      std::vector<cov::BinDelta> cond;  // fresh allocation, as the seed did
+      for (std::size_t bin = 0; bin < wdb.num_bins(); ++bin) {
+        const std::uint64_t h = wdb.bin_hits(bin);
+        if (h != 0) cond.push_back({static_cast<std::uint32_t>(bin), h});
+      }
+
+      golden.reset(prog);
+      const sim::RunResult gr = golden.run();  // always the full golden run
+      const mismatch::Report rep = det.compare(dr.trace, gr.trace);
+
+      // Fold with the seed's full-scan covered counts.
+      std::size_t before = 0;
+      for (std::size_t bin = 0; bin < agg.num_bins(); ++bin) {
+        before += agg.bin_hits(bin) != 0 ? 1 : 0;
+      }
+      cov::apply_bins(agg, cond);
+      std::size_t after = 0;
+      for (std::size_t bin = 0; bin < agg.num_bins(); ++bin) {
+        after += agg.bin_hits(bin) != 0 ? 1 : 0;
+      }
+      (void)before;
+      ctrl.begin_test();
+      for (const std::uint64_t s : ctrl_states) ctrl.observe(s);
+      tally.accumulate(rep);
+      totals.cycles += dut.cycles();
+      totals.covered_bins = after;
+      ++totals.tests;
+    }
+  }
+  totals.seconds = now_sec() - t0;
+  totals.universe_bins = agg.num_bins();
+  totals.raw_mismatches = tally.total_raw();
+  return totals;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* env_smoke = std::getenv("CHATFUZZ_SMOKE");
+  bool smoke = env_smoke != nullptr && std::strcmp(env_smoke, "0") != 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  core::CampaignConfig cfg;
+  cfg.num_tests = smoke ? 64 : 1280;
+  cfg.batch_size = 32;
+  cfg.num_workers = 1;  // apples-to-apples: per-pipeline cost, no threading
+  cfg.checkpoint_every = 100;
+  const std::uint64_t kGenSeed = 7;
+
+  // Warm both pipelines (page faults, allocator pools, branch history)
+  // before any timed run, so neither side absorbs the process cold start.
+  {
+    core::CampaignConfig warm = cfg;
+    warm.num_tests = smoke ? 32 : 128;
+    baselines::RandomFuzzer warm_gen(kGenSeed);
+    core::run_campaign(warm_gen, warm);
+    run_seed_replica(warm, kGenSeed);
+  }
+
+  // Seed replica on the identical program stream.
+  const SeedRunTotals seed = run_seed_replica(cfg, kGenSeed);
+
+  // Streaming engine.
+  baselines::RandomFuzzer gen(kGenSeed);
+  const double t0 = now_sec();
+  const core::CampaignResult res = core::run_campaign(gen, cfg);
+  const double dt_fast = now_sec() - t0;
+
+  // Streaming engine again at hardware concurrency: the deployment number.
+  core::CampaignConfig mt_cfg = cfg;
+  mt_cfg.num_workers = 0;
+  baselines::RandomFuzzer mt_gen(kGenSeed);
+  const double t1 = now_sec();
+  const core::CampaignResult mt_res = core::run_campaign(mt_gen, mt_cfg);
+  const double dt_mt = now_sec() - t1;
+
+  const double tps_fast = static_cast<double>(res.tests_run) / dt_fast;
+  const double tps_seed = static_cast<double>(seed.tests) / seed.seconds;
+  const double tps_mt = static_cast<double>(mt_res.tests_run) / dt_mt;
+  // Parity: both pipelines saw the same programs, so coverage and raw
+  // mismatch totals must agree (the curve percent is covered/universe).
+  const double seed_cov_percent =
+      seed.universe_bins == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(seed.covered_bins) /
+                static_cast<double>(seed.universe_bins);
+  const bool parity_ok =
+      res.raw_mismatches == seed.raw_mismatches &&
+      res.total_cycles == seed.cycles &&
+      res.final_cov_percent == seed_cov_percent &&
+      mt_res.raw_mismatches == seed.raw_mismatches &&
+      mt_res.final_cov_percent == res.final_cov_percent;
+
+  std::printf(
+      "{\"bench\":\"campaign_throughput\",\"smoke\":%s,"
+      "\"tests\":%zu,\"workers\":1,"
+      "\"tests_per_sec\":%.1f,\"cycles_per_sec\":%.0f,"
+      "\"wall_seconds\":%.3f,"
+      "\"tests_per_sec_seed\":%.1f,\"wall_seconds_seed\":%.3f,"
+      "\"campaign_speedup\":%.2f,"
+      "\"tests_per_sec_mt\":%.1f,\"mt_workers\":%u,"
+      "\"final_cov_percent\":%.4f,\"raw_mismatches\":%zu,"
+      "\"parity_ok\":%s}\n",
+      smoke ? "true" : "false", res.tests_run,
+      tps_fast, static_cast<double>(res.total_cycles) / dt_fast, dt_fast,
+      tps_seed, seed.seconds, tps_fast / tps_seed, tps_mt,
+      static_cast<unsigned>(std::thread::hardware_concurrency()),
+      res.final_cov_percent, res.raw_mismatches,
+      parity_ok ? "true" : "false");
+  return parity_ok ? 0 : 1;
+}

@@ -11,23 +11,36 @@
 #include "core/checkpoint.h"
 #include "corpus/store.h"
 #include "isasim/sim.h"
+#include "mismatch/lockstep.h"
 #include "rtlsim/core.h"
 #include "util/rng.h"
 
 namespace chatfuzz::core {
 
+namespace {
+
+/// First curve point at/above `percent` condition coverage. Cumulative
+/// coverage is monotone along the curve, so binary search applies; benches
+/// that query many thresholds over long curves were paying a full rescan
+/// per call.
+const CampaignPoint* first_point_at(const std::vector<CampaignPoint>& curve,
+                                    double percent) {
+  const auto it = std::lower_bound(
+      curve.begin(), curve.end(), percent,
+      [](const CampaignPoint& p, double v) { return p.cond_cov_percent < v; });
+  return it != curve.end() ? &*it : nullptr;
+}
+
+}  // namespace
+
 double CampaignResult::hours_to(double percent) const {
-  for (const CampaignPoint& p : curve) {
-    if (p.cond_cov_percent >= percent) return p.hours;
-  }
-  return -1.0;
+  const CampaignPoint* p = first_point_at(curve, percent);
+  return p != nullptr ? p->hours : -1.0;
 }
 
 std::size_t CampaignResult::tests_to(double percent) const {
-  for (const CampaignPoint& p : curve) {
-    if (p.cond_cov_percent >= percent) return p.tests;
-  }
-  return 0;
+  const CampaignPoint* p = first_point_at(curve, percent);
+  return p != nullptr ? p->tests : 0;
 }
 
 const char* guidance_name(GuidanceMetric m) {
@@ -72,14 +85,30 @@ const cov::Metric* select_metric(const cov::MetricSuite& suite,
 // count and any scheduling.
 // ---------------------------------------------------------------------------
 
-/// Everything one simulated test contributes to campaign state.
+/// Everything one simulated test contributes to campaign state. Artifacts
+/// are pooled: the engine keeps one per batch slot alive for the whole
+/// campaign, and begin() re-arms it without giving back vector capacity, so
+/// the steady-state batch loop performs no per-test allocation.
 struct TestArtifact {
   std::vector<cov::BinDelta> cond_bins;     // condition-coverage slice
   std::vector<std::uint64_t> ctrl_states;   // ctrl states new to the worker
   std::vector<std::size_t> toggle_bins, fsm_bins, stmt_bins;
   std::uint64_t cycles = 0;
   std::uint64_t steps = 0;
-  mismatch::Report report;                  // per-test trace diff
+  mismatch::Report report;                  // per-test commit-stream diff
+
+  void begin() {
+    cond_bins.clear();
+    ctrl_states.clear();
+    toggle_bins.clear();
+    fsm_bins.clear();
+    stmt_bins.clear();
+    cycles = 0;
+    steps = 0;
+    report.mismatches.clear();
+    report.raw_count = 0;
+    report.filtered_count = 0;
+  }
 };
 
 /// One worker's private simulation stack, reused across batches. The ctrl
@@ -100,13 +129,22 @@ struct Worker {
   cov::MetricSuite suite;
   std::unique_ptr<rtl::RtlCore> dut;
   std::unique_ptr<sim::IsaSim> golden;
-  mismatch::MismatchDetector detector;  // compare() only; the campaign-wide
-                                        // tally lives on the coordinator
+  mismatch::MismatchDetector detector;  // filter rules only; the campaign-
+                                        // wide tally lives on the coordinator
+  mismatch::LockstepComparator comparator;
+  sim::DiscardSink discard;
 };
 
+/// Simulate one test, streaming. The DUT's commit stream feeds the lockstep
+/// comparator (which pulls the golden model one instruction at a time and
+/// stops it as soon as the comparison is decided) or a discard sink when
+/// mismatch detection is off — no trace is materialized on either side, and
+/// every coverage sweep below runs over this test's dirty-bin journals, not
+/// the whole instrumentation layout.
 void run_one(Worker& w, const CampaignConfig& cfg, bool use_suite,
              const Program& test, std::uint64_t test_index,
              TestArtifact& out) {
+  out.begin();
   w.db.reset_hits();  // shard holds exactly this test's hits afterwards
   if (use_suite) w.suite.begin_test();
   w.dut->ctrl_cov().begin_test();
@@ -118,11 +156,22 @@ void run_one(Worker& w, const CampaignConfig& cfg, bool use_suite,
     w.dut->set_reg_seed(reg_seed);
     w.golden->set_reg_seed(reg_seed);
   }
+  if (cfg.mismatch_detection) {
+    // Arm the comparator (which sinks the golden model) before the golden
+    // reset, so the reset skips its trace scratch like the DUT's does.
+    w.comparator.begin(w.detector, *w.golden, out.report);
+    w.golden->reset(test);
+    w.dut->set_sink(&w.comparator);
+  } else {
+    w.dut->set_sink(&w.discard);
+  }
   w.dut->reset(test);
   const sim::RunResult dut_run = w.dut->run();
+  if (cfg.mismatch_detection) w.comparator.finish();
+  w.dut->set_sink(nullptr);
   w.dut->ctrl_cov().set_recorder(nullptr);
 
-  out.cond_bins = cov::extract_bins(w.db);
+  cov::extract_bins(w.db, out.cond_bins);
   if (use_suite) {
     w.suite.toggle().append_test_bins(out.toggle_bins);
     w.suite.fsm().append_test_bins(out.fsm_bins);
@@ -130,12 +179,6 @@ void run_one(Worker& w, const CampaignConfig& cfg, bool use_suite,
   }
   out.cycles = w.dut->cycles();
   out.steps = dut_run.steps;
-
-  if (cfg.mismatch_detection) {
-    w.golden->reset(test);
-    const sim::RunResult gold_run = w.golden->run();
-    out.report = w.detector.compare(dut_run.trace, gold_run.trace);
-  }
 }
 
 /// The selected guidance metric's per-test bins within an artifact.
@@ -276,6 +319,14 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
                                              cfg.stop_after_tests);
   std::size_t last_snapshot_tests = result.tests_run;
 
+  // Pooled batch scratch: artifacts and fold vectors live for the whole
+  // campaign and only ever grow, so after the first batch the engine
+  // allocates nothing per test beyond what a test's own novelty requires.
+  std::vector<TestArtifact> artifacts;
+  std::vector<cov::TestCoverage> coverages;
+  std::vector<std::uint64_t> ctrl_new;
+  std::vector<std::uint32_t> new_bins;
+
   while (result.tests_run < cfg.num_tests) {
     const std::size_t want =
         std::min(cfg.batch_size, cfg.num_tests - result.tests_run);
@@ -286,7 +337,7 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
     // Simulate the batch across the pool. Workers claim tests through the
     // shared counter, so each worker's tests are in increasing global order
     // (the invariant the ctrl-state replay relies on).
-    std::vector<TestArtifact> artifacts(batch.size());
+    if (artifacts.size() < batch.size()) artifacts.resize(batch.size());
     std::atomic<std::size_t> next{0};
     // A throw on a pooled thread may not escape (std::terminate) and a
     // throw on the coordinator must not leave joinable threads behind, so
@@ -323,21 +374,19 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
 
     // Fold artifacts in canonical test order: identical arithmetic to a
     // sequential run, including curve checkpoints at exact test indices.
-    std::vector<cov::TestCoverage> coverages;
-    std::vector<std::uint64_t> ctrl_new;
+    coverages.clear();
+    ctrl_new.clear();
     coverages.reserve(batch.size());
     ctrl_new.reserve(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const TestArtifact& art = artifacts[i];
-      // total_covered() is an O(bins) scan — only pay for it when condition
-      // coverage is the guidance signal and the delta is actually consumed.
-      const bool cond_guided = guide == nullptr &&
-                               cfg.guidance != GuidanceMetric::kCtrlReg;
-      const std::size_t cond_before = cond_guided ? db.total_covered() : 0;
+      // Running covered counts: both reads are O(1) on the journaled DBs,
+      // so the coordinator no longer rescans the bin universe per test.
+      const std::size_t cond_before = db.total_covered();
       const std::size_t guide_before = guide ? guide->covered() : 0;
       // Coverage attribution for the corpus store: the condition bins this
       // test covers FIRST, taken before its delta lands in the DB.
-      std::vector<std::uint32_t> new_bins;
+      new_bins.clear();
       if (persist) {
         for (const cov::BinDelta& d : art.cond_bins) {
           if (!db.bin_covered(d.bin)) new_bins.push_back(d.bin);
@@ -388,7 +437,7 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
         meta.mismatches =
             static_cast<std::uint32_t>(art.report.mismatches.size());
         meta.ctrl_new = ctrl.test_new_states();
-        meta.new_bins = std::move(new_bins);
+        meta.new_bins = new_bins;  // copy: the scratch vector is pooled
         const ser::Status s = store.append(batch[i], meta);
         if (!s.ok()) throw std::runtime_error(s.message());
       }

@@ -11,25 +11,18 @@ PointId CoverageDB::register_cond(std::string name) {
   names_.push_back(std::move(name));
   hits_.push_back(0);
   hits_.push_back(0);
-  test_bins_.push_back(0);
-  test_bins_.push_back(0);
+  if (dirty_.size() * 64 < hits_.size()) {
+    dirty_.push_back(0);
+    test_dirty_.push_back(0);
+  }
   return id;
 }
 
 void CoverageDB::begin_test() {
-  std::fill(test_bins_.begin(), test_bins_.end(), 0);
-}
-
-std::size_t CoverageDB::total_covered() const {
-  std::size_t n = 0;
-  for (std::uint64_t h : hits_) n += h != 0 ? 1 : 0;
-  return n;
-}
-
-std::size_t CoverageDB::test_covered() const {
-  std::size_t n = 0;
-  for (std::uint8_t b : test_bins_) n += b;
-  return n;
+  // The bitmap IS the stand-alone hit set: zeroing its words clears it in
+  // O(num_bins / 64).
+  std::fill(test_dirty_.begin(), test_dirty_.end(), 0);
+  test_covered_ = 0;
 }
 
 double CoverageDB::total_percent() const {
@@ -39,8 +32,18 @@ double CoverageDB::total_percent() const {
 }
 
 void CoverageDB::reset_hits() {
-  std::fill(hits_.begin(), hits_.end(), 0);
-  std::fill(test_bins_.begin(), test_bins_.end(), 0);
+  // Clear only the hit counters the dirty bitmap marks.
+  for (std::size_t w = 0; w < dirty_.size(); ++w) {
+    std::uint64_t bits = dirty_[w];
+    while (bits != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctzll(bits));
+      bits &= bits - 1;
+      hits_[w * 64 + b] = 0;
+    }
+    dirty_[w] = 0;
+  }
+  covered_ = 0;
+  begin_test();
 }
 
 std::uint64_t CoverageDB::layout_fingerprint() const {
@@ -70,7 +73,16 @@ bool CoverageDB::restore_state(ser::Reader& r) {
     return false;
   }
   hits_ = std::move(hits);
-  std::fill(test_bins_.begin(), test_bins_.end(), 0);
+  // Rebuild the dirty bitmap and covered count from the restored counters.
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  covered_ = 0;
+  for (std::size_t bin = 0; bin < hits_.size(); ++bin) {
+    if (hits_[bin] != 0) {
+      dirty_[bin >> 6] |= 1ull << (bin & 63);
+      ++covered_;
+    }
+  }
+  begin_test();
   return true;
 }
 

@@ -25,11 +25,22 @@ class CoverageDB {
   PointId register_cond(std::string name);
 
   /// Record one evaluation of a condition. Sets the cumulative bin and the
-  /// current test's stand-alone bin.
+  /// current test's stand-alone bin, marking first touches in the dirty-bin
+  /// bitmaps so every per-test sweep (begin_test/reset_hits/extraction) is
+  /// O(dirty words), not O(all registered bins), and the covered counts are
+  /// running counters.
   void hit(PointId id, bool outcome) {
     const std::size_t bin = 2 * static_cast<std::size_t>(id) + (outcome ? 1 : 0);
-    ++hits_[bin];
-    test_bins_[bin] = 1;
+    if (hits_[bin]++ == 0) {
+      dirty_[bin >> 6] |= 1ull << (bin & 63);
+      ++covered_;
+    }
+    const std::uint64_t mask = 1ull << (bin & 63);
+    std::uint64_t& w = test_dirty_[bin >> 6];
+    if ((w & mask) == 0) {
+      w |= mask;
+      ++test_covered_;
+    }
   }
 
   /// Bulk accumulation (coverage merging); does not touch the per-test set.
@@ -37,10 +48,32 @@ class CoverageDB {
     add_bin_hits(2 * static_cast<std::size_t>(id) + (outcome ? 1 : 0), n);
   }
 
+  /// Deferred-instrumentation fold: record `n` evaluations of a condition
+  /// in one call. Cumulative counters AND the per-test stand-alone set end
+  /// up exactly as `n` individual hit() calls would leave them.
+  void hit_n(PointId id, bool outcome, std::uint64_t n) {
+    if (n == 0) return;
+    const std::size_t bin = 2 * static_cast<std::size_t>(id) + (outcome ? 1 : 0);
+    add_bin_hits(bin, n);
+    const std::uint64_t mask = 1ull << (bin & 63);
+    std::uint64_t& w = test_dirty_[bin >> 6];
+    if ((w & mask) == 0) {
+      w |= mask;
+      ++test_covered_;
+    }
+  }
+
   /// Raw-bin accumulation: `bin` uses this DB's own bin indexing (the same
   /// one bin_hits() reads), so sparse slices round-trip without re-deriving
   /// the point/outcome encoding elsewhere.
-  void add_bin_hits(std::size_t bin, std::uint64_t n) { hits_[bin] += n; }
+  void add_bin_hits(std::size_t bin, std::uint64_t n) {
+    if (n == 0) return;
+    if (hits_[bin] == 0) {
+      dirty_[bin >> 6] |= 1ull << (bin & 63);
+      ++covered_;
+    }
+    hits_[bin] += n;
+  }
 
   /// Mark the start of a new test input: clears the stand-alone hit set.
   void begin_test();
@@ -50,14 +83,23 @@ class CoverageDB {
   const std::string& point_name(PointId id) const { return names_[id]; }
   std::uint64_t bin_hits(std::size_t bin) const { return hits_[bin]; }
   bool bin_covered(std::size_t bin) const { return hits_[bin] != 0; }
-  bool test_bin_hit(std::size_t bin) const { return test_bins_[bin] != 0; }
+  bool test_bin_hit(std::size_t bin) const {
+    return (test_dirty_[bin >> 6] & (1ull << (bin & 63))) != 0;
+  }
 
-  /// Cumulative covered-bin count.
-  std::size_t total_covered() const;
-  /// Covered-bin count of the current test alone.
-  std::size_t test_covered() const;
-  /// Cumulative coverage as a percentage of all bins.
+  /// Cumulative covered-bin count (running counter, O(1)).
+  std::size_t total_covered() const { return covered_; }
+  /// Covered-bin count of the current test alone (running counter, O(1)).
+  std::size_t test_covered() const { return test_covered_; }
+  /// Cumulative coverage as a percentage of all bins (O(1)).
   double total_percent() const;
+
+  /// Dirty-bin bitmap of the cumulative side: one bit per bin whose hit
+  /// count is nonzero. Word-ordered bitmap walks give extraction in
+  /// ascending bin order with no sorting; for a per-test worker shard
+  /// (reset before each test) the set bits are exactly the bins the test
+  /// touched.
+  const std::vector<std::uint64_t>& dirty_words() const { return dirty_; }
 
   /// Reset cumulative hit counts (new campaign), keeping registered points.
   void reset_hits();
@@ -73,8 +115,15 @@ class CoverageDB {
  private:
   std::uint64_t layout_fingerprint() const;
   std::vector<std::string> names_;
-  std::vector<std::uint64_t> hits_;     // 2 bins per point
-  std::vector<std::uint8_t> test_bins_; // stand-alone hit set
+  std::vector<std::uint64_t> hits_;  // 2 bins per point
+  // Dirty-bin bitmaps + running covered counters. Invariants every mutator
+  // maintains: bit b of dirty_ is set iff hits_[b] != 0, covered_ counts
+  // the set bits of dirty_, and test_covered_ those of test_dirty_ (the
+  // stand-alone hit set, cleared by begin_test).
+  std::vector<std::uint64_t> dirty_;
+  std::vector<std::uint64_t> test_dirty_;
+  std::size_t covered_ = 0;
+  std::size_t test_covered_ = 0;
 };
 
 /// Per-test values the paper's Coverage Calculator produces (§IV-B).

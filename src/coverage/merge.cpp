@@ -1,5 +1,6 @@
 #include "coverage/merge.h"
 
+#include <algorithm>
 #include <map>
 
 namespace chatfuzz::cov {
@@ -39,13 +40,24 @@ std::vector<ReportEntry> merge_reports(
 
 std::vector<BinDelta> extract_bins(const CoverageDB& src) {
   std::vector<BinDelta> out;
-  for (std::size_t bin = 0; bin < src.num_bins(); ++bin) {
-    const std::uint64_t hits = src.bin_hits(bin);
-    if (hits != 0) {
-      out.push_back({static_cast<std::uint32_t>(bin), hits});
+  extract_bins(src, out);
+  return out;
+}
+
+void extract_bins(const CoverageDB& src, std::vector<BinDelta>& out) {
+  out.clear();
+  // Word-ordered walk of the dirty bitmap yields bins in ascending order,
+  // exactly like the full scan — no sorting pass.
+  const std::vector<std::uint64_t>& words = src.dirty_words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bits = words[w];
+    while (bits != 0) {
+      const auto bin = static_cast<std::uint32_t>(
+          w * 64 + static_cast<unsigned>(__builtin_ctzll(bits)));
+      bits &= bits - 1;
+      out.push_back({bin, src.bin_hits(bin)});
     }
   }
-  return out;
 }
 
 void apply_bins(CoverageDB& dst, const std::vector<BinDelta>& bins) {

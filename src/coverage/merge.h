@@ -31,6 +31,12 @@ struct BinDelta {
 /// Extract every nonzero bin of `src` (ascending bin order).
 std::vector<BinDelta> extract_bins(const CoverageDB& src);
 
+/// Pooled variant for the campaign hot path: clears `out` (keeping its
+/// capacity) and fills it by walking the DB's dirty-bin bitmap, which
+/// yields the same ascending order the full scan produces — O(dirty words)
+/// instead of O(universe), and allocation-free once `out` has grown.
+void extract_bins(const CoverageDB& src, std::vector<BinDelta>& out);
+
 /// Accumulate a sparse slice into `dst` (hit counts add). The slice must
 /// come from a DB with identical point registrations.
 void apply_bins(CoverageDB& dst, const std::vector<BinDelta>& bins);

@@ -1,5 +1,7 @@
 #include "coverage/multi.h"
 
+#include <algorithm>
+
 namespace chatfuzz::cov {
 
 // ---- ToggleCoverage ---------------------------------------------------------
@@ -7,10 +9,10 @@ namespace chatfuzz::cov {
 ToggleCoverage::ToggleCoverage(unsigned num_regs)
     : num_regs_(num_regs),
       bins_(static_cast<std::size_t>(num_regs) * 128, 0),
-      test_bins_(bins_.size(), 0) {}
+      test_dirty_((bins_.size() + 63) / 64, 0) {}
 
 void ToggleCoverage::begin_test() {
-  std::fill(test_bins_.begin(), test_bins_.end(), 0);
+  std::fill(test_dirty_.begin(), test_dirty_.end(), 0);
   test_covered_ = 0;
 }
 
@@ -28,16 +30,23 @@ void ToggleCoverage::observe_write(unsigned reg, std::uint64_t old_value,
       bins_[idx] = 1;
       ++covered_;
     }
-    if (test_bins_[idx] == 0) {
-      test_bins_[idx] = 1;
+    const std::uint64_t mask = 1ull << (idx & 63);
+    std::uint64_t& w = test_dirty_[idx >> 6];
+    if ((w & mask) == 0) {
+      w |= mask;
       ++test_covered_;
     }
   }
 }
 
 void ToggleCoverage::append_test_bins(std::vector<std::size_t>& out) const {
-  for (std::size_t i = 0; i < test_bins_.size(); ++i) {
-    if (test_bins_[i]) out.push_back(i);
+  // Word-ordered bitmap walk: ascending universe order, like a full scan.
+  for (std::size_t w = 0; w < test_dirty_.size(); ++w) {
+    std::uint64_t bits = test_dirty_[w];
+    while (bits != 0) {
+      out.push_back(w * 64 + static_cast<unsigned>(__builtin_ctzll(bits)));
+      bits &= bits - 1;
+    }
   }
 }
 
@@ -83,8 +92,14 @@ FsmCoverage::FsmId FsmCoverage::register_fsm(
 
 void FsmCoverage::begin_test() {
   for (Fsm& f : fsms_) {
-    std::fill(f.state_test.begin(), f.state_test.end(), 0);
-    std::fill(f.trans_test.begin(), f.trans_test.end(), 0);
+    for (const std::uint32_t local : f.test_journal) {
+      if (local < f.num_states) {
+        f.state_test[local] = 0;
+      } else {
+        f.trans_test[local - f.num_states] = 0;
+      }
+    }
+    f.test_journal.clear();
   }
   test_covered_ = 0;
 }
@@ -98,6 +113,7 @@ void FsmCoverage::observe(FsmId fsm, unsigned from, unsigned to) {
     }
     if (f.state_test[to] == 0) {
       f.state_test[to] = 1;
+      f.test_journal.push_back(to);
       ++test_covered_;
     }
   }
@@ -110,6 +126,8 @@ void FsmCoverage::observe(FsmId fsm, unsigned from, unsigned to) {
       }
       if (f.trans_test[i] == 0) {
         f.trans_test[i] = 1;
+        f.test_journal.push_back(
+            static_cast<std::uint32_t>(f.num_states + i));
         ++test_covered_;
       }
       break;
@@ -118,16 +136,15 @@ void FsmCoverage::observe(FsmId fsm, unsigned from, unsigned to) {
 }
 
 // Universe layout follows registration order: for each FSM, its state bins
-// then its transition bins. Both traversals below must agree on it.
+// then its transition bins. Both traversals below must agree on it. Local
+// journal offsets already encode states before transitions, so sorting the
+// per-FSM appended range reproduces the full-scan order exactly.
 void FsmCoverage::append_test_bins(std::vector<std::size_t>& out) const {
   std::size_t base = 0;
   for (const Fsm& f : fsms_) {
-    for (std::size_t s = 0; s < f.state_test.size(); ++s) {
-      if (f.state_test[s]) out.push_back(base + s);
-    }
-    for (std::size_t t = 0; t < f.trans_test.size(); ++t) {
-      if (f.trans_test[t]) out.push_back(base + f.num_states + t);
-    }
+    const std::size_t first = out.size();
+    for (const std::uint32_t local : f.test_journal) out.push_back(base + local);
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
     base += f.num_states + f.transitions.size();
   }
 }
@@ -204,14 +221,15 @@ StatementCoverage::StmtId StatementCoverage::register_stmt(std::string name) {
 }
 
 void StatementCoverage::begin_test() {
-  std::fill(test_hit_.begin(), test_hit_.end(), 0);
+  for (const std::uint32_t idx : test_journal_) test_hit_[idx] = 0;
+  test_journal_.clear();
   test_covered_ = 0;
 }
 
 void StatementCoverage::append_test_bins(std::vector<std::size_t>& out) const {
-  for (std::size_t i = 0; i < test_hit_.size(); ++i) {
-    if (test_hit_[i]) out.push_back(i);
-  }
+  const std::size_t first = out.size();
+  for (const std::uint32_t idx : test_journal_) out.push_back(idx);
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
 }
 
 void StatementCoverage::cover_bin(std::size_t universe_index) {
@@ -228,6 +246,7 @@ void StatementCoverage::hit(StmtId id) {
   }
   if (test_hit_[id] == 0) {
     test_hit_[id] = 1;
+    test_journal_.push_back(static_cast<std::uint32_t>(id));
     ++test_covered_;
   }
 }

@@ -78,8 +78,10 @@ class ToggleCoverage final : public Metric {
 
  private:
   unsigned num_regs_;
-  std::vector<std::uint8_t> bins_;       // [reg*128 + bit*2 + dir]
-  std::vector<std::uint8_t> test_bins_;
+  std::vector<std::uint8_t> bins_;  // [reg*128 + bit*2 + dir]
+  // Per-test hit set as a bitmap: begin_test zeroes O(universe/64) words
+  // and append_test_bins walks set bits in ascending order.
+  std::vector<std::uint64_t> test_dirty_;
   std::size_t covered_ = 0;
   std::size_t test_covered_ = 0;
 };
@@ -121,6 +123,9 @@ class FsmCoverage final : public Metric {
     std::vector<std::pair<unsigned, unsigned>> transitions;
     std::vector<std::uint8_t> state_hit, state_test;
     std::vector<std::uint8_t> trans_hit, trans_test;
+    // Per-test journal of local bin offsets (state s, or num_states + t for
+    // transition t), first-hit order; mirrors the test-bit vectors.
+    std::vector<std::uint32_t> test_journal;
   };
   std::vector<Fsm> fsms_;
   std::size_t universe_ = 0;
@@ -151,6 +156,7 @@ class StatementCoverage final : public Metric {
  private:
   std::vector<std::string> names_;
   std::vector<std::uint8_t> hit_, test_hit_;
+  std::vector<std::uint32_t> test_journal_;  // mirrors test_hit_
   std::size_t covered_ = 0;
   std::size_t test_covered_ = 0;
 };

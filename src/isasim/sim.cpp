@@ -42,8 +42,9 @@ void IsaSim::reset(std::span<const std::uint32_t> program) {
   trace_.clear();
   // One reservation up front: the commit trace grows to max_steps on every
   // step-limited test, and mid-campaign reallocation of a vector this hot
-  // shows up in profiles.
-  trace_.reserve(plat_.max_steps);
+  // shows up in profiles. Skipped entirely while a sink is attached — the
+  // streaming path keeps the trace empty.
+  if (sink_ == nullptr) trace_.reserve(plat_.max_steps);
   stopped_ = false;
   stop_reason_ = StopReason::kStepLimit;
   steps_ = 0;
@@ -253,7 +254,11 @@ std::optional<CommitRecord> IsaSim::step() {
 
   execute(*d, rec);
   if (rec.exception == Exception::kNone) ++csrs_.instret;
-  trace_.push_back(rec);
+  if (sink_ != nullptr) {
+    sink_->on_commit(rec);
+  } else {
+    trace_.push_back(rec);
+  }
   return rec;
 }
 

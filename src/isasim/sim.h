@@ -56,6 +56,12 @@ class IsaSim {
   /// Both sides of a co-simulation must be given the same seed.
   void set_reg_seed(std::uint64_t seed) { plat_.reg_seed = seed; }
 
+  /// Stream commits to `sink` instead of the internal trace (nullptr
+  /// restores trace collection). While a sink is attached, trace() stays
+  /// empty and run() returns an empty RunResult::trace — the streaming path
+  /// never materializes one.
+  void set_sink(CommitSink* sink) { sink_ = sink; }
+
  private:
   struct CsrFile {
     std::uint64_t mstatus = 0;
@@ -94,6 +100,7 @@ class IsaSim {
   std::uint64_t program_end_ = 0;
 
   Trace trace_;
+  CommitSink* sink_ = nullptr;
   bool stopped_ = true;
   StopReason stop_reason_ = StopReason::kStepLimit;
   std::uint64_t steps_ = 0;

@@ -37,6 +37,37 @@ struct CommitRecord {
 
 using Trace = std::vector<CommitRecord>;
 
+/// Streaming consumer of commit records. A simulator with a sink attached
+/// emits every committed (or trapped) instruction to it, in commit order,
+/// instead of appending to its internal heap Trace — the campaign hot path
+/// runs the whole co-simulate/compare pipeline without ever materializing a
+/// trace. Sinks are borrowed, never owned, and must outlive the run.
+class CommitSink {
+ public:
+  virtual ~CommitSink() = default;
+  virtual void on_commit(const CommitRecord& rec) = 0;
+};
+
+/// Adapter that materializes the stream into a caller-owned Trace — the
+/// bridge that keeps RunResult::trace available for the replay / minimize /
+/// disasm tools on top of sink-based simulators.
+class TraceSink final : public CommitSink {
+ public:
+  explicit TraceSink(Trace& out) : out_(&out) {}
+  void on_commit(const CommitRecord& rec) override { out_->push_back(rec); }
+
+ private:
+  Trace* out_;
+};
+
+/// Swallows the stream. Attached when only the side effects of a run matter
+/// (coverage collection with mismatch detection off), so no trace bytes are
+/// written at all.
+class DiscardSink final : public CommitSink {
+ public:
+  void on_commit(const CommitRecord&) override {}
+};
+
 /// Why a simulation run ended.
 enum class StopReason {
   kPcEscape,      // pc left the RAM window (normal end for fuzz inputs)

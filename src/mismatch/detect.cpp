@@ -123,6 +123,15 @@ FilterRule counter_csr_filter() {
   };
 }
 
+bool MismatchDetector::finalize(Mismatch& m) const {
+  m.signature = signature_of(m);
+  m.finding = classify(m);
+  for (const FilterRule& rule : filters_) {
+    if (rule(m)) return false;
+  }
+  return true;
+}
+
 Report MismatchDetector::compare(const sim::Trace& dut,
                                  const sim::Trace& golden) const {
   Report report;
@@ -130,13 +139,9 @@ Report MismatchDetector::compare(const sim::Trace& dut,
 
   auto emit = [&](Mismatch&& m) {
     ++report.raw_count;
-    m.signature = signature_of(m);
-    m.finding = classify(m);
-    for (const FilterRule& rule : filters_) {
-      if (rule(m)) {
-        ++report.filtered_count;
-        return;
-      }
+    if (!finalize(m)) {
+      ++report.filtered_count;
+      return;
     }
     report.mismatches.push_back(std::move(m));
   };

@@ -80,6 +80,12 @@ class MismatchDetector {
   /// cause), matching how trace diffing is done in practice.
   Report compare(const sim::Trace& dut, const sim::Trace& golden) const;
 
+  /// Finish a raw mismatch record: fills signature and finding, then runs
+  /// the filter rules. Returns false when a rule suppresses it. Shared by
+  /// compare() and the streaming LockstepComparator so both emit identical
+  /// Report contents.
+  bool finalize(Mismatch& m) const;
+
   /// Accumulate a report into the campaign-wide tally.
   void accumulate(const Report& report);
 

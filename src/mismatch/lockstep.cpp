@@ -1,0 +1,98 @@
+#include "mismatch/lockstep.h"
+
+namespace chatfuzz::mismatch {
+
+void LockstepComparator::begin(const MismatchDetector& detector,
+                               sim::IsaSim& golden, Report& out) {
+  detector_ = &detector;
+  golden_ = &golden;
+  out_ = &out;
+  out.mismatches.clear();  // reused across tests; capacity is retained
+  out.raw_count = 0;
+  out.filtered_count = 0;
+  index_ = 0;
+  diverged_ = false;
+  golden_short_ = false;
+  golden.set_sink(&discard_);
+}
+
+void LockstepComparator::emit(Mismatch&& m) {
+  ++out_->raw_count;
+  if (!detector_->finalize(m)) {
+    ++out_->filtered_count;
+    return;
+  }
+  out_->mismatches.push_back(std::move(m));
+}
+
+void LockstepComparator::on_commit(const sim::CommitRecord& d) {
+  // Past the first control-flow divergence everything is noise from the
+  // same root cause, and past the golden model's end there is nothing left
+  // to pull — either way the remaining DUT commits only matter to coverage.
+  if (diverged_ || golden_short_) return;
+  const std::optional<sim::CommitRecord> g = golden_->step();
+  if (!g) {
+    // Golden trace ended first. Stage the length mismatch now: the current
+    // DUT record is its first unmatched commit, the previous pair holds the
+    // golden model's final one.
+    golden_short_ = true;
+    length_ = Mismatch{Kind::kLength, index_, {}, {}, {}, Finding::kOther};
+    if (index_ > 0) {
+      length_.dut = d;
+      length_.golden = last_golden_;
+    }
+    return;
+  }
+  if (d.pc != g->pc) {
+    emit({Kind::kPcDivergence, index_, d, *g, {}, Finding::kOther});
+    diverged_ = true;
+    return;
+  }
+  if (d.instr != g->instr) {
+    emit({Kind::kStaleInstr, index_, d, *g, {}, Finding::kOther});
+    diverged_ = true;
+    return;
+  }
+  if (d.exception != g->exception) {
+    emit({Kind::kException, index_, d, *g, {}, Finding::kOther});
+  }
+  if (d.has_rd_write != g->has_rd_write) {
+    emit({Kind::kRdPresence, index_, d, *g, {}, Finding::kOther});
+  } else if (d.has_rd_write && (d.rd != g->rd || d.rd_value != g->rd_value)) {
+    emit({Kind::kRdValue, index_, d, *g, {}, Finding::kOther});
+  }
+  if (d.has_mem != g->has_mem) {
+    emit({Kind::kMemPresence, index_, d, *g, {}, Finding::kOther});
+  } else if (d.has_mem &&
+             (d.mem_addr != g->mem_addr || d.mem_value != g->mem_value ||
+              d.mem_size != g->mem_size)) {
+    emit({Kind::kMemValue, index_, d, *g, {}, Finding::kOther});
+  }
+  last_dut_ = d;
+  last_golden_ = *g;
+  ++index_;
+}
+
+void LockstepComparator::finish() {
+  if (!diverged_) {
+    if (golden_short_) {
+      emit(std::move(length_));
+    } else if (const std::optional<sim::CommitRecord> g = golden_->step()) {
+      // Every DUT commit was matched; one probe step decides whether the
+      // golden trace runs longer. This replaces running the golden model to
+      // its own step limit just to learn the two lengths differ.
+      Mismatch m{Kind::kLength, index_, {}, {}, {}, Finding::kOther};
+      if (index_ > 0) {
+        m.dut = last_dut_;
+        m.golden = *g;
+      }
+      emit(std::move(m));
+    }
+  }
+  golden_->set_sink(nullptr);
+  detector_ = nullptr;
+  golden_ = nullptr;
+  out_ = nullptr;
+}
+
+}  // namespace chatfuzz::mismatch

@@ -1,0 +1,56 @@
+// Streaming lockstep co-simulation: a CommitSink that diffs the DUT's
+// commit stream against the golden model while the DUT is still running.
+// Attach it as the DUT's sink; every DUT commit pulls exactly one golden
+// commit and compares the pair on the spot, so neither side ever
+// materializes a trace and the golden model executes at most one
+// instruction past the DUT's last commit. Comparison semantics are
+// byte-for-byte those of MismatchDetector::compare() on the two full
+// traces — same mismatch kinds, indices, records, signatures, findings,
+// filter decisions and counts — which the lockstep parity suite enforces.
+#pragma once
+
+#include "isasim/sim.h"
+#include "isasim/trace.h"
+#include "mismatch/detect.h"
+
+namespace chatfuzz::mismatch {
+
+class LockstepComparator final : public sim::CommitSink {
+ public:
+  LockstepComparator() = default;
+
+  /// Arm for one test. `golden` must be reset to the same program (and
+  /// register seed) as the DUT — resetting it AFTER begin() lets the reset
+  /// see the attached sink and skip its trace scratch; the comparator steps
+  /// it on demand and swallows its commit stream, so it stops early once
+  /// the comparison has diverged. `out` is cleared and reused — pooled
+  /// campaign artifacts keep their mismatch capacity across tests.
+  /// `detector` supplies the filter rules; all three must outlive the run.
+  void begin(const MismatchDetector& detector, sim::IsaSim& golden,
+             Report& out);
+
+  /// DUT commit arrives: pull the matching golden commit and compare.
+  void on_commit(const sim::CommitRecord& dut) override;
+
+  /// The DUT run ended: resolve the trace-length check (one golden probe
+  /// step at most) and detach from the golden model.
+  void finish();
+
+ private:
+  void emit(Mismatch&& m);
+
+  const MismatchDetector* detector_ = nullptr;
+  sim::IsaSim* golden_ = nullptr;
+  Report* out_ = nullptr;
+  std::size_t index_ = 0;     // compared pairs so far
+  bool diverged_ = false;     // control flow split; comparison is over
+  bool golden_short_ = false; // golden ended first; length staged below
+  Mismatch length_;
+  // The most recent compared pair — the only per-test context kept
+  // (length-mismatch reports cite the records flanking the point where one
+  // trace ended).
+  sim::CommitRecord last_dut_, last_golden_;
+  sim::DiscardSink discard_;
+};
+
+}  // namespace chatfuzz::mismatch

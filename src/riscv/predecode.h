@@ -28,6 +28,7 @@ class PredecodeCache {
   struct Entry {
     std::uint64_t pc = kEmpty;
     std::uint32_t raw = 0;
+    bool listed = false;  // slot is on the used-slot list (see flush())
     Decoded d{};
   };
 
@@ -51,7 +52,7 @@ class PredecodeCache {
 
   /// Record the word fetched at `pc` and return its decode.
   const Decoded& insert(std::uint64_t pc, std::uint32_t raw) {
-    Entry& e = entries_[index(pc)];
+    Entry& e = touched(pc);
     e.pc = pc;
     e.raw = raw;
     e.d = decode(raw);
@@ -62,7 +63,7 @@ class PredecodeCache {
   /// returns the cached decode when both pc and word match, refills
   /// otherwise. Always equivalent to decode(raw).
   const Decoded& lookup(std::uint64_t pc, std::uint32_t raw) {
-    Entry& e = entries_[index(pc)];
+    Entry& e = touched(pc);
     if (e.pc != pc || e.raw != raw) {
       e.pc = pc;
       e.raw = raw;
@@ -85,9 +86,15 @@ class PredecodeCache {
     }
   }
 
-  /// Drop everything (fence.i, reset, external memory writes).
+  /// Drop everything (fence.i, reset, external memory writes). O(slots
+  /// ever filled since the last flush), not O(cache size): per-test resets
+  /// only sweep the footprint of the program that actually ran.
   void flush() {
-    for (Entry& e : entries_) e.pc = kEmpty;
+    for (const std::uint32_t idx : used_) {
+      entries_[idx].pc = kEmpty;
+      entries_[idx].listed = false;
+    }
+    used_.clear();
   }
 
  private:
@@ -95,8 +102,22 @@ class PredecodeCache {
 
   std::size_t index(std::uint64_t pc) const { return (pc >> 2) & mask_; }
 
+  /// The slot for `pc`, added to the used-slot list on first touch. The
+  /// `listed` flag survives invalidate(), so a slot is listed at most once
+  /// per flush cycle.
+  Entry& touched(std::uint64_t pc) {
+    const std::size_t i = index(pc);
+    Entry& e = entries_[i];
+    if (!e.listed) {
+      e.listed = true;
+      used_.push_back(static_cast<std::uint32_t>(i));
+    }
+    return e;
+  }
+
   std::size_t mask_;
   std::vector<Entry> entries_;
+  std::vector<std::uint32_t> used_;
 };
 
 }  // namespace chatfuzz::riscv

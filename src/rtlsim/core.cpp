@@ -1,5 +1,7 @@
 #include "rtlsim/core.h"
 
+#include <algorithm>
+
 #include "riscv/alu.h"
 #include "riscv/decode.h"
 
@@ -101,6 +103,43 @@ RtlCore::RtlCore(const CoreConfig& cfg, cov::CoverageDB& db, sim::Platform plat)
       dcache_(cfg.dcache_sets, cfg.dcache_ways, cfg.dcache_line),
       predictor_(cfg.btb_entries) {
   register_points();
+  op_count_.assign(riscv::kNumOpcodes + 1, 0);
+  op_priv_count_.assign(2 * (riscv::kNumOpcodes + 1), 0);
+}
+
+void RtlCore::fold_deferred_chains() {
+  if (chain_steps_ == 0) return;
+  const std::uint64_t total = chain_steps_;
+  // Each chain comparator i was evaluated `total` times and true exactly
+  // `count[i]` of them, so the fold reproduces per-instruction evaluation
+  // bin for bin (hit_n also sets the stand-alone test bins).
+  for (std::size_t i = 0; i < riscv::kNumOpcodes; ++i) {
+    const std::uint64_t t = op_count_[i];
+    db_.hit_n(p_dec_op_[i], true, t);
+    db_.hit_n(p_dec_op_[i], false, total - t);
+  }
+  std::fill(op_count_.begin(), op_count_.end(), 0);
+  if (!p_cross_op_priv_.empty()) {
+    for (std::size_t p = 0; p < 2; ++p) {
+      const std::size_t cbase = p * (riscv::kNumOpcodes + 1);
+      const std::size_t base = p * riscv::kNumOpcodes;
+      for (std::size_t i = 0; i < riscv::kNumOpcodes; ++i) {
+        const std::uint64_t t = op_priv_count_[cbase + i];
+        db_.hit_n(p_cross_op_priv_[base + i], true, t);
+        db_.hit_n(p_cross_op_priv_[base + i], false, total - t);
+      }
+    }
+    std::fill(op_priv_count_.begin(), op_priv_count_.end(), 0);
+  }
+  if (!p_cross_priv_class_.empty()) {
+    for (std::size_t i = 0; i < priv_class_count_.size(); ++i) {
+      const std::uint64_t t = priv_class_count_[i];
+      db_.hit_n(p_cross_priv_class_[i], true, t);
+      db_.hit_n(p_cross_priv_class_[i], false, total - t);
+    }
+    priv_class_count_.fill(0);
+  }
+  chain_steps_ = 0;
 }
 
 void RtlCore::register_points() {
@@ -338,29 +377,53 @@ void RtlCore::evaluate_cross_units() {
   const bool classes[8] = {ev_.is_load,   ev_.is_store, ev_.is_amo,
                            ev_.is_lrsc,   ev_.is_csr,   ev_.is_muldiv,
                            ev_.is_fencei, ev_.is_branch};
+  // Privilege bucket of this instruction for the deferred histograms
+  // (M-mode instructions count as false on every U/S comparator, which the
+  // fold's `total - true_count` term supplies for free).
+  const int pidx = ev_.priv == Priv::kUser        ? 0
+                   : ev_.priv == Priv::kSupervisor ? 1
+                                                   : -1;
   // priv x class: evaluated every instruction (full-depth build only).
   if (!p_cross_priv_class_.empty()) {
-    for (int p = 0; p < 2; ++p) {
-      const riscv::Priv priv = p == 0 ? Priv::kUser : Priv::kSupervisor;
-      for (int c = 0; c < 8; ++c) {
-        cc(p_cross_priv_class_[p * 8 + c], ev_.priv == priv && classes[c]);
+    if (cfg_.deferred_select_chains) {
+      if (pidx >= 0) {
+        for (int c = 0; c < 8; ++c) {
+          priv_class_count_[static_cast<std::size_t>(pidx) * 8 +
+                            static_cast<std::size_t>(c)] += classes[c] ? 1 : 0;
+        }
+      }
+    } else {
+      for (int p = 0; p < 2; ++p) {
+        const riscv::Priv priv = p == 0 ? Priv::kUser : Priv::kSupervisor;
+        for (int c = 0; c < 8; ++c) {
+          cc(p_cross_priv_class_[p * 8 + c], ev_.priv == priv && classes[c]);
+        }
       }
     }
   }
   // privilege-gated decode chains (depth 2).
   if (!p_cross_op_priv_.empty()) {
-    for (int p = 0; p < 2; ++p) {
-      const riscv::Priv priv = p == 0 ? Priv::kUser : Priv::kSupervisor;
-      const bool in_priv = ev_.priv == priv;
-      const std::size_t base = static_cast<std::size_t>(p) * riscv::kNumOpcodes;
-      if (!in_priv) {
-        // All comparators evaluate false in one pass.
-        for (std::size_t i = 0; i < riscv::kNumOpcodes; ++i) {
-          db_.hit(p_cross_op_priv_[base + i], false);
-        }
-      } else {
-        for (std::size_t i = 0; i < riscv::kNumOpcodes; ++i) {
-          db_.hit(p_cross_op_priv_[base + i], i == cur_op_index_);
+    if (cfg_.deferred_select_chains) {
+      if (pidx >= 0) {
+        ++op_priv_count_[static_cast<std::size_t>(pidx) *
+                             (riscv::kNumOpcodes + 1) +
+                         cur_op_index_];
+      }
+    } else {
+      for (int p = 0; p < 2; ++p) {
+        const riscv::Priv priv = p == 0 ? Priv::kUser : Priv::kSupervisor;
+        const bool in_priv = ev_.priv == priv;
+        const std::size_t base =
+            static_cast<std::size_t>(p) * riscv::kNumOpcodes;
+        if (!in_priv) {
+          // All comparators evaluate false in one pass.
+          for (std::size_t i = 0; i < riscv::kNumOpcodes; ++i) {
+            db_.hit(p_cross_op_priv_[base + i], false);
+          }
+        } else {
+          for (std::size_t i = 0; i < riscv::kNumOpcodes; ++i) {
+            db_.hit(p_cross_op_priv_[base + i], i == cur_op_index_);
+          }
         }
       }
     }
@@ -433,6 +496,9 @@ void RtlCore::evaluate_cross_units() {
 }
 
 void RtlCore::reset(std::span<const std::uint32_t> program) {
+  // A run abandoned mid-flight still owns deferred chain counters; land
+  // them first so the DB holds every evaluation the old code would have.
+  fold_deferred_chains();
   mem_.clear();
   mem_.load_words(plat_.ram_base, program);
   regs_ = sim::initial_regs(plat_);
@@ -460,7 +526,10 @@ void RtlCore::reset(std::span<const std::uint32_t> program) {
   last_ctrl_pack_ = 0;
   program_end_ = plat_.ram_base + 4 * program.size();
   trace_.clear();
-  trace_.reserve(plat_.max_steps);
+  // Same scratch policy as IsaSim::reset(): reserve the full-depth commit
+  // trace once up front, and not at all while a sink is attached (the
+  // streaming path keeps the trace empty).
+  if (sink_ == nullptr) trace_.reserve(plat_.max_steps);
   stopped_ = false;
   stop_reason_ = sim::StopReason::kStepLimit;
   steps_ = 0;
@@ -680,15 +749,20 @@ void RtlCore::evaluate_background_units(const Decoded& d) {
 }
 
 std::optional<CommitRecord> RtlCore::step() {
-  if (stopped_) return std::nullopt;
+  if (stopped_) {
+    fold_deferred_chains();
+    return std::nullopt;
+  }
   if (steps_ >= plat_.max_steps) {
     stopped_ = true;
     stop_reason_ = sim::StopReason::kStepLimit;
+    fold_deferred_chains();
     return std::nullopt;
   }
   if (!mem_.in_ram(pc_, 4)) {
     stopped_ = true;
     stop_reason_ = sim::StopReason::kPcEscape;
+    fold_deferred_chains();
     return std::nullopt;
   }
 
@@ -715,6 +789,7 @@ std::optional<CommitRecord> RtlCore::step() {
   if (raw == 0) {
     stopped_ = true;
     stop_reason_ = sim::StopReason::kProgramEnd;
+    fold_deferred_chains();
     return std::nullopt;
   }
   ++steps_;
@@ -767,8 +842,15 @@ std::optional<CommitRecord> RtlCore::step() {
     ev_.is_jump = d.op == Opcode::kJal || d.op == Opcode::kJalr;
   }
   // Per-opcode select chain (one comparator per table row, as in RTL).
-  for (std::size_t i = 0; i < p_dec_op_.size(); ++i) {
-    cc(p_dec_op_[i], d.valid() && static_cast<std::size_t>(d.op) == i);
+  // Deferred mode histograms the decoded opcode instead of touching every
+  // comparator's bin here; fold_deferred_chains() lands the same counts.
+  if (cfg_.deferred_select_chains) {
+    ++chain_steps_;
+    ++op_count_[cur_op_index_];
+  } else {
+    for (std::size_t i = 0; i < p_dec_op_.size(); ++i) {
+      cc(p_dec_op_[i], d.valid() && static_cast<std::size_t>(d.op) == i);
+    }
   }
 
   evaluate_background_units(d);
@@ -814,7 +896,12 @@ std::optional<CommitRecord> RtlCore::step() {
   ctrl_cov_.observe(pack ^ (last_ctrl_pack_ << 13));  // sequence-sensitive
   last_ctrl_pack_ = pack;
 
-  trace_.push_back(rec);
+  if (sink_ != nullptr) {
+    sink_->on_commit(rec);
+  } else {
+    trace_.push_back(rec);
+  }
+  if (stopped_) fold_deferred_chains();  // wfi retired: the run just ended
   return rec;
 }
 

@@ -60,6 +60,12 @@ class RtlCore {
   /// (campaigns that give every test a distinct deterministic register file).
   void set_reg_seed(std::uint64_t seed) { plat_.reg_seed = seed; }
 
+  /// Stream commits to `sink` instead of the internal trace (nullptr
+  /// restores trace collection). While a sink is attached, trace() stays
+  /// empty and run() returns an empty RunResult::trace — the streaming path
+  /// never materializes one.
+  void set_sink(sim::CommitSink* sink) { sink_ = sink; }
+
  private:
   // -- coverage plumbing ----------------------------------------------------
   /// Record an evaluation of condition `id` with value `v`; returns `v` so
@@ -69,6 +75,12 @@ class RtlCore {
     return v;
   }
   void register_points();
+
+  /// Flush the deferred select-chain histograms into the coverage DB (see
+  /// CoreConfig::deferred_select_chains). Called whenever the run stops and
+  /// at reset, so any state a test observes after a run is bit-identical to
+  /// per-instruction evaluation.
+  void fold_deferred_chains();
 
   // -- trap unit -------------------------------------------------------------
   void raise(sim::CommitRecord& rec, riscv::Exception cause, std::uint64_t tval);
@@ -122,6 +134,7 @@ class RtlCore {
   // Run state.
   std::uint64_t program_end_ = 0;
   sim::Trace trace_;
+  sim::CommitSink* sink_ = nullptr;
   bool stopped_ = true;
   sim::StopReason stop_reason_ = sim::StopReason::kStepLimit;
   std::uint64_t steps_ = 0;
@@ -196,6 +209,14 @@ class RtlCore {
   StepEvents prev_ev_;  // previous instruction
   std::size_t cur_op_index_ = 0;  // decoded opcode index (kNumOpcodes = invalid)
   std::uint64_t mtvec_reset_value_ = 0;
+
+  // Deferred select-chain accounting (CoreConfig::deferred_select_chains):
+  // per-instruction opcode/privilege histograms, folded into the DB in one
+  // pass by fold_deferred_chains(). The +1 slot is the invalid decode.
+  std::uint64_t chain_steps_ = 0;
+  std::vector<std::uint64_t> op_count_;       // [kNumOpcodes + 1]
+  std::vector<std::uint64_t> op_priv_count_;  // [2][kNumOpcodes + 1]
+  std::array<std::uint64_t, 16> priv_class_count_{};  // [2 priv][8 class]
 
   // Privilege x instruction-class crosses (deep: need a privilege
   // transition followed by the specific class).

@@ -1,0 +1,401 @@
+// Sparse-coverage equivalence suite: the dirty-bin journals that make
+// begin_test / reset_hits / extraction O(bins touched) must be observably
+// identical to the full-scan implementations they replaced. Each test
+// drives a journaled structure and an explicit full-scan shadow model with
+// the same randomized hit pattern and checks every count and extracted bin
+// list after every round — including across resets, save/restore, and bulk
+// (add_bin_hits / cover_bin) mutation paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "coverage/cover.h"
+#include "coverage/merge.h"
+#include "coverage/multi.h"
+#include "rtlsim/core.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace chatfuzz::cov {
+namespace {
+
+using chatfuzz::Rng;
+
+// ---- CoverageDB -------------------------------------------------------------
+
+struct DbShadow {
+  std::vector<std::uint64_t> hits;
+  std::vector<std::uint8_t> test;
+
+  std::size_t total_covered() const {
+    std::size_t n = 0;
+    for (std::uint64_t h : hits) n += h != 0 ? 1 : 0;
+    return n;
+  }
+  std::size_t test_covered() const {
+    std::size_t n = 0;
+    for (std::uint8_t b : test) n += b;
+    return n;
+  }
+  std::vector<BinDelta> extract() const {
+    std::vector<BinDelta> out;
+    for (std::size_t b = 0; b < hits.size(); ++b) {
+      if (hits[b] != 0) out.push_back({static_cast<std::uint32_t>(b), hits[b]});
+    }
+    return out;
+  }
+};
+
+void expect_db_matches_shadow(const CoverageDB& db, const DbShadow& sh) {
+  ASSERT_EQ(db.num_bins(), sh.hits.size());
+  EXPECT_EQ(db.total_covered(), sh.total_covered());
+  EXPECT_EQ(db.test_covered(), sh.test_covered());
+  for (std::size_t b = 0; b < sh.hits.size(); ++b) {
+    ASSERT_EQ(db.bin_hits(b), sh.hits[b]) << "bin " << b;
+    ASSERT_EQ(db.test_bin_hit(b), sh.test[b] != 0) << "bin " << b;
+  }
+  // Journal-driven extraction vs. the full scan, including order.
+  const std::vector<BinDelta> got = extract_bins(db);
+  const std::vector<BinDelta> want = sh.extract();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].bin, want[i].bin) << "slice entry " << i;
+    EXPECT_EQ(got[i].hits, want[i].hits) << "slice entry " << i;
+  }
+}
+
+TEST(SparseCoverage, JournaledDbMatchesFullScanShadow) {
+  Rng rng(0xc0ffee);
+  CoverageDB db;
+  const std::size_t kPoints = 203;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    db.register_cond("p" + std::to_string(i));
+  }
+  DbShadow sh{std::vector<std::uint64_t>(2 * kPoints, 0),
+              std::vector<std::uint8_t>(2 * kPoints, 0)};
+
+  for (int round = 0; round < 300; ++round) {
+    // A burst of hits, skewed so some bins repeat and most stay untouched.
+    const unsigned burst = 1 + static_cast<unsigned>(rng.below(40));
+    for (unsigned h = 0; h < burst; ++h) {
+      const auto id = static_cast<PointId>(rng.below(kPoints));
+      const bool outcome = rng.chance(0.5);
+      db.hit(id, outcome);
+      const std::size_t bin = 2 * id + (outcome ? 1 : 0);
+      ++sh.hits[bin];
+      sh.test[bin] = 1;
+    }
+    if (rng.chance(0.3)) {  // bulk path (coverage merging / artifact fold)
+      const std::size_t bin = rng.below(2 * kPoints);
+      const std::uint64_t n = rng.below(3);  // exercises the n == 0 edge
+      db.add_bin_hits(bin, n);
+      sh.hits[bin] += n;
+    }
+    expect_db_matches_shadow(db, sh);
+
+    if (rng.chance(0.3)) {
+      db.begin_test();
+      std::fill(sh.test.begin(), sh.test.end(), 0);
+      expect_db_matches_shadow(db, sh);
+    }
+    if (rng.chance(0.1)) {
+      db.reset_hits();
+      std::fill(sh.hits.begin(), sh.hits.end(), 0);
+      std::fill(sh.test.begin(), sh.test.end(), 0);
+      expect_db_matches_shadow(db, sh);
+    }
+    if (rng.chance(0.1)) {
+      // Round-trip through the snapshot path: the journal must be rebuilt
+      // so later reset_hits()/extraction still see every nonzero bin.
+      ser::Writer w;
+      db.save_state(w);
+      const auto blob = w.take();
+      ser::Reader r(blob);
+      ASSERT_TRUE(db.restore_state(r));
+      std::fill(sh.test.begin(), sh.test.end(), 0);  // per-test is transient
+      expect_db_matches_shadow(db, sh);
+    }
+  }
+}
+
+TEST(SparseCoverage, ApplyExtractedSliceReproducesAggregateCounts) {
+  // Worker-shard flow: reset, hit, extract, apply into an aggregate —
+  // aggregate covered counts must equal a full scan at every step.
+  Rng rng(42);
+  CoverageDB shard, agg;
+  const std::size_t kPoints = 64;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    shard.register_cond("p" + std::to_string(i));
+    agg.register_cond("p" + std::to_string(i));
+  }
+  std::vector<std::uint64_t> agg_shadow(2 * kPoints, 0);
+  std::vector<BinDelta> slice;
+  for (int test = 0; test < 100; ++test) {
+    shard.reset_hits();
+    const unsigned burst = static_cast<unsigned>(rng.below(30));
+    for (unsigned h = 0; h < burst; ++h) {
+      shard.hit(static_cast<PointId>(rng.below(kPoints)), rng.chance(0.5));
+    }
+    extract_bins(shard, slice);
+    // The pooled overload must agree with the allocating one.
+    const std::vector<BinDelta> fresh = extract_bins(shard);
+    ASSERT_EQ(slice.size(), fresh.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      EXPECT_EQ(slice[i].bin, fresh[i].bin);
+      EXPECT_EQ(slice[i].hits, fresh[i].hits);
+    }
+    apply_bins(agg, slice);
+    for (const BinDelta& d : slice) agg_shadow[d.bin] += d.hits;
+    std::size_t want_covered = 0;
+    for (std::uint64_t h : agg_shadow) want_covered += h != 0 ? 1 : 0;
+    ASSERT_EQ(agg.total_covered(), want_covered);
+    for (std::size_t b = 0; b < agg_shadow.size(); ++b) {
+      ASSERT_EQ(agg.bin_hits(b), agg_shadow[b]);
+    }
+  }
+}
+
+// ---- ToggleCoverage ---------------------------------------------------------
+
+TEST(SparseCoverage, ToggleJournalMatchesFullScanShadow) {
+  Rng rng(99);
+  const unsigned kRegs = 8;
+  ToggleCoverage tc(kRegs);
+  std::vector<std::uint8_t> cum(kRegs * 128, 0), test(kRegs * 128, 0);
+
+  for (int round = 0; round < 400; ++round) {
+    const unsigned reg = static_cast<unsigned>(rng.below(kRegs + 1));  // +1:
+    const std::uint64_t oldv = rng.next_u64() & rng.next_u64();  // sparse
+    const std::uint64_t newv = rng.next_u64() & rng.next_u64();
+    tc.observe_write(reg, oldv, newv);  // reg == kRegs exercises the guard
+    if (reg < kRegs) {
+      const std::uint64_t changed = oldv ^ newv;
+      for (unsigned bit = 0; bit < 64; ++bit) {
+        if (((changed >> bit) & 1) == 0) continue;
+        const std::size_t idx =
+            static_cast<std::size_t>(reg) * 128 + 2 * bit +
+            ((newv >> bit) & 1);
+        cum[idx] = 1;
+        test[idx] = 1;
+      }
+    }
+    if (rng.chance(0.1)) {
+      const std::size_t idx = rng.below(cum.size());
+      tc.cover_bin(idx);
+      cum[idx] = 1;
+    }
+
+    std::size_t want_cov = 0, want_test = 0;
+    for (std::uint8_t b : cum) want_cov += b;
+    for (std::uint8_t b : test) want_test += b;
+    ASSERT_EQ(tc.covered(), want_cov);
+    ASSERT_EQ(tc.test_covered(), want_test);
+
+    std::vector<std::size_t> got, want;
+    tc.append_test_bins(got);
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      if (test[i]) want.push_back(i);
+    }
+    ASSERT_EQ(got, want);  // same bins, same (ascending) order
+
+    if (rng.chance(0.25)) {
+      tc.begin_test();
+      std::fill(test.begin(), test.end(), 0);
+      std::vector<std::size_t> after;
+      tc.append_test_bins(after);
+      ASSERT_TRUE(after.empty());
+      ASSERT_EQ(tc.test_covered(), 0u);
+    }
+  }
+}
+
+// ---- FsmCoverage ------------------------------------------------------------
+
+TEST(SparseCoverage, FsmJournalMatchesFullScanShadow) {
+  Rng rng(7);
+  FsmCoverage fc;
+  // Two FSMs so the universe has a nonzero base offset for the second.
+  const auto f0 = fc.register_fsm("a", 3, {{0, 1}, {1, 2}, {2, 0}, {1, 1}});
+  const auto f1 = fc.register_fsm("b", 4, {{0, 3}, {3, 0}, {2, 2}});
+  const std::size_t kUniverse = (3 + 4) + (4 + 3);
+  ASSERT_EQ(fc.universe(), kUniverse);
+  struct ShadowFsm {
+    unsigned num_states;
+    std::vector<std::pair<unsigned, unsigned>> arcs;
+    std::vector<std::uint8_t> s_cum, s_test, t_cum, t_test;
+  };
+  ShadowFsm sh[2] = {
+      {3, {{0, 1}, {1, 2}, {2, 0}, {1, 1}}, {}, {}, {}, {}},
+      {4, {{0, 3}, {3, 0}, {2, 2}}, {}, {}, {}, {}},
+  };
+  for (ShadowFsm& f : sh) {
+    f.s_cum.assign(f.num_states, 0);
+    f.s_test.assign(f.num_states, 0);
+    f.t_cum.assign(f.arcs.size(), 0);
+    f.t_test.assign(f.arcs.size(), 0);
+  }
+
+  for (int round = 0; round < 500; ++round) {
+    const std::size_t which = rng.below(2);
+    const ShadowFsm& ref = sh[which];
+    // Deliberately includes out-of-range targets and undeclared arcs.
+    const unsigned from = static_cast<unsigned>(rng.below(ref.num_states + 1));
+    const unsigned to = static_cast<unsigned>(rng.below(ref.num_states + 1));
+    fc.observe(which == 0 ? f0 : f1, from, to);
+    ShadowFsm& f = sh[which];
+    if (to < f.num_states) {
+      f.s_cum[to] = 1;
+      f.s_test[to] = 1;
+    }
+    for (std::size_t t = 0; t < f.arcs.size(); ++t) {
+      if (f.arcs[t].first == from && f.arcs[t].second == to) {
+        f.t_cum[t] = 1;
+        f.t_test[t] = 1;
+        break;
+      }
+    }
+
+    std::size_t want_cov = 0, want_test = 0;
+    std::vector<std::size_t> want;
+    std::size_t base = 0;
+    for (const ShadowFsm& g : sh) {
+      for (std::size_t s = 0; s < g.s_cum.size(); ++s) {
+        want_cov += g.s_cum[s];
+        want_test += g.s_test[s];
+        if (g.s_test[s]) want.push_back(base + s);
+      }
+      for (std::size_t t = 0; t < g.t_cum.size(); ++t) {
+        want_cov += g.t_cum[t];
+        want_test += g.t_test[t];
+        if (g.t_test[t]) want.push_back(base + g.num_states + t);
+      }
+      base += g.num_states + g.arcs.size();
+    }
+    ASSERT_EQ(fc.covered(), want_cov);
+    ASSERT_EQ(fc.test_covered(), want_test);
+    std::vector<std::size_t> got;
+    fc.append_test_bins(got);
+    ASSERT_EQ(got, want);
+
+    if (rng.chance(0.2)) {
+      fc.begin_test();
+      for (ShadowFsm& g : sh) {
+        std::fill(g.s_test.begin(), g.s_test.end(), 0);
+        std::fill(g.t_test.begin(), g.t_test.end(), 0);
+      }
+    }
+  }
+}
+
+// ---- StatementCoverage ------------------------------------------------------
+
+TEST(SparseCoverage, StatementJournalMatchesFullScanShadow) {
+  Rng rng(5);
+  StatementCoverage sc;
+  const std::size_t kStmts = 37;
+  for (std::size_t i = 0; i < kStmts; ++i) {
+    sc.register_stmt("s" + std::to_string(i));
+  }
+  std::vector<std::uint8_t> cum(kStmts, 0), test(kStmts, 0);
+  for (int round = 0; round < 400; ++round) {
+    const std::size_t id = rng.below(kStmts);
+    sc.hit(id);
+    cum[id] = 1;
+    test[id] = 1;
+    if (rng.chance(0.1)) {
+      const std::size_t b = rng.below(kStmts);
+      sc.cover_bin(b);
+      cum[b] = 1;
+    }
+
+    std::size_t want_cov = 0, want_test = 0;
+    std::vector<std::size_t> want;
+    for (std::size_t i = 0; i < kStmts; ++i) {
+      want_cov += cum[i];
+      want_test += test[i];
+      if (test[i]) want.push_back(i);
+    }
+    ASSERT_EQ(sc.covered(), want_cov);
+    ASSERT_EQ(sc.test_covered(), want_test);
+    std::vector<std::size_t> got;
+    sc.append_test_bins(got);
+    ASSERT_EQ(got, want);
+
+    if (rng.chance(0.25)) {
+      sc.begin_test();
+      std::fill(test.begin(), test.end(), 0);
+    }
+  }
+}
+
+// ---- Deferred select chains -------------------------------------------------
+
+TEST(SparseCoverage, DeferredSelectChainsMatchPerInstructionEvaluation) {
+  // The opcode-indexed comparator chains may be histogrammed per run and
+  // folded in bulk (CoreConfig::deferred_select_chains); every cumulative
+  // hit count and every per-test stand-alone bin must come out identical
+  // to evaluating each comparator on each instruction the way the seed
+  // model did — across several tests so cumulative state is covered too.
+  corpus::CorpusGenerator gen({}, 31);
+  sim::Platform plat{.max_steps = 256};
+  rtl::CoreConfig deferred_cfg = rtl::CoreConfig::rocket();
+  deferred_cfg.deferred_select_chains = true;
+  rtl::CoreConfig eager_cfg = rtl::CoreConfig::rocket();
+  eager_cfg.deferred_select_chains = false;
+  CoverageDB deferred_db, eager_db;
+  rtl::RtlCore deferred_core(deferred_cfg, deferred_db, plat);
+  rtl::RtlCore eager_core(eager_cfg, eager_db, plat);
+  ASSERT_EQ(deferred_db.num_bins(), eager_db.num_bins());
+
+  for (int t = 0; t < 10; ++t) {
+    const corpus::Program prog = gen.function();
+    deferred_db.begin_test();
+    eager_db.begin_test();
+    deferred_core.reset(prog);
+    deferred_core.run();
+    eager_core.reset(prog);
+    eager_core.run();
+    ASSERT_EQ(deferred_db.total_covered(), eager_db.total_covered())
+        << "test " << t;
+    ASSERT_EQ(deferred_db.test_covered(), eager_db.test_covered())
+        << "test " << t;
+    for (std::size_t b = 0; b < eager_db.num_bins(); ++b) {
+      ASSERT_EQ(deferred_db.bin_hits(b), eager_db.bin_hits(b))
+          << "test " << t << " bin " << b << " ("
+          << eager_db.point_name(static_cast<PointId>(b / 2)) << ")";
+      ASSERT_EQ(deferred_db.test_bin_hit(b), eager_db.test_bin_hit(b))
+          << "test " << t << " bin " << b;
+    }
+  }
+}
+
+TEST(SparseCoverage, DeferredChainsFoldOnResetOfAnAbandonedRun) {
+  // Stepping a few instructions and then resetting must still land the
+  // deferred counters — the DB may never lose evaluations the eager mode
+  // would have recorded.
+  corpus::CorpusGenerator gen({}, 5);
+  const corpus::Program prog = gen.function();
+  sim::Platform plat{.max_steps = 256};
+  rtl::CoreConfig eager_cfg = rtl::CoreConfig::rocket();
+  eager_cfg.deferred_select_chains = false;
+  CoverageDB deferred_db, eager_db;
+  rtl::RtlCore deferred_core(rtl::CoreConfig::rocket(), deferred_db, plat);
+  rtl::RtlCore eager_core(eager_cfg, eager_db, plat);
+
+  deferred_core.reset(prog);
+  eager_core.reset(prog);
+  for (int i = 0; i < 5; ++i) {
+    deferred_core.step();
+    eager_core.step();
+  }
+  deferred_core.reset(prog);  // abandon mid-run; fold must happen here
+  eager_core.reset(prog);
+  for (std::size_t b = 0; b < eager_db.num_bins(); ++b) {
+    ASSERT_EQ(deferred_db.bin_hits(b), eager_db.bin_hits(b)) << "bin " << b;
+  }
+}
+
+}  // namespace
+}  // namespace chatfuzz::cov
