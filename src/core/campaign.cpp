@@ -1,18 +1,14 @@
 #include "core/campaign.h"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "core/checkpoint.h"
+#include "core/sim_worker.h"
 #include "corpus/store.h"
-#include "isasim/sim.h"
-#include "mismatch/lockstep.h"
-#include "rtlsim/core.h"
+#include "dist/coordinator.h"
 #include "util/rng.h"
 
 namespace chatfuzz::core {
@@ -56,150 +52,32 @@ const char* guidance_name(GuidanceMetric m) {
 
 namespace {
 
-/// The guidance metric selected by the config, as the uniform Metric view
-/// (null for condition/ctrl-reg, which have dedicated plumbing).
-const cov::Metric* select_metric(const cov::MetricSuite& suite,
-                                 GuidanceMetric g) {
-  switch (g) {
-    case GuidanceMetric::kToggle: return &suite.toggle();
-    case GuidanceMetric::kStatement: return &suite.statement();
-    case GuidanceMetric::kFsm: return &suite.fsm();
-    default: return nullptr;
-  }
-}
-
 // ---------------------------------------------------------------------------
 // Parallel execution engine.
 //
 // The paper scales by running ten VCS instances side by side and merging
-// their coverage; this engine does the same with worker threads. Each worker
-// owns a private DUT model, golden model, coverage shard and metric suite;
-// a batch is split across the pool and every test produces a TestArtifact —
-// the complete, order-free record of what that test contributed. The
-// coordinating thread then folds artifacts back in canonical test order,
-// reproducing the exact per-test incremental/total coverage values, curve
-// checkpoints and mismatch tallies a fully sequential run computes. Because
-// every artifact depends only on (program, campaign seed, test index) — the
-// DUT is reset per test and all stochastic decisions are keyed by test
-// index, never by thread — campaign output is bit-identical for any worker
-// count and any scheduling.
+// their coverage; this engine does the same with worker threads — and, when
+// cfg.dist.num_procs > 1, with worker *processes* behind a
+// dist::Coordinator. Either way each simulation stack is private (see
+// core/sim_worker.h), a batch is split across the pool and every test
+// produces a TestArtifact — the complete, order-free record of what that
+// test contributed. The coordinating thread then folds artifacts back in
+// canonical test order, reproducing the exact per-test incremental/total
+// coverage values, curve checkpoints and mismatch tallies a fully
+// sequential run computes. Because every artifact depends only on
+// (program, campaign seed, test index) — the DUT is reset per test and all
+// stochastic decisions are keyed by test index, never by thread or process
+// — campaign output is bit-identical for any worker count, process count
+// and any scheduling.
 // ---------------------------------------------------------------------------
-
-/// Everything one simulated test contributes to campaign state. Artifacts
-/// are pooled: the engine keeps one per batch slot alive for the whole
-/// campaign, and begin() re-arms it without giving back vector capacity, so
-/// the steady-state batch loop performs no per-test allocation.
-struct TestArtifact {
-  std::vector<cov::BinDelta> cond_bins;     // condition-coverage slice
-  std::vector<std::uint64_t> ctrl_states;   // ctrl states new to the worker
-  std::vector<std::size_t> toggle_bins, fsm_bins, stmt_bins;
-  std::uint64_t cycles = 0;
-  std::uint64_t steps = 0;
-  mismatch::Report report;                  // per-test commit-stream diff
-
-  void begin() {
-    cond_bins.clear();
-    ctrl_states.clear();
-    toggle_bins.clear();
-    fsm_bins.clear();
-    stmt_bins.clear();
-    cycles = 0;
-    steps = 0;
-    report.mismatches.clear();
-    report.raw_count = 0;
-    report.filtered_count = 0;
-  }
-};
-
-/// One worker's private simulation stack, reused across batches. The ctrl
-/// coverage set inside `dut` deliberately accumulates for the whole
-/// campaign: a worker only reports states it has not reported before, and
-/// since each worker's tests are claimed in increasing global order, the
-/// canonical-order replay on the coordinator sees every state at exactly
-/// the first test a sequential run would.
-struct Worker {
-  Worker(const CampaignConfig& cfg, bool use_suite) {
-    dut = std::make_unique<rtl::RtlCore>(cfg.core, db, cfg.platform);
-    golden = std::make_unique<sim::IsaSim>(cfg.platform);
-    if (use_suite) dut->attach_metrics(&suite);
-    detector.install_default_filters();
-  }
-
-  cov::CoverageDB db;        // per-test shard (reset before every test)
-  cov::MetricSuite suite;
-  std::unique_ptr<rtl::RtlCore> dut;
-  std::unique_ptr<sim::IsaSim> golden;
-  mismatch::MismatchDetector detector;  // filter rules only; the campaign-
-                                        // wide tally lives on the coordinator
-  mismatch::LockstepComparator comparator;
-  sim::DiscardSink discard;
-};
-
-/// Simulate one test, streaming. The DUT's commit stream feeds the lockstep
-/// comparator (which pulls the golden model one instruction at a time and
-/// stops it as soon as the comparison is decided) or a discard sink when
-/// mismatch detection is off — no trace is materialized on either side, and
-/// every coverage sweep below runs over this test's dirty-bin journals, not
-/// the whole instrumentation layout.
-void run_one(Worker& w, const CampaignConfig& cfg, bool use_suite,
-             const Program& test, std::uint64_t test_index,
-             TestArtifact& out) {
-  out.begin();
-  w.db.reset_hits();  // shard holds exactly this test's hits afterwards
-  if (use_suite) w.suite.begin_test();
-  w.dut->ctrl_cov().begin_test();
-  w.dut->ctrl_cov().set_recorder(&out.ctrl_states);
-  if (cfg.randomize_regs) {
-    // Per-test RNG stream keyed by campaign seed + global test index, so the
-    // register file is the same no matter which thread runs the test.
-    const std::uint64_t reg_seed = Rng(cfg.seed).fork(test_index).next_u64();
-    w.dut->set_reg_seed(reg_seed);
-    w.golden->set_reg_seed(reg_seed);
-  }
-  if (cfg.mismatch_detection) {
-    // Arm the comparator (which sinks the golden model) before the golden
-    // reset, so the reset skips its trace scratch like the DUT's does.
-    w.comparator.begin(w.detector, *w.golden, out.report);
-    w.golden->reset(test);
-    w.dut->set_sink(&w.comparator);
-  } else {
-    w.dut->set_sink(&w.discard);
-  }
-  w.dut->reset(test);
-  const sim::RunResult dut_run = w.dut->run();
-  if (cfg.mismatch_detection) w.comparator.finish();
-  w.dut->set_sink(nullptr);
-  w.dut->ctrl_cov().set_recorder(nullptr);
-
-  cov::extract_bins(w.db, out.cond_bins);
-  if (use_suite) {
-    w.suite.toggle().append_test_bins(out.toggle_bins);
-    w.suite.fsm().append_test_bins(out.fsm_bins);
-    w.suite.statement().append_test_bins(out.stmt_bins);
-  }
-  out.cycles = w.dut->cycles();
-  out.steps = dut_run.steps;
-}
-
-/// The selected guidance metric's per-test bins within an artifact.
-const std::vector<std::size_t>& guide_test_bins(const TestArtifact& art,
-                                                GuidanceMetric g) {
-  switch (g) {
-    case GuidanceMetric::kStatement: return art.stmt_bins;
-    case GuidanceMetric::kFsm: return art.fsm_bins;
-    default: return art.toggle_bins;
-  }
-}
 
 /// The engine shared by run_campaign() (restored == nullptr) and
 /// resume_campaign() (restored == the loaded checkpoint).
 CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
                           CheckpointHook hook,
                           const CheckpointData* restored) {
-  const bool use_suite = cfg.collect_multi_metrics ||
-                         cfg.guidance == GuidanceMetric::kToggle ||
-                         cfg.guidance == GuidanceMetric::kStatement ||
-                         cfg.guidance == GuidanceMetric::kFsm;
+  const bool use_suite = campaign_uses_metric_suite(cfg);
+  const bool use_dist = cfg.dist.num_procs > 1;
   // Clamp to what can actually run concurrently: a batch never fans out
   // wider than its own size, so extra worker stacks would be dead weight
   // (and an absurd request — CLI garbage parsing to ULONG_MAX — would
@@ -220,12 +98,20 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
   cov::MetricSuite suite;
   cov::CtrlRegCoverage ctrl;
   mismatch::MismatchDetector detector;
-  const cov::Metric* guide = select_metric(suite, cfg.guidance);
+  const cov::Metric* guide = select_guidance_metric(suite, cfg.guidance);
 
-  std::vector<std::unique_ptr<Worker>> workers;
-  workers.reserve(num_workers);
-  for (std::size_t i = 0; i < num_workers; ++i) {
-    workers.push_back(std::make_unique<Worker>(cfg, use_suite));
+  // Exactly one simulation backend: in-process stacks, or the dist
+  // coordinator (which spawns its worker processes up front and keeps them
+  // for the whole campaign — leases flow per batch, processes do not).
+  std::vector<std::unique_ptr<SimStack>> workers;
+  std::unique_ptr<dist::Coordinator> coordinator;
+  if (use_dist) {
+    coordinator = std::make_unique<dist::Coordinator>(cfg, use_suite);
+  } else {
+    workers.reserve(num_workers);
+    for (std::size_t i = 0; i < num_workers; ++i) {
+      workers.push_back(std::make_unique<SimStack>(cfg, use_suite));
+    }
   }
 
   CampaignResult result;
@@ -334,128 +220,125 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
     if (batch.empty()) break;  // generator exhausted; don't spin forever
     const std::size_t base = result.tests_run;
 
-    // Simulate the batch across the pool. Workers claim tests through the
-    // shared counter, so each worker's tests are in increasing global order
-    // (the invariant the ctrl-state replay relies on).
     if (artifacts.size() < batch.size()) artifacts.resize(batch.size());
-    std::atomic<std::size_t> next{0};
-    // A throw on a pooled thread may not escape (std::terminate) and a
-    // throw on the coordinator must not leave joinable threads behind, so
-    // every drain captures its first exception; after the join it is
-    // rethrown here, preserving the sequential engine's error contract.
-    std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mu;
-    const auto drain = [&](std::size_t wi) {
-      Worker& w = *workers[wi];
-      try {
-        for (std::size_t i;
-             !failed.load(std::memory_order_relaxed) &&
-             (i = next.fetch_add(1)) < batch.size();) {
-          run_one(w, cfg, use_suite, batch[i], base + i, artifacts[i]);
-        }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mu);
-        if (!error) error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-      }
-    };
-    if (num_workers == 1 || batch.size() == 1) {
-      drain(0);
-    } else {
-      std::vector<std::thread> pool;
-      const std::size_t spawn = std::min(num_workers, batch.size());
-      pool.reserve(spawn - 1);
-      for (std::size_t wi = 1; wi < spawn; ++wi) pool.emplace_back(drain, wi);
-      drain(0);
-      for (std::thread& t : pool) t.join();
-    }
-    if (error) std::rethrow_exception(error);
 
-    // Fold artifacts in canonical test order: identical arithmetic to a
-    // sequential run, including curve checkpoints at exact test indices.
+    // Fold artifacts [lo, hi) of this batch in canonical test order:
+    // identical arithmetic to a sequential run, including curve checkpoints
+    // at exact test indices. Ranges must arrive ascending with no gaps —
+    // the in-process path folds [0, batch) once after the join; the dist
+    // path folds each contiguous lease span as it completes, overlapping
+    // the coordinator's fold with the workers' simulation wall-clock.
     coverages.clear();
     ctrl_new.clear();
     coverages.reserve(batch.size());
     ctrl_new.reserve(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const TestArtifact& art = artifacts[i];
-      // Running covered counts: both reads are O(1) on the journaled DBs,
-      // so the coordinator no longer rescans the bin universe per test.
-      const std::size_t cond_before = db.total_covered();
-      const std::size_t guide_before = guide ? guide->covered() : 0;
-      // Coverage attribution for the corpus store: the condition bins this
-      // test covers FIRST, taken before its delta lands in the DB.
-      new_bins.clear();
-      if (persist) {
-        for (const cov::BinDelta& d : art.cond_bins) {
-          if (!db.bin_covered(d.bin)) new_bins.push_back(d.bin);
+    const auto fold_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const TestArtifact& art = artifacts[i];
+        // Running covered counts: both reads are O(1) on the journaled DBs,
+        // so the coordinator no longer rescans the bin universe per test.
+        const std::size_t cond_before = db.total_covered();
+        const std::size_t guide_before = guide ? guide->covered() : 0;
+        // Coverage attribution for the corpus store: the condition bins
+        // this test covers FIRST, taken before its delta lands in the DB.
+        new_bins.clear();
+        if (persist) {
+          for (const cov::BinDelta& d : art.cond_bins) {
+            if (!db.bin_covered(d.bin)) new_bins.push_back(d.bin);
+          }
+        }
+        cov::apply_bins(db, art.cond_bins);
+        if (use_suite) {
+          for (std::size_t bin : art.toggle_bins) {
+            suite.toggle().cover_bin(bin);
+          }
+          for (std::size_t bin : art.fsm_bins) suite.fsm().cover_bin(bin);
+          for (std::size_t bin : art.stmt_bins) {
+            suite.statement().cover_bin(bin);
+          }
+        }
+        ctrl.begin_test();
+        for (std::uint64_t s : art.ctrl_states) ctrl.observe(s);
+
+        cov::TestCoverage tc;
+        if (guide != nullptr) {
+          // Guidance by the selected metric: the generator sees the
+          // metric's stand-alone/incremental/total instead of condition
+          // coverage.
+          tc.standalone_bins = guide_test_bins(art, cfg.guidance).size();
+          tc.total_bins = guide->covered();
+          tc.incremental_bins = tc.total_bins - guide_before;
+          tc.universe_bins = guide->universe();
+        } else if (cfg.guidance == GuidanceMetric::kCtrlReg) {
+          tc.standalone_bins = ctrl.test_new_states();
+          tc.incremental_bins = tc.standalone_bins;
+          tc.total_bins = ctrl.distinct_states();
+          tc.universe_bins = 0;  // open universe: percentages undefined
+        } else {
+          tc.standalone_bins = art.cond_bins.size();
+          tc.total_bins = db.total_covered();
+          tc.incremental_bins = tc.total_bins - cond_before;
+          tc.universe_bins = db.num_bins();
+        }
+        coverages.push_back(tc);
+        ctrl_new.push_back(ctrl.test_new_states());
+        result.total_cycles += art.cycles;
+        result.total_instrs += art.steps;
+        if (cfg.mismatch_detection) detector.accumulate(art.report);
+        // Archive tests that earned their keep. Appends happen in
+        // canonical fold order from the coordinator's own copy of the
+        // batch, so the store's bytes are worker-count- and
+        // process-count-invariant too.
+        if (persist &&
+            (!new_bins.empty() || !art.report.mismatches.empty())) {
+          corpus::StoreEntryMeta meta;
+          meta.test_index = base + i;
+          meta.standalone_bins =
+              static_cast<std::uint32_t>(tc.standalone_bins);
+          meta.incremental_bins =
+              static_cast<std::uint32_t>(tc.incremental_bins);
+          meta.mismatches =
+              static_cast<std::uint32_t>(art.report.mismatches.size());
+          meta.ctrl_new = ctrl.test_new_states();
+          meta.new_bins = new_bins;  // copy: the scratch vector is pooled
+          const ser::Status s = store.append(batch[i], meta);
+          if (!s.ok()) throw std::runtime_error(s.message());
+        }
+        ++result.tests_run;
+        ++since_checkpoint;
+
+        if (since_checkpoint >= cfg.checkpoint_every ||
+            result.tests_run == cfg.num_tests) {
+          since_checkpoint = 0;
+          CampaignPoint pt;
+          pt.tests = result.tests_run;
+          pt.hours = static_cast<double>(result.tests_run) /
+                     (cfg.tests_per_hour / gen.time_per_test_factor());
+          pt.cond_cov_percent = db.total_percent();
+          pt.ctrl_states = ctrl.distinct_states();
+          result.curve.push_back(pt);
+          if (hook) hook(pt);
         }
       }
-      cov::apply_bins(db, art.cond_bins);
-      if (use_suite) {
-        for (std::size_t bin : art.toggle_bins) suite.toggle().cover_bin(bin);
-        for (std::size_t bin : art.fsm_bins) suite.fsm().cover_bin(bin);
-        for (std::size_t bin : art.stmt_bins) suite.statement().cover_bin(bin);
-      }
-      ctrl.begin_test();
-      for (std::uint64_t s : art.ctrl_states) ctrl.observe(s);
+    };
 
-      cov::TestCoverage tc;
-      if (guide != nullptr) {
-        // Guidance by the selected metric: the generator sees the metric's
-        // stand-alone/incremental/total instead of condition coverage.
-        tc.standalone_bins = guide_test_bins(art, cfg.guidance).size();
-        tc.total_bins = guide->covered();
-        tc.incremental_bins = tc.total_bins - guide_before;
-        tc.universe_bins = guide->universe();
-      } else if (cfg.guidance == GuidanceMetric::kCtrlReg) {
-        tc.standalone_bins = ctrl.test_new_states();
-        tc.incremental_bins = tc.standalone_bins;
-        tc.total_bins = ctrl.distinct_states();
-        tc.universe_bins = 0;  // open universe: percentages undefined
-      } else {
-        tc.standalone_bins = art.cond_bins.size();
-        tc.total_bins = db.total_covered();
-        tc.incremental_bins = tc.total_bins - cond_before;
-        tc.universe_bins = db.num_bins();
-      }
-      coverages.push_back(tc);
-      ctrl_new.push_back(ctrl.test_new_states());
-      result.total_cycles += art.cycles;
-      result.total_instrs += art.steps;
-      if (cfg.mismatch_detection) detector.accumulate(art.report);
-      // Archive tests that earned their keep. Appends happen in canonical
-      // fold order, so the store's bytes are worker-count-invariant too.
-      if (persist &&
-          (!new_bins.empty() || !art.report.mismatches.empty())) {
-        corpus::StoreEntryMeta meta;
-        meta.test_index = base + i;
-        meta.standalone_bins = static_cast<std::uint32_t>(tc.standalone_bins);
-        meta.incremental_bins =
-            static_cast<std::uint32_t>(tc.incremental_bins);
-        meta.mismatches =
-            static_cast<std::uint32_t>(art.report.mismatches.size());
-        meta.ctrl_new = ctrl.test_new_states();
-        meta.new_bins = new_bins;  // copy: the scratch vector is pooled
-        const ser::Status s = store.append(batch[i], meta);
-        if (!s.ok()) throw std::runtime_error(s.message());
-      }
-      ++result.tests_run;
-      ++since_checkpoint;
-
-      if (since_checkpoint >= cfg.checkpoint_every ||
-          result.tests_run == cfg.num_tests) {
-        since_checkpoint = 0;
-        CampaignPoint pt;
-        pt.tests = result.tests_run;
-        pt.hours = static_cast<double>(result.tests_run) /
-                   (cfg.tests_per_hour / gen.time_per_test_factor());
-        pt.cond_cov_percent = db.total_percent();
-        pt.ctrl_states = ctrl.distinct_states();
-        result.curve.push_back(pt);
-        if (hook) hook(pt);
-      }
+    if (use_dist) {
+      // Fan the batch out across worker processes as leases; the
+      // coordinator re-issues a lost worker's outstanding leases to the
+      // survivors and never folds a lease twice. Artifacts land at their
+      // canonical batch slots regardless of which process ran them, and
+      // fold in canonical order as each contiguous lease span completes.
+      coordinator->run_batch(batch, base, artifacts,
+                             [&](std::size_t start, std::size_t count) {
+                               fold_range(start, start + count);
+                             });
+    } else {
+      // Simulate the batch across the thread pool (core/sim_worker.h owns
+      // the claim/drain/first-exception machinery, shared with the dist
+      // worker's lease loop), then fold it all at once.
+      run_span(workers, cfg, use_suite, batch.data(), batch.size(), base,
+               artifacts.data());
+      fold_range(0, batch.size());
     }
 
     Feedback fb;
@@ -466,7 +349,8 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
     gen.feedback(fb);
 
     // Batch boundary: the generator's feedback is absorbed, no test is in
-    // flight — the one consistent cut point for snapshots and pauses.
+    // flight and no lease is outstanding — the one consistent cut point for
+    // snapshots and pauses (every batch boundary is a lease boundary).
     const bool done = result.tests_run >= cfg.num_tests;
     const bool pausing = !done && result.tests_run >= stop_at;
     if (persist &&
@@ -537,6 +421,7 @@ CampaignResult resume_campaign(InputGenerator& gen, const std::string& dir,
   cfg.checkpoint_dir = dir;  // continue persisting where we left off
   if (opts.num_workers != 0) cfg.num_workers = opts.num_workers;
   cfg.stop_after_tests = opts.stop_after_tests;
+  cfg.dist = opts.dist;  // topology is per-run, never stored
   return run_engine(gen, cfg, std::move(hook), &data);
 }
 

@@ -28,6 +28,44 @@ enum class GuidanceMetric { kCondition, kToggle, kStatement, kFsm, kCtrlReg };
 
 const char* guidance_name(GuidanceMetric m);
 
+/// Multi-process fan-out (src/dist/): the coordinator re-execs this binary
+/// in a hidden worker mode, hands out fixed-size test-index ranges of every
+/// batch as leases over a socketpair wire protocol, and folds the returned
+/// per-test artifacts in canonical order — so the campaign output is
+/// bit-identical to the in-process engine for any process count, worker
+/// thread count and lease schedule. Scheduling only; never persisted in
+/// checkpoints (a resumed campaign picks its own topology).
+struct DistConfig {
+  /// Worker processes. <= 1 runs the in-process engine (no processes are
+  /// spawned); the coordinator itself only folds, it never simulates.
+  std::size_t num_procs = 1;
+
+  /// Tests per lease. 0 picks ceil(batch_size / (2 * num_procs)), clamped
+  /// to [1, batch_size]: at least two leases per worker per batch, so a
+  /// lost worker's outstanding work re-issues at useful granularity.
+  std::size_t lease_tests = 0;
+
+  /// Binary to re-exec for workers. Empty = /proc/self/exe (the normal
+  /// case: any binary that routes a "worker <fd>" argv through
+  /// dist::maybe_worker_main can be its own worker).
+  std::string worker_exe;
+
+  /// Kill a worker that has held leases without delivering a result for
+  /// this long (hung-worker detection); its outstanding leases re-issue to
+  /// survivors. 0 = wait forever (a dead worker is still detected
+  /// immediately via EOF on its socket).
+  std::uint32_t lease_timeout_ms = 0;
+
+  // ---- fault injection (tests / CI only) ---------------------------------
+  /// SIGKILL worker `debug_kill_worker` once `debug_kill_after_results`
+  /// lease results have been folded — the worker-kill determinism case.
+  std::size_t debug_kill_worker = static_cast<std::size_t>(-1);
+  std::size_t debug_kill_after_results = 0;
+  /// Tell worker `debug_hang_worker` to stall forever on its first lease —
+  /// the hung-worker (timeout + reassignment) case.
+  std::size_t debug_hang_worker = static_cast<std::size_t>(-1);
+};
+
 struct CampaignConfig {
   std::size_t num_tests = 1800;   // paper's headline comparison point
   std::size_t batch_size = 32;
@@ -84,6 +122,11 @@ struct CampaignConfig {
   /// replays the exact schedule of an uninterrupted one. This is the
   /// time-boxed-segment workflow and the resume-determinism test harness.
   std::size_t stop_after_tests = 0;
+
+  /// Multi-process topology (`fuzz --procs`). Like num_workers this is pure
+  /// scheduling: results are bit-identical whether a campaign runs in one
+  /// process or across many.
+  DistConfig dist;
 };
 
 struct CampaignPoint {
@@ -140,6 +183,9 @@ CampaignResult run_campaign(InputGenerator& gen, const CampaignConfig& cfg,
 struct ResumeOptions {
   std::size_t num_workers = 0;      // 0 = value stored in the checkpoint
   std::size_t stop_after_tests = 0; // 0 = run to the stored num_tests
+  /// Process topology for the resumed run. Checkpoints never store one
+  /// (scheduling, not semantics), so the default resumes in-process.
+  DistConfig dist;
 };
 
 /// Continue a campaign from <dir>/campaign.ckpt. `gen` must be a

@@ -7,7 +7,9 @@ namespace chatfuzz::core {
 namespace {
 
 constexpr std::uint32_t kCheckpointMagic = 0x43465A4B;  // "CFZK"
-constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: CoreConfig::deferred_select_chains joined the config record (it had
+// been silently defaulting on restore since it was introduced).
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 void write_core_config(ser::Writer& w, const rtl::CoreConfig& c) {
   w.str(c.name);
@@ -23,6 +25,7 @@ void write_core_config(ser::Writer& w, const rtl::CoreConfig& c) {
   w.u32(c.mispredict_penalty);
   w.boolean(c.superscalar);
   w.u32(c.cross_depth);
+  w.boolean(c.deferred_select_chains);
   w.boolean(c.bugs.stale_icache);
   w.boolean(c.bugs.tracer_drops_muldiv);
   w.boolean(c.bugs.fault_priority_swap);
@@ -44,6 +47,7 @@ void read_core_config(ser::Reader& r, rtl::CoreConfig& c) {
   c.mispredict_penalty = r.u32();
   c.superscalar = r.boolean();
   c.cross_depth = r.u32();
+  c.deferred_select_chains = r.boolean();
   c.bugs.stale_icache = r.boolean();
   c.bugs.tracer_drops_muldiv = r.boolean();
   c.bugs.fault_priority_swap = r.boolean();
@@ -51,7 +55,9 @@ void read_core_config(ser::Reader& r, rtl::CoreConfig& c) {
   c.bugs.x0_link_trace = r.boolean();
 }
 
-void write_config(ser::Writer& w, const CampaignConfig& cfg) {
+}  // namespace
+
+void write_campaign_config(ser::Writer& w, const CampaignConfig& cfg) {
   w.u64(cfg.num_tests);
   w.u64(cfg.batch_size);
   w.u64(cfg.checkpoint_every);
@@ -72,7 +78,7 @@ void write_config(ser::Writer& w, const CampaignConfig& cfg) {
   w.u64(cfg.checkpoint_every_tests);
 }
 
-bool read_config(ser::Reader& r, CampaignConfig& cfg) {
+bool read_campaign_config(ser::Reader& r, CampaignConfig& cfg) {
   cfg.num_tests = static_cast<std::size_t>(r.u64());
   cfg.batch_size = static_cast<std::size_t>(r.u64());
   cfg.checkpoint_every = static_cast<std::size_t>(r.u64());
@@ -99,8 +105,6 @@ bool read_config(ser::Reader& r, CampaignConfig& cfg) {
   return r.ok();
 }
 
-}  // namespace
-
 std::string checkpoint_path(const std::string& dir) {
   return dir + "/campaign.ckpt";
 }
@@ -114,7 +118,7 @@ ser::Status save_checkpoint(const std::string& dir,
                               ": " + ec.message());
   }
   ser::Writer w;
-  write_config(w, data.cfg);
+  write_campaign_config(w, data.cfg);
   w.str(data.fuzzer);
   w.u64(data.curve.size());
   for (const CampaignPoint& p : data.curve) {
@@ -143,7 +147,7 @@ ser::Status load_checkpoint(const std::string& dir, CheckpointData* data) {
   if (!s.ok()) return s;
   ser::Reader r(payload);
   CheckpointData d;
-  if (!read_config(r, d.cfg)) {
+  if (!read_campaign_config(r, d.cfg)) {
     return ser::Status::error(path + ": malformed campaign configuration");
   }
   d.fuzzer = r.str();

@@ -42,6 +42,15 @@ struct CheckpointData {
 /// Path of the checkpoint file inside a campaign directory.
 std::string checkpoint_path(const std::string& dir);
 
+/// Serialize / parse the simulation-relevant CampaignConfig fields (core,
+/// platform, seed, guidance, worker count, ...). Shared by the checkpoint
+/// container and the dist wire protocol's Config message, so a worker
+/// process reconstructs exactly the configuration the coordinator folds
+/// under. Deliberately excludes persistence paths and the DistConfig
+/// (scheduling/topology never travels — each run picks its own).
+void write_campaign_config(ser::Writer& w, const CampaignConfig& cfg);
+bool read_campaign_config(ser::Reader& r, CampaignConfig& cfg);
+
 /// Atomically write `data` to <dir>/campaign.ckpt (creates `dir`).
 ser::Status save_checkpoint(const std::string& dir, const CheckpointData& data);
 

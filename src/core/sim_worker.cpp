@@ -1,0 +1,120 @@
+#include "core/sim_worker.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace chatfuzz::core {
+
+SimStack::SimStack(const CampaignConfig& cfg, bool use_suite) {
+  dut = std::make_unique<rtl::RtlCore>(cfg.core, db, cfg.platform);
+  golden = std::make_unique<sim::IsaSim>(cfg.platform);
+  if (use_suite) dut->attach_metrics(&suite);
+  detector.install_default_filters();
+}
+
+bool campaign_uses_metric_suite(const CampaignConfig& cfg) {
+  return cfg.collect_multi_metrics ||
+         cfg.guidance == GuidanceMetric::kToggle ||
+         cfg.guidance == GuidanceMetric::kStatement ||
+         cfg.guidance == GuidanceMetric::kFsm;
+}
+
+const cov::Metric* select_guidance_metric(const cov::MetricSuite& suite,
+                                          GuidanceMetric g) {
+  switch (g) {
+    case GuidanceMetric::kToggle: return &suite.toggle();
+    case GuidanceMetric::kStatement: return &suite.statement();
+    case GuidanceMetric::kFsm: return &suite.fsm();
+    default: return nullptr;
+  }
+}
+
+const std::vector<std::size_t>& guide_test_bins(const TestArtifact& art,
+                                                GuidanceMetric g) {
+  switch (g) {
+    case GuidanceMetric::kStatement: return art.stmt_bins;
+    case GuidanceMetric::kFsm: return art.fsm_bins;
+    default: return art.toggle_bins;
+  }
+}
+
+void run_one(SimStack& w, const CampaignConfig& cfg, bool use_suite,
+             const Program& test, std::uint64_t test_index,
+             TestArtifact& out) {
+  out.begin();
+  w.db.reset_hits();  // shard holds exactly this test's hits afterwards
+  if (use_suite) w.suite.begin_test();
+  w.dut->ctrl_cov().begin_test();
+  w.dut->ctrl_cov().set_recorder(&out.ctrl_states);
+  if (cfg.randomize_regs) {
+    // Per-test RNG stream keyed by campaign seed + global test index, so the
+    // register file is the same no matter which thread runs the test.
+    const std::uint64_t reg_seed = Rng(cfg.seed).fork(test_index).next_u64();
+    w.dut->set_reg_seed(reg_seed);
+    w.golden->set_reg_seed(reg_seed);
+  }
+  if (cfg.mismatch_detection) {
+    // Arm the comparator (which sinks the golden model) before the golden
+    // reset, so the reset skips its trace scratch like the DUT's does.
+    w.comparator.begin(w.detector, *w.golden, out.report);
+    w.golden->reset(test);
+    w.dut->set_sink(&w.comparator);
+  } else {
+    w.dut->set_sink(&w.discard);
+  }
+  w.dut->reset(test);
+  const sim::RunResult dut_run = w.dut->run();
+  if (cfg.mismatch_detection) w.comparator.finish();
+  w.dut->set_sink(nullptr);
+  w.dut->ctrl_cov().set_recorder(nullptr);
+
+  cov::extract_bins(w.db, out.cond_bins);
+  if (use_suite) {
+    w.suite.toggle().append_test_bins(out.toggle_bins);
+    w.suite.fsm().append_test_bins(out.fsm_bins);
+    w.suite.statement().append_test_bins(out.stmt_bins);
+  }
+  out.cycles = w.dut->cycles();
+  out.steps = dut_run.steps;
+}
+
+void run_span(std::vector<std::unique_ptr<SimStack>>& stacks,
+              const CampaignConfig& cfg, bool use_suite, const Program* tests,
+              std::size_t count, std::uint64_t base_index,
+              TestArtifact* artifacts) {
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  const auto drain = [&](std::size_t si) {
+    SimStack& w = *stacks[si];
+    try {
+      for (std::size_t i;
+           !failed.load(std::memory_order_relaxed) &&
+           (i = next.fetch_add(1)) < count;) {
+        run_one(w, cfg, use_suite, tests[i], base_index + i, artifacts[i]);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+  const std::size_t spawn = std::min(stacks.size(), count);
+  if (spawn <= 1) {
+    drain(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(spawn - 1);
+    for (std::size_t si = 1; si < spawn; ++si) pool.emplace_back(drain, si);
+    drain(0);
+    for (std::thread& t : pool) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace chatfuzz::core

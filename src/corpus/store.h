@@ -64,6 +64,14 @@ class CorpusStore {
 
   std::size_t size() const { return entries_.size(); }
   const StoreEntryMeta& meta(std::size_t i) const { return entries_[i].meta; }
+  /// Stored program length in u32 instruction words (tooling/stats).
+  std::size_t program_words(std::size_t i) const {
+    return entries_[i].num_words;
+  }
+  /// Number of shard files the entries span (0 for an empty store).
+  std::size_t num_shards() const {
+    return entries_.empty() ? 0 : entries_.back().shard + 1;
+  }
   ser::Status read_program(std::size_t i, core::Program* out) const;
   const std::string& dir() const { return dir_; }
   std::size_t shard_capacity() const { return shard_capacity_; }

@@ -66,6 +66,45 @@ void apply_bins(CoverageDB& dst, const std::vector<BinDelta>& bins) {
   }
 }
 
+void write_bin_deltas(ser::Writer& w, const std::vector<BinDelta>& bins) {
+  w.varint(bins.size());
+  // Bin ids ride as gaps off the previous id: extract_bins() produces
+  // ascending order and neighboring bins cluster, so gap + hit count are
+  // usually one varint byte each — 2 bytes against 12 for fixed-width,
+  // which is most of a distributed worker's per-test result frame.
+  std::uint32_t prev = 0;
+  for (const BinDelta& d : bins) {
+    w.varint(d.bin - prev);
+    w.varint(d.hits);
+    prev = d.bin;
+  }
+}
+
+bool read_bin_deltas(ser::Reader& r, std::vector<BinDelta>& out) {
+  out.clear();
+  const std::uint64_t n = r.varint();
+  // Two bytes minimum per delta: a corrupt count must not turn into an OOM.
+  if (!r.ok() || n > r.remaining() / 2) {
+    r.fail();
+    return false;
+  }
+  out.reserve(n);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    BinDelta d;
+    prev += r.varint();
+    if (prev > 0xffffffffull) {
+      r.fail();
+      return false;
+    }
+    d.bin = static_cast<std::uint32_t>(prev);
+    d.hits = r.varint();
+    out.push_back(d);
+    if (!r.ok()) return false;
+  }
+  return r.ok();
+}
+
 std::vector<UncoveredPoint> uncovered_points(const CoverageDB& db) {
   std::vector<UncoveredPoint> out;
   for (std::size_t i = 0; i < db.num_points(); ++i) {

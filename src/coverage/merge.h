@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "coverage/cover.h"
+#include "util/serialize.h"
 
 namespace chatfuzz::cov {
 
@@ -40,6 +41,18 @@ void extract_bins(const CoverageDB& src, std::vector<BinDelta>& out);
 /// Accumulate a sparse slice into `dst` (hit counts add). The slice must
 /// come from a DB with identical point registrations.
 void apply_bins(CoverageDB& dst, const std::vector<BinDelta>& bins);
+
+/// Wire encoding of a sparse slice — the unit of coverage a distributed
+/// campaign worker ships back per test (src/dist/). Bins must be in
+/// ascending order (what extract_bins produces): ids travel gap-encoded as
+/// varints, so slices from the same test are byte-identical no matter
+/// which process ran it, and typically ~2 bytes per delta. read_bin_deltas
+/// bounds-checks every count against the remaining payload and fails the
+/// reader instead of over-allocating on malformed input; a descending
+/// writer-side sequence decodes as an out-of-range id and fails the same
+/// way.
+void write_bin_deltas(ser::Writer& w, const std::vector<BinDelta>& bins);
+bool read_bin_deltas(ser::Reader& r, std::vector<BinDelta>& out);
 
 /// Names of points whose true or false bin is still uncovered — the
 /// verification-engineer view ("what is left to hit").

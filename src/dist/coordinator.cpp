@@ -1,0 +1,370 @@
+#include "dist/coordinator.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+extern char** environ;
+
+namespace chatfuzz::dist {
+
+namespace {
+
+/// Handshake window: covers exec + library init of a fresh worker. Lease
+/// traffic uses cfg.dist.lease_timeout_ms instead (0 = forever).
+constexpr int kHandshakeTimeoutMs = 60'000;
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::size_t Coordinator::effective_lease_tests(
+    const core::CampaignConfig& cfg) {
+  const std::size_t batch = std::max<std::size_t>(1, cfg.batch_size);
+  if (cfg.dist.lease_tests != 0) {
+    return std::min(cfg.dist.lease_tests, batch);
+  }
+  // Default: at least two leases per worker per batch, so a lost worker's
+  // outstanding work re-issues at useful granularity and the tail of a
+  // batch load-balances.
+  const std::size_t procs = std::max<std::size_t>(1, cfg.dist.num_procs);
+  return std::max<std::size_t>(1, (batch + 2 * procs - 1) / (2 * procs));
+}
+
+Coordinator::Coordinator(const core::CampaignConfig& cfg, bool use_suite)
+    : cfg_(cfg), use_suite_(use_suite),
+      lease_tests_(effective_lease_tests(cfg)) {
+  // 64 is the poll-set bound below and far beyond any sane per-host
+  // process fan-out; an absurd request degrades to 64, not to OOM.
+  workers_.resize(std::min<std::size_t>(cfg.dist.num_procs, 64));
+  for (std::size_t i = 0; i < workers_.size(); ++i) spawn_worker(i);
+  if (live_workers() == 0) {
+    throw std::runtime_error(
+        "dist coordinator: no worker process survived the handshake");
+  }
+}
+
+void Coordinator::spawn_worker(std::size_t index) {
+  WorkerProc& w = workers_[index];
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    std::fprintf(stderr, "dist coordinator: socketpair failed: %s\n",
+                 std::strerror(errno));
+    return;
+  }
+  // The parent end must not leak into workers spawned later (a held-open
+  // copy would mask this worker's EOF-on-death signal).
+  ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+
+  const std::string exe = cfg_.dist.worker_exe.empty()
+                              ? std::string("/proc/self/exe")
+                              : cfg_.dist.worker_exe;
+  const std::string fd_arg = std::to_string(sv[1]);
+  char* const argv[] = {const_cast<char*>(exe.c_str()),
+                        const_cast<char*>("worker"),
+                        const_cast<char*>(fd_arg.c_str()), nullptr};
+  pid_t pid = -1;
+  const int rc =
+      ::posix_spawn(&pid, exe.c_str(), nullptr, nullptr, argv, environ);
+  ::close(sv[1]);
+  if (rc != 0) {
+    ::close(sv[0]);
+    std::fprintf(stderr, "dist coordinator: cannot spawn %s: %s\n",
+                 exe.c_str(), std::strerror(rc));
+    return;
+  }
+  w.pid = pid;
+  w.chan = FrameChannel(sv[0]);
+  w.alive = true;
+  ++stats_.workers_spawned;
+
+  // Handshake: hello (version check) then the campaign config.
+  std::string payload;
+  ser::Status s = w.chan.recv_frame(&payload, kHandshakeTimeoutMs);
+  HelloMsg hello;
+  if (s.ok()) s = decode_hello(payload, &hello);
+  if (s.ok() && hello.protocol != kProtocolVersion) {
+    s = ser::Status::error("worker speaks protocol v" +
+                           std::to_string(hello.protocol) + ", expected v" +
+                           std::to_string(kProtocolVersion));
+  }
+  if (s.ok()) {
+    ConfigMsg config;
+    config.cfg = cfg_;
+    config.use_suite = use_suite_;
+    config.worker_index = index;
+    config.max_lease_tests = lease_tests_;
+    config.debug_hang = index == cfg_.dist.debug_hang_worker;
+    s = w.chan.send_frame(encode_config(config));
+  }
+  if (!s.ok()) lose_worker(index, s.message(), nullptr);
+}
+
+void Coordinator::lose_worker(std::size_t index, const std::string& why,
+                              std::vector<std::size_t>* requeue) {
+  WorkerProc& w = workers_[index];
+  if (!w.alive) return;
+  std::fprintf(stderr, "dist coordinator: losing worker %zu (pid %d): %s\n",
+               index, static_cast<int>(w.pid), why.c_str());
+  w.chan.close();
+  ::kill(w.pid, SIGKILL);
+  ::waitpid(w.pid, nullptr, 0);
+  w.alive = false;
+  ++stats_.workers_lost;
+  if (requeue != nullptr) {
+    for (std::size_t l : w.leases) {
+      requeue->push_back(l);
+      ++stats_.leases_reissued;
+    }
+  }
+  w.leases.clear();
+}
+
+std::size_t Coordinator::live_workers() const {
+  std::size_t n = 0;
+  for (const WorkerProc& w : workers_) n += w.alive ? 1 : 0;
+  return n;
+}
+
+void Coordinator::maybe_fire_kill_injection() {
+  const std::size_t target = cfg_.dist.debug_kill_worker;
+  if (kill_fired_ || target >= workers_.size()) return;
+  if (results_folded_ < cfg_.dist.debug_kill_after_results) return;
+  kill_fired_ = true;
+  if (workers_[target].alive) {
+    // SIGKILL only — detection and lease reassignment must flow through the
+    // same EOF path a real worker crash takes.
+    ::kill(workers_[target].pid, SIGKILL);
+  }
+}
+
+void Coordinator::run_batch(const std::vector<core::Program>& batch,
+                            std::uint64_t base,
+                            std::vector<core::TestArtifact>& artifacts,
+                            const LeaseReadyFn& on_ready) {
+  const std::size_t num_leases =
+      (batch.size() + lease_tests_ - 1) / lease_tests_;
+  // Queue of lease indices still to (re)assign; popped back-to-front so
+  // first-time issue runs ascending. Order is scheduling only — the fold is
+  // by canonical artifact slot, not arrival.
+  std::vector<std::size_t> queue;
+  queue.reserve(num_leases);
+  for (std::size_t l = num_leases; l > 0; --l) queue.push_back(l - 1);
+  std::vector<std::uint8_t> done(num_leases, 0);
+  std::size_t remaining = num_leases;
+  std::size_t next_ready = 0;  // first lease not yet announced to on_ready
+
+  const auto lease_range = [&](std::size_t l) {
+    const std::size_t start = l * lease_tests_;
+    const std::size_t count = std::min(lease_tests_, batch.size() - start);
+    return std::pair<std::size_t, std::size_t>(start, count);
+  };
+
+  /// Announce every contiguous completed lease past the fold frontier, as
+  /// one span — keeps the engine folding in canonical order with no gaps
+  /// while the remaining leases are still out simulating.
+  const auto announce_ready = [&] {
+    if (!on_ready) return;
+    const std::size_t first = next_ready;
+    while (next_ready < num_leases && done[next_ready] != 0) ++next_ready;
+    if (next_ready == first) return;
+    const std::size_t start = first * lease_tests_;
+    const std::size_t end =
+        std::min(batch.size(), next_ready * lease_tests_);
+    on_ready(start, end - start);
+  };
+
+  LeaseResultMsg result;
+  while (remaining > 0) {
+    if (live_workers() == 0) {
+      throw std::runtime_error(
+          "dist coordinator: every worker process was lost; " +
+          std::to_string(remaining) + " lease(s) of the current batch "
+          "cannot be completed");
+    }
+
+    // Assign queued leases to survivors with capacity, round-robin so the
+    // double-buffer slots fill evenly before anyone gets a second lease.
+    for (std::size_t depth = 0; depth < 2 && !queue.empty(); ++depth) {
+      for (std::size_t wi = 0; wi < workers_.size() && !queue.empty();
+           ++wi) {
+        WorkerProc& w = workers_[wi];
+        if (!w.alive || w.leases.size() != depth) continue;
+        const std::size_t l = queue.back();
+        const auto [start, count] = lease_range(l);
+        LeaseMsg lease;
+        lease.lease_id = l;
+        lease.base_index = base + start;
+        lease.tests.assign(
+            batch.begin() + static_cast<std::ptrdiff_t>(start),
+            batch.begin() + static_cast<std::ptrdiff_t>(start + count));
+        // Bound the send by the same no-progress window as receives: a
+        // worker that stops draining its socket is hung, and a stalled
+        // send must not keep run_batch from ever reaching the expiry loop.
+        const int send_timeout =
+            cfg_.dist.lease_timeout_ms != 0
+                ? static_cast<int>(cfg_.dist.lease_timeout_ms)
+                : -1;
+        const ser::Status s =
+            w.chan.send_frame(encode_lease(lease), send_timeout);
+        if (!s.ok()) {
+          // Dead on send: do NOT pop — the lease stays queued for a
+          // survivor.
+          lose_worker(wi, s.message(), &queue);
+          continue;
+        }
+        queue.pop_back();
+        w.leases.push_back(l);
+        w.last_progress_ms = now_ms();
+        ++stats_.leases_issued;
+      }
+    }
+    maybe_fire_kill_injection();
+
+    // Wait for any busy worker to deliver (or for a lease to time out).
+    struct pollfd pfds[64];
+    std::size_t worker_of_pfd[64];
+    std::size_t n_pfds = 0;
+    int timeout = -1;
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+      const WorkerProc& w = workers_[wi];
+      if (!w.alive || w.leases.empty()) continue;
+      if (n_pfds < 64) {
+        pfds[n_pfds] = {w.chan.fd(), POLLIN, 0};
+        worker_of_pfd[n_pfds] = wi;
+        ++n_pfds;
+      }
+      if (cfg_.dist.lease_timeout_ms != 0) {
+        const auto deadline =
+            w.last_progress_ms +
+            static_cast<std::int64_t>(cfg_.dist.lease_timeout_ms);
+        const auto left = deadline - now_ms();
+        const int left_ms = static_cast<int>(std::max<std::int64_t>(0, left));
+        timeout = timeout < 0 ? left_ms : std::min(timeout, left_ms);
+      }
+    }
+    if (n_pfds == 0) continue;  // survivors exist but all idle: reassign
+    const int pr = ::poll(pfds, static_cast<nfds_t>(n_pfds), timeout);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("dist coordinator: poll: ") +
+                               std::strerror(errno));
+    }
+
+    // Expire hung leases (poll timed out, or delivery raced the deadline).
+    if (cfg_.dist.lease_timeout_ms != 0) {
+      const std::int64_t now = now_ms();
+      for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+        WorkerProc& w = workers_[wi];
+        if (!w.alive || w.leases.empty()) continue;
+        const bool readable = [&] {
+          for (std::size_t p = 0; p < n_pfds; ++p) {
+            if (worker_of_pfd[p] == wi) return (pfds[p].revents & POLLIN) != 0;
+          }
+          return false;
+        }();
+        if (!readable &&
+            now - w.last_progress_ms >=
+                static_cast<std::int64_t>(cfg_.dist.lease_timeout_ms)) {
+          lose_worker(wi, "lease timed out (hung worker)", &queue);
+        }
+      }
+    }
+
+    for (std::size_t p = 0; p < n_pfds; ++p) {
+      if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const std::size_t wi = worker_of_pfd[p];
+      WorkerProc& w = workers_[wi];
+      if (!w.alive) continue;  // lost above
+      std::string payload;
+      ser::Status s = w.chan.recv_frame(
+          &payload, cfg_.dist.lease_timeout_ms != 0
+                        ? static_cast<int>(cfg_.dist.lease_timeout_ms)
+                        : -1);
+      if (s.ok()) s = decode_lease_result(payload, &result);
+      if (s.ok() &&
+          (w.leases.empty() || result.lease_id != w.leases.front())) {
+        // Leases are served FIFO over a FIFO socket, so anything but the
+        // head is a protocol violation.
+        s = ser::Status::error("worker answered lease " +
+                               std::to_string(result.lease_id) +
+                               " out of order or unheld");
+      }
+      if (s.ok()) {
+        const std::size_t l = w.leases.front();
+        const auto [start, count] = lease_range(l);
+        if (result.artifacts.size() != count) {
+          s = ser::Status::error("lease result carries " +
+                                 std::to_string(result.artifacts.size()) +
+                                 " artifacts, expected " +
+                                 std::to_string(count));
+        } else {
+          // Canonical slots: WHERE a test ran never shows in the fold.
+          for (std::size_t j = 0; j < count; ++j) {
+            artifacts[start + j] = std::move(result.artifacts[j]);
+          }
+          done[l] = 1;
+          --remaining;
+          ++results_folded_;
+          w.leases.erase(w.leases.begin());
+          w.last_progress_ms = now_ms();
+          announce_ready();
+        }
+      }
+      if (!s.ok()) {
+        lose_worker(wi, s.message(), &queue);
+        continue;
+      }
+      maybe_fire_kill_injection();
+    }
+  }
+}
+
+Coordinator::~Coordinator() {
+  for (WorkerProc& w : workers_) {
+    if (!w.alive) continue;
+    // Best-effort clean shutdown; EOF from the closed channel doubles as
+    // the signal for workers that miss the frame.
+    (void)w.chan.send_frame(encode_shutdown());
+    w.chan.close();
+  }
+  // One shared grace window across all children, then force the
+  // stragglers: teardown is bounded at ~5s total no matter how many
+  // workers wedged, and the destructor can never hang.
+  const std::int64_t deadline = now_ms() + 5'000;
+  bool pending = true;
+  while (pending && now_ms() < deadline) {
+    pending = false;
+    for (WorkerProc& w : workers_) {
+      if (!w.alive) continue;
+      if (::waitpid(w.pid, nullptr, WNOHANG) == w.pid) {
+        w.alive = false;
+      } else {
+        pending = true;
+      }
+    }
+    if (pending) ::usleep(100'000);
+  }
+  for (WorkerProc& w : workers_) {
+    if (!w.alive) continue;
+    ::kill(w.pid, SIGKILL);
+    ::waitpid(w.pid, nullptr, 0);
+    w.alive = false;
+  }
+}
+
+}  // namespace chatfuzz::dist

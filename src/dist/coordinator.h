@@ -1,0 +1,104 @@
+// Coordinator of the distributed campaign subsystem: owns N worker
+// processes (re-exec'ed copies of this binary in the hidden `worker` mode,
+// one socketpair each), splits every batch into fixed-size test-index
+// leases, and collects one TestArtifact per test back into the batch's
+// canonical slots. The campaign engine then folds those artifacts exactly
+// as it folds thread-pool artifacts — which is the whole determinism story:
+// the coordinator changes WHERE tests run, never what is folded or in what
+// order, so results, coverage DB bytes, mismatch DB bytes and corpus-store
+// bytes are bit-identical to a single-process run for any process count,
+// worker thread count and lease schedule.
+//
+// Fault tolerance: a worker that dies (EOF/SIGKILL/crash) or exceeds the
+// lease timeout is discarded and its outstanding lease is re-issued to a
+// survivor. A lease is folded exactly once — reassignment only ever happens
+// after the original worker's channel is closed, so a duplicate result
+// cannot arrive. When the last worker is lost the batch (and campaign)
+// fails with std::runtime_error, matching the engine's error contract.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/sim_worker.h"
+#include "dist/protocol.h"
+
+namespace chatfuzz::dist {
+
+/// Observability counters (tests assert on these; benches report them).
+struct CoordinatorStats {
+  std::size_t workers_spawned = 0;
+  std::size_t workers_lost = 0;    // died, crashed, or killed for a timeout
+  std::size_t leases_issued = 0;   // first-time assignments
+  std::size_t leases_reissued = 0; // reassignments after a lost worker
+};
+
+class Coordinator {
+ public:
+  /// Spawns and handshakes cfg.dist.num_procs workers. Throws
+  /// std::runtime_error when no worker comes up.
+  Coordinator(const core::CampaignConfig& cfg, bool use_suite);
+  /// Sends shutdown to survivors and reaps every child.
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Ready notification for the engine's incremental fold: artifact slots
+  /// [start, start+count) are filled AND every slot before them has already
+  /// been announced — calls arrive in canonical order with no gaps, so the
+  /// engine folds lease results while later leases are still simulating
+  /// (the coordinator's decode+fold overlaps worker wall-clock instead of
+  /// serializing after the batch barrier).
+  using LeaseReadyFn =
+      std::function<void(std::size_t start, std::size_t count)>;
+
+  /// Simulate `batch` (global indices [base, base+batch.size())) across the
+  /// worker pool. artifacts[i] receives test base+i's artifact; the vector
+  /// must already have batch.size() slots. Throws when every worker is
+  /// lost.
+  void run_batch(const std::vector<core::Program>& batch, std::uint64_t base,
+                 std::vector<core::TestArtifact>& artifacts,
+                 const LeaseReadyFn& on_ready = {});
+
+  const CoordinatorStats& stats() const { return stats_; }
+  std::size_t live_workers() const;
+
+  /// Tests per lease for this config: cfg.dist.lease_tests, or the
+  /// ceil(batch / 2*procs) default, clamped to [1, batch_size].
+  static std::size_t effective_lease_tests(const core::CampaignConfig& cfg);
+
+ private:
+  struct WorkerProc {
+    pid_t pid = -1;
+    FrameChannel chan;
+    bool alive = false;
+    /// Outstanding leases, FIFO (workers serve strictly in order, so
+    /// results must arrive front-first). Capped at two: the second lease
+    /// double-buffers — it sits in the worker's socket so the worker rolls
+    /// straight into it while the coordinator decodes and folds the
+    /// previous result, instead of idling a round-trip per lease.
+    std::vector<std::size_t> leases;
+    std::int64_t last_progress_ms = 0;  // steady ms of last assign/result
+  };
+
+  void spawn_worker(std::size_t index);
+  /// Close, kill, reap; re-queues the outstanding lease if any.
+  void lose_worker(std::size_t index, const std::string& why,
+                   std::vector<std::size_t>* requeue);
+  void maybe_fire_kill_injection();
+
+  core::CampaignConfig cfg_;
+  bool use_suite_ = false;
+  std::size_t lease_tests_ = 1;
+  std::vector<WorkerProc> workers_;
+  CoordinatorStats stats_;
+  std::size_t results_folded_ = 0;
+  bool kill_fired_ = false;
+};
+
+}  // namespace chatfuzz::dist

@@ -1,0 +1,360 @@
+#include "dist/protocol.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "core/checkpoint.h"
+
+namespace chatfuzz::dist {
+
+namespace {
+
+ser::Status proto_error(const char* what) {
+  return ser::Status::error(std::string("dist protocol: ") + what);
+}
+
+/// Payloads all start with the type tag; a decoder first consumes and
+/// checks it.
+bool take_type(ser::Reader& r, MsgType want) {
+  const std::uint8_t t = r.u8();
+  if (!r.ok() || t != static_cast<std::uint8_t>(want)) {
+    r.fail();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MsgType peek_type(const std::string& payload) {
+  if (payload.empty()) return MsgType::kInvalid;
+  const auto t = static_cast<std::uint8_t>(payload[0]);
+  if (t < static_cast<std::uint8_t>(MsgType::kHello) ||
+      t > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+    return MsgType::kInvalid;
+  }
+  return static_cast<MsgType>(t);
+}
+
+std::string encode_hello(const HelloMsg& msg) {
+  ser::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kHello));
+  w.u32(msg.protocol);
+  w.u64(msg.pid);
+  return w.take();
+}
+
+ser::Status decode_hello(const std::string& payload, HelloMsg* msg) {
+  ser::Reader r(payload);
+  if (!take_type(r, MsgType::kHello)) return proto_error("not a hello frame");
+  msg->protocol = r.u32();
+  msg->pid = r.u64();
+  if (!r.done()) return proto_error("malformed hello frame");
+  return {};
+}
+
+std::string encode_config(const ConfigMsg& msg) {
+  ser::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kConfig));
+  w.u32(msg.protocol);
+  core::write_campaign_config(w, msg.cfg);
+  w.boolean(msg.use_suite);
+  w.u64(msg.worker_index);
+  w.u64(msg.max_lease_tests);
+  w.boolean(msg.debug_hang);
+  return w.take();
+}
+
+ser::Status decode_config(const std::string& payload, ConfigMsg* msg) {
+  ser::Reader r(payload);
+  if (!take_type(r, MsgType::kConfig)) {
+    return proto_error("not a config frame");
+  }
+  msg->protocol = r.u32();
+  if (!core::read_campaign_config(r, msg->cfg)) {
+    return proto_error("malformed campaign config in config frame");
+  }
+  msg->use_suite = r.boolean();
+  msg->worker_index = r.u64();
+  msg->max_lease_tests = r.u64();
+  msg->debug_hang = r.boolean();
+  if (!r.done()) return proto_error("malformed config frame");
+  return {};
+}
+
+std::string encode_lease(const LeaseMsg& msg) {
+  ser::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kLease));
+  w.u64(msg.lease_id);
+  w.u64(msg.base_index);
+  w.u64(msg.tests.size());
+  for (const core::Program& p : msg.tests) w.vec_u32(p);
+  return w.take();
+}
+
+ser::Status decode_lease(const std::string& payload, LeaseMsg* msg) {
+  ser::Reader r(payload);
+  if (!take_type(r, MsgType::kLease)) return proto_error("not a lease frame");
+  msg->lease_id = r.u64();
+  msg->base_index = r.u64();
+  const std::uint64_t n = r.u64();
+  // Every program carries at least its own length prefix.
+  if (!r.ok() || n > r.remaining() / 8) {
+    return proto_error("lease frame test count exceeds payload");
+  }
+  msg->tests.clear();
+  msg->tests.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    msg->tests.push_back(r.vec_u32());
+    if (!r.ok()) return proto_error("malformed program in lease frame");
+  }
+  if (!r.done()) return proto_error("malformed lease frame");
+  return {};
+}
+
+namespace {
+
+/// Metric-bin journals: small indices, journal order (not necessarily
+/// sorted — FSM/statement journals are first-hit order), so plain varints
+/// rather than gap encoding.
+void write_bin_journal(ser::Writer& w, const std::vector<std::size_t>& v) {
+  w.varint(v.size());
+  for (std::size_t x : v) w.varint(x);
+}
+
+bool read_bin_journal(ser::Reader& r, std::vector<std::size_t>& out) {
+  out.clear();
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n > r.remaining()) {  // >= 1 byte per entry
+    r.fail();
+    return false;
+  }
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<std::size_t>(r.varint()));
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+void write_artifact(ser::Writer& w, const core::TestArtifact& art) {
+  cov::write_bin_deltas(w, art.cond_bins);
+  w.vec_u64(art.ctrl_states);
+  write_bin_journal(w, art.toggle_bins);
+  write_bin_journal(w, art.fsm_bins);
+  write_bin_journal(w, art.stmt_bins);
+  w.varint(art.cycles);
+  w.varint(art.steps);
+  mismatch::write_report_summary(w, art.report);
+}
+
+bool read_artifact(ser::Reader& r, core::TestArtifact& art) {
+  art.begin();
+  if (!cov::read_bin_deltas(r, art.cond_bins)) return false;
+  art.ctrl_states = r.vec_u64();
+  if (!read_bin_journal(r, art.toggle_bins) ||
+      !read_bin_journal(r, art.fsm_bins) ||
+      !read_bin_journal(r, art.stmt_bins)) {
+    return false;
+  }
+  art.cycles = r.varint();
+  art.steps = r.varint();
+  if (!r.ok()) return false;
+  return mismatch::read_report_summary(r, art.report);
+}
+
+std::string encode_lease_result(const LeaseResultMsg& msg) {
+  ser::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kLeaseResult));
+  w.u64(msg.lease_id);
+  w.u64(msg.artifacts.size());
+  for (const core::TestArtifact& art : msg.artifacts) write_artifact(w, art);
+  return w.take();
+}
+
+ser::Status decode_lease_result(const std::string& payload,
+                                LeaseResultMsg* msg) {
+  ser::Reader r(payload);
+  if (!take_type(r, MsgType::kLeaseResult)) {
+    return proto_error("not a lease-result frame");
+  }
+  msg->lease_id = r.u64();
+  const std::uint64_t n = r.u64();
+  // An artifact is never smaller than its fixed-width fields (~16 bytes of
+  // length prefixes and counters).
+  if (!r.ok() || n > r.remaining() / 16) {
+    return proto_error("lease-result artifact count exceeds payload");
+  }
+  msg->artifacts.clear();
+  msg->artifacts.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!read_artifact(r, msg->artifacts[i])) {
+      return proto_error("malformed artifact in lease-result frame");
+    }
+  }
+  if (!r.done()) return proto_error("malformed lease-result frame");
+  return {};
+}
+
+std::string encode_shutdown() {
+  ser::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kShutdown));
+  return w.take();
+}
+
+// ---------------------------------------------------------------------------
+// FrameChannel
+// ---------------------------------------------------------------------------
+
+FrameChannel& FrameChannel::operator=(FrameChannel&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void FrameChannel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ser::Status FrameChannel::send_frame(const std::string& payload,
+                                     int timeout_ms) {
+  if (fd_ < 0) return proto_error("send on closed channel");
+  if (payload.size() > kMaxFramePayload) {
+    return proto_error("frame payload exceeds the size limit");
+  }
+  ser::Writer header;
+  header.u32(kFrameMagic);
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u32(ser::crc32(payload.data(), payload.size()));
+  const std::string& head = header.buffer();
+
+  std::chrono::steady_clock::time_point deadline;
+  const bool bounded = timeout_ms >= 0;
+  if (bounded) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(timeout_ms);
+  }
+  // MSG_DONTWAIT keeps each send nonblocking regardless of fd flags (the
+  // read side stays blocking); a full buffer parks in poll(POLLOUT) with
+  // the remaining window instead of wedging in the kernel.
+  const char* error = nullptr;
+  const auto send_all = [&](const char* data, std::size_t size) -> bool {
+    std::size_t off = 0;
+    while (off < size) {
+      const ssize_t n = ::send(fd_, data + off, size - off,
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) return false;
+        int wait_ms = -1;
+        if (bounded) {
+          const auto left =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - std::chrono::steady_clock::now());
+          if (left.count() <= 0) {
+            error = "send timed out (peer not draining)";
+            return false;
+          }
+          wait_ms = static_cast<int>(left.count());
+        }
+        struct pollfd pfd{fd_, POLLOUT, 0};
+        const int pr = ::poll(&pfd, 1, wait_ms);
+        if (pr < 0 && errno != EINTR) return false;
+        if (pr == 0) {
+          error = "send timed out (peer not draining)";
+          return false;
+        }
+        continue;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  if (!send_all(head.data(), head.size()) ||
+      !send_all(payload.data(), payload.size())) {
+    if (error != nullptr) return proto_error(error);
+    return ser::Status::error(std::string("dist protocol: send failed: ") +
+                              std::strerror(errno));
+  }
+  return {};
+}
+
+namespace {
+
+/// Read exactly `size` bytes before `deadline` (or block forever when the
+/// caller passed no timeout). Partial reads resume; EOF/error/timeout fail.
+ser::Status read_exact(int fd, char* out, std::size_t size,
+                       const std::chrono::steady_clock::time_point* deadline) {
+  std::size_t off = 0;
+  while (off < size) {
+    int wait_ms = -1;
+    if (deadline != nullptr) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) return proto_error("receive timed out");
+      wait_ms = static_cast<int>(remaining.count());
+    }
+    struct pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, wait_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return ser::Status::error(std::string("dist protocol: poll failed: ") +
+                                std::strerror(errno));
+    }
+    if (pr == 0) return proto_error("receive timed out");
+    const ssize_t n = ::read(fd, out + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ser::Status::error(std::string("dist protocol: read failed: ") +
+                                std::strerror(errno));
+    }
+    if (n == 0) return proto_error("peer closed the channel mid-frame");
+    off += static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+}  // namespace
+
+ser::Status FrameChannel::recv_frame(std::string* payload, int timeout_ms) {
+  if (fd_ < 0) return proto_error("receive on closed channel");
+  std::chrono::steady_clock::time_point deadline;
+  const std::chrono::steady_clock::time_point* dl = nullptr;
+  if (timeout_ms >= 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(timeout_ms);
+    dl = &deadline;
+  }
+  char head[12];
+  ser::Status s = read_exact(fd_, head, sizeof head, dl);
+  if (!s.ok()) return s;
+  ser::Reader hr(std::string_view(head, sizeof head));
+  const std::uint32_t magic = hr.u32();
+  const std::uint32_t len = hr.u32();
+  const std::uint32_t crc = hr.u32();
+  if (magic != kFrameMagic) return proto_error("bad frame magic");
+  if (len > kMaxFramePayload) {
+    return proto_error("frame length prefix exceeds the size limit");
+  }
+  payload->resize(len);
+  s = read_exact(fd_, payload->data(), len, dl);
+  if (!s.ok()) return s;
+  if (ser::crc32(payload->data(), payload->size()) != crc) {
+    return proto_error("frame CRC mismatch");
+  }
+  return {};
+}
+
+}  // namespace chatfuzz::dist

@@ -1,0 +1,140 @@
+// Wire protocol of the distributed campaign subsystem: length-prefixed,
+// CRC'd frames over a connected stream socket (the coordinator/worker
+// socketpair), with versioned messages encoded through util/serialize.
+//
+//   frame   := [magic u32][payload_len u32][crc32(payload) u32][payload]
+//   payload := [msg type u8][fields...]
+//
+// Contract: a malformed frame — wrong magic, absurd length, CRC failure,
+// short read, unknown message type, truncated fields — surfaces as a
+// ser::Status error (or a failed Reader), NEVER as a crash or an
+// out-of-bounds read; every decoder bounds-checks counts against the bytes
+// actually present. The protocol version travels in the hello/config
+// handshake and is exact-match: a coordinator refuses workers speaking
+// anything else.
+//
+// Message flow (coordinator <-> worker):
+//   worker -> kHello            once, immediately after exec
+//   coord  -> kConfig           campaign config + per-worker knobs
+//   coord  -> kLease            a [base, base+n) slice of a batch, with
+//                               the test programs (the generator lives on
+//                               the coordinator; workers only simulate)
+//   worker -> kLeaseResult      per-test artifacts: sparse coverage deltas,
+//                               metric bins, ctrl states, mismatch records
+//                               with signatures, cycle/step stats — and no
+//                               trace or test bytes (the coordinator keeps
+//                               the batch it generated, so result frames
+//                               stay small)
+//   coord  -> kShutdown         clean exit at campaign end
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/sim_worker.h"
+#include "util/serialize.h"
+
+namespace chatfuzz::dist {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kFrameMagic = 0x4346444D;  // "CFDM"
+/// Upper bound on one frame's payload; a length prefix beyond this is
+/// treated as corruption (it would otherwise become an allocation bomb).
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 28;  // 256 MiB
+
+enum class MsgType : std::uint8_t {
+  kInvalid = 0,
+  kHello = 1,
+  kConfig = 2,
+  kLease = 3,
+  kLeaseResult = 4,
+  kShutdown = 5,
+};
+
+struct HelloMsg {
+  std::uint32_t protocol = kProtocolVersion;
+  std::uint64_t pid = 0;
+};
+
+struct ConfigMsg {
+  std::uint32_t protocol = kProtocolVersion;
+  core::CampaignConfig cfg;        // simulation-relevant subset (see
+                                   // core::write_campaign_config)
+  bool use_suite = false;          // attach the toggle/FSM/statement suite
+  std::uint64_t worker_index = 0;  // this worker's slot (diagnostics)
+  std::uint64_t max_lease_tests = 1;  // cap for the worker's thread pool
+  bool debug_hang = false;         // fault injection: stall on first lease
+};
+
+struct LeaseMsg {
+  std::uint64_t lease_id = 0;
+  std::uint64_t base_index = 0;    // global index of tests[0]
+  std::vector<core::Program> tests;
+};
+
+struct LeaseResultMsg {
+  std::uint64_t lease_id = 0;
+  std::vector<core::TestArtifact> artifacts;  // one per leased test, in order
+};
+
+/// Type tag of an encoded payload (kInvalid when empty).
+MsgType peek_type(const std::string& payload);
+
+std::string encode_hello(const HelloMsg& msg);
+std::string encode_config(const ConfigMsg& msg);
+std::string encode_lease(const LeaseMsg& msg);
+std::string encode_lease_result(const LeaseResultMsg& msg);
+std::string encode_shutdown();
+
+/// Decoders verify the type tag, every field, and full consumption of the
+/// payload. On error the out-param may be partially filled; the Status
+/// says what broke.
+ser::Status decode_hello(const std::string& payload, HelloMsg* msg);
+ser::Status decode_config(const std::string& payload, ConfigMsg* msg);
+ser::Status decode_lease(const std::string& payload, LeaseMsg* msg);
+ser::Status decode_lease_result(const std::string& payload,
+                                LeaseResultMsg* msg);
+
+/// Per-test artifact encoding (shared by result frames; exposed for tests).
+void write_artifact(ser::Writer& w, const core::TestArtifact& art);
+bool read_artifact(ser::Reader& r, core::TestArtifact& art);
+
+// ---------------------------------------------------------------------------
+// FrameChannel: frame transport over one connected stream-socket fd. Writes
+// use send(MSG_NOSIGNAL) so a peer death yields a Status error instead of
+// SIGPIPE; reads can carry a deadline (poll + partial-read resume) for
+// hung-peer detection. Not thread-safe; each side owns its channel.
+// ---------------------------------------------------------------------------
+class FrameChannel {
+ public:
+  FrameChannel() = default;
+  explicit FrameChannel(int fd) : fd_(fd) {}
+  FrameChannel(FrameChannel&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  FrameChannel& operator=(FrameChannel&& o) noexcept;
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+  ~FrameChannel() { close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Send one complete frame around `payload`. `timeout_ms` < 0 blocks
+  /// until the peer drains its socket or dies; otherwise a peer that stops
+  /// reading for the whole window turns the stalled send into an error
+  /// (the coordinator passes its hung-worker timeout here, so a wedged
+  /// worker cannot hang it in send any more than in receive).
+  ser::Status send_frame(const std::string& payload, int timeout_ms = -1);
+
+  /// Receive one complete frame's payload. `timeout_ms` < 0 blocks until
+  /// the peer delivers or dies; otherwise the whole frame must arrive
+  /// within the window. EOF, timeout and corruption all return errors.
+  ser::Status recv_frame(std::string* payload, int timeout_ms = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace chatfuzz::dist

@@ -1,0 +1,139 @@
+#include "dist/worker.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/sim_worker.h"
+#include "dist/protocol.h"
+
+namespace chatfuzz::dist {
+
+namespace {
+
+int fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "chatfuzz worker: %s%s%s\n", what,
+               detail.empty() ? "" : ": ", detail.c_str());
+  return 1;
+}
+
+/// Run one lease across the stack pool via the shared span runner
+/// (core::run_span: increasing in-lease claim order per stack). Because
+/// every stack's ctrl dedup set is reset at the lease boundary first, the
+/// artifacts cannot under-report a state some earlier (possibly
+/// reassigned-away) lease saw. Returns false on a simulation exception
+/// (reported to stderr).
+bool run_lease(const core::CampaignConfig& cfg, bool use_suite,
+               std::vector<std::unique_ptr<core::SimStack>>& stacks,
+               const LeaseMsg& lease,
+               std::vector<core::TestArtifact>& artifacts) {
+  artifacts.resize(lease.tests.size());
+  for (auto& stack : stacks) stack->dut->ctrl_cov().reset();
+  try {
+    core::run_span(stacks, cfg, use_suite, lease.tests.data(),
+                   lease.tests.size(), lease.base_index, artifacts.data());
+  } catch (const std::exception& e) {
+    fail("simulation failed", e.what());
+    return false;
+  } catch (...) {
+    fail("simulation failed", "unknown exception");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int worker_main(int fd) {
+  FrameChannel chan(fd);
+
+  HelloMsg hello;
+  hello.pid = static_cast<std::uint64_t>(::getpid());
+  ser::Status s = chan.send_frame(encode_hello(hello));
+  if (!s.ok()) return fail("cannot greet coordinator", s.message());
+
+  std::string payload;
+  s = chan.recv_frame(&payload);
+  if (!s.ok()) return fail("no config from coordinator", s.message());
+  ConfigMsg config;
+  s = decode_config(payload, &config);
+  if (!s.ok()) return fail("bad config", s.message());
+  if (config.protocol != kProtocolVersion) {
+    return fail("protocol version mismatch",
+                "coordinator speaks v" + std::to_string(config.protocol));
+  }
+  const core::CampaignConfig& cfg = config.cfg;
+  const bool use_suite = config.use_suite;
+
+  // Thread pool sizing mirrors the in-process engine: num_workers threads
+  // (0 = hardware concurrency), clamped to the widest lease this campaign
+  // will ever hand out — wider stacks would be dead weight.
+  const std::size_t requested = std::max<std::size_t>(
+      1, cfg.num_workers != 0 ? cfg.num_workers
+                              : std::thread::hardware_concurrency());
+  const std::size_t num_stacks = std::min(
+      requested, std::max<std::size_t>(1, config.max_lease_tests));
+  std::vector<std::unique_ptr<core::SimStack>> stacks;
+  stacks.reserve(num_stacks);
+  try {
+    for (std::size_t i = 0; i < num_stacks; ++i) {
+      stacks.push_back(std::make_unique<core::SimStack>(cfg, use_suite));
+    }
+  } catch (const std::exception& e) {
+    return fail("cannot build simulation stacks", e.what());
+  }
+
+  LeaseMsg lease;
+  LeaseResultMsg result;
+  bool hang_armed = config.debug_hang;
+  for (;;) {
+    s = chan.recv_frame(&payload);
+    // EOF here means the coordinator died (or dropped us); there is nobody
+    // left to report to, so just exit nonzero.
+    if (!s.ok()) return fail("lost coordinator", s.message());
+    switch (peek_type(payload)) {
+      case MsgType::kShutdown:
+        return 0;
+      case MsgType::kLease: {
+        s = decode_lease(payload, &lease);
+        if (!s.ok()) return fail("bad lease", s.message());
+        if (hang_armed) {
+          // Fault injection: simulate a wedged worker. The coordinator's
+          // lease timeout must kill us and re-issue the lease.
+          ::pause();
+          return 1;
+        }
+        result.lease_id = lease.lease_id;
+        if (!run_lease(cfg, use_suite, stacks, lease, result.artifacts)) {
+          return 1;
+        }
+        s = chan.send_frame(encode_lease_result(result));
+        if (!s.ok()) return fail("cannot return lease result", s.message());
+        break;
+      }
+      default:
+        return fail("unexpected frame from coordinator", "");
+    }
+  }
+}
+
+std::optional<int> maybe_worker_main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "worker") != 0) return std::nullopt;
+  if (argc != 3) {
+    return fail("usage: worker <fd>",
+                "(internal mode; spawned by fuzz --procs)");
+  }
+  char* end = nullptr;
+  const long fd = std::strtol(argv[2], &end, 10);
+  if (end == argv[2] || *end != '\0' || fd < 0) {
+    return fail("worker fd must be a non-negative integer", argv[2]);
+  }
+  return worker_main(static_cast<int>(fd));
+}
+
+}  // namespace chatfuzz::dist

@@ -1,0 +1,31 @@
+// Worker-process entry point of the distributed campaign subsystem. A
+// worker is this same binary re-exec'ed with `worker <fd>` argv (hidden
+// from normal usage): it speaks the dist protocol over the inherited
+// socketpair fd, builds a pool of core::SimStack simulation stacks from the
+// coordinator's Config message, and runs each incoming lease through the
+// PR-4 streaming engine — multi-threaded inside the process exactly like
+// the in-process pool — shipping back one TestArtifact per test.
+//
+// Determinism: artifacts depend only on (program, campaign seed, global
+// test index). The one piece of stack state that could leak between work
+// units — the ctrl-reg dedup set — is reset at every lease boundary, so a
+// lease produces identical folded results no matter which worker runs it,
+// in what order, or after how many reassignments.
+#pragma once
+
+#include <optional>
+
+namespace chatfuzz::dist {
+
+/// Serve leases over `fd` until shutdown/EOF. Returns the process exit
+/// code: 0 on a clean shutdown, nonzero on protocol violation, coordinator
+/// death, or a simulation failure (diagnostics on stderr). Never throws.
+int worker_main(int fd);
+
+/// Route a `worker <fd>` argv into worker_main(). Call first thing in
+/// main() of any binary that wants to serve as its own campaign worker
+/// (the CLI, the dist test, the dist bench); returns the exit code to
+/// propagate, or nullopt when the invocation is not a worker re-exec.
+std::optional<int> maybe_worker_main(int argc, char** argv);
+
+}  // namespace chatfuzz::dist

@@ -245,4 +245,174 @@ bool MismatchDetector::restore_state(ser::Reader& r) {
   return true;
 }
 
+namespace {
+
+void write_commit_record(ser::Writer& w, const sim::CommitRecord& rec) {
+  w.u64(rec.pc);
+  w.u32(rec.instr);
+  w.boolean(rec.has_rd_write);
+  w.u8(rec.rd);
+  w.u64(rec.rd_value);
+  w.boolean(rec.has_mem);
+  w.boolean(rec.mem_is_store);
+  w.u64(rec.mem_addr);
+  w.u64(rec.mem_value);
+  w.u8(rec.mem_size);
+  w.u8(static_cast<std::uint8_t>(rec.exception));
+  w.u8(static_cast<std::uint8_t>(rec.priv));
+}
+
+bool read_commit_record(ser::Reader& r, sim::CommitRecord& rec) {
+  rec.pc = r.u64();
+  rec.instr = r.u32();
+  rec.has_rd_write = r.boolean();
+  rec.rd = r.u8();
+  rec.rd_value = r.u64();
+  rec.has_mem = r.boolean();
+  rec.mem_is_store = r.boolean();
+  rec.mem_addr = r.u64();
+  rec.mem_value = r.u64();
+  rec.mem_size = r.u8();
+  const std::uint8_t exc = r.u8();
+  const std::uint8_t priv = r.u8();
+  // Exception causes are the RISC-V mcause codes plus the kNone sentinel;
+  // privilege is U/S/M. Anything else is wire corruption the CRC missed or
+  // a foreign writer — fail, don't fabricate enum values.
+  if (exc > static_cast<std::uint8_t>(riscv::Exception::kEcallFromM) &&
+      exc != static_cast<std::uint8_t>(riscv::Exception::kNone)) {
+    r.fail();
+    return false;
+  }
+  if (priv != static_cast<std::uint8_t>(riscv::Priv::kUser) &&
+      priv != static_cast<std::uint8_t>(riscv::Priv::kSupervisor) &&
+      priv != static_cast<std::uint8_t>(riscv::Priv::kMachine)) {
+    r.fail();
+    return false;
+  }
+  rec.exception = static_cast<riscv::Exception>(exc);
+  rec.priv = static_cast<riscv::Priv>(priv);
+  return r.ok();
+}
+
+}  // namespace
+
+void write_report(ser::Writer& w, const Report& report) {
+  w.u64(report.raw_count);
+  w.u64(report.filtered_count);
+  w.u64(report.mismatches.size());
+  for (const Mismatch& m : report.mismatches) {
+    w.u8(static_cast<std::uint8_t>(m.kind));
+    w.u64(m.index);
+    write_commit_record(w, m.dut);
+    write_commit_record(w, m.golden);
+    w.str(m.signature);
+    w.u8(static_cast<std::uint8_t>(m.finding));
+  }
+}
+
+bool read_report(ser::Reader& r, Report& out) {
+  out.mismatches.clear();
+  out.raw_count = static_cast<std::size_t>(r.u64());
+  out.filtered_count = static_cast<std::size_t>(r.u64());
+  const std::uint64_t n = r.u64();
+  // Each record is >= 90 payload bytes; reject counts the payload cannot
+  // hold before reserving.
+  if (!r.ok() || n > r.remaining() / 90) {
+    r.fail();
+    return false;
+  }
+  out.mismatches.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Mismatch m;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(Kind::kLength)) {
+      r.fail();
+      return false;
+    }
+    m.kind = static_cast<Kind>(kind);
+    m.index = static_cast<std::size_t>(r.u64());
+    if (!read_commit_record(r, m.dut)) return false;
+    if (!read_commit_record(r, m.golden)) return false;
+    m.signature = r.str();
+    const std::uint8_t finding = r.u8();
+    if (finding > static_cast<std::uint8_t>(Finding::kOther)) {
+      r.fail();
+      return false;
+    }
+    m.finding = static_cast<Finding>(finding);
+    if (!r.ok()) return false;
+    out.mismatches.push_back(std::move(m));
+  }
+  return r.ok();
+}
+
+void write_report_summary(ser::Writer& w, const Report& report) {
+  w.varint(report.raw_count);
+  w.varint(report.filtered_count);
+  // Count the runs first (one cheap pass; mismatch lists are short).
+  std::size_t runs = 0;
+  for (std::size_t i = 0; i < report.mismatches.size(); ++i) {
+    const Mismatch& m = report.mismatches[i];
+    if (i == 0 || m.kind != report.mismatches[i - 1].kind ||
+        m.finding != report.mismatches[i - 1].finding ||
+        m.signature != report.mismatches[i - 1].signature) {
+      ++runs;
+    }
+  }
+  w.varint(runs);
+  for (std::size_t i = 0; i < report.mismatches.size();) {
+    const Mismatch& m = report.mismatches[i];
+    std::size_t j = i + 1;
+    while (j < report.mismatches.size() &&
+           report.mismatches[j].kind == m.kind &&
+           report.mismatches[j].finding == m.finding &&
+           report.mismatches[j].signature == m.signature) {
+      ++j;
+    }
+    w.u8(static_cast<std::uint8_t>(m.kind));
+    w.u8(static_cast<std::uint8_t>(m.finding));
+    w.str(m.signature);
+    w.varint(j - i);
+    i = j;
+  }
+}
+
+bool read_report_summary(ser::Reader& r, Report& out) {
+  out.mismatches.clear();
+  out.raw_count = static_cast<std::size_t>(r.varint());
+  out.filtered_count = static_cast<std::size_t>(r.varint());
+  const std::uint64_t runs = r.varint();
+  // A run is at least 11 payload bytes (two enum bytes, the signature's
+  // length prefix, one count byte).
+  if (!r.ok() || runs > r.remaining() / 11) {
+    r.fail();
+    return false;
+  }
+  // Post-filter records can never outnumber the raw observations; a count
+  // beyond that is corruption, not a big test.
+  const std::uint64_t max_records = out.raw_count;
+  std::uint64_t total = 0;
+  for (std::uint64_t g = 0; g < runs; ++g) {
+    const std::uint8_t kind = r.u8();
+    const std::uint8_t finding = r.u8();
+    if (!r.ok() || kind > static_cast<std::uint8_t>(Kind::kLength) ||
+        finding > static_cast<std::uint8_t>(Finding::kOther)) {
+      r.fail();
+      return false;
+    }
+    Mismatch m;
+    m.kind = static_cast<Kind>(kind);
+    m.finding = static_cast<Finding>(finding);
+    m.signature = r.str();
+    const std::uint64_t count = r.varint();
+    if (!r.ok() || count == 0 || total + count > max_records) {
+      r.fail();
+      return false;
+    }
+    total += count;
+    for (std::uint64_t k = 0; k < count; ++k) out.mismatches.push_back(m);
+  }
+  return r.ok();
+}
+
 }  // namespace chatfuzz::mismatch

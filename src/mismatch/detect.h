@@ -67,6 +67,28 @@ struct Report {
   std::size_t filtered_count = 0;        // dropped by filter rules
 };
 
+/// Full-fidelity Report encoding: counters plus every post-filter record
+/// with both commit records, the signature and the classification. Used
+/// where the record details matter (report byte-equivalence tests,
+/// archival). read_report validates enum ranges and fails the reader on
+/// malformed input instead of constructing out-of-range values.
+void write_report(ser::Writer& w, const Report& report);
+bool read_report(ser::Reader& r, Report& out);
+
+/// Signature-level Report encoding — what a distributed campaign worker
+/// ships back (src/dist/): counters plus consecutive runs of identical
+/// (kind, finding, signature) records collapsed to one entry with a count.
+/// The reconstructed records carry exactly those three fields (the commit
+/// records are left empty), which is everything campaign-wide accumulation
+/// consumes — accumulate() tallies per-signature counts and findings, and
+/// the engine's fold only reads mismatches.size() — so the folded
+/// signature DB is byte-identical to a local run's at a fraction of the
+/// frame bytes. Run-length grouping preserves record order, so a signature
+/// whose classification differs between instances resolves to the same
+/// last-writer-wins finding either way.
+void write_report_summary(ser::Writer& w, const Report& report);
+bool read_report_summary(ser::Reader& r, Report& out);
+
 class MismatchDetector {
  public:
   MismatchDetector() = default;

@@ -69,6 +69,17 @@ class Writer {
   }
   void boolean(bool v) { u8(v ? 1 : 0); }
 
+  /// LEB128 varint: 7 bits per byte, least-significant group first. Small
+  /// values (counts, deltas, hit counters) encode in one or two bytes —
+  /// the wire-size lever for the dist protocol's per-test payloads.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(0x80 | (v & 0x7f)));
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+
   /// Raw bytes, no length prefix.
   void bytes(const void* data, std::size_t size) {
     buf_.append(static_cast<const char*>(data), size);
@@ -145,6 +156,20 @@ class Reader {
     return v;
   }
   bool boolean() { return u8() != 0; }
+
+  /// LEB128 varint. More than ten groups (or a straddled end) latches
+  /// fail() like every other accessor.
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = u8();
+      if (fail_) return 0;
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    fail_ = true;
+    return 0;
+  }
 
   std::string str() {
     const std::uint64_t n = u64();

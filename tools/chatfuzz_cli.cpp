@@ -1,14 +1,20 @@
 // chatfuzz — command-line front end for the library. Subcommands cover the
-// day-to-day verification workflow:
+// day-to-day verification workflow (this list mirrors the kCommands table
+// below, which is the single source the usage text is generated from):
 //
 //   chatfuzz asm <file.s>                 assemble text to a corpus file
 //   chatfuzz disasm <corpus.txt> [n]      disassemble test n (default all)
 //   chatfuzz run <corpus.txt> [n]         co-simulate test n, print traces + mismatches
 //   chatfuzz minimize <corpus.txt> <n>    shrink test n to a minimal repro
-//   chatfuzz fuzz <fuzzer> <tests>        run a campaign (random|thehuzz|difuzz|chatfuzz)
+//   chatfuzz fuzz <fuzzer> <tests>        run a campaign (random|thehuzz|difuzz|
+//                                          psofuzz|hypfuzz|chatfuzz); --procs <n>
+//                                          shards it across n worker processes
 //   chatfuzz fuzz --resume <dir>          continue a checkpointed campaign
-//   chatfuzz corpus <export|import|minimize> <dir> ...
+//   chatfuzz corpus <export|import|minimize|stats> <dir> ...
 //                                          work with an on-disk corpus store
+//   chatfuzz solve <point-name>           directed test for a coverage point
+//   chatfuzz worker <fd>                  (internal) distributed-campaign
+//                                          worker; spawned by fuzz --procs
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -26,6 +32,7 @@
 #include "core/replay.h"
 #include "corpus/store.h"
 #include "coverage/merge.h"
+#include "dist/worker.h"
 #include "isasim/sim.h"
 #include "mismatch/minimize.h"
 #include "riscv/asm.h"
@@ -37,36 +44,68 @@ using namespace chatfuzz;
 
 namespace {
 
+/// One row per CLI surface. The file-header command list and usage() are
+/// both this table rendered out, so neither can drift from the other (the
+/// old hand-maintained usage string had lost `solve`).
+struct CommandDoc {
+  const char* name;  // subcommand (the <a|b|...> list dedups these in order)
+  const char* args;  // argument signature
+  const char* help;  // '\n'-separated description lines
+};
+
+constexpr CommandDoc kCommands[] = {
+    {"asm", "<file.s>", "assemble to stdout (corpus format)"},
+    {"disasm", "<corpus.txt> [n]", "disassemble test n (default: all)"},
+    {"run", "<corpus.txt> [n]", "co-simulate + mismatch report"},
+    {"minimize", "<corpus.txt> <n>", "shrink a mismatching test"},
+    {"fuzz",
+     "<fuzzer> <tests> [workers] [--procs <n>] [--checkpoint <dir>] "
+     "[--every <n>]",
+     "campaign; fuzzer = random|thehuzz|difuzz|psofuzz|hypfuzz|chatfuzz;\n"
+     "workers = simulation threads per process (default 1, 0 = all cores);\n"
+     "--procs fans the campaign out across <n> worker processes\n"
+     "(coordinator folds, workers simulate). Results are bit-identical\n"
+     "for any worker/process count.\n"
+     "--checkpoint snapshots state + corpus to <dir> every <n> tests"},
+    {"fuzz", "--resume <dir> [workers] [--procs <n>]",
+     "continue a checkpointed campaign bit-identically to an\n"
+     "uninterrupted run (workers: default = checkpoint's count,\n"
+     "0 = all cores; --procs is per-run, never stored)"},
+    {"corpus", "export <dir> <out.txt>", "store -> text corpus"},
+    {"corpus", "import <dir> <in.txt>", "text corpus -> store"},
+    {"corpus", "minimize <dir>",
+     "re-simulate, keep only tests that add coverage or mismatch"},
+    {"corpus", "stats <dir>",
+     "entry/shard/byte totals + first-covered-bin attribution histogram"},
+    {"solve", "<point-name>",
+     "synthesize + verify a directed test for a coverage point"},
+    {"worker", "<fd>",
+     "(internal) distributed-campaign worker over an inherited socketpair\n"
+     "fd; spawned by fuzz --procs, speaks the framed dist protocol"},
+};
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: chatfuzz <asm|disasm|run|minimize|fuzz|corpus|solve> "
-               "...\n"
-               "  asm <file.s>              assemble to stdout (corpus format)\n"
-               "  disasm <corpus.txt> [n]   disassemble test n (default: all)\n"
-               "  run <corpus.txt> [n]      co-simulate + mismatch report\n"
-               "  minimize <corpus.txt> <n> shrink a mismatching test\n"
-               "  fuzz <fuzzer> <tests> [workers] [--checkpoint <dir>] "
-               "[--every <n>]\n"
-               "                            campaign; fuzzer = random|thehuzz|"
-               "difuzz|psofuzz|hypfuzz|chatfuzz;\n"
-               "                            workers = simulation threads "
-               "(default 1, 0 = all cores);\n"
-               "                            results are bit-identical for any "
-               "worker count.\n"
-               "                            --checkpoint snapshots state + "
-               "corpus to <dir> every <n> tests\n"
-               "  fuzz --resume <dir> [workers]\n"
-               "                            continue a checkpointed campaign "
-               "bit-identically to an\n"
-               "                            uninterrupted run (workers: "
-               "default = checkpoint's\n"
-               "                            count, 0 = all cores)\n"
-               "  corpus export <dir> <out.txt>   store -> text corpus\n"
-               "  corpus import <dir> <in.txt>    text corpus -> store\n"
-               "  corpus minimize <dir>     re-simulate, keep only tests that "
-               "add coverage or mismatch\n"
-               "  solve <point-name>        synthesize + verify a directed "
-               "test for a coverage point\n");
+  std::string names;
+  for (const CommandDoc& c : kCommands) {
+    const std::string name(c.name);
+    if (("|" + names + "|").find("|" + name + "|") != std::string::npos) {
+      continue;
+    }
+    if (!names.empty()) names += '|';
+    names += name;
+  }
+  std::fprintf(stderr, "usage: chatfuzz <%s> ...\n", names.c_str());
+  for (const CommandDoc& c : kCommands) {
+    std::fprintf(stderr, "  %s %s\n", c.name, c.args);
+    const char* line = c.help;
+    while (line != nullptr && *line != '\0') {
+      const char* nl = std::strchr(line, '\n');
+      const int len = nl != nullptr ? static_cast<int>(nl - line)
+                                    : static_cast<int>(std::strlen(line));
+      std::fprintf(stderr, "      %.*s\n", len, line);
+      line = nl != nullptr ? nl + 1 : nullptr;
+    }
+  }
   return 2;
 }
 
@@ -191,11 +230,13 @@ core::CheckpointHook progress_hook() {
 }
 
 int cmd_fuzz(const char* which, std::size_t tests, std::size_t workers,
-             const char* checkpoint_dir, std::size_t checkpoint_every) {
+             std::size_t procs, const char* checkpoint_dir,
+             std::size_t checkpoint_every) {
   core::CampaignConfig cfg;
   cfg.num_tests = tests;
   cfg.checkpoint_every = std::max<std::size_t>(tests / 10, 10);
   cfg.num_workers = workers;
+  cfg.dist.num_procs = procs;
   if (checkpoint_dir != nullptr) {
     cfg.checkpoint_dir = checkpoint_dir;
     cfg.checkpoint_every_tests = checkpoint_every;
@@ -219,13 +260,19 @@ int cmd_fuzz(const char* which, std::size_t tests, std::size_t workers,
     }
   }
 
-  const core::CampaignResult r = core::run_campaign(*gen, cfg,
-                                                    progress_hook());
-  print_campaign_result(r);
+  try {
+    const core::CampaignResult r = core::run_campaign(*gen, cfg,
+                                                      progress_hook());
+    print_campaign_result(r);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 1;
+  }
   return 0;
 }
 
-int cmd_resume(const char* dir, std::optional<std::size_t> workers) {
+int cmd_resume(const char* dir, std::optional<std::size_t> workers,
+               std::size_t procs) {
   // One read of what may be a large checkpoint: the loaded image hands the
   // stored fuzzer kind to make_generator() and then resumes directly.
   core::CheckpointData data;
@@ -251,6 +298,7 @@ int cmd_resume(const char* dir, std::optional<std::size_t> workers) {
                            ? *workers
                            : std::max(1u, std::thread::hardware_concurrency());
   }
+  opts.dist.num_procs = procs;
   try {
     const core::CampaignResult r = core::resume_campaign(
         *gen, dir, std::move(data), opts, progress_hook());
@@ -408,6 +456,72 @@ int cmd_corpus_minimize(const char* dir) {
   return 0;
 }
 
+/// Store introspection without re-simulation, straight off the index: how
+/// big the corpus is and how its coverage attribution (the first-covered
+/// condition bins each archived test earned) is distributed.
+int cmd_corpus_stats(const char* dir) {
+  corpus::CorpusStore store;
+  const ser::Status s = store.open(dir);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  std::uintmax_t disk_bytes = 0;
+  std::error_code ec;
+  const std::uintmax_t index_size =
+      std::filesystem::file_size(std::string(dir) + "/index.bin", ec);
+  if (!ec) disk_bytes += index_size;
+  for (std::size_t sh = 0; sh < store.num_shards(); ++sh) {
+    const std::uintmax_t n = std::filesystem::file_size(store.shard_path(sh),
+                                                        ec);
+    if (!ec) disk_bytes += n;
+  }
+
+  std::size_t program_words = 0, attributed_bins = 0, with_mismatch = 0,
+              ctrl_new_total = 0;
+  // Attribution histogram: bucket k holds entries whose first-covered-bin
+  // count lands in [2^(k-1), 2^k) (bucket 0 = zero bins, i.e. archived for
+  // a mismatch only).
+  constexpr std::size_t kBuckets = 12;
+  std::size_t histogram[kBuckets] = {};
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const corpus::StoreEntryMeta& m = store.meta(i);
+    program_words += store.program_words(i);
+    attributed_bins += m.new_bins.size();
+    ctrl_new_total += static_cast<std::size_t>(m.ctrl_new);
+    if (m.mismatches > 0) ++with_mismatch;
+    std::size_t bucket = 0;
+    for (std::size_t n = m.new_bins.size(); n != 0; n >>= 1) ++bucket;
+    histogram[std::min(bucket, kBuckets - 1)] += 1;
+  }
+
+  std::printf("corpus %s\n", dir);
+  std::printf("  entries:          %zu\n", store.size());
+  std::printf("  shards:           %zu (capacity %zu entries each)\n",
+              store.num_shards(), store.shard_capacity());
+  std::printf("  program bytes:    %zu (%zu instruction words)\n",
+              program_words * 4, program_words);
+  std::printf("  bytes on disk:    %ju (index + shards)\n", disk_bytes);
+  std::printf("  attributed bins:  %zu condition bins first covered\n",
+              attributed_bins);
+  std::printf("  ctrl states:      %zu first observed\n", ctrl_new_total);
+  std::printf("  with mismatch:    %zu entries\n", with_mismatch);
+  std::printf("  first-covered-bin attribution histogram:\n");
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (histogram[b] == 0) continue;
+    const std::size_t lo = b == 0 ? 0 : std::size_t{1} << (b - 1);
+    const std::size_t hi = (std::size_t{1} << b) - 1;
+    if (b == kBuckets - 1) {
+      std::printf("    >=%4zu bins: %zu entries\n", lo, histogram[b]);
+    } else if (lo == hi || b == 0) {
+      std::printf("    %6zu bins: %zu entries\n", lo, histogram[b]);
+    } else {
+      std::printf("  %4zu-%4zu bins: %zu entries\n", lo, hi, histogram[b]);
+    }
+  }
+  return 0;
+}
+
 int cmd_solve(const char* point_name) {
   const sim::Platform plat{.max_steps = 2048};
   baselines::PointSolver solver(plat);
@@ -444,6 +558,9 @@ int cmd_solve(const char* point_name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hidden worker mode: `chatfuzz worker <fd>` is what the dist
+  // coordinator re-execs; it must win before any other parsing.
+  if (const auto rc = dist::maybe_worker_main(argc, argv)) return *rc;
   if (argc < 2) return usage();
   const char* cmd = argv[1];
   if (std::strcmp(cmd, "asm") == 0 && argc >= 3) return cmd_asm(argv[2]);
@@ -459,19 +576,30 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "fuzz") == 0 && argc >= 4 &&
       std::strcmp(argv[2], "--resume") == 0) {
     std::optional<std::size_t> workers;  // absent = checkpoint's value
-    if (argc >= 5) {
-      workers = parse_count(argv[4]);
-      if (!workers) {
-        std::fprintf(stderr, "fuzz --resume: [workers] must be a "
-                             "non-negative integer\n");
-        return usage();
+    std::size_t procs = 1;
+    bool bad = false;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
+        const auto p = parse_count(argv[++i]);
+        if (!p) bad = true;
+        else procs = *p;
+      } else if (i == 4 && argv[i][0] != '-') {
+        workers = parse_count(argv[i]);
+        if (!workers) bad = true;
+      } else {
+        bad = true;
       }
     }
-    return cmd_resume(argv[3], workers);
+    if (bad) {
+      std::fprintf(stderr, "fuzz --resume: bad arguments; see usage\n");
+      return usage();
+    }
+    return cmd_resume(argv[3], workers, procs);
   }
   if (std::strcmp(cmd, "fuzz") == 0 && argc >= 4) {
     const auto tests = parse_count(argv[3]);
     std::optional<std::size_t> workers(1);
+    std::size_t procs = 1;
     const char* checkpoint_dir = nullptr;
     std::size_t checkpoint_every = 0;
     bool bad = false;
@@ -482,6 +610,10 @@ int main(int argc, char** argv) {
         const auto every = parse_count(argv[++i]);
         if (!every) bad = true;
         else checkpoint_every = *every;
+      } else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
+        const auto p = parse_count(argv[++i]);
+        if (!p) bad = true;
+        else procs = *p;
       } else if (i == 4 && argv[i][0] != '-') {
         workers = parse_count(argv[i]);
       } else {
@@ -492,7 +624,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "fuzz: bad arguments; see usage\n");
       return usage();
     }
-    return cmd_fuzz(argv[2], *tests, *workers, checkpoint_dir,
+    return cmd_fuzz(argv[2], *tests, *workers, procs, checkpoint_dir,
                     checkpoint_every);
   }
   if (std::strcmp(cmd, "corpus") == 0 && argc >= 4) {
@@ -504,6 +636,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[2], "minimize") == 0) {
       return cmd_corpus_minimize(argv[3]);
+    }
+    if (std::strcmp(argv[2], "stats") == 0) {
+      return cmd_corpus_stats(argv[3]);
     }
     return usage();
   }
