@@ -81,6 +81,9 @@ void emit_opcode(ProgramBuilder& b, Opcode op) {
     case riscv::Format::kSystem:
       b.raw(riscv::enc_sys(op));
       break;
+    case riscv::Format::kSfence:
+      b.raw(riscv::enc_sfence(0, 0));  // full flush; legal in M-mode
+      break;
     case riscv::Format::kCsr:
       // The user-readable cycle counter: legal from U/S (mcounteren resets
       // to all-ones in this testbench), and csrrs/c with rs1=x0 never write.
@@ -208,48 +211,53 @@ Program backward_pair_program() {
   return b.seal();
 }
 
-/// Set satp non-zero (with ASID bits) and run translated loads/stores from
-/// supervisor mode; covers the bare-translation TLB unit's reachable bins.
+/// Supervisor-only identity map of RAM through a single gigapage leaf,
+/// placed in the (reserved) last RAM page. `flags` below grants R/W/X with
+/// A/D pre-set so no Svade fault interferes with the bins under test.
+constexpr std::uint32_t kLeafFlags = static_cast<std::uint32_t>(
+    riscv::sv39::kPteV | riscv::sv39::kPteR | riscv::sv39::kPteW |
+    riscv::sv39::kPteX | riscv::sv39::kPteA | riscv::sv39::kPteD);
+
+std::uint64_t root_pt_page(const sim::Platform& plat) {
+  return plat.ram_base + plat.ram_size - 0x1000;
+}
+
+/// Full Sv39 bring-up with a nonzero ASID, then translated loads/stores from
+/// supervisor mode; covers every reachable TLB bin. The first S-mode fetch
+/// misses (refill walk through the gigapage leaf => superpage), the next
+/// fetch in the same page hits, and the data page walks then hits; the store
+/// drives the write-permission comparator.
 Program tlb_program(const sim::Platform& plat) {
   ProgramBuilder b(plat.ram_base);
-  b.li(kT0, 1);
-  b.raw(riscv::enc_shift(Opcode::kSlli, kT0, kT0, 44));  // ASID != 0
-  b.addi(kT0, kT0, 1);
-  b.raw(riscv::enc_csr(Opcode::kCsrrw, 0, riscv::csr::kSatp, kT0));
-  drop_priv(b, /*to_supervisor=*/true);
-  // Anchor a pointer into the data region at a known address so the
-  // vpn-index bits (addr >> 12) are controlled exactly.
+  b.sv39_identity_map(plat.ram_base, root_pt_page(plat), kLeafFlags, kT0, kT1);
+  // Re-install satp with ASID = 1 for the asid_nonzero bin. The CSR write
+  // flushes the TLB, so every translated access below starts cold.
+  b.csrrs(kT0, riscv::csr::kSatp, 0);
+  b.li(kT1, 1);
+  b.slli(kT1, kT1, 44);
+  b.or_(kT0, kT0, kT1);
+  b.csrrw(0, riscv::csr::kSatp, kT0);
+  b.sfence_vma();
+  b.enter_priv(1, kT2);
+  // Anchor a page-aligned pointer into the (identity-mapped) data region.
   const std::uint64_t anchor_pc = b.pc();
   b.auipc(kT1, 0x80);  // anchor_pc + 0x80000: inside the data region
   const std::uint64_t base = anchor_pc + 0x80000;
-  // Round to a page boundary => (addr >> 12) & 3 spans 0..3 by adding pages.
   const auto to_page = static_cast<std::int32_t>(0x1000 - (base & 0xfff));
   b.addi(kT1, kT1, to_page);
-  b.ld(kDst, kT1, 0);        // (addr>>12)&3 == 0: refill walk
-  b.ld(kDst, kT1, 8);        // same page
-  b.sd(kT1, kInt, 16);       // store permission check
-  // +1 page: vpn "hit" bin.
-  b.addi(kT1, kT1, 2047);
-  b.addi(kT1, kT1, 2047);
-  b.addi(kT1, kT1, 2);
-  b.ld(kDst, kT1, 0);
-  b.sd(kT1, kInt, 0);
+  b.ld(kDst, kT1, 0);   // data-page refill walk
+  b.ld(kDst, kT1, 8);   // same vpn: TLB hit
+  b.sd(kT1, kInt, 16);  // store-permission path
   return b.seal();
 }
 
-/// Page-table-walker fault bin: a byte access whose address ends in 0xfff.
+/// Page-table-walker fault bin: after the same bring-up, touch a virtual
+/// page whose root slot was never written (V=0 => load page fault).
 Program ptw_fault_program(const sim::Platform& plat) {
   ProgramBuilder b(plat.ram_base);
-  b.li(kT0, 1);
-  b.raw(riscv::enc_csr(Opcode::kCsrrw, 0, riscv::csr::kSatp, kT0));
-  const std::uint64_t anchor_pc = b.pc();
-  b.auipc(kT1, 0x80);
-  const std::uint64_t base = anchor_pc + 0x80000;
-  const auto to_page = static_cast<std::int32_t>(0x1000 - (base & 0xfff));
-  b.addi(kT1, kT1, to_page);  // page-aligned
-  b.addi(kT1, kT1, 2047);
-  b.addi(kT1, kT1, 2047);
-  b.addi(kT1, kT1, 1);  // +0xfff
+  b.sv39_identity_map(plat.ram_base, root_pt_page(plat), kLeafFlags, kT0, kT1);
+  b.enter_priv(1, kT2);
+  b.li(kT1, 0x1000);  // vpn2 = 0: unmapped
   b.raw(riscv::enc_i(Opcode::kLb, kDst, kT1, 0));
   return b.seal();
 }
@@ -354,7 +362,7 @@ std::optional<Program> solve_muldiv(std::string_view which) {
 bool PointSolver::unreachable(std::string_view name) {
   return name.starts_with("irq.") || name.starts_with("debug.") ||
          name.starts_with("ecc.") || name.starts_with("pmp.") ||
-         name == "tlb.superpage" || name == "counter.overflow" ||
+         name == "counter.overflow" ||
          // Fetch outside the RAM window is a testbench stop condition, not
          // an instruction access fault, and cause 10 is reserved: neither
          // per-cause point can fire.

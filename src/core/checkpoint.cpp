@@ -9,7 +9,9 @@ namespace {
 constexpr std::uint32_t kCheckpointMagic = 0x43465A4B;  // "CFZK"
 // v2: CoreConfig::deferred_select_chains joined the config record (it had
 // been silently defaulting on restore since it was introduced).
-constexpr std::uint32_t kCheckpointVersion = 2;
+// v3: the three privileged/Sv39 bug injections (wrong_delegation,
+// skip_perm_check, stale_tlb) joined the BugInjections record.
+constexpr std::uint32_t kCheckpointVersion = 3;
 
 void write_core_config(ser::Writer& w, const rtl::CoreConfig& c) {
   w.str(c.name);
@@ -31,6 +33,9 @@ void write_core_config(ser::Writer& w, const rtl::CoreConfig& c) {
   w.boolean(c.bugs.fault_priority_swap);
   w.boolean(c.bugs.amo_x0_trace);
   w.boolean(c.bugs.x0_link_trace);
+  w.boolean(c.bugs.wrong_delegation);
+  w.boolean(c.bugs.skip_perm_check);
+  w.boolean(c.bugs.stale_tlb);
 }
 
 void read_core_config(ser::Reader& r, rtl::CoreConfig& c) {
@@ -53,6 +58,9 @@ void read_core_config(ser::Reader& r, rtl::CoreConfig& c) {
   c.bugs.fault_priority_swap = r.boolean();
   c.bugs.amo_x0_trace = r.boolean();
   c.bugs.x0_link_trace = r.boolean();
+  c.bugs.wrong_delegation = r.boolean();
+  c.bugs.skip_perm_check = r.boolean();
+  c.bugs.stale_tlb = r.boolean();
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "riscv/builder.h"
 #include "riscv/csr.h"
 #include "riscv/encode.h"
 
@@ -50,11 +51,15 @@ constexpr std::array<Opcode, 18> kAmoOps = {
     Opcode::kAmoAddD,  Opcode::kAmoXorD,  Opcode::kAmoOrD,
     Opcode::kAmoAndD,  Opcode::kAmoMinD,  Opcode::kAmoMaxD,
     Opcode::kAmoMinuD, Opcode::kAmoMaxuD};
-constexpr std::array<std::uint16_t, 12> kCsrPool = {
+constexpr std::array<std::uint16_t, 16> kCsrPool = {
     riscv::csr::kMscratch, riscv::csr::kMstatus, riscv::csr::kMtvec,
     riscv::csr::kMepc,     riscv::csr::kMcause,  riscv::csr::kSscratch,
     riscv::csr::kSatp,     riscv::csr::kMinstret, riscv::csr::kCycle,
-    riscv::csr::kInstret,  riscv::csr::kMie,      riscv::csr::kMedeleg};
+    riscv::csr::kInstret,  riscv::csr::kMie,      riscv::csr::kMedeleg,
+    // S-mode trap CSRs: reading these back after a delegated trap is what
+    // makes a wrong-delegation DUT visible as an architectural mismatch.
+    riscv::csr::kSstatus,  riscv::csr::kSepc,     riscv::csr::kScause,
+    riscv::csr::kStvec};
 }  // namespace
 
 unsigned CorpusGenerator::recent_reg() {
@@ -175,19 +180,28 @@ void CorpusGenerator::emit_muldiv(Program& out) {
 
 void CorpusGenerator::emit_csr(Program& out) {
   const std::uint16_t csr = kCsrPool[rng_.below(kCsrPool.size())];
+  // cycle/time/mcycle are the timing counters the two implementations
+  // legitimately disagree on (the DUT models cache-miss cycles, the golden
+  // ISS counts steps). The mismatch filter hides the read itself, but a
+  // live destination would leak the implementation-defined value into
+  // address/branch dataflow and poison every downstream comparison — so
+  // those reads sink to x0, which still drives the CSR access-check path.
+  const bool timing = csr == riscv::csr::kCycle || csr == riscv::csr::kTime ||
+                      csr == riscv::csr::kMcycle;
+  const auto rd = [&] { return timing ? 0u : def_reg(); };
   switch (rng_.below(5)) {
     case 0:
-      out.push_back(riscv::enc_csr(Opcode::kCsrrs, def_reg(), csr, 0));
+      out.push_back(riscv::enc_csr(Opcode::kCsrrs, rd(), csr, 0));
       break;
     case 1:
       out.push_back(riscv::enc_csr(Opcode::kCsrrw, 0, csr, recent_reg()));
       break;
     case 2:
-      out.push_back(riscv::enc_csr(Opcode::kCsrrc, def_reg(), csr, recent_reg()));
+      out.push_back(riscv::enc_csr(Opcode::kCsrrc, rd(), csr, recent_reg()));
       break;
     case 3:
       out.push_back(riscv::enc_csr(
-          rng_.chance(0.5) ? Opcode::kCsrrsi : Opcode::kCsrrci, def_reg(), csr,
+          rng_.chance(0.5) ? Opcode::kCsrrsi : Opcode::kCsrrci, rd(), csr,
           static_cast<unsigned>(rng_.range(0, 31))));
       break;
     default:
@@ -284,6 +298,61 @@ void CorpusGenerator::emit_irq(Program& out) {
   }
 }
 
+void CorpusGenerator::emit_vm(Program& out) {
+  // Sv39 bring-up idiom (kernel early-boot shape): identity-map the RAM
+  // gigapage in a root PT one page above the data region, sometimes
+  // delegate the page-fault causes to S-mode, install satp and drop to S or
+  // U. The remainder of the function then executes translated — loads,
+  // stores and fetches all walk the page table, and an occasional read-only
+  // or supervisor-only mapping turns later idioms into page-fault stimulus.
+  namespace pv = riscv::sv39;
+  const bool user = rng_.chance(0.5);
+  std::uint64_t flags = pv::kPteV | pv::kPteR | pv::kPteX | pv::kPteA;
+  if (rng_.chance(0.85)) flags |= pv::kPteW;  // else read-only: stores fault
+  if (rng_.chance(0.9)) flags |= pv::kPteD;   // else first store faults (!D)
+  if (user) {
+    flags |= pv::kPteU;
+  } else if (rng_.chance(0.1)) {
+    flags |= pv::kPteU;  // S-mode on U pages: fetch faults, SUM-gated data
+  }
+  riscv::ProgramBuilder b;
+  if (rng_.chance(0.5)) {
+    // Delegate page faults (and sometimes ecall-from-U / illegal) to S.
+    std::int32_t mask = (1 << 12) | (1 << 13) | (1 << 15);
+    if (rng_.chance(0.4)) mask |= (1 << 8) | (1 << 2);
+    const unsigned t = def_reg();
+    b.li(t, mask);
+    b.csrrs(0, riscv::csr::kMedeleg, t);
+  }
+  // Fixed t0/t1/t2 scratch: the preamble needs distinct registers.
+  b.sv39_identity_map(cfg_.ram_base, cfg_.ram_base + cfg_.pt_offset,
+                      static_cast<std::uint32_t>(flags), 5, 6);
+  b.enter_priv(user ? 0u : 1u, 7);
+  // Post-transition stimulus: the idiom often lands at the end of the
+  // instruction budget, so it exercises its own mapping — a translated
+  // store+load through a data pointer drives the W/D permission checks.
+  const unsigned ptr = pointer_reg();
+  b.sd(ptr, 30, 0);
+  b.ld(29, ptr, 0);
+  if ((flags & pv::kPteW) != 0 && rng_.chance(0.4)) {
+    // Translation-context switch: downgrade the mapping in place (through
+    // the identity map), swap satp WITHOUT an sfence.vma, and store again.
+    // A TLB that survives the satp write keeps serving the stale writable
+    // leaf — exactly the stale-TLB defect class.
+    const std::uint64_t vpn2 = (cfg_.ram_base >> 30) & 0x1ff;
+    const auto ro_pte = static_cast<std::int32_t>(
+        ((cfg_.ram_base >> 12) << 10) | (flags & ~pv::kPteW));
+    b.li(5, static_cast<std::int32_t>((cfg_.ram_base + cfg_.pt_offset) >> 12));
+    b.slli(5, 5, 12);
+    b.li(6, ro_pte);
+    b.sd(5, 6, static_cast<std::int32_t>(vpn2 * 8));
+    b.csrrs(6, riscv::csr::kSatp, 0);
+    b.csrrw(0, riscv::csr::kSatp, 6);
+    b.sd(ptr, 30, 8);
+  }
+  for (const std::uint32_t w : b.seal()) out.push_back(w);
+}
+
 Program CorpusGenerator::function() {
   Program out;
   recent_.clear();
@@ -292,11 +361,11 @@ Program CorpusGenerator::function() {
     out.push_back(riscv::enc_s(Opcode::kSd, 2, 1, 8));
     out.push_back(riscv::enc_s(Opcode::kSd, 2, 8, 16));
   }
-  const std::array<double, 11> weights = {
+  const std::array<double, 12> weights = {
       cfg_.w_alu_chain, cfg_.w_load_compute_store, cfg_.w_if_else,
       cfg_.w_loop,      cfg_.w_muldiv,             cfg_.w_csr,
       cfg_.w_amo,       cfg_.w_lrsc,               cfg_.w_fence,
-      cfg_.w_priv,      cfg_.w_irq};
+      cfg_.w_priv,      cfg_.w_irq,                cfg_.w_vm};
   const auto target = static_cast<std::size_t>(
       rng_.range(cfg_.min_instrs, cfg_.max_instrs));
   while (out.size() < target) {
@@ -311,7 +380,8 @@ Program CorpusGenerator::function() {
       case 7: emit_lrsc(out); break;
       case 8: emit_fence(out); break;
       case 9: emit_priv(out); break;
-      default: emit_irq(out); break;
+      case 10: emit_irq(out); break;
+      default: emit_vm(out); break;
     }
   }
   if (cfg_.with_prologue) {
@@ -366,6 +436,13 @@ Program random_valid_program(Rng& rng, unsigned num_instrs) {
         d.csr = rng.chance(0.7)
                     ? kCsrPool[rng.below(kCsrPool.size())]
                     : static_cast<std::uint16_t>(rng.below(0x1000));
+        // Same policy as emit_csr: timing counters are the CSRs whose
+        // values legitimately differ between implementations, so their
+        // reads must not land in live registers.
+        if (d.csr == riscv::csr::kCycle || d.csr == riscv::csr::kTime ||
+            d.csr == riscv::csr::kMcycle) {
+          d.rd = 0;
+        }
         break;
       default:
         break;

@@ -35,7 +35,16 @@ struct CorpusConfig {
   /// enables). Zero by default: the paper's harness has no interrupt
   /// stimulus; campaigns with Platform::clint_enabled raise this.
   double w_irq = 0.0;
+  /// Sv39 bring-up idiom (identity-map a gigapage, install satp, optionally
+  /// delegate page faults, drop to S/U). Everything after it in the function
+  /// runs translated, so one occurrence flips the rest of the sample into
+  /// the privileged/VM fuzzing surface.
+  double w_vm = 0.6;
   std::uint64_t clint_base = 0x0200'0000ull;
+  /// Physical RAM window the VM idiom identity-maps; the root page table
+  /// lives at ram_base + pt_offset (the page just above the data region).
+  std::uint64_t ram_base = 0x8000'0000ull;
+  std::uint64_t pt_offset = 0xff000ull;
   bool with_prologue = true;
 };
 
@@ -75,6 +84,7 @@ class CorpusGenerator {
   void emit_fence(Program& out);
   void emit_priv(Program& out);
   void emit_irq(Program& out);
+  void emit_vm(Program& out);
 
   /// A register recently written (for operand entanglement), or a random
   /// caller-saved register when none is tracked.

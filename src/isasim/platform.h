@@ -10,6 +10,11 @@
 // mepc/mcause/mtval/mstatus per the privileged spec, switch to M-mode, and
 // resume at mepc+4. The handler itself is testbench, not DUT, so it is
 // bit-identical on both sides by construction.
+//
+// Delegation: a trap taken below M whose medeleg bit is set goes to the
+// S-mode trampoline instead — sepc/scause/stval and the sstatus stack
+// (SPP<=priv, SPIE<=SIE, SIE<=0) are written, privilege becomes S, and
+// execution resumes at sepc+4. Traps taken in M are never delegated.
 #pragma once
 
 #include <array>
@@ -78,6 +83,8 @@ inline constexpr std::uint64_t kMpie = 1ull << 7;
 inline constexpr std::uint64_t kSpp = 1ull << 8;
 inline constexpr std::uint64_t kMppShift = 11;
 inline constexpr std::uint64_t kMppMask = 3ull << kMppShift;
+inline constexpr std::uint64_t kSum = 1ull << 18;   // S access to U pages
+inline constexpr std::uint64_t kMxr = 1ull << 19;   // loads from X-only pages
 }  // namespace mstatus
 
 /// misa for RV64IMA (MXL=2, extensions I, M, A).

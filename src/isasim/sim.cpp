@@ -39,6 +39,7 @@ void IsaSim::reset(std::span<const std::uint32_t> program) {
   reservation_.reset();
   program_end_ = plat_.ram_base + 4 * program.size();
   predecode_.flush();
+  flush_tlb();
   trace_.clear();
   // One reservation up front: the commit trace grows to max_steps on every
   // step-limited test, and mid-campaign reallocation of a vector this hot
@@ -61,14 +62,17 @@ RunResult IsaSim::run() {
 }
 
 std::uint64_t IsaSim::csr_value(std::uint16_t addr) const {
+  // Testbench-level inspection: reads with an M-mode view regardless of the
+  // privilege the run ended in.
   std::uint64_t v = 0;
-  csr_read(addr, v);
+  csr_read(addr, v, riscv::Priv::kMachine);
   return v;
 }
 
-bool IsaSim::csr_read(std::uint16_t addr, std::uint64_t& value) const {
+bool IsaSim::csr_read(std::uint16_t addr, std::uint64_t& value,
+                      riscv::Priv view) const {
   namespace c = riscv::csr;
-  if (static_cast<int>(priv_) < static_cast<int>(c::min_priv(addr))) return false;
+  if (static_cast<int>(view) < static_cast<int>(c::min_priv(addr))) return false;
   switch (addr) {
     case c::kMstatus: value = csrs_.mstatus; return true;
     case c::kMisa: value = kMisaValue; return true;
@@ -90,7 +94,8 @@ bool IsaSim::csr_read(std::uint16_t addr, std::uint64_t& value) const {
       return true;
     case c::kSstatus:
       value = csrs_.mstatus &
-              (mstatus::kSie | mstatus::kSpie | mstatus::kSpp);
+              (mstatus::kSie | mstatus::kSpie | mstatus::kSpp |
+               mstatus::kSum | mstatus::kMxr);
       return true;
     case c::kSie: value = csrs_.mie & 0x222; return true;
     case c::kSip: value = csrs_.mip & 0x222; return true;
@@ -111,7 +116,7 @@ bool IsaSim::csr_write(std::uint16_t addr, std::uint64_t value) {
   if (c::is_read_only(addr)) return false;
   constexpr std::uint64_t kStatusMask =
       mstatus::kSie | mstatus::kMie | mstatus::kSpie | mstatus::kMpie |
-      mstatus::kSpp | mstatus::kMppMask;
+      mstatus::kSpp | mstatus::kMppMask | mstatus::kSum | mstatus::kMxr;
   switch (addr) {
     case c::kMstatus: {
       std::uint64_t v = value & kStatusMask;
@@ -123,8 +128,8 @@ bool IsaSim::csr_write(std::uint16_t addr, std::uint64_t value) {
       return true;
     }
     case c::kMisa: return true;  // WARL: writes ignored
-    case c::kMedeleg: csrs_.medeleg = value & 0xffff; return true;
-    case c::kMideleg: csrs_.mideleg = value & 0xfff; return true;
+    case c::kMedeleg: csrs_.medeleg = value & c::kMedelegMask; return true;
+    case c::kMideleg: csrs_.mideleg = value & c::kMidelegMask; return true;
     case c::kMie: csrs_.mie = value & 0xaaa; return true;
     case c::kMtvec: csrs_.mtvec = value & ~3ull; return true;
     case c::kMcounteren: csrs_.mcounteren = value & 7; return true;
@@ -137,7 +142,8 @@ bool IsaSim::csr_write(std::uint16_t addr, std::uint64_t value) {
     case c::kMinstret: csrs_.instret = value; return true;
     case c::kSstatus: {
       constexpr std::uint64_t kSMask =
-          mstatus::kSie | mstatus::kSpie | mstatus::kSpp;
+          mstatus::kSie | mstatus::kSpie | mstatus::kSpp | mstatus::kSum |
+          mstatus::kMxr;
       csrs_.mstatus = (csrs_.mstatus & ~kSMask) | (value & kSMask);
       return true;
     }
@@ -153,7 +159,12 @@ bool IsaSim::csr_write(std::uint16_t addr, std::uint64_t value) {
     case c::kSepc: csrs_.sepc = value & ~3ull; return true;
     case c::kScause: csrs_.scause = value; return true;
     case c::kStval: csrs_.stval = value; return true;
-    case c::kSatp: csrs_.satp = value; return true;
+    case c::kSatp:
+      // WARL MODE (Bare/Sv39 only); any accepted write is an implicit
+      // translation-context switch, so the TLB drops everything.
+      csrs_.satp = c::legalize_satp(csrs_.satp, value);
+      flush_tlb();
+      return true;
     default: return false;
   }
 }
@@ -163,6 +174,22 @@ void IsaSim::raise(CommitRecord& rec, Exception cause, std::uint64_t tval) {
   // Squash any architectural effect recorded so far for this instruction.
   rec.has_rd_write = false;
   rec.has_mem = false;
+  // Delegation: traps taken below M with the medeleg bit set go to the
+  // S-mode trampoline (see platform.h); traps in M never delegate.
+  if (priv_ != Priv::kMachine &&
+      (csrs_.medeleg >> static_cast<unsigned>(cause)) & 1) {
+    csrs_.sepc = pc_;
+    csrs_.scause = static_cast<std::uint64_t>(cause);
+    csrs_.stval = tval;
+    // sstatus trap entry: SPIE<=SIE, SIE<=0, SPP<=priv.
+    const bool sie = (csrs_.mstatus & mstatus::kSie) != 0;
+    csrs_.mstatus &= ~(mstatus::kSie | mstatus::kSpie | mstatus::kSpp);
+    if (sie) csrs_.mstatus |= mstatus::kSpie;
+    if (priv_ == Priv::kSupervisor) csrs_.mstatus |= mstatus::kSpp;
+    priv_ = Priv::kSupervisor;
+    pc_ = csrs_.sepc + 4;
+    return;
+  }
   csrs_.mepc = pc_;
   csrs_.mcause = static_cast<std::uint64_t>(cause);
   csrs_.mtval = tval;
@@ -210,12 +237,148 @@ void IsaSim::service_interrupts() {
   csrs_.mip = (csrs_.mip & ~mip::kMachineBits) | clint_.pending_mip();
 }
 
+bool IsaSim::translation_active() const {
+  return priv_ != Priv::kMachine &&
+         (csrs_.satp >> riscv::csr::kSatpModeShift) == riscv::csr::kSatpModeSv39;
+}
+
+void IsaSim::flush_tlb() { tlb_.fill(TlbEntry{}); }
+
+Exception IsaSim::check_leaf(std::uint64_t pte, Access access) const {
+  namespace pv = riscv::sv39;
+  const Exception fault = access == Access::kFetch  ? Exception::kInstrPageFault
+                          : access == Access::kLoad ? Exception::kLoadPageFault
+                                                    : Exception::kStorePageFault;
+  const bool user_page = (pte & pv::kPteU) != 0;
+  if (access == Access::kFetch) {
+    if ((pte & pv::kPteX) == 0) return fault;
+    if (priv_ == Priv::kUser && !user_page) return fault;
+    // S-mode fetch from a U page always faults (SUM covers data only).
+    if (priv_ == Priv::kSupervisor && user_page) return fault;
+  } else {
+    if (priv_ == Priv::kUser && !user_page) return fault;
+    if (priv_ == Priv::kSupervisor && user_page &&
+        (csrs_.mstatus & mstatus::kSum) == 0) {
+      return fault;
+    }
+    if (access == Access::kLoad) {
+      const bool readable =
+          (pte & pv::kPteR) != 0 ||
+          ((csrs_.mstatus & mstatus::kMxr) != 0 && (pte & pv::kPteX) != 0);
+      if (!readable) return fault;
+    } else if ((pte & pv::kPteW) == 0) {
+      return fault;
+    }
+  }
+  // Svade scheme: the walker never sets A/D in memory; an access needing an
+  // update faults so software (here: the fuzzed program) does it instead.
+  if ((pte & pv::kPteA) == 0) return fault;
+  if (access == Access::kStore && (pte & pv::kPteD) == 0) return fault;
+  return Exception::kNone;
+}
+
+Exception IsaSim::translate(std::uint64_t vaddr, Access access,
+                            std::uint64_t& paddr) {
+  namespace pv = riscv::sv39;
+  const Exception fault = access == Access::kFetch  ? Exception::kInstrPageFault
+                          : access == Access::kLoad ? Exception::kLoadPageFault
+                                                    : Exception::kStorePageFault;
+  if (!pv::canonical(vaddr)) return fault;
+  const std::uint64_t vpn = vaddr >> pv::kPageShift;
+  TlbEntry& e = tlb_[vpn % kTlbEntries];
+  std::uint64_t pte;
+  unsigned level;
+  if (e.valid && e.vpn == vpn) {
+    pte = e.pte;
+    level = e.level;
+  } else {
+    std::uint64_t base = (csrs_.satp & riscv::csr::kSatpPpnMask)
+                         << pv::kPageShift;
+    int lvl = pv::kLevels - 1;
+    for (;; --lvl) {
+      if (lvl < 0) return fault;
+      const std::uint64_t pte_addr =
+          base + pv::vpn_slice(vaddr, static_cast<unsigned>(lvl)) * 8;
+      if (!mem_.in_ram(pte_addr, 8)) return fault;
+      pte = mem_.read(pte_addr, 8);
+      if ((pte & pv::kPteV) == 0) return fault;
+      if ((pte & pv::kPteW) != 0 && (pte & pv::kPteR) == 0) return fault;
+      if ((pte & (pv::kPteR | pv::kPteX)) != 0) break;  // leaf
+      base = pv::pte_ppn(pte) << pv::kPageShift;
+    }
+    level = static_cast<unsigned>(lvl);
+    // Misaligned superpage: a leaf above level 0 must have zero low PPN bits.
+    if (level > 0 && (pv::pte_ppn(pte) & ((1ull << (9 * level)) - 1)) != 0) {
+      return fault;
+    }
+    e = TlbEntry{true, vpn, pte, static_cast<std::uint8_t>(level)};
+  }
+  // Permission checks run against *current* privilege and mstatus on every
+  // access, hit or refill — the TLB caches the PTE, not the verdict.
+  if (const Exception f = check_leaf(pte, access); f != Exception::kNone) {
+    return f;
+  }
+  const std::uint64_t low = (1ull << (9 * level)) - 1;
+  const std::uint64_t ppn = (pv::pte_ppn(pte) & ~low) | (vpn & low);
+  paddr = (ppn << pv::kPageShift) | (vaddr & ((1ull << pv::kPageShift) - 1));
+  return Exception::kNone;
+}
+
 std::optional<CommitRecord> IsaSim::step() {
   if (stopped_) return std::nullopt;
   if (steps_ >= plat_.max_steps) {
     stopped_ = true;
     stop_reason_ = StopReason::kStepLimit;
     return std::nullopt;
+  }
+  if (translation_active()) {
+    // Translated fetch. The predecode cache keys on (virtual) pc while store
+    // invalidation uses physical addresses, so it is bypassed entirely under
+    // Sv39 — every fetch re-reads and re-decodes through the walker.
+    std::uint64_t pa = pc_;
+    if (const Exception f = translate(pc_, Access::kFetch, pa);
+        f != Exception::kNone) {
+      ++steps_;
+      ++csrs_.cycle;
+      CommitRecord rec;
+      rec.pc = pc_;
+      rec.instr = 0;  // nothing was fetched
+      rec.priv = priv_;
+      raise(rec, f, pc_);
+      if (sink_ != nullptr) {
+        sink_->on_commit(rec);
+      } else {
+        trace_.push_back(rec);
+      }
+      return rec;
+    }
+    if (!mem_.in_ram(pa, 4)) {
+      stopped_ = true;
+      stop_reason_ = StopReason::kPcEscape;
+      return std::nullopt;
+    }
+    const auto raw = static_cast<std::uint32_t>(mem_.read(pa, 4));
+    if (raw == 0) {
+      stopped_ = true;
+      stop_reason_ = StopReason::kProgramEnd;
+      return std::nullopt;
+    }
+    const Decoded d = riscv::decode(raw);
+    ++steps_;
+    ++csrs_.cycle;
+    if (plat_.clint_enabled) service_interrupts();
+    CommitRecord rec;
+    rec.pc = pc_;
+    rec.instr = raw;
+    rec.priv = priv_;
+    execute(d, rec);
+    if (rec.exception == Exception::kNone) ++csrs_.instret;
+    if (sink_ != nullptr) {
+      sink_->on_commit(rec);
+    } else {
+      trace_.push_back(rec);
+    }
+    return rec;
   }
   // Fetch through the predecode cache: a hit proves pc was in RAM and the
   // word nonzero when inserted, and store/fence.i invalidation keeps the
@@ -328,14 +491,23 @@ void IsaSim::execute(const Decoded& d, CommitRecord& rec) {
     case Opcode::kLbu: case Opcode::kLhu: case Opcode::kLwu: {
       const std::uint64_t addr = a + static_cast<std::uint64_t>(d.imm);
       const unsigned size = mem_size_of(d.op);
-      // Spec priority: misaligned outranks access fault (paper Finding1).
+      // Spec priority: misaligned outranks access fault (paper Finding1),
+      // and is checked on the virtual address, before translation.
       if (addr % size != 0) {
         raise(rec, Exception::kLoadAddrMisaligned, addr);
         return;
       }
-      if (clint_.contains(plat_, addr)) {
+      std::uint64_t pa = addr;
+      if (translation_active()) {
+        if (const Exception f = translate(addr, Access::kLoad, pa);
+            f != Exception::kNone) {
+          raise(rec, f, addr);
+          return;
+        }
+      }
+      if (clint_.contains(plat_, pa)) {
         std::uint64_t mmio = 0;
-        if (!clint_.read(plat_, addr, size, mmio)) {
+        if (!clint_.read(plat_, pa, size, mmio)) {
           raise(rec, Exception::kLoadAccessFault, addr);
           return;
         }
@@ -347,11 +519,11 @@ void IsaSim::execute(const Decoded& d, CommitRecord& rec) {
         write_rd(rec, d.rd, d.op == Opcode::kLw ? sext32(mmio) : mmio);
         break;
       }
-      if (!mem_.in_ram(addr, size)) {
+      if (!mem_.in_ram(pa, size)) {
         raise(rec, Exception::kLoadAccessFault, addr);
         return;
       }
-      const std::uint64_t bits = mem_.read(addr, size);
+      const std::uint64_t bits = mem_.read(pa, size);
       std::uint64_t value = bits;
       switch (d.op) {
         case Opcode::kLb: value = static_cast<std::uint64_t>(static_cast<std::int64_t>(static_cast<std::int8_t>(bits))); break;
@@ -375,10 +547,18 @@ void IsaSim::execute(const Decoded& d, CommitRecord& rec) {
         raise(rec, Exception::kStoreAddrMisaligned, addr);
         return;
       }
-      if (clint_.contains(plat_, addr)) {
+      std::uint64_t pa = addr;
+      if (translation_active()) {
+        if (const Exception f = translate(addr, Access::kStore, pa);
+            f != Exception::kNone) {
+          raise(rec, f, addr);
+          return;
+        }
+      }
+      if (clint_.contains(plat_, pa)) {
         const std::uint64_t mmio =
             size == 8 ? b : (b & ((1ull << (8 * size)) - 1));
-        if (!clint_.write(plat_, addr, size, mmio)) {
+        if (!clint_.write(plat_, pa, size, mmio)) {
           raise(rec, Exception::kStoreAccessFault, addr);
           return;
         }
@@ -390,14 +570,14 @@ void IsaSim::execute(const Decoded& d, CommitRecord& rec) {
         rec.mem_size = static_cast<std::uint8_t>(size);
         break;
       }
-      if (!mem_.in_ram(addr, size)) {
+      if (!mem_.in_ram(pa, size)) {
         raise(rec, Exception::kStoreAccessFault, addr);
         return;
       }
       const std::uint64_t bits =
           size == 8 ? b : (b & ((1ull << (8 * size)) - 1));
-      mem_.write(addr, bits, size);
-      predecode_.invalidate(addr, size);  // self-modifying code
+      mem_.write(pa, bits, size);
+      predecode_.invalidate(pa, size);  // self-modifying code
       rec.has_mem = true;
       rec.mem_is_store = true;
       rec.mem_addr = addr;
@@ -566,7 +746,7 @@ void IsaSim::execute(const Decoded& d, CommitRecord& rec) {
       // csrrs/c with rs1=x0 (or zimm=0) reads without writing.
       const bool do_write = is_write_op || d.rs1 != 0;
       std::uint64_t old = 0;
-      if (!csr_read(d.csr, old)) {
+      if (!csr_read(d.csr, old, priv_)) {
         raise(rec, Exception::kIllegalInstruction, d.raw);
         return;
       }
@@ -583,18 +763,35 @@ void IsaSim::execute(const Decoded& d, CommitRecord& rec) {
       break;
     }
     // ---- A extension ----------------------------------------------------------
+    case Opcode::kSfenceVma:
+      if (priv_ == Priv::kUser) {
+        raise(rec, Exception::kIllegalInstruction, d.raw);
+        return;
+      }
+      // The selective rs1/rs2 forms flush everything too — both simulators
+      // over-approximate identically, so the differential stays quiet.
+      flush_tlb();
+      break;
     case Opcode::kLrW: case Opcode::kLrD: {
       const unsigned size = d.op == Opcode::kLrW ? 4 : 8;
       if (regs_[d.rs1] % size != 0) {
         raise(rec, Exception::kLoadAddrMisaligned, a);
         return;
       }
-      if (!mem_.in_ram(a, size)) {
+      std::uint64_t pa = a;
+      if (translation_active()) {
+        if (const Exception f = translate(a, Access::kLoad, pa);
+            f != Exception::kNone) {
+          raise(rec, f, a);
+          return;
+        }
+      }
+      if (!mem_.in_ram(pa, size)) {
         raise(rec, Exception::kLoadAccessFault, a);
         return;
       }
-      const std::uint64_t bits = mem_.read(a, size);
-      reservation_ = a;
+      const std::uint64_t bits = mem_.read(pa, size);
+      reservation_ = pa;
       rec.has_mem = true;
       rec.mem_is_store = false;
       rec.mem_addr = a;
@@ -609,15 +806,24 @@ void IsaSim::execute(const Decoded& d, CommitRecord& rec) {
         raise(rec, Exception::kStoreAddrMisaligned, a);
         return;
       }
-      if (!mem_.in_ram(a, size)) {
+      std::uint64_t pa = a;
+      if (translation_active()) {
+        if (const Exception f = translate(a, Access::kStore, pa);
+            f != Exception::kNone) {
+          raise(rec, f, a);
+          return;
+        }
+      }
+      if (!mem_.in_ram(pa, size)) {
         raise(rec, Exception::kStoreAccessFault, a);
         return;
       }
-      if (reservation_ && *reservation_ == a) {
+      // The reservation is held on the physical address, as LR recorded it.
+      if (reservation_ && *reservation_ == pa) {
         const std::uint64_t bits =
             size == 8 ? b : (b & 0xffffffffull);
-        mem_.write(a, bits, size);
-        predecode_.invalidate(a, size);
+        mem_.write(pa, bits, size);
+        predecode_.invalidate(pa, size);
         rec.has_mem = true;
         rec.mem_is_store = true;
         rec.mem_addr = a;
@@ -640,11 +846,20 @@ void IsaSim::execute(const Decoded& d, CommitRecord& rec) {
         raise(rec, Exception::kStoreAddrMisaligned, a);
         return;
       }
-      if (!mem_.in_ram(a, size)) {
+      std::uint64_t pa = a;
+      if (translation_active()) {
+        // AMOs translate as stores: the read-modify-write needs W (+D).
+        if (const Exception f = translate(a, Access::kStore, pa);
+            f != Exception::kNone) {
+          raise(rec, f, a);
+          return;
+        }
+      }
+      if (!mem_.in_ram(pa, size)) {
         raise(rec, Exception::kStoreAccessFault, a);
         return;
       }
-      const std::uint64_t old_bits = mem_.read(a, size);
+      const std::uint64_t old_bits = mem_.read(pa, size);
       const std::uint64_t old_val = size == 4 ? sext32(old_bits) : old_bits;
       const std::uint64_t src = size == 4 ? sext32(b) : b;
       std::uint64_t result = 0;
@@ -676,8 +891,8 @@ void IsaSim::execute(const Decoded& d, CommitRecord& rec) {
       }
       const std::uint64_t store_bits =
           size == 8 ? result : (result & 0xffffffffull);
-      mem_.write(a, store_bits, size);
-      predecode_.invalidate(a, size);
+      mem_.write(pa, store_bits, size);
+      predecode_.invalidate(pa, size);
       rec.has_mem = true;
       rec.mem_is_store = true;
       rec.mem_addr = a;

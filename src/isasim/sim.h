@@ -1,7 +1,8 @@
 // Golden-model ISA simulator ("Spike" role in the paper): a functional
-// RV64IMA+Zicsr interpreter with M/S/U privilege, precise synchronous
-// exceptions, and a commit trace. It is intentionally implemented
-// independently of rtlsim — differential testing needs two implementations.
+// RV64IMA+Zicsr interpreter with M/S/U privilege, trap delegation, Sv39
+// address translation, precise synchronous exceptions, and a commit trace.
+// It is intentionally implemented independently of rtlsim — differential
+// testing needs two implementations.
 #pragma once
 
 #include <array>
@@ -40,14 +41,16 @@ class IsaSim {
   riscv::Priv priv() const { return priv_; }
   std::uint64_t csr_value(std::uint16_t addr) const;
   const Memory& memory() const { return mem_; }
-  /// Mutable memory access flushes the predecode cache: external writes
-  /// bypass the store-path invalidation, so assume any byte may have been
-  /// an instruction. The flush happens at accessor time — write through the
-  /// freshly returned reference; do NOT keep a stored Memory& across run()/
-  /// step() calls and write code bytes through it later, or the next fetch
-  /// may replay a stale decode.
+  /// Mutable memory access flushes the predecode cache and the TLB:
+  /// external writes bypass the store-path invalidation and may have edited
+  /// page tables, so assume any byte may have been an instruction or a PTE.
+  /// The flush happens at accessor time — write through the freshly
+  /// returned reference; do NOT keep a stored Memory& across run()/step()
+  /// calls and write code bytes through it later, or the next fetch may
+  /// replay a stale decode.
   Memory& memory() {
     predecode_.flush();
+    flush_tlb();
     return mem_;
   }
   const Trace& trace() const { return trace_; }
@@ -76,8 +79,32 @@ class IsaSim {
 
   // CSR access returns false (→ illegal instruction) on unknown address,
   // insufficient privilege, or write to a read-only CSR.
-  bool csr_read(std::uint16_t addr, std::uint64_t& value) const;
+  bool csr_read(std::uint16_t addr, std::uint64_t& value,
+                riscv::Priv view) const;
   bool csr_write(std::uint16_t addr, std::uint64_t value);
+
+  /// Memory access classes for Sv39 translation.
+  enum class Access { kFetch, kLoad, kStore };
+
+  /// Direct-mapped TLB entry: one cached leaf PTE per 4K virtual page
+  /// (superpages occupy one entry per accessed page).
+  struct TlbEntry {
+    bool valid = false;
+    std::uint64_t vpn = 0;   // full 27-bit virtual page number
+    std::uint64_t pte = 0;   // cached leaf PTE
+    std::uint8_t level = 0;  // 0 = 4K, 1 = 2M, 2 = 1G leaf
+  };
+  static constexpr std::size_t kTlbEntries = 16;
+
+  /// Sv39 is in effect: satp.MODE==8 and the hart is below M.
+  bool translation_active() const;
+  /// Translate `vaddr` for `access`; returns kNone and fills `paddr`, or
+  /// the page-fault cause. Walks the tables through the TLB; permission
+  /// checks run on every access (hit or refill) against current privilege.
+  riscv::Exception translate(std::uint64_t vaddr, Access access,
+                             std::uint64_t& paddr);
+  riscv::Exception check_leaf(std::uint64_t pte, Access access) const;
+  void flush_tlb();
 
   void raise(CommitRecord& rec, riscv::Exception cause, std::uint64_t tval);
   void write_rd(CommitRecord& rec, std::uint8_t rd, std::uint64_t value);
@@ -96,6 +123,7 @@ class IsaSim {
   std::uint64_t pc_ = 0;
   riscv::Priv priv_ = riscv::Priv::kMachine;
   CsrFile csrs_;
+  std::array<TlbEntry, kTlbEntries> tlb_{};
   std::optional<std::uint64_t> reservation_;  // LR/SC reservation address
   std::uint64_t program_end_ = 0;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "riscv/alu.h"
+#include "riscv/csr.h"
 #include "riscv/decode.h"
 
 namespace chatfuzz::mismatch {
@@ -278,7 +279,7 @@ bool read_commit_record(ser::Reader& r, sim::CommitRecord& rec) {
   // Exception causes are the RISC-V mcause codes plus the kNone sentinel;
   // privilege is U/S/M. Anything else is wire corruption the CRC missed or
   // a foreign writer — fail, don't fabricate enum values.
-  if (exc > static_cast<std::uint8_t>(riscv::Exception::kEcallFromM) &&
+  if (!riscv::is_valid_cause(exc) &&
       exc != static_cast<std::uint8_t>(riscv::Exception::kNone)) {
     r.fail();
     return false;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <unordered_map>
 
+#include "riscv/csr.h"
 #include "riscv/encode.h"
 
 namespace chatfuzz::riscv {
@@ -162,6 +163,20 @@ std::optional<std::uint32_t> assemble_line(std::string_view line,
     }
     return true;
   };
+  auto csr_at = [&](std::size_t i, std::uint16_t& out) {
+    // Architectural name ("satp") or a bare numeric address.
+    if (const auto named = csr::from_name(ops[i])) {
+      out = *named;
+      return true;
+    }
+    std::int64_t addr = 0;
+    if (!parse_int(ops[i], addr) || addr < 0 || addr > 0xfff) {
+      fail(error, mnem + ": bad CSR '" + ops[i] + "'");
+      return false;
+    }
+    out = static_cast<std::uint16_t>(addr);
+    return true;
+  };
   auto check_range = [&] {
     if (!fits_imm(d.op, d.imm)) {
       fail(error, mnem + ": immediate out of range");
@@ -239,24 +254,30 @@ std::optional<std::uint32_t> assemble_line(std::string_view line,
     case Format::kSystem:
       if (!need(0)) return std::nullopt;
       break;
-    case Format::kCsr: {
-      std::int64_t csr = 0;
-      if (!need(3) || !reg_at(0, d.rd) || !imm_at(1, csr) || !reg_at(2, d.rs1)) {
+    case Format::kSfence:
+      // Accept both the bare form (flush everything) and "rs1, rs2".
+      if (ops.empty()) break;
+      if (!need(2) || !reg_at(0, d.rs1) || !reg_at(1, d.rs2)) {
         return std::nullopt;
       }
-      d.csr = static_cast<std::uint16_t>(csr & 0xfff);
+      break;
+    case Format::kCsr: {
+      if (!need(3) || !reg_at(0, d.rd) || !csr_at(1, d.csr) ||
+          !reg_at(2, d.rs1)) {
+        return std::nullopt;
+      }
       break;
     }
     case Format::kCsrImm: {
-      std::int64_t csr = 0, zimm = 0;
-      if (!need(3) || !reg_at(0, d.rd) || !imm_at(1, csr) || !imm_at(2, zimm)) {
+      std::int64_t zimm = 0;
+      if (!need(3) || !reg_at(0, d.rd) || !csr_at(1, d.csr) ||
+          !imm_at(2, zimm)) {
         return std::nullopt;
       }
       if (zimm < 0 || zimm > 31) {
         fail(error, mnem + ": zimm out of range");
         return std::nullopt;
       }
-      d.csr = static_cast<std::uint16_t>(csr & 0xfff);
       d.rs1 = static_cast<std::uint8_t>(zimm);
       break;
     }

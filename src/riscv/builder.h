@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "riscv/csr.h"
 #include "riscv/encode.h"
 #include "riscv/instr.h"
 
@@ -79,11 +80,79 @@ class ProgramBuilder {
   ProgramBuilder& ebreak() { return raw(enc_sys(Opcode::kEbreak)); }
   ProgramBuilder& fence() { return raw(enc_sys(Opcode::kFence)); }
   ProgramBuilder& fence_i() { return raw(enc_sys(Opcode::kFenceI)); }
+  ProgramBuilder& slli(unsigned rd, unsigned rs1, unsigned shamt) {
+    return raw(enc_shift(Opcode::kSlli, rd, rs1, shamt));
+  }
+  ProgramBuilder& srli(unsigned rd, unsigned rs1, unsigned shamt) {
+    return raw(enc_shift(Opcode::kSrli, rd, rs1, shamt));
+  }
+  ProgramBuilder& or_(unsigned rd, unsigned rs1, unsigned rs2) {
+    return raw(enc_r(Opcode::kOr, rd, rs1, rs2));
+  }
   ProgramBuilder& csrrw(unsigned rd, std::uint16_t csr, unsigned rs1) {
     return raw(enc_csr(Opcode::kCsrrw, rd, csr, rs1));
   }
   ProgramBuilder& csrrs(unsigned rd, std::uint16_t csr, unsigned rs1) {
     return raw(enc_csr(Opcode::kCsrrs, rd, csr, rs1));
+  }
+  ProgramBuilder& csrrc(unsigned rd, std::uint16_t csr, unsigned rs1) {
+    return raw(enc_csr(Opcode::kCsrrc, rd, csr, rs1));
+  }
+  ProgramBuilder& csrrwi(unsigned rd, std::uint16_t csr, unsigned zimm) {
+    return raw(enc_csr(Opcode::kCsrrwi, rd, csr, zimm));
+  }
+  ProgramBuilder& mret() { return raw(enc_sys(Opcode::kMret)); }
+  ProgramBuilder& sret() { return raw(enc_sys(Opcode::kSret)); }
+  ProgramBuilder& wfi() { return raw(enc_sys(Opcode::kWfi)); }
+  ProgramBuilder& sfence_vma(unsigned rs1 = 0, unsigned rs2 = 0) {
+    return raw(enc_sfence(rs1, rs2));
+  }
+
+  // ---- Privileged / Sv39 preambles ---------------------------------------
+  /// Sv39 bring-up preamble. Must run in M-mode (translation off): writes a
+  /// single gigapage leaf PTE mapping VA `ram_base` -> PA `ram_base` into a
+  /// root page table at physical page `pt_page` (4K-aligned), installs
+  /// satp = {Sv39, pt_page >> 12} — which flushes the TLB — and issues
+  /// sfence.vma. `pte_flags` picks permissions (sv39::kPte*); leave out
+  /// kPteU for a supervisor-only mapping, kPteW for a read-only one.
+  /// Clobbers t0/t1 (overridable). Both `pt_page >> 12` and the PTE word
+  /// must fit in a non-negative int32 (true anywhere in the default 1 MiB
+  /// RAM window at 0x8000'0000).
+  ProgramBuilder& sv39_identity_map(std::uint64_t ram_base,
+                                    std::uint64_t pt_page,
+                                    std::uint32_t pte_flags, unsigned t0 = 5,
+                                    unsigned t1 = 6) {
+    const auto vpn2 = static_cast<std::int32_t>((ram_base >> 30) & 0x1ff);
+    const auto pte =
+        static_cast<std::int32_t>(((ram_base >> 12) << 10) | pte_flags);
+    li(t0, static_cast<std::int32_t>(pt_page >> 12));
+    slli(t0, t0, 12);  // physical PT base, zero-extended
+    li(t1, pte);
+    sd(t0, t1, vpn2 * 8);  // root[vpn2] = gigapage leaf
+    li(t1, static_cast<std::int32_t>(csr::kSatpModeSv39));
+    slli(t1, t1, static_cast<unsigned>(csr::kSatpModeShift));
+    srli(t0, t0, 12);  // satp.PPN
+    or_(t1, t1, t0);
+    csrrw(0, csr::kSatp, t1);
+    return sfence_vma();
+  }
+
+  /// Drop from M-mode to S (mpp=1) or U (mpp=0): clears mstatus.MPP, sets
+  /// the target, points mepc at the instruction after the mret, and returns.
+  /// Clobbers `t`.
+  ProgramBuilder& enter_priv(unsigned mpp, unsigned t = 7) {
+    li(t, 3);
+    slli(t, t, 11);
+    csrrc(0, csr::kMstatus, t);  // MPP = 0 (U)
+    if (mpp == 1) {
+      li(t, 1);
+      slli(t, t, 11);
+      csrrs(0, csr::kMstatus, t);  // MPP = S
+    }
+    auipc(t, 0);
+    addi(t, t, 16);
+    csrrw(0, csr::kMepc, t);  // resume just past the mret
+    return mret();
   }
 
   // ---- Labels -------------------------------------------------------------

@@ -1,6 +1,46 @@
 #include "riscv/csr.h"
 
+#include <array>
+#include <utility>
+
 namespace chatfuzz::riscv {
+
+namespace csr {
+namespace {
+constexpr std::array<std::pair<std::uint16_t, const char*>, 31> kNames = {{
+    {kTime, "time"},
+    {kMstatus, "mstatus"},     {kMisa, "misa"},
+    {kMedeleg, "medeleg"},     {kMideleg, "mideleg"},
+    {kMie, "mie"},             {kMtvec, "mtvec"},
+    {kMcounteren, "mcounteren"}, {kMscratch, "mscratch"},
+    {kMepc, "mepc"},           {kMcause, "mcause"},
+    {kMtval, "mtval"},         {kMip, "mip"},
+    {kMcycle, "mcycle"},       {kMinstret, "minstret"},
+    {kMvendorid, "mvendorid"}, {kMarchid, "marchid"},
+    {kMimpid, "mimpid"},       {kMhartid, "mhartid"},
+    {kSstatus, "sstatus"},     {kSie, "sie"},
+    {kStvec, "stvec"},         {kScounteren, "scounteren"},
+    {kSscratch, "sscratch"},   {kSepc, "sepc"},
+    {kScause, "scause"},       {kStval, "stval"},
+    {kSip, "sip"},             {kSatp, "satp"},
+    {kCycle, "cycle"},         {kInstret, "instret"},
+}};
+}  // namespace
+
+const char* name(std::uint16_t addr) {
+  for (const auto& [a, n] : kNames) {
+    if (a == addr) return n;
+  }
+  return nullptr;
+}
+
+std::optional<std::uint16_t> from_name(std::string_view name) {
+  for (const auto& [a, n] : kNames) {
+    if (name == n) return a;
+  }
+  return std::nullopt;
+}
+}  // namespace csr
 
 const char* exception_name(Exception e) {
   switch (e) {
@@ -15,6 +55,9 @@ const char* exception_name(Exception e) {
     case Exception::kEcallFromU: return "ecall-from-u";
     case Exception::kEcallFromS: return "ecall-from-s";
     case Exception::kEcallFromM: return "ecall-from-m";
+    case Exception::kInstrPageFault: return "instr-page-fault";
+    case Exception::kLoadPageFault: return "load-page-fault";
+    case Exception::kStorePageFault: return "store-page-fault";
     case Exception::kNone: return "none";
   }
   return "unknown";

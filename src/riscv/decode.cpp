@@ -96,6 +96,10 @@ Decoded decode(std::uint32_t raw) {
     case Format::kFence:
     case Format::kSystem:
       break;
+    case Format::kSfence:
+      d.rs1 = (raw >> 15) & 31;
+      d.rs2 = (raw >> 20) & 31;
+      break;
     case Format::kCsr:
     case Format::kCsrImm:
       d.rd = (raw >> 7) & 31;

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 
+#include "riscv/csr.h"
 #include "riscv/decode.h"
 
 namespace chatfuzz::riscv {
@@ -18,6 +19,12 @@ std::string format_str(const char* fmt, ...) {
 }
 
 const char* rn(std::uint8_t r) { return reg_name(r).data(); }
+
+/// Architectural CSR name, or the raw address in hex for unmodeled ones.
+std::string csr_str(std::uint16_t addr) {
+  if (const char* n = csr::name(addr)) return n;
+  return format_str("0x%x", addr);
+}
 }  // namespace
 
 std::string disasm(const Decoded& d) {
@@ -65,10 +72,15 @@ std::string disasm(const Decoded& d) {
     case Format::kFence:
     case Format::kSystem:
       return m;
+    case Format::kSfence:
+      if (d.rs1 == 0 && d.rs2 == 0) return m;
+      return format_str("%s %s, %s", m, rn(d.rs1), rn(d.rs2));
     case Format::kCsr:
-      return format_str("%s %s, 0x%x, %s", m, rn(d.rd), d.csr, rn(d.rs1));
+      return format_str("%s %s, %s, %s", m, rn(d.rd), csr_str(d.csr).c_str(),
+                        rn(d.rs1));
     case Format::kCsrImm:
-      return format_str("%s %s, 0x%x, %u", m, rn(d.rd), d.csr, d.rs1);
+      return format_str("%s %s, %s, %u", m, rn(d.rd), csr_str(d.csr).c_str(),
+                        d.rs1);
     case Format::kAmo:
       return format_str("%s%s %s, %s, (%s)", m,
                         d.aq && d.rl ? ".aqrl" : d.aq ? ".aq" : d.rl ? ".rl" : "",

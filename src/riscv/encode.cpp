@@ -63,6 +63,9 @@ std::uint32_t encode(const Decoded& d) {
     case Format::kFence:
     case Format::kSystem:
       break;  // fully fixed
+    case Format::kSfence:
+      word |= rs1_bits(d.rs1) | rs2_bits(d.rs2);
+      break;
     case Format::kCsr:
       word |= rd_bits(d.rd) | rs1_bits(d.rs1) |
               (static_cast<std::uint32_t>(d.csr & 0xfffu) << 20);
@@ -189,6 +192,14 @@ std::uint32_t enc_amo(Opcode op, unsigned rd, unsigned addr_rs1, unsigned rs2,
 std::uint32_t enc_sys(Opcode op) {
   Decoded d;
   d.op = op;
+  return encode(d);
+}
+
+std::uint32_t enc_sfence(unsigned vaddr_rs1, unsigned asid_rs2) {
+  Decoded d;
+  d.op = Opcode::kSfenceVma;
+  d.rs1 = static_cast<std::uint8_t>(vaddr_rs1);
+  d.rs2 = static_cast<std::uint8_t>(asid_rs2);
   return encode(d);
 }
 

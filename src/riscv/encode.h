@@ -31,5 +31,6 @@ std::uint32_t enc_csr(Opcode op, unsigned rd, std::uint16_t csr, unsigned rs1_or
 std::uint32_t enc_amo(Opcode op, unsigned rd, unsigned addr_rs1, unsigned rs2,
                       bool aq = false, bool rl = false);
 std::uint32_t enc_sys(Opcode op);
+std::uint32_t enc_sfence(unsigned vaddr_rs1, unsigned asid_rs2);
 
 }  // namespace chatfuzz::riscv

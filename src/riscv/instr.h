@@ -26,6 +26,7 @@ enum class Format {
   kJ,        // rd, imm21              (jal, imm is byte offset)
   kFence,    // pred/succ ignored
   kSystem,   // fully fixed encoding (ecall/ebreak/mret/sret/wfi)
+  kSfence,   // rs1(vaddr), rs2(asid), rd==0  (sfence.vma)
   kCsr,      // rd, csr, rs1
   kCsrImm,   // rd, csr, zimm5
   kAmo,      // rd, rs1(addr), rs2, aq/rl
@@ -105,6 +106,7 @@ enum class Ext { kI, kM, kA, kZicsr, kZifencei, kPriv };
   X(kMret,   "mret",   Format::kSystem, 0x30200073u, 0xffffffffu, Ext::kPriv)  \
   X(kSret,   "sret",   Format::kSystem, 0x10200073u, 0xffffffffu, Ext::kPriv)  \
   X(kWfi,    "wfi",    Format::kSystem, 0x10500073u, 0xffffffffu, Ext::kPriv)  \
+  X(kSfenceVma, "sfence.vma", Format::kSfence, 0x12000073u, 0xfe007fffu, Ext::kPriv) \
   /* Zicsr */                                                                  \
   X(kCsrrw,  "csrrw",  Format::kCsr,    0x00001073u, 0x0000707fu, Ext::kZicsr) \
   X(kCsrrs,  "csrrs",  Format::kCsr,    0x00002073u, 0x0000707fu, Ext::kZicsr) \

@@ -26,7 +26,22 @@ struct BugInjections {
   /// (trace-only artifact).
   bool x0_link_trace = true;
 
-  static BugInjections none() { return {false, false, false, false, false}; }
+  // Privileged/Sv39 bug surface (PR 6). These default OFF: they model
+  // hypothetical trap/translation defects used to validate that the
+  // differential harness *would* catch them, not paper findings.
+  /// Trap unit ignores medeleg: delegated causes still vector to M-mode.
+  /// Surfaces as S-CSR state divergence after a trap taken below M.
+  bool wrong_delegation = false;
+  /// LSU skips the PTE W/D permission checks on stores: writes to read-only
+  /// or non-dirty pages succeed instead of raising store-page-fault.
+  bool skip_perm_check = false;
+  /// TLB is flushed on sfence.vma only, not on satp writes — stale leaf
+  /// PTEs survive a translation-context switch.
+  bool stale_tlb = false;
+
+  static BugInjections none() {
+    return {false, false, false, false, false, false, false, false};
+  }
 };
 
 struct CoreConfig {

@@ -228,7 +228,9 @@ void RtlCore::register_points() {
   p_csr_satp_ = add("csr.satp_access");
   p_csr_write_side_ = add("csr.write_performed");
 
-  for (int c = 0; c < 12; ++c) {
+  // 16 causes: 0-11 plus the Sv39 page faults 12/13/15 (14 reserved, never
+  // true — part of the honest unreachable tail).
+  for (int c = 0; c < 16; ++c) {
     p_trap_cause_.push_back(
         db_.register_cond("trap.cause" + std::to_string(c)));
   }
@@ -241,6 +243,8 @@ void RtlCore::register_points() {
   p_mret_to_s_ = add("trap.mret_to_supervisor");
   p_wfi_ = add("trap.wfi");
   p_deleg_ = add("trap.medeleg_nonzero");
+  p_deleg_taken_ = add("trap.delegated");
+  p_sfence_ = add("trap.sfence_vma");
 
   // Background/uncore units: the realistic unreachable tail of the full
   // RocketCore instrumentation. The BOOM build (cross_depth 1) instruments
@@ -519,6 +523,7 @@ void RtlCore::reset(std::span<const std::uint32_t> program) {
   // per-test coverage depend on which tests shared a simulator instance.
   predictor_.flush();
   predecode_.flush();
+  flush_tlb();
   cycles_ = 0;
   last_rd_ = 0;
   last_was_load_ = false;
@@ -545,9 +550,10 @@ sim::RunResult RtlCore::run() {
   return r;
 }
 
-bool RtlCore::csr_read(std::uint16_t addr, std::uint64_t& value) const {
+bool RtlCore::csr_read(std::uint16_t addr, std::uint64_t& value,
+                       riscv::Priv view) const {
   namespace c = riscv::csr;
-  if (static_cast<int>(priv_) < static_cast<int>(c::min_priv(addr))) return false;
+  if (static_cast<int>(view) < static_cast<int>(c::min_priv(addr))) return false;
   switch (addr) {
     case c::kMstatus: value = csrs_.mstatus; return true;
     case c::kMisa: value = sim::kMisaValue; return true;
@@ -569,7 +575,8 @@ bool RtlCore::csr_read(std::uint16_t addr, std::uint64_t& value) const {
       return true;
     case c::kSstatus:
       value = csrs_.mstatus &
-              (sim::mstatus::kSie | sim::mstatus::kSpie | sim::mstatus::kSpp);
+              (sim::mstatus::kSie | sim::mstatus::kSpie | sim::mstatus::kSpp |
+               sim::mstatus::kSum | sim::mstatus::kMxr);
       return true;
     case c::kSie: value = csrs_.mie & 0x222; return true;
     case c::kSip: value = csrs_.mip & 0x222; return true;
@@ -590,7 +597,8 @@ bool RtlCore::csr_write(std::uint16_t addr, std::uint64_t value) {
   if (static_cast<int>(priv_) < static_cast<int>(c::min_priv(addr))) return false;
   if (c::is_read_only(addr)) return false;
   constexpr std::uint64_t kStatusMask = ms::kSie | ms::kMie | ms::kSpie |
-                                        ms::kMpie | ms::kSpp | ms::kMppMask;
+                                        ms::kMpie | ms::kSpp | ms::kMppMask |
+                                        ms::kSum | ms::kMxr;
   switch (addr) {
     case c::kMstatus: {
       std::uint64_t v = value & kStatusMask;
@@ -599,8 +607,8 @@ bool RtlCore::csr_write(std::uint16_t addr, std::uint64_t value) {
       return true;
     }
     case c::kMisa: return true;
-    case c::kMedeleg: csrs_.medeleg = value & 0xffff; return true;
-    case c::kMideleg: csrs_.mideleg = value & 0xfff; return true;
+    case c::kMedeleg: csrs_.medeleg = value & c::kMedelegMask; return true;
+    case c::kMideleg: csrs_.mideleg = value & c::kMidelegMask; return true;
     case c::kMie: csrs_.mie = value & 0xaaa; return true;
     case c::kMtvec: csrs_.mtvec = value & ~3ull; return true;
     case c::kMcounteren: csrs_.mcounteren = value & 7; return true;
@@ -612,7 +620,8 @@ bool RtlCore::csr_write(std::uint16_t addr, std::uint64_t value) {
     case c::kMcycle: cycles_ = value; return true;
     case c::kMinstret: csrs_.instret = value; return true;
     case c::kSstatus: {
-      constexpr std::uint64_t kSMask = ms::kSie | ms::kSpie | ms::kSpp;
+      constexpr std::uint64_t kSMask =
+          ms::kSie | ms::kSpie | ms::kSpp | ms::kSum | ms::kMxr;
       csrs_.mstatus = (csrs_.mstatus & ~kSMask) | (value & kSMask);
       return true;
     }
@@ -628,9 +637,154 @@ bool RtlCore::csr_write(std::uint16_t addr, std::uint64_t value) {
     case c::kSepc: csrs_.sepc = value & ~3ull; return true;
     case c::kScause: csrs_.scause = value; return true;
     case c::kStval: csrs_.stval = value; return true;
-    case c::kSatp: csrs_.satp = value; return true;
+    case c::kSatp:
+      // WARL MODE (Bare/Sv39 only). An accepted write switches the
+      // translation context, so the TLB must drop its cached leaves —
+      // unless the stale-TLB bug leaves them in place (sfence.vma still
+      // flushes).
+      csrs_.satp = c::legalize_satp(csrs_.satp, value);
+      if (!cfg_.bugs.stale_tlb) flush_tlb();
+      return true;
     default: return false;
   }
+}
+
+bool RtlCore::translation_active() const {
+  namespace c = riscv::csr;
+  return priv_ != Priv::kMachine &&
+         (csrs_.satp >> c::kSatpModeShift) == c::kSatpModeSv39;
+}
+
+void RtlCore::flush_tlb() {
+  for (auto& e : tlb_) e = TlbEntry{};
+}
+
+riscv::Exception RtlCore::leaf_permissions(std::uint64_t pte, MemAccess kind) {
+  namespace pv = riscv::sv39;
+  namespace ms = sim::mstatus;
+  const Exception fault = kind == MemAccess::kFetch  ? Exception::kInstrPageFault
+                          : kind == MemAccess::kLoad ? Exception::kLoadPageFault
+                                                     : Exception::kStorePageFault;
+  const bool u_page = (pte & pv::kPteU) != 0;
+  switch (kind) {
+    case MemAccess::kFetch:
+      if ((pte & pv::kPteX) == 0) return fault;
+      // U needs the U bit; S fetching from a U page always faults (SUM
+      // gates data accesses only).
+      if ((priv_ == Priv::kUser) != u_page) return fault;
+      break;
+    case MemAccess::kLoad: {
+      if (priv_ == Priv::kUser && !u_page) return fault;
+      if (priv_ == Priv::kSupervisor && u_page &&
+          (csrs_.mstatus & ms::kSum) == 0) {
+        return fault;
+      }
+      const bool mxr = (csrs_.mstatus & ms::kMxr) != 0;
+      if ((pte & pv::kPteR) == 0 && !(mxr && (pte & pv::kPteX) != 0)) {
+        return fault;
+      }
+      break;
+    }
+    case MemAccess::kStore:
+      if (priv_ == Priv::kUser && !u_page) return fault;
+      if (priv_ == Priv::kSupervisor && u_page &&
+          (csrs_.mstatus & ms::kSum) == 0) {
+        return fault;
+      }
+      // Bug site skip_perm_check: the store permission comparator (W) and
+      // the dirty check below are skipped — stores to read-only pages land.
+      if (!cfg_.bugs.skip_perm_check && (pte & pv::kPteW) == 0) return fault;
+      break;
+  }
+  // Svade: the walker never updates A/D; accesses needing an update fault.
+  if ((pte & pv::kPteA) == 0) return fault;
+  if (kind == MemAccess::kStore && !cfg_.bugs.skip_perm_check &&
+      (pte & pv::kPteD) == 0) {
+    return fault;
+  }
+  return Exception::kNone;
+}
+
+riscv::Exception RtlCore::translate(std::uint64_t vaddr, MemAccess kind,
+                                    std::uint64_t& paddr) {
+  namespace c = riscv::csr;
+  namespace pv = riscv::sv39;
+  const Exception fault = kind == MemAccess::kFetch  ? Exception::kInstrPageFault
+                          : kind == MemAccess::kLoad ? Exception::kLoadPageFault
+                                                     : Exception::kStorePageFault;
+  const bool cov = !p_tlb_.empty();  // MMU points exist at cross_depth 2 only
+  if (cov) {
+    cc(p_tlb_[3], kind == MemAccess::kStore);           // store-permission path
+    cc(p_tlb_[4], ((csrs_.satp >> 44) & 0xffff) != 0);  // ASID bits set
+  }
+  if (!pv::canonical(vaddr)) {
+    if (cov) cc(p_ptw_fault_, true);
+    return fault;
+  }
+  const std::uint64_t vpn = vaddr >> pv::kPageShift;
+  TlbEntry& slot = tlb_[vpn % tlb_.size()];
+  const bool hit = slot.valid && slot.vpn == vpn;
+  if (cov) {
+    cc(p_tlb_[1], hit);
+    cc(p_tlb_[5], !hit);  // refill walk engaged
+    cc(p_ptw_active_, !hit);
+  }
+  if (!hit) {
+    // Page-table walk, root first. The PTW is a memory client of its own in
+    // real RTL; here it reads RAM directly (uncached) one PTE per level.
+    std::uint64_t table = (csrs_.satp & c::kSatpPpnMask) << pv::kPageShift;
+    int level = static_cast<int>(pv::kLevels) - 1;
+    std::uint64_t pte = 0;
+    while (true) {
+      if (level < 0) {
+        if (cov) cc(p_ptw_fault_, true);
+        return fault;
+      }
+      const std::uint64_t pte_addr =
+          table + pv::vpn_slice(vaddr, static_cast<unsigned>(level)) * 8;
+      if (!mem_.in_ram(pte_addr, 8)) {
+        if (cov) cc(p_ptw_fault_, true);
+        return fault;
+      }
+      pte = mem_.read(pte_addr, 8);
+      const bool valid = (pte & pv::kPteV) != 0 &&
+                         !((pte & pv::kPteW) != 0 && (pte & pv::kPteR) == 0);
+      if (!valid) {
+        if (cov) cc(p_ptw_fault_, true);
+        return fault;
+      }
+      if ((pte & (pv::kPteR | pv::kPteX)) != 0) break;  // leaf PTE
+      table = pv::pte_ppn(pte) << pv::kPageShift;
+      --level;
+    }
+    // Superpage leaves must be PPN-aligned to their span.
+    if (level > 0 &&
+        (pv::pte_ppn(pte) & ((1ull << (9 * static_cast<unsigned>(level))) - 1)) != 0) {
+      if (cov) cc(p_ptw_fault_, true);
+      return fault;
+    }
+    slot.valid = true;
+    slot.vpn = vpn;
+    slot.pte = pte;
+    slot.level = static_cast<std::uint8_t>(level);
+    cycles_ += cfg_.miss_penalty;  // walk stalls like a cache miss
+  }
+  if (cov) {
+    cc(p_tlb_[2], slot.level > 0);  // superpage leaf
+    cc(p_ptw_level_, slot.level > 0);
+  }
+  // The TLB caches the PTE, not the verdict: permissions re-check against
+  // the current privilege/mstatus on every access.
+  if (const Exception f = leaf_permissions(slot.pte, kind);
+      f != Exception::kNone) {
+    if (cov) cc(p_ptw_fault_, true);
+    return f;
+  }
+  if (cov) cc(p_ptw_fault_, false);
+  const std::uint64_t span = (1ull << (9 * slot.level)) - 1;
+  const std::uint64_t ppn = (pv::pte_ppn(slot.pte) & ~span) | (vpn & span);
+  paddr = (ppn << pv::kPageShift) | (vaddr & ((1ull << pv::kPageShift) - 1));
+  return Exception::kNone;
 }
 
 void RtlCore::raise(CommitRecord& rec, Exception cause, std::uint64_t tval) {
@@ -648,6 +802,26 @@ void RtlCore::raise(CommitRecord& rec, Exception cause, std::uint64_t tval) {
   cc(p_deleg_, csrs_.medeleg != 0);
 
   namespace ms = sim::mstatus;
+  // Delegation mux: a trap from below M whose medeleg bit is set vectors to
+  // the S-mode trampoline. Bug site wrong_delegation: the mux ignores
+  // medeleg and every trap falls through to M.
+  const bool deleg_wanted =
+      priv_ != Priv::kMachine &&
+      ((csrs_.medeleg >> static_cast<unsigned>(cause)) & 1) != 0;
+  if (cc(p_deleg_taken_, deleg_wanted && !cfg_.bugs.wrong_delegation)) {
+    csrs_.sepc = pc_;
+    csrs_.scause = static_cast<std::uint64_t>(cause);
+    csrs_.stval = tval;
+    const bool sie = (csrs_.mstatus & ms::kSie) != 0;
+    csrs_.mstatus &= ~(ms::kSie | ms::kSpie | ms::kSpp);
+    if (sie) csrs_.mstatus |= ms::kSpie;
+    if (priv_ == Priv::kSupervisor) csrs_.mstatus |= ms::kSpp;
+    priv_ = Priv::kSupervisor;
+    pc_ = csrs_.sepc + 4;  // S-mode magic trampoline (platform.h)
+    cycles_ += cfg_.mispredict_penalty;
+    if (cfg_.superscalar) cc(p_b_flush_, true);
+    return;
+  }
   csrs_.mepc = pc_;
   csrs_.mcause = static_cast<std::uint64_t>(cause);
   csrs_.mtval = tval;
@@ -759,32 +933,84 @@ std::optional<CommitRecord> RtlCore::step() {
     fold_deferred_chains();
     return std::nullopt;
   }
-  if (!mem_.in_ram(pc_, 4)) {
+
+  ev_ = StepEvents{};
+  ev_.priv = priv_;
+
+  // ---- Instruction-side MMU ----
+  std::uint64_t fetch_pa = pc_;
+  if (translation_active()) {
+    if (!p_tlb_.empty()) cc(p_tlb_[0], true);  // I-side TLB lookup
+    if (const Exception pf = translate(pc_, MemAccess::kFetch, fetch_pa);
+        pf != Exception::kNone) {
+      // Fetch page fault: nothing was fetched, so the committed record
+      // carries instr=0 and the select chains see an invalid decode.
+      // Interrupt servicing is skipped this step (mirrored by the golden
+      // model).
+      ++steps_;
+      ++cycles_;
+      CommitRecord rec;
+      rec.pc = pc_;
+      rec.instr = 0;
+      rec.priv = priv_;
+      cur_op_index_ = riscv::kNumOpcodes;
+      if (cfg_.deferred_select_chains) {
+        ++chain_steps_;
+        ++op_count_[cur_op_index_];
+      } else {
+        for (std::size_t i = 0; i < p_dec_op_.size(); ++i) {
+          cc(p_dec_op_[i], false);
+        }
+      }
+      raise(rec, pf, pc_);
+      evaluate_cross_units();
+      if (metrics_ != nullptr) {
+        cov::StepObservation ob;
+        ob.trap = true;
+        ob.priv_before = ev_.priv;
+        ob.priv_after = priv_;
+        metrics_->on_step(ob);
+      }
+      prev_ev_ = ev_;
+      std::uint64_t pack = 0x7f;
+      pack |= 1ull << 9;  // trapped
+      pack |= static_cast<std::uint64_t>(static_cast<unsigned>(priv_)) << 10;
+      ctrl_cov_.observe(pack);
+      ctrl_cov_.observe(pack ^ (last_ctrl_pack_ << 13));
+      last_ctrl_pack_ = pack;
+      if (sink_ != nullptr) {
+        sink_->on_commit(rec);
+      } else {
+        trace_.push_back(rec);
+      }
+      return rec;
+    }
+  } else if (!p_tlb_.empty()) {
+    cc(p_tlb_[0], false);  // MMU consulted, found Bare: passthrough
+  }
+  if (!mem_.in_ram(fetch_pa, 4)) {
     stopped_ = true;
     stop_reason_ = sim::StopReason::kPcEscape;
     fold_deferred_chains();
     return std::nullopt;
   }
 
-  ev_ = StepEvents{};
-  ev_.priv = priv_;
-
   // ---- Fetch through the I$ (Bug1 site: may serve stale bytes) ----
   CacheAccess iacc;
-  const std::uint32_t raw = icache_.fetch(pc_, mem_, iacc);
+  const std::uint32_t raw = icache_.fetch(fetch_pa, mem_, iacc);
   ev_.icache_miss = !iacc.hit;
   cc(p_ic_hit_, iacc.hit);
   if (!iacc.hit) {
     cc(p_ic_evict_, iacc.evicted_valid);
     if (!p_ic_set_evict_.empty()) {
-      const unsigned set =
-          static_cast<unsigned>((pc_ / cfg_.icache_line) % cfg_.icache_sets);
+      const unsigned set = static_cast<unsigned>(
+          (fetch_pa / cfg_.icache_line) % cfg_.icache_sets);
       cc(p_ic_set_evict_[set], iacc.evicted_valid);
     }
     cycles_ += cfg_.miss_penalty;
     if (cfg_.cross_depth >= 2) cc(p_ecc_ic_, false);  // refill ECC check
   }
-  cc(p_fetch_cross_, pc_ % cfg_.icache_line == cfg_.icache_line - 4);
+  cc(p_fetch_cross_, fetch_pa % cfg_.icache_line == cfg_.icache_line - 4);
 
   if (raw == 0) {
     stopped_ = true;
@@ -1008,8 +1234,21 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
       const std::uint64_t addr = a + static_cast<std::uint64_t>(d.imm);
       const unsigned size = mem_size_of(d.op);
       const bool misaligned = addr % size != 0;
-      const bool is_clint = clint_.contains(plat_, addr);
-      const bool fault = !mem_.in_ram(addr, size) && !is_clint;
+      // D-side MMU. The misaligned check is architectural on the *virtual*
+      // address; in spec priority it outranks translation, so the walker is
+      // only consulted for an aligned access — except under the
+      // fault-priority-swap bug, where the LSU asks the MMU first.
+      const bool xlate = translation_active();
+      std::uint64_t pa = addr;
+      Exception pgf = Exception::kNone;
+      if (!p_tlb_.empty()) cc(p_tlb_[0], xlate);
+      if (xlate && (cfg_.bugs.fault_priority_swap || !misaligned)) {
+        pgf = translate(addr, is_store ? MemAccess::kStore : MemAccess::kLoad,
+                        pa);
+      }
+      const bool is_clint = pgf == Exception::kNone && clint_.contains(plat_, pa);
+      const bool fault =
+          pgf == Exception::kNone && !mem_.in_ram(pa, size) && !is_clint;
       cc(p_mem_store_, is_store);
       cc(p_mem_size8_, size == 8);
       cc(p_mem_misaligned_, misaligned);
@@ -1017,17 +1256,15 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
       if (cfg_.cross_depth >= 2) {
         cc(p_pmp_hit_, false);
         cc(p_pmp_fault_, false);
-        // Page-table-walker conditions: evaluated whenever translation
-        // would be consulted (satp != 0). No translation is performed (bare
-        // model); these are deep coverage targets only.
-        if (cc(p_ptw_active_, csrs_.satp != 0)) {
-          cc(p_ptw_level_, (addr >> 21) % 2 == 0);
-          cc(p_ptw_fault_, (addr & 0xfff) == 0xfff);
-        }
       }
       if (cfg_.bugs.fault_priority_swap) {
         // Finding1: the core checks the PMA/range fault before alignment,
-        // inverting the spec's exception priority when both apply.
+        // inverting the spec's exception priority when both apply. Page
+        // faults arrive from the MMU ahead of the LSU's priority mux.
+        if (pgf != Exception::kNone) {
+          raise(rec, pgf, addr);
+          return;
+        }
         if (fault) {
           raise(rec, is_store ? Exception::kStoreAccessFault
                               : Exception::kLoadAccessFault, addr);
@@ -1042,6 +1279,10 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
         if (misaligned) {
           raise(rec, is_store ? Exception::kStoreAddrMisaligned
                               : Exception::kLoadAddrMisaligned, addr);
+          return;
+        }
+        if (pgf != Exception::kNone) {
+          raise(rec, pgf, addr);
           return;
         }
         if (fault) {
@@ -1055,7 +1296,7 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
         if (is_store) {
           const std::uint64_t bits =
               size == 8 ? b : (b & ((1ull << (8 * size)) - 1));
-          if (!clint_.write(plat_, addr, size, bits)) {
+          if (!clint_.write(plat_, pa, size, bits)) {
             raise(rec, Exception::kStoreAccessFault, addr);
             return;
           }
@@ -1068,7 +1309,7 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
           rec.mem_size = static_cast<std::uint8_t>(size);
         } else {
           std::uint64_t mmio = 0;
-          if (!clint_.read(plat_, addr, size, mmio)) {
+          if (!clint_.read(plat_, pa, size, mmio)) {
             raise(rec, Exception::kLoadAccessFault, addr);
             return;
           }
@@ -1082,7 +1323,7 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
         }
         break;
       }
-      const CacheAccess dacc = dcache_.access(addr, is_store);
+      const CacheAccess dacc = dcache_.access(pa, is_store);
       cc(p_dc_hit_, dacc.hit);
       ev_.dcache_miss = !dacc.hit;
       ev_.dcache_hit_dirty = dacc.hit_dirty;
@@ -1096,43 +1337,29 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
         cc(p_dc_evict_dirty_, dacc.evicted_dirty);
         if (!p_dc_set_evict_.empty()) {
           const unsigned set = static_cast<unsigned>(
-              (addr / cfg_.dcache_line) % cfg_.dcache_sets);
+              (pa / cfg_.dcache_line) % cfg_.dcache_sets);
           cc(p_dc_set_evict_[set], dacc.evicted_valid);
         }
         cycles_ += cfg_.miss_penalty;
         if (cfg_.cross_depth >= 2) cc(p_ecc_dc_, false);
       }
-      // Bare-translation TLB unit: consulted only when translation is live
-      // (satp written non-zero AND the hart has left M-mode) — a deep
-      // multi-step trigger. No translation is performed.
-      if (!p_tlb_.empty()) {
-        const bool consulted = csrs_.satp != 0 && priv_ != Priv::kMachine;
-        cc(p_tlb_[0], consulted);
-        if (consulted) {
-          cc(p_tlb_[1], ((addr >> 12) & 3) != 0);        // vpn "hit"
-          cc(p_tlb_[2], ((addr >> 21) & 1) != 0);        // superpage
-          cc(p_tlb_[3], is_store);                       // store permission
-          cc(p_tlb_[4], (csrs_.satp >> 44) != 0);        // ASID bits set
-          cc(p_tlb_[5], ((addr >> 12) & 3) == 0);        // refill walk
-        }
-      }
       if (is_store) {
         if (reservation_ &&
-            (*reservation_ / cfg_.dcache_line) == (addr / cfg_.dcache_line)) {
+            (*reservation_ / cfg_.dcache_line) == (pa / cfg_.dcache_line)) {
           ev_.store_hits_reservation = true;
         }
         const std::uint64_t bits =
             size == 8 ? b : (b & ((1ull << (8 * size)) - 1));
-        mem_.write(addr, bits, size);
-        predecode_.invalidate(addr, size);
-        if (!cfg_.bugs.stale_icache) icache_.invalidate_addr(addr);
+        mem_.write(pa, bits, size);
+        predecode_.invalidate(pa, size);
+        if (!cfg_.bugs.stale_icache) icache_.invalidate_addr(pa);
         rec.has_mem = true;
         rec.mem_is_store = true;
         rec.mem_addr = addr;
         rec.mem_value = bits;
         rec.mem_size = static_cast<std::uint8_t>(size);
       } else {
-        const std::uint64_t bits = mem_.read(addr, size);
+        const std::uint64_t bits = mem_.read(pa, size);
         std::uint64_t value = bits;
         switch (d.op) {
           case Opcode::kLb: value = static_cast<std::uint64_t>(static_cast<std::int64_t>(static_cast<std::int8_t>(bits))); break;
@@ -1178,8 +1405,21 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
       cc(p_wfi_, true);
       cc(p_mret_, false);
       cc(p_sret_, false);
+      cc(p_sfence_, false);
       stopped_ = true;
       stop_reason_ = sim::StopReason::kWfi;
+      break;
+
+    case Opcode::kSfenceVma:
+      if (priv_ == Priv::kUser) {
+        raise(rec, Exception::kIllegalInstruction, d.raw);
+        return;
+      }
+      cc(p_sfence_, true);
+      // The selective rs1/rs2 forms flush everything too, matching the
+      // golden model's over-approximation bit for bit.
+      flush_tlb();
+      cycles_ += cfg_.mispredict_penalty;  // fetch replays after the fence
       break;
 
     case Opcode::kMret: {
@@ -1244,7 +1484,7 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
       cc(p_csr_priv_fail_, priv_fail);
       cc(p_csr_ro_write_, do_write && c::is_read_only(d.csr));
       std::uint64_t old = 0;
-      if (!csr_read(d.csr, old)) {
+      if (!csr_read(d.csr, old, priv_)) {
         cc(p_csr_illegal_addr_, true);
         raise(rec, Exception::kIllegalInstruction, d.raw);
         return;
@@ -1269,27 +1509,39 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
     case Opcode::kLrW: case Opcode::kLrD: {
       const unsigned size = d.op == Opcode::kLrW ? 4 : 8;
       const bool misaligned = a % size != 0;
-      const bool fault = !mem_.in_ram(a, size);
+      const bool xlate = translation_active();
+      std::uint64_t pa = a;
+      Exception pgf = Exception::kNone;
+      if (!p_tlb_.empty()) cc(p_tlb_[0], xlate);
+      if (xlate && (cfg_.bugs.fault_priority_swap || !misaligned)) {
+        pgf = translate(a, MemAccess::kLoad, pa);
+      }
+      const bool fault = pgf == Exception::kNone && !mem_.in_ram(pa, size);
       cc(p_mem_misaligned_, misaligned);
       cc(p_mem_fault_, fault);
-      if (misaligned || fault) {
+      if (misaligned || fault || pgf != Exception::kNone) {
         if (cfg_.bugs.fault_priority_swap) {
-          raise(rec, fault ? Exception::kLoadAccessFault
-                           : Exception::kLoadAddrMisaligned, a);
+          raise(rec, pgf != Exception::kNone ? pgf
+                     : fault                 ? Exception::kLoadAccessFault
+                                             : Exception::kLoadAddrMisaligned,
+                a);
         } else {
-          raise(rec, misaligned ? Exception::kLoadAddrMisaligned
-                                : Exception::kLoadAccessFault, a);
+          raise(rec, misaligned              ? Exception::kLoadAddrMisaligned
+                     : pgf != Exception::kNone ? pgf
+                                               : Exception::kLoadAccessFault,
+                a);
         }
         return;
       }
-      const CacheAccess dacc = dcache_.access(a, false);
+      const CacheAccess dacc = dcache_.access(pa, false);
       cc(p_dc_hit_, dacc.hit);
       ev_.dcache_miss = !dacc.hit;
       ev_.has_mem_addr = true;
       ev_.mem_addr = a;
       if (!dacc.hit) cycles_ += cfg_.miss_penalty;
-      const std::uint64_t bits = mem_.read(a, size);
-      reservation_ = a;
+      const std::uint64_t bits = mem_.read(pa, size);
+      // The reservation is held on the physical address.
+      reservation_ = pa;
       cc(p_mem_resv_valid_, true);
       rec.has_mem = true;
       rec.mem_is_store = false;
@@ -1303,34 +1555,45 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
     case Opcode::kScW: case Opcode::kScD: {
       const unsigned size = d.op == Opcode::kScW ? 4 : 8;
       const bool misaligned = a % size != 0;
-      const bool fault = !mem_.in_ram(a, size);
+      const bool xlate = translation_active();
+      std::uint64_t pa = a;
+      Exception pgf = Exception::kNone;
+      if (!p_tlb_.empty()) cc(p_tlb_[0], xlate);
+      if (xlate && (cfg_.bugs.fault_priority_swap || !misaligned)) {
+        pgf = translate(a, MemAccess::kStore, pa);
+      }
+      const bool fault = pgf == Exception::kNone && !mem_.in_ram(pa, size);
       cc(p_mem_misaligned_, misaligned);
       cc(p_mem_fault_, fault);
-      if (misaligned || fault) {
+      if (misaligned || fault || pgf != Exception::kNone) {
         if (cfg_.bugs.fault_priority_swap) {
-          raise(rec, fault ? Exception::kStoreAccessFault
-                           : Exception::kStoreAddrMisaligned, a);
+          raise(rec, pgf != Exception::kNone ? pgf
+                     : fault                 ? Exception::kStoreAccessFault
+                                             : Exception::kStoreAddrMisaligned,
+                a);
         } else {
-          raise(rec, misaligned ? Exception::kStoreAddrMisaligned
-                                : Exception::kStoreAccessFault, a);
+          raise(rec, misaligned              ? Exception::kStoreAddrMisaligned
+                     : pgf != Exception::kNone ? pgf
+                                               : Exception::kStoreAccessFault,
+                a);
         }
         return;
       }
-      const bool ok = reservation_ && *reservation_ == a;
+      const bool ok = reservation_ && *reservation_ == pa;
       ev_.sc_success = ok;
       cc(p_mem_sc_ok_, ok);
       cc(p_mem_resv_valid_, reservation_.has_value());
       if (ok) {
-        const CacheAccess dacc = dcache_.access(a, true);
+        const CacheAccess dacc = dcache_.access(pa, true);
         cc(p_dc_hit_, dacc.hit);
         ev_.dcache_miss = !dacc.hit;
         ev_.has_mem_addr = true;
         ev_.mem_addr = a;
         if (!dacc.hit) cycles_ += cfg_.miss_penalty;
         const std::uint64_t bits = size == 8 ? b : (b & 0xffffffffull);
-        mem_.write(a, bits, size);
-        predecode_.invalidate(a, size);
-        if (!cfg_.bugs.stale_icache) icache_.invalidate_addr(a);
+        mem_.write(pa, bits, size);
+        predecode_.invalidate(pa, size);
+        if (!cfg_.bugs.stale_icache) icache_.invalidate_addr(pa);
         rec.has_mem = true;
         rec.mem_is_store = true;
         rec.mem_addr = a;
@@ -1350,27 +1613,41 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
         const unsigned size =
             (riscv::spec(d.op).match & 0x7000u) == 0x2000u ? 4 : 8;
         const bool misaligned = a % size != 0;
-        const bool fault = !mem_.in_ram(a, size);
+        const bool xlate = translation_active();
+        std::uint64_t pa = a;
+        Exception pgf = Exception::kNone;
+        if (!p_tlb_.empty()) cc(p_tlb_[0], xlate);
+        if (xlate && (cfg_.bugs.fault_priority_swap || !misaligned)) {
+          // AMOs translate as stores: the read-modify-write needs W (+D).
+          pgf = translate(a, MemAccess::kStore, pa);
+        }
+        const bool fault = pgf == Exception::kNone && !mem_.in_ram(pa, size);
         cc(p_mem_misaligned_, misaligned);
         cc(p_mem_fault_, fault);
-        if (misaligned || fault) {
+        if (misaligned || fault || pgf != Exception::kNone) {
           if (cfg_.bugs.fault_priority_swap) {
-            raise(rec, fault ? Exception::kStoreAccessFault
-                             : Exception::kStoreAddrMisaligned, a);
+            raise(rec,
+                  pgf != Exception::kNone ? pgf
+                  : fault                 ? Exception::kStoreAccessFault
+                                          : Exception::kStoreAddrMisaligned,
+                  a);
           } else {
-            raise(rec, misaligned ? Exception::kStoreAddrMisaligned
-                                  : Exception::kStoreAccessFault, a);
+            raise(rec,
+                  misaligned                ? Exception::kStoreAddrMisaligned
+                  : pgf != Exception::kNone ? pgf
+                                            : Exception::kStoreAccessFault,
+                  a);
           }
           return;
         }
-        const CacheAccess dacc = dcache_.access(a, true);
+        const CacheAccess dacc = dcache_.access(pa, true);
         cc(p_dc_hit_, dacc.hit);
         ev_.dcache_miss = !dacc.hit;
         ev_.dcache_hit_dirty = dacc.hit_dirty;
         ev_.has_mem_addr = true;
         ev_.mem_addr = a;
         if (!dacc.hit) cycles_ += cfg_.miss_penalty;
-        const std::uint64_t old_bits = mem_.read(a, size);
+        const std::uint64_t old_bits = mem_.read(pa, size);
         const std::uint64_t old_val = size == 4 ? sext32(old_bits) : old_bits;
         const std::uint64_t src = size == 4 ? sext32(b) : b;
         std::uint64_t result = 0;
@@ -1405,9 +1682,9 @@ void RtlCore::execute(const Decoded& d, CommitRecord& rec) {
         cc(p_mem_amo_logic_, is_logic);
         const std::uint64_t store_bits =
             size == 8 ? result : (result & 0xffffffffull);
-        mem_.write(a, store_bits, size);
-        predecode_.invalidate(a, size);
-        if (!cfg_.bugs.stale_icache) icache_.invalidate_addr(a);
+        mem_.write(pa, store_bits, size);
+        predecode_.invalidate(pa, size);
+        if (!cfg_.bugs.stale_icache) icache_.invalidate_addr(pa);
         rec.has_mem = true;
         rec.mem_is_store = true;
         rec.mem_addr = a;

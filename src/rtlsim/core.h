@@ -1,7 +1,8 @@
 // RTL-level DUT model ("RocketCore"/"BOOM" role): an instruction-driven
 // microarchitectural model of an in-order RV64IMA pipeline with I$/D$,
-// branch prediction, an iterative divider, its own CSR/trap unit, and a
-// commit tracer. Every boolean control condition in the model is a
+// branch prediction, an iterative divider, its own CSR/trap unit with M/S/U
+// privilege + delegation, an Sv39 MMU (direct-mapped TLB + page-table
+// walker), and a commit tracer. Every boolean control condition in the model is a
 // registered condition-coverage point, mirroring what `vcs -cm cond`
 // instruments in the real RTL.
 //
@@ -47,6 +48,13 @@ class RtlCore {
   std::uint64_t reg(unsigned i) const { return regs_[i & 31]; }
   riscv::Priv priv() const { return priv_; }
   std::uint64_t cycles() const { return cycles_; }
+  /// Architectural CSR value as an M-mode read would see it (tests,
+  /// examples); 0 for unimplemented addresses.
+  std::uint64_t csr_value(std::uint16_t addr) const {
+    std::uint64_t v = 0;
+    csr_read(addr, v, riscv::Priv::kMachine);
+    return v;
+  }
   const sim::Trace& trace() const { return trace_; }
   const sim::Memory& memory() const { return mem_; }
   cov::CtrlRegCoverage& ctrl_cov() { return ctrl_cov_; }
@@ -84,8 +92,30 @@ class RtlCore {
 
   // -- trap unit -------------------------------------------------------------
   void raise(sim::CommitRecord& rec, riscv::Exception cause, std::uint64_t tval);
-  bool csr_read(std::uint16_t addr, std::uint64_t& value) const;
+  bool csr_read(std::uint16_t addr, std::uint64_t& value,
+                riscv::Priv view) const;
   bool csr_write(std::uint16_t addr, std::uint64_t value);
+
+  // -- MMU (Sv39 TLB + page-table walker) ------------------------------------
+  // Deliberately a second implementation of the walk (see the header note on
+  // independence); only the PTE field constants come from riscv/csr.h.
+  enum class MemAccess { kFetch, kLoad, kStore };
+  struct TlbEntry {
+    bool valid = false;
+    std::uint64_t vpn = 0;   // full 27-bit virtual page number
+    std::uint64_t pte = 0;   // cached leaf PTE
+    std::uint8_t level = 0;  // leaf level (0 = 4K page)
+  };
+  /// Sv39 in effect: satp.MODE==8 and the hart is below M.
+  bool translation_active() const;
+  /// TLB lookup + walk + permission check; fills `paddr` on success. The
+  /// permission check runs on every access, hit or refill, against current
+  /// privilege/mstatus. Records tlb.*/ptw.* coverage. Bug sites:
+  /// skip_perm_check (store W/D checks skipped).
+  riscv::Exception translate(std::uint64_t vaddr, MemAccess kind,
+                             std::uint64_t& paddr);
+  riscv::Exception leaf_permissions(std::uint64_t pte, MemAccess kind);
+  void flush_tlb();
   void write_rd(sim::CommitRecord& rec, std::uint8_t rd, std::uint64_t value);
   void execute(const riscv::Decoded& d, sim::CommitRecord& rec);
   void evaluate_background_units(const riscv::Decoded& d);
@@ -125,6 +155,7 @@ class RtlCore {
   } csrs_;
 
   // Microarchitectural state.
+  std::array<TlbEntry, 16> tlb_{};  // direct-mapped, indexed by vpn % 16
   std::uint64_t cycles_ = 0;
   std::uint8_t last_rd_ = 0;        // writeback reg of previous instruction
   bool last_was_load_ = false;      // for load-use stall condition
@@ -168,7 +199,8 @@ class RtlCore {
       p_csr_write_side_;
   std::vector<cov::PointId> p_trap_cause_;  // per exception cause
   cov::PointId p_trap_from_u_, p_trap_from_s_, p_mret_, p_sret_,
-      p_sret_to_u_, p_mret_to_u_, p_mret_to_s_, p_wfi_, p_deleg_;
+      p_sret_to_u_, p_mret_to_u_, p_mret_to_s_, p_wfi_, p_deleg_,
+      p_deleg_taken_, p_sfence_;
   // Background units evaluated every instruction (interrupt/debug) and per
   // access (PMP/ECC/PTW) — the realistic "hard tail" of the RTL.
   std::vector<cov::PointId> p_irq_pending_;  // 6 causes; true unreachable
@@ -237,8 +269,10 @@ class RtlCore {
   std::vector<std::uint16_t> csr_write_addrs_;
   // Mul/div operand crosses.
   std::vector<cov::PointId> p_md_cross_;
-  // Bare-translation TLB unit: consulted only when satp != 0 outside M-mode
-  // (requires a satp write plus an mret/sret transition first).
+  // TLB unit: consulted only when Sv39 is live (satp.MODE==8 outside
+  // M-mode — requires a satp write plus an mret/sret transition first).
+  // Wired to the real TLB/walker: lookup, hit, superpage leaf, store
+  // permission path, ASID bits, refill walk.
   std::vector<cov::PointId> p_tlb_;
 };
 

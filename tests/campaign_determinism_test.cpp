@@ -10,11 +10,40 @@
 // files (the per-test RNG stream path).
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "baselines/mutational.h"
 #include "core/campaign.h"
+#include "corpus/generator.h"
 
 namespace chatfuzz::core {
 namespace {
+
+/// Priv/Sv39-dense stimulus behind the InputGenerator interface: most
+/// samples bring up an Sv39 identity map, install satp, drop to S/U via
+/// mret, and run translated loads/stores — so the campaign spends its time
+/// in the trap/translation surface rather than plain ALU traffic.
+class PrivCorpusFuzzer final : public InputGenerator {
+ public:
+  explicit PrivCorpusFuzzer(std::uint64_t seed) : gen_(vm_config(), seed) {}
+  std::string name() const override { return "PrivCorpus"; }
+  std::vector<Program> next_batch(std::size_t n) override {
+    return gen_.dataset(n);
+  }
+  bool supports_snapshot() const override { return true; }
+  void save_state(ser::Writer& w) const override { gen_.save_state(w); }
+  bool restore_state(ser::Reader& r) override { return gen_.restore_state(r); }
+
+  static corpus::CorpusConfig vm_config() {
+    corpus::CorpusConfig cc;
+    cc.w_vm = 4.0;
+    cc.w_priv = 2.0;
+    return cc;
+  }
+
+ private:
+  corpus::CorpusGenerator gen_;
+};
 
 // Small but not trivial: 3 batches of 32 with a checkpoint interval that
 // does not divide the batch size, so curve points land both inside batches
@@ -156,6 +185,55 @@ TEST(CampaignDeterminism, CurveHasBatchBoundaryAndFinalPoints) {
   EXPECT_EQ(r.curve.front().tests, 10u);
   EXPECT_EQ(r.curve.back().tests, 96u);
   EXPECT_EQ(r.curve.size(), 10u);
+}
+
+TEST(CampaignDeterminism, PrivVmCampaignIsWorkerCountInvariant) {
+  // The tentpole surface under the campaign engine: scheduling must not
+  // leak into trap/translation-heavy runs either (TLB state, privilege and
+  // satp are per-worker-instance, so nothing may alias across workers).
+  const CampaignConfig cfg = small_campaign();
+  const auto run = [&](std::size_t workers) {
+    PrivCorpusFuzzer gen(77);
+    CampaignConfig c = cfg;
+    c.num_workers = workers;
+    return run_campaign(gen, c);
+  };
+  const CampaignResult a = run(1);
+  expect_identical(a, run(4));
+  expect_identical(a, run(3));
+  // The shipped DUT's injected bugs must actually fire under priv/VM
+  // stimulus — a silent campaign would mean the surface is dead.
+  EXPECT_GT(a.raw_mismatches, 0u);
+}
+
+TEST(CampaignDeterminism, PrivVmCampaignResumeMatchesUninterrupted) {
+  // Checkpoint/resume cut mid-campaign with priv/Sv39 stimulus: the resumed
+  // run (even at a different worker count) must reproduce the uninterrupted
+  // result bit-exactly — generator stream, TLB-exercising programs and all.
+  const CampaignConfig cfg = small_campaign();
+  CampaignResult reference;
+  {
+    PrivCorpusFuzzer gen(77);
+    CampaignConfig c = cfg;
+    c.num_workers = 1;
+    reference = run_campaign(gen, c);
+    ASSERT_TRUE(reference.completed);
+  }
+  const std::string dir = ::testing::TempDir() + "/priv_vm_resume";
+  std::filesystem::remove_all(dir);
+  {
+    PrivCorpusFuzzer gen(77);
+    CampaignConfig c = cfg;
+    c.num_workers = 1;
+    c.checkpoint_dir = dir;
+    c.stop_after_tests = 40;
+    const CampaignResult partial = run_campaign(gen, c);
+    ASSERT_FALSE(partial.completed);
+  }
+  PrivCorpusFuzzer fresh(12345);  // state comes from disk, not the seed
+  ResumeOptions opts;
+  opts.num_workers = 4;
+  expect_identical(reference, resume_campaign(fresh, dir, opts));
 }
 
 TEST(CampaignDeterminism, MoreWorkersThanTestsIsSafe) {

@@ -86,18 +86,21 @@ TEST_F(CrossCov, SupervisorClassCrossNeedsMppSetup) {
 }
 
 TEST_F(CrossCov, TlbUnitConsultedOnlyOutsideMachineMode) {
-  // satp != 0 in M-mode: TLB not consulted.
+  // satp.MODE = Sv39 in M-mode: TLB not consulted (M is always Bare).
   riscv::ProgramBuilder m;
-  m.li(10, 1);
+  m.li(10, static_cast<std::int32_t>(csr::kSatpModeSv39));
+  m.slli(10, 10, static_cast<unsigned>(csr::kSatpModeShift));
   m.csrrw(0, csr::kSatp, 10);
   m.lw(11, 4, 0);
   run(m.seal());
   EXPECT_FALSE(covered("tlb.lookup", true));
   EXPECT_TRUE(covered("tlb.lookup", false));  // consulted-check evaluated
 
-  // satp != 0 then drop to U-mode and load: consulted.
+  // satp.MODE = Sv39 then drop to U-mode: the next fetch consults the TLB
+  // (and page-faults on the empty table, which is fine for this point).
   riscv::ProgramBuilder b;
-  b.li(10, 1);
+  b.li(10, static_cast<std::int32_t>(csr::kSatpModeSv39));
+  b.slli(10, 10, static_cast<unsigned>(csr::kSatpModeShift));
   b.csrrw(0, csr::kSatp, 10);
   emit_privilege_drop(b, false);
   b.lw(11, 4, 0);

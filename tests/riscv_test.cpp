@@ -45,6 +45,7 @@ TEST_P(OpcodeRoundTrip, EncodeDecodeIdentity) {
     case Format::kU: case Format::kJ: expect.rs1 = 0; expect.rs2 = 0; break;
     case Format::kFence: case Format::kSystem:
       expect.rd = 0; expect.rs1 = 0; expect.rs2 = 0; break;
+    case Format::kSfence: expect.rd = 0; break;
     case Format::kCsr: case Format::kCsrImm: expect.rs2 = 0; break;
     case Format::kLoadRes: expect.rs2 = 0; break;
     default: break;
@@ -169,6 +170,36 @@ TEST(Disasm, BasicForms) {
   EXPECT_EQ(disasm(enc_amo(Opcode::kAmoOrD, 8, 10, 9)), "amoor.d s0, s1, (a0)");
   EXPECT_EQ(disasm(enc_amo(Opcode::kLrW, 5, 10, 0)), "lr.w t0, (a0)");
   EXPECT_EQ(disasm(0u), ".word 0x00000000");
+}
+
+TEST(Disasm, PrivilegedForms) {
+  // S-mode instructions and CSR names: these feed mismatch reports and
+  // corpus dumps for the privileged/Sv39 surface, so a wrong rendering
+  // makes trap-path triage actively misleading.
+  EXPECT_EQ(disasm(enc_sys(Opcode::kSret)), "sret");
+  EXPECT_EQ(disasm(enc_sys(Opcode::kWfi)), "wfi");
+  EXPECT_EQ(disasm(enc_sfence(0, 0)), "sfence.vma");
+  EXPECT_EQ(disasm(enc_sfence(10, 11)), "sfence.vma a0, a1");
+  EXPECT_EQ(disasm(enc_csr(Opcode::kCsrrw, 0, csr::kSatp, 5)),
+            "csrrw zero, satp, t0");
+  EXPECT_EQ(disasm(enc_csr(Opcode::kCsrrs, 10, csr::kSepc, 0)),
+            "csrrs a0, sepc, zero");
+  EXPECT_EQ(disasm(enc_csr(Opcode::kCsrrs, 10, csr::kScause, 0)),
+            "csrrs a0, scause, zero");
+  EXPECT_EQ(disasm(enc_csr(Opcode::kCsrrs, 10, csr::kStvec, 0)),
+            "csrrs a0, stvec, zero");
+  EXPECT_EQ(disasm(enc_csr(Opcode::kCsrrs, 10, csr::kSstatus, 0)),
+            "csrrs a0, sstatus, zero");
+  EXPECT_EQ(disasm(enc_csr(Opcode::kCsrrw, 0, csr::kMedeleg, 6)),
+            "csrrw zero, medeleg, t1");
+  // Round trip: the rendered forms decode back to the same instruction.
+  for (const std::uint32_t raw :
+       {enc_sys(Opcode::kSret), enc_sfence(10, 11),
+        enc_csr(Opcode::kCsrrw, 0, csr::kSatp, 5)}) {
+    const Decoded d = decode(raw);
+    ASSERT_TRUE(d.valid());
+    EXPECT_EQ(encode(d), raw);
+  }
 }
 
 TEST(Disasm, AqRlSuffixes) {
