@@ -1,0 +1,60 @@
+#include "core/bbv.h"
+
+namespace chatfuzz::core {
+
+namespace {
+constexpr std::uint32_t kBbvMagic = 0x43464256;  // "CFBV"
+constexpr std::uint32_t kBbvVersion = 1;
+}  // namespace
+
+ser::Status save_bbv(const std::string& path,
+                     const std::vector<BbvEntry>& entries) {
+  ser::Writer w;
+  w.u64(entries.size());
+  for (const BbvEntry& e : entries) {
+    w.u64(e.test_index);
+    w.u64(e.blocks.size());
+    for (const auto& [start, count] : e.blocks) {
+      w.u64(start);
+      w.u64(count);
+    }
+  }
+  return ser::write_file(path, kBbvMagic, kBbvVersion, w.buffer());
+}
+
+ser::Status load_bbv(const std::string& path, std::vector<BbvEntry>* out) {
+  std::string payload;
+  ser::Status s =
+      ser::read_file(path, kBbvMagic, kBbvVersion, "bbv log", &payload);
+  if (!s.ok()) return s;
+  ser::Reader r(payload);
+  std::vector<BbvEntry> entries;
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > r.remaining() / 16) {
+    return ser::Status::error(path + ": malformed bbv entry count");
+  }
+  entries.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    BbvEntry e;
+    e.test_index = r.u64();
+    const std::uint64_t blocks = r.u64();
+    if (!r.ok() || blocks > r.remaining() / 16) {
+      return ser::Status::error(path + ": malformed bbv block count");
+    }
+    e.blocks.reserve(static_cast<std::size_t>(blocks));
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t start = r.u64();
+      const std::uint64_t count = r.u64();
+      e.blocks.emplace_back(start, count);
+    }
+    entries.push_back(std::move(e));
+  }
+  if (!r.done()) {
+    return ser::Status::error(path + ": bbv log is truncated or carries "
+                                     "trailing garbage");
+  }
+  *out = std::move(entries);
+  return {};
+}
+
+}  // namespace chatfuzz::core

@@ -1,0 +1,32 @@
+// Campaign-level basic-block-vector log: one BBV per test, folded in
+// canonical test order exactly like sparse coverage — so the file bytes are
+// worker-count-, process-count- and dispatch-engine-invariant. The engine
+// appends an entry per test while CampaignConfig::bbv_path is set, rewrites
+// the file atomically at every snapshot point, and resume truncates the log
+// back to the checkpoint's test count so a paused+resumed campaign writes
+// the exact bytes an uninterrupted one does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/serialize.h"
+
+namespace chatfuzz::core {
+
+/// One test's basic-block vector: (block start pc, execution count) pairs
+/// in per-test discovery order (see riscv::BbvRecorder).
+struct BbvEntry {
+  std::uint64_t test_index = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> blocks;
+};
+
+/// Path helpers keep the container parameters in one place; the file is a
+/// standard util/serialize container (magic "CFBV", version 1, CRC).
+ser::Status save_bbv(const std::string& path,
+                     const std::vector<BbvEntry>& entries);
+ser::Status load_bbv(const std::string& path, std::vector<BbvEntry>* out);
+
+}  // namespace chatfuzz::core

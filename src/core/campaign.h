@@ -101,6 +101,21 @@ struct CampaignConfig {
   /// campaign). Off by default to preserve the paper harness's behavior.
   bool randomize_regs = false;
 
+  /// Superblock dispatch in both simulators (`fuzz --no-superblocks` turns
+  /// it off). Purely a speed knob — every campaign artifact (report,
+  /// coverage DB, mismatch DB, corpus store, BBV log) is bit-identical
+  /// either way, which the determinism suite pins. Never serialized into
+  /// checkpoints: like worker count it is per-run scheduling, and the
+  /// span caches are derived state that must not enter snapshots.
+  bool superblocks = true;
+
+  /// When non-empty, record a per-test basic-block vector from the DUT's
+  /// commit stream and write the log (core/bbv.h) here, folded in canonical
+  /// test order and rewritten atomically at every snapshot point. Like
+  /// checkpoint_dir this is a persistence path: never serialized into
+  /// checkpoints ("-" means collect without writing — the dist worker mode).
+  std::string bbv_path;
+
   // ---- persistence (checkpoint/resume) -------------------------------------
   /// When non-empty, the campaign becomes durable: interesting tests (new
   /// coverage or a mismatch) are archived to <dir>/corpus/ and the full
@@ -186,6 +201,14 @@ struct ResumeOptions {
   /// Process topology for the resumed run. Checkpoints never store one
   /// (scheduling, not semantics), so the default resumes in-process.
   DistConfig dist;
+  /// Superblock dispatch for the resumed run (scheduling, not semantics —
+  /// never stored; results are bit-identical either way).
+  bool superblocks = true;
+  /// BBV log for the resumed run: persistence paths are per-run, like
+  /// checkpoint_dir. The engine reloads this file and truncates it to the
+  /// checkpoint's test count before appending, so a resumed campaign's log
+  /// is bit-identical to an uninterrupted one's. Empty = don't collect.
+  std::string bbv_path;
 };
 
 /// Continue a campaign from <dir>/campaign.ckpt. `gen` must be a

@@ -12,6 +12,8 @@ namespace chatfuzz::core {
 SimStack::SimStack(const CampaignConfig& cfg, bool use_suite) {
   dut = std::make_unique<rtl::RtlCore>(cfg.core, db, cfg.platform);
   golden = std::make_unique<sim::IsaSim>(cfg.platform);
+  dut->set_superblocks(cfg.superblocks);
+  golden->set_superblocks(cfg.superblocks);
   if (use_suite) dut->attach_metrics(&suite);
   detector.install_default_filters();
 }
@@ -57,6 +59,11 @@ void run_one(SimStack& w, const CampaignConfig& cfg, bool use_suite,
     w.dut->set_reg_seed(reg_seed);
     w.golden->set_reg_seed(reg_seed);
   }
+  const bool collect_bbv = !cfg.bbv_path.empty();
+  if (collect_bbv) {
+    w.bbv.begin();
+    w.dut->set_bbv(&w.bbv);
+  }
   if (cfg.mismatch_detection) {
     // Arm the comparator (which sinks the golden model) before the golden
     // reset, so the reset skips its trace scratch like the DUT's does.
@@ -71,6 +78,10 @@ void run_one(SimStack& w, const CampaignConfig& cfg, bool use_suite,
   if (cfg.mismatch_detection) w.comparator.finish();
   w.dut->set_sink(nullptr);
   w.dut->ctrl_cov().set_recorder(nullptr);
+  if (collect_bbv) {
+    w.dut->set_bbv(nullptr);  // run() already closed the trailing block
+    out.bbv = w.bbv.blocks();
+  }
 
   cov::extract_bins(w.db, out.cond_bins);
   if (use_suite) {

@@ -42,6 +42,10 @@ struct TestArtifact {
   std::uint64_t cycles = 0;
   std::uint64_t steps = 0;
   mismatch::Report report;                  // per-test commit-stream diff
+  /// Basic-block vector from the DUT's commit stream, (start pc, count) in
+  /// per-test discovery order. Populated only when the campaign collects
+  /// BBVs (CampaignConfig::bbv_path non-empty); empty otherwise.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> bbv;
 
   void begin() {
     cond_bins.clear();
@@ -54,6 +58,7 @@ struct TestArtifact {
     report.mismatches.clear();
     report.raw_count = 0;
     report.filtered_count = 0;
+    bbv.clear();
   }
 };
 
@@ -76,6 +81,7 @@ struct SimStack {
                                         // wide tally lives on the coordinator
   mismatch::LockstepComparator comparator;
   sim::DiscardSink discard;
+  riscv::BbvRecorder bbv;  // attached to the DUT while the campaign collects
 };
 
 /// Whether this configuration attaches the toggle/FSM/statement suite.

@@ -10,7 +10,9 @@ namespace chatfuzz::corpus {
 namespace {
 
 constexpr std::uint32_t kIndexMagic = 0x43465A43;  // "CFZC"
-constexpr std::uint32_t kIndexVersion = 1;
+// v2: StoreEntryMeta::phase_hash joined the per-entry record (written as 0
+// by campaigns, filled in by `corpus minimize` replays).
+constexpr std::uint32_t kIndexVersion = 2;
 
 std::string errno_detail() {
   const int e = errno;
@@ -62,6 +64,7 @@ ser::Status CorpusStore::open(const std::string& dir,
     e.meta.incremental_bins = r.u32();
     e.meta.mismatches = r.u32();
     e.meta.ctrl_new = r.u64();
+    e.meta.phase_hash = r.u64();
     e.meta.new_bins = r.vec_u32();
     entries_.push_back(std::move(e));
   }
@@ -143,6 +146,7 @@ ser::Status CorpusStore::flush() {
     w.u32(e.meta.incremental_bins);
     w.u32(e.meta.mismatches);
     w.u64(e.meta.ctrl_new);
+    w.u64(e.meta.phase_hash);
     w.vec_u32(e.meta.new_bins);
   }
   return ser::write_file(dir_ + "/index.bin", kIndexMagic, kIndexVersion,

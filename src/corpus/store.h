@@ -34,6 +34,13 @@ struct StoreEntryMeta {
   std::uint32_t incremental_bins = 0;// bins newly covered by this test
   std::uint32_t mismatches = 0;      // post-filter mismatch records
   std::uint64_t ctrl_new = 0;        // new ctrl-reg states
+  /// Phase signature of the test's basic-block vector (riscv::
+  /// bbv_phase_hash over the DUT's commit stream). 0 = not yet computed:
+  /// campaigns always archive 0 and `corpus minimize` fills it by replay,
+  /// then uses it to collapse phase-duplicate mismatch entries. Keeping the
+  /// campaign path hash-free makes the store bytes independent of whether
+  /// BBV collection (or superblock dispatch) was on.
+  std::uint64_t phase_hash = 0;
   /// Coverage attribution: the condition bins this test covered FIRST
   /// (disjoint across entries by construction — the basis for replay-free
   /// corpus audits).
@@ -64,6 +71,11 @@ class CorpusStore {
 
   std::size_t size() const { return entries_.size(); }
   const StoreEntryMeta& meta(std::size_t i) const { return entries_[i].meta; }
+  /// Fill entry i's phase signature (tooling: `corpus minimize` replays the
+  /// entry to compute it). Buffered like appends; flush() persists it.
+  void set_phase_hash(std::size_t i, std::uint64_t h) {
+    entries_[i].meta.phase_hash = h;
+  }
   /// Stored program length in u32 instruction words (tooling/stats).
   std::size_t program_words(std::size_t i) const {
     return entries_[i].num_words;

@@ -109,6 +109,8 @@ void Coordinator::spawn_worker(std::size_t index) {
     config.worker_index = index;
     config.max_lease_tests = lease_tests_;
     config.debug_hang = index == cfg_.dist.debug_hang_worker;
+    config.superblocks = cfg_.superblocks;
+    config.collect_bbv = !cfg_.bbv_path.empty();
     s = w.chan.send_frame(encode_config(config));
   }
   if (!s.ok()) lose_worker(index, s.message(), nullptr);

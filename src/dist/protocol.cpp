@@ -67,6 +67,8 @@ std::string encode_config(const ConfigMsg& msg) {
   w.u64(msg.worker_index);
   w.u64(msg.max_lease_tests);
   w.boolean(msg.debug_hang);
+  w.boolean(msg.superblocks);
+  w.boolean(msg.collect_bbv);
   return w.take();
 }
 
@@ -83,6 +85,8 @@ ser::Status decode_config(const std::string& payload, ConfigMsg* msg) {
   msg->worker_index = r.u64();
   msg->max_lease_tests = r.u64();
   msg->debug_hang = r.boolean();
+  msg->superblocks = r.boolean();
+  msg->collect_bbv = r.boolean();
   if (!r.done()) return proto_error("malformed config frame");
   return {};
 }
@@ -152,6 +156,13 @@ void write_artifact(ser::Writer& w, const core::TestArtifact& art) {
   w.varint(art.cycles);
   w.varint(art.steps);
   mismatch::write_report_summary(w, art.report);
+  // BBV: block starts are full addresses, counts are small — varints keep
+  // the non-collecting case at one zero byte per artifact.
+  w.varint(art.bbv.size());
+  for (const auto& [start, count] : art.bbv) {
+    w.u64(start);
+    w.varint(count);
+  }
 }
 
 bool read_artifact(ser::Reader& r, core::TestArtifact& art) {
@@ -166,7 +177,19 @@ bool read_artifact(ser::Reader& r, core::TestArtifact& art) {
   art.cycles = r.varint();
   art.steps = r.varint();
   if (!r.ok()) return false;
-  return mismatch::read_report_summary(r, art.report);
+  if (!mismatch::read_report_summary(r, art.report)) return false;
+  const std::uint64_t blocks = r.varint();
+  if (!r.ok() || blocks > r.remaining() / 9) {  // >= u64 + 1-byte varint
+    r.fail();
+    return false;
+  }
+  art.bbv.reserve(blocks);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::uint64_t start = r.u64();
+    const std::uint64_t count = r.varint();
+    art.bbv.emplace_back(start, count);
+  }
+  return r.ok();
 }
 
 std::string encode_lease_result(const LeaseResultMsg& msg) {

@@ -38,7 +38,9 @@
 
 namespace chatfuzz::dist {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+// v2: config frames carry the superblock/BBV knobs; artifact encodings
+// carry the per-test basic-block vector (empty unless collection is on).
+inline constexpr std::uint32_t kProtocolVersion = 2;
 inline constexpr std::uint32_t kFrameMagic = 0x4346444D;  // "CFDM"
 /// Upper bound on one frame's payload; a length prefix beyond this is
 /// treated as corruption (it would otherwise become an allocation bomb).
@@ -66,6 +68,11 @@ struct ConfigMsg {
   std::uint64_t worker_index = 0;  // this worker's slot (diagnostics)
   std::uint64_t max_lease_tests = 1;  // cap for the worker's thread pool
   bool debug_hang = false;         // fault injection: stall on first lease
+  // Per-run knobs that write_campaign_config deliberately excludes (they
+  // are scheduling/persistence, not checkpoint state) but that workers must
+  // still honor for the current run:
+  bool superblocks = true;         // dispatch engine selection
+  bool collect_bbv = false;        // record per-test BBVs into artifacts
 };
 
 struct LeaseMsg {

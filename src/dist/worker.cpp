@@ -67,7 +67,13 @@ int worker_main(int fd) {
     return fail("protocol version mismatch",
                 "coordinator speaks v" + std::to_string(config.protocol));
   }
-  const core::CampaignConfig& cfg = config.cfg;
+  core::CampaignConfig& cfg = config.cfg;
+  // Re-apply the per-run knobs write_campaign_config excludes: the dispatch
+  // engine, and BBV collection — run_one() keys collection off a non-empty
+  // bbv_path, so the worker sets the "collect without writing" sentinel (the
+  // coordinator owns the file; workers only ship BBVs inside artifacts).
+  cfg.superblocks = config.superblocks;
+  cfg.bbv_path = config.collect_bbv ? "-" : "";
   const bool use_suite = config.use_suite;
 
   // Thread pool sizing mirrors the in-process engine: num_workers threads

@@ -25,6 +25,7 @@
 #include "isasim/trace.h"
 #include "riscv/instr.h"
 #include "riscv/predecode.h"
+#include "riscv/superblock.h"
 #include "rtlsim/caches.h"
 #include "rtlsim/config.h"
 
@@ -74,6 +75,21 @@ class RtlCore {
   /// never materializes one.
   void set_sink(sim::CommitSink* sink) { sink_ = sink; }
 
+  /// Enable/disable the fused-fetch superblock fast path in run(). Purely a
+  /// speed knob: commits, cycles, coverage bins and ctrl-reg observations
+  /// are bit-identical either way (the determinism suites pin this). The
+  /// fast path also self-disables for configs it cannot fuse (superscalar,
+  /// per-instruction select chains, CLINT, attached metrics).
+  void set_superblocks(bool on) { sb_enabled_ = on; }
+  bool superblocks() const { return sb_enabled_; }
+
+  /// Attach a basic-block-vector recorder; every committed instruction is
+  /// reported as (pc, next_pc) so the recorder can close blocks on control
+  /// transfer. The recorder must outlive the run; nullptr detaches. run()
+  /// calls on_stop() when the run ends (manual step() loops must do so
+  /// themselves).
+  void set_bbv(riscv::BbvRecorder* bbv) { bbv_ = bbv; }
+
  private:
   // -- coverage plumbing ----------------------------------------------------
   /// Record an evaluation of condition `id` with value `v`; returns `v` so
@@ -121,6 +137,43 @@ class RtlCore {
   void evaluate_background_units(const riscv::Decoded& d);
   /// Poll the CLINT and enter a pending M-mode interrupt if enabled.
   void service_interrupts();
+
+  // ---- superblock fused-fetch fast path (see riscv/superblock.h) -----------
+  // A cached span stores, per instruction, the decode plus every
+  // decode-derived coverage outcome precomputed as bit masks; executing the
+  // span replays execute()/cross-unit/ctrl-reg work per slot but batches the
+  // per-instruction condition points into hit_n() folds at span exit —
+  // counts are order-insensitive, so the DB bytes come out identical.
+  struct FusedSlot {
+    riscv::Decoded d;
+    std::uint32_t class_bits = 0;  // outcome of each batched point, by index
+    std::uint16_t op_index = 0;    // decoded opcode index (select chains)
+    std::uint16_t ev_bits = 0;     // StepEvents class-flag template
+  };
+  // Batched per-instruction points: the 19 decode-stage points in step()
+  // evaluation order, then fetch.cross_line — everything whose outcome is a
+  // pure function of (decode, fetch address).
+  static constexpr std::size_t kNumFusedPoints = 20;
+  using FusedIndex =
+      riscv::SuperblockIndex<FusedSlot,
+                             std::array<std::uint32_t, kNumFusedPoints>>;
+  /// Execute cached spans starting at pc_; returns false when the slow
+  /// step() must handle this pc (no span, negative span, budget exhausted).
+  bool run_superblock();
+  const FusedIndex::Span* build_superblock();
+
+  // Superblock span cache: derived state (never checkpointed), guarded by
+  // the I$ per-line generation counters — unchanged generations mean every
+  // fetch in the span would still hit and serve identical bytes, so the
+  // stale-I$ bug injection keeps its exact semantics.
+  bool sb_enabled_ = true;
+  FusedIndex sb_;
+  // Span-build churn guard (same policy as IsaSim::sb_builds_): once builds
+  // outpace ~1 per 16 committed instructions, stop building for the rest of
+  // the test and serve only already-cached spans. Purely a speed valve.
+  std::uint64_t sb_builds_ = 0;
+  std::array<cov::PointId, kNumFusedPoints> p_fused_batch_{};
+  riscv::BbvRecorder* bbv_ = nullptr;
 
   CoreConfig cfg_;
   cov::CoverageDB& db_;
@@ -236,6 +289,16 @@ class RtlCore {
     bool sc_success = false;
   };
   void evaluate_cross_units();
+  /// Outcomes of the sequence-pair and cache-cross condition points for the
+  /// current (ev_, prev_ev_) pair, in registration order. One source of
+  /// truth for both paths: evaluate_cross_units() feeds them through cc()
+  /// per instruction, the fused span loop accumulates true-counts locally
+  /// and folds them at span exit via hit_n.
+  static constexpr std::size_t kMaxSeqPoints = 12;
+  static constexpr std::size_t kMaxCacheCrossPoints = 10;
+  void seq_cache_outcomes(bool* seq, bool* cx) const;
+  /// The cause x privilege cross block (trap instructions only).
+  void trap_cause_priv_points();
 
   StepEvents ev_;       // current instruction
   StepEvents prev_ev_;  // previous instruction

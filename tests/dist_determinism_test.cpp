@@ -296,6 +296,45 @@ TEST(DistDeterminism, CheckpointResumeCutCanSwitchTopology) {
   fs::remove_all(db);
 }
 
+TEST(DistDeterminism, SuperblockToggleAndBbvCrossProcessBoundary) {
+  // The dispatch engine and BBV collection ride the config wire (they are
+  // per-run knobs, never checkpointed): a 2-process campaign with
+  // superblocks OFF must fold to the same result and persisted bytes as a
+  // single-process superblock run, and the coordinator-written BBV files
+  // must match byte-for-byte (workers collect, the coordinator writes).
+  const CampaignConfig cfg = small_campaign();
+  const std::string da = fresh_dir("sb_a"), db = fresh_dir("sb_b");
+  CampaignResult a, b;
+  {
+    baselines::RandomFuzzer gen(11);
+    CampaignConfig c = cfg;
+    c.dist.num_procs = 1;
+    c.num_workers = 1;
+    c.checkpoint_dir = da;
+    c.bbv_path = da + ".bbv";
+    a = run_campaign(gen, c);
+  }
+  {
+    baselines::RandomFuzzer gen(11);
+    CampaignConfig c = cfg;
+    c.superblocks = false;
+    c.dist.num_procs = 2;
+    c.num_workers = 2;
+    c.checkpoint_dir = db;
+    c.bbv_path = db + ".bbv";
+    b = run_campaign(gen, c);
+  }
+  expect_identical(a, b);
+  expect_same_persisted_state(da, db);
+  const std::string bbv_a = file_bytes(da + ".bbv");
+  EXPECT_FALSE(bbv_a.empty());
+  EXPECT_EQ(bbv_a, file_bytes(db + ".bbv"));
+  fs::remove_all(da);
+  fs::remove_all(db);
+  fs::remove(da + ".bbv");
+  fs::remove(db + ".bbv");
+}
+
 // ---------------------------------------------------------------------------
 // Wire protocol robustness: malformed input errors, never crashes.
 // ---------------------------------------------------------------------------
@@ -412,6 +451,8 @@ TEST(DistProtocol, MessageRoundTrips) {
   cfg.use_suite = true;
   cfg.worker_index = 3;
   cfg.max_lease_tests = 4;
+  cfg.superblocks = false;
+  cfg.collect_bbv = true;
   dist::ConfigMsg cfg2;
   ASSERT_TRUE(dist::decode_config(dist::encode_config(cfg), &cfg2).ok());
   EXPECT_EQ(cfg2.cfg.seed, 77u);
@@ -421,6 +462,8 @@ TEST(DistProtocol, MessageRoundTrips) {
   EXPECT_TRUE(cfg2.use_suite);
   EXPECT_EQ(cfg2.worker_index, 3u);
   EXPECT_EQ(cfg2.max_lease_tests, 4u);
+  EXPECT_FALSE(cfg2.superblocks);
+  EXPECT_TRUE(cfg2.collect_bbv);
 
   dist::HelloMsg hello;
   hello.pid = 999;
@@ -439,6 +482,7 @@ TEST(DistProtocol, ArtifactRoundTripIncludesMismatchRecords) {
   art.stmt_bins = {};
   art.cycles = 4242;
   art.steps = 99;
+  art.bbv = {{0x8000'0000ull, 3}, {0x8000'0040ull, 1}};
   art.report.raw_count = 5;
   art.report.filtered_count = 1;
   mismatch::Mismatch m;
@@ -477,6 +521,7 @@ TEST(DistProtocol, ArtifactRoundTripIncludesMismatchRecords) {
   EXPECT_EQ(back.fsm_bins, art.fsm_bins);
   EXPECT_EQ(back.cycles, 4242u);
   EXPECT_EQ(back.steps, 99u);
+  EXPECT_EQ(back.bbv, art.bbv);
   // Mismatches travel as signature summaries: kind/finding/signature and
   // the per-run counts survive (everything campaign accumulation reads);
   // the commit-record details deliberately do not ride the wire.

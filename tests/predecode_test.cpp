@@ -173,6 +173,123 @@ TEST(PredecodeIsaSim, RepeatedResetsReplayIdentically) {
   }
 }
 
+// ---- Superblock span invalidation ------------------------------------------
+//
+// These drive IsaSim with superblock dispatch (default-on): straight-line
+// runs of ALU ops are cached as decoded spans guarded by per-page store
+// generations, and the tests check the guards actually retire spans when
+// code under them changes.
+
+TEST(SuperblockIsaSim, StoreIntoMiddleOfCachedSpanIsHonored) {
+  // A straight-line run forms one cached span; pass 1 executes it (and
+  // caches it), then a store patches an instruction in the MIDDLE of the
+  // span. Pass 2 must re-decode, not replay the stale slot.
+  const std::uint64_t base = 0x8000'0000ull;
+  const std::uint32_t patched =
+      chatfuzz::riscv::enc_i(Opcode::kAddi, 5, 0, 99);
+  ProgramBuilder b(base);
+  b.li(1, static_cast<std::int32_t>(patched));
+  const std::uint64_t anchor = b.pc();
+  b.auipc(2, 0);
+  b.addi(10, 0, 0);  // pass counter
+  b.addi(11, 0, 2);
+  b.label("again");
+  for (int i = 0; i < 6; ++i) b.addi(6, 6, 1);  // span body before the slot
+  const std::uint64_t slot = b.pc();
+  b.raw(chatfuzz::riscv::enc_i(Opcode::kAddi, 5, 0, 1));  // mid-span slot
+  for (int i = 0; i < 6; ++i) b.addi(7, 7, 1);  // span body after the slot
+  b.addi(10, 10, 1);
+  b.branch_to(Opcode::kBeq, 10, 11, "done");
+  b.sw(2, 1, static_cast<std::int32_t>(slot - anchor));
+  b.jal_to(0, "again");
+  b.label("done");
+  b.wfi();
+  const std::vector<std::uint32_t> prog = b.seal();
+
+  IsaSim sim;
+  ASSERT_TRUE(sim.superblocks());
+  sim.reset(prog);
+  sim.run();
+  EXPECT_EQ(sim.reg(5), 99u);
+  EXPECT_EQ(sim.reg(10), 2u);
+}
+
+TEST(SuperblockIsaSim, CrossPageSpanInvalidatedByStoreToSecondPage) {
+  // The span starts in the last words of one 4 KiB page and runs into the
+  // next: each page contributes its own store-generation guard. Patching
+  // the slot in the SECOND page must retire the span even though the span's
+  // start pc lives in the first page.
+  const std::uint64_t base = 0x8000'0000ull;
+  const std::uint32_t patched =
+      chatfuzz::riscv::enc_i(Opcode::kAddi, 5, 0, 99);
+  ProgramBuilder b(base);
+  b.li(1, static_cast<std::int32_t>(patched));
+  b.addi(10, 0, 0);
+  b.addi(11, 0, 2);
+  b.jal_to(0, "body");
+  while (b.pc() < base + 0x1000 - 4 * 9) {
+    b.raw(chatfuzz::riscv::enc_i(Opcode::kAddi, 0, 0, 0));  // never executed
+  }
+  b.label("body");
+  // The anchor lives in the body so the store offset to the second-page
+  // slot fits an S-type immediate.
+  const std::uint64_t anchor = b.pc();
+  b.auipc(2, 0);
+  for (int i = 0; i < 8; ++i) b.addi(6, 6, 1);  // fills page 0's tail
+  const std::uint64_t slot = b.pc();
+  b.raw(chatfuzz::riscv::enc_i(Opcode::kAddi, 5, 0, 1));
+  for (int i = 0; i < 4; ++i) b.addi(7, 7, 1);
+  b.addi(10, 10, 1);
+  b.branch_to(Opcode::kBeq, 10, 11, "done");
+  b.sw(2, 1, static_cast<std::int32_t>(slot - anchor));
+  b.jal_to(0, "body");
+  b.label("done");
+  b.wfi();
+  const std::vector<std::uint32_t> prog = b.seal();
+  ASSERT_EQ(slot, base + 0x1000) << "slot must be the second page's first word";
+
+  IsaSim sim;
+  sim.reset(prog);
+  sim.run();
+  EXPECT_EQ(sim.reg(5), 99u);
+  EXPECT_EQ(sim.reg(10), 2u);
+}
+
+TEST(SuperblockIsaSim, FenceIAfterPartialSpanOverwrite) {
+  // Overwrite one word of a cached span, then fence.i before re-entering
+  // it. The fence bumps the global flush epoch (and is itself a span
+  // terminator, so it never executes from inside a span); the re-entry
+  // must decode the new bytes.
+  const std::uint64_t base = 0x8000'0000ull;
+  const std::uint32_t patched =
+      chatfuzz::riscv::enc_i(Opcode::kAddi, 5, 0, 99);
+  ProgramBuilder b(base);
+  b.li(1, static_cast<std::int32_t>(patched));
+  const std::uint64_t anchor = b.pc();
+  b.auipc(2, 0);
+  b.addi(10, 0, 0);
+  b.addi(11, 0, 2);
+  b.label("again");
+  for (int i = 0; i < 4; ++i) b.addi(6, 6, 1);
+  const std::uint64_t slot = b.pc();
+  b.raw(chatfuzz::riscv::enc_i(Opcode::kAddi, 5, 0, 1));
+  for (int i = 0; i < 4; ++i) b.addi(7, 7, 1);
+  b.addi(10, 10, 1);
+  b.branch_to(Opcode::kBeq, 10, 11, "done");
+  b.sw(2, 1, static_cast<std::int32_t>(slot - anchor));
+  b.fence_i();
+  b.jal_to(0, "again");
+  b.label("done");
+  b.wfi();
+  const std::vector<std::uint32_t> prog = b.seal();
+
+  IsaSim sim;
+  sim.reset(prog);
+  sim.run();
+  EXPECT_EQ(sim.reg(5), 99u);
+  EXPECT_EQ(sim.reg(10), 2u);
+}
+
 TEST(PredecodeIsaSim, ExternalMemoryWriteIsVisibleToFetch) {
   // Writing code through the mutable memory() accessor bypasses the store
   // path; the accessor conservatively flushes the predecode cache so the

@@ -13,7 +13,9 @@
 
 #include "baselines/mutational.h"
 #include "baselines/psofuzz.h"
+#include "core/campaign.h"
 #include "core/chatfuzz.h"
+#include "core/checkpoint.h"
 #include "corpus/generator.h"
 #include "corpus/store.h"
 #include "coverage/cover.h"
@@ -361,6 +363,7 @@ corpus::StoreEntryMeta meta_for(std::uint64_t index) {
   m.incremental_bins = static_cast<std::uint32_t>(index % 5);
   m.mismatches = static_cast<std::uint32_t>(index % 2);
   m.ctrl_new = index * 7;
+  m.phase_hash = index * 11 + 1;
   m.new_bins = {static_cast<std::uint32_t>(index),
                 static_cast<std::uint32_t>(index + 100)};
   return m;
@@ -396,8 +399,36 @@ TEST(SnapshotRoundTrip, CorpusStorePersistsAcrossReopen) {
     ASSERT_TRUE(reopened.read_program(i, &p).ok());
     EXPECT_EQ(p, programs[i]) << "entry " << i;
     EXPECT_EQ(reopened.meta(i).test_index, i);
+    EXPECT_EQ(reopened.meta(i).phase_hash, meta_for(i).phase_hash);
     EXPECT_EQ(reopened.meta(i).new_bins, meta_for(i).new_bins);
   }
+}
+
+TEST(SnapshotRoundTrip, CheckpointBytesIgnoreDispatchEngineAndBbv) {
+  // The superblock span caches are derived microarchitectural state and BBV
+  // collection is observation-only: neither may leak into a checkpoint. A
+  // campaign cut at the same test count must write byte-identical
+  // campaign.ckpt files with superblocks+BBV on and with both off.
+  const auto run_cut = [](const char* tag, bool superblocks, bool bbv) {
+    const std::string dir = temp_path(std::string("ckpt_sb_") + tag);
+    std::filesystem::remove_all(dir);
+    baselines::RandomFuzzer gen(11);
+    core::CampaignConfig cfg;
+    cfg.num_tests = 96;
+    cfg.batch_size = 32;
+    cfg.checkpoint_every = 10;
+    cfg.platform.max_steps = 256;
+    cfg.superblocks = superblocks;
+    cfg.checkpoint_dir = dir;
+    cfg.stop_after_tests = 40;
+    if (bbv) cfg.bbv_path = dir + "/log.bbv";
+    core::run_campaign(gen, cfg);
+    std::ifstream f(core::checkpoint_path(dir), std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(f), {});
+  };
+  const std::string with = run_cut("on", true, true);
+  ASSERT_FALSE(with.empty());
+  EXPECT_EQ(with, run_cut("off", false, false));
 }
 
 TEST(SnapshotRoundTrip, CorpusStoreTruncateRollsBackBytes) {

@@ -21,6 +21,8 @@
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "baselines/hypfuzz.h"
 #include "baselines/mutational.h"
@@ -37,6 +39,7 @@
 #include "mismatch/minimize.h"
 #include "riscv/asm.h"
 #include "riscv/disasm.h"
+#include "riscv/superblock.h"
 #include "rtlsim/core.h"
 #include "util/parse.h"
 
@@ -60,23 +63,30 @@ constexpr CommandDoc kCommands[] = {
     {"minimize", "<corpus.txt> <n>", "shrink a mismatching test"},
     {"fuzz",
      "<fuzzer> <tests> [workers] [--procs <n>] [--checkpoint <dir>] "
-     "[--every <n>]",
+     "[--every <n>] [--bbv <file>] [--no-superblocks]",
      "campaign; fuzzer = random|thehuzz|difuzz|psofuzz|hypfuzz|chatfuzz;\n"
      "workers = simulation threads per process (default 1, 0 = all cores);\n"
      "--procs fans the campaign out across <n> worker processes\n"
      "(coordinator folds, workers simulate). Results are bit-identical\n"
      "for any worker/process count.\n"
-     "--checkpoint snapshots state + corpus to <dir> every <n> tests"},
-    {"fuzz", "--resume <dir> [workers] [--procs <n>]",
+     "--checkpoint snapshots state + corpus to <dir> every <n> tests;\n"
+     "--bbv records per-test basic-block vectors to <file>;\n"
+     "--no-superblocks disables superblock dispatch (same results, slower)"},
+    {"fuzz", "--resume <dir> [workers] [--procs <n>] [--bbv <file>] "
+     "[--no-superblocks]",
      "continue a checkpointed campaign bit-identically to an\n"
      "uninterrupted run (workers: default = checkpoint's count,\n"
-     "0 = all cores; --procs is per-run, never stored)"},
+     "0 = all cores; --procs/--bbv/--no-superblocks are per-run,\n"
+     "never stored)"},
     {"corpus", "export <dir> <out.txt>", "store -> text corpus"},
     {"corpus", "import <dir> <in.txt>", "text corpus -> store"},
     {"corpus", "minimize <dir>",
-     "re-simulate, keep only tests that add coverage or mismatch"},
+     "re-simulate, keep only tests that add coverage or mismatch;\n"
+     "mismatch-only tests whose basic-block-vector phase signature\n"
+     "duplicates an earlier kept test are dropped"},
     {"corpus", "stats <dir>",
-     "entry/shard/byte totals + first-covered-bin attribution histogram"},
+     "entry/shard/byte totals, first-covered-bin attribution histogram,\n"
+     "phase-signature histogram (phase hashes filled by corpus minimize)"},
     {"solve", "<point-name>",
      "synthesize + verify a directed test for a coverage point"},
     {"worker", "<fd>",
@@ -231,12 +241,15 @@ core::CheckpointHook progress_hook() {
 
 int cmd_fuzz(const char* which, std::size_t tests, std::size_t workers,
              std::size_t procs, const char* checkpoint_dir,
-             std::size_t checkpoint_every) {
+             std::size_t checkpoint_every, const char* bbv_path,
+             bool superblocks) {
   core::CampaignConfig cfg;
   cfg.num_tests = tests;
   cfg.checkpoint_every = std::max<std::size_t>(tests / 10, 10);
   cfg.num_workers = workers;
   cfg.dist.num_procs = procs;
+  cfg.superblocks = superblocks;
+  if (bbv_path != nullptr) cfg.bbv_path = bbv_path;
   if (checkpoint_dir != nullptr) {
     cfg.checkpoint_dir = checkpoint_dir;
     cfg.checkpoint_every_tests = checkpoint_every;
@@ -272,7 +285,7 @@ int cmd_fuzz(const char* which, std::size_t tests, std::size_t workers,
 }
 
 int cmd_resume(const char* dir, std::optional<std::size_t> workers,
-               std::size_t procs) {
+               std::size_t procs, const char* bbv_path, bool superblocks) {
   // One read of what may be a large checkpoint: the loaded image hands the
   // stored fuzzer kind to make_generator() and then resumes directly.
   core::CheckpointData data;
@@ -299,6 +312,8 @@ int cmd_resume(const char* dir, std::optional<std::size_t> workers,
                            : std::max(1u, std::thread::hardware_concurrency());
   }
   opts.dist.num_procs = procs;
+  opts.superblocks = superblocks;
+  if (bbv_path != nullptr) opts.bbv_path = bbv_path;
   try {
     const core::CampaignResult r = core::resume_campaign(
         *gen, dir, std::move(data), opts, progress_hook());
@@ -368,8 +383,11 @@ int cmd_corpus_import(const char* dir, const char* in_path) {
 
 /// Corpus minimization: re-simulate every stored test in order and keep
 /// only those that still contribute (new condition bins or a mismatch) —
-/// the classic cmin pass, run against this build's DUT model. The store is
-/// rewritten with fresh attribution.
+/// the classic cmin pass, run against this build's DUT model. The replay
+/// also computes each test's basic-block-vector phase signature; a
+/// mismatch-only test whose phase duplicates an earlier kept test is
+/// redundant (same execution phases, no new coverage) and is dropped. The
+/// store is rewritten with fresh attribution + phase hashes.
 int cmd_corpus_minimize(const char* dir) {
   corpus::CorpusStore store;
   ser::Status s = store.open(dir);
@@ -397,11 +415,14 @@ int cmd_corpus_minimize(const char* dir) {
   }
   cov::CoverageDB db;
   rtl::RtlCore dut(core_cfg, db, plat);
+  riscv::BbvRecorder bbv;
   struct Kept {
     core::Program program;
     corpus::StoreEntryMeta meta;
   };
   std::vector<Kept> kept;
+  std::unordered_set<std::uint64_t> seen_phases;
+  std::size_t phase_dropped = 0;
   for (std::size_t i = 0; i < store.size(); ++i) {
     core::Program p;
     s = store.read_program(i, &p);
@@ -415,22 +436,31 @@ int cmd_corpus_minimize(const char* dir) {
     for (std::size_t bin = 0; bin < db.num_bins(); ++bin) {
       covered_before[bin] = db.bin_covered(bin);
     }
+    bbv.begin();
+    dut.set_bbv(&bbv);
     dut.reset(p);
     dut.run();
+    dut.set_bbv(nullptr);
     const mismatch::Report rep = core::replay_test(p, core_cfg, plat);
     corpus::StoreEntryMeta meta = store.meta(i);
     meta.standalone_bins = static_cast<std::uint32_t>(db.test_covered());
     meta.incremental_bins =
         static_cast<std::uint32_t>(db.total_covered() - before);
     meta.mismatches = static_cast<std::uint32_t>(rep.mismatches.size());
+    meta.phase_hash = bbv.phase_hash();
     meta.new_bins.clear();
     for (std::size_t bin = 0; bin < db.num_bins(); ++bin) {
       if (db.test_bin_hit(bin) && !covered_before[bin]) {
         meta.new_bins.push_back(static_cast<std::uint32_t>(bin));
       }
     }
-    if (meta.incremental_bins > 0 || meta.mismatches > 0) {
+    const bool phase_dup = seen_phases.count(meta.phase_hash) != 0;
+    if (meta.incremental_bins > 0 ||
+        (meta.mismatches > 0 && !phase_dup)) {
+      seen_phases.insert(meta.phase_hash);
       kept.push_back({std::move(p), std::move(meta)});
+    } else if (meta.mismatches > 0) {
+      ++phase_dropped;  // mismatch-only, but an identical phase is archived
     }
   }
   const std::size_t original = store.size();
@@ -451,8 +481,9 @@ int cmd_corpus_minimize(const char* dir) {
     std::fprintf(stderr, "%s\n", s.message().c_str());
     return 1;
   }
-  std::printf("minimized %s: %zu -> %zu tests\n", dir, original,
-              store.size());
+  std::printf("minimized %s: %zu -> %zu tests "
+              "(%zu phase-duplicate mismatches dropped)\n",
+              dir, original, store.size(), phase_dropped);
   return 0;
 }
 
@@ -484,12 +515,18 @@ int cmd_corpus_stats(const char* dir) {
   // a mismatch only).
   constexpr std::size_t kBuckets = 12;
   std::size_t histogram[kBuckets] = {};
+  // Phase signatures (hash 0 = not yet computed; `corpus minimize` fills
+  // them by replay): entry count per distinct basic-block-vector phase.
+  std::unordered_map<std::uint64_t, std::size_t> phases;
+  std::size_t unhashed = 0;
   for (std::size_t i = 0; i < store.size(); ++i) {
     const corpus::StoreEntryMeta& m = store.meta(i);
     program_words += store.program_words(i);
     attributed_bins += m.new_bins.size();
     ctrl_new_total += static_cast<std::size_t>(m.ctrl_new);
     if (m.mismatches > 0) ++with_mismatch;
+    if (m.phase_hash == 0) ++unhashed;
+    else ++phases[m.phase_hash];
     std::size_t bucket = 0;
     for (std::size_t n = m.new_bins.size(); n != 0; n >>= 1) ++bucket;
     histogram[std::min(bucket, kBuckets - 1)] += 1;
@@ -518,6 +555,19 @@ int cmd_corpus_stats(const char* dir) {
     } else {
       std::printf("  %4zu-%4zu bins: %zu entries\n", lo, hi, histogram[b]);
     }
+  }
+  std::printf("  phase signatures: %zu distinct across %zu hashed entries"
+              " (%zu unhashed)\n",
+              phases.size(), store.size() - unhashed, unhashed);
+  if (!phases.empty()) {
+    // Multiplicity histogram: how many distinct phases are represented by
+    // exactly 1, 2-3, or 4+ archived tests.
+    std::size_t mult[3] = {};
+    for (const auto& [hash, n] : phases) {
+      mult[n >= 4 ? 2 : n >= 2 ? 1 : 0] += 1;
+    }
+    std::printf("    phase multiplicity: %zu unique, %zu x2-3, %zu x4+\n",
+                mult[0], mult[1], mult[2]);
   }
   return 0;
 }
@@ -577,12 +627,18 @@ int main(int argc, char** argv) {
       std::strcmp(argv[2], "--resume") == 0) {
     std::optional<std::size_t> workers;  // absent = checkpoint's value
     std::size_t procs = 1;
+    const char* bbv_path = nullptr;
+    bool superblocks = true;
     bool bad = false;
     for (int i = 4; i < argc; ++i) {
       if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
         const auto p = parse_count(argv[++i]);
         if (!p) bad = true;
         else procs = *p;
+      } else if (std::strcmp(argv[i], "--bbv") == 0 && i + 1 < argc) {
+        bbv_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--no-superblocks") == 0) {
+        superblocks = false;
       } else if (i == 4 && argv[i][0] != '-') {
         workers = parse_count(argv[i]);
         if (!workers) bad = true;
@@ -594,7 +650,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "fuzz --resume: bad arguments; see usage\n");
       return usage();
     }
-    return cmd_resume(argv[3], workers, procs);
+    return cmd_resume(argv[3], workers, procs, bbv_path, superblocks);
   }
   if (std::strcmp(cmd, "fuzz") == 0 && argc >= 4) {
     const auto tests = parse_count(argv[3]);
@@ -602,6 +658,8 @@ int main(int argc, char** argv) {
     std::size_t procs = 1;
     const char* checkpoint_dir = nullptr;
     std::size_t checkpoint_every = 0;
+    const char* bbv_path = nullptr;
+    bool superblocks = true;
     bool bad = false;
     for (int i = 4; i < argc; ++i) {
       if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
@@ -614,6 +672,10 @@ int main(int argc, char** argv) {
         const auto p = parse_count(argv[++i]);
         if (!p) bad = true;
         else procs = *p;
+      } else if (std::strcmp(argv[i], "--bbv") == 0 && i + 1 < argc) {
+        bbv_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--no-superblocks") == 0) {
+        superblocks = false;
       } else if (i == 4 && argv[i][0] != '-') {
         workers = parse_count(argv[i]);
       } else {
@@ -625,7 +687,7 @@ int main(int argc, char** argv) {
       return usage();
     }
     return cmd_fuzz(argv[2], *tests, *workers, procs, checkpoint_dir,
-                    checkpoint_every);
+                    checkpoint_every, bbv_path, superblocks);
   }
   if (std::strcmp(cmd, "corpus") == 0 && argc >= 4) {
     if (std::strcmp(argv[2], "export") == 0 && argc >= 5) {
