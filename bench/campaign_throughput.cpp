@@ -16,6 +16,12 @@
 // only in speed. One line of JSON, schema "superblock_dispatch", for
 // BENCH_superblock.json.
 //
+// --dut <list> (e.g. --dut inorder,ooo) switches to the multi-DUT
+// comparison: tests/sec for the listed backend set vs the primary backend
+// alone, plus a 1-worker vs all-cores bit-identity check on the multi-DUT
+// totals. One line of JSON, schema "multidut_campaign", for
+// BENCH_multidut.json.
+//
 // The seed replica reproduces, faithfully and with the public API, what
 // the engine did per test before this optimization pass:
 //   * full O(all bins) clears of the worker shard (hit counters + per-test
@@ -48,6 +54,7 @@
 #include "mismatch/detect.h"
 #include "riscv/builder.h"
 #include "rtlsim/core.h"
+#include "rtlsim/dut.h"
 #include "util/rng.h"
 
 using namespace chatfuzz;
@@ -262,16 +269,113 @@ int run_superblock_bench(bool smoke) {
   return parity_ok ? 0 : 1;
 }
 
+/// --dut mode: multi-DUT campaign throughput — every generated test runs on
+/// each listed backend against one golden model. Reports tests/sec for the
+/// DUT list vs a single-DUT (primary-only) run on the same programs, plus a
+/// topology parity check: the multi-DUT campaign at 1 worker and at
+/// hardware concurrency must produce bit-identical totals. One line of
+/// JSON, schema "multidut_campaign", for BENCH_multidut.json.
+int run_multidut_bench(bool smoke, const char* dut_list) {
+  core::CampaignConfig cfg;
+  cfg.num_tests = smoke ? 64 : 512;
+  cfg.batch_size = 32;
+  cfg.num_workers = 1;
+  cfg.checkpoint_every = 100;
+  const std::uint64_t kGenSeed = 7;
+
+  std::string list(dut_list);
+  for (std::size_t pos = 0; pos <= list.size();) {
+    const std::size_t comma = list.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    rtl::CoreConfig c;
+    if (!rtl::dut_preset(list.substr(pos, end - pos), c)) {
+      std::fprintf(stderr, "unknown --dut backend in \"%s\"\n", dut_list);
+      return 2;
+    }
+    cfg.duts.push_back(c);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (cfg.duts.empty()) {
+    std::fprintf(stderr, "--dut needs at least one backend\n");
+    return 2;
+  }
+
+  const auto timed = [&](const core::CampaignConfig& c, double* seconds) {
+    baselines::RandomFuzzer gen(kGenSeed);
+    const double t0 = now_sec();
+    const core::CampaignResult r = core::run_campaign(gen, c);
+    *seconds = now_sec() - t0;
+    return r;
+  };
+
+  // Warm every backend before any timed run.
+  {
+    core::CampaignConfig warm = cfg;
+    warm.num_tests = smoke ? 16 : 128;
+    double ignored = 0.0;
+    timed(warm, &ignored);
+  }
+
+  // Primary-only baseline on the identical program stream.
+  core::CampaignConfig single = cfg;
+  single.core = cfg.duts.front();
+  single.duts.clear();
+  double dt_single = 0.0;
+  const core::CampaignResult base = timed(single, &dt_single);
+
+  double dt_multi = 0.0;
+  const core::CampaignResult multi = timed(cfg, &dt_multi);
+
+  // Deployment number + the topology half of the determinism contract:
+  // every total must match the 1-worker run bit-for-bit.
+  core::CampaignConfig mt_cfg = cfg;
+  mt_cfg.num_workers = 0;
+  double dt_mt = 0.0;
+  const core::CampaignResult mt = timed(mt_cfg, &dt_mt);
+  const bool parity_ok = mt.tests_run == multi.tests_run &&
+                         mt.final_cov_percent == multi.final_cov_percent &&
+                         mt.total_cycles == multi.total_cycles &&
+                         mt.total_instrs == multi.total_instrs &&
+                         mt.raw_mismatches == multi.raw_mismatches &&
+                         mt.filtered_mismatches == multi.filtered_mismatches &&
+                         mt.unique_mismatches == multi.unique_mismatches;
+
+  std::printf(
+      "{\"bench\":\"multidut_campaign\",\"smoke\":%s,"
+      "\"duts\":\"%s\",\"num_duts\":%zu,\"tests\":%zu,"
+      "\"tests_per_sec\":%.1f,\"wall_seconds\":%.3f,"
+      "\"tests_per_sec_single\":%.1f,\"wall_seconds_single\":%.3f,"
+      "\"multidut_overhead\":%.2f,"
+      "\"tests_per_sec_mt\":%.1f,\"mt_workers\":%u,"
+      "\"final_cov_percent\":%.4f,\"raw_mismatches\":%zu,"
+      "\"unique_mismatches\":%zu,\"parity_ok\":%s}\n",
+      smoke ? "true" : "false", dut_list, cfg.duts.size(), multi.tests_run,
+      static_cast<double>(multi.tests_run) / dt_multi, dt_multi,
+      static_cast<double>(base.tests_run) / dt_single, dt_single,
+      dt_multi / dt_single,
+      static_cast<double>(mt.tests_run) / dt_mt,
+      static_cast<unsigned>(std::thread::hardware_concurrency()),
+      multi.final_cov_percent, multi.raw_mismatches, multi.unique_mismatches,
+      parity_ok ? "true" : "false");
+  return parity_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* env_smoke = std::getenv("CHATFUZZ_SMOKE");
   bool smoke = env_smoke != nullptr && std::strcmp(env_smoke, "0") != 0;
   bool superblock = false;
+  const char* dut_list = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--superblock") == 0) superblock = true;
+    if (std::strcmp(argv[i], "--dut") == 0 && i + 1 < argc) {
+      dut_list = argv[++i];
+    }
   }
+  if (dut_list != nullptr) return run_multidut_bench(smoke, dut_list);
   if (superblock) return run_superblock_bench(smoke);
 
   core::CampaignConfig cfg;

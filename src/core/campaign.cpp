@@ -41,6 +41,11 @@ std::size_t CampaignResult::tests_to(double percent) const {
   return p != nullptr ? p->tests : 0;
 }
 
+std::vector<rtl::CoreConfig> effective_duts(const CampaignConfig& cfg) {
+  if (!cfg.duts.empty()) return cfg.duts;
+  return {cfg.core};
+}
+
 const char* guidance_name(GuidanceMetric m) {
   switch (m) {
     case GuidanceMetric::kCondition: return "condition";
@@ -93,10 +98,13 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
       std::max<std::size_t>(1, std::min(cfg.batch_size, cfg.num_tests)));
 
   // Canonical campaign-wide state, touched only by the coordinating thread.
-  // The throwaway core performs the condition-point registrations so this DB
-  // has the exact same layout as every worker shard.
+  // The throwaway cores perform the condition-point registrations so this DB
+  // has the exact same layout as every worker shard: one backend per
+  // effective DUT, registered in list order (see SimStack's constructor).
   cov::CoverageDB db;
-  { rtl::RtlCore registrar(cfg.core, db, cfg.platform); }
+  for (const rtl::CoreConfig& core : effective_duts(cfg)) {
+    rtl::make_dut(core, db, cfg.platform);
+  }
   cov::MetricSuite suite;
   cov::CtrlRegCoverage ctrl;
   mismatch::MismatchDetector detector;

@@ -71,6 +71,20 @@ struct CampaignConfig {
   std::size_t batch_size = 32;
   std::size_t checkpoint_every = 100;  // tests between curve points
   rtl::CoreConfig core = rtl::CoreConfig::rocket();
+
+  /// Multi-DUT differential mode (`fuzz --dut inorder,ooo`): every generated
+  /// test runs once per config in this list against the same golden model,
+  /// and the per-DUT coverage/mismatch contributions fold into one
+  /// TestArtifact in list order — so multi-DUT campaign output is
+  /// bit-identical for any workers × procs × resume topology, exactly like
+  /// single-DUT output. Empty (the default) means {core}: the single-DUT
+  /// campaign everything else in the repo runs. When non-empty, the first
+  /// entry is the *primary* DUT (metrics suite, BBV collection, step totals,
+  /// replay/minimize); `core` is ignored. Part of the campaign state:
+  /// serialized into checkpoints, never overridden on resume (the coverage
+  /// DB layout is the concatenation of every DUT's instrumentation).
+  std::vector<rtl::CoreConfig> duts;
+
   sim::Platform platform{.max_steps = 512};
   bool mismatch_detection = true;
   GuidanceMetric guidance = GuidanceMetric::kCondition;
@@ -143,6 +157,12 @@ struct CampaignConfig {
   /// process or across many.
   DistConfig dist;
 };
+
+/// The DUT configs a campaign actually simulates: `cfg.duts` when set,
+/// otherwise the single-DUT list {cfg.core}. Every layer that must agree on
+/// the coverage-DB layout (worker stacks, coordinator registrar, dist
+/// workers, benches) builds its cores from this list in this order.
+std::vector<rtl::CoreConfig> effective_duts(const CampaignConfig& cfg);
 
 struct CampaignPoint {
   std::size_t tests = 0;

@@ -11,7 +11,13 @@ constexpr std::uint32_t kCheckpointMagic = 0x43465A4B;  // "CFZK"
 // been silently defaulting on restore since it was introduced).
 // v3: the three privileged/Sv39 bug injections (wrong_delegation,
 // skip_perm_check, stale_tlb) joined the BugInjections record.
-constexpr std::uint32_t kCheckpointVersion = 3;
+// v4: the out-of-order backend fields (out_of_order, rob_size, phys_regs,
+// sq_size, fetch_width) and its three bug injections joined the config
+// record, and the campaign config gained the multi-DUT list (duts). Older
+// checkpoints are rejected by read_file's version check: their coverage
+// blobs predate the per-DUT DB layout, so silently defaulting the new
+// fields could restore against the wrong instrumentation.
+constexpr std::uint32_t kCheckpointVersion = 4;
 
 void write_core_config(ser::Writer& w, const rtl::CoreConfig& c) {
   w.str(c.name);
@@ -28,6 +34,11 @@ void write_core_config(ser::Writer& w, const rtl::CoreConfig& c) {
   w.boolean(c.superscalar);
   w.u32(c.cross_depth);
   w.boolean(c.deferred_select_chains);
+  w.boolean(c.out_of_order);
+  w.u32(c.rob_size);
+  w.u32(c.phys_regs);
+  w.u32(c.sq_size);
+  w.u32(c.fetch_width);
   w.boolean(c.bugs.stale_icache);
   w.boolean(c.bugs.tracer_drops_muldiv);
   w.boolean(c.bugs.fault_priority_swap);
@@ -36,6 +47,9 @@ void write_core_config(ser::Writer& w, const rtl::CoreConfig& c) {
   w.boolean(c.bugs.wrong_delegation);
   w.boolean(c.bugs.skip_perm_check);
   w.boolean(c.bugs.stale_tlb);
+  w.boolean(c.bugs.ooo_broken_fwd);
+  w.boolean(c.bugs.ooo_early_store_drain);
+  w.boolean(c.bugs.ooo_missing_squash);
 }
 
 void read_core_config(ser::Reader& r, rtl::CoreConfig& c) {
@@ -53,6 +67,11 @@ void read_core_config(ser::Reader& r, rtl::CoreConfig& c) {
   c.superscalar = r.boolean();
   c.cross_depth = r.u32();
   c.deferred_select_chains = r.boolean();
+  c.out_of_order = r.boolean();
+  c.rob_size = r.u32();
+  c.phys_regs = r.u32();
+  c.sq_size = r.u32();
+  c.fetch_width = r.u32();
   c.bugs.stale_icache = r.boolean();
   c.bugs.tracer_drops_muldiv = r.boolean();
   c.bugs.fault_priority_swap = r.boolean();
@@ -61,6 +80,9 @@ void read_core_config(ser::Reader& r, rtl::CoreConfig& c) {
   c.bugs.wrong_delegation = r.boolean();
   c.bugs.skip_perm_check = r.boolean();
   c.bugs.stale_tlb = r.boolean();
+  c.bugs.ooo_broken_fwd = r.boolean();
+  c.bugs.ooo_early_store_drain = r.boolean();
+  c.bugs.ooo_missing_squash = r.boolean();
 }
 
 }  // namespace
@@ -70,6 +92,11 @@ void write_campaign_config(ser::Writer& w, const CampaignConfig& cfg) {
   w.u64(cfg.batch_size);
   w.u64(cfg.checkpoint_every);
   write_core_config(w, cfg.core);
+  // Multi-DUT list (v4). Part of the campaign state like `core`: the
+  // coverage blob's layout is the concatenation of these backends'
+  // instrumentation, so resume must rebuild exactly this list.
+  w.u64(cfg.duts.size());
+  for (const rtl::CoreConfig& c : cfg.duts) write_core_config(w, c);
   w.u64(cfg.platform.ram_base);
   w.u64(cfg.platform.ram_size);
   w.u64(cfg.platform.max_steps);
@@ -91,6 +118,20 @@ bool read_campaign_config(ser::Reader& r, CampaignConfig& cfg) {
   cfg.batch_size = static_cast<std::size_t>(r.u64());
   cfg.checkpoint_every = static_cast<std::size_t>(r.u64());
   read_core_config(r, cfg.core);
+  const std::uint64_t n_duts = r.u64();
+  // Each serialized core config is >= 60 payload bytes; reject counts the
+  // payload cannot hold before reserving.
+  if (!r.ok() || n_duts > r.remaining() / 60) {
+    r.fail();
+    return false;
+  }
+  cfg.duts.clear();
+  cfg.duts.reserve(static_cast<std::size_t>(n_duts));
+  for (std::uint64_t i = 0; i < n_duts; ++i) {
+    rtl::CoreConfig c;
+    read_core_config(r, c);
+    cfg.duts.push_back(std::move(c));
+  }
   cfg.platform.ram_base = r.u64();
   cfg.platform.ram_size = r.u64();
   cfg.platform.max_steps = r.u64();

@@ -10,9 +10,16 @@
 namespace chatfuzz::core {
 
 SimStack::SimStack(const CampaignConfig& cfg, bool use_suite) {
-  dut = std::make_unique<rtl::RtlCore>(cfg.core, db, cfg.platform);
+  // Construction order IS the coverage-DB layout: every backend registers
+  // its condition points into the shared shard as it is built, so this loop
+  // must walk effective_duts() in list order — the same walk the
+  // coordinator's registrar and the dist workers perform.
+  for (const rtl::CoreConfig& core : effective_duts(cfg)) {
+    duts.push_back(rtl::make_dut(core, db, cfg.platform));
+    duts.back()->set_superblocks(cfg.superblocks);
+  }
+  dut = duts.front().get();
   golden = std::make_unique<sim::IsaSim>(cfg.platform);
-  dut->set_superblocks(cfg.superblocks);
   golden->set_superblocks(cfg.superblocks);
   if (use_suite) dut->attach_metrics(&suite);
   detector.install_default_filters();
@@ -50,37 +57,53 @@ void run_one(SimStack& w, const CampaignConfig& cfg, bool use_suite,
   out.begin();
   w.db.reset_hits();  // shard holds exactly this test's hits afterwards
   if (use_suite) w.suite.begin_test();
-  w.dut->ctrl_cov().begin_test();
-  w.dut->ctrl_cov().set_recorder(&out.ctrl_states);
+  std::uint64_t reg_seed = 0;
   if (cfg.randomize_regs) {
     // Per-test RNG stream keyed by campaign seed + global test index, so the
-    // register file is the same no matter which thread runs the test.
-    const std::uint64_t reg_seed = Rng(cfg.seed).fork(test_index).next_u64();
-    w.dut->set_reg_seed(reg_seed);
+    // register file is the same no matter which thread runs the test — and
+    // the same for every DUT of a multi-DUT campaign.
+    reg_seed = Rng(cfg.seed).fork(test_index).next_u64();
     w.golden->set_reg_seed(reg_seed);
   }
   const bool collect_bbv = !cfg.bbv_path.empty();
-  if (collect_bbv) {
-    w.bbv.begin();
-    w.dut->set_bbv(&w.bbv);
-  }
-  if (cfg.mismatch_detection) {
-    // Arm the comparator (which sinks the golden model) before the golden
-    // reset, so the reset skips its trace scratch like the DUT's does.
-    w.comparator.begin(w.detector, *w.golden, out.report);
-    w.golden->reset(test);
-    w.dut->set_sink(&w.comparator);
-  } else {
-    w.dut->set_sink(&w.discard);
-  }
-  w.dut->reset(test);
-  const sim::RunResult dut_run = w.dut->run();
-  if (cfg.mismatch_detection) w.comparator.finish();
-  w.dut->set_sink(nullptr);
-  w.dut->ctrl_cov().set_recorder(nullptr);
-  if (collect_bbv) {
-    w.dut->set_bbv(nullptr);  // run() already closed the trailing block
-    out.bbv = w.bbv.blocks();
+
+  // One golden ISS run per DUT backend, in list order. Everything a test
+  // contributes — condition hits in the shared shard, ctrl states, the
+  // mismatch report (comparator ordinal d accumulates all DUTs into one
+  // Report) — lands in the same artifact, so the fold stays per-test and
+  // order-free exactly as in single-DUT mode. The metrics suite, BBV
+  // recorder and step count stay primary-DUT-only: they feed guidance and
+  // phase analyses whose semantics are per-program, not per-backend.
+  for (std::size_t d = 0; d < w.duts.size(); ++d) {
+    rtl::DutCore& dut = *w.duts[d];
+    dut.ctrl_cov().begin_test();
+    dut.ctrl_cov().set_recorder(&out.ctrl_states);
+    if (cfg.randomize_regs) dut.set_reg_seed(reg_seed);
+    const bool bbv_this = collect_bbv && d == 0;
+    if (bbv_this) {
+      w.bbv.begin();
+      dut.set_bbv(&w.bbv);
+    }
+    if (cfg.mismatch_detection) {
+      // Arm the comparator (which sinks the golden model) before the golden
+      // reset, so the reset skips its trace scratch like the DUT's does.
+      w.comparator.begin(w.detector, *w.golden, out.report, d);
+      w.golden->reset(test);
+      dut.set_sink(&w.comparator);
+    } else {
+      dut.set_sink(&w.discard);
+    }
+    dut.reset(test);
+    const sim::RunResult dut_run = dut.run();
+    if (cfg.mismatch_detection) w.comparator.finish();
+    dut.set_sink(nullptr);
+    dut.ctrl_cov().set_recorder(nullptr);
+    if (bbv_this) {
+      dut.set_bbv(nullptr);  // run() already closed the trailing block
+      out.bbv = w.bbv.blocks();
+    }
+    out.cycles += dut.cycles();
+    if (d == 0) out.steps = dut_run.steps;
   }
 
   cov::extract_bins(w.db, out.cond_bins);
@@ -89,8 +112,6 @@ void run_one(SimStack& w, const CampaignConfig& cfg, bool use_suite,
     w.suite.fsm().append_test_bins(out.fsm_bins);
     w.suite.statement().append_test_bins(out.stmt_bins);
   }
-  out.cycles = w.dut->cycles();
-  out.steps = dut_run.steps;
 }
 
 void run_span(std::vector<std::unique_ptr<SimStack>>& stacks,

@@ -28,6 +28,7 @@
 #include "mismatch/detect.h"
 #include "mismatch/lockstep.h"
 #include "rtlsim/core.h"
+#include "rtlsim/dut.h"
 
 namespace chatfuzz::core {
 
@@ -75,7 +76,15 @@ struct SimStack {
 
   cov::CoverageDB db;        // per-test shard (reset before every test)
   cov::MetricSuite suite;
-  std::unique_ptr<rtl::RtlCore> dut;
+  /// The campaign's DUT backends, in effective_duts() order — all registered
+  /// into the one shard `db`, so the shard layout is the concatenation of
+  /// every backend's instrumentation (and matches the coordinator's
+  /// registrar DB, built from the same list). Single-DUT campaigns hold one
+  /// entry here.
+  std::vector<std::unique_ptr<rtl::DutCore>> duts;
+  /// Non-owning alias of duts[0]: the primary DUT (metrics suite, BBV,
+  /// step totals — and the only DUT of a classic single-DUT campaign).
+  rtl::DutCore* dut = nullptr;
   std::unique_ptr<sim::IsaSim> golden;
   mismatch::MismatchDetector detector;  // filter rules only; the campaign-
                                         // wide tally lives on the coordinator

@@ -353,6 +353,55 @@ void CorpusGenerator::emit_vm(Program& out) {
   for (const std::uint32_t w : b.seal()) out.push_back(w);
 }
 
+void CorpusGenerator::emit_lsu(Program& out) {
+  // Memory-ordering stress kernels. The div makes the stored value (or the
+  // branch condition) a long-latency producer, so on an out-of-order LSU
+  // the dependent loads arrive while the store is still in the queue —
+  // store-to-load forwarding, partial-overlap merges, loads waiting on
+  // unresolved stores, and wrong-path stores under a cold branch.
+  const unsigned base = pointer_reg();
+  const auto off = static_cast<std::int32_t>(rng_.range(0, 30) * 8);
+  switch (rng_.below(4)) {
+    case 0: {  // store-forward: full-width RAW through the store queue
+      const unsigned v = def_reg();
+      out.push_back(riscv::enc_r(Opcode::kDiv, v, recent_reg(), recent_reg()));
+      out.push_back(riscv::enc_s(Opcode::kSd, base, v, off));
+      out.push_back(riscv::enc_i(Opcode::kLd, def_reg(), base, off));
+      break;
+    }
+    case 1: {  // pair-alias: narrow stores merged under a wider load
+      const unsigned v = def_reg();
+      out.push_back(riscv::enc_r(Opcode::kDiv, v, recent_reg(), recent_reg()));
+      out.push_back(riscv::enc_s(Opcode::kSb, base, v, off + 1));
+      out.push_back(riscv::enc_s(Opcode::kSh, base, v, off + 4));
+      out.push_back(riscv::enc_i(Opcode::kLd, def_reg(), base, off));
+      break;
+    }
+    case 2: {  // pointer-chase through a just-forwarded pointer
+      const unsigned p2 = pointer_reg();
+      const unsigned t = def_reg();
+      out.push_back(riscv::enc_s(Opcode::kSd, base, p2, off));
+      out.push_back(riscv::enc_i(Opcode::kLd, t, base, off));
+      out.push_back(riscv::enc_i(Opcode::kLw, def_reg(), t, 0));
+      break;
+    }
+    default: {  // cold always-taken branch over a wrong-path store + load
+      // The branch condition is div-fed (resolves late) while the store's
+      // data is already available, so a speculative LSU drains/forwards the
+      // wrong-path store and issues the wrong-path load long before the
+      // squash arrives. The fall-through load then re-reads the location
+      // architecturally — a store that escaped the squash shows up there.
+      const unsigned c = def_reg();
+      out.push_back(riscv::enc_r(Opcode::kDiv, c, recent_reg(), recent_reg()));
+      out.push_back(riscv::enc_b(Opcode::kBeq, c, c, 12));
+      out.push_back(riscv::enc_s(Opcode::kSd, base, recent_reg(), off));
+      out.push_back(riscv::enc_i(Opcode::kLd, def_reg(), base, off));
+      out.push_back(riscv::enc_i(Opcode::kLd, def_reg(), base, off));
+      break;
+    }
+  }
+}
+
 Program CorpusGenerator::function() {
   Program out;
   recent_.clear();
@@ -361,11 +410,12 @@ Program CorpusGenerator::function() {
     out.push_back(riscv::enc_s(Opcode::kSd, 2, 1, 8));
     out.push_back(riscv::enc_s(Opcode::kSd, 2, 8, 16));
   }
-  const std::array<double, 12> weights = {
+  const std::array<double, 13> weights = {
       cfg_.w_alu_chain, cfg_.w_load_compute_store, cfg_.w_if_else,
       cfg_.w_loop,      cfg_.w_muldiv,             cfg_.w_csr,
       cfg_.w_amo,       cfg_.w_lrsc,               cfg_.w_fence,
-      cfg_.w_priv,      cfg_.w_irq,                cfg_.w_vm};
+      cfg_.w_priv,      cfg_.w_irq,                cfg_.w_vm,
+      cfg_.w_lsu};
   const auto target = static_cast<std::size_t>(
       rng_.range(cfg_.min_instrs, cfg_.max_instrs));
   while (out.size() < target) {
@@ -381,7 +431,8 @@ Program CorpusGenerator::function() {
       case 8: emit_fence(out); break;
       case 9: emit_priv(out); break;
       case 10: emit_irq(out); break;
-      default: emit_vm(out); break;
+      case 11: emit_vm(out); break;
+      default: emit_lsu(out); break;
     }
   }
   if (cfg_.with_prologue) {

@@ -40,6 +40,13 @@ struct CorpusConfig {
   /// runs translated, so one occurrence flips the rest of the sample into
   /// the privileged/VM fuzzing surface.
   double w_vm = 0.6;
+  /// Memory-ordering stress kernels (store-forward, pair-alias,
+  /// pointer-chase, speculative wrong-path store): div-fed stores with
+  /// dependent or overlapping loads. On an out-of-order LSU these force
+  /// store-to-load forwarding, partial-overlap merges and load-behind-store
+  /// scheduling (the ooo.lsu.* / ooo.squash.* points); on the in-order core
+  /// they are ordinary RAW memory idioms.
+  double w_lsu = 2.5;
   std::uint64_t clint_base = 0x0200'0000ull;
   /// Physical RAM window the VM idiom identity-maps; the root page table
   /// lives at ram_base + pt_offset (the page just above the data region).
@@ -85,6 +92,7 @@ class CorpusGenerator {
   void emit_priv(Program& out);
   void emit_irq(Program& out);
   void emit_vm(Program& out);
+  void emit_lsu(Program& out);
 
   /// A register recently written (for operand entanglement), or a random
   /// caller-saved register when none is tracked.

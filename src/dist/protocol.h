@@ -40,7 +40,11 @@ namespace chatfuzz::dist {
 
 // v2: config frames carry the superblock/BBV knobs; artifact encodings
 // carry the per-test basic-block vector (empty unless collection is on).
-inline constexpr std::uint32_t kProtocolVersion = 2;
+// v3: the campaign config inside kConfig frames carries the multi-DUT list
+// and the out-of-order backend fields (core::write_campaign_config v4
+// layout) — a v2 worker would build the wrong simulation stacks, so the
+// version gate must refuse the pairing.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 inline constexpr std::uint32_t kFrameMagic = 0x4346444D;  // "CFDM"
 /// Upper bound on one frame's payload; a length prefix beyond this is
 /// treated as corruption (it would otherwise become an allocation bomb).

@@ -33,7 +33,9 @@ bool run_lease(const core::CampaignConfig& cfg, bool use_suite,
                const LeaseMsg& lease,
                std::vector<core::TestArtifact>& artifacts) {
   artifacts.resize(lease.tests.size());
-  for (auto& stack : stacks) stack->dut->ctrl_cov().reset();
+  for (auto& stack : stacks) {
+    for (auto& dut : stack->duts) dut->ctrl_cov().reset();
+  }
   try {
     core::run_span(stacks, cfg, use_suite, lease.tests.data(),
                    lease.tests.size(), lease.base_index, artifacts.data());

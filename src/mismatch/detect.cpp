@@ -111,6 +111,12 @@ std::string signature_of(const Mismatch& m) {
     default:
       break;
   }
+  if (m.dut_index != 0) {
+    // Multi-DUT campaigns: the same root cause on a different backend is a
+    // different bug, so the backend ordinal is part of the dedup key. The
+    // primary DUT keeps the historical signatures unchanged.
+    sig += ":dut" + std::to_string(m.dut_index);
+  }
   return sig;
 }
 
@@ -304,6 +310,7 @@ void write_report(ser::Writer& w, const Report& report) {
   for (const Mismatch& m : report.mismatches) {
     w.u8(static_cast<std::uint8_t>(m.kind));
     w.u64(m.index);
+    w.u64(m.dut_index);
     write_commit_record(w, m.dut);
     write_commit_record(w, m.golden);
     w.str(m.signature);
@@ -332,6 +339,7 @@ bool read_report(ser::Reader& r, Report& out) {
     }
     m.kind = static_cast<Kind>(kind);
     m.index = static_cast<std::size_t>(r.u64());
+    m.dut_index = static_cast<std::size_t>(r.u64());
     if (!read_commit_record(r, m.dut)) return false;
     if (!read_commit_record(r, m.golden)) return false;
     m.signature = r.str();

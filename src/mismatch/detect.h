@@ -49,6 +49,11 @@ struct Mismatch {
   sim::CommitRecord golden;     // record from the golden model
   std::string signature;        // dedup key
   Finding finding = Finding::kOther;
+  /// Which DUT of a multi-DUT campaign diverged (position in the campaign's
+  /// DUT list). 0 for single-DUT runs; signature_of folds non-zero ordinals
+  /// into the signature so the same root cause on different backends stays
+  /// distinct in the campaign-wide tally.
+  std::size_t dut_index = 0;
 };
 
 /// A filter rule suppresses known-benign mismatches (§IV-A: engineers "add

@@ -3,13 +3,19 @@
 namespace chatfuzz::mismatch {
 
 void LockstepComparator::begin(const MismatchDetector& detector,
-                               sim::IsaSim& golden, Report& out) {
+                               sim::IsaSim& golden, Report& out,
+                               std::size_t dut_index) {
   detector_ = &detector;
   golden_ = &golden;
   out_ = &out;
-  out.mismatches.clear();  // reused across tests; capacity is retained
-  out.raw_count = 0;
-  out.filtered_count = 0;
+  dut_index_ = dut_index;
+  if (dut_index == 0) {
+    // Primary DUT starts the test's report; later DUTs of a multi-DUT run
+    // append to it so one Report carries the whole test's diff.
+    out.mismatches.clear();  // reused across tests; capacity is retained
+    out.raw_count = 0;
+    out.filtered_count = 0;
+  }
   index_ = 0;
   diverged_ = false;
   golden_short_ = false;
@@ -17,6 +23,7 @@ void LockstepComparator::begin(const MismatchDetector& detector,
 }
 
 void LockstepComparator::emit(Mismatch&& m) {
+  m.dut_index = dut_index_;  // before finalize(): part of the signature
   ++out_->raw_count;
   if (!detector_->finalize(m)) {
     ++out_->filtered_count;

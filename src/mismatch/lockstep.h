@@ -26,8 +26,14 @@ class LockstepComparator final : public sim::CommitSink {
   /// the comparison has diverged. `out` is cleared and reused — pooled
   /// campaign artifacts keep their mismatch capacity across tests.
   /// `detector` supplies the filter rules; all three must outlive the run.
+  ///
+  /// `dut_index` is the backend's position in a multi-DUT campaign's DUT
+  /// list: every emitted Mismatch is stamped with it (which suffixes the
+  /// dedup signature for non-primary DUTs), and `out` is cleared only for
+  /// DUT 0 — later DUTs of the same test append, and the raw/filtered
+  /// counters accumulate, so one Report carries the whole test's diff.
   void begin(const MismatchDetector& detector, sim::IsaSim& golden,
-             Report& out);
+             Report& out, std::size_t dut_index = 0);
 
   /// DUT commit arrives: pull the matching golden commit and compare.
   void on_commit(const sim::CommitRecord& dut) override;
@@ -42,6 +48,7 @@ class LockstepComparator final : public sim::CommitSink {
   const MismatchDetector* detector_ = nullptr;
   sim::IsaSim* golden_ = nullptr;
   Report* out_ = nullptr;
+  std::size_t dut_index_ = 0; // backend ordinal stamped on every mismatch
   std::size_t index_ = 0;     // compared pairs so far
   bool diverged_ = false;     // control flow split; comparison is over
   bool golden_short_ = false; // golden ended first; length staged below

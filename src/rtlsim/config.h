@@ -39,8 +39,33 @@ struct BugInjections {
   /// PTEs survive a translation-context switch.
   bool stale_tlb = false;
 
-  static BugInjections none() {
-    return {false, false, false, false, false, false, false, false};
+  // Out-of-order backend bug surface (the memory-ordering defect classes
+  // TheHuzz/DifuzzRTL flag as the richest source of silicon escapes). Only
+  // the OOO core model reads these; the in-order core ignores them, and the
+  // `ooo` preset switches them on the way the paper's DUTs really carried
+  // their findings.
+  /// LSU store-to-load forwarding is broken: a load whose bytes should be
+  /// forwarded from an older in-flight store reads stale memory instead.
+  bool ooo_broken_fwd = false;
+  /// Store queue drains speculative stores to memory at execute instead of
+  /// at commit — a squashed store leaves its bytes behind.
+  bool ooo_early_store_drain = false;
+  /// Branch squash does not cancel in-flight (issued, not yet completed)
+  /// loads: a wrong-path load completes after the squash and writes a
+  /// physical register that may already be re-allocated.
+  bool ooo_missing_squash = false;
+
+  static BugInjections none() { return off_all(); }
+
+ private:
+  static BugInjections off_all() {
+    BugInjections b;
+    b.stale_icache = false;
+    b.tracer_drops_muldiv = false;
+    b.fault_priority_swap = false;
+    b.amo_x0_trace = false;
+    b.x0_link_trace = false;
+    return b;  // every other flag already defaults to false
   }
 };
 
@@ -88,10 +113,38 @@ struct CoreConfig {
   /// reproduce the seed pipeline as its baseline.
   bool deferred_select_chains = true;
 
+  /// Select the out-of-order backend (OooCore): 2-wide superscalar with
+  /// register renaming, a reorder buffer, an LSU with a store queue +
+  /// store-to-load forwarding, and branch speculation with
+  /// squash-on-mispredict. The remaining fields size its structures.
+  bool out_of_order = false;
+  unsigned rob_size = 32;    // reorder-buffer entries
+  unsigned phys_regs = 64;   // physical register file (>= 33)
+  unsigned sq_size = 8;      // store-queue entries
+  unsigned fetch_width = 2;  // fetch/rename/commit width per cycle
+
   BugInjections bugs;
 
   /// RocketCore-class preset (the paper's primary DUT).
   static CoreConfig rocket() { return CoreConfig{}; }
+
+  /// Out-of-order preset (the second DUT backend). Like the rocket preset's
+  /// five paper findings, the three memory-ordering injections ship enabled:
+  /// this DUT "really behaves this way", and multi-DUT campaigns surface the
+  /// resulting mismatches; lockstep tests switch them off.
+  static CoreConfig ooo() {
+    CoreConfig c;
+    c.name = "ooo";
+    c.out_of_order = true;
+    c.dcache_sets = 32;
+    c.dcache_ways = 4;
+    c.btb_entries = 32;
+    c.bugs = BugInjections::none();
+    c.bugs.ooo_broken_fwd = true;
+    c.bugs.ooo_early_store_drain = true;
+    c.bugs.ooo_missing_squash = true;
+    return c;
+  }
 
   /// BOOM-class preset.
   static CoreConfig boom() {

@@ -28,10 +28,11 @@
 #include "riscv/superblock.h"
 #include "rtlsim/caches.h"
 #include "rtlsim/config.h"
+#include "rtlsim/dut.h"
 
 namespace chatfuzz::rtl {
 
-class RtlCore {
+class RtlCore final : public DutCore {
  public:
   /// Points are registered into `db` at construction; the DB must outlive
   /// the core. One DB accumulates coverage across a whole campaign.
@@ -39,48 +40,50 @@ class RtlCore {
 
   /// Reset architectural + microarchitectural state and load the program.
   /// Coverage in the shared DB is NOT reset (campaign-cumulative).
-  void reset(std::span<const std::uint32_t> program);
+  void reset(std::span<const std::uint32_t> program) override;
 
-  sim::RunResult run();
+  sim::RunResult run() override;
   std::optional<sim::CommitRecord> step();
 
-  bool stopped() const { return stopped_; }
-  std::uint64_t pc() const { return pc_; }
-  std::uint64_t reg(unsigned i) const { return regs_[i & 31]; }
-  riscv::Priv priv() const { return priv_; }
-  std::uint64_t cycles() const { return cycles_; }
+  bool stopped() const override { return stopped_; }
+  std::uint64_t pc() const override { return pc_; }
+  std::uint64_t reg(unsigned i) const override { return regs_[i & 31]; }
+  riscv::Priv priv() const override { return priv_; }
+  std::uint64_t cycles() const override { return cycles_; }
   /// Architectural CSR value as an M-mode read would see it (tests,
   /// examples); 0 for unimplemented addresses.
-  std::uint64_t csr_value(std::uint16_t addr) const {
+  std::uint64_t csr_value(std::uint16_t addr) const override {
     std::uint64_t v = 0;
     csr_read(addr, v, riscv::Priv::kMachine);
     return v;
   }
-  const sim::Trace& trace() const { return trace_; }
-  const sim::Memory& memory() const { return mem_; }
-  cov::CtrlRegCoverage& ctrl_cov() { return ctrl_cov_; }
-  const CoreConfig& config() const { return cfg_; }
+  const sim::Trace& trace() const override { return trace_; }
+  const sim::Memory& memory() const override { return mem_; }
+  cov::CtrlRegCoverage& ctrl_cov() override { return ctrl_cov_; }
+  const CoreConfig& config() const override { return cfg_; }
 
   /// Optionally attach the multi-metric suite (toggle/FSM/statement
   /// coverage); the suite must outlive the core. Pass nullptr to detach.
-  void attach_metrics(cov::MetricSuite* metrics) { metrics_ = metrics; }
+  void attach_metrics(cov::MetricSuite* metrics) override {
+    metrics_ = metrics;
+  }
 
   /// Change the initial-register-file seed used by subsequent reset() calls
   /// (campaigns that give every test a distinct deterministic register file).
-  void set_reg_seed(std::uint64_t seed) { plat_.reg_seed = seed; }
+  void set_reg_seed(std::uint64_t seed) override { plat_.reg_seed = seed; }
 
   /// Stream commits to `sink` instead of the internal trace (nullptr
   /// restores trace collection). While a sink is attached, trace() stays
   /// empty and run() returns an empty RunResult::trace — the streaming path
   /// never materializes one.
-  void set_sink(sim::CommitSink* sink) { sink_ = sink; }
+  void set_sink(sim::CommitSink* sink) override { sink_ = sink; }
 
   /// Enable/disable the fused-fetch superblock fast path in run(). Purely a
   /// speed knob: commits, cycles, coverage bins and ctrl-reg observations
   /// are bit-identical either way (the determinism suites pin this). The
   /// fast path also self-disables for configs it cannot fuse (superscalar,
   /// per-instruction select chains, CLINT, attached metrics).
-  void set_superblocks(bool on) { sb_enabled_ = on; }
+  void set_superblocks(bool on) override { sb_enabled_ = on; }
   bool superblocks() const { return sb_enabled_; }
 
   /// Attach a basic-block-vector recorder; every committed instruction is
@@ -88,7 +91,7 @@ class RtlCore {
   /// transfer. The recorder must outlive the run; nullptr detaches. run()
   /// calls on_stop() when the run ends (manual step() loops must do so
   /// themselves).
-  void set_bbv(riscv::BbvRecorder* bbv) { bbv_ = bbv; }
+  void set_bbv(riscv::BbvRecorder* bbv) override { bbv_ = bbv; }
 
  private:
   // -- coverage plumbing ----------------------------------------------------

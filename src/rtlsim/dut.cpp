@@ -1,0 +1,30 @@
+#include "rtlsim/dut.h"
+
+#include "rtlsim/core.h"
+#include "rtlsim/ooo_core.h"
+
+namespace chatfuzz::rtl {
+
+std::unique_ptr<DutCore> make_dut(const CoreConfig& cfg, cov::CoverageDB& db,
+                                  sim::Platform plat) {
+  if (cfg.out_of_order) return std::make_unique<OooCore>(cfg, db, plat);
+  return std::make_unique<RtlCore>(cfg, db, plat);
+}
+
+bool dut_preset(const std::string& name, CoreConfig& out) {
+  if (name == "inorder" || name == "rocket") {
+    out = CoreConfig::rocket();
+    return true;
+  }
+  if (name == "boom") {
+    out = CoreConfig::boom();
+    return true;
+  }
+  if (name == "ooo") {
+    out = CoreConfig::ooo();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace chatfuzz::rtl

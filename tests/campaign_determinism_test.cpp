@@ -6,17 +6,23 @@
 // depend on scheduling. These tests pin that down for the default
 // condition-coverage configuration, for metric-guided configurations (which
 // exercise the MetricSuite artifact path), for ctrl-reg guidance (the
-// DifuzzRTL-style replayed state set), and for randomized initial register
-// files (the per-test RNG stream path).
+// DifuzzRTL-style replayed state set), for randomized initial register
+// files (the per-test RNG stream path), and for multi-DUT campaigns (every
+// test simulated on each backend of the DUT list), whose matrix also spans
+// worker *processes* — this binary doubles as its own dist worker (see
+// main() at the bottom).
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "baselines/mutational.h"
 #include "core/campaign.h"
+#include "core/checkpoint.h"
 #include "corpus/generator.h"
+#include "dist/worker.h"
 
 namespace chatfuzz::core {
 namespace {
@@ -40,6 +46,32 @@ class PrivCorpusFuzzer final : public InputGenerator {
     corpus::CorpusConfig cc;
     cc.w_vm = 4.0;
     cc.w_priv = 2.0;
+    return cc;
+  }
+
+ private:
+  corpus::CorpusGenerator gen_;
+};
+
+/// LSU-dense stimulus: the w_lsu memory-ordering idiom dominates, so
+/// store→load forwarding, store-queue drain and branch-squash windows —
+/// where the ooo backend's injected bug classes live — are exercised every
+/// few tests. Pure random words almost never form the back-to-back
+/// store/load pairs those paths need.
+class LsuCorpusFuzzer final : public InputGenerator {
+ public:
+  explicit LsuCorpusFuzzer(std::uint64_t seed) : gen_(lsu_config(), seed) {}
+  std::string name() const override { return "LsuCorpus"; }
+  std::vector<Program> next_batch(std::size_t n) override {
+    return gen_.dataset(n);
+  }
+  bool supports_snapshot() const override { return true; }
+  void save_state(ser::Writer& w) const override { gen_.save_state(w); }
+  bool restore_state(ser::Reader& r) override { return gen_.restore_state(r); }
+
+  static corpus::CorpusConfig lsu_config() {
+    corpus::CorpusConfig cc;
+    cc.w_lsu = 50.0;  // isolate the memory-ordering idiom
     return cc;
   }
 
@@ -343,5 +375,135 @@ TEST(CampaignDeterminism, MoreWorkersThanTestsIsSafe) {
   expect_identical(run_with_workers(cfg, 1), run_with_workers(cfg, 16));
 }
 
+// ---------------------------------------------------------------------------
+// Multi-DUT campaigns: every generated test runs on each backend of
+// cfg.duts against one golden model, and the per-DUT contributions fold in
+// DUT-list order — so the determinism contract extends unchanged: output is
+// bit-identical for any workers × procs topology, per DUT set.
+// ---------------------------------------------------------------------------
+
+/// The DUT-set axis of the matrix: {inorder}, {ooo}, {inorder, ooo}.
+std::vector<rtl::CoreConfig> dut_set(int which) {
+  switch (which) {
+    case 0: return {rtl::CoreConfig::rocket()};
+    case 1: return {rtl::CoreConfig::ooo()};
+    default: return {rtl::CoreConfig::rocket(), rtl::CoreConfig::ooo()};
+  }
+}
+
+TEST(MultiDutDeterminism, WorkerAndProcessMatrixIsBitIdentical) {
+  for (int s = 0; s < 3; ++s) {
+    SCOPED_TRACE("dut set " + std::to_string(s));
+    CampaignConfig cfg = small_campaign();
+    cfg.duts = dut_set(s);
+    const CampaignResult ref = run_with_workers(cfg, 1);
+    expect_identical(ref, run_with_workers(cfg, 4));
+    // Same campaign sharded across 2 worker processes (this binary re-execs
+    // itself in `worker` mode), at 1 and 4 threads per process.
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+      baselines::RandomFuzzer gen(11);
+      CampaignConfig c = cfg;
+      c.num_workers = workers;
+      c.dist.num_procs = 2;
+      expect_identical(ref, run_campaign(gen, c));
+    }
+  }
+}
+
+TEST(MultiDutDeterminism, MultiDutSupersetsSingleDutFindings) {
+  // The {inorder, ooo} campaign must surface strictly more raw mismatches
+  // than inorder alone (the ooo backend ships its own injected bug classes)
+  // and at least as many as each single-DUT campaign — otherwise the second
+  // backend's lockstep runs are dead plumbing. LSU-dense stimulus: the ooo
+  // bug classes sit in the forwarding/drain/squash paths.
+  const auto run_lsu = [](std::vector<rtl::CoreConfig> duts) {
+    LsuCorpusFuzzer gen(11);
+    CampaignConfig cfg = small_campaign();
+    cfg.duts = std::move(duts);
+    cfg.num_workers = 4;
+    return run_campaign(gen, cfg);
+  };
+  const CampaignResult both = run_lsu(dut_set(2));
+  const CampaignResult inorder = run_lsu(dut_set(0));
+  const CampaignResult ooo = run_lsu(dut_set(1));
+  EXPECT_GT(ooo.raw_mismatches, 0u);
+  EXPECT_GT(both.raw_mismatches, inorder.raw_mismatches);
+  EXPECT_GE(both.raw_mismatches, ooo.raw_mismatches);
+  EXPECT_GE(both.unique_mismatches, inorder.unique_mismatches);
+  EXPECT_GE(both.unique_mismatches, ooo.unique_mismatches);
+}
+
+std::map<std::string, std::string> corpus_bytes(const std::string& dir) {
+  std::map<std::string, std::string> out;
+  for (const auto& e : std::filesystem::directory_iterator(
+           std::filesystem::path(dir) / "corpus")) {
+    out[e.path().filename().string()] = read_bytes(e.path().string());
+  }
+  return out;
+}
+
+TEST(MultiDutDeterminism, PersistedStateIsTopologyInvariant) {
+  // The byte-level half of the contract: a multi-DUT campaign's coverage
+  // DB, mismatch signature DB, generator stream and corpus store must be
+  // byte-identical whichever workers × procs topology produced them.
+  const auto run_persisted = [&](const std::string& tag, std::size_t workers,
+                                 std::size_t procs) {
+    const std::string dir = ::testing::TempDir() + "/multidut_" + tag;
+    std::filesystem::remove_all(dir);
+    LsuCorpusFuzzer gen(11);  // LSU-dense: the ooo bug classes must fire
+    CampaignConfig c = small_campaign();
+    c.duts = dut_set(2);
+    c.num_workers = workers;
+    c.dist.num_procs = procs;
+    c.checkpoint_dir = dir;
+    run_campaign(gen, c);
+    return dir;
+  };
+  const std::string ref = run_persisted("w1p1", 1, 1);
+  CheckpointData a;
+  ASSERT_TRUE(load_checkpoint(ref, &a).ok());
+  const struct {
+    const char* tag;
+    std::size_t workers, procs;
+  } grid[] = {{"w4p1", 4, 1}, {"w1p2", 1, 2}};
+  for (const auto& g : grid) {
+    SCOPED_TRACE(g.tag);
+    const std::string dir = run_persisted(g.tag, g.workers, g.procs);
+    CheckpointData b;
+    ASSERT_TRUE(load_checkpoint(dir, &b).ok());
+    EXPECT_EQ(a.coverage_blob, b.coverage_blob) << "coverage DB bytes differ";
+    EXPECT_EQ(a.detector_blob, b.detector_blob)
+        << "mismatch signature DB bytes differ";
+    EXPECT_EQ(a.generator_blob, b.generator_blob)
+        << "generator stream state differs";
+    EXPECT_EQ(corpus_bytes(ref), corpus_bytes(dir))
+        << "corpus store bytes differ";
+    std::filesystem::remove_all(dir);
+  }
+
+  // The persisted signature DB must attribute the ooo backend's mismatches
+  // to DUT ordinal 1 — the ":dut1" suffix keeps the same root cause on
+  // different backends distinct campaign-wide.
+  mismatch::MismatchDetector det;
+  ser::Reader det_r(a.detector_blob);
+  ASSERT_TRUE(det.restore_state(det_r));
+  bool saw_dut1 = false;
+  for (const auto& [sig, count] : det.unique_signatures()) {
+    if (sig.find(":dut1") != std::string::npos) saw_dut1 = true;
+  }
+  EXPECT_TRUE(saw_dut1) << "no mismatch signature attributed to DUT 1";
+  std::filesystem::remove_all(ref);
+}
+
 }  // namespace
 }  // namespace chatfuzz::core
+
+int main(int argc, char** argv) {
+  // Worker re-exec: the coordinator spawns /proc/self/exe (this binary)
+  // with `worker <fd>`; serve leases instead of running the test suite.
+  if (const auto rc = chatfuzz::dist::maybe_worker_main(argc, argv)) {
+    return *rc;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -18,7 +18,9 @@
 #include "core/campaign.h"
 #include "core/chatfuzz.h"
 #include "core/checkpoint.h"
+#include "corpus/generator.h"
 #include "corpus/store.h"
+#include "dist/worker.h"
 
 namespace chatfuzz::core {
 namespace {
@@ -101,6 +103,35 @@ auto random_factory(std::uint64_t seed = 11) {
 
 auto thehuzz_factory(std::uint64_t seed = 11) {
   return [seed] { return std::make_unique<baselines::TheHuzzFuzzer>(seed); };
+}
+
+/// LSU-dense stimulus behind the InputGenerator interface: the w_lsu
+/// memory-ordering idiom dominates, so the ooo backend's injected bug
+/// classes (forwarding/drain/squash paths) actually fire — pure random
+/// words almost never form the back-to-back store/load pairs they need.
+class LsuCorpusFuzzer final : public InputGenerator {
+ public:
+  explicit LsuCorpusFuzzer(std::uint64_t seed) : gen_(lsu_config(), seed) {}
+  std::string name() const override { return "LsuCorpus"; }
+  std::vector<Program> next_batch(std::size_t n) override {
+    return gen_.dataset(n);
+  }
+  bool supports_snapshot() const override { return true; }
+  void save_state(ser::Writer& w) const override { gen_.save_state(w); }
+  bool restore_state(ser::Reader& r) override { return gen_.restore_state(r); }
+
+  static corpus::CorpusConfig lsu_config() {
+    corpus::CorpusConfig cc;
+    cc.w_lsu = 50.0;
+    return cc;
+  }
+
+ private:
+  corpus::CorpusGenerator gen_;
+};
+
+auto lsu_factory(std::uint64_t seed = 11) {
+  return [seed] { return std::make_unique<LsuCorpusFuzzer>(seed); };
 }
 
 TEST(ResumeDeterminism, RandomFuzzerMatchesUninterruptedAcrossWorkerCounts) {
@@ -358,5 +389,92 @@ TEST(ResumeDeterminism, ChatFuzzPolicyOptimizerAndRngSurviveResume) {
   expect_identical(reference, chunked);
 }
 
+TEST(ResumeDeterminism, MultiDutCampaignsResumeBitIdentically) {
+  // Multi-DUT campaigns cross the checkpoint too: the DUT list is part of
+  // the serialized campaign config (v4), so a resumed run rebuilds the same
+  // backend stacks — and must reproduce the uninterrupted result bit-exactly
+  // at every cut, for each DUT set and worker count.
+  const struct {
+    const char* tag;
+    std::vector<rtl::CoreConfig> duts;
+  } sets[] = {
+      {"ooo", {rtl::CoreConfig::ooo()}},
+      {"both", {rtl::CoreConfig::rocket(), rtl::CoreConfig::ooo()}},
+  };
+  for (const auto& s : sets) {
+    SCOPED_TRACE(s.tag);
+    CampaignConfig cfg = small_campaign();
+    cfg.duts = s.duts;
+    CampaignResult reference;
+    {
+      auto gen = lsu_factory()();
+      CampaignConfig ref_cfg = cfg;
+      ref_cfg.num_workers = 1;
+      reference = run_campaign(*gen, ref_cfg);
+      ASSERT_TRUE(reference.completed);
+      EXPECT_GT(reference.raw_mismatches, 0u);  // the ooo bugs must fire
+    }
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+      const CampaignResult chunked = run_chunked(
+          lsu_factory(), cfg,
+          fresh_dir(std::string("resume_multidut_") + s.tag + "_w" +
+                    std::to_string(workers)),
+          {32, 64}, workers);
+      ASSERT_TRUE(chunked.completed);
+      expect_identical(reference, chunked);
+    }
+  }
+}
+
+TEST(ResumeDeterminism, MultiDutResumeAcrossProcessTopologies) {
+  // The full topology matrix across one resume cut: a multi-DUT campaign
+  // checkpointed by a single-process run must resume bit-identically under
+  // 2 worker processes (this binary re-execs itself in `worker` mode), and
+  // vice versa — process topology is per-run, the DUT list is not.
+  CampaignConfig cfg = small_campaign();
+  cfg.duts = {rtl::CoreConfig::rocket(), rtl::CoreConfig::ooo()};
+  CampaignResult reference;
+  {
+    auto gen = random_factory()();
+    CampaignConfig ref_cfg = cfg;
+    ref_cfg.num_workers = 1;
+    reference = run_campaign(*gen, ref_cfg);
+    ASSERT_TRUE(reference.completed);
+  }
+  const struct {
+    const char* tag;
+    std::size_t procs_before, procs_after;
+  } grid[] = {{"p1_to_p2", 1, 2}, {"p2_to_p1", 2, 1}};
+  for (const auto& g : grid) {
+    SCOPED_TRACE(g.tag);
+    const std::string dir =
+        fresh_dir(std::string("resume_multidut_") + g.tag);
+    {
+      auto gen = random_factory()();
+      CampaignConfig c = cfg;
+      c.checkpoint_dir = dir;
+      c.num_workers = 1;
+      c.dist.num_procs = g.procs_before;
+      c.stop_after_tests = 40;
+      ASSERT_FALSE(run_campaign(*gen, c).completed);
+    }
+    auto gen = random_factory(999)();  // state comes from disk, not the seed
+    ResumeOptions opts;
+    opts.num_workers = 2;
+    opts.dist.num_procs = g.procs_after;
+    expect_identical(reference, resume_campaign(*gen, dir, opts));
+  }
+}
+
 }  // namespace
 }  // namespace chatfuzz::core
+
+int main(int argc, char** argv) {
+  // Worker re-exec: the coordinator spawns /proc/self/exe (this binary)
+  // with `worker <fd>`; serve leases instead of running the test suite.
+  if (const auto rc = chatfuzz::dist::maybe_worker_main(argc, argv)) {
+    return *rc;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -431,6 +431,85 @@ TEST(SnapshotRoundTrip, CheckpointBytesIgnoreDispatchEngineAndBbv) {
   EXPECT_EQ(with, run_cut("off", false, false));
 }
 
+TEST(SnapshotRoundTrip, CheckpointCampaignConfigRoundTripsDutList) {
+  // v4: the campaign config carries the multi-DUT list. The restored list
+  // must reproduce every backend field — the coverage blob's layout is the
+  // concatenation of these backends' instrumentation, so a silently
+  // defaulted field would restore against the wrong DB shape.
+  core::CampaignConfig cfg;
+  cfg.seed = 99;
+  cfg.num_tests = 7;
+  cfg.duts = {rtl::CoreConfig::rocket(), rtl::CoreConfig::ooo()};
+  // Perturb the ooo entry away from its preset so defaults cannot pass
+  // vacuously.
+  cfg.duts[1].rob_size = 48;
+  cfg.duts[1].phys_regs = 96;
+  cfg.duts[1].sq_size = 12;
+  cfg.duts[1].fetch_width = 1;
+  cfg.duts[1].bugs.ooo_early_store_drain = false;
+
+  ser::Writer w;
+  core::write_campaign_config(w, cfg);
+  core::CampaignConfig back;
+  ser::Reader r(w.buffer());
+  ASSERT_TRUE(core::read_campaign_config(r, back));
+  ASSERT_TRUE(r.done());
+  ASSERT_EQ(back.duts.size(), 2u);
+  EXPECT_FALSE(back.duts[0].out_of_order);
+  EXPECT_TRUE(back.duts[1].out_of_order);
+  EXPECT_EQ(back.duts[1].rob_size, 48u);
+  EXPECT_EQ(back.duts[1].phys_regs, 96u);
+  EXPECT_EQ(back.duts[1].sq_size, 12u);
+  EXPECT_EQ(back.duts[1].fetch_width, 1u);
+  EXPECT_TRUE(back.duts[1].bugs.ooo_broken_fwd);
+  EXPECT_FALSE(back.duts[1].bugs.ooo_early_store_drain);
+  EXPECT_TRUE(back.duts[1].bugs.ooo_missing_squash);
+
+  // Bit-exact: re-serializing the restored config reproduces the bytes.
+  ser::Writer w2;
+  core::write_campaign_config(w2, back);
+  EXPECT_EQ(w.buffer(), w2.buffer());
+
+  // Truncations fail cleanly — including cuts inside the DUT-count prefix
+  // and the per-backend records (the n_duts payload-bound guard).
+  for (std::size_t cut = 0; cut < w.buffer().size(); cut += 3) {
+    core::CampaignConfig other;
+    ser::Reader rc(w.buffer().substr(0, cut));
+    EXPECT_FALSE(core::read_campaign_config(rc, other)) << "prefix " << cut;
+  }
+}
+
+TEST(SnapshotRoundTrip, CheckpointRejectsPreMultiDutVersions) {
+  // A pre-v4 checkpoint has no DUT list and its coverage blob predates the
+  // per-DUT DB layout: load must refuse it with a version diagnostic, not
+  // misparse it against the new schema.
+  const std::string dir = temp_path("ckpt_oldver");
+  std::filesystem::remove_all(dir);
+  core::CheckpointData data;
+  data.cfg.duts = {rtl::CoreConfig::rocket(), rtl::CoreConfig::ooo()};
+  data.fuzzer = "Random";
+  data.tests_run = 40;
+  ASSERT_TRUE(core::save_checkpoint(dir, data).ok());
+  core::CheckpointData in;
+  ASSERT_TRUE(core::load_checkpoint(dir, &in).ok());
+  ASSERT_EQ(in.cfg.duts.size(), 2u);
+
+  // Re-wrap the same payload under the previous container version
+  // (0x43465A4B is the checkpoint magic; current version is 4).
+  std::string payload;
+  ASSERT_TRUE(
+      ser::read_file(core::checkpoint_path(dir), 0x43465A4B, 4, "ckpt",
+                     &payload)
+          .ok());
+  ASSERT_TRUE(
+      ser::write_file(core::checkpoint_path(dir), 0x43465A4B, 3, payload)
+          .ok());
+  core::CheckpointData stale;
+  const ser::Status s = core::load_checkpoint(dir, &stale);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("version"), std::string::npos) << s.message();
+}
+
 TEST(SnapshotRoundTrip, CorpusStoreTruncateRollsBackBytes) {
   const std::string dir = temp_path("store_truncate");
   std::filesystem::remove_all(dir);

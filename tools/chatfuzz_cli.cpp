@@ -41,6 +41,7 @@
 #include "riscv/disasm.h"
 #include "riscv/superblock.h"
 #include "rtlsim/core.h"
+#include "rtlsim/dut.h"
 #include "util/parse.h"
 
 using namespace chatfuzz;
@@ -62,10 +63,14 @@ constexpr CommandDoc kCommands[] = {
     {"run", "<corpus.txt> [n]", "co-simulate + mismatch report"},
     {"minimize", "<corpus.txt> <n>", "shrink a mismatching test"},
     {"fuzz",
-     "<fuzzer> <tests> [workers] [--procs <n>] [--checkpoint <dir>] "
-     "[--every <n>] [--bbv <file>] [--no-superblocks]",
+     "<fuzzer> <tests> [workers] [--dut <list>] [--procs <n>] "
+     "[--checkpoint <dir>] [--every <n>] [--bbv <file>] [--no-superblocks]",
      "campaign; fuzzer = random|thehuzz|difuzz|psofuzz|hypfuzz|chatfuzz;\n"
      "workers = simulation threads per process (default 1, 0 = all cores);\n"
+     "--dut runs every test on each listed backend (inorder|rocket|boom|\n"
+     "ooo, comma-separated; default inorder) against one golden model;\n"
+     "the first entry is primary (metrics/BBV/replay). Stored in\n"
+     "checkpoints; resume keeps the stored list.\n"
      "--procs fans the campaign out across <n> worker processes\n"
      "(coordinator folds, workers simulate). Results are bit-identical\n"
      "for any worker/process count.\n"
@@ -239,16 +244,40 @@ core::CheckpointHook progress_hook() {
   };
 }
 
+/// Parse a `--dut` comma list ("inorder,ooo") into CoreConfig presets.
+/// Returns false (with a message) on an unknown or empty entry.
+bool parse_dut_list(const char* list, std::vector<rtl::CoreConfig>* out) {
+  const std::string s(list);
+  for (std::size_t pos = 0; pos <= s.size();) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    const std::string name = s.substr(pos, end - pos);
+    rtl::CoreConfig c;
+    if (!rtl::dut_preset(name, c)) {
+      std::fprintf(stderr,
+                   "fuzz --dut: unknown backend \"%s\" "
+                   "(expected inorder|rocket|boom|ooo)\n",
+                   name.c_str());
+      return false;
+    }
+    out->push_back(c);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
 int cmd_fuzz(const char* which, std::size_t tests, std::size_t workers,
              std::size_t procs, const char* checkpoint_dir,
              std::size_t checkpoint_every, const char* bbv_path,
-             bool superblocks) {
+             bool superblocks, const char* dut_list) {
   core::CampaignConfig cfg;
   cfg.num_tests = tests;
   cfg.checkpoint_every = std::max<std::size_t>(tests / 10, 10);
   cfg.num_workers = workers;
   cfg.dist.num_procs = procs;
   cfg.superblocks = superblocks;
+  if (dut_list != nullptr && !parse_dut_list(dut_list, &cfg.duts)) return 2;
   if (bbv_path != nullptr) cfg.bbv_path = bbv_path;
   if (checkpoint_dir != nullptr) {
     cfg.checkpoint_dir = checkpoint_dir;
@@ -659,11 +688,14 @@ int main(int argc, char** argv) {
     const char* checkpoint_dir = nullptr;
     std::size_t checkpoint_every = 0;
     const char* bbv_path = nullptr;
+    const char* dut_list = nullptr;
     bool superblocks = true;
     bool bad = false;
     for (int i = 4; i < argc; ++i) {
       if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
         checkpoint_dir = argv[++i];
+      } else if (std::strcmp(argv[i], "--dut") == 0 && i + 1 < argc) {
+        dut_list = argv[++i];
       } else if (std::strcmp(argv[i], "--every") == 0 && i + 1 < argc) {
         const auto every = parse_count(argv[++i]);
         if (!every) bad = true;
@@ -687,7 +719,7 @@ int main(int argc, char** argv) {
       return usage();
     }
     return cmd_fuzz(argv[2], *tests, *workers, procs, checkpoint_dir,
-                    checkpoint_every, bbv_path, superblocks);
+                    checkpoint_every, bbv_path, superblocks, dut_list);
   }
   if (std::strcmp(cmd, "corpus") == 0 && argc >= 4) {
     if (std::strcmp(argv[2], "export") == 0 && argc >= 5) {
