@@ -13,6 +13,14 @@
 // defaults to 2 (the acceptance point: >= 1.7x at 2 processes). The binary
 // is its own worker: the coordinator re-execs it via /proc/self/exe in the
 // hidden `worker <fd>` mode.
+//
+// --faults switches to the degradation bench: the same dist campaign runs
+// once clean and once under a seeded hostile wire-fault schedule on the TCP
+// transport (drops, truncations, corruptions, forged CRCs, duplicates,
+// delays — workers redial, leases re-issue), and the line reports how much
+// throughput the churn costs ({"bench":"dist_fault", ...} for a
+// BENCH_dist_fault.json trajectory). Parity stays the hard gate: both runs
+// must be bit-identical to the single-process engine or the exit code is 1.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -71,10 +79,13 @@ int main(int argc, char** argv) {
   if (const auto rc = dist::maybe_worker_main(argc, argv)) return *rc;
 
   bool smoke = std::getenv("CHATFUZZ_SMOKE") != nullptr;
+  bool faults = false;
   std::size_t procs = 2;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults = true;
     } else {
       procs = static_cast<std::size_t>(std::strtoul(argv[i], nullptr, 10));
       if (procs < 2) procs = 2;
@@ -102,6 +113,47 @@ int main(int argc, char** argv) {
 
   core::CampaignConfig dist_cfg = cfg;
   dist_cfg.dist.num_procs = procs;
+
+  if (faults) {
+    // Degradation cell: clean TCP fleet vs the same fleet under a seeded
+    // hostile schedule. TCP (not socketpairs) so dropped workers redial and
+    // the churn is survivable by design rather than by budget.
+    dist_cfg.dist.listen = "127.0.0.1:0";
+    double sec_clean = 0.0, sec_fault = 0.0;
+    const core::CampaignResult clean = timed_run(dist_cfg, &sec_clean);
+
+    core::CampaignConfig fault_cfg = dist_cfg;
+    fault_cfg.dist.fault.seed = 0xD15FA017;
+    fault_cfg.dist.fault.max_faults = smoke ? 12 : 32;
+    fault_cfg.dist.fault.p_drop = 24;
+    fault_cfg.dist.fault.p_truncate = 12;
+    fault_cfg.dist.fault.p_corrupt = 24;
+    fault_cfg.dist.fault.p_wrong_crc = 12;
+    fault_cfg.dist.fault.p_duplicate = 24;
+    fault_cfg.dist.fault.p_delay = 48;
+    const core::CampaignResult hurt = timed_run(fault_cfg, &sec_fault);
+
+    const double tps_clean =
+        static_cast<double>(clean.tests_run) / sec_clean;
+    const double tps_fault = static_cast<double>(hurt.tests_run) / sec_fault;
+    const bool parity = identical(one, clean) && identical(one, hurt);
+    std::printf(
+        "{\"bench\":\"dist_fault\",\"smoke\":%s,"
+        "\"tests\":%zu,\"procs\":%zu,\"workers_per_proc\":1,"
+        "\"fault_seed\":%llu,\"fault_budget\":%u,"
+        "\"tests_per_sec_clean\":%.1f,\"wall_seconds_clean\":%.3f,"
+        "\"tests_per_sec_faulted\":%.1f,\"wall_seconds_faulted\":%.3f,"
+        "\"fault_throughput_ratio\":%.3f,"
+        "\"final_cov_percent\":%.4f,\"raw_mismatches\":%zu,"
+        "\"parity_ok\":%s}\n",
+        smoke ? "true" : "false", one.tests_run, procs,
+        static_cast<unsigned long long>(fault_cfg.dist.fault.seed),
+        fault_cfg.dist.fault.max_faults, tps_clean, sec_clean, tps_fault,
+        sec_fault, tps_fault / tps_clean, hurt.final_cov_percent,
+        hurt.raw_mismatches, parity ? "true" : "false");
+    return parity ? 0 : 1;
+  }
+
   const core::CampaignResult fanned = timed_run(dist_cfg, &sec_np);
 
   const double tps_1p = static_cast<double>(one.tests_run) / sec_1p;

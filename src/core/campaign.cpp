@@ -1,6 +1,7 @@
 #include "core/campaign.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -14,6 +15,20 @@
 #include "util/rng.h"
 
 namespace chatfuzz::core {
+
+namespace {
+
+/// Graceful-drain flag. std::atomic<bool> is lock-free on every supported
+/// target, so request_drain() is safe to call from a signal handler.
+std::atomic<bool> g_drain_requested{false};
+
+}  // namespace
+
+void request_drain() { g_drain_requested.store(true, std::memory_order_relaxed); }
+bool drain_requested() {
+  return g_drain_requested.load(std::memory_order_relaxed);
+}
+void clear_drain() { g_drain_requested.store(false, std::memory_order_relaxed); }
 
 namespace {
 
@@ -84,7 +99,9 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
                           CheckpointHook hook,
                           const CheckpointData* restored) {
   const bool use_suite = campaign_uses_metric_suite(cfg);
-  const bool use_dist = cfg.dist.num_procs > 1;
+  // A listen address alone selects the dist engine even with num_procs == 0:
+  // the coordinator then waits for external `worker --connect` dial-ins.
+  const bool use_dist = cfg.dist.num_procs > 1 || !cfg.dist.listen.empty();
   // Clamp to what can actually run concurrently: a batch never fans out
   // wider than its own size, so extra worker stacks would be dead weight
   // (and an absurd request — CLI garbage parsing to ULONG_MAX — would
@@ -389,7 +406,10 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
     // flight and no lease is outstanding — the one consistent cut point for
     // snapshots and pauses (every batch boundary is a lease boundary).
     const bool done = result.tests_run >= cfg.num_tests;
-    const bool pausing = !done && result.tests_run >= stop_at;
+    // A pause point is either the configured test budget or a graceful
+    // drain (SIGTERM): both stop at this boundary, after the checkpoint.
+    const bool pausing =
+        !done && (result.tests_run >= stop_at || drain_requested());
     if (persist &&
         (done || pausing ||
          (cfg.checkpoint_every_tests != 0 &&

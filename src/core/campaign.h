@@ -28,9 +28,35 @@ enum class GuidanceMetric { kCondition, kToggle, kStatement, kFsm, kCtrlReg };
 
 const char* guidance_name(GuidanceMetric m);
 
+/// Seeded wire-fault injection (consumed by dist::FaultyChannel): per-frame
+/// probabilities of hostile-network events, in 1/1024 units. `seed` = 0
+/// disables injection entirely; otherwise each peer channel draws its fault
+/// decisions from an Rng forked from the campaign seed and the channel's
+/// connection ordinal, so a given schedule is reproducible. The campaign
+/// result must be bit-identical to a clean run under ANY schedule — that is
+/// the property the `dist_fault` suite soaks. Tests/CI only.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Total injection budget across the whole campaign: once spent, every
+  /// channel behaves cleanly, so a schedule always terminates instead of
+  /// eroding the fleet forever.
+  std::uint32_t max_faults = 32;
+  std::uint32_t p_drop = 0;       // close the connection mid-frame
+  std::uint32_t p_truncate = 0;   // deliver a partial frame, then close
+  std::uint32_t p_corrupt = 0;    // flip one payload byte (CRC catches it)
+  std::uint32_t p_wrong_crc = 0;  // byzantine: intact payload, forged CRC
+  std::uint32_t p_duplicate = 0;  // deliver the frame twice
+  std::uint32_t p_delay = 0;      // hold the frame a few ms
+  std::uint32_t p_handshake = 0;  // fail the first exchange on a channel
+  bool any() const {
+    return seed != 0 && (p_drop | p_truncate | p_corrupt | p_wrong_crc |
+                         p_duplicate | p_delay | p_handshake) != 0;
+  }
+};
+
 /// Multi-process fan-out (src/dist/): the coordinator re-execs this binary
 /// in a hidden worker mode, hands out fixed-size test-index ranges of every
-/// batch as leases over a socketpair wire protocol, and folds the returned
+/// batch as leases over a framed wire protocol, and folds the returned
 /// per-test artifacts in canonical order — so the campaign output is
 /// bit-identical to the in-process engine for any process count, worker
 /// thread count and lease schedule. Scheduling only; never persisted in
@@ -56,7 +82,36 @@ struct DistConfig {
   /// immediately via EOF on its socket).
   std::uint32_t lease_timeout_ms = 0;
 
+  // ---- TCP transport (multi-host fleets) ---------------------------------
+  /// Non-empty "host:port" switches the coordinator from socketpairs to a
+  /// TCP listener: num_procs local children are spawned with
+  /// `worker --connect` pointing back at it (0 = none; wait for external
+  /// dial-ins only), and remote `chatfuzz worker --connect <addr> --token`
+  /// processes can join — or rejoin after a failure — at any time. Port 0
+  /// binds an ephemeral port (see port_file).
+  std::string listen;
+  /// Shared secret for the protocol-v4 handshake: a worker whose hello
+  /// carries a different token is rejected before any campaign state flows.
+  /// Empty = no authentication (trusted links, e.g. socketpairs).
+  std::string token;
+  /// When set, the coordinator writes the actually-bound "host:port\n" here
+  /// after listen() — how tests and scripts discover an ephemeral port.
+  std::string port_file;
+  /// Worker heartbeat period (0 = off). Heartbeats let the coordinator
+  /// tell a DEAD/unreachable peer (silence) from a HUNG one (heartbeats
+  /// flowing, leases never completing): the two are dropped through
+  /// different timeouts and counted separately.
+  std::uint32_t heartbeat_ms = 250;
+  /// Silence window before a peer is declared dead. 0 = 8 * heartbeat_ms.
+  std::uint32_t heartbeat_timeout_ms = 0;
+  /// TCP only: when every peer has been lost, wait this long for a
+  /// reconnect before failing the campaign (workers redial with capped
+  /// exponential backoff, so a transient total outage heals itself).
+  std::uint32_t reconnect_wait_ms = 10'000;
+
   // ---- fault injection (tests / CI only) ---------------------------------
+  /// Wire-level fault injection on every coordinator<->worker channel.
+  FaultPlan fault;
   /// SIGKILL worker `debug_kill_worker` once `debug_kill_after_results`
   /// lease results have been folded — the worker-kill determinism case.
   std::size_t debug_kill_worker = static_cast<std::size_t>(-1);
@@ -208,6 +263,19 @@ struct CampaignResult {
 
 /// Optional per-checkpoint observer (benches print progressive rows).
 using CheckpointHook = std::function<void(const CampaignPoint&)>;
+
+/// Cooperative graceful drain. request_drain() is async-signal-safe (the
+/// CLI's SIGTERM handler calls it); the engine notices at the next batch
+/// boundary — which is always a lease boundary — writes a checkpoint when
+/// persistence is on, tears the worker fleet down cleanly (no orphaned
+/// processes), and returns with result.completed = false, exactly like a
+/// stop_after_tests pause. A later resume continues bit-identically to an
+/// uninterrupted run. The flag is process-wide; clear_drain() resets it
+/// (run_campaign does NOT reset it on entry, so a drain requested between
+/// campaigns still stops the next one immediately after its first batch).
+void request_drain();
+bool drain_requested();
+void clear_drain();
 
 CampaignResult run_campaign(InputGenerator& gen, const CampaignConfig& cfg,
                             CheckpointHook hook = nullptr);

@@ -50,6 +50,66 @@ std::optional<std::vector<Program>> corpus_from_text(const std::string& text,
   return tests;
 }
 
+CorpusParse corpus_from_text_lenient(const std::string& text) {
+  CorpusParse out;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t block_no = 0;
+
+  Program block;
+  std::string block_text;   // the block's raw lines, for quarantine
+  std::string block_error;  // first malformed word, empty = block is good
+  bool have_block = false;
+
+  const auto finish_block = [&] {
+    if (!have_block) return;
+    if (block_error.empty()) {
+      out.tests.push_back(std::move(block));
+    } else {
+      ++out.bad_blocks;
+      out.errors.push_back(block_error);
+      out.quarantine += "# dropped: " + block_error + "\n";
+      out.quarantine += block_text;
+    }
+    block.clear();
+    block_text.clear();
+    block_error.clear();
+    have_block = false;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("==", 0) == 0) {
+      finish_block();
+      have_block = true;
+      ++block_no;
+      block_text = "== test " + std::to_string(block_no - 1) + "\n";
+      continue;
+    }
+    if (!have_block) {
+      // Headerless first block, same tolerance as the strict parser.
+      have_block = true;
+      ++block_no;
+      block_text = "== test " + std::to_string(block_no - 1) + "\n";
+    }
+    block_text += line;
+    block_text += '\n';
+    if (!block_error.empty()) continue;  // already poisoned; keep collecting
+    char* end = nullptr;
+    const unsigned long word = std::strtoul(line.c_str(), &end, 16);
+    if (end == line.c_str() || (*end != '\0' && *end != '\r')) {
+      block_error = "test " + std::to_string(block_no - 1) + ", line " +
+                    std::to_string(line_no) + ": bad hex word";
+    } else {
+      block.push_back(static_cast<std::uint32_t>(word));
+    }
+  }
+  finish_block();
+  return out;
+}
+
 bool save_corpus(const std::string& path, const std::vector<Program>& tests) {
   std::ofstream out(path);
   if (!out) return false;

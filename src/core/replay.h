@@ -27,6 +27,22 @@ std::string corpus_to_text(const std::vector<Program>& tests);
 std::optional<std::vector<Program>> corpus_from_text(const std::string& text,
                                                      std::string* error = nullptr);
 
+/// Lenient parse result: good blocks survive, bad blocks are skipped and
+/// reported instead of failing the whole file.
+struct CorpusParse {
+  std::vector<Program> tests;   // the well-formed blocks, in file order
+  std::size_t bad_blocks = 0;   // blocks dropped for malformed words
+  /// The dropped blocks verbatim, each preceded by a '# dropped: …'
+  /// comment — valid corpus-format text, written next to the import as a
+  /// quarantine file so nothing is silently discarded.
+  std::string quarantine;
+  std::vector<std::string> errors;  // one "test N, line M: why" per drop
+};
+
+/// Parse the text corpus format, skipping individually corrupt blocks: a
+/// bad hex word poisons only its own `== test` block, never the import.
+CorpusParse corpus_from_text_lenient(const std::string& text);
+
 /// Convenience file I/O (returns false on I/O error).
 bool save_corpus(const std::string& path, const std::vector<Program>& tests);
 std::optional<std::vector<Program>> load_corpus(const std::string& path);

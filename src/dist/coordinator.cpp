@@ -1,28 +1,30 @@
 #include "dist/coordinator.h"
 
-#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
-#include <spawn.h>
-#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
-extern char** environ;
+#include "util/log.h"
+#include "util/rng.h"
 
 namespace chatfuzz::dist {
 
 namespace {
 
-/// Handshake window: covers exec + library init of a fresh worker. Lease
-/// traffic uses cfg.dist.lease_timeout_ms instead (0 = forever).
+/// Handshake window for the initial fleet: covers exec + library init of a
+/// fresh worker. Lease traffic uses cfg.dist.lease_timeout_ms instead.
 constexpr int kHandshakeTimeoutMs = 60'000;
+/// Handshake window for peers that join mid-campaign: they are already
+/// running processes, so a peer that connects and then says nothing for
+/// this long is a port-scanner, not a worker.
+constexpr int kLateHandshakeTimeoutMs = 10'000;
 
 std::int64_t now_ms() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -45,91 +47,164 @@ std::size_t Coordinator::effective_lease_tests(
   return std::max<std::size_t>(1, (batch + 2 * procs - 1) / (2 * procs));
 }
 
+std::int64_t Coordinator::effective_heartbeat_timeout_ms() const {
+  if (cfg_.dist.heartbeat_ms == 0) return 0;
+  if (cfg_.dist.heartbeat_timeout_ms != 0) {
+    return cfg_.dist.heartbeat_timeout_ms;
+  }
+  return static_cast<std::int64_t>(cfg_.dist.heartbeat_ms) * 8;
+}
+
 Coordinator::Coordinator(const core::CampaignConfig& cfg, bool use_suite)
     : cfg_(cfg), use_suite_(use_suite),
       lease_tests_(effective_lease_tests(cfg)) {
-  // 64 is the poll-set bound below and far beyond any sane per-host
-  // process fan-out; an absurd request degrades to 64, not to OOM.
-  workers_.resize(std::min<std::size_t>(cfg.dist.num_procs, 64));
-  for (std::size_t i = 0; i < workers_.size(); ++i) spawn_worker(i);
+  if (cfg_.dist.fault.any()) {
+    // The fault schedule forks off the campaign seed: reproducible, and
+    // decorrelated from every generator stream.
+    injector_ =
+        std::make_shared<FaultInjector>(cfg_.dist.fault, Rng(cfg_.seed));
+  }
+  transport_ = make_transport(cfg_);
+  std::vector<Peer> peers = transport_->start();
+  for (Peer& p : peers) {
+    (void)add_peer(std::move(p), kHandshakeTimeoutMs);
+  }
+  if (live_workers() == 0 && transport_->listen_fd() >= 0) {
+    // Handshake faults can wipe the whole initial fleet; the workers are
+    // redialing right now, so give them the reconnect window before
+    // declaring the campaign dead on arrival.
+    await_reconnect(static_cast<int>(cfg_.dist.reconnect_wait_ms));
+  }
   if (live_workers() == 0) {
     throw std::runtime_error(
         "dist coordinator: no worker process survived the handshake");
   }
 }
 
-void Coordinator::spawn_worker(std::size_t index) {
-  WorkerProc& w = workers_[index];
-  int sv[2];
-  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
-    std::fprintf(stderr, "dist coordinator: socketpair failed: %s\n",
-                 std::strerror(errno));
-    return;
-  }
-  // The parent end must not leak into workers spawned later (a held-open
-  // copy would mask this worker's EOF-on-death signal).
-  ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+bool Coordinator::add_peer(Peer peer, int handshake_timeout_ms) {
+  if (!peer.chan || !peer.chan->valid()) return false;
+  std::unique_ptr<Channel> chan =
+      maybe_wrap_faulty(std::move(peer.chan), injector_,
+                        next_channel_ordinal_++);
 
-  const std::string exe = cfg_.dist.worker_exe.empty()
-                              ? std::string("/proc/self/exe")
-                              : cfg_.dist.worker_exe;
-  const std::string fd_arg = std::to_string(sv[1]);
-  char* const argv[] = {const_cast<char*>(exe.c_str()),
-                        const_cast<char*>("worker"),
-                        const_cast<char*>(fd_arg.c_str()), nullptr};
-  pid_t pid = -1;
-  const int rc =
-      ::posix_spawn(&pid, exe.c_str(), nullptr, nullptr, argv, environ);
-  ::close(sv[1]);
-  if (rc != 0) {
-    ::close(sv[0]);
-    std::fprintf(stderr, "dist coordinator: cannot spawn %s: %s\n",
-                 exe.c_str(), std::strerror(rc));
-    return;
-  }
-  w.pid = pid;
-  w.chan = FrameChannel(sv[0]);
-  w.alive = true;
-  ++stats_.workers_spawned;
-
-  // Handshake: hello (version check) then the campaign config.
   std::string payload;
-  ser::Status s = w.chan.recv_frame(&payload, kHandshakeTimeoutMs);
+  ser::Status s = chan->recv_frame(&payload, handshake_timeout_ms);
   HelloMsg hello;
   if (s.ok()) s = decode_hello(payload, &hello);
-  if (s.ok() && hello.protocol != kProtocolVersion) {
-    s = ser::Status::error("worker speaks protocol v" +
-                           std::to_string(hello.protocol) + ", expected v" +
-                           std::to_string(kProtocolVersion));
+  if (!s.ok()) {
+    LOG_WARN("dist: handshake failed reason=\"%s\"", s.message().c_str());
+    chan->close();
+    return false;
   }
-  if (s.ok()) {
-    ConfigMsg config;
-    config.cfg = cfg_;
-    config.use_suite = use_suite_;
-    config.worker_index = index;
-    config.max_lease_tests = lease_tests_;
-    config.debug_hang = index == cfg_.dist.debug_hang_worker;
-    config.superblocks = cfg_.superblocks;
-    config.collect_bbv = !cfg_.bbv_path.empty();
-    s = w.chan.send_frame(encode_config(config));
+
+  // Deliberate refusals get a kReject with the reason — the peer must stop
+  // redialing, an incompatible worker will never become compatible.
+  std::string reject;
+  if (hello.protocol != kProtocolVersion) {
+    reject = "protocol v" + std::to_string(hello.protocol) + ", expected v" +
+             std::to_string(kProtocolVersion);
+  } else if (hello.token != cfg_.dist.token) {
+    reject = "bad auth token";
+  } else if (hello.role != static_cast<std::uint8_t>(PeerRole::kWorker)) {
+    reject = "peer role is not 'worker' (federation endpoint is elsewhere)";
   }
-  if (!s.ok()) lose_worker(index, s.message(), nullptr);
+  if (!reject.empty()) {
+    LOG_WARN("dist: rejected peer pid=%llu reason=\"%s\"",
+             static_cast<unsigned long long>(hello.pid), reject.c_str());
+    (void)chan->send_frame(encode_reject(RejectMsg{reject}), 1'000);
+    chan->close();
+    ++stats_.peers_rejected;
+    return false;
+  }
+
+  const std::size_t index = workers_.size();
+  ConfigMsg config;
+  config.cfg = cfg_;
+  config.use_suite = use_suite_;
+  config.worker_index = index;
+  config.max_lease_tests = lease_tests_;
+  // The hang injection fires once: on the TCP transport a lost worker's
+  // replacement lands in a fresh slot, and re-arming there would hang the
+  // whole recovered fleet.
+  config.debug_hang =
+      index == cfg_.dist.debug_hang_worker && !hang_sent_;
+  if (config.debug_hang) hang_sent_ = true;
+  config.superblocks = cfg_.superblocks;
+  config.collect_bbv = !cfg_.bbv_path.empty();
+  config.config_crc = config_fingerprint(cfg_);
+  config.heartbeat_ms = cfg_.dist.heartbeat_ms;
+  s = chan->send_frame(encode_config(config), handshake_timeout_ms);
+  if (!s.ok()) {
+    LOG_WARN("dist: handshake failed reason=\"%s\"", s.message().c_str());
+    chan->close();
+    return false;
+  }
+
+  WorkerPeer w;
+  w.chan = std::move(chan);
+  w.child_pid = peer.child_pid;
+  w.hello_pid = static_cast<std::int64_t>(hello.pid);
+  w.alive = true;
+  w.last_progress_ms = now_ms();
+  w.last_heartbeat_ms = w.last_progress_ms;
+  workers_.push_back(std::move(w));
+  ++stats_.workers_spawned;
+  return true;
 }
 
-void Coordinator::lose_worker(std::size_t index, const std::string& why,
+void Coordinator::accept_pending() {
+  if (transport_->listen_fd() < 0) return;
+  while (auto p = transport_->accept_peer()) {
+    ++stats_.peers_accepted;
+    (void)add_peer(std::move(*p), kLateHandshakeTimeoutMs);
+  }
+}
+
+void Coordinator::await_reconnect(int window_ms) {
+  const int lfd = transport_->listen_fd();
+  if (lfd < 0) return;
+  LOG_WARN("dist: fleet empty, waiting up to %dms for a reconnect",
+           window_ms);
+  const std::int64_t deadline = now_ms() + window_ms;
+  while (live_workers() == 0) {
+    const std::int64_t left = deadline - now_ms();
+    if (left <= 0) return;
+    struct pollfd pfd = {lfd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(left));
+    if (pr < 0 && errno != EINTR) return;
+    if (pr > 0) accept_pending();
+  }
+}
+
+void Coordinator::lose_worker(std::size_t index, LossCause cause,
+                              const std::string& why,
                               std::vector<std::size_t>* requeue) {
-  WorkerProc& w = workers_[index];
+  WorkerPeer& w = workers_[index];
   if (!w.alive) return;
-  std::fprintf(stderr, "dist coordinator: losing worker %zu (pid %d): %s\n",
-               index, static_cast<int>(w.pid), why.c_str());
-  w.chan.close();
-  ::kill(w.pid, SIGKILL);
-  ::waitpid(w.pid, nullptr, 0);
+  switch (cause) {
+    case LossCause::kDisconnect: ++stats_.lost_disconnect; break;
+    case LossCause::kNoProgress: ++stats_.lost_no_progress; break;
+    case LossCause::kNoHeartbeat: ++stats_.lost_no_heartbeat; break;
+  }
+  // One structured line per dropped peer (S1 of the robustness contract):
+  // everything an operator needs to grep a fleet incident.
+  LOG_WARN("dist: dropped peer worker=%zu pid=%lld reason=\"%s\" "
+           "leases_requeued=%zu",
+           index, static_cast<long long>(w.hello_pid), why.c_str(),
+           w.leases.size());
+  w.chan->close();
+  if (w.child_pid >= 0 && transport_->listen_fd() < 0) {
+    // Socketpair children cannot reconnect — a lost one is dead weight,
+    // kill and reap it now. TCP children stay: a disconnected one redials
+    // on its own, and teardown reaps whatever is left.
+    ::kill(w.child_pid, SIGKILL);
+    ::waitpid(w.child_pid, nullptr, 0);
+  }
   w.alive = false;
   ++stats_.workers_lost;
   if (requeue != nullptr) {
-    for (std::size_t l : w.leases) {
-      requeue->push_back(l);
+    for (const WorkerPeer::Hold& h : w.leases) {
+      requeue->push_back(h.lease);
       ++stats_.leases_reissued;
     }
   }
@@ -138,8 +213,42 @@ void Coordinator::lose_worker(std::size_t index, const std::string& why,
 
 std::size_t Coordinator::live_workers() const {
   std::size_t n = 0;
-  for (const WorkerProc& w : workers_) n += w.alive ? 1 : 0;
+  for (const WorkerPeer& w : workers_) n += w.alive ? 1 : 0;
   return n;
+}
+
+std::size_t Coordinator::allowed_depth(std::size_t index) const {
+  return workers_[index].demoted ? 1 : 2;
+}
+
+void Coordinator::note_lease_done(WorkerPeer& w, std::int64_t now) {
+  const double sample =
+      static_cast<double>(std::max<std::int64_t>(0, now - w.leases.front().issued_ms));
+  w.ema_lease_ms =
+      w.ema_samples == 0 ? sample : 0.7 * w.ema_lease_ms + 0.3 * sample;
+  ++w.ema_samples;
+
+  // Slow-host demotion: a worker whose completion EMA exceeds twice the
+  // fleet median loses its double-buffer slot — it keeps simulating, it
+  // just never queues two leases. Scheduling only; results fold into
+  // canonical slots either way, so determinism is untouched. Sticky for
+  // the rest of the campaign (a host that degraded once is suspect).
+  std::vector<double> emas;
+  for (const WorkerPeer& p : workers_) {
+    if (p.alive && p.ema_samples >= 2) emas.push_back(p.ema_lease_ms);
+  }
+  if (emas.size() < 2) return;
+  std::sort(emas.begin(), emas.end());
+  const double median = emas[emas.size() / 2];
+  for (WorkerPeer& p : workers_) {
+    if (p.alive && !p.demoted && p.ema_samples >= 2 &&
+        p.ema_lease_ms > 2.0 * median) {
+      p.demoted = true;
+      ++stats_.slow_demotions;
+      LOG_WARN("dist: demoted slow peer pid=%lld ema=%.0fms median=%.0fms",
+               static_cast<long long>(p.hello_pid), p.ema_lease_ms, median);
+    }
+  }
 }
 
 void Coordinator::maybe_fire_kill_injection() {
@@ -149,8 +258,12 @@ void Coordinator::maybe_fire_kill_injection() {
   kill_fired_ = true;
   if (workers_[target].alive) {
     // SIGKILL only — detection and lease reassignment must flow through the
-    // same EOF path a real worker crash takes.
-    ::kill(workers_[target].pid, SIGKILL);
+    // same EOF path a real worker crash takes. TCP dial-ins carry no child
+    // pid, so fall back to the pid from the hello (test fleets are local).
+    const pid_t pid = workers_[target].child_pid >= 0
+                          ? workers_[target].child_pid
+                          : static_cast<pid_t>(workers_[target].hello_pid);
+    if (pid > 0) ::kill(pid, SIGKILL);
   }
 }
 
@@ -190,13 +303,19 @@ void Coordinator::run_batch(const std::vector<core::Program>& batch,
     on_ready(start, end - start);
   };
 
+  const std::int64_t hb_timeout = effective_heartbeat_timeout_ms();
+
   LeaseResultMsg result;
   while (remaining > 0) {
+    accept_pending();
     if (live_workers() == 0) {
-      throw std::runtime_error(
-          "dist coordinator: every worker process was lost; " +
-          std::to_string(remaining) + " lease(s) of the current batch "
-          "cannot be completed");
+      await_reconnect(static_cast<int>(cfg_.dist.reconnect_wait_ms));
+      if (live_workers() == 0) {
+        throw std::runtime_error(
+            "dist coordinator: every worker process was lost; " +
+            std::to_string(remaining) + " lease(s) of the current batch "
+            "cannot be completed");
+      }
     }
 
     // Assign queued leases to survivors with capacity, round-robin so the
@@ -204,8 +323,9 @@ void Coordinator::run_batch(const std::vector<core::Program>& batch,
     for (std::size_t depth = 0; depth < 2 && !queue.empty(); ++depth) {
       for (std::size_t wi = 0; wi < workers_.size() && !queue.empty();
            ++wi) {
-        WorkerProc& w = workers_[wi];
+        WorkerPeer& w = workers_[wi];
         if (!w.alive || w.leases.size() != depth) continue;
+        if (depth >= allowed_depth(wi)) continue;
         const std::size_t l = queue.back();
         const auto [start, count] = lease_range(l);
         LeaseMsg lease;
@@ -222,44 +342,63 @@ void Coordinator::run_batch(const std::vector<core::Program>& batch,
                 ? static_cast<int>(cfg_.dist.lease_timeout_ms)
                 : -1;
         const ser::Status s =
-            w.chan.send_frame(encode_lease(lease), send_timeout);
+            w.chan->send_frame(encode_lease(lease), send_timeout);
         if (!s.ok()) {
           // Dead on send: do NOT pop — the lease stays queued for a
           // survivor.
-          lose_worker(wi, s.message(), &queue);
+          lose_worker(wi, LossCause::kDisconnect, s.message(), &queue);
           continue;
         }
         queue.pop_back();
-        w.leases.push_back(l);
+        w.leases.push_back({l, now_ms()});
         w.last_progress_ms = now_ms();
         ++stats_.leases_issued;
       }
     }
     maybe_fire_kill_injection();
 
-    // Wait for any busy worker to deliver (or for a lease to time out).
-    struct pollfd pfds[64];
-    std::size_t worker_of_pfd[64];
+    // Wait for any worker to deliver (a result or a heartbeat), a lease or
+    // heartbeat deadline to pass, or a new peer to dial in.
+    struct pollfd pfds[66];
+    std::size_t worker_of_pfd[66];
     std::size_t n_pfds = 0;
+    const int lfd = transport_->listen_fd();
+    if (lfd >= 0) {
+      pfds[n_pfds] = {lfd, POLLIN, 0};
+      worker_of_pfd[n_pfds] = static_cast<std::size_t>(-1);
+      ++n_pfds;
+    }
     int timeout = -1;
+    const auto consider_deadline = [&](std::int64_t deadline) {
+      const std::int64_t left = deadline - now_ms();
+      const int left_ms = static_cast<int>(std::max<std::int64_t>(0, left));
+      timeout = timeout < 0 ? left_ms : std::min(timeout, left_ms);
+    };
+    std::size_t busy = 0;
     for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
-      const WorkerProc& w = workers_[wi];
-      if (!w.alive || w.leases.empty()) continue;
-      if (n_pfds < 64) {
-        pfds[n_pfds] = {w.chan.fd(), POLLIN, 0};
+      const WorkerPeer& w = workers_[wi];
+      if (!w.alive) continue;
+      // Every live peer is polled, busy or not: idle peers still heartbeat,
+      // disconnect, or get rejected frames to report.
+      if (n_pfds < 66) {
+        pfds[n_pfds] = {w.chan->poll_fd(), POLLIN, 0};
         worker_of_pfd[n_pfds] = wi;
         ++n_pfds;
       }
-      if (cfg_.dist.lease_timeout_ms != 0) {
-        const auto deadline =
-            w.last_progress_ms +
-            static_cast<std::int64_t>(cfg_.dist.lease_timeout_ms);
-        const auto left = deadline - now_ms();
-        const int left_ms = static_cast<int>(std::max<std::int64_t>(0, left));
-        timeout = timeout < 0 ? left_ms : std::min(timeout, left_ms);
+      if (!w.leases.empty()) {
+        ++busy;
+        if (cfg_.dist.lease_timeout_ms != 0) {
+          consider_deadline(
+              w.last_progress_ms +
+              static_cast<std::int64_t>(cfg_.dist.lease_timeout_ms));
+        }
+      }
+      if (hb_timeout > 0) {
+        consider_deadline(w.last_heartbeat_ms + hb_timeout);
       }
     }
-    if (n_pfds == 0) continue;  // survivors exist but all idle: reassign
+    if (busy == 0 && !queue.empty()) continue;  // survivors idle: reassign
+    if (n_pfds == 0) continue;
     const int pr = ::poll(pfds, static_cast<nfds_t>(n_pfds), timeout);
     if (pr < 0) {
       if (errno == EINTR) continue;
@@ -267,39 +406,66 @@ void Coordinator::run_batch(const std::vector<core::Program>& batch,
                                std::strerror(errno));
     }
 
-    // Expire hung leases (poll timed out, or delivery raced the deadline).
-    if (cfg_.dist.lease_timeout_ms != 0) {
-      const std::int64_t now = now_ms();
-      for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
-        WorkerProc& w = workers_[wi];
-        if (!w.alive || w.leases.empty()) continue;
-        const bool readable = [&] {
-          for (std::size_t p = 0; p < n_pfds; ++p) {
-            if (worker_of_pfd[p] == wi) return (pfds[p].revents & POLLIN) != 0;
-          }
-          return false;
-        }();
-        if (!readable &&
-            now - w.last_progress_ms >=
-                static_cast<std::int64_t>(cfg_.dist.lease_timeout_ms)) {
-          lose_worker(wi, "lease timed out (hung worker)", &queue);
-        }
+    const auto readable = [&](std::size_t wi) {
+      for (std::size_t p = 0; p < n_pfds; ++p) {
+        if (worker_of_pfd[p] == wi) return (pfds[p].revents & POLLIN) != 0;
+      }
+      return false;
+    };
+
+    // Expire dead and hung peers (poll timed out, or delivery raced the
+    // deadline). Heartbeat silence is checked first: "no heartbeat" means
+    // the host/link is GONE, while "heartbeats current but the lease timed
+    // out" means the worker is wedged — different failure, different
+    // counter, same recovery (drop + re-issue).
+    const std::int64_t now = now_ms();
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+      WorkerPeer& w = workers_[wi];
+      if (!w.alive || readable(wi)) continue;
+      if (hb_timeout > 0 && now - w.last_heartbeat_ms >= hb_timeout) {
+        lose_worker(wi, LossCause::kNoHeartbeat,
+                    "no heartbeat for " +
+                        std::to_string(now - w.last_heartbeat_ms) +
+                        "ms (dead or unreachable)",
+                    &queue);
+        continue;
+      }
+      if (!w.leases.empty() && cfg_.dist.lease_timeout_ms != 0 &&
+          now - w.last_progress_ms >=
+              static_cast<std::int64_t>(cfg_.dist.lease_timeout_ms)) {
+        lose_worker(wi, LossCause::kNoProgress,
+                    "lease timed out (worker hung: heartbeats current, "
+                    "no result)",
+                    &queue);
       }
     }
 
     for (std::size_t p = 0; p < n_pfds; ++p) {
       if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       const std::size_t wi = worker_of_pfd[p];
-      WorkerProc& w = workers_[wi];
+      if (wi == static_cast<std::size_t>(-1)) {
+        accept_pending();
+        continue;
+      }
+      WorkerPeer& w = workers_[wi];
       if (!w.alive) continue;  // lost above
       std::string payload;
-      ser::Status s = w.chan.recv_frame(
+      ser::Status s = w.chan->recv_frame(
           &payload, cfg_.dist.lease_timeout_ms != 0
                         ? static_cast<int>(cfg_.dist.lease_timeout_ms)
                         : -1);
+      if (s.ok() && peek_type(payload) == MsgType::kHeartbeat) {
+        HeartbeatMsg hb;
+        s = decode_heartbeat(payload, &hb);
+        if (s.ok()) {
+          w.last_heartbeat_ms = now_ms();
+          ++stats_.heartbeats_seen;
+          continue;
+        }
+      }
       if (s.ok()) s = decode_lease_result(payload, &result);
       if (s.ok() &&
-          (w.leases.empty() || result.lease_id != w.leases.front())) {
+          (w.leases.empty() || result.lease_id != w.leases.front().lease)) {
         // Leases are served FIFO over a FIFO socket, so anything but the
         // head is a protocol violation.
         s = ser::Status::error("worker answered lease " +
@@ -307,7 +473,7 @@ void Coordinator::run_batch(const std::vector<core::Program>& batch,
                                " out of order or unheld");
       }
       if (s.ok()) {
-        const std::size_t l = w.leases.front();
+        const std::size_t l = w.leases.front().lease;
         const auto [start, count] = lease_range(l);
         if (result.artifacts.size() != count) {
           s = ser::Status::error("lease result carries " +
@@ -322,13 +488,16 @@ void Coordinator::run_batch(const std::vector<core::Program>& batch,
           done[l] = 1;
           --remaining;
           ++results_folded_;
+          const std::int64_t tnow = now_ms();
+          note_lease_done(w, tnow);
           w.leases.erase(w.leases.begin());
-          w.last_progress_ms = now_ms();
+          w.last_progress_ms = tnow;
+          w.last_heartbeat_ms = tnow;
           announce_ready();
         }
       }
       if (!s.ok()) {
-        lose_worker(wi, s.message(), &queue);
+        lose_worker(wi, LossCause::kDisconnect, s.message(), &queue);
         continue;
       }
       maybe_fire_kill_injection();
@@ -337,36 +506,18 @@ void Coordinator::run_batch(const std::vector<core::Program>& batch,
 }
 
 Coordinator::~Coordinator() {
-  for (WorkerProc& w : workers_) {
+  for (WorkerPeer& w : workers_) {
     if (!w.alive) continue;
     // Best-effort clean shutdown; EOF from the closed channel doubles as
     // the signal for workers that miss the frame.
-    (void)w.chan.send_frame(encode_shutdown());
-    w.chan.close();
-  }
-  // One shared grace window across all children, then force the
-  // stragglers: teardown is bounded at ~5s total no matter how many
-  // workers wedged, and the destructor can never hang.
-  const std::int64_t deadline = now_ms() + 5'000;
-  bool pending = true;
-  while (pending && now_ms() < deadline) {
-    pending = false;
-    for (WorkerProc& w : workers_) {
-      if (!w.alive) continue;
-      if (::waitpid(w.pid, nullptr, WNOHANG) == w.pid) {
-        w.alive = false;
-      } else {
-        pending = true;
-      }
-    }
-    if (pending) ::usleep(100'000);
-  }
-  for (WorkerProc& w : workers_) {
-    if (!w.alive) continue;
-    ::kill(w.pid, SIGKILL);
-    ::waitpid(w.pid, nullptr, 0);
+    (void)w.chan->send_frame(encode_shutdown(), 1'000);
+    w.chan->close();
     w.alive = false;
   }
+  // One shared grace window across all spawned children, then force the
+  // stragglers: teardown is bounded no matter how many workers wedged, and
+  // the destructor can never hang. (External TCP peers just see EOF.)
+  transport_->reap_children(5'000);
 }
 
 }  // namespace chatfuzz::dist

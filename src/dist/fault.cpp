@@ -1,0 +1,201 @@
+#include "dist/fault.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace chatfuzz::dist {
+
+namespace {
+
+/// Hand-build the exact wire frame FrameChannel would send, so individual
+/// header/payload bytes can be mangled before they hit the fd.
+std::string raw_frame(const std::string& payload) {
+  ser::Writer w;
+  w.u32(kFrameMagic);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(ser::crc32(payload.data(), payload.size()));
+  std::string bytes = w.buffer();
+  bytes += payload;
+  return bytes;
+}
+
+void small_delay(Rng& rng) {
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(1 + static_cast<int>(rng.below(8))));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const core::FaultPlan& plan,
+                             const Rng& campaign_rng)
+    : plan_(plan),
+      base_(campaign_rng.fork(kFaultStream)),
+      budget_(plan.any() ? plan.max_faults : 0) {}
+
+Rng FaultInjector::channel_rng(std::uint64_t ordinal) const {
+  return base_.fork(ordinal);
+}
+
+std::optional<FaultInjector::Kind> FaultInjector::roll(Rng& channel_rng,
+                                                       bool first_frame) {
+  if (budget_ == 0) return std::nullopt;
+  // One draw in [0, 1024); the plan's probabilities stack as cumulative
+  // thresholds. Handshake faults only apply to a connection's first frame.
+  const std::uint32_t dice =
+      static_cast<std::uint32_t>(channel_rng.below(1024));
+  std::uint32_t acc = 0;
+  const auto hit = [&](std::uint32_t p, Kind k) -> std::optional<Kind> {
+    acc += p;
+    if (dice < acc) return k;
+    return std::nullopt;
+  };
+  std::optional<Kind> kind;
+  if (first_frame && !kind) kind = hit(plan_.p_handshake, Kind::kHandshake);
+  if (!kind) kind = hit(plan_.p_drop, Kind::kDrop);
+  if (!kind) kind = hit(plan_.p_truncate, Kind::kTruncate);
+  if (!kind) kind = hit(plan_.p_corrupt, Kind::kCorrupt);
+  if (!kind) kind = hit(plan_.p_wrong_crc, Kind::kWrongCrc);
+  if (!kind) kind = hit(plan_.p_duplicate, Kind::kDuplicate);
+  if (!kind) kind = hit(plan_.p_delay, Kind::kDelay);
+  if (kind) {
+    --budget_;
+    ++injected_;
+  }
+  return kind;
+}
+
+FaultyChannel::FaultyChannel(std::unique_ptr<Channel> inner,
+                             std::shared_ptr<FaultInjector> injector,
+                             std::uint64_t ordinal)
+    : inner_(std::move(inner)),
+      injector_(std::move(injector)),
+      rng_(injector_->channel_rng(ordinal)) {}
+
+ser::Status FaultyChannel::send_raw(const std::string& bytes) {
+  const int fd = inner_->poll_fd();
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, 10'000) > 0) continue;
+      return ser::Status::error("fault injection: raw send stalled");
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return ser::Status::error(std::string("fault injection: raw send: ") +
+                              std::strerror(errno));
+  }
+  return {};
+}
+
+ser::Status FaultyChannel::send_frame(const std::string& payload,
+                                      int timeout_ms) {
+  const auto kind = injector_->roll(rng_, first_frame_);
+  first_frame_ = false;
+  if (!kind) return inner_->send_frame(payload, timeout_ms);
+  switch (*kind) {
+    case FaultInjector::Kind::kDelay: {
+      small_delay(rng_);
+      return inner_->send_frame(payload, timeout_ms);
+    }
+    case FaultInjector::Kind::kDuplicate: {
+      const ser::Status s = inner_->send_frame(payload, timeout_ms);
+      if (s.ok()) (void)inner_->send_frame(payload, timeout_ms);
+      return s;
+    }
+    case FaultInjector::Kind::kCorrupt: {
+      std::string bytes = raw_frame(payload);
+      if (payload.empty()) {
+        bytes[8] ^= 0x5A;  // no payload byte to flip: mangle the CRC field
+      } else {
+        const std::size_t victim = 12 + rng_.below(payload.size());
+        bytes[victim] ^= 0x5A;
+      }
+      // The peer sees a CRC mismatch and drops the connection; from the
+      // sender's side the frame "went out fine".
+      return send_raw(bytes);
+    }
+    case FaultInjector::Kind::kWrongCrc: {
+      std::string bytes = raw_frame(payload);
+      bytes[8] ^= 0xA5;  // CRC field lives at header bytes [8, 12)
+      return send_raw(bytes);
+    }
+    case FaultInjector::Kind::kTruncate: {
+      std::string bytes = raw_frame(payload);
+      bytes.resize(std::max<std::size_t>(1, bytes.size() / 2));
+      (void)send_raw(bytes);
+      inner_->close();
+      return ser::Status::error(
+          "fault injection: outbound frame truncated, connection closed");
+    }
+    case FaultInjector::Kind::kHandshake:
+    case FaultInjector::Kind::kDrop: {
+      // Mid-frame teardown: leak the magic so the peer is provably inside
+      // a frame when the stream dies, then close.
+      (void)send_raw(raw_frame(payload).substr(0, 4));
+      inner_->close();
+      return ser::Status::error(
+          "fault injection: connection dropped mid-frame");
+    }
+  }
+  return inner_->send_frame(payload, timeout_ms);  // unreachable
+}
+
+ser::Status FaultyChannel::recv_frame(std::string* payload, int timeout_ms) {
+  if (dup_inbound_) {
+    *payload = std::move(*dup_inbound_);
+    dup_inbound_.reset();
+    return {};
+  }
+  const ser::Status inner = inner_->recv_frame(payload, timeout_ms);
+  if (!inner.ok()) return inner;
+  const auto kind = injector_->roll(rng_, first_frame_);
+  first_frame_ = false;
+  if (!kind) return inner;
+  switch (*kind) {
+    case FaultInjector::Kind::kDelay: {
+      small_delay(rng_);
+      return inner;
+    }
+    case FaultInjector::Kind::kDuplicate: {
+      dup_inbound_ = *payload;
+      return inner;
+    }
+    case FaultInjector::Kind::kCorrupt:
+    case FaultInjector::Kind::kWrongCrc: {
+      // The frame was consumed off the wire but arrives "mangled": exactly
+      // what a byzantine peer sending a wrong-CRC reply looks like. The
+      // stream itself stays intact; the caller decides to drop the peer.
+      return ser::Status::error(
+          "fault injection: inbound frame CRC mismatch (byzantine reply)");
+    }
+    case FaultInjector::Kind::kTruncate:
+    case FaultInjector::Kind::kHandshake:
+    case FaultInjector::Kind::kDrop: {
+      inner_->close();
+      return ser::Status::error(
+          "fault injection: peer vanished mid-frame on receive");
+    }
+  }
+  return inner;  // unreachable
+}
+
+std::unique_ptr<Channel> maybe_wrap_faulty(
+    std::unique_ptr<Channel> chan,
+    const std::shared_ptr<FaultInjector>& injector, std::uint64_t ordinal) {
+  if (!injector || !injector->plan().any()) return chan;
+  return std::make_unique<FaultyChannel>(std::move(chan), injector, ordinal);
+}
+
+}  // namespace chatfuzz::dist

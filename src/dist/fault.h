@@ -1,0 +1,107 @@
+// Seeded wire-fault injection for the dist_fault suite. FaultyChannel wraps
+// any dist::Channel on the COORDINATOR side and misbehaves like a hostile
+// network in both directions:
+//
+//   outbound  frames are delayed, duplicated, payload-corrupted, sent with
+//             a wrong CRC, truncated mid-frame, or the connection is torn
+//             down mid-send;
+//   inbound   the real frame is consumed off the wire but reported as
+//             corrupt or as a mid-frame disconnect — byte-for-byte
+//             equivalent to the peer (or the wire) having mangled it,
+//             which is how "byzantine wrong-CRC replies" are modeled
+//             without cross-process RNG coordination.
+//
+// Determinism: the schedule is a pure function of the campaign seed, the
+// connection ordinal and the frame sequence on that channel. The shared
+// max_faults budget bounds every schedule — once spent, all channels run
+// clean, so a fault campaign always terminates. The robustness claim under
+// test is that ANY such schedule leaves campaign results bit-identical to a
+// clean run: faults may move work between workers and force reconnects,
+// never change what is folded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/campaign.h"
+#include "dist/transport.h"
+#include "util/rng.h"
+
+namespace chatfuzz::dist {
+
+/// Rng stream id for the fault subsystem's fork off the campaign seed —
+/// distinct from every per-test / per-worker stream the generator uses.
+inline constexpr std::uint64_t kFaultStream = 0xFA17'0001;
+
+/// Shared across every channel of one campaign: holds the plan and the
+/// global fault budget. Channels roll their own dice (per-channel forked
+/// Rng) but draw from this common budget.
+class FaultInjector {
+ public:
+  enum class Kind {
+    kDrop,       // close the connection mid-frame
+    kTruncate,   // send a partial frame, then close
+    kCorrupt,    // flip a payload byte (CRC now wrong on arrival)
+    kWrongCrc,   // intact payload, deliberately wrong CRC field
+    kDuplicate,  // the same frame twice
+    kDelay,      // hold the frame for a few ms
+    kHandshake,  // fail the very first frame of a connection
+  };
+
+  FaultInjector(const core::FaultPlan& plan, const Rng& campaign_rng);
+
+  /// Roll the dice for one frame. nullopt = run clean (also whenever the
+  /// budget is spent). A hit decrements the shared budget.
+  std::optional<Kind> roll(Rng& channel_rng, bool first_frame);
+
+  const core::FaultPlan& plan() const { return plan_; }
+  std::size_t injected() const { return injected_; }
+  /// Per-channel dice stream for connection `ordinal` (stable across the
+  /// campaign: the Nth accepted connection always rolls the same dice).
+  Rng channel_rng(std::uint64_t ordinal) const;
+
+ private:
+  core::FaultPlan plan_;
+  Rng base_;  // campaign_rng.fork(kFaultStream); channel_rng forks off this
+  std::uint32_t budget_ = 0;
+  std::size_t injected_ = 0;
+};
+
+/// Channel wrapper that applies one injector's faults to a single peer
+/// connection. poll_fd() is the inner fd; note a duplicated INBOUND frame
+/// is stashed and delivered on the next recv_frame call, which a poll()er
+/// only reaches once the fd turns readable again (heartbeats make that
+/// prompt).
+class FaultyChannel final : public Channel {
+ public:
+  FaultyChannel(std::unique_ptr<Channel> inner,
+                std::shared_ptr<FaultInjector> injector, std::uint64_t ordinal);
+
+  bool valid() const override { return inner_->valid(); }
+  int poll_fd() const override { return inner_->poll_fd(); }
+  void close() override { inner_->close(); }
+  ser::Status send_frame(const std::string& payload,
+                         int timeout_ms = -1) override;
+  ser::Status recv_frame(std::string* payload, int timeout_ms = -1) override;
+
+ private:
+  /// Push raw bytes (a hand-built, possibly malformed frame) at the fd
+  /// underneath the inner channel — Channel itself only sends well-formed
+  /// frames.
+  ser::Status send_raw(const std::string& bytes);
+
+  std::unique_ptr<Channel> inner_;
+  std::shared_ptr<FaultInjector> injector_;
+  Rng rng_;
+  bool first_frame_ = true;
+  std::optional<std::string> dup_inbound_;
+};
+
+/// Wrap `chan` when the plan is armed; pass-through otherwise.
+std::unique_ptr<Channel> maybe_wrap_faulty(
+    std::unique_ptr<Channel> chan,
+    const std::shared_ptr<FaultInjector>& injector, std::uint64_t ordinal);
+
+}  // namespace chatfuzz::dist

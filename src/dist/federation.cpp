@@ -1,0 +1,540 @@
+#include "dist/federation.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "dist/fault.h"
+#include "dist/transport.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace chatfuzz::dist {
+
+namespace {
+
+/// Frame deadlines: a federation session is short-lived request/response
+/// traffic, so every wait is bounded — a stalled peer ends the session, it
+/// never wedges the hub.
+constexpr int kFedHandshakeTimeoutMs = 10'000;
+constexpr int kFedFrameTimeoutMs = 30'000;
+
+int fed_fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "chatfuzz federate: %s%s%s\n", what,
+               detail.empty() ? "" : ": ", detail.c_str());
+  return 1;
+}
+
+void merge_meta(corpus::StoreEntryMeta& into,
+                const corpus::StoreEntryMeta& from) {
+  // Commutative + associative + idempotent on every field, so the merged
+  // result is independent of delta arrival order and of re-pushes.
+  into.test_index = std::min(into.test_index, from.test_index);
+  into.standalone_bins = std::max(into.standalone_bins, from.standalone_bins);
+  into.incremental_bins =
+      std::max(into.incremental_bins, from.incremental_bins);
+  into.mismatches = std::max(into.mismatches, from.mismatches);
+  into.ctrl_new = std::max(into.ctrl_new, from.ctrl_new);
+  into.phase_hash = std::max(into.phase_hash, from.phase_hash);
+  std::vector<std::uint32_t> bins = into.new_bins;
+  bins.insert(bins.end(), from.new_bins.begin(), from.new_bins.end());
+  std::sort(bins.begin(), bins.end());
+  bins.erase(std::unique(bins.begin(), bins.end()), bins.end());
+  into.new_bins = std::move(bins);
+}
+
+bool meta_equal(const corpus::StoreEntryMeta& a,
+                const corpus::StoreEntryMeta& b) {
+  return a.test_index == b.test_index &&
+         a.standalone_bins == b.standalone_bins &&
+         a.incremental_bins == b.incremental_bins &&
+         a.mismatches == b.mismatches && a.ctrl_new == b.ctrl_new &&
+         a.phase_hash == b.phase_hash && a.new_bins == b.new_bins;
+}
+
+}  // namespace
+
+std::uint64_t fed_content_hash(const core::Program& program) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
+  for (std::uint32_t word : program) {
+    for (int b = 0; b < 4; ++b) {
+      h ^= (word >> (8 * b)) & 0xFF;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+// ---- FedMerger ------------------------------------------------------------
+
+ser::Status FedMerger::open(const std::string& dir) {
+  dir_ = dir;
+  items_.clear();
+  dirty_ = false;
+  corpus::CorpusStore store;
+  ser::Status s = store.open(dir);
+  if (!s.ok()) return s;
+  items_.reserve(store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    Item item;
+    s = store.read_program(i, &item.prog);
+    if (!s.ok()) return s;
+    item.meta = store.meta(i);
+    item.hash = fed_content_hash(item.prog);
+    items_.push_back(std::move(item));
+  }
+  return {};
+}
+
+FedAckStatus FedMerger::merge(const core::Program& program,
+                              const corpus::StoreEntryMeta& meta) {
+  if (program.empty()) return FedAckStatus::kCorrupt;
+  const std::uint64_t hash = fed_content_hash(program);
+  for (Item& item : items_) {
+    if (item.hash != hash || item.prog != program) continue;
+    const corpus::StoreEntryMeta before = item.meta;
+    merge_meta(item.meta, meta);
+    if (!meta_equal(before, item.meta)) dirty_ = true;
+    return FedAckStatus::kDuplicate;
+  }
+  Item item;
+  item.hash = hash;
+  item.prog = program;
+  item.meta = meta;
+  items_.push_back(std::move(item));
+  dirty_ = true;
+  return FedAckStatus::kMerged;
+}
+
+std::string FedMerger::quarantine(const std::string& payload) {
+  const std::string qdir = dir_ + "/quarantine";
+  ::mkdir(qdir.c_str(), 0755);
+  // First free slot at or after the running counter, so restarts never
+  // overwrite earlier evidence.
+  for (int attempt = 0; attempt < 10'000; ++attempt) {
+    char name[32];
+    std::snprintf(name, sizeof name, "/delta-%04zu.bin", quarantined_);
+    const std::string path = qdir + name;
+    ++quarantined_;
+    if (::access(path.c_str(), F_OK) == 0) continue;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return {};
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    return path;
+  }
+  return {};
+}
+
+ser::Status FedMerger::flush() {
+  if (!dirty_) return {};
+  // Canonical order: content hash, program bytes as tiebreak. The store's
+  // bytes become a pure function of the merged content.
+  std::sort(items_.begin(), items_.end(), [](const Item& a, const Item& b) {
+    if (a.hash != b.hash) return a.hash < b.hash;
+    return a.prog < b.prog;
+  });
+  corpus::CorpusStore store;
+  ser::Status s = store.open(dir_);
+  if (!s.ok()) return s;
+  s = store.truncate(0);
+  if (!s.ok()) return s;
+  for (const Item& item : items_) {
+    s = store.append(item.prog, item.meta);
+    if (!s.ok()) return s;
+  }
+  s = store.flush();
+  if (!s.ok()) return s;
+  dirty_ = false;
+  return {};
+}
+
+// ---- hub (serve) ----------------------------------------------------------
+
+namespace {
+
+/// One accepted hub session: handshake, then push or pull until done.
+/// Failures just end the session — merged state survives (and flush runs),
+/// so an interrupted push resumes idempotently on the peer's redial.
+void serve_session(Channel& chan, FedMerger& merger,
+                   const FederateOptions& opts, FedStats* stats) {
+  std::string payload;
+  ser::Status s = chan.recv_frame(&payload, kFedHandshakeTimeoutMs);
+  HelloMsg hello;
+  if (s.ok()) s = decode_hello(payload, &hello);
+  if (!s.ok()) {
+    LOG_WARN("federate: handshake failed reason=\"%s\"",
+             s.message().c_str());
+    return;
+  }
+  std::string reject;
+  if (hello.protocol != kProtocolVersion) {
+    reject = "protocol v" + std::to_string(hello.protocol) + ", expected v" +
+             std::to_string(kProtocolVersion);
+  } else if (hello.token != opts.token) {
+    reject = "bad auth token";
+  } else if (hello.role != static_cast<std::uint8_t>(PeerRole::kFederate)) {
+    reject = "peer role is not 'federate' (campaign workers dial the "
+             "coordinator, not the corpus hub)";
+  }
+  if (!reject.empty()) {
+    LOG_WARN("federate: rejected peer pid=%llu reason=\"%s\"",
+             static_cast<unsigned long long>(hello.pid), reject.c_str());
+    (void)chan.send_frame(encode_reject(RejectMsg{reject}), 1'000);
+    return;
+  }
+  FedAckMsg ok_ack;
+  ok_ack.detail = "hello";
+  if (!chan.send_frame(encode_fed_ack(ok_ack), kFedFrameTimeoutMs).ok()) {
+    return;
+  }
+
+  s = chan.recv_frame(&payload, kFedHandshakeTimeoutMs);
+  FedRequestMsg request;
+  if (s.ok()) s = decode_fed_request(payload, &request);
+  if (!s.ok()) {
+    LOG_WARN("federate: bad request reason=\"%s\"", s.message().c_str());
+    return;
+  }
+
+  if (request.mode == static_cast<std::uint8_t>(FedMode::kPush)) {
+    for (;;) {
+      s = chan.recv_frame(&payload, kFedFrameTimeoutMs);
+      if (!s.ok()) {
+        LOG_WARN("federate: push session ended early reason=\"%s\"",
+                 s.message().c_str());
+        return;
+      }
+      const MsgType type = peek_type(payload);
+      if (type == MsgType::kFedDone) {
+        FedDoneMsg done;
+        done.count = merger.size();
+        (void)chan.send_frame(encode_fed_done(done), kFedFrameTimeoutMs);
+        return;
+      }
+      FedAckMsg ack;
+      if (type != MsgType::kFedDelta) {
+        ack.status = static_cast<std::uint8_t>(FedAckStatus::kCorrupt);
+        ack.detail = "expected a delta frame";
+      } else {
+        FedDeltaMsg delta;
+        s = decode_fed_delta(payload, &delta);
+        if (!s.ok()) {
+          // Quarantine-not-abort: park the bytes, tell the peer, keep the
+          // session (and every other peer's session) going.
+          const std::string where = merger.quarantine(payload);
+          if (stats != nullptr) ++stats->corrupt;
+          LOG_WARN("federate: quarantined corrupt delta to %s "
+                   "reason=\"%s\"",
+                   where.empty() ? "(unwritable)" : where.c_str(),
+                   s.message().c_str());
+          ack.status = static_cast<std::uint8_t>(FedAckStatus::kCorrupt);
+          ack.detail = s.message();
+        } else {
+          const FedAckStatus st = merger.merge(delta.program, delta.meta);
+          ack.status = static_cast<std::uint8_t>(st);
+          if (stats != nullptr) {
+            if (st == FedAckStatus::kMerged) ++stats->merged;
+            if (st == FedAckStatus::kDuplicate) ++stats->duplicates;
+            if (st == FedAckStatus::kCorrupt) ++stats->corrupt;
+          }
+        }
+      }
+      if (!chan.send_frame(encode_fed_ack(ack), kFedFrameTimeoutMs).ok()) {
+        return;
+      }
+    }
+  }
+
+  // Pull: stream every entry, each acked (the ack is flow control and lets
+  // the client quarantine bad arrivals without killing the stream).
+  for (std::size_t i = 0; i < merger.size(); ++i) {
+    FedDeltaMsg delta;
+    delta.program = merger.program(i);
+    delta.meta = merger.meta(i);
+    if (!chan.send_frame(encode_fed_delta(delta), kFedFrameTimeoutMs).ok()) {
+      return;
+    }
+    if (stats != nullptr) ++stats->streamed;
+    s = chan.recv_frame(&payload, kFedFrameTimeoutMs);
+    FedAckMsg ack;
+    if (s.ok()) s = decode_fed_ack(payload, &ack);
+    if (!s.ok()) {
+      LOG_WARN("federate: pull session ended early reason=\"%s\"",
+               s.message().c_str());
+      return;
+    }
+  }
+  FedDoneMsg done;
+  done.count = merger.size();
+  (void)chan.send_frame(encode_fed_done(done), kFedFrameTimeoutMs);
+}
+
+}  // namespace
+
+int federate_serve(const FederateOptions& opts,
+                   const std::atomic<bool>* stop, std::uint16_t* ready_port,
+                   FedStats* stats) {
+  const auto hp = parse_hostport(opts.listen);
+  if (!hp) {
+    return fed_fail("bad --listen address (want host:port)", opts.listen);
+  }
+  std::string err;
+  const int lfd = tcp_listen(*hp, &err);
+  if (lfd < 0) return fed_fail("cannot listen", err);
+  const std::uint16_t port = hp->port != 0 ? hp->port : bound_port(lfd);
+  if (!opts.port_file.empty()) {
+    const std::string host =
+        (hp->host.empty() || hp->host == "0.0.0.0") ? "127.0.0.1" : hp->host;
+    std::ofstream out(opts.port_file, std::ios::trunc);
+    out << host << ":" << port << "\n";
+  }
+  FedMerger merger;
+  ser::Status s = merger.open(opts.dir);
+  if (!s.ok()) {
+    ::close(lfd);
+    return fed_fail("cannot open corpus store", s.message());
+  }
+  if (ready_port != nullptr) *ready_port = port;
+  LOG_INFO("federate: serving %s on port %u", opts.dir.c_str(),
+           static_cast<unsigned>(port));
+
+  std::size_t sessions = 0;
+  int rc = 0;
+  while (stop == nullptr || !stop->load(std::memory_order_relaxed)) {
+    struct pollfd pfd = {lfd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr < 0 && errno != EINTR) {
+      rc = fed_fail("poll", std::strerror(errno));
+      break;
+    }
+    if (pr <= 0) continue;
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) continue;
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) & ~O_NONBLOCK);
+    {
+      SocketChannel chan(fd);
+      serve_session(chan, merger, opts, stats);
+      chan.close();
+    }
+    // Flush after EVERY session (not just clean ones): a push that died
+    // mid-stream still merged entries, and the peer's redial counts on
+    // them being duplicates, not repeats.
+    s = merger.flush();
+    if (!s.ok()) {
+      rc = fed_fail("cannot flush corpus store", s.message());
+      break;
+    }
+    ++sessions;
+    if (stats != nullptr) stats->sessions = sessions;
+    if (opts.max_sessions != 0 && sessions >= opts.max_sessions) break;
+  }
+  ::close(lfd);
+  return rc;
+}
+
+// ---- clients (push / pull) ------------------------------------------------
+
+namespace {
+
+enum class FedClientOutcome { kDone, kRejected, kTransient };
+
+/// Dial + hello + ack. Returns the ready channel or null with the outcome.
+std::unique_ptr<Channel> fed_dial(const FederateOptions& opts,
+                                  const std::shared_ptr<FaultInjector>& inj,
+                                  std::uint64_t attempt,
+                                  FedClientOutcome* outcome) {
+  *outcome = FedClientOutcome::kTransient;
+  const auto hp = parse_hostport(opts.connect);
+  if (!hp) {
+    fed_fail("bad --connect address (want host:port)", opts.connect);
+    *outcome = FedClientOutcome::kRejected;
+    return nullptr;
+  }
+  std::string err;
+  const int fd = tcp_connect(*hp, 5'000, &err);
+  if (fd < 0) {
+    fed_fail("cannot reach hub", err);
+    return nullptr;
+  }
+  std::unique_ptr<Channel> chan = std::make_unique<SocketChannel>(fd);
+  // Client-side fault injection (tests): each attempt gets its own dice
+  // stream off the shared budget, like a reconnecting campaign channel.
+  chan = maybe_wrap_faulty(std::move(chan), inj, attempt);
+
+  HelloMsg hello;
+  hello.pid = static_cast<std::uint64_t>(::getpid());
+  hello.role = static_cast<std::uint8_t>(PeerRole::kFederate);
+  hello.token = opts.token;
+  ser::Status s = chan->send_frame(encode_hello(hello), kFedFrameTimeoutMs);
+  std::string payload;
+  if (s.ok()) s = chan->recv_frame(&payload, kFedHandshakeTimeoutMs);
+  if (!s.ok()) {
+    fed_fail("hub handshake failed", s.message());
+    chan->close();
+    return nullptr;
+  }
+  if (peek_type(payload) == MsgType::kReject) {
+    RejectMsg reject;
+    fed_fail("rejected by hub",
+             decode_reject(payload, &reject).ok() ? reject.reason : "");
+    chan->close();
+    *outcome = FedClientOutcome::kRejected;
+    return nullptr;
+  }
+  FedAckMsg ack;
+  if (!decode_fed_ack(payload, &ack).ok()) {
+    fed_fail("unexpected hub greeting", "");
+    chan->close();
+    return nullptr;
+  }
+  *outcome = FedClientOutcome::kDone;
+  return chan;
+}
+
+int fed_client_loop(
+    const FederateOptions& opts,
+    const std::function<FedClientOutcome(Channel&)>& session) {
+  std::shared_ptr<FaultInjector> inj;
+  if (opts.fault.any()) {
+    inj = std::make_shared<FaultInjector>(opts.fault, Rng(opts.fault.seed));
+  }
+  int failures = 0;
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    FedClientOutcome outcome = FedClientOutcome::kTransient;
+    std::unique_ptr<Channel> chan = fed_dial(opts, inj, attempt, &outcome);
+    if (chan) {
+      outcome = session(*chan);
+      chan->close();
+    }
+    if (outcome == FedClientOutcome::kDone) return 0;
+    if (outcome == FedClientOutcome::kRejected) return 2;
+    if (++failures > opts.max_retries) {
+      return fed_fail("giving up after repeated failures",
+                      std::to_string(failures - 1) + " consecutive");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min(100 * failures, 1'000)));
+  }
+}
+
+}  // namespace
+
+int federate_push(const FederateOptions& opts, FedStats* stats) {
+  FedMerger local;
+  ser::Status s = local.open(opts.dir);
+  if (!s.ok()) return fed_fail("cannot open corpus store", s.message());
+
+  return fed_client_loop(opts, [&](Channel& chan) {
+    // Restart-from-0 on every attempt: the hub acks re-sent entries as
+    // duplicates, so a disconnect costs a retry, never a double-merge.
+    if (stats != nullptr) *stats = FedStats{};
+    FedRequestMsg request;
+    request.mode = static_cast<std::uint8_t>(FedMode::kPush);
+    if (!chan.send_frame(encode_fed_request(request), kFedFrameTimeoutMs)
+             .ok()) {
+      return FedClientOutcome::kTransient;
+    }
+    std::string payload;
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      FedDeltaMsg delta;
+      delta.program = local.program(i);
+      delta.meta = local.meta(i);
+      ser::Status ds =
+          chan.send_frame(encode_fed_delta(delta), kFedFrameTimeoutMs);
+      if (ds.ok()) ds = chan.recv_frame(&payload, kFedFrameTimeoutMs);
+      FedAckMsg ack;
+      if (ds.ok()) ds = decode_fed_ack(payload, &ack);
+      if (!ds.ok()) {
+        fed_fail("push interrupted", ds.message());
+        return FedClientOutcome::kTransient;
+      }
+      if (stats != nullptr) {
+        ++stats->streamed;
+        const auto st = static_cast<FedAckStatus>(ack.status);
+        if (st == FedAckStatus::kMerged) ++stats->merged;
+        if (st == FedAckStatus::kDuplicate) ++stats->duplicates;
+        if (st == FedAckStatus::kCorrupt) ++stats->corrupt;
+      }
+    }
+    FedDoneMsg done;
+    done.count = local.size();
+    ser::Status ds =
+        chan.send_frame(encode_fed_done(done), kFedFrameTimeoutMs);
+    if (ds.ok()) ds = chan.recv_frame(&payload, kFedFrameTimeoutMs);
+    FedDoneMsg hub_done;
+    if (ds.ok()) ds = decode_fed_done(payload, &hub_done);
+    if (!ds.ok()) {
+      fed_fail("push final ack lost", ds.message());
+      return FedClientOutcome::kTransient;
+    }
+    return FedClientOutcome::kDone;
+  });
+}
+
+int federate_pull(const FederateOptions& opts, FedStats* stats) {
+  FedMerger local;
+  ser::Status s = local.open(opts.dir);
+  if (!s.ok()) return fed_fail("cannot open corpus store", s.message());
+
+  const int rc = fed_client_loop(opts, [&](Channel& chan) {
+    if (stats != nullptr) *stats = FedStats{};
+    FedRequestMsg request;
+    request.mode = static_cast<std::uint8_t>(FedMode::kPull);
+    if (!chan.send_frame(encode_fed_request(request), kFedFrameTimeoutMs)
+             .ok()) {
+      return FedClientOutcome::kTransient;
+    }
+    std::string payload;
+    for (;;) {
+      ser::Status ds = chan.recv_frame(&payload, kFedFrameTimeoutMs);
+      if (!ds.ok()) {
+        fed_fail("pull interrupted", ds.message());
+        return FedClientOutcome::kTransient;
+      }
+      if (peek_type(payload) == MsgType::kFedDone) {
+        return FedClientOutcome::kDone;
+      }
+      FedDeltaMsg delta;
+      ds = decode_fed_delta(payload, &delta);
+      FedAckMsg ack;
+      if (!ds.ok()) {
+        const std::string where = local.quarantine(payload);
+        if (stats != nullptr) ++stats->corrupt;
+        LOG_WARN("federate: quarantined corrupt delta to %s reason=\"%s\"",
+                 where.empty() ? "(unwritable)" : where.c_str(),
+                 ds.message().c_str());
+        ack.status = static_cast<std::uint8_t>(FedAckStatus::kCorrupt);
+      } else {
+        const FedAckStatus st = local.merge(delta.program, delta.meta);
+        ack.status = static_cast<std::uint8_t>(st);
+        if (stats != nullptr) {
+          if (st == FedAckStatus::kMerged) ++stats->merged;
+          if (st == FedAckStatus::kDuplicate) ++stats->duplicates;
+        }
+      }
+      if (!chan.send_frame(encode_fed_ack(ack), kFedFrameTimeoutMs).ok()) {
+        return FedClientOutcome::kTransient;
+      }
+    }
+  });
+  if (rc != 0) return rc;
+  s = local.flush();
+  if (!s.ok()) return fed_fail("cannot flush corpus store", s.message());
+  return 0;
+}
+
+}  // namespace chatfuzz::dist

@@ -1,0 +1,124 @@
+// Corpus federation over the dist transport: fleets exchange
+// coverage-attributed corpus deltas (program + StoreEntryMeta) so hosts
+// that fuzz independently can pool the tests that earned their keep.
+//
+//   chatfuzz federate serve <dir> --listen host:port   the hub
+//   chatfuzz federate push  <dir> --connect host:port  send local entries
+//   chatfuzz federate pull  <dir> --connect host:port  fetch hub entries
+//
+// Degradation-safe by construction:
+//   - merges are ORDER-CANONICALIZED: the hub's store is rewritten sorted
+//     by (content hash, program bytes) with commutative/idempotent metadata
+//     merging, so the final store bytes are independent of who pushed
+//     first, how pushes interleaved, or how often a push was retried;
+//   - a re-push after a disconnect restarts from entry 0 and is IDEMPOTENT:
+//     already-merged entries ack as kDuplicate, nothing double-counts;
+//   - a CORRUPT delta is quarantined (<dir>/quarantine/delta-NNNN.bin) and
+//     acked as kCorrupt — the session continues, one bad peer cannot abort
+//     a hub;
+//   - the same v4 handshake as campaigns: auth token, version gate, and a
+//     kReject that tells an incompatible peer to stop redialing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/generator.h"
+#include "corpus/store.h"
+#include "dist/protocol.h"
+
+namespace chatfuzz::dist {
+
+struct FederateOptions {
+  std::string dir;      // corpus store directory (hub or local side)
+  std::string listen;   // serve: host:port (port 0 = ephemeral)
+  std::string connect;  // push/pull: hub host:port
+  std::string token;    // shared secret (empty = open)
+  std::string port_file;  // serve: write the bound "host:port\n" here
+  /// serve: stop after this many sessions (0 = until *stop flips).
+  std::size_t max_sessions = 0;
+  /// push/pull: give up after this many consecutive failed attempts.
+  int max_retries = 10;
+  /// Client-side wire-fault injection (tests: idempotent re-push under
+  /// faults). Seeded from plan.seed, not from any campaign.
+  core::FaultPlan fault;
+};
+
+/// Counters for tests and CLI reporting.
+struct FedStats {
+  std::size_t merged = 0;      // new entries accepted
+  std::size_t duplicates = 0;  // re-pushed entries already present
+  std::size_t corrupt = 0;     // quarantined deltas
+  std::size_t streamed = 0;    // deltas sent to the peer
+  std::size_t sessions = 0;    // serve: completed sessions
+};
+
+/// In-memory canonical merger over one store directory. Load on open;
+/// merge deltas; flush() sorts and rewrites the store so its bytes are a
+/// pure function of the merged CONTENT, never of arrival order.
+class FedMerger {
+ public:
+  /// Open (or create) the store at `dir`. Status error on a corrupt index.
+  ser::Status open(const std::string& dir);
+
+  /// Merge one delta. kMerged for new content, kDuplicate when the same
+  /// program is already present (metadata still merges: elementwise max of
+  /// counters, min test_index, union of new_bins — commutative, associative
+  /// and idempotent, which is what makes merge order invisible).
+  FedAckStatus merge(const core::Program& program,
+                     const corpus::StoreEntryMeta& meta);
+
+  /// Park an undecodable delta payload in <dir>/quarantine/delta-NNNN.bin.
+  /// Returns the path (empty when even that failed — still non-fatal).
+  std::string quarantine(const std::string& payload);
+
+  /// Canonicalize (sort by content hash, then program bytes) and rewrite
+  /// the store. Safe to call repeatedly; no-ops when nothing changed.
+  ser::Status flush();
+
+  std::size_t size() const { return items_.size(); }
+  const core::Program& program(std::size_t i) const { return items_[i].prog; }
+  const corpus::StoreEntryMeta& meta(std::size_t i) const {
+    return items_[i].meta;
+  }
+
+ private:
+  struct Item {
+    std::uint64_t hash = 0;
+    core::Program prog;
+    corpus::StoreEntryMeta meta;
+  };
+
+  std::string dir_;
+  std::vector<Item> items_;
+  std::size_t quarantined_ = 0;
+  bool dirty_ = false;
+};
+
+/// FNV-1a 64 over the program's instruction words — the federation content
+/// key (program equality is verified on collision before deduping).
+std::uint64_t fed_content_hash(const core::Program& program);
+
+/// Run the hub. Blocks until max_sessions sessions completed or *stop is
+/// flipped (checked a few times a second; pass nullptr to rely on
+/// max_sessions alone). Writes the bound port to *ready_port after listen
+/// succeeds (and to opts.port_file when set). Returns a process exit code.
+int federate_serve(const FederateOptions& opts,
+                   const std::atomic<bool>* stop = nullptr,
+                   std::uint16_t* ready_port = nullptr,
+                   FedStats* stats = nullptr);
+
+/// Push every entry of the local store to the hub, reconnecting with
+/// backoff on transient failures (each retry restarts from entry 0; the
+/// hub's idempotent merge makes that safe). Exit code: 0 done, 1 transient
+/// failures exhausted, 2 rejected by the hub.
+int federate_push(const FederateOptions& opts, FedStats* stats = nullptr);
+
+/// Fetch the hub's entries into the local store (same reconnect rules;
+/// local merge is the same canonical merge the hub runs).
+int federate_pull(const FederateOptions& opts, FedStats* stats = nullptr);
+
+}  // namespace chatfuzz::dist

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "core/checkpoint.h"
+#include "util/log.h"
 
 namespace chatfuzz::dist {
 
@@ -16,6 +17,17 @@ namespace {
 
 ser::Status proto_error(const char* what) {
   return ser::Status::error(std::string("dist protocol: ") + what);
+}
+
+/// Malformed-frame diagnostics carry the frame type, what broke, and WHERE
+/// in the payload decoding stopped — a dropped peer's one-line warning then
+/// pinpoints the corruption instead of reporting a bare status.
+ser::Status decode_error(const char* frame, const ser::Reader& r,
+                         const std::string& payload, const char* what) {
+  const std::size_t at = payload.size() - r.remaining();
+  return ser::Status::error(strformat(
+      "dist protocol: %s frame: %s (payload byte %zu of %zu)", frame, what,
+      at, payload.size()));
 }
 
 /// Payloads all start with the type tag; a decoder first consumes and
@@ -35,10 +47,16 @@ MsgType peek_type(const std::string& payload) {
   if (payload.empty()) return MsgType::kInvalid;
   const auto t = static_cast<std::uint8_t>(payload[0]);
   if (t < static_cast<std::uint8_t>(MsgType::kHello) ||
-      t > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+      t > static_cast<std::uint8_t>(MsgType::kFedDone)) {
     return MsgType::kInvalid;
   }
   return static_cast<MsgType>(t);
+}
+
+std::uint32_t config_fingerprint(const core::CampaignConfig& cfg) {
+  ser::Writer w;
+  core::write_campaign_config(w, cfg);
+  return ser::crc32(w.buffer().data(), w.buffer().size());
 }
 
 std::string encode_hello(const HelloMsg& msg) {
@@ -46,15 +64,21 @@ std::string encode_hello(const HelloMsg& msg) {
   w.u8(static_cast<std::uint8_t>(MsgType::kHello));
   w.u32(msg.protocol);
   w.u64(msg.pid);
+  w.u8(msg.role);
+  w.str(msg.token);
   return w.take();
 }
 
 ser::Status decode_hello(const std::string& payload, HelloMsg* msg) {
   ser::Reader r(payload);
-  if (!take_type(r, MsgType::kHello)) return proto_error("not a hello frame");
+  if (!take_type(r, MsgType::kHello)) {
+    return decode_error("hello", r, payload, "wrong type tag");
+  }
   msg->protocol = r.u32();
   msg->pid = r.u64();
-  if (!r.done()) return proto_error("malformed hello frame");
+  msg->role = r.u8();
+  msg->token = r.str();
+  if (!r.done()) return decode_error("hello", r, payload, "malformed fields");
   return {};
 }
 
@@ -69,17 +93,19 @@ std::string encode_config(const ConfigMsg& msg) {
   w.boolean(msg.debug_hang);
   w.boolean(msg.superblocks);
   w.boolean(msg.collect_bbv);
+  w.u32(msg.config_crc);
+  w.u32(msg.heartbeat_ms);
   return w.take();
 }
 
 ser::Status decode_config(const std::string& payload, ConfigMsg* msg) {
   ser::Reader r(payload);
   if (!take_type(r, MsgType::kConfig)) {
-    return proto_error("not a config frame");
+    return decode_error("config", r, payload, "wrong type tag");
   }
   msg->protocol = r.u32();
   if (!core::read_campaign_config(r, msg->cfg)) {
-    return proto_error("malformed campaign config in config frame");
+    return decode_error("config", r, payload, "malformed campaign config");
   }
   msg->use_suite = r.boolean();
   msg->worker_index = r.u64();
@@ -87,7 +113,9 @@ ser::Status decode_config(const std::string& payload, ConfigMsg* msg) {
   msg->debug_hang = r.boolean();
   msg->superblocks = r.boolean();
   msg->collect_bbv = r.boolean();
-  if (!r.done()) return proto_error("malformed config frame");
+  msg->config_crc = r.u32();
+  msg->heartbeat_ms = r.u32();
+  if (!r.done()) return decode_error("config", r, payload, "malformed fields");
   return {};
 }
 
@@ -103,21 +131,23 @@ std::string encode_lease(const LeaseMsg& msg) {
 
 ser::Status decode_lease(const std::string& payload, LeaseMsg* msg) {
   ser::Reader r(payload);
-  if (!take_type(r, MsgType::kLease)) return proto_error("not a lease frame");
+  if (!take_type(r, MsgType::kLease)) {
+    return decode_error("lease", r, payload, "wrong type tag");
+  }
   msg->lease_id = r.u64();
   msg->base_index = r.u64();
   const std::uint64_t n = r.u64();
   // Every program carries at least its own length prefix.
   if (!r.ok() || n > r.remaining() / 8) {
-    return proto_error("lease frame test count exceeds payload");
+    return decode_error("lease", r, payload, "test count exceeds payload");
   }
   msg->tests.clear();
   msg->tests.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     msg->tests.push_back(r.vec_u32());
-    if (!r.ok()) return proto_error("malformed program in lease frame");
+    if (!r.ok()) return decode_error("lease", r, payload, "malformed program");
   }
-  if (!r.done()) return proto_error("malformed lease frame");
+  if (!r.done()) return decode_error("lease", r, payload, "malformed fields");
   return {};
 }
 
@@ -205,23 +235,26 @@ ser::Status decode_lease_result(const std::string& payload,
                                 LeaseResultMsg* msg) {
   ser::Reader r(payload);
   if (!take_type(r, MsgType::kLeaseResult)) {
-    return proto_error("not a lease-result frame");
+    return decode_error("lease-result", r, payload, "wrong type tag");
   }
   msg->lease_id = r.u64();
   const std::uint64_t n = r.u64();
   // An artifact is never smaller than its fixed-width fields (~16 bytes of
   // length prefixes and counters).
   if (!r.ok() || n > r.remaining() / 16) {
-    return proto_error("lease-result artifact count exceeds payload");
+    return decode_error("lease-result", r, payload,
+                        "artifact count exceeds payload");
   }
   msg->artifacts.clear();
   msg->artifacts.resize(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     if (!read_artifact(r, msg->artifacts[i])) {
-      return proto_error("malformed artifact in lease-result frame");
+      return decode_error("lease-result", r, payload, "malformed artifact");
     }
   }
-  if (!r.done()) return proto_error("malformed lease-result frame");
+  if (!r.done()) {
+    return decode_error("lease-result", r, payload, "malformed fields");
+  }
   return {};
 }
 
@@ -229,6 +262,139 @@ std::string encode_shutdown() {
   ser::Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::kShutdown));
   return w.take();
+}
+
+std::string encode_reject(const RejectMsg& msg) {
+  ser::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kReject));
+  w.str(msg.reason);
+  return w.take();
+}
+
+ser::Status decode_reject(const std::string& payload, RejectMsg* msg) {
+  ser::Reader r(payload);
+  if (!take_type(r, MsgType::kReject)) {
+    return decode_error("reject", r, payload, "wrong type tag");
+  }
+  msg->reason = r.str();
+  if (!r.done()) return decode_error("reject", r, payload, "malformed fields");
+  return {};
+}
+
+std::string encode_heartbeat(const HeartbeatMsg& msg) {
+  ser::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kHeartbeat));
+  w.u64(msg.served);
+  return w.take();
+}
+
+ser::Status decode_heartbeat(const std::string& payload, HeartbeatMsg* msg) {
+  ser::Reader r(payload);
+  if (!take_type(r, MsgType::kHeartbeat)) {
+    return decode_error("heartbeat", r, payload, "wrong type tag");
+  }
+  msg->served = r.u64();
+  if (!r.done()) {
+    return decode_error("heartbeat", r, payload, "malformed fields");
+  }
+  return {};
+}
+
+std::string encode_fed_request(const FedRequestMsg& msg) {
+  ser::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kFedRequest));
+  w.u8(msg.mode);
+  return w.take();
+}
+
+ser::Status decode_fed_request(const std::string& payload,
+                               FedRequestMsg* msg) {
+  ser::Reader r(payload);
+  if (!take_type(r, MsgType::kFedRequest)) {
+    return decode_error("fed-request", r, payload, "wrong type tag");
+  }
+  msg->mode = r.u8();
+  if (!r.done() || msg->mode > static_cast<std::uint8_t>(FedMode::kPull)) {
+    return decode_error("fed-request", r, payload, "malformed fields");
+  }
+  return {};
+}
+
+std::string encode_fed_delta(const FedDeltaMsg& msg) {
+  ser::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kFedDelta));
+  w.vec_u32(msg.program);
+  w.u64(msg.meta.test_index);
+  w.u32(msg.meta.standalone_bins);
+  w.u32(msg.meta.incremental_bins);
+  w.u32(msg.meta.mismatches);
+  w.u64(msg.meta.ctrl_new);
+  w.u64(msg.meta.phase_hash);
+  w.vec_u32(msg.meta.new_bins);
+  return w.take();
+}
+
+ser::Status decode_fed_delta(const std::string& payload, FedDeltaMsg* msg) {
+  ser::Reader r(payload);
+  if (!take_type(r, MsgType::kFedDelta)) {
+    return decode_error("fed-delta", r, payload, "wrong type tag");
+  }
+  msg->program = r.vec_u32();
+  if (!r.ok() || msg->program.empty()) {
+    return decode_error("fed-delta", r, payload, "malformed or empty program");
+  }
+  msg->meta.test_index = r.u64();
+  msg->meta.standalone_bins = r.u32();
+  msg->meta.incremental_bins = r.u32();
+  msg->meta.mismatches = r.u32();
+  msg->meta.ctrl_new = r.u64();
+  msg->meta.phase_hash = r.u64();
+  msg->meta.new_bins = r.vec_u32();
+  if (!r.done()) {
+    return decode_error("fed-delta", r, payload, "malformed fields");
+  }
+  return {};
+}
+
+std::string encode_fed_ack(const FedAckMsg& msg) {
+  ser::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kFedAck));
+  w.u8(msg.status);
+  w.str(msg.detail);
+  return w.take();
+}
+
+ser::Status decode_fed_ack(const std::string& payload, FedAckMsg* msg) {
+  ser::Reader r(payload);
+  if (!take_type(r, MsgType::kFedAck)) {
+    return decode_error("fed-ack", r, payload, "wrong type tag");
+  }
+  msg->status = r.u8();
+  msg->detail = r.str();
+  if (!r.done() ||
+      msg->status > static_cast<std::uint8_t>(FedAckStatus::kCorrupt)) {
+    return decode_error("fed-ack", r, payload, "malformed fields");
+  }
+  return {};
+}
+
+std::string encode_fed_done(const FedDoneMsg& msg) {
+  ser::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kFedDone));
+  w.u64(msg.count);
+  return w.take();
+}
+
+ser::Status decode_fed_done(const std::string& payload, FedDoneMsg* msg) {
+  ser::Reader r(payload);
+  if (!take_type(r, MsgType::kFedDone)) {
+    return decode_error("fed-done", r, payload, "wrong type tag");
+  }
+  msg->count = r.u64();
+  if (!r.done()) {
+    return decode_error("fed-done", r, payload, "malformed fields");
+  }
+  return {};
 }
 
 // ---------------------------------------------------------------------------
@@ -326,7 +492,10 @@ ser::Status read_exact(int fd, char* out, std::size_t size,
     if (deadline != nullptr) {
       const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
           *deadline - std::chrono::steady_clock::now());
-      if (remaining.count() <= 0) return proto_error("receive timed out");
+      if (remaining.count() <= 0) {
+        return ser::Status::error(strformat(
+            "dist protocol: receive timed out (%zu of %zu bytes)", off, size));
+      }
       wait_ms = static_cast<int>(remaining.count());
     }
     struct pollfd pfd{fd, POLLIN, 0};
@@ -336,14 +505,22 @@ ser::Status read_exact(int fd, char* out, std::size_t size,
       return ser::Status::error(std::string("dist protocol: poll failed: ") +
                                 std::strerror(errno));
     }
-    if (pr == 0) return proto_error("receive timed out");
+    if (pr == 0) {
+      return ser::Status::error(strformat(
+          "dist protocol: receive timed out (%zu of %zu bytes)", off, size));
+    }
     const ssize_t n = ::read(fd, out + off, size - off);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return ser::Status::error(std::string("dist protocol: read failed: ") +
-                                std::strerror(errno));
+      return ser::Status::error(
+          strformat("dist protocol: read failed at byte %zu of %zu: %s", off,
+                    size, std::strerror(errno)));
     }
-    if (n == 0) return proto_error("peer closed the channel mid-frame");
+    if (n == 0) {
+      return ser::Status::error(strformat(
+          "dist protocol: peer closed the channel mid-frame "
+          "(%zu of %zu bytes)", off, size));
+    }
     off += static_cast<std::size_t>(n);
   }
   return {};

@@ -34,6 +34,7 @@
 
 #include "core/campaign.h"
 #include "core/sim_worker.h"
+#include "corpus/store.h"
 #include "util/serialize.h"
 
 namespace chatfuzz::dist {
@@ -44,7 +45,14 @@ namespace chatfuzz::dist {
 // and the out-of-order backend fields (core::write_campaign_config v4
 // layout) — a v2 worker would build the wrong simulation stacks, so the
 // version gate must refuse the pairing.
-inline constexpr std::uint32_t kProtocolVersion = 3;
+// v4: the multi-host handshake. Hellos carry an auth token and a peer role
+// (campaign worker vs. federation client); configs carry a fingerprint
+// (CRC) of the coordinator's own write_campaign_config bytes so mixed
+// binaries whose serializers drifted are refused even when the version
+// numbers agree; kReject tells a refused peer WHY before the close (so it
+// can stop redialing); kHeartbeat carries worker liveness between results;
+// kFed* carry corpus federation deltas.
+inline constexpr std::uint32_t kProtocolVersion = 4;
 inline constexpr std::uint32_t kFrameMagic = 0x4346444D;  // "CFDM"
 /// Upper bound on one frame's payload; a length prefix beyond this is
 /// treated as corruption (it would otherwise become an allocation bomb).
@@ -57,11 +65,22 @@ enum class MsgType : std::uint8_t {
   kLease = 3,
   kLeaseResult = 4,
   kShutdown = 5,
+  kReject = 6,
+  kHeartbeat = 7,
+  kFedRequest = 8,
+  kFedDelta = 9,
+  kFedAck = 10,
+  kFedDone = 11,
 };
+
+/// What a hello's sender wants from the connection.
+enum class PeerRole : std::uint8_t { kWorker = 0, kFederate = 1 };
 
 struct HelloMsg {
   std::uint32_t protocol = kProtocolVersion;
   std::uint64_t pid = 0;
+  std::uint8_t role = static_cast<std::uint8_t>(PeerRole::kWorker);
+  std::string token;  // must equal the listener's token (empty = open)
 };
 
 struct ConfigMsg {
@@ -77,6 +96,55 @@ struct ConfigMsg {
   // still honor for the current run:
   bool superblocks = true;         // dispatch engine selection
   bool collect_bbv = false;        // record per-test BBVs into artifacts
+  /// config_fingerprint() of cfg as the coordinator serialized it. The
+  /// worker recomputes the fingerprint from its own decode and refuses the
+  /// pairing on mismatch — catches layout drift between mixed builds that
+  /// a bare version number cannot.
+  std::uint32_t config_crc = 0;
+  std::uint32_t heartbeat_ms = 0;  // worker heartbeat period (0 = off)
+};
+
+/// Why a peer is being turned away (sent instead of a config/ack; the
+/// peer must treat it as fatal and stop redialing).
+struct RejectMsg {
+  std::string reason;
+};
+
+struct HeartbeatMsg {
+  std::uint64_t served = 0;  // leases completed so far (diagnostics)
+};
+
+// ---- corpus federation ----------------------------------------------------
+// One session = hello, kFedRequest, then either the client streams
+// kFedDelta frames (push; each is acked) or the server does (pull), ended
+// by kFedDone. Deltas are keyed by program content, so a re-push after a
+// disconnect is idempotent: already-merged entries ack as kDuplicate.
+
+enum class FedMode : std::uint8_t { kPush = 0, kPull = 1 };
+
+struct FedRequestMsg {
+  std::uint8_t mode = static_cast<std::uint8_t>(FedMode::kPush);
+};
+
+/// One coverage-attributed corpus entry in flight.
+struct FedDeltaMsg {
+  core::Program program;
+  corpus::StoreEntryMeta meta;
+};
+
+enum class FedAckStatus : std::uint8_t {
+  kMerged = 0,
+  kDuplicate = 1,
+  kCorrupt = 2,  // quarantined on the receiver, session continues
+};
+
+struct FedAckMsg {
+  std::uint8_t status = static_cast<std::uint8_t>(FedAckStatus::kMerged);
+  std::string detail;
+};
+
+struct FedDoneMsg {
+  std::uint64_t count = 0;  // deltas the sender streamed
 };
 
 struct LeaseMsg {
@@ -93,20 +161,38 @@ struct LeaseResultMsg {
 /// Type tag of an encoded payload (kInvalid when empty).
 MsgType peek_type(const std::string& payload);
 
+/// CRC of `cfg` as write_campaign_config serializes it on THIS binary —
+/// both handshake sides compute it independently; a mismatch means their
+/// serializers disagree about the config layout.
+std::uint32_t config_fingerprint(const core::CampaignConfig& cfg);
+
 std::string encode_hello(const HelloMsg& msg);
 std::string encode_config(const ConfigMsg& msg);
 std::string encode_lease(const LeaseMsg& msg);
 std::string encode_lease_result(const LeaseResultMsg& msg);
 std::string encode_shutdown();
+std::string encode_reject(const RejectMsg& msg);
+std::string encode_heartbeat(const HeartbeatMsg& msg);
+std::string encode_fed_request(const FedRequestMsg& msg);
+std::string encode_fed_delta(const FedDeltaMsg& msg);
+std::string encode_fed_ack(const FedAckMsg& msg);
+std::string encode_fed_done(const FedDoneMsg& msg);
 
 /// Decoders verify the type tag, every field, and full consumption of the
 /// payload. On error the out-param may be partially filled; the Status
-/// says what broke.
+/// carries the frame type, the payload byte offset where decoding stopped,
+/// and what broke.
 ser::Status decode_hello(const std::string& payload, HelloMsg* msg);
 ser::Status decode_config(const std::string& payload, ConfigMsg* msg);
 ser::Status decode_lease(const std::string& payload, LeaseMsg* msg);
 ser::Status decode_lease_result(const std::string& payload,
                                 LeaseResultMsg* msg);
+ser::Status decode_reject(const std::string& payload, RejectMsg* msg);
+ser::Status decode_heartbeat(const std::string& payload, HeartbeatMsg* msg);
+ser::Status decode_fed_request(const std::string& payload, FedRequestMsg* msg);
+ser::Status decode_fed_delta(const std::string& payload, FedDeltaMsg* msg);
+ser::Status decode_fed_ack(const std::string& payload, FedAckMsg* msg);
+ser::Status decode_fed_done(const std::string& payload, FedDoneMsg* msg);
 
 /// Per-test artifact encoding (shared by result frames; exposed for tests).
 void write_artifact(ser::Writer& w, const core::TestArtifact& art);

@@ -1,0 +1,352 @@
+#include "dist/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/log.h"
+
+extern char** environ;
+
+namespace chatfuzz::dist {
+
+namespace {
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// How long TcpTransport::start() waits for its own spawned children to
+/// dial back over loopback. Covers exec + library init, same rationale as
+/// the coordinator's handshake window.
+constexpr std::int64_t kLoopbackDialWindowMs = 60'000;
+
+std::string worker_exe_of(const core::CampaignConfig& cfg) {
+  return cfg.dist.worker_exe.empty() ? std::string("/proc/self/exe")
+                                     : cfg.dist.worker_exe;
+}
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+void tune_stream_socket(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Keepalive is the worker's dead-coordinator detector: frame reads block
+  // across batch-boundary gaps of unbounded length, so a recv timeout
+  // cannot distinguish "idle" from "gone" — the TCP stack can.
+  ::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
+#ifdef TCP_KEEPIDLE
+  int secs = 15;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPIDLE, &secs, sizeof(secs));
+  secs = 5;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPINTVL, &secs, sizeof(secs));
+  int probes = 3;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPCNT, &probes, sizeof(probes));
+#endif
+}
+
+bool resolve_ipv4(const std::string& host, in_addr* out) {
+  if (host.empty()) {
+    out->s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  if (host == "localhost") {
+    out->s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  return ::inet_pton(AF_INET, host.c_str(), out) == 1;
+}
+
+}  // namespace
+
+std::optional<HostPort> parse_hostport(const std::string& s) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon + 1 == s.size()) return std::nullopt;
+  HostPort hp;
+  hp.host = s.substr(0, colon);
+  const std::string port_str = s.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port > 65535) return std::nullopt;
+  hp.port = static_cast<std::uint16_t>(port);
+  in_addr dummy;
+  if (!resolve_ipv4(hp.host, &dummy)) return std::nullopt;
+  return hp;
+}
+
+int tcp_listen(const HostPort& hp, std::string* err) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(hp.port);
+  if (!resolve_ipv4(hp.host, &addr.sin_addr)) {
+    if (err != nullptr) *err = "cannot resolve host '" + hp.host + "'";
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err != nullptr) *err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  set_cloexec(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    if (err != nullptr) {
+      *err = "cannot listen on " + hp.host + ":" + std::to_string(hp.port) +
+             ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  // Nonblocking so accept_peer() never stalls the coordinator's poll loop.
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+  return fd;
+}
+
+int tcp_connect(const HostPort& hp, int timeout_ms, std::string* err) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(hp.port);
+  if (!resolve_ipv4(hp.host, &addr.sin_addr)) {
+    if (err != nullptr) *err = "cannot resolve host '" + hp.host + "'";
+    return -1;
+  }
+  if (addr.sin_addr.s_addr == htonl(INADDR_ANY)) {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err != nullptr) *err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  set_cloexec(fd);
+  // Nonblocking connect + poll, so a black-holed listener costs timeout_ms
+  // instead of the kernel's multi-minute SYN retry budget.
+  const int flags = ::fcntl(fd, F_GETFL);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, timeout_ms < 0 ? -1 : timeout_ms);
+    if (rc <= 0) {
+      if (err != nullptr) {
+        *err = rc == 0 ? "connect timed out"
+                       : std::string("poll: ") + std::strerror(errno);
+      }
+      ::close(fd);
+      return -1;
+    }
+    int so_err = 0;
+    socklen_t len = sizeof(so_err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_err, &len);
+    if (so_err != 0) {
+      if (err != nullptr) {
+        *err = std::string("connect: ") + std::strerror(so_err);
+      }
+      ::close(fd);
+      return -1;
+    }
+  } else if (rc != 0) {
+    if (err != nullptr) *err = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking for frame I/O
+  tune_stream_socket(fd);
+  return fd;
+}
+
+std::uint16_t bound_port(int listen_fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+// ---- Transport base -------------------------------------------------------
+
+pid_t Transport::spawn(const std::string& exe,
+                       const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(const_cast<char*>(exe.c_str()));
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  pid_t pid = -1;
+  const int rc =
+      ::posix_spawn(&pid, exe.c_str(), nullptr, nullptr, argv.data(), environ);
+  if (rc != 0) {
+    LOG_ERROR("dist transport: cannot spawn %s: %s", exe.c_str(),
+              std::strerror(rc));
+    return -1;
+  }
+  children_.push_back(pid);
+  return pid;
+}
+
+void Transport::reap_children(int grace_ms) {
+  std::vector<std::uint8_t> pending(children_.size(), 1);
+  std::size_t left = children_.size();
+  const std::int64_t deadline = now_ms() + grace_ms;
+  while (left > 0 && now_ms() < deadline) {
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (pending[i] == 0) continue;
+      const pid_t rc = ::waitpid(children_[i], nullptr, WNOHANG);
+      // rc < 0 (ECHILD): the caller already reaped this child after killing
+      // it — nothing left to wait for.
+      if (rc != 0) {
+        pending[i] = 0;
+        --left;
+      }
+    }
+    if (left > 0) ::usleep(100'000);
+  }
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (pending[i] == 0) continue;
+    ::kill(children_[i], SIGKILL);
+    ::waitpid(children_[i], nullptr, 0);
+  }
+  children_.clear();
+}
+
+// ---- SpawnTransport -------------------------------------------------------
+
+SpawnTransport::SpawnTransport(const core::CampaignConfig& cfg)
+    : num_procs_(std::min<std::size_t>(cfg.dist.num_procs, 64)),
+      worker_exe_(worker_exe_of(cfg)),
+      token_(cfg.dist.token) {}
+
+std::vector<Peer> SpawnTransport::start() {
+  std::vector<Peer> peers;
+  peers.reserve(num_procs_);
+  for (std::size_t i = 0; i < num_procs_; ++i) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      LOG_ERROR("dist transport: socketpair failed: %s", std::strerror(errno));
+      continue;
+    }
+    // The parent end must not leak into workers spawned later (a held-open
+    // copy would mask this worker's EOF-on-death signal).
+    set_cloexec(sv[0]);
+    std::vector<std::string> args = {"worker", std::to_string(sv[1])};
+    if (!token_.empty()) {
+      args.push_back("--token");
+      args.push_back(token_);
+    }
+    const pid_t pid = spawn(worker_exe_, args);
+    ::close(sv[1]);
+    if (pid < 0) {
+      ::close(sv[0]);
+      continue;
+    }
+    Peer p;
+    p.chan = std::make_unique<SocketChannel>(sv[0]);
+    p.child_pid = pid;
+    peers.push_back(std::move(p));
+  }
+  return peers;
+}
+
+// ---- TcpTransport ---------------------------------------------------------
+
+TcpTransport::TcpTransport(const core::CampaignConfig& cfg)
+    : num_procs_(std::min<std::size_t>(cfg.dist.num_procs, 64)),
+      worker_exe_(worker_exe_of(cfg)),
+      token_(cfg.dist.token) {
+  const auto hp = parse_hostport(cfg.dist.listen);
+  if (!hp) {
+    throw std::runtime_error("dist transport: bad --listen address '" +
+                             cfg.dist.listen + "' (want host:port)");
+  }
+  std::string err;
+  listen_fd_ = tcp_listen(*hp, &err);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("dist transport: " + err);
+  }
+  port_ = hp->port != 0 ? hp->port : bound_port(listen_fd_);
+  if (!cfg.dist.port_file.empty()) {
+    // Ephemeral-port discovery for tests and scripts: the dial-able
+    // address, one line, written only after listen() succeeded.
+    const std::string host =
+        (hp->host.empty() || hp->host == "0.0.0.0") ? "127.0.0.1" : hp->host;
+    std::ofstream out(cfg.dist.port_file, std::ios::trunc);
+    out << host << ":" << port_ << "\n";
+  }
+  LOG_INFO("dist transport: listening on %s:%u",
+           hp->host.empty() ? "0.0.0.0" : hp->host.c_str(),
+           static_cast<unsigned>(port_));
+}
+
+TcpTransport::~TcpTransport() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::vector<Peer> TcpTransport::start() {
+  const std::string connect_arg = "127.0.0.1:" + std::to_string(port_);
+  for (std::size_t i = 0; i < num_procs_; ++i) {
+    std::vector<std::string> args = {"worker", "--connect", connect_arg};
+    if (!token_.empty()) {
+      args.push_back("--token");
+      args.push_back(token_);
+    }
+    (void)spawn(worker_exe_, args);
+  }
+  // Wait for the spawned children to dial back. External workers may land
+  // in the same window — a peer is a peer. With num_procs == 0 nothing is
+  // awaited here: the campaign waits for external dial-ins via
+  // accept_peer() from the coordinator's poll loop.
+  std::vector<Peer> peers;
+  const std::int64_t deadline = now_ms() + kLoopbackDialWindowMs;
+  while (peers.size() < children_.size() && now_ms() < deadline) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    const std::int64_t left = deadline - now_ms();
+    if (::poll(&pfd, 1, static_cast<int>(std::max<std::int64_t>(0, left))) <=
+        0) {
+      break;
+    }
+    auto p = accept_peer();
+    if (p) peers.push_back(std::move(*p));
+  }
+  return peers;
+}
+
+std::optional<Peer> TcpTransport::accept_peer() {
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd < 0) return std::nullopt;
+  set_cloexec(fd);
+  // accept() on Linux inherits O_NONBLOCK on some paths; frame I/O wants
+  // blocking semantics with its own poll-based deadlines.
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) & ~O_NONBLOCK);
+  tune_stream_socket(fd);
+  Peer p;
+  p.chan = std::make_unique<SocketChannel>(fd);
+  return p;
+}
+
+std::unique_ptr<Transport> make_transport(const core::CampaignConfig& cfg) {
+  if (!cfg.dist.listen.empty()) {
+    return std::make_unique<TcpTransport>(cfg);
+  }
+  return std::make_unique<SpawnTransport>(cfg);
+}
+
+}  // namespace chatfuzz::dist

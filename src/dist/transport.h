@@ -1,0 +1,161 @@
+// Transport seam of the distributed campaign subsystem: where worker
+// connections come from, abstracted away from the coordinator's scheduling
+// logic. Two backends:
+//
+//   SpawnTransport  the PR-5 path — posix_spawn children of this binary
+//                   over socketpairs, one per worker slot. No late joiners:
+//                   a lost child stays lost.
+//   TcpTransport    bind+listen on cfg.dist.listen; spawn num_procs local
+//                   children that dial the listener back over loopback
+//                   (self-contained fleets for tests/CI), and accept
+//                   external `chatfuzz worker --connect` dial-ins — before
+//                   AND during the campaign, which is what makes worker
+//                   reconnect-with-backoff work: a reconnected worker is
+//                   just a freshly accepted peer.
+//
+// The Channel interface is the same seam one level down: FrameChannel is
+// the concrete socket implementation, and dist::FaultyChannel (fault.h)
+// wraps any Channel to inject wire faults for the dist_fault suite.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "dist/protocol.h"
+
+namespace chatfuzz::dist {
+
+/// One framed peer link. Implementations must surface every failure as a
+/// ser::Status (never a crash), exactly like FrameChannel.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  virtual bool valid() const = 0;
+  /// fd to include in a poll() set for readability. A wrapper returns its
+  /// inner channel's fd — whatever trickery it plays happens per frame.
+  virtual int poll_fd() const = 0;
+  virtual void close() = 0;
+  virtual ser::Status send_frame(const std::string& payload,
+                                 int timeout_ms = -1) = 0;
+  virtual ser::Status recv_frame(std::string* payload, int timeout_ms = -1) = 0;
+};
+
+/// The plain FrameChannel behind the Channel seam.
+class SocketChannel final : public Channel {
+ public:
+  SocketChannel() = default;
+  explicit SocketChannel(int fd) : chan_(fd) {}
+  bool valid() const override { return chan_.valid(); }
+  int poll_fd() const override { return chan_.fd(); }
+  void close() override { chan_.close(); }
+  ser::Status send_frame(const std::string& payload,
+                         int timeout_ms = -1) override {
+    return chan_.send_frame(payload, timeout_ms);
+  }
+  ser::Status recv_frame(std::string* payload, int timeout_ms = -1) override {
+    return chan_.recv_frame(payload, timeout_ms);
+  }
+
+ private:
+  FrameChannel chan_;
+};
+
+/// A connected (not yet handshaked) peer as handed to the coordinator.
+struct Peer {
+  std::unique_ptr<Channel> chan;
+  /// Local child pid when this transport spawned the process behind the
+  /// channel; -1 for TCP dial-ins (the worker reports its pid in the hello,
+  /// but a remote pid is not killable — only the channel is).
+  pid_t child_pid = -1;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Bring up the initial fleet: spawn children and/or wait for dial-ins.
+  /// May return fewer peers than configured (each missing one is logged);
+  /// deciding whether zero is fatal is the caller's job.
+  virtual std::vector<Peer> start() = 0;
+  /// fd to poll for late arrivals, or -1 when the backend cannot accept any.
+  virtual int listen_fd() const { return -1; }
+  /// Accept one pending late peer without blocking; nullopt when none.
+  virtual std::optional<Peer> accept_peer() { return std::nullopt; }
+
+  /// Every child process this transport spawned (reconnecting TCP workers
+  /// keep their pid across redials; the list never shrinks).
+  const std::vector<pid_t>& child_pids() const { return children_; }
+  /// Reap all spawned children: a shared grace window for voluntary exits
+  /// (the coordinator has already sent shutdown frames / closed channels),
+  /// then SIGKILL for the stragglers. Idempotent; never hangs.
+  void reap_children(int grace_ms);
+
+ protected:
+  /// posix_spawn `exe` with `args` (argv[0] = exe). Returns -1 on failure.
+  pid_t spawn(const std::string& exe, const std::vector<std::string>& args);
+
+  std::vector<pid_t> children_;
+};
+
+/// Socketpair backend (cfg.dist.listen empty).
+class SpawnTransport final : public Transport {
+ public:
+  explicit SpawnTransport(const core::CampaignConfig& cfg);
+  std::vector<Peer> start() override;
+
+ private:
+  std::size_t num_procs_;
+  std::string worker_exe_;
+  std::string token_;
+};
+
+/// TCP backend (cfg.dist.listen = "host:port"). Throws std::runtime_error
+/// when the listener cannot be bound.
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(const core::CampaignConfig& cfg);
+  ~TcpTransport() override;
+  std::vector<Peer> start() override;
+  int listen_fd() const override { return listen_fd_; }
+  std::optional<Peer> accept_peer() override;
+  std::uint16_t port() const { return port_; }
+
+ private:
+  std::size_t num_procs_;
+  std::string worker_exe_;
+  std::string token_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Backend selection: TcpTransport when cfg.dist.listen is set, the
+/// socketpair SpawnTransport otherwise.
+std::unique_ptr<Transport> make_transport(const core::CampaignConfig& cfg);
+
+// ---- TCP plumbing (shared with the worker / federation dial side) ---------
+
+struct HostPort {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Parse "host:port" (IPv4 dotted quad, "localhost", or empty host for
+/// 0.0.0.0). Port 0 is allowed (ephemeral bind). nullopt on syntax errors.
+std::optional<HostPort> parse_hostport(const std::string& s);
+
+/// Bind+listen; returns the fd (CLOEXEC, SO_REUSEADDR, nonblocking accepts)
+/// or -1 with *err set.
+int tcp_listen(const HostPort& hp, std::string* err);
+/// Connect with a bounded wait; returns the fd (TCP_NODELAY + keepalive,
+/// so a vanished peer is detected even while blocked in a frame read) or
+/// -1 with *err set.
+int tcp_connect(const HostPort& hp, int timeout_ms, std::string* err);
+/// The locally bound port of a listening fd (resolves an ephemeral :0).
+std::uint16_t bound_port(int listen_fd);
+
+}  // namespace chatfuzz::dist

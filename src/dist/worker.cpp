@@ -2,15 +2,20 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/sim_worker.h"
 #include "dist/protocol.h"
+#include "dist/transport.h"
+#include "util/rng.h"
 
 namespace chatfuzz::dist {
 
@@ -49,26 +54,102 @@ bool run_lease(const core::CampaignConfig& cfg, bool use_suite,
   return true;
 }
 
-}  // namespace
+/// Beats encode_heartbeat over the shared channel every period until
+/// stopped. Sends share one mutex with the main loop's result sends (one
+/// thread sends OR the other; concurrent send+recv on a socket is fine).
+/// The thread is what keeps a HUNG worker (wedged in simulation — or in
+/// the deliberate debug_hang pause) visibly distinct from a DEAD one.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(FrameChannel& chan, std::mutex& send_mu,
+                  std::uint32_t period_ms,
+                  const std::atomic<std::uint64_t>& served) {
+    if (period_ms == 0) return;
+    thread_ = std::thread([this, &chan, &send_mu, period_ms, &served] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(period_ms));
+        if (stop_.load(std::memory_order_relaxed)) break;
+        HeartbeatMsg hb;
+        hb.served = served.load(std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(send_mu);
+        if (!chan.valid()) break;
+        // Short bound: a heartbeat that cannot leave is a dead link, and
+        // the main loop's recv will notice; never block teardown on it.
+        if (!chan.send_frame(encode_heartbeat(hb), 1'000).ok()) break;
+      }
+    });
+  }
+  ~HeartbeatThread() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+  }
 
-int worker_main(int fd) {
-  FrameChannel chan(fd);
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+enum class ServeOutcome {
+  kShutdown,   // clean end of campaign
+  kRejected,   // coordinator refused us — fatal, do not redial
+  kTransient,  // connection-level failure — redial (TCP mode)
+};
+
+/// One full serve session over a connected channel: handshake, then leases
+/// until shutdown or failure. `*handshook` reports whether the config
+/// arrived (the redial loop resets its failure counter on it).
+ServeOutcome serve(FrameChannel& chan, const WorkerOptions& opts,
+                   bool* handshook) {
+  *handshook = false;
 
   HelloMsg hello;
   hello.pid = static_cast<std::uint64_t>(::getpid());
+  hello.role = static_cast<std::uint8_t>(PeerRole::kWorker);
+  hello.token = opts.token;
   ser::Status s = chan.send_frame(encode_hello(hello));
-  if (!s.ok()) return fail("cannot greet coordinator", s.message());
+  if (!s.ok()) {
+    fail("cannot greet coordinator", s.message());
+    return ServeOutcome::kTransient;
+  }
 
   std::string payload;
   s = chan.recv_frame(&payload);
-  if (!s.ok()) return fail("no config from coordinator", s.message());
+  if (!s.ok()) {
+    fail("no config from coordinator", s.message());
+    return ServeOutcome::kTransient;
+  }
+  if (peek_type(payload) == MsgType::kReject) {
+    RejectMsg reject;
+    if (decode_reject(payload, &reject).ok()) {
+      fail("rejected by coordinator", reject.reason);
+    } else {
+      fail("rejected by coordinator", "");
+    }
+    return ServeOutcome::kRejected;
+  }
   ConfigMsg config;
   s = decode_config(payload, &config);
-  if (!s.ok()) return fail("bad config", s.message());
-  if (config.protocol != kProtocolVersion) {
-    return fail("protocol version mismatch",
-                "coordinator speaks v" + std::to_string(config.protocol));
+  if (!s.ok()) {
+    fail("bad config", s.message());
+    return ServeOutcome::kTransient;
   }
+  if (config.protocol != kProtocolVersion) {
+    fail("protocol version mismatch",
+         "coordinator speaks v" + std::to_string(config.protocol));
+    return ServeOutcome::kRejected;
+  }
+  // Fingerprint the config with OUR serializer, before touching it: if the
+  // bytes round-tripped differently than the coordinator wrote them, the
+  // two binaries disagree about the config layout and every downstream
+  // determinism guarantee is off — refuse the pairing.
+  if (config.config_crc != 0 &&
+      config_fingerprint(config.cfg) != config.config_crc) {
+    fail("config fingerprint mismatch",
+         "mixed binaries with drifted serializers");
+    return ServeOutcome::kRejected;
+  }
+  *handshook = true;
+
   core::CampaignConfig& cfg = config.cfg;
   // Re-apply the per-run knobs write_campaign_config excludes: the dispatch
   // engine, and BBV collection — run_one() keys collection off a non-empty
@@ -93,55 +174,158 @@ int worker_main(int fd) {
       stacks.push_back(std::make_unique<core::SimStack>(cfg, use_suite));
     }
   } catch (const std::exception& e) {
-    return fail("cannot build simulation stacks", e.what());
+    fail("cannot build simulation stacks", e.what());
+    return ServeOutcome::kTransient;
   }
+
+  std::mutex send_mu;
+  std::atomic<std::uint64_t> served{0};
+  HeartbeatThread heartbeat(chan, send_mu, config.heartbeat_ms, served);
 
   LeaseMsg lease;
   LeaseResultMsg result;
   bool hang_armed = config.debug_hang;
   for (;;) {
     s = chan.recv_frame(&payload);
-    // EOF here means the coordinator died (or dropped us); there is nobody
-    // left to report to, so just exit nonzero.
-    if (!s.ok()) return fail("lost coordinator", s.message());
+    // EOF here means the coordinator died or dropped us. In socketpair
+    // mode there is nobody left to report to; in TCP mode the caller
+    // redials.
+    if (!s.ok()) {
+      fail("lost coordinator", s.message());
+      return ServeOutcome::kTransient;
+    }
     switch (peek_type(payload)) {
       case MsgType::kShutdown:
-        return 0;
+        return ServeOutcome::kShutdown;
       case MsgType::kLease: {
         s = decode_lease(payload, &lease);
-        if (!s.ok()) return fail("bad lease", s.message());
+        if (!s.ok()) {
+          fail("bad lease", s.message());
+          return ServeOutcome::kTransient;
+        }
         if (hang_armed) {
-          // Fault injection: simulate a wedged worker. The coordinator's
-          // lease timeout must kill us and re-issue the lease.
+          // Fault injection: simulate a wedged worker. The MAIN thread
+          // stalls forever while the heartbeat thread keeps beating —
+          // exactly the hung-not-dead signature the coordinator's two
+          // timeouts exist to tell apart. Never returns.
           ::pause();
-          return 1;
+          return ServeOutcome::kTransient;
         }
         result.lease_id = lease.lease_id;
         if (!run_lease(cfg, use_suite, stacks, lease, result.artifacts)) {
-          return 1;
+          return ServeOutcome::kTransient;
         }
-        s = chan.send_frame(encode_lease_result(result));
-        if (!s.ok()) return fail("cannot return lease result", s.message());
+        {
+          std::lock_guard<std::mutex> lock(send_mu);
+          s = chan.send_frame(encode_lease_result(result));
+        }
+        if (!s.ok()) {
+          fail("cannot return lease result", s.message());
+          return ServeOutcome::kTransient;
+        }
+        served.fetch_add(1, std::memory_order_relaxed);
         break;
       }
       default:
-        return fail("unexpected frame from coordinator", "");
+        fail("unexpected frame from coordinator", "");
+        return ServeOutcome::kTransient;
     }
+  }
+}
+
+}  // namespace
+
+int worker_main(int fd, const WorkerOptions& opts) {
+  FrameChannel chan(fd);
+  bool handshook = false;
+  switch (serve(chan, opts, &handshook)) {
+    case ServeOutcome::kShutdown: return 0;
+    case ServeOutcome::kRejected: return 2;
+    case ServeOutcome::kTransient: return 1;
+  }
+  return 1;
+}
+
+int worker_connect_main(const std::string& hostport,
+                        const WorkerOptions& opts) {
+  const auto hp = parse_hostport(hostport);
+  if (!hp) {
+    return fail("bad --connect address (want host:port)", hostport);
+  }
+  // Capped exponential backoff + jitter. The jitter stream is seeded from
+  // the pid — reconnect pacing is pure scheduling, campaign determinism
+  // never depends on it, and distinct workers must NOT thunder in lockstep.
+  Rng jitter(0x9e3779b97f4a7c15ull ^
+             static_cast<std::uint64_t>(::getpid()));
+  std::uint32_t backoff_ms = 50;
+  int failures = 0;
+  for (;;) {
+    std::string err;
+    const int fd = tcp_connect(*hp, 5'000, &err);
+    if (fd < 0) {
+      fail("cannot reach coordinator", err);
+    } else {
+      FrameChannel chan(fd);
+      bool handshook = false;
+      const ServeOutcome outcome = serve(chan, opts, &handshook);
+      if (outcome == ServeOutcome::kShutdown) return 0;
+      if (outcome == ServeOutcome::kRejected) return 2;
+      if (handshook) {
+        // The fleet was healthy until just now: treat the next dial as a
+        // fresh start.
+        failures = 0;
+        backoff_ms = 50;
+      }
+    }
+    if (++failures > opts.max_retries) {
+      return fail("giving up after repeated connection failures",
+                  std::to_string(failures - 1) + " consecutive");
+    }
+    // Sleep backoff ± 25% jitter, then double up to the cap.
+    const std::uint32_t spread = std::max<std::uint32_t>(1, backoff_ms / 2);
+    const std::uint32_t wait =
+        backoff_ms - backoff_ms / 4 +
+        static_cast<std::uint32_t>(jitter.below(spread));
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    backoff_ms = std::min<std::uint32_t>(backoff_ms * 2, 2'000);
   }
 }
 
 std::optional<int> maybe_worker_main(int argc, char** argv) {
   if (argc < 2 || std::strcmp(argv[1], "worker") != 0) return std::nullopt;
-  if (argc != 3) {
-    return fail("usage: worker <fd>",
-                "(internal mode; spawned by fuzz --procs)");
+  WorkerOptions opts;
+  std::string connect;
+  long fd = -1;
+  bool have_fd = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (arg == "--token" && i + 1 < argc) {
+      opts.token = argv[++i];
+    } else if (arg == "--retries" && i + 1 < argc) {
+      opts.max_retries = std::atoi(argv[++i]);
+    } else if (!have_fd && arg.rfind("--", 0) != 0) {
+      char* end = nullptr;
+      fd = std::strtol(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0' || fd < 0) {
+        return fail("worker fd must be a non-negative integer", argv[i]);
+      }
+      have_fd = true;
+    } else {
+      return fail("usage: worker <fd> [--token t] | worker --connect "
+                  "host:port [--token t] [--retries n]",
+                  arg);
+    }
   }
-  char* end = nullptr;
-  const long fd = std::strtol(argv[2], &end, 10);
-  if (end == argv[2] || *end != '\0' || fd < 0) {
-    return fail("worker fd must be a non-negative integer", argv[2]);
+  if (!connect.empty() && have_fd) {
+    return fail("worker takes either <fd> or --connect, not both", "");
   }
-  return worker_main(static_cast<int>(fd));
+  if (!connect.empty()) return worker_connect_main(connect, opts);
+  if (have_fd) return worker_main(static_cast<int>(fd), opts);
+  return fail("usage: worker <fd> [--token t] | worker --connect host:port "
+              "[--token t] [--retries n]",
+              "(internal mode; spawned by fuzz --procs / --listen)");
 }
 
 }  // namespace chatfuzz::dist

@@ -1,0 +1,448 @@
+// Corpus federation (dist/federation.h): the degradation-safe exchange of
+// coverage-attributed corpus deltas. The properties under test:
+//
+//   - merges are ORDER-CANONICALIZED: hub store bytes are a pure function
+//     of the merged content, whatever the push order or interleaving;
+//   - re-push is IDEMPOTENT: after a disconnect (or under an injected
+//     fault schedule) the client restarts from entry 0 and nothing
+//     double-merges;
+//   - a corrupt delta is QUARANTINED, acked as corrupt, and the session
+//     (and the hub) keeps going;
+//   - the v4 handshake gates version, token and role exactly like the
+//     campaign coordinator.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "corpus/store.h"
+#include "dist/federation.h"
+#include "dist/protocol.h"
+#include "dist/transport.h"
+
+namespace chatfuzz::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const char* tag) {
+  static int counter = 0;
+  std::string dir = std::string("federation_test_") + tag + "_" +
+                    std::to_string(::getpid()) + "_" +
+                    std::to_string(counter++);
+  fs::remove_all(dir);
+  return dir;
+}
+
+corpus::StoreEntryMeta meta_of(std::uint64_t test_index,
+                               std::uint32_t bins,
+                               std::vector<std::uint32_t> new_bins = {}) {
+  corpus::StoreEntryMeta m;
+  m.test_index = test_index;
+  m.standalone_bins = bins;
+  m.incremental_bins = bins / 2;
+  m.new_bins = std::move(new_bins);
+  return m;
+}
+
+/// Build a store directory with the given (program, meta) entries.
+void make_store(const std::string& dir,
+                const std::vector<std::pair<core::Program,
+                                            corpus::StoreEntryMeta>>& entries) {
+  corpus::CorpusStore store;
+  ASSERT_TRUE(store.open(dir).ok());
+  for (const auto& [prog, meta] : entries) {
+    ASSERT_TRUE(store.append(prog, meta).ok());
+  }
+  ASSERT_TRUE(store.flush().ok());
+}
+
+std::map<std::string, std::string> dir_bytes(const std::string& dir) {
+  std::map<std::string, std::string> out;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    std::ifstream in(e.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out[e.path().filename().string()] = buf.str();
+  }
+  return out;
+}
+
+/// A hub on an ephemeral port, serving on a background thread. Exits after
+/// `sessions` completed sessions (0 = serve until the destructor's stop
+/// flag). Read `stats`/`rc` only after join().
+struct Hub {
+  Hub(const std::string& dir, std::size_t sessions,
+      const std::string& token = "") {
+    opts.dir = dir;
+    opts.listen = "127.0.0.1:0";
+    opts.token = token;
+    opts.max_sessions = sessions;
+    opts.port_file = dir + ".port";
+    thread = std::thread([this] {
+      rc = federate_serve(opts, &stop, nullptr, &stats);
+    });
+    // The port file is written right after a successful bind, long before
+    // the first accept — poll it rather than racing on serve internals.
+    while (hostport.empty()) {
+      std::ifstream in(opts.port_file);
+      std::getline(in, hostport);
+      if (hostport.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+  void join() {
+    if (thread.joinable()) thread.join();
+    fs::remove(opts.port_file);
+  }
+  ~Hub() {
+    stop.store(true);
+    join();
+  }
+  FederateOptions opts;
+  FedStats stats;
+  std::atomic<bool> stop{false};
+  std::string hostport;
+  int rc = -1;
+  std::thread thread;
+};
+
+const core::Program kProgA = {0x00500513u, 0x00b60633u};
+const core::Program kProgB = {0x00b60633u, 0x00500513u};
+const core::Program kProgC = {0xfeedfaceu};
+
+// ---------------------------------------------------------------------------
+// FedMerger unit properties.
+// ---------------------------------------------------------------------------
+
+TEST(FedMerger, MetadataMergeIsCommutativeAndIdempotent) {
+  const std::string d1 = fresh_dir("meta1"), d2 = fresh_dir("meta2");
+  const auto ma = meta_of(10, 4, {1, 5});
+  const auto mb = meta_of(3, 7, {5, 9});
+
+  FedMerger one;
+  ASSERT_TRUE(one.open(d1).ok());
+  EXPECT_EQ(one.merge(kProgA, ma), FedAckStatus::kMerged);
+  EXPECT_EQ(one.merge(kProgA, mb), FedAckStatus::kDuplicate);
+  EXPECT_EQ(one.merge(kProgA, mb), FedAckStatus::kDuplicate);  // idempotent
+
+  FedMerger two;
+  ASSERT_TRUE(two.open(d2).ok());
+  EXPECT_EQ(two.merge(kProgA, mb), FedAckStatus::kMerged);
+  EXPECT_EQ(two.merge(kProgA, ma), FedAckStatus::kDuplicate);
+
+  for (const FedMerger* m : {&one, &two}) {
+    ASSERT_EQ(m->size(), 1u);
+    EXPECT_EQ(m->meta(0).test_index, 3u);        // min
+    EXPECT_EQ(m->meta(0).standalone_bins, 7u);   // max
+    EXPECT_EQ(m->meta(0).incremental_bins, 3u);  // max
+    EXPECT_EQ(m->meta(0).new_bins,
+              (std::vector<std::uint32_t>{1, 5, 9}));  // sorted union
+  }
+  ASSERT_TRUE(one.flush().ok());
+  ASSERT_TRUE(two.flush().ok());
+  EXPECT_EQ(dir_bytes(d1), dir_bytes(d2));
+  fs::remove_all(d1);
+  fs::remove_all(d2);
+}
+
+TEST(FedMerger, FlushOrderIsCanonicalRegardlessOfMergeOrder) {
+  const std::string d1 = fresh_dir("canon1"), d2 = fresh_dir("canon2");
+  FedMerger one, two;
+  ASSERT_TRUE(one.open(d1).ok());
+  ASSERT_TRUE(two.open(d2).ok());
+  one.merge(kProgA, meta_of(1, 1));
+  one.merge(kProgB, meta_of(2, 2));
+  one.merge(kProgC, meta_of(3, 3));
+  two.merge(kProgC, meta_of(3, 3));
+  two.merge(kProgA, meta_of(1, 1));
+  two.merge(kProgB, meta_of(2, 2));
+  ASSERT_TRUE(one.flush().ok());
+  ASSERT_TRUE(two.flush().ok());
+  EXPECT_EQ(dir_bytes(d1), dir_bytes(d2));
+
+  // Reopening a flushed store and flushing again must be a no-op.
+  FedMerger reread;
+  ASSERT_TRUE(reread.open(d1).ok());
+  EXPECT_EQ(reread.size(), 3u);
+  ASSERT_TRUE(reread.flush().ok());
+  EXPECT_EQ(dir_bytes(d1), dir_bytes(d2));
+  fs::remove_all(d1);
+  fs::remove_all(d2);
+}
+
+TEST(FedMerger, EmptyProgramIsCorruptAndQuarantineParksPayloads) {
+  const std::string dir = fresh_dir("quar");
+  FedMerger m;
+  ASSERT_TRUE(m.open(dir).ok());
+  EXPECT_EQ(m.merge({}, meta_of(0, 0)), FedAckStatus::kCorrupt);
+  EXPECT_EQ(m.size(), 0u);
+
+  const std::string p1 = m.quarantine("not a delta at all");
+  const std::string p2 = m.quarantine("still not one");
+  ASSERT_FALSE(p1.empty());
+  ASSERT_FALSE(p2.empty());
+  EXPECT_NE(p1, p2) << "quarantine slots must never overwrite each other";
+  std::ifstream in(p1);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes, "not a delta at all");
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end sessions over TCP.
+// ---------------------------------------------------------------------------
+
+TEST(Federation, HubStoreBytesAreIndependentOfPushOrder) {
+  const std::string src_a = fresh_dir("srcA"), src_b = fresh_dir("srcB");
+  make_store(src_a, {{kProgA, meta_of(1, 4)}, {kProgC, meta_of(7, 2)}});
+  make_store(src_b, {{kProgB, meta_of(2, 5)}, {kProgA, meta_of(9, 1)}});
+
+  const std::string hub_ab = fresh_dir("hubAB"), hub_ba = fresh_dir("hubBA");
+  FederateOptions push;
+  {
+    Hub hub(hub_ab, 2);
+    push.connect = hub.hostport;
+    push.dir = src_a;
+    FedStats st;
+    ASSERT_EQ(federate_push(push, &st), 0);
+    EXPECT_EQ(st.merged, 2u);
+    push.dir = src_b;
+    ASSERT_EQ(federate_push(push, &st), 0);
+    EXPECT_EQ(st.merged, 1u);      // kProgB is new
+    EXPECT_EQ(st.duplicates, 1u);  // kProgA already present
+  }
+  {
+    Hub hub(hub_ba, 2);
+    push.connect = hub.hostport;
+    push.dir = src_b;
+    ASSERT_EQ(federate_push(push), 0);
+    push.dir = src_a;
+    ASSERT_EQ(federate_push(push), 0);
+  }
+  EXPECT_EQ(dir_bytes(hub_ab), dir_bytes(hub_ba))
+      << "hub bytes must not depend on who pushed first";
+
+  // Idempotent re-push: everything acks duplicate, bytes do not move.
+  const auto before = dir_bytes(hub_ab);
+  {
+    Hub hub(hub_ab, 1);
+    push.connect = hub.hostport;
+    push.dir = src_a;
+    FedStats st;
+    ASSERT_EQ(federate_push(push, &st), 0);
+    EXPECT_EQ(st.merged, 0u);
+    EXPECT_EQ(st.duplicates, 2u);
+  }
+  EXPECT_EQ(dir_bytes(hub_ab), before);
+
+  for (const auto& d : {src_a, src_b, hub_ab, hub_ba}) fs::remove_all(d);
+}
+
+TEST(Federation, PullRoundTripsTheHubContent) {
+  const std::string src = fresh_dir("pull_src"), hub_dir = fresh_dir("pull_hub");
+  const std::string dst = fresh_dir("pull_dst");
+  make_store(src, {{kProgA, meta_of(1, 4, {2, 8})}, {kProgB, meta_of(2, 5)}});
+
+  {
+    Hub hub(hub_dir, 2);
+    FederateOptions opts;
+    opts.connect = hub.hostport;
+    opts.dir = src;
+    ASSERT_EQ(federate_push(opts), 0);
+    opts.dir = dst;
+    FedStats st;
+    ASSERT_EQ(federate_pull(opts, &st), 0);
+    EXPECT_EQ(st.merged, 2u);
+    hub.join();
+    EXPECT_EQ(hub.stats.streamed, 2u);
+  }
+  // The pulled store went through the same canonical merge: byte-equal.
+  EXPECT_EQ(dir_bytes(dst), dir_bytes(hub_dir));
+
+  // A second pull is all duplicates.
+  {
+    Hub hub(hub_dir, 1);
+    FederateOptions opts;
+    opts.connect = hub.hostport;
+    opts.dir = dst;
+    FedStats st;
+    ASSERT_EQ(federate_pull(opts, &st), 0);
+    EXPECT_EQ(st.merged, 0u);
+    EXPECT_EQ(st.duplicates, 2u);
+  }
+  for (const auto& d : {src, hub_dir, dst}) fs::remove_all(d);
+}
+
+TEST(Federation, RePushUnderFaultScheduleConvergesIdentically) {
+  // The robustness claim: a client-side hostile network costs redials, but
+  // the hub converges to the exact bytes a clean push produces.
+  const std::string src = fresh_dir("fault_src");
+  std::vector<std::pair<core::Program, corpus::StoreEntryMeta>> entries;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    entries.push_back({{0x00500513u + (i << 12), 0x00b60633u, 0x100073u + i},
+                       meta_of(i, i + 1, {i, i + 100})});
+  }
+  make_store(src, entries);
+
+  const std::string clean_hub = fresh_dir("fault_clean");
+  {
+    Hub hub(clean_hub, 1);
+    FederateOptions opts;
+    opts.connect = hub.hostport;
+    opts.dir = src;
+    ASSERT_EQ(federate_push(opts), 0);
+  }
+
+  for (std::uint64_t seed : {0xFEDu, 0xFACEu, 0xBEEFu}) {
+    const std::string hub_dir = fresh_dir("fault_hub");
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    {
+      // Sessions unbounded: every faulted redial is one more session; the
+      // destructor's stop flag ends the hub once the push converged.
+      Hub hub(hub_dir, 0);
+      FederateOptions opts;
+      opts.connect = hub.hostport;
+      opts.dir = src;
+      opts.max_retries = 100;
+      opts.fault.seed = seed;
+      opts.fault.max_faults = 12;
+      opts.fault.p_drop = 40;
+      opts.fault.p_truncate = 24;
+      opts.fault.p_corrupt = 40;
+      opts.fault.p_wrong_crc = 24;
+      opts.fault.p_duplicate = 24;
+      opts.fault.p_delay = 48;
+      opts.fault.p_handshake = 48;
+      ASSERT_EQ(federate_push(opts), 0);
+    }
+    const auto clean = dir_bytes(clean_hub);
+    auto faulted = dir_bytes(hub_dir);
+    EXPECT_EQ(clean, faulted) << "fault schedule changed the merged bytes";
+    fs::remove_all(hub_dir);
+  }
+  fs::remove_all(clean_hub);
+  fs::remove_all(src);
+}
+
+TEST(Federation, CorruptDeltaIsQuarantinedNotFatal) {
+  // Hand-speak the protocol: hello, push request, then a malformed delta
+  // followed by a good one. The hub must ack kCorrupt, park the bytes under
+  // quarantine/, and still merge the good delta in the SAME session.
+  const std::string hub_dir = fresh_dir("corrupt_hub");
+  Hub hub(hub_dir, 1);
+
+  const auto hp = parse_hostport(hub.hostport);
+  ASSERT_TRUE(hp.has_value());
+  std::string err;
+  const int fd = tcp_connect(*hp, 5'000, &err);
+  ASSERT_GE(fd, 0) << err;
+  SocketChannel chan(fd);
+
+  HelloMsg hello;
+  hello.pid = static_cast<std::uint64_t>(::getpid());
+  hello.role = static_cast<std::uint8_t>(PeerRole::kFederate);
+  ASSERT_TRUE(chan.send_frame(encode_hello(hello), 5'000).ok());
+  std::string payload;
+  ASSERT_TRUE(chan.recv_frame(&payload, 5'000).ok());
+  FedAckMsg ack;
+  ASSERT_TRUE(decode_fed_ack(payload, &ack).ok());
+
+  FedRequestMsg req;
+  req.mode = static_cast<std::uint8_t>(FedMode::kPush);
+  ASSERT_TRUE(chan.send_frame(encode_fed_request(req), 5'000).ok());
+
+  // A frame with the delta type tag but garbage fields.
+  std::string evil = encode_fed_delta([] {
+    FedDeltaMsg d;
+    d.program = kProgA;
+    d.meta = meta_of(1, 1);
+    return d;
+  }());
+  evil.resize(evil.size() / 2);  // truncated mid-payload
+  ASSERT_TRUE(chan.send_frame(evil, 5'000).ok());
+  ASSERT_TRUE(chan.recv_frame(&payload, 5'000).ok());
+  ASSERT_TRUE(decode_fed_ack(payload, &ack).ok());
+  EXPECT_EQ(ack.status, static_cast<std::uint8_t>(FedAckStatus::kCorrupt));
+
+  FedDeltaMsg good;
+  good.program = kProgB;
+  good.meta = meta_of(4, 2);
+  ASSERT_TRUE(chan.send_frame(encode_fed_delta(good), 5'000).ok());
+  ASSERT_TRUE(chan.recv_frame(&payload, 5'000).ok());
+  ASSERT_TRUE(decode_fed_ack(payload, &ack).ok());
+  EXPECT_EQ(ack.status, static_cast<std::uint8_t>(FedAckStatus::kMerged));
+
+  ASSERT_TRUE(chan.send_frame(encode_fed_done(FedDoneMsg{}), 5'000).ok());
+  ASSERT_TRUE(chan.recv_frame(&payload, 5'000).ok());
+  chan.close();
+  hub.join();
+
+  EXPECT_EQ(hub.stats.corrupt, 1u);
+  EXPECT_EQ(hub.stats.merged, 1u);
+  ASSERT_TRUE(fs::exists(fs::path(hub_dir) / "quarantine" / "delta-0000.bin"));
+  corpus::CorpusStore store;
+  ASSERT_TRUE(store.open(hub_dir).ok());
+  EXPECT_EQ(store.size(), 1u);
+  fs::remove_all(hub_dir);
+}
+
+TEST(Federation, HandshakeGatesTokenAndRole) {
+  const std::string hub_dir = fresh_dir("auth_hub");
+  const std::string src = fresh_dir("auth_src");
+  make_store(src, {{kProgA, meta_of(1, 1)}});
+  Hub hub(hub_dir, 3, "hub-secret");
+
+  FederateOptions opts;
+  opts.connect = hub.hostport;
+  opts.dir = src;
+  opts.max_retries = 0;
+  opts.token = "wrong";
+  EXPECT_EQ(federate_push(opts), 2) << "bad token must be fatal, not retried";
+
+  // A campaign worker hello (role kWorker) is refused by the corpus hub.
+  {
+    const auto hp = parse_hostport(hub.hostport);
+    std::string err;
+    const int fd = tcp_connect(*hp, 5'000, &err);
+    ASSERT_GE(fd, 0) << err;
+    SocketChannel chan(fd);
+    HelloMsg hello;
+    hello.pid = 1;
+    hello.token = "hub-secret";
+    hello.role = static_cast<std::uint8_t>(PeerRole::kWorker);
+    ASSERT_TRUE(chan.send_frame(encode_hello(hello), 5'000).ok());
+    std::string payload;
+    ASSERT_TRUE(chan.recv_frame(&payload, 5'000).ok());
+    EXPECT_EQ(peek_type(payload), MsgType::kReject);
+    chan.close();
+  }
+
+  opts.token = "hub-secret";
+  EXPECT_EQ(federate_push(opts), 0);
+  hub.join();
+  EXPECT_EQ(hub.rc, 0);
+  fs::remove_all(hub_dir);
+  fs::remove_all(src);
+}
+
+TEST(Federation, ContentHashIsOrderSensitiveFnv) {
+  // kProgA and kProgB are permutations of each other: the content key must
+  // distinguish them (federation dedups identical PROGRAMS, not bags of
+  // instructions).
+  EXPECT_NE(fed_content_hash(kProgA), fed_content_hash(kProgB));
+  EXPECT_EQ(fed_content_hash(kProgA), fed_content_hash(kProgA));
+  EXPECT_NE(fed_content_hash({}), fed_content_hash(kProgC));
+}
+
+}  // namespace
+}  // namespace chatfuzz::dist

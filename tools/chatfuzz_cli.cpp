@@ -12,9 +12,13 @@
 //   chatfuzz fuzz --resume <dir>          continue a checkpointed campaign
 //   chatfuzz corpus <export|import|minimize|stats> <dir> ...
 //                                          work with an on-disk corpus store
+//   chatfuzz federate <serve|push|pull> <dir> ...
+//                                          exchange corpus deltas over TCP
 //   chatfuzz solve <point-name>           directed test for a coverage point
-//   chatfuzz worker <fd>                  (internal) distributed-campaign
+//   chatfuzz worker <fd>|--connect <a>    (internal) distributed-campaign
 //                                          worker; spawned by fuzz --procs
+//                                          or dialing a fuzz --listen fleet
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -34,6 +38,7 @@
 #include "core/replay.h"
 #include "corpus/store.h"
 #include "coverage/merge.h"
+#include "dist/federation.h"
 #include "dist/worker.h"
 #include "isasim/sim.h"
 #include "mismatch/minimize.h"
@@ -64,6 +69,7 @@ constexpr CommandDoc kCommands[] = {
     {"minimize", "<corpus.txt> <n>", "shrink a mismatching test"},
     {"fuzz",
      "<fuzzer> <tests> [workers] [--dut <list>] [--procs <n>] "
+     "[--listen <host:port>] [--token <t>] [--port-file <f>] "
      "[--checkpoint <dir>] [--every <n>] [--bbv <file>] [--no-superblocks]",
      "campaign; fuzzer = random|thehuzz|difuzz|psofuzz|hypfuzz|chatfuzz;\n"
      "workers = simulation threads per process (default 1, 0 = all cores);\n"
@@ -74,14 +80,20 @@ constexpr CommandDoc kCommands[] = {
      "--procs fans the campaign out across <n> worker processes\n"
      "(coordinator folds, workers simulate). Results are bit-identical\n"
      "for any worker/process count.\n"
+     "--listen switches the fleet to TCP: local workers dial back over\n"
+     "loopback and remote `chatfuzz worker --connect` processes can join\n"
+     "or rejoin at any time (--procs 0 = external workers only); --token\n"
+     "authenticates them; --port-file records the bound address (port 0 =\n"
+     "ephemeral). SIGTERM drains gracefully: finish the batch, checkpoint,\n"
+     "exit as paused.\n"
      "--checkpoint snapshots state + corpus to <dir> every <n> tests;\n"
      "--bbv records per-test basic-block vectors to <file>;\n"
      "--no-superblocks disables superblock dispatch (same results, slower)"},
-    {"fuzz", "--resume <dir> [workers] [--procs <n>] [--bbv <file>] "
-     "[--no-superblocks]",
+    {"fuzz", "--resume <dir> [workers] [--procs <n>] [--listen <host:port>] "
+     "[--token <t>] [--port-file <f>] [--bbv <file>] [--no-superblocks]",
      "continue a checkpointed campaign bit-identically to an\n"
      "uninterrupted run (workers: default = checkpoint's count,\n"
-     "0 = all cores; --procs/--bbv/--no-superblocks are per-run,\n"
+     "0 = all cores; --procs/--listen/--bbv/--no-superblocks are per-run,\n"
      "never stored)"},
     {"corpus", "export <dir> <out.txt>", "store -> text corpus"},
     {"corpus", "import <dir> <in.txt>", "text corpus -> store"},
@@ -92,11 +104,23 @@ constexpr CommandDoc kCommands[] = {
     {"corpus", "stats <dir>",
      "entry/shard/byte totals, first-covered-bin attribution histogram,\n"
      "phase-signature histogram (phase hashes filled by corpus minimize)"},
+    {"federate", "serve <dir> --listen <host:port> [--token <t>] "
+     "[--port-file <f>] [--sessions <n>]",
+     "corpus hub: accept push/pull sessions and merge deltas into <dir>\n"
+     "order-canonically (store bytes independent of push order; corrupt\n"
+     "deltas quarantined to <dir>/quarantine, never fatal). --sessions\n"
+     "exits after n sessions (default: run until killed)"},
+    {"federate", "push <dir> --connect <host:port> [--token <t>]",
+     "send every local corpus entry to the hub; reconnects with backoff\n"
+     "and re-pushes idempotently after a disconnect"},
+    {"federate", "pull <dir> --connect <host:port> [--token <t>]",
+     "fetch the hub's entries into the local store (same canonical merge)"},
     {"solve", "<point-name>",
      "synthesize + verify a directed test for a coverage point"},
-    {"worker", "<fd>",
-     "(internal) distributed-campaign worker over an inherited socketpair\n"
-     "fd; spawned by fuzz --procs, speaks the framed dist protocol"},
+    {"worker", "<fd> | --connect <host:port> [--token <t>] [--retries <n>]",
+     "(internal) distributed-campaign worker: either over an inherited\n"
+     "socketpair fd (spawned by fuzz --procs) or dialing a fuzz --listen\n"
+     "coordinator over TCP, redialing with capped backoff until rejected"},
 };
 
 int usage() {
@@ -244,6 +268,45 @@ core::CheckpointHook progress_hook() {
   };
 }
 
+extern "C" void handle_sigterm(int) {
+  // Async-signal-safe by contract: just flips the drain flag. The engine
+  // notices at the next batch boundary, checkpoints, and exits as paused.
+  core::request_drain();
+}
+
+void install_drain_handler() {
+  core::clear_drain();
+  struct sigaction sa{};
+  sa.sa_handler = handle_sigterm;
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+/// TCP fleet options shared by fuzz and resume.
+struct NetArgs {
+  const char* listen = nullptr;
+  const char* token = nullptr;
+  const char* port_file = nullptr;
+
+  void apply(core::DistConfig* dist) const {
+    if (listen != nullptr) dist->listen = listen;
+    if (token != nullptr) dist->token = token;
+    if (port_file != nullptr) dist->port_file = port_file;
+  }
+  /// Consume one argv pair; returns true when it was a net flag.
+  bool parse(int argc, char** argv, int* i) {
+    if (std::strcmp(argv[*i], "--listen") == 0 && *i + 1 < argc) {
+      listen = argv[++*i];
+    } else if (std::strcmp(argv[*i], "--token") == 0 && *i + 1 < argc) {
+      token = argv[++*i];
+    } else if (std::strcmp(argv[*i], "--port-file") == 0 && *i + 1 < argc) {
+      port_file = argv[++*i];
+    } else {
+      return false;
+    }
+    return true;
+  }
+};
+
 /// Parse a `--dut` comma list ("inorder,ooo") into CoreConfig presets.
 /// Returns false (with a message) on an unknown or empty entry.
 bool parse_dut_list(const char* list, std::vector<rtl::CoreConfig>* out) {
@@ -270,13 +333,15 @@ bool parse_dut_list(const char* list, std::vector<rtl::CoreConfig>* out) {
 int cmd_fuzz(const char* which, std::size_t tests, std::size_t workers,
              std::size_t procs, const char* checkpoint_dir,
              std::size_t checkpoint_every, const char* bbv_path,
-             bool superblocks, const char* dut_list) {
+             bool superblocks, const char* dut_list, const NetArgs& net) {
   core::CampaignConfig cfg;
   cfg.num_tests = tests;
   cfg.checkpoint_every = std::max<std::size_t>(tests / 10, 10);
   cfg.num_workers = workers;
   cfg.dist.num_procs = procs;
+  net.apply(&cfg.dist);
   cfg.superblocks = superblocks;
+  install_drain_handler();
   if (dut_list != nullptr && !parse_dut_list(dut_list, &cfg.duts)) return 2;
   if (bbv_path != nullptr) cfg.bbv_path = bbv_path;
   if (checkpoint_dir != nullptr) {
@@ -314,7 +379,9 @@ int cmd_fuzz(const char* which, std::size_t tests, std::size_t workers,
 }
 
 int cmd_resume(const char* dir, std::optional<std::size_t> workers,
-               std::size_t procs, const char* bbv_path, bool superblocks) {
+               std::size_t procs, const char* bbv_path, bool superblocks,
+               const NetArgs& net) {
+  install_drain_handler();
   // One read of what may be a large checkpoint: the loaded image hands the
   // stored fuzzer kind to make_generator() and then resumes directly.
   core::CheckpointData data;
@@ -341,6 +408,7 @@ int cmd_resume(const char* dir, std::optional<std::size_t> workers,
                            : std::max(1u, std::thread::hardware_concurrency());
   }
   opts.dist.num_procs = procs;
+  net.apply(&opts.dist);
   opts.superblocks = superblocks;
   if (bbv_path != nullptr) opts.bbv_path = bbv_path;
   try {
@@ -382,8 +450,34 @@ int cmd_corpus_export(const char* dir, const char* out_path) {
 }
 
 int cmd_corpus_import(const char* dir, const char* in_path) {
-  const auto tests = load(in_path);
-  if (!tests) return 1;
+  std::ifstream in(in_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot load corpus: %s\n", in_path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  // Lenient parse: one corrupt entry must not sink a whole (possibly
+  // federated, possibly hand-edited) import. Bad blocks are skipped,
+  // reported individually, and parked verbatim in a quarantine file.
+  const core::CorpusParse parsed = core::corpus_from_text_lenient(buf.str());
+  for (const std::string& err : parsed.errors) {
+    std::fprintf(stderr, "corpus import: skipping %s\n", err.c_str());
+  }
+  if (parsed.bad_blocks > 0) {
+    const std::string qpath = std::string(in_path) + ".quarantine";
+    std::ofstream q(qpath, std::ios::trunc);
+    if (q) {
+      q << "# chatfuzz test corpus v1 (quarantined on import)\n"
+        << parsed.quarantine;
+      std::fprintf(stderr,
+                   "corpus import: %zu corrupt block(s) written to %s\n",
+                   parsed.bad_blocks, qpath.c_str());
+    } else {
+      std::fprintf(stderr, "corpus import: cannot write quarantine %s\n",
+                   qpath.c_str());
+    }
+  }
   corpus::CorpusStore store;
   ser::Status s = store.open(dir);
   if (!s.ok()) {
@@ -391,7 +485,7 @@ int cmd_corpus_import(const char* dir, const char* in_path) {
     return 1;
   }
   const std::size_t before = store.size();
-  for (const core::Program& p : *tests) {
+  for (const core::Program& p : parsed.tests) {
     corpus::StoreEntryMeta meta;  // imported tests carry no attribution
     meta.test_index = store.size();
     s = store.append(p, meta);
@@ -405,9 +499,66 @@ int cmd_corpus_import(const char* dir, const char* in_path) {
     std::fprintf(stderr, "%s\n", s.message().c_str());
     return 1;
   }
-  std::printf("imported %zu tests into %s (%zu total)\n",
-              store.size() - before, dir, store.size());
+  std::printf("imported %zu tests into %s (%zu total, %zu skipped)\n",
+              store.size() - before, dir, store.size(), parsed.bad_blocks);
   return 0;
+}
+
+int cmd_federate(int argc, char** argv) {
+  // argv: federate <serve|push|pull> <dir> --listen/--connect <hp> ...
+  if (argc < 5) return usage();
+  const std::string mode = argv[2];
+  dist::FederateOptions opts;
+  opts.dir = argv[3];
+  bool bad = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      opts.listen = argv[++i];
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      opts.connect = argv[++i];
+    } else if (std::strcmp(argv[i], "--token") == 0 && i + 1 < argc) {
+      opts.token = argv[++i];
+    } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
+      opts.port_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      const auto n = parse_count(argv[++i]);
+      if (!n) bad = true;
+      else opts.max_sessions = *n;
+    } else {
+      bad = true;
+    }
+  }
+  if (bad) {
+    std::fprintf(stderr, "federate: bad arguments; see usage\n");
+    return usage();
+  }
+  dist::FedStats stats;
+  if (mode == "serve") {
+    if (opts.listen.empty()) return usage();
+    return dist::federate_serve(opts, nullptr, nullptr, &stats);
+  }
+  if (mode == "push") {
+    if (opts.connect.empty()) return usage();
+    const int rc = dist::federate_push(opts, &stats);
+    if (rc == 0) {
+      std::printf("pushed %zu entries: %zu merged, %zu duplicates, "
+                  "%zu rejected as corrupt\n",
+                  stats.streamed, stats.merged, stats.duplicates,
+                  stats.corrupt);
+    }
+    return rc;
+  }
+  if (mode == "pull") {
+    if (opts.connect.empty()) return usage();
+    const int rc = dist::federate_pull(opts, &stats);
+    if (rc == 0) {
+      std::printf("pulled %zu new entries (%zu duplicates, "
+                  "%zu quarantined)\n",
+                  stats.merged, stats.duplicates, stats.corrupt);
+    }
+    return rc;
+  }
+  return usage();
 }
 
 /// Corpus minimization: re-simulate every stored test in order and keep
@@ -658,6 +809,7 @@ int main(int argc, char** argv) {
     std::size_t procs = 1;
     const char* bbv_path = nullptr;
     bool superblocks = true;
+    NetArgs net;
     bool bad = false;
     for (int i = 4; i < argc; ++i) {
       if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
@@ -666,6 +818,7 @@ int main(int argc, char** argv) {
         else procs = *p;
       } else if (std::strcmp(argv[i], "--bbv") == 0 && i + 1 < argc) {
         bbv_path = argv[++i];
+      } else if (net.parse(argc, argv, &i)) {
       } else if (std::strcmp(argv[i], "--no-superblocks") == 0) {
         superblocks = false;
       } else if (i == 4 && argv[i][0] != '-') {
@@ -679,7 +832,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "fuzz --resume: bad arguments; see usage\n");
       return usage();
     }
-    return cmd_resume(argv[3], workers, procs, bbv_path, superblocks);
+    return cmd_resume(argv[3], workers, procs, bbv_path, superblocks, net);
   }
   if (std::strcmp(cmd, "fuzz") == 0 && argc >= 4) {
     const auto tests = parse_count(argv[3]);
@@ -690,6 +843,7 @@ int main(int argc, char** argv) {
     const char* bbv_path = nullptr;
     const char* dut_list = nullptr;
     bool superblocks = true;
+    NetArgs net;
     bool bad = false;
     for (int i = 4; i < argc; ++i) {
       if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
@@ -706,6 +860,7 @@ int main(int argc, char** argv) {
         else procs = *p;
       } else if (std::strcmp(argv[i], "--bbv") == 0 && i + 1 < argc) {
         bbv_path = argv[++i];
+      } else if (net.parse(argc, argv, &i)) {
       } else if (std::strcmp(argv[i], "--no-superblocks") == 0) {
         superblocks = false;
       } else if (i == 4 && argv[i][0] != '-') {
@@ -719,7 +874,7 @@ int main(int argc, char** argv) {
       return usage();
     }
     return cmd_fuzz(argv[2], *tests, *workers, procs, checkpoint_dir,
-                    checkpoint_every, bbv_path, superblocks, dut_list);
+                    checkpoint_every, bbv_path, superblocks, dut_list, net);
   }
   if (std::strcmp(cmd, "corpus") == 0 && argc >= 4) {
     if (std::strcmp(argv[2], "export") == 0 && argc >= 5) {
@@ -736,6 +891,7 @@ int main(int argc, char** argv) {
     }
     return usage();
   }
+  if (std::strcmp(cmd, "federate") == 0) return cmd_federate(argc, argv);
   if (std::strcmp(cmd, "solve") == 0 && argc >= 3) return cmd_solve(argv[2]);
   return usage();
 }
