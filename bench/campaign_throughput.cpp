@@ -16,6 +16,15 @@
 // only in speed. One line of JSON, schema "superblock_dispatch", for
 // BENCH_superblock.json.
 //
+// --trace <file> switches to the telemetry-overhead comparison: the same
+// single-worker campaign with tracing + stats export off vs on (spans
+// recorded to per-thread rings, Chrome trace JSON written to <file>, NDJSON
+// to <file>.ndjson). Campaign results must be bit-identical both ways
+// (parity_ok) — telemetry is out-of-band by contract — and the JSON line
+// reports trace_overhead_percent, which CI holds under its budget. One line
+// of JSON, schema "trace_overhead", for BENCH_trace_overhead.json; the
+// exported <file> doubles as the Perfetto-loadable artifact.
+//
 // --dut <list> (e.g. --dut inorder,ooo) switches to the multi-DUT
 // comparison: tests/sec for the listed backend set vs the primary backend
 // alone, plus a 1-worker vs all-cores bit-identity check on the multi-DUT
@@ -269,6 +278,76 @@ int run_superblock_bench(bool smoke) {
   return parity_ok ? 0 : 1;
 }
 
+/// --trace mode: telemetry overhead — identical campaign with telemetry off
+/// vs on, interleaved pairs, best-of wall times (the ratio is the payload;
+/// min damps scheduler noise).
+int run_trace_overhead_bench(bool smoke, const char* trace_path) {
+  core::CampaignConfig cfg;
+  cfg.num_tests = smoke ? 96 : 1024;
+  cfg.batch_size = 32;
+  cfg.num_workers = 1;  // per-pipeline cost, no threading
+  cfg.checkpoint_every = 100;
+  cfg.platform.max_steps = 2048;
+  const std::uint64_t kGenSeed = 7;
+
+  const auto timed = [&](const core::CampaignConfig& c, double* seconds) {
+    baselines::RandomFuzzer gen(kGenSeed);
+    const double t0 = now_sec();
+    const core::CampaignResult r = core::run_campaign(gen, c);
+    *seconds = now_sec() - t0;
+    return r;
+  };
+
+  // Warm the pipeline before any timed run.
+  {
+    core::CampaignConfig warm = cfg;
+    warm.num_tests = smoke ? 32 : 128;
+    double ignored = 0.0;
+    timed(warm, &ignored);
+  }
+
+  core::CampaignConfig traced_cfg = cfg;
+  traced_cfg.trace_path = trace_path;
+  traced_cfg.stats_path = std::string(trace_path) + ".ndjson";
+  traced_cfg.stats_every_ms = 0;  // worst case: NDJSON line every batch
+
+  double dt_plain = 1e30, dt_traced = 1e30;
+  core::CampaignResult plain, traced;
+  const int rounds = smoke ? 1 : 3;
+  for (int i = 0; i < rounds; ++i) {
+    double dt = 0.0;
+    plain = timed(cfg, &dt);
+    dt_plain = std::min(dt_plain, dt);
+    traced = timed(traced_cfg, &dt);
+    dt_traced = std::min(dt_traced, dt);
+  }
+
+  // Telemetry is out-of-band by contract: every architectural total must
+  // match bit-for-bit or the overhead number is meaningless.
+  const bool parity_ok =
+      traced.tests_run == plain.tests_run &&
+      traced.final_cov_percent == plain.final_cov_percent &&
+      traced.total_cycles == plain.total_cycles &&
+      traced.total_instrs == plain.total_instrs &&
+      traced.raw_mismatches == plain.raw_mismatches &&
+      traced.filtered_mismatches == plain.filtered_mismatches &&
+      traced.unique_mismatches == plain.unique_mismatches;
+
+  const double tps_plain = static_cast<double>(plain.tests_run) / dt_plain;
+  const double tps_traced = static_cast<double>(traced.tests_run) / dt_traced;
+  std::printf(
+      "{\"bench\":\"trace_overhead\",\"smoke\":%s,"
+      "\"tests\":%zu,\"workers\":1,"
+      "\"tests_per_sec\":%.1f,\"wall_seconds\":%.3f,"
+      "\"tests_per_sec_traced\":%.1f,\"wall_seconds_traced\":%.3f,"
+      "\"trace_overhead_percent\":%.2f,"
+      "\"final_cov_percent\":%.4f,\"parity_ok\":%s}\n",
+      smoke ? "true" : "false", plain.tests_run, tps_plain, dt_plain,
+      tps_traced, dt_traced, 100.0 * (dt_traced / dt_plain - 1.0),
+      plain.final_cov_percent, parity_ok ? "true" : "false");
+  return parity_ok ? 0 : 1;
+}
+
 /// --dut mode: multi-DUT campaign throughput — every generated test runs on
 /// each listed backend against one golden model. Reports tests/sec for the
 /// DUT list vs a single-DUT (primary-only) run on the same programs, plus a
@@ -368,13 +447,18 @@ int main(int argc, char** argv) {
   bool smoke = env_smoke != nullptr && std::strcmp(env_smoke, "0") != 0;
   bool superblock = false;
   const char* dut_list = nullptr;
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--superblock") == 0) superblock = true;
     if (std::strcmp(argv[i], "--dut") == 0 && i + 1 < argc) {
       dut_list = argv[++i];
     }
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
   }
+  if (trace_path != nullptr) return run_trace_overhead_bench(smoke, trace_path);
   if (dut_list != nullptr) return run_multidut_bench(smoke, dut_list);
   if (superblock) return run_superblock_bench(smoke);
 

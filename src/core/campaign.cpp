@@ -11,7 +11,11 @@
 #include "core/sim_worker.h"
 #include "corpus/store.h"
 #include "dist/coordinator.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "riscv/superblock.h"
+#include "util/log.h"
 #include "util/rng.h"
 
 namespace chatfuzz::core {
@@ -43,6 +47,16 @@ const CampaignPoint* first_point_at(const std::vector<CampaignPoint>& curve,
       [](const CampaignPoint& p, double v) { return p.cond_cov_percent < v; });
   return it != curve.end() ? &*it : nullptr;
 }
+
+/// Trace recording bracketed over the engine body. Stops recording on every
+/// exit path (including thrown exceptions); the export itself only happens
+/// on the success path, explicitly.
+struct TraceSession {
+  bool active = false;
+  ~TraceSession() {
+    if (active) obs::trace_stop();
+  }
+};
 
 }  // namespace
 
@@ -98,6 +112,26 @@ namespace {
 CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
                           CheckpointHook hook,
                           const CheckpointData* restored) {
+  // Telemetry is observation-only: the registry reset, span recording and
+  // NDJSON snapshots below never feed back into campaign state, so every
+  // artifact is byte-identical with telemetry on or off. Metrics counters
+  // always accumulate (they are a relaxed add); the reset just scopes the
+  // numbers to this campaign when several run in one process.
+  obs::registry().reset();
+  const std::uint64_t obs_start_ns = obs::now_ns();
+  TraceSession trace_session;
+  if (!cfg.trace_path.empty()) {
+    obs::trace_start();
+    trace_session.active = true;
+  }
+  obs::StatsWriter stats_writer;
+  if (!cfg.stats_path.empty()) {
+    std::string err;
+    if (!stats_writer.open(cfg.stats_path, cfg.stats_every_ms, &err)) {
+      throw std::runtime_error("stats file: " + err);
+    }
+  }
+
   const bool use_suite = campaign_uses_metric_suite(cfg);
   // A listen address alone selects the dist engine even with num_procs == 0:
   // the coordinator then waits for external `worker --connect` dial-ins.
@@ -212,6 +246,8 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
   }
 
   const auto snapshot = [&] {
+    OBS_SPAN("engine.checkpoint");
+    obs::counter("campaign.checkpoints")->inc();
     ser::Status s = store.flush();
     if (!s.ok()) throw std::runtime_error(s.message());
     if (collect_bbv) {
@@ -260,10 +296,23 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
   std::vector<std::uint64_t> ctrl_new;
   std::vector<std::uint32_t> new_bins;
 
+  // Hot telemetry handles, resolved once (name lookups take a mutex).
+  obs::Counter* const m_tests = obs::counter("campaign.tests");
+  obs::Counter* const m_cycles = obs::counter("campaign.cycles");
+  obs::Counter* const m_instrs = obs::counter("campaign.instrs");
+  obs::Counter* const m_new_bins = obs::counter("campaign.new_bins");
+  obs::Counter* const m_batches = obs::counter("campaign.batches");
+  obs::Histo* const m_batch_new =
+      obs::registry().histogram("campaign.batch_new_bins", 0.0, 4096.0, 64);
+
   while (result.tests_run < cfg.num_tests) {
     const std::size_t want =
         std::min(cfg.batch_size, cfg.num_tests - result.tests_run);
-    const std::vector<Program> batch = gen.next_batch(want);
+    std::vector<Program> batch;
+    {
+      OBS_SPAN("engine.generate");
+      batch = gen.next_batch(want);
+    }
     if (batch.empty()) break;  // generator exhausted; don't spin forever
     const std::size_t base = result.tests_run;
 
@@ -280,6 +329,7 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
     coverages.reserve(batch.size());
     ctrl_new.reserve(batch.size());
     const auto fold_range = [&](std::size_t lo, std::size_t hi) {
+      OBS_SPAN("engine.fold");
       for (std::size_t i = lo; i < hi; ++i) {
         const TestArtifact& art = artifacts[i];
         // Running covered counts: both reads are O(1) on the journaled DBs,
@@ -331,6 +381,15 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
         ctrl_new.push_back(ctrl.test_new_states());
         result.total_cycles += art.cycles;
         result.total_instrs += art.steps;
+        m_tests->inc();
+        m_cycles->add(art.cycles);
+        m_instrs->add(art.steps);
+        m_new_bins->add(tc.incremental_bins);
+        for (const mismatch::Mismatch& mm : art.report.mismatches) {
+          obs::counter("campaign.mismatches.dut" +
+                       std::to_string(mm.dut_index))
+              ->inc();
+        }
         if (cfg.mismatch_detection) detector.accumulate(art.report);
         // Archive tests that earned their keep. Appends happen in
         // canonical fold order from the coordinator's own copy of the
@@ -390,17 +449,49 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
       // Simulate the batch across the thread pool (core/sim_worker.h owns
       // the claim/drain/first-exception machinery, shared with the dist
       // worker's lease loop), then fold it all at once.
-      run_span(workers, cfg, use_suite, batch.data(), batch.size(), base,
-               artifacts.data());
+      {
+        OBS_SPAN("engine.sim_batch");
+        run_span(workers, cfg, use_suite, batch.data(), batch.size(), base,
+                 artifacts.data());
+      }
       fold_range(0, batch.size());
     }
 
-    Feedback fb;
-    fb.batch = &batch;
-    fb.coverages = &coverages;
-    fb.ctrl_new_states = &ctrl_new;
-    fb.db = &db;
-    gen.feedback(fb);
+    {
+      OBS_SPAN("engine.feedback");
+      Feedback fb;
+      fb.batch = &batch;
+      fb.coverages = &coverages;
+      fb.ctrl_new_states = &ctrl_new;
+      fb.db = &db;
+      gen.feedback(fb);
+    }
+
+    // Batch-boundary telemetry rollup: gauges derived from the canonical
+    // result (reads only — nothing flows back), then an NDJSON snapshot if
+    // the stats interval elapsed.
+    m_batches->inc();
+    {
+      std::uint64_t batch_new = 0;
+      for (const cov::TestCoverage& tc : coverages) {
+        batch_new += tc.incremental_bins;
+      }
+      m_batch_new->add(static_cast<double>(batch_new));
+    }
+    if (stats_writer.is_open()) {
+      const double el_s =
+          static_cast<double>(obs::now_ns() - obs_start_ns) / 1e9;
+      obs::gauge("campaign.cov_percent")->set(db.total_percent());
+      obs::gauge("campaign.tests_per_sec")
+          ->set(el_s > 0 ? static_cast<double>(m_tests->value()) / el_s : 0);
+      obs::gauge("campaign.cycles_per_sec")
+          ->set(el_s > 0 ? static_cast<double>(m_cycles->value()) / el_s : 0);
+      obs::gauge("obs.spans_dropped")
+          ->set(static_cast<double>(obs::trace_dropped_count()));
+      std::vector<std::pair<std::string, double>> extras;
+      if (use_dist) coordinator->fleet_metrics(&extras);
+      stats_writer.maybe_write(extras);
+    }
 
     // Batch boundary: the generator's feedback is absorbed, no test is in
     // flight and no lease is outstanding — the one consistent cut point for
@@ -447,6 +538,30 @@ CampaignResult run_engine(InputGenerator& gen, const CampaignConfig& cfg,
   for (const mismatch::Finding f : detector.findings_seen()) {
     result.findings.insert(f);
   }
+
+  if (stats_writer.is_open()) {
+    const double el_s =
+        static_cast<double>(obs::now_ns() - obs_start_ns) / 1e9;
+    obs::gauge("campaign.cov_percent")->set(db.total_percent());
+    obs::gauge("campaign.tests_per_sec")
+        ->set(el_s > 0 ? static_cast<double>(m_tests->value()) / el_s : 0);
+    obs::gauge("campaign.cycles_per_sec")
+        ->set(el_s > 0 ? static_cast<double>(m_cycles->value()) / el_s : 0);
+    obs::gauge("obs.spans_dropped")
+        ->set(static_cast<double>(obs::trace_dropped_count()));
+    std::vector<std::pair<std::string, double>> extras;
+    extras.emplace_back("final", 1.0);
+    if (use_dist) coordinator->fleet_metrics(&extras);
+    stats_writer.finish(extras);
+  }
+  if (trace_session.active) {
+    obs::trace_stop();
+    trace_session.active = false;
+    std::string err;
+    if (!obs::write_chrome_trace(cfg.trace_path, &err)) {
+      LOG_WARN("trace export failed: %s", err.c_str());
+    }
+  }
   return result;
 }
 
@@ -488,6 +603,9 @@ CampaignResult resume_campaign(InputGenerator& gen, const std::string& dir,
   cfg.dist = opts.dist;       // topology is per-run, never stored
   cfg.superblocks = opts.superblocks;  // dispatch engine likewise
   cfg.bbv_path = opts.bbv_path;        // persistence paths likewise
+  cfg.trace_path = opts.trace_path;    // telemetry likewise
+  cfg.stats_path = opts.stats_path;
+  cfg.stats_every_ms = opts.stats_every_ms;
   return run_engine(gen, cfg, std::move(hook), &data);
 }
 

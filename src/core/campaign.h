@@ -211,6 +211,21 @@ struct CampaignConfig {
   /// scheduling: results are bit-identical whether a campaign runs in one
   /// process or across many.
   DistConfig dist;
+
+  // ---- telemetry (src/obs/) ------------------------------------------------
+  /// When non-empty, record scoped spans for the whole run and export them
+  /// as Chrome trace_event JSON here (`fuzz --trace`). Observation-only and
+  /// out-of-band by contract: every campaign artifact is byte-identical with
+  /// tracing on or off (the `obs` suite pins this). Like bbv_path these are
+  /// per-run output paths — never serialized into checkpoints, so enabling
+  /// telemetry cannot perturb checkpoint bytes or config fingerprints.
+  std::string trace_path;
+  /// When non-empty, snapshot the obs metrics registry to this NDJSON file
+  /// at batch boundaries (`fuzz --stats`), at most every stats_every_ms,
+  /// plus one final line. Same out-of-band contract as trace_path.
+  std::string stats_path;
+  /// Minimum milliseconds between NDJSON snapshots (0 = every batch).
+  std::uint64_t stats_every_ms = 1000;
 };
 
 /// The DUT configs a campaign actually simulates: `cfg.duts` when set,
@@ -297,6 +312,11 @@ struct ResumeOptions {
   /// checkpoint's test count before appending, so a resumed campaign's log
   /// is bit-identical to an uninterrupted one's. Empty = don't collect.
   std::string bbv_path;
+  /// Telemetry outputs for the resumed run — per-run observation paths,
+  /// exactly like bbv_path (checkpoints never store them).
+  std::string trace_path;
+  std::string stats_path;
+  std::uint64_t stats_every_ms = 1000;
 };
 
 /// Continue a campaign from <dir>/campaign.ckpt. `gen` must be a

@@ -5,6 +5,9 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/sim_counters.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace chatfuzz::core {
@@ -51,9 +54,32 @@ const std::vector<std::size_t>& guide_test_bins(const TestArtifact& art,
   }
 }
 
+namespace {
+
+/// Drain a simulator's per-test telemetry tallies into the process-wide
+/// registry. Counter handles resolve once per process (the names never
+/// change), so the per-test cost is six relaxed atomic adds.
+void flush_sim_counters(const obs::SimCounters& c) {
+  static obs::Counter* const pd_hits = obs::counter("sim.predecode_hits");
+  static obs::Counter* const pd_misses = obs::counter("sim.predecode_misses");
+  static obs::Counter* const tlb_hits = obs::counter("sim.tlb_hits");
+  static obs::Counter* const tlb_misses = obs::counter("sim.tlb_misses");
+  static obs::Counter* const sb_hits = obs::counter("sim.sb_hits");
+  static obs::Counter* const sb_builds = obs::counter("sim.sb_builds");
+  pd_hits->add(c.predecode_hits);
+  pd_misses->add(c.predecode_misses);
+  tlb_hits->add(c.tlb_hits);
+  tlb_misses->add(c.tlb_misses);
+  sb_hits->add(c.sb_hits);
+  sb_builds->add(c.sb_builds);
+}
+
+}  // namespace
+
 void run_one(SimStack& w, const CampaignConfig& cfg, bool use_suite,
              const Program& test, std::uint64_t test_index,
              TestArtifact& out) {
+  OBS_SPAN("sim.run_one");
   out.begin();
   w.db.reset_hits();  // shard holds exactly this test's hits afterwards
   if (use_suite) w.suite.begin_test();
@@ -74,7 +100,9 @@ void run_one(SimStack& w, const CampaignConfig& cfg, bool use_suite,
   // order-free exactly as in single-DUT mode. The metrics suite, BBV
   // recorder and step count stay primary-DUT-only: they feed guidance and
   // phase analyses whose semantics are per-program, not per-backend.
+  obs::SimCounters oc;
   for (std::size_t d = 0; d < w.duts.size(); ++d) {
+    OBS_SPAN("sim.dut_run");
     rtl::DutCore& dut = *w.duts[d];
     dut.ctrl_cov().begin_test();
     dut.ctrl_cov().set_recorder(&out.ctrl_states);
@@ -95,7 +123,10 @@ void run_one(SimStack& w, const CampaignConfig& cfg, bool use_suite,
     }
     dut.reset(test);
     const sim::RunResult dut_run = dut.run();
-    if (cfg.mismatch_detection) w.comparator.finish();
+    if (cfg.mismatch_detection) {
+      OBS_SPAN("sim.lockstep_finish");
+      w.comparator.finish();
+    }
     dut.set_sink(nullptr);
     dut.ctrl_cov().set_recorder(nullptr);
     if (bbv_this) {
@@ -104,7 +135,10 @@ void run_one(SimStack& w, const CampaignConfig& cfg, bool use_suite,
     }
     out.cycles += dut.cycles();
     if (d == 0) out.steps = dut_run.steps;
+    oc += dut.take_obs_counters();
   }
+  oc += w.golden->take_obs_counters();
+  flush_sim_counters(oc);
 
   cov::extract_bins(w.db, out.cond_bins);
   if (use_suite) {

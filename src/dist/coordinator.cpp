@@ -9,8 +9,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -58,6 +61,7 @@ std::int64_t Coordinator::effective_heartbeat_timeout_ms() const {
 Coordinator::Coordinator(const core::CampaignConfig& cfg, bool use_suite)
     : cfg_(cfg), use_suite_(use_suite),
       lease_tests_(effective_lease_tests(cfg)) {
+  set_log_role("coord");
   if (cfg_.dist.fault.any()) {
     // The fault schedule forks off the campaign seed: reproducible, and
     // decorrelated from every generator stream.
@@ -105,7 +109,20 @@ bool Coordinator::add_peer(Peer peer, int handshake_timeout_ms) {
              std::to_string(kProtocolVersion);
   } else if (hello.token != cfg_.dist.token) {
     reject = "bad auth token";
-  } else if (hello.role != static_cast<std::uint8_t>(PeerRole::kWorker)) {
+  }
+  if (reject.empty() &&
+      hello.role == static_cast<std::uint8_t>(PeerRole::kStatus)) {
+    // Fleet introspection (`chatfuzz fleet status`): one aggregated
+    // snapshot, then close. Observation-only — the peer never becomes a
+    // worker and is not counted as rejected.
+    (void)chan->send_frame(encode_stats_reply(build_fleet_reply()), 5'000);
+    chan->close();
+    LOG_INFO("dist: served fleet status query pid=%llu",
+             static_cast<unsigned long long>(hello.pid));
+    return false;
+  }
+  if (reject.empty() &&
+      hello.role != static_cast<std::uint8_t>(PeerRole::kWorker)) {
     reject = "peer role is not 'worker' (federation endpoint is elsewhere)";
   }
   if (!reject.empty()) {
@@ -163,6 +180,7 @@ void Coordinator::accept_pending() {
 void Coordinator::await_reconnect(int window_ms) {
   const int lfd = transport_->listen_fd();
   if (lfd < 0) return;
+  OBS_SPAN("dist.await_reconnect");
   LOG_WARN("dist: fleet empty, waiting up to %dms for a reconnect",
            window_ms);
   const std::int64_t deadline = now_ms() + window_ms;
@@ -215,6 +233,69 @@ std::size_t Coordinator::live_workers() const {
   std::size_t n = 0;
   for (const WorkerPeer& w : workers_) n += w.alive ? 1 : 0;
   return n;
+}
+
+void Coordinator::fleet_metrics(
+    std::vector<std::pair<std::string, double>>* out) {
+  const auto put = [&](const char* name, double v) {
+    out->emplace_back(name, v);
+  };
+  put("fleet.workers_live", static_cast<double>(live_workers()));
+  put("fleet.workers_spawned", static_cast<double>(stats_.workers_spawned));
+  put("fleet.workers_lost", static_cast<double>(stats_.workers_lost));
+  put("fleet.leases_issued", static_cast<double>(stats_.leases_issued));
+  put("fleet.leases_reissued", static_cast<double>(stats_.leases_reissued));
+  put("fleet.peers_accepted", static_cast<double>(stats_.peers_accepted));
+  put("fleet.peers_rejected", static_cast<double>(stats_.peers_rejected));
+  put("fleet.lost_disconnect", static_cast<double>(stats_.lost_disconnect));
+  put("fleet.lost_no_progress", static_cast<double>(stats_.lost_no_progress));
+  put("fleet.lost_no_heartbeat",
+      static_cast<double>(stats_.lost_no_heartbeat));
+  put("fleet.heartbeats_seen", static_cast<double>(stats_.heartbeats_seen));
+  put("fleet.slow_demotions", static_cast<double>(stats_.slow_demotions));
+  put("fleet.faults_injected", static_cast<double>(faults_injected()));
+
+  // Latest per-worker registry snapshots, summed by metric name. Dead
+  // peers keep contributing their last report — their work happened.
+  std::map<std::string, double> agg;
+  for (const WorkerPeer& w : workers_) {
+    for (const auto& [name, value] : w.last_metrics) agg[name] += value;
+  }
+  for (const auto& [name, value] : agg) {
+    out->emplace_back("fleet.worker." + name, value);
+  }
+
+  // Refresh: ask every live worker for its current snapshot. Replies ride
+  // back through run_batch's poll loop like heartbeats; the NEXT call sees
+  // them. Best-effort — a stalled send here must never take a peer down
+  // (the lease/heartbeat paths own failure detection).
+  for (WorkerPeer& w : workers_) {
+    if (!w.alive) continue;
+    (void)w.chan->send_frame(encode_stats_request(), 1'000);
+  }
+}
+
+StatsReplyMsg Coordinator::build_fleet_reply() {
+  StatsReplyMsg reply;
+  // The coordinator lives inside the engine process, so its own registry
+  // snapshot IS the campaign view (campaign.* counters, gauges, histos).
+  reply.metrics = obs::registry().snapshot();
+  fleet_metrics(&reply.metrics);
+  const std::int64_t now = now_ms();
+  for (const WorkerPeer& w : workers_) {
+    PeerStatusEntry e;
+    e.pid = static_cast<std::uint64_t>(w.hello_pid);
+    e.alive = w.alive;
+    e.demoted = w.demoted;
+    e.leases_held = static_cast<std::uint32_t>(w.leases.size());
+    e.results = w.results;
+    e.heartbeat_age_ms =
+        w.alive ? static_cast<std::uint64_t>(
+                      std::max<std::int64_t>(0, now - w.last_heartbeat_ms))
+                : ~0ull;
+    reply.peers.push_back(e);
+  }
+  return reply;
 }
 
 std::size_t Coordinator::allowed_depth(std::size_t index) const {
@@ -320,39 +401,43 @@ void Coordinator::run_batch(const std::vector<core::Program>& batch,
 
     // Assign queued leases to survivors with capacity, round-robin so the
     // double-buffer slots fill evenly before anyone gets a second lease.
-    for (std::size_t depth = 0; depth < 2 && !queue.empty(); ++depth) {
-      for (std::size_t wi = 0; wi < workers_.size() && !queue.empty();
-           ++wi) {
-        WorkerPeer& w = workers_[wi];
-        if (!w.alive || w.leases.size() != depth) continue;
-        if (depth >= allowed_depth(wi)) continue;
-        const std::size_t l = queue.back();
-        const auto [start, count] = lease_range(l);
-        LeaseMsg lease;
-        lease.lease_id = l;
-        lease.base_index = base + start;
-        lease.tests.assign(
-            batch.begin() + static_cast<std::ptrdiff_t>(start),
-            batch.begin() + static_cast<std::ptrdiff_t>(start + count));
-        // Bound the send by the same no-progress window as receives: a
-        // worker that stops draining its socket is hung, and a stalled
-        // send must not keep run_batch from ever reaching the expiry loop.
-        const int send_timeout =
-            cfg_.dist.lease_timeout_ms != 0
-                ? static_cast<int>(cfg_.dist.lease_timeout_ms)
-                : -1;
-        const ser::Status s =
-            w.chan->send_frame(encode_lease(lease), send_timeout);
-        if (!s.ok()) {
-          // Dead on send: do NOT pop — the lease stays queued for a
-          // survivor.
-          lose_worker(wi, LossCause::kDisconnect, s.message(), &queue);
-          continue;
+    {
+      OBS_SPAN("dist.lease_issue");
+      for (std::size_t depth = 0; depth < 2 && !queue.empty(); ++depth) {
+        for (std::size_t wi = 0; wi < workers_.size() && !queue.empty();
+             ++wi) {
+          WorkerPeer& w = workers_[wi];
+          if (!w.alive || w.leases.size() != depth) continue;
+          if (depth >= allowed_depth(wi)) continue;
+          const std::size_t l = queue.back();
+          const auto [start, count] = lease_range(l);
+          LeaseMsg lease;
+          lease.lease_id = l;
+          lease.base_index = base + start;
+          lease.tests.assign(
+              batch.begin() + static_cast<std::ptrdiff_t>(start),
+              batch.begin() + static_cast<std::ptrdiff_t>(start + count));
+          // Bound the send by the same no-progress window as receives: a
+          // worker that stops draining its socket is hung, and a stalled
+          // send must not keep run_batch from ever reaching the expiry
+          // loop.
+          const int send_timeout =
+              cfg_.dist.lease_timeout_ms != 0
+                  ? static_cast<int>(cfg_.dist.lease_timeout_ms)
+                  : -1;
+          const ser::Status s =
+              w.chan->send_frame(encode_lease(lease), send_timeout);
+          if (!s.ok()) {
+            // Dead on send: do NOT pop — the lease stays queued for a
+            // survivor.
+            lose_worker(wi, LossCause::kDisconnect, s.message(), &queue);
+            continue;
+          }
+          queue.pop_back();
+          w.leases.push_back({l, now_ms()});
+          w.last_progress_ms = now_ms();
+          ++stats_.leases_issued;
         }
-        queue.pop_back();
-        w.leases.push_back({l, now_ms()});
-        w.last_progress_ms = now_ms();
-        ++stats_.leases_issued;
       }
     }
     maybe_fire_kill_injection();
@@ -463,6 +548,18 @@ void Coordinator::run_batch(const std::vector<core::Program>& batch,
           continue;
         }
       }
+      if (s.ok() && peek_type(payload) == MsgType::kStatsReply) {
+        // Telemetry answer to an earlier kStatsRequest — store it for
+        // fleet_metrics and move on; it is liveness too, like a heartbeat.
+        StatsReplyMsg sr;
+        s = decode_stats_reply(payload, &sr);
+        if (s.ok()) {
+          w.last_metrics = std::move(sr.metrics);
+          w.last_heartbeat_ms = now_ms();
+          continue;
+        }
+      }
+      OBS_SPAN("dist.result_decode");
       if (s.ok()) s = decode_lease_result(payload, &result);
       if (s.ok() &&
           (w.leases.empty() || result.lease_id != w.leases.front().lease)) {
@@ -488,6 +585,7 @@ void Coordinator::run_batch(const std::vector<core::Program>& batch,
           done[l] = 1;
           --remaining;
           ++results_folded_;
+          ++w.results;
           const std::int64_t tnow = now_ms();
           note_lease_done(w, tnow);
           w.leases.erase(w.leases.begin());

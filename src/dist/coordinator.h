@@ -83,6 +83,15 @@ class Coordinator {
 
   const CoordinatorStats& stats() const { return stats_; }
   std::size_t live_workers() const;
+
+  /// Fleet telemetry for the --stats NDJSON stream: appends the
+  /// coordinator's own counters (fleet.leases_issued, fleet.lost_*, ...)
+  /// and the per-worker obs-registry snapshots aggregated by name
+  /// (fleet.worker.<metric>, summed across peers). Also fires a
+  /// kStatsRequest at every live worker so the NEXT snapshot is fresh —
+  /// replies are absorbed by run_batch's poll loop out-of-band, exactly
+  /// like heartbeats. Observation-only.
+  void fleet_metrics(std::vector<std::pair<std::string, double>>* out);
   /// Wire faults the injector has fired so far (0 when injection is off).
   std::size_t faults_injected() const {
     return injector_ ? injector_->injected() : 0;
@@ -115,6 +124,9 @@ class Coordinator {
     double ema_lease_ms = 0.0;
     std::size_t ema_samples = 0;
     bool demoted = false;
+    std::uint64_t results = 0;  // lease results folded from this peer
+    /// Latest kStatsReply metric snapshot from this worker (telemetry).
+    std::vector<std::pair<std::string, double>> last_metrics;
   };
 
   enum class LossCause { kDisconnect, kNoProgress, kNoHeartbeat };
@@ -135,6 +147,8 @@ class Coordinator {
   void note_lease_done(WorkerPeer& w, std::int64_t now);
   void maybe_fire_kill_injection();
   std::int64_t effective_heartbeat_timeout_ms() const;
+  /// The kStatus handshake answer: fleet table + aggregated metrics.
+  StatsReplyMsg build_fleet_reply();
 
   core::CampaignConfig cfg_;
   bool use_suite_ = false;

@@ -1,0 +1,100 @@
+#include "dist/fleet.h"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cmath>
+
+#include "dist/transport.h"
+#include "util/log.h"
+
+namespace chatfuzz::dist {
+
+bool fleet_status_query(const std::string& hostport, const std::string& token,
+                        StatsReplyMsg* reply, std::string* err) {
+  const auto hp = parse_hostport(hostport);
+  if (!hp) {
+    *err = "bad address \"" + hostport + "\" (want host:port)";
+    return false;
+  }
+  const int fd = tcp_connect(*hp, 5'000, err);
+  if (fd < 0) return false;
+  FrameChannel chan(fd);
+
+  HelloMsg hello;
+  hello.pid = static_cast<std::uint64_t>(::getpid());
+  hello.role = static_cast<std::uint8_t>(PeerRole::kStatus);
+  hello.token = token;
+  ser::Status s = chan.send_frame(encode_hello(hello), 5'000);
+  if (!s.ok()) {
+    *err = "cannot greet coordinator: " + s.message();
+    return false;
+  }
+  std::string payload;
+  s = chan.recv_frame(&payload, 10'000);
+  if (!s.ok()) {
+    *err = "no reply from coordinator: " + s.message();
+    return false;
+  }
+  if (peek_type(payload) == MsgType::kReject) {
+    RejectMsg reject;
+    *err = decode_reject(payload, &reject).ok()
+               ? "rejected by coordinator: " + reject.reason
+               : "rejected by coordinator";
+    return false;
+  }
+  s = decode_stats_reply(payload, reply);
+  if (!s.ok()) {
+    *err = "bad stats reply: " + s.message();
+    return false;
+  }
+  return true;
+}
+
+std::string render_fleet_status(const StatsReplyMsg& reply) {
+  std::string out;
+  std::size_t live = 0;
+  for (const PeerStatusEntry& p : reply.peers) live += p.alive ? 1 : 0;
+  out += strformat("fleet: %zu peer(s), %zu live\n", reply.peers.size(),
+                   live);
+  if (!reply.peers.empty()) {
+    out += "  peer        pid  state  leases   results  heartbeat\n";
+  }
+  for (std::size_t i = 0; i < reply.peers.size(); ++i) {
+    const PeerStatusEntry& p = reply.peers[i];
+    const char* state = !p.alive ? "lost" : p.demoted ? "slow" : "ok";
+    std::string hb = "-";
+    if (p.alive && p.heartbeat_age_ms != ~0ull) {
+      hb = strformat("%" PRIu64 "ms ago", p.heartbeat_age_ms);
+    }
+    out += strformat("  %4zu  %9" PRIu64 "  %-5s  %6u  %8" PRIu64 "  %s\n",
+                     i, p.pid, state, p.leases_held, p.results, hb.c_str());
+  }
+  out += strformat("metrics: %zu\n", reply.metrics.size());
+  for (const auto& [name, value] : reply.metrics) {
+    // Counters dominate; print integral values without a fraction.
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::fabs(value) < 1e15) {
+      out += strformat("  %-40s %lld\n", name.c_str(),
+                       static_cast<long long>(value));
+    } else {
+      out += strformat("  %-40s %.6g\n", name.c_str(), value);
+    }
+  }
+  return out;
+}
+
+int fleet_status_main(const std::string& hostport, const std::string& token,
+                      std::FILE* out) {
+  StatsReplyMsg reply;
+  std::string err;
+  if (!fleet_status_query(hostport, token, &reply, &err)) {
+    LOG_ERROR("fleet status: %s", err.c_str());
+    return 1;
+  }
+  const std::string text = render_fleet_status(reply);
+  std::fwrite(text.data(), 1, text.size(), out);
+  return 0;
+}
+
+}  // namespace chatfuzz::dist

@@ -1,0 +1,30 @@
+// `chatfuzz fleet status <host:port>`: live introspection of a running
+// `fuzz --listen` fleet. Dials the coordinator as a PeerRole::kStatus peer
+// (protocol v5), receives one aggregated kStatsReply — the per-peer table
+// (pid, liveness, outstanding leases, folded results, heartbeat age) plus
+// the coordinator's full metrics snapshot — prints it, and exits. Strictly
+// observation-only: the query never joins the fleet, holds no lease, and
+// cannot perturb campaign results.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "dist/protocol.h"
+
+namespace chatfuzz::dist {
+
+/// Dial `hostport`, authenticate with `token`, fetch one fleet snapshot.
+/// Returns false with *err set on connection/handshake/decode failure or
+/// an explicit coordinator rejection.
+bool fleet_status_query(const std::string& hostport, const std::string& token,
+                        StatsReplyMsg* reply, std::string* err);
+
+/// Human-readable rendering of a fleet snapshot (shared with tests).
+std::string render_fleet_status(const StatsReplyMsg& reply);
+
+/// CLI entry: query + print to `out`. Returns a process exit code.
+int fleet_status_main(const std::string& hostport, const std::string& token,
+                      std::FILE* out);
+
+}  // namespace chatfuzz::dist

@@ -47,7 +47,7 @@ MsgType peek_type(const std::string& payload) {
   if (payload.empty()) return MsgType::kInvalid;
   const auto t = static_cast<std::uint8_t>(payload[0]);
   if (t < static_cast<std::uint8_t>(MsgType::kHello) ||
-      t > static_cast<std::uint8_t>(MsgType::kFedDone)) {
+      t > static_cast<std::uint8_t>(MsgType::kStatsReply)) {
     return MsgType::kInvalid;
   }
   return static_cast<MsgType>(t);
@@ -393,6 +393,80 @@ ser::Status decode_fed_done(const std::string& payload, FedDoneMsg* msg) {
   msg->count = r.u64();
   if (!r.done()) {
     return decode_error("fed-done", r, payload, "malformed fields");
+  }
+  return {};
+}
+
+std::string encode_stats_request() {
+  ser::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kStatsRequest));
+  return w.take();
+}
+
+std::string encode_stats_reply(const StatsReplyMsg& msg) {
+  ser::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kStatsReply));
+  w.u64(msg.metrics.size());
+  for (const auto& [name, value] : msg.metrics) {
+    w.str(name);
+    w.f64(value);
+  }
+  w.u64(msg.peers.size());
+  for (const PeerStatusEntry& p : msg.peers) {
+    w.u64(p.pid);
+    w.boolean(p.alive);
+    w.boolean(p.demoted);
+    w.u32(p.leases_held);
+    w.u64(p.results);
+    w.u64(p.heartbeat_age_ms);
+  }
+  return w.take();
+}
+
+ser::Status decode_stats_reply(const std::string& payload,
+                               StatsReplyMsg* msg) {
+  ser::Reader r(payload);
+  if (!take_type(r, MsgType::kStatsReply)) {
+    return decode_error("stats-reply", r, payload, "wrong type tag");
+  }
+  const std::uint64_t nm = r.u64();
+  // Each metric carries at least a length prefix and an f64.
+  if (!r.ok() || nm > r.remaining() / 9) {
+    return decode_error("stats-reply", r, payload,
+                        "metric count exceeds payload");
+  }
+  msg->metrics.clear();
+  msg->metrics.reserve(nm);
+  for (std::uint64_t i = 0; i < nm; ++i) {
+    std::string name = r.str();
+    const double value = r.f64();
+    if (!r.ok()) {
+      return decode_error("stats-reply", r, payload, "malformed metric");
+    }
+    msg->metrics.emplace_back(std::move(name), value);
+  }
+  const std::uint64_t np = r.u64();
+  if (!r.ok() || np > r.remaining() / 24) {
+    return decode_error("stats-reply", r, payload,
+                        "peer count exceeds payload");
+  }
+  msg->peers.clear();
+  msg->peers.reserve(np);
+  for (std::uint64_t i = 0; i < np; ++i) {
+    PeerStatusEntry p;
+    p.pid = r.u64();
+    p.alive = r.boolean();
+    p.demoted = r.boolean();
+    p.leases_held = r.u32();
+    p.results = r.u64();
+    p.heartbeat_age_ms = r.u64();
+    if (!r.ok()) {
+      return decode_error("stats-reply", r, payload, "malformed peer entry");
+    }
+    msg->peers.push_back(p);
+  }
+  if (!r.done()) {
+    return decode_error("stats-reply", r, payload, "malformed fields");
   }
   return {};
 }

@@ -52,7 +52,13 @@ namespace chatfuzz::dist {
 // numbers agree; kReject tells a refused peer WHY before the close (so it
 // can stop redialing); kHeartbeat carries worker liveness between results;
 // kFed* carry corpus federation deltas.
-inline constexpr std::uint32_t kProtocolVersion = 4;
+// v5: fleet introspection. A kStatus-role hello asks for one kStatsReply
+// (the coordinator's aggregated fleet state) and the connection closes —
+// the `chatfuzz fleet status` CLI; kStatsRequest asks a worker to answer
+// with a kStatsReply snapshot of its own obs metrics registry, which the
+// coordinator folds into the --stats NDJSON stream. Observation-only: no
+// stats frame ever carries or mutates campaign state.
+inline constexpr std::uint32_t kProtocolVersion = 5;
 inline constexpr std::uint32_t kFrameMagic = 0x4346444D;  // "CFDM"
 /// Upper bound on one frame's payload; a length prefix beyond this is
 /// treated as corruption (it would otherwise become an allocation bomb).
@@ -71,10 +77,12 @@ enum class MsgType : std::uint8_t {
   kFedDelta = 9,
   kFedAck = 10,
   kFedDone = 11,
+  kStatsRequest = 12,
+  kStatsReply = 13,
 };
 
 /// What a hello's sender wants from the connection.
-enum class PeerRole : std::uint8_t { kWorker = 0, kFederate = 1 };
+enum class PeerRole : std::uint8_t { kWorker = 0, kFederate = 1, kStatus = 2 };
 
 struct HelloMsg {
   std::uint32_t protocol = kProtocolVersion;
@@ -158,6 +166,25 @@ struct LeaseResultMsg {
   std::vector<core::TestArtifact> artifacts;  // one per leased test, in order
 };
 
+// ---- fleet introspection (v5) ---------------------------------------------
+
+/// Live view of one peer as the coordinator sees it (kStatus replies).
+struct PeerStatusEntry {
+  std::uint64_t pid = 0;
+  bool alive = false;
+  bool demoted = false;          // exceeded the slow-peer EMA threshold
+  std::uint32_t leases_held = 0; // outstanding right now
+  std::uint64_t results = 0;     // lease results folded from this peer
+  std::uint64_t heartbeat_age_ms = 0;  // since the last heartbeat (or ~0)
+};
+
+/// A metrics snapshot: name/value pairs from the sender's obs registry,
+/// plus (coordinator -> status client only) the per-peer fleet table.
+struct StatsReplyMsg {
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<PeerStatusEntry> peers;
+};
+
 /// Type tag of an encoded payload (kInvalid when empty).
 MsgType peek_type(const std::string& payload);
 
@@ -177,6 +204,8 @@ std::string encode_fed_request(const FedRequestMsg& msg);
 std::string encode_fed_delta(const FedDeltaMsg& msg);
 std::string encode_fed_ack(const FedAckMsg& msg);
 std::string encode_fed_done(const FedDoneMsg& msg);
+std::string encode_stats_request();
+std::string encode_stats_reply(const StatsReplyMsg& msg);
 
 /// Decoders verify the type tag, every field, and full consumption of the
 /// payload. On error the out-param may be partially filled; the Status
@@ -193,6 +222,7 @@ ser::Status decode_fed_request(const std::string& payload, FedRequestMsg* msg);
 ser::Status decode_fed_delta(const std::string& payload, FedDeltaMsg* msg);
 ser::Status decode_fed_ack(const std::string& payload, FedAckMsg* msg);
 ser::Status decode_fed_done(const std::string& payload, FedDoneMsg* msg);
+ser::Status decode_stats_reply(const std::string& payload, StatsReplyMsg* msg);
 
 /// Per-test artifact encoding (shared by result frames; exposed for tests).
 void write_artifact(ser::Writer& w, const core::TestArtifact& art);

@@ -15,6 +15,8 @@
 #include "core/sim_worker.h"
 #include "dist/protocol.h"
 #include "dist/transport.h"
+#include "obs/metrics.h"
+#include "util/log.h"
 #include "util/rng.h"
 
 namespace chatfuzz::dist {
@@ -149,6 +151,7 @@ ServeOutcome serve(FrameChannel& chan, const WorkerOptions& opts,
     return ServeOutcome::kRejected;
   }
   *handshook = true;
+  set_log_role("worker " + std::to_string(config.worker_index));
 
   core::CampaignConfig& cfg = config.cfg;
   // Re-apply the per-run knobs write_campaign_config excludes: the dispatch
@@ -197,6 +200,17 @@ ServeOutcome serve(FrameChannel& chan, const WorkerOptions& opts,
     switch (peek_type(payload)) {
       case MsgType::kShutdown:
         return ServeOutcome::kShutdown;
+      case MsgType::kStatsRequest: {
+        // Telemetry: snapshot this process's obs registry (sim.* counters
+        // drained from the stacks by run_one) and send it back. Shares the
+        // send mutex with results and heartbeats; short bound, best-effort
+        // — a failed stats send is the recv path's problem to notice.
+        StatsReplyMsg sr;
+        sr.metrics = obs::registry().snapshot();
+        std::lock_guard<std::mutex> lock(send_mu);
+        (void)chan.send_frame(encode_stats_reply(sr), 1'000);
+        break;
+      }
       case MsgType::kLease: {
         s = decode_lease(payload, &lease);
         if (!s.ok()) {

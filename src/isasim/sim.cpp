@@ -302,9 +302,11 @@ Exception IsaSim::translate(std::uint64_t vaddr, Access access,
   std::uint64_t pte;
   unsigned level;
   if (e.valid && e.vpn == vpn) {
+    ++obs_tlb_hits_;
     pte = e.pte;
     level = e.level;
   } else {
+    ++obs_tlb_misses_;
     std::uint64_t base = (csrs_.satp & riscv::csr::kSatpPpnMask)
                          << pv::kPageShift;
     int lvl = pv::kLevels - 1;
@@ -465,7 +467,10 @@ bool IsaSim::run_superblock() {
     // most one span per 16 committed instructions.
     if (sb_builds_ > 8 && sb_builds_ * 16 > steps_) return false;
     ++sb_builds_;
+    ++obs_sb_builds_;
     span = build_superblock();
+  } else {
+    ++obs_sb_hits_;
   }
   if (span->len == 0) return false;
   const Decoded* slots = sb_.slots(*span);

@@ -13,6 +13,7 @@
 #include "isasim/memory.h"
 #include "isasim/platform.h"
 #include "isasim/trace.h"
+#include "obs/sim_counters.h"
 #include "riscv/instr.h"
 #include "riscv/predecode.h"
 #include "riscv/superblock.h"
@@ -73,6 +74,20 @@ class IsaSim {
   /// empty and run() returns an empty RunResult::trace — the streaming path
   /// never materializes one.
   void set_sink(CommitSink* sink) { sink_ = sink; }
+
+  /// Telemetry counters accumulated since the last take (predecode/TLB/
+  /// superblock hit rates); taking zeroes them. Observation-only.
+  obs::SimCounters take_obs_counters() {
+    obs::SimCounters c;
+    c.predecode_hits = predecode_.take_hits();
+    c.predecode_misses = predecode_.take_misses();
+    c.tlb_hits = obs_tlb_hits_;
+    c.tlb_misses = obs_tlb_misses_;
+    c.sb_hits = obs_sb_hits_;
+    c.sb_builds = obs_sb_builds_;
+    obs_tlb_hits_ = obs_tlb_misses_ = obs_sb_hits_ = obs_sb_builds_ = 0;
+    return c;
+  }
 
  private:
   struct CsrFile {
@@ -177,6 +192,12 @@ class IsaSim {
   // only spans already cached. Purely a speed valve — dispatch results are
   // identical either way.
   std::uint64_t sb_builds_ = 0;
+
+  // Telemetry tallies (see take_obs_counters); never read architecturally.
+  std::uint64_t obs_tlb_hits_ = 0;
+  std::uint64_t obs_tlb_misses_ = 0;
+  std::uint64_t obs_sb_hits_ = 0;
+  std::uint64_t obs_sb_builds_ = 0;
 
   Trace trace_;
   CommitSink* sink_ = nullptr;

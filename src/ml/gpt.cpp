@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "ml/kernels.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace chatfuzz::ml {
@@ -621,6 +622,7 @@ Gpt::GenState Gpt::gen_begin(int B) const {
 }
 
 void Gpt::gen_step(GenState& s, const int* tokens_t, float* logits_out) const {
+  OBS_SPAN("ml.gen_step");
   const Layout p = Layout::make(cfg_);
   const int C = cfg_.n_embd, NH = cfg_.n_head, V = cfg_.vocab;
   const int hs = C / NH;

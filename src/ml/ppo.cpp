@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "ml/tokenizer.h"
+#include "obs/trace.h"
 
 namespace chatfuzz::ml {
 
@@ -17,6 +18,7 @@ PpoTrainer::PpoTrainer(Gpt& policy, const Gpt& reference, PpoConfig cfg)
 PpoStats PpoTrainer::update(const std::vector<Generation>& gens,
                             const std::vector<double>& rewards,
                             const std::vector<std::vector<float>>* token_rewards) {
+  OBS_SPAN("ml.ppo_update");
   PpoStats stats;
 
   // Keep only sequences with a non-empty response.

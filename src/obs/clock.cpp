@@ -1,0 +1,30 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace obs {
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Rebase the default clock to process start so trace timestamps are small.
+const std::uint64_t g_epoch_ns = steady_now_ns();
+
+std::atomic<Clock*> g_clock{nullptr};
+
+}  // namespace
+
+void set_clock(Clock* c) { g_clock.store(c, std::memory_order_release); }
+
+std::uint64_t now_ns() {
+  Clock* c = g_clock.load(std::memory_order_acquire);
+  if (c) return c->now_ns();
+  return steady_now_ns() - g_epoch_ns;
+}
+
+}  // namespace obs

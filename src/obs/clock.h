@@ -1,0 +1,42 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+// Timestamp seam for the telemetry subsystem. Everything in obs/ reads time
+// through obs::now_ns() so tests can install a ManualClock and get
+// deterministic trace/stats output. The default clock is monotonic
+// (steady_clock) — wall-clock jumps must never reorder spans.
+//
+// Telemetry is out-of-band by contract: nothing in the campaign's
+// deterministic state may ever read this clock.
+namespace obs {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::uint64_t now_ns() = 0;
+};
+
+// Install a clock (nullptr restores the default steady clock). The pointer
+// must outlive all telemetry use; tests install/restore around each case.
+void set_clock(Clock* c);
+
+// Nanoseconds from the current clock. The default clock is rebased so the
+// first call in a process returns a small value (readable trace timestamps).
+std::uint64_t now_ns();
+
+// Fixed-point test clock: returns a programmed value, advanced manually.
+// Atomic so worker threads can read it while the test thread advances it.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start_ns = 0) : t_(start_ns) {}
+  std::uint64_t now_ns() override { return t_.load(std::memory_order_relaxed); }
+  void advance_ns(std::uint64_t d) { t_.fetch_add(d, std::memory_order_relaxed); }
+  void set_ns(std::uint64_t t) { t_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> t_;
+};
+
+}  // namespace obs

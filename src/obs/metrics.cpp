@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/clock.h"
+
+namespace obs {
+
+void Histo::add(double x) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stat_.count() == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  hist_.add(x);
+  stat_.add(x);
+}
+
+void Histo::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  hist_ = chatfuzz::Histogram(lo_, hi_, nbuckets_);
+  stat_.reset();
+  min_ = max_ = 0.0;
+}
+
+Histo::Summary Histo::summary() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Summary s;
+  s.count = static_cast<std::uint64_t>(stat_.count());
+  s.mean = stat_.mean();
+  s.stddev = stat_.stddev();
+  s.min = min_;
+  s.max = max_;
+  return s;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histo* Registry::histogram(const std::string& name, double lo, double hi,
+                           std::size_t buckets) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histos_[name];
+  if (!slot) slot = std::make_unique<Histo>(lo, hi, buckets);
+  return slot.get();
+}
+
+std::vector<std::pair<std::string, double>> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size() + gauges_.size() + 5 * histos_.size());
+  // std::map iteration is already name-sorted; merge the three kinds and
+  // re-sort once at the end so histogram expansions interleave correctly.
+  for (const auto& [name, c] : counters_)
+    out.emplace_back(name, static_cast<double>(c->value()));
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  for (const auto& [name, h] : histos_) {
+    const Histo::Summary s = h->summary();
+    out.emplace_back(name + ".count", static_cast<double>(s.count));
+    out.emplace_back(name + ".mean", s.mean);
+    out.emplace_back(name + ".min", s.min);
+    out.emplace_back(name + ".max", s.max);
+    out.emplace_back(name + ".stddev", s.stddev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+namespace {
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";  // NDJSON consumers choke on NaN/Inf; clamp to 0
+    return;
+  }
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  out += buf;
+}
+
+void append_json_kv(std::string& out, const std::string& k, double v,
+                    bool& first) {
+  if (!first) out += ',';
+  first = false;
+  out += '"';
+  for (char c : k) {  // metric names are plain, but stay safe
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\":";
+  append_json_number(out, v);
+}
+
+}  // namespace
+
+std::string Registry::to_json(
+    const std::vector<std::pair<std::string, double>>& extras) const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : extras) append_json_kv(out, k, v, first);
+  for (const auto& [k, v] : snapshot()) append_json_kv(out, k, v, first);
+  out += '}';
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histos_) h->reset();
+}
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: callers cache raw pointers
+  return *r;
+}
+
+Counter* counter(const std::string& name) { return registry().counter(name); }
+Gauge* gauge(const std::string& name) { return registry().gauge(name); }
+
+StatsWriter::~StatsWriter() {
+  if (f_) std::fclose(f_);
+}
+
+bool StatsWriter::open(const std::string& path, std::uint64_t every_ms,
+                       std::string* err) {
+  f_ = std::fopen(path.c_str(), "wb");
+  if (!f_) {
+    if (err) *err = "cannot open " + path;
+    return false;
+  }
+  every_ns_ = every_ms * 1000000ull;
+  last_ns_ = 0;
+  wrote_any_ = false;
+  return true;
+}
+
+void StatsWriter::write_line(
+    const std::vector<std::pair<std::string, double>>& extras) {
+  std::vector<std::pair<std::string, double>> all;
+  all.reserve(extras.size() + 1);
+  all.emplace_back("t_ms", static_cast<double>(now_ns()) / 1e6);
+  all.insert(all.end(), extras.begin(), extras.end());
+  std::string line = registry().to_json(all);
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), f_);
+  std::fflush(f_);
+  wrote_any_ = true;
+}
+
+void StatsWriter::maybe_write(
+    const std::vector<std::pair<std::string, double>>& extras) {
+  if (!f_) return;
+  const std::uint64_t t = now_ns();
+  if (wrote_any_ && every_ns_ > 0 && t - last_ns_ < every_ns_) return;
+  last_ns_ = t;
+  write_line(extras);
+}
+
+void StatsWriter::finish(
+    const std::vector<std::pair<std::string, double>>& extras) {
+  if (!f_) return;
+  write_line(extras);
+  std::fclose(f_);
+  f_ = nullptr;
+}
+
+std::string render_summary() {
+  const auto snap = registry().snapshot();
+  std::size_t width = 0;
+  for (const auto& [k, v] : snap) width = std::max(width, k.size());
+  std::string out;
+  out += "== telemetry summary ==\n";
+  char buf[96];
+  for (const auto& [k, v] : snap) {
+    std::string num;
+    append_json_number(num, v);
+    std::snprintf(buf, sizeof buf, "  %-*s %s\n", static_cast<int>(width),
+                  k.c_str(), num.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace obs

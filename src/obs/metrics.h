@@ -1,0 +1,140 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+// Process-wide metrics registry: counters (monotonic), gauges (last value),
+// and histograms (distribution summaries built on util/stats.h). Counters
+// and gauges are lock-free to update; registration takes a mutex once, after
+// which callers hold a stable pointer (metrics are never destroyed while the
+// process runs). Like tracing, metrics are observation-only: nothing in the
+// campaign's deterministic state may read them back.
+namespace obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double x) { v_.store(x, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Distribution summary: count/mean/stddev/min/max plus fixed buckets over
+// [lo, hi) from chatfuzz::Histogram. Mutex-guarded; intended for batch-rate
+// call sites (per-batch latencies), not per-instruction loops.
+class Histo {
+ public:
+  Histo(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), nbuckets_(buckets), hist_(lo, hi, buckets) {}
+
+  void add(double x);
+  void reset();
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  Summary summary() const;
+
+ private:
+  double lo_, hi_;
+  std::size_t nbuckets_;
+  mutable std::mutex mu_;
+  chatfuzz::Histogram hist_;
+  chatfuzz::RunningStat stat_;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+class Registry {
+ public:
+  // Lookup-or-create by name; returned pointers stay valid for the process
+  // lifetime. Names are dot-separated lowercase ("sim.tlb_hits").
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histo* histogram(const std::string& name, double lo, double hi,
+                   std::size_t buckets);
+
+  // Flat, name-sorted snapshot. Histograms expand into .count/.mean/.min/
+  // .max/.stddev entries so every value is one scalar.
+  std::vector<std::pair<std::string, double>> snapshot() const;
+
+  // One JSON object {"name":value,...} in snapshot order, with extra
+  // key/value pairs prepended (e.g. {"t_ms":..,"batch":..}).
+  std::string to_json(
+      const std::vector<std::pair<std::string, double>>& extras = {}) const;
+
+  // Zero all metrics (new campaign in the same process, tests).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histo>> histos_;
+};
+
+// The process-wide registry.
+Registry& registry();
+
+// Shorthands for the common "bump a named counter / set a named gauge" call
+// sites. The name lookup takes the registry mutex — hot loops should cache
+// the Counter* instead.
+Counter* counter(const std::string& name);
+Gauge* gauge(const std::string& name);
+
+// Periodic NDJSON stats emitter: one flat JSON object per line, written at
+// most every `every_ms` (per the obs clock) when maybe_write() is called at
+// a batch boundary, plus an unconditional final line from finish().
+class StatsWriter {
+ public:
+  StatsWriter() = default;
+  ~StatsWriter();
+
+  StatsWriter(const StatsWriter&) = delete;
+  StatsWriter& operator=(const StatsWriter&) = delete;
+
+  bool open(const std::string& path, std::uint64_t every_ms,
+            std::string* err = nullptr);
+  bool is_open() const { return f_ != nullptr; }
+
+  void maybe_write(const std::vector<std::pair<std::string, double>>& extras);
+  void finish(const std::vector<std::pair<std::string, double>>& extras);
+
+ private:
+  void write_line(const std::vector<std::pair<std::string, double>>& extras);
+
+  std::FILE* f_ = nullptr;
+  std::uint64_t every_ns_ = 0;
+  std::uint64_t last_ns_ = 0;
+  bool wrote_any_ = false;
+};
+
+// Human-readable final summary of the registry (name-sorted, aligned), for
+// the end-of-campaign table on stderr.
+std::string render_summary();
+
+}  // namespace obs

@@ -47,7 +47,12 @@ class PredecodeCache {
   /// pc (invalidation keeps this true) and `entry->d` its decode.
   const Entry* find(std::uint64_t pc) const {
     const Entry& e = entries_[index(pc)];
-    return e.pc == pc ? &e : nullptr;
+    if (e.pc == pc) {
+      ++hits_;
+      return &e;
+    }
+    ++misses_;
+    return nullptr;
   }
 
   /// Record the word fetched at `pc` and return its decode.
@@ -68,9 +73,17 @@ class PredecodeCache {
       e.pc = pc;
       e.raw = raw;
       e.d = decode(raw);
+      ++misses_;
+    } else {
+      ++hits_;
     }
     return e.d;
   }
+
+  /// Telemetry: probes served from / refilled into the cache since the last
+  /// take. Observation-only (mutable so the const fast path can count).
+  std::uint64_t take_hits() { const auto h = hits_; hits_ = 0; return h; }
+  std::uint64_t take_misses() { const auto m = misses_; misses_ = 0; return m; }
 
   /// Drop entries overlapping the stored byte range [addr, addr + size).
   /// At most three word slots are touched, so this is cheap enough to call
@@ -118,6 +131,8 @@ class PredecodeCache {
   std::size_t mask_;
   std::vector<Entry> entries_;
   std::vector<std::uint32_t> used_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
 };
 
 }  // namespace chatfuzz::riscv

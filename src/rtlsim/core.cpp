@@ -669,7 +669,10 @@ bool RtlCore::run_superblock() {
     // most one span per 16 committed instructions.
     if (sb_builds_ > 8 && sb_builds_ * 16 > steps_) return false;
     ++sb_builds_;
+    ++obs_.sb_builds;
     span = build_superblock();
+  } else {
+    ++obs_.sb_hits;
   }
   if (span->len == 0) return false;
   const FusedSlot* slots = sb_.slots(*span);
@@ -987,6 +990,11 @@ riscv::Exception RtlCore::translate(std::uint64_t vaddr, MemAccess kind,
   const std::uint64_t vpn = vaddr >> pv::kPageShift;
   TlbEntry& slot = tlb_[vpn % tlb_.size()];
   const bool hit = slot.valid && slot.vpn == vpn;
+  if (hit) {
+    ++obs_.tlb_hits;
+  } else {
+    ++obs_.tlb_misses;
+  }
   if (cov) {
     cc(p_tlb_[1], hit);
     cc(p_tlb_[5], !hit);  // refill walk engaged

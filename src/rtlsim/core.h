@@ -93,6 +93,14 @@ class RtlCore final : public DutCore {
   /// themselves).
   void set_bbv(riscv::BbvRecorder* bbv) override { bbv_ = bbv; }
 
+  obs::SimCounters take_obs_counters() override {
+    obs::SimCounters c = obs_;
+    c.predecode_hits = predecode_.take_hits();
+    c.predecode_misses = predecode_.take_misses();
+    obs_ = {};
+    return c;
+  }
+
  private:
   // -- coverage plumbing ----------------------------------------------------
   /// Record an evaluation of condition `id` with value `v`; returns `v` so
@@ -171,6 +179,9 @@ class RtlCore final : public DutCore {
   // stale-I$ bug injection keeps its exact semantics.
   bool sb_enabled_ = true;
   FusedIndex sb_;
+  // Telemetry tallies (see take_obs_counters); never read architecturally.
+  obs::SimCounters obs_;
+
   // Span-build churn guard (same policy as IsaSim::sb_builds_): once builds
   // outpace ~1 per 16 committed instructions, stop building for the rest of
   // the test and serve only already-cached spans. Purely a speed valve.

@@ -13,6 +13,7 @@
 #include "coverage/cover.h"
 #include "coverage/multi.h"
 #include "isasim/memory.h"
+#include "obs/sim_counters.h"
 #include "isasim/platform.h"
 #include "isasim/trace.h"
 #include "riscv/instr.h"
@@ -51,6 +52,11 @@ class DutCore {
   /// Speed knob; backends without a fused path treat it as a no-op.
   virtual void set_superblocks(bool on) = 0;
   virtual void set_bbv(riscv::BbvRecorder* bbv) = 0;
+
+  /// Telemetry counters (predecode/TLB/superblock hit rates) accumulated
+  /// since the last take; taking zeroes them. Observation-only — default
+  /// zero for backends without instrumentation.
+  virtual obs::SimCounters take_obs_counters() { return {}; }
 };
 
 /// Construct the backend selected by `cfg.out_of_order`. Registers the

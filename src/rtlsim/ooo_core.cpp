@@ -1637,6 +1637,11 @@ riscv::Exception OooCore::translate(std::uint64_t vaddr, MemAccess kind,
   const std::uint64_t vpn = vaddr >> pv::kPageShift;
   TlbEntry& slot = tlb_[vpn % tlb_.size()];
   const bool hit = slot.valid && slot.vpn == vpn;
+  if (hit) {
+    ++obs_.tlb_hits;
+  } else {
+    ++obs_.tlb_misses;
+  }
   if (!hit) {
     // Page-table walk, root first, one PTE read per level.
     std::uint64_t table = (csrs_.satp & c::kSatpPpnMask) << pv::kPageShift;

@@ -80,6 +80,14 @@ class OooCore final : public DutCore {
   void set_superblocks(bool) override {}
   void set_bbv(riscv::BbvRecorder* bbv) override { bbv_ = bbv; }
 
+  obs::SimCounters take_obs_counters() override {
+    obs::SimCounters c = obs_;
+    c.predecode_hits = predecode_.take_hits();
+    c.predecode_misses = predecode_.take_misses();
+    obs_ = {};
+    return c;
+  }
+
   // Microarchitectural probes for the ooo unit tests.
   std::size_t rob_occupancy() const { return rob_count_; }
   std::size_t sq_occupancy() const { return sq_count_; }
@@ -222,6 +230,9 @@ class OooCore final : public DutCore {
   riscv::PredecodeCache predecode_;
   cov::CtrlRegCoverage ctrl_cov_;
   riscv::BbvRecorder* bbv_ = nullptr;
+
+  // Telemetry tallies (see take_obs_counters); never read architecturally.
+  obs::SimCounters obs_;
 
   // Architectural state. pc_ is the committed pc (next instruction to
   // retire); the front end runs ahead on fetch_pc_.

@@ -1,16 +1,71 @@
 #include "util/log.h"
 
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
 namespace chatfuzz {
+namespace {
+
+std::uint64_t elapsed_ms() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(clock::now() -
+                                                            start)
+          .count());
+}
+
+std::mutex& role_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::string& role_slot() {
+  static std::string role;
+  return role;
+}
+
+}  // namespace
 
 LogLevel& log_threshold() {
   static LogLevel level = LogLevel::kInfo;
   return level;
 }
 
+void set_log_role(const std::string& role) {
+  std::lock_guard<std::mutex> lk(role_mu());
+  role_slot() = role;
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (level < log_threshold()) return;
   static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-  std::fprintf(stderr, "[%s] %s\n", names[static_cast<int>(level)], msg.c_str());
+  // Compose the whole line first and emit it with a single fwrite: stderr is
+  // unbuffered, so interleaved fprintf calls from worker threads (and from
+  // coordinator + worker processes sharing the fd) tear mid-line otherwise.
+  std::string role;
+  {
+    std::lock_guard<std::mutex> lk(role_mu());
+    role = role_slot();
+  }
+  std::string line;
+  line.reserve(msg.size() + role.size() + 32);
+  char head[48];
+  std::snprintf(head, sizeof head, "[%8llu ms] ",
+                static_cast<unsigned long long>(elapsed_ms()));
+  line += head;
+  if (!role.empty()) {
+    line += '[';
+    line += role;
+    line += "] ";
+  }
+  line += '[';
+  line += names[static_cast<int>(level)];
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace chatfuzz

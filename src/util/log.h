@@ -13,6 +13,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Process-wide minimum level; messages below it are dropped.
 LogLevel& log_threshold();
 
+/// Role tag prefixed to every line ("coord", "worker 3"); empty = none.
+/// Set once per process when its role becomes known.
+void set_log_role(const std::string& role);
+
+/// Thread-safe: composes the full line (elapsed-ms + role + level + message)
+/// and emits it with one fwrite so concurrent logs never tear.
 void log_message(LogLevel level, const std::string& msg);
 
 template <typename... Args>

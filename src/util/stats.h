@@ -38,8 +38,14 @@ class Histogram {
       : lo_(lo), hi_(hi), counts_(buckets, 0) {}
 
   void add(double x) {
-    const double t = (x - lo_) / (hi_ - lo_);
-    auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+    // A degenerate range (hi <= lo) or a NaN input would make `t` non-finite
+    // and the int64 cast below undefined; route both to the first bucket.
+    const double denom = hi_ - lo_;
+    const double t = denom > 0.0 ? (x - lo_) / denom : 0.0;
+    std::int64_t idx = 0;
+    if (std::isfinite(t)) {
+      idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+    }
     idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
     ++counts_[static_cast<std::size_t>(idx)];
     ++total_;

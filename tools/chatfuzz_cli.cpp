@@ -14,6 +14,7 @@
 //                                          work with an on-disk corpus store
 //   chatfuzz federate <serve|push|pull> <dir> ...
 //                                          exchange corpus deltas over TCP
+//   chatfuzz fleet status <host:port>     live state of a fuzz --listen fleet
 //   chatfuzz solve <point-name>           directed test for a coverage point
 //   chatfuzz worker <fd>|--connect <a>    (internal) distributed-campaign
 //                                          worker; spawned by fuzz --procs
@@ -38,7 +39,9 @@
 #include "core/replay.h"
 #include "corpus/store.h"
 #include "coverage/merge.h"
+#include "corpus/stats.h"
 #include "dist/federation.h"
+#include "dist/fleet.h"
 #include "dist/worker.h"
 #include "isasim/sim.h"
 #include "mismatch/minimize.h"
@@ -70,7 +73,8 @@ constexpr CommandDoc kCommands[] = {
     {"fuzz",
      "<fuzzer> <tests> [workers] [--dut <list>] [--procs <n>] "
      "[--listen <host:port>] [--token <t>] [--port-file <f>] "
-     "[--checkpoint <dir>] [--every <n>] [--bbv <file>] [--no-superblocks]",
+     "[--checkpoint <dir>] [--every <n>] [--bbv <file>] [--no-superblocks] "
+     "[--trace <f.json>] [--stats <f.ndjson>] [--stats-every <ms>]",
      "campaign; fuzzer = random|thehuzz|difuzz|psofuzz|hypfuzz|chatfuzz;\n"
      "workers = simulation threads per process (default 1, 0 = all cores);\n"
      "--dut runs every test on each listed backend (inorder|rocket|boom|\n"
@@ -88,22 +92,28 @@ constexpr CommandDoc kCommands[] = {
      "exit as paused.\n"
      "--checkpoint snapshots state + corpus to <dir> every <n> tests;\n"
      "--bbv records per-test basic-block vectors to <file>;\n"
-     "--no-superblocks disables superblock dispatch (same results, slower)"},
+     "--no-superblocks disables superblock dispatch (same results, slower);\n"
+     "--trace writes a Chrome trace_event JSON of engine/ML/dist spans\n"
+     "(load in Perfetto); --stats appends a metrics snapshot to <f.ndjson>\n"
+     "every --stats-every ms (default 1000). Telemetry is out-of-band:\n"
+     "results are byte-identical with it on or off"},
     {"fuzz", "--resume <dir> [workers] [--procs <n>] [--listen <host:port>] "
-     "[--token <t>] [--port-file <f>] [--bbv <file>] [--no-superblocks]",
+     "[--token <t>] [--port-file <f>] [--bbv <file>] [--no-superblocks] "
+     "[--trace <f.json>] [--stats <f.ndjson>] [--stats-every <ms>]",
      "continue a checkpointed campaign bit-identically to an\n"
      "uninterrupted run (workers: default = checkpoint's count,\n"
-     "0 = all cores; --procs/--listen/--bbv/--no-superblocks are per-run,\n"
-     "never stored)"},
+     "0 = all cores; --procs/--listen/--bbv/--no-superblocks/--trace/\n"
+     "--stats are per-run, never stored)"},
     {"corpus", "export <dir> <out.txt>", "store -> text corpus"},
     {"corpus", "import <dir> <in.txt>", "text corpus -> store"},
     {"corpus", "minimize <dir>",
      "re-simulate, keep only tests that add coverage or mismatch;\n"
      "mismatch-only tests whose basic-block-vector phase signature\n"
      "duplicates an earlier kept test are dropped"},
-    {"corpus", "stats <dir>",
+    {"corpus", "stats <dir> [--json]",
      "entry/shard/byte totals, first-covered-bin attribution histogram,\n"
-     "phase-signature histogram (phase hashes filled by corpus minimize)"},
+     "phase-signature histogram (phase hashes filled by corpus minimize);\n"
+     "--json emits one machine-readable object instead of the table"},
     {"federate", "serve <dir> --listen <host:port> [--token <t>] "
      "[--port-file <f>] [--sessions <n>]",
      "corpus hub: accept push/pull sessions and merge deltas into <dir>\n"
@@ -115,6 +125,10 @@ constexpr CommandDoc kCommands[] = {
      "and re-pushes idempotently after a disconnect"},
     {"federate", "pull <dir> --connect <host:port> [--token <t>]",
      "fetch the hub's entries into the local store (same canonical merge)"},
+    {"fleet", "status <host:port> [--token <t>]",
+     "query a running fuzz --listen coordinator for live fleet state:\n"
+     "per-peer pid/liveness/leases/results/heartbeat age plus the\n"
+     "campaign metrics snapshot. Observation-only (never joins the fleet)"},
     {"solve", "<point-name>",
      "synthesize + verify a directed test for a coverage point"},
     {"worker", "<fd> | --connect <host:port> [--token <t>] [--retries <n>]",
@@ -307,6 +321,41 @@ struct NetArgs {
   }
 };
 
+/// Telemetry options shared by fuzz and resume: per-run knobs, never
+/// stored in checkpoints (like --bbv).
+struct ObsArgs {
+  const char* trace = nullptr;
+  const char* stats = nullptr;
+  std::optional<std::size_t> stats_every_ms;
+  bool bad = false;
+
+  /// Works on core::CampaignConfig and core::ResumeOptions alike (both
+  /// carry the same trace_path/stats_path/stats_every_ms trio).
+  template <typename Cfg>
+  void apply(Cfg* cfg) const {
+    if (trace != nullptr) cfg->trace_path = trace;
+    if (stats != nullptr) cfg->stats_path = stats;
+    if (stats_every_ms.has_value()) {
+      cfg->stats_every_ms = static_cast<std::uint64_t>(*stats_every_ms);
+    }
+  }
+  /// Consume one argv pair; returns true when it was a telemetry flag.
+  bool parse(int argc, char** argv, int* i) {
+    if (std::strcmp(argv[*i], "--trace") == 0 && *i + 1 < argc) {
+      trace = argv[++*i];
+    } else if (std::strcmp(argv[*i], "--stats") == 0 && *i + 1 < argc) {
+      stats = argv[++*i];
+    } else if (std::strcmp(argv[*i], "--stats-every") == 0 &&
+               *i + 1 < argc) {
+      stats_every_ms = parse_count(argv[++*i]);
+      if (!stats_every_ms) bad = true;
+    } else {
+      return false;
+    }
+    return true;
+  }
+};
+
 /// Parse a `--dut` comma list ("inorder,ooo") into CoreConfig presets.
 /// Returns false (with a message) on an unknown or empty entry.
 bool parse_dut_list(const char* list, std::vector<rtl::CoreConfig>* out) {
@@ -333,13 +382,15 @@ bool parse_dut_list(const char* list, std::vector<rtl::CoreConfig>* out) {
 int cmd_fuzz(const char* which, std::size_t tests, std::size_t workers,
              std::size_t procs, const char* checkpoint_dir,
              std::size_t checkpoint_every, const char* bbv_path,
-             bool superblocks, const char* dut_list, const NetArgs& net) {
+             bool superblocks, const char* dut_list, const NetArgs& net,
+             const ObsArgs& obs) {
   core::CampaignConfig cfg;
   cfg.num_tests = tests;
   cfg.checkpoint_every = std::max<std::size_t>(tests / 10, 10);
   cfg.num_workers = workers;
   cfg.dist.num_procs = procs;
   net.apply(&cfg.dist);
+  obs.apply(&cfg);
   cfg.superblocks = superblocks;
   install_drain_handler();
   if (dut_list != nullptr && !parse_dut_list(dut_list, &cfg.duts)) return 2;
@@ -380,7 +431,7 @@ int cmd_fuzz(const char* which, std::size_t tests, std::size_t workers,
 
 int cmd_resume(const char* dir, std::optional<std::size_t> workers,
                std::size_t procs, const char* bbv_path, bool superblocks,
-               const NetArgs& net) {
+               const NetArgs& net, const ObsArgs& obs) {
   install_drain_handler();
   // One read of what may be a large checkpoint: the loaded image hands the
   // stored fuzzer kind to make_generator() and then resumes directly.
@@ -409,6 +460,7 @@ int cmd_resume(const char* dir, std::optional<std::size_t> workers,
   }
   opts.dist.num_procs = procs;
   net.apply(&opts.dist);
+  obs.apply(&opts);
   opts.superblocks = superblocks;
   if (bbv_path != nullptr) opts.bbv_path = bbv_path;
   try {
@@ -667,88 +719,20 @@ int cmd_corpus_minimize(const char* dir) {
   return 0;
 }
 
-/// Store introspection without re-simulation, straight off the index: how
-/// big the corpus is and how its coverage attribution (the first-covered
-/// condition bins each archived test earned) is distributed.
-int cmd_corpus_stats(const char* dir) {
+/// Store introspection without re-simulation, straight off the index (the
+/// collection and both renderings live in corpus/stats.h so tests can
+/// round-trip the JSON without spawning the CLI).
+int cmd_corpus_stats(const char* dir, bool json) {
   corpus::CorpusStore store;
   const ser::Status s = store.open(dir);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.message().c_str());
     return 1;
   }
-  std::uintmax_t disk_bytes = 0;
-  std::error_code ec;
-  const std::uintmax_t index_size =
-      std::filesystem::file_size(std::string(dir) + "/index.bin", ec);
-  if (!ec) disk_bytes += index_size;
-  for (std::size_t sh = 0; sh < store.num_shards(); ++sh) {
-    const std::uintmax_t n = std::filesystem::file_size(store.shard_path(sh),
-                                                        ec);
-    if (!ec) disk_bytes += n;
-  }
-
-  std::size_t program_words = 0, attributed_bins = 0, with_mismatch = 0,
-              ctrl_new_total = 0;
-  // Attribution histogram: bucket k holds entries whose first-covered-bin
-  // count lands in [2^(k-1), 2^k) (bucket 0 = zero bins, i.e. archived for
-  // a mismatch only).
-  constexpr std::size_t kBuckets = 12;
-  std::size_t histogram[kBuckets] = {};
-  // Phase signatures (hash 0 = not yet computed; `corpus minimize` fills
-  // them by replay): entry count per distinct basic-block-vector phase.
-  std::unordered_map<std::uint64_t, std::size_t> phases;
-  std::size_t unhashed = 0;
-  for (std::size_t i = 0; i < store.size(); ++i) {
-    const corpus::StoreEntryMeta& m = store.meta(i);
-    program_words += store.program_words(i);
-    attributed_bins += m.new_bins.size();
-    ctrl_new_total += static_cast<std::size_t>(m.ctrl_new);
-    if (m.mismatches > 0) ++with_mismatch;
-    if (m.phase_hash == 0) ++unhashed;
-    else ++phases[m.phase_hash];
-    std::size_t bucket = 0;
-    for (std::size_t n = m.new_bins.size(); n != 0; n >>= 1) ++bucket;
-    histogram[std::min(bucket, kBuckets - 1)] += 1;
-  }
-
-  std::printf("corpus %s\n", dir);
-  std::printf("  entries:          %zu\n", store.size());
-  std::printf("  shards:           %zu (capacity %zu entries each)\n",
-              store.num_shards(), store.shard_capacity());
-  std::printf("  program bytes:    %zu (%zu instruction words)\n",
-              program_words * 4, program_words);
-  std::printf("  bytes on disk:    %ju (index + shards)\n", disk_bytes);
-  std::printf("  attributed bins:  %zu condition bins first covered\n",
-              attributed_bins);
-  std::printf("  ctrl states:      %zu first observed\n", ctrl_new_total);
-  std::printf("  with mismatch:    %zu entries\n", with_mismatch);
-  std::printf("  first-covered-bin attribution histogram:\n");
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    if (histogram[b] == 0) continue;
-    const std::size_t lo = b == 0 ? 0 : std::size_t{1} << (b - 1);
-    const std::size_t hi = (std::size_t{1} << b) - 1;
-    if (b == kBuckets - 1) {
-      std::printf("    >=%4zu bins: %zu entries\n", lo, histogram[b]);
-    } else if (lo == hi || b == 0) {
-      std::printf("    %6zu bins: %zu entries\n", lo, histogram[b]);
-    } else {
-      std::printf("  %4zu-%4zu bins: %zu entries\n", lo, hi, histogram[b]);
-    }
-  }
-  std::printf("  phase signatures: %zu distinct across %zu hashed entries"
-              " (%zu unhashed)\n",
-              phases.size(), store.size() - unhashed, unhashed);
-  if (!phases.empty()) {
-    // Multiplicity histogram: how many distinct phases are represented by
-    // exactly 1, 2-3, or 4+ archived tests.
-    std::size_t mult[3] = {};
-    for (const auto& [hash, n] : phases) {
-      mult[n >= 4 ? 2 : n >= 2 ? 1 : 0] += 1;
-    }
-    std::printf("    phase multiplicity: %zu unique, %zu x2-3, %zu x4+\n",
-                mult[0], mult[1], mult[2]);
-  }
+  const corpus::StoreStats stats = corpus::collect_store_stats(store);
+  const std::string text = json ? corpus::store_stats_to_json(stats)
+                                : corpus::render_store_stats(stats);
+  std::fwrite(text.data(), 1, text.size(), stdout);
   return 0;
 }
 
@@ -810,6 +794,7 @@ int main(int argc, char** argv) {
     const char* bbv_path = nullptr;
     bool superblocks = true;
     NetArgs net;
+    ObsArgs obs;
     bool bad = false;
     for (int i = 4; i < argc; ++i) {
       if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
@@ -819,6 +804,7 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--bbv") == 0 && i + 1 < argc) {
         bbv_path = argv[++i];
       } else if (net.parse(argc, argv, &i)) {
+      } else if (obs.parse(argc, argv, &i)) {
       } else if (std::strcmp(argv[i], "--no-superblocks") == 0) {
         superblocks = false;
       } else if (i == 4 && argv[i][0] != '-') {
@@ -828,11 +814,12 @@ int main(int argc, char** argv) {
         bad = true;
       }
     }
-    if (bad) {
+    if (bad || obs.bad) {
       std::fprintf(stderr, "fuzz --resume: bad arguments; see usage\n");
       return usage();
     }
-    return cmd_resume(argv[3], workers, procs, bbv_path, superblocks, net);
+    return cmd_resume(argv[3], workers, procs, bbv_path, superblocks, net,
+                      obs);
   }
   if (std::strcmp(cmd, "fuzz") == 0 && argc >= 4) {
     const auto tests = parse_count(argv[3]);
@@ -844,6 +831,7 @@ int main(int argc, char** argv) {
     const char* dut_list = nullptr;
     bool superblocks = true;
     NetArgs net;
+    ObsArgs obs;
     bool bad = false;
     for (int i = 4; i < argc; ++i) {
       if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
@@ -861,6 +849,7 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--bbv") == 0 && i + 1 < argc) {
         bbv_path = argv[++i];
       } else if (net.parse(argc, argv, &i)) {
+      } else if (obs.parse(argc, argv, &i)) {
       } else if (std::strcmp(argv[i], "--no-superblocks") == 0) {
         superblocks = false;
       } else if (i == 4 && argv[i][0] != '-') {
@@ -869,12 +858,13 @@ int main(int argc, char** argv) {
         bad = true;
       }
     }
-    if (!tests || !workers || bad) {
+    if (!tests || !workers || bad || obs.bad) {
       std::fprintf(stderr, "fuzz: bad arguments; see usage\n");
       return usage();
     }
     return cmd_fuzz(argv[2], *tests, *workers, procs, checkpoint_dir,
-                    checkpoint_every, bbv_path, superblocks, dut_list, net);
+                    checkpoint_every, bbv_path, superblocks, dut_list, net,
+                    obs);
   }
   if (std::strcmp(cmd, "corpus") == 0 && argc >= 4) {
     if (std::strcmp(argv[2], "export") == 0 && argc >= 5) {
@@ -887,11 +877,33 @@ int main(int argc, char** argv) {
       return cmd_corpus_minimize(argv[3]);
     }
     if (std::strcmp(argv[2], "stats") == 0) {
-      return cmd_corpus_stats(argv[3]);
+      const char* dir = nullptr;
+      bool json = false, bad = false;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) json = true;
+        else if (dir == nullptr) dir = argv[i];
+        else bad = true;
+      }
+      if (dir == nullptr || bad) return usage();
+      return cmd_corpus_stats(dir, json);
     }
     return usage();
   }
   if (std::strcmp(cmd, "federate") == 0) return cmd_federate(argc, argv);
+  if (std::strcmp(cmd, "fleet") == 0 && argc >= 4 &&
+      std::strcmp(argv[2], "status") == 0) {
+    const char* token = "";
+    bool bad = false;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--token") == 0 && i + 1 < argc) {
+        token = argv[++i];
+      } else {
+        bad = true;
+      }
+    }
+    if (bad) return usage();
+    return dist::fleet_status_main(argv[3], token, stdout);
+  }
   if (std::strcmp(cmd, "solve") == 0 && argc >= 3) return cmd_solve(argv[2]);
   return usage();
 }
